@@ -1,0 +1,84 @@
+//! Classic ACC parameters (paper Appendix A, Table 4).
+
+use accturbo_netsim::{RedConfig, SimDuration};
+
+/// The ACC agent's configuration. Defaults are exactly the paper's
+/// Table 4 values.
+#[derive(Debug, Clone)]
+pub struct AccConfig {
+    /// `K`: sustained-congestion monitoring period (2 s). The drop rate
+    /// over each trailing window of length `K` is checked at multiples of
+    /// `K`; the agent activates when it exceeds `p_high`.
+    pub k_period: SimDuration,
+    /// `p_high`: sustained-congestion drop rate threshold (0.1).
+    pub p_high: f64,
+    /// `p_target`: the drop rate the rate limits aim for (0.05).
+    pub p_target: f64,
+    /// `k`: EWMA interval for rate estimation (0.1 s).
+    pub ewma_interval: SimDuration,
+    /// Maximum simultaneous rate-limiting sessions (5).
+    pub max_sessions: usize,
+    /// Minimum time an aggregate stays limited after limiting starts (10 s).
+    pub release_time: SimDuration,
+    /// Minimum time an aggregate must "behave" (send below its limit)
+    /// before release (20 s).
+    pub free_time: SimDuration,
+    /// Session revisit period in steady state (5 s).
+    pub cyc_time: SimDuration,
+    /// Session revisit period right after creation (0.5 s).
+    pub init_time: SimDuration,
+    /// The RED queue in front of the output link.
+    pub red: RedConfig,
+}
+
+impl Default for AccConfig {
+    fn default() -> Self {
+        AccConfig {
+            k_period: SimDuration::from_secs(2),
+            p_high: 0.1,
+            p_target: 0.05,
+            ewma_interval: SimDuration::from_millis(100),
+            max_sessions: 5,
+            release_time: SimDuration::from_secs(10),
+            free_time: SimDuration::from_secs(20),
+            cyc_time: SimDuration::from_secs(5),
+            init_time: SimDuration::from_millis(500),
+            red: RedConfig::default(),
+        }
+    }
+}
+
+impl AccConfig {
+    /// Overrides the monitoring window `K` (the Fig. 2c / Fig. 3b sweep).
+    pub fn with_k(mut self, k: SimDuration) -> Self {
+        assert!(!k.is_zero(), "K must be positive");
+        self.k_period = k;
+        self
+    }
+
+    /// Overrides the RED configuration.
+    pub fn with_red(mut self, red: RedConfig) -> Self {
+        self.red = red;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pin the defaults to the paper's Table 4.
+    #[test]
+    fn defaults_match_table_4() {
+        let c = AccConfig::default();
+        assert_eq!(c.k_period, SimDuration::from_secs(2));
+        assert_eq!(c.p_high, 0.1);
+        assert_eq!(c.p_target, 0.05);
+        assert_eq!(c.ewma_interval, SimDuration::from_millis(100));
+        assert_eq!(c.max_sessions, 5);
+        assert_eq!(c.release_time, SimDuration::from_secs(10));
+        assert_eq!(c.free_time, SimDuration::from_secs(20));
+        assert_eq!(c.cyc_time, SimDuration::from_secs(5));
+        assert_eq!(c.init_time, SimDuration::from_millis(500));
+    }
+}

@@ -1,0 +1,245 @@
+//! Prefix-based aggregate inference (paper §2.1, after Mahajan et al.).
+//!
+//! The ACC agent looks only at destination addresses of RED-dropped
+//! packets. It (i) lists the addresses with more than twice the mean
+//! per-address drop count, (ii) clusters them into /24 prefixes, and
+//! (iii) walks each prefix's subtree downward, taking a longer prefix as
+//! long as it still contains most of the drops — minimizing collateral
+//! damage.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// An IPv4 prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Prefix {
+    /// Network address (host bits zero).
+    pub addr: u32,
+    /// Prefix length, 0–32.
+    pub len: u8,
+}
+
+impl Prefix {
+    /// Builds a prefix, masking the host bits off.
+    pub fn new(addr: u32, len: u8) -> Self {
+        assert!(len <= 32, "prefix length out of range");
+        Prefix {
+            addr: addr & Self::mask(len),
+            len,
+        }
+    }
+
+    fn mask(len: u8) -> u32 {
+        if len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - len)
+        }
+    }
+
+    /// True when `ip` falls inside this prefix.
+    pub fn contains(&self, ip: u32) -> bool {
+        ip & Self::mask(self.len) == self.addr
+    }
+
+    /// The two children of this prefix (length + 1), or `None` at /32.
+    pub fn children(&self) -> Option<(Prefix, Prefix)> {
+        if self.len >= 32 {
+            return None;
+        }
+        let left = Prefix::new(self.addr, self.len + 1);
+        let right = Prefix::new(self.addr | (1 << (31 - self.len)), self.len + 1);
+        Some((left, right))
+    }
+}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", Ipv4Addr::from(self.addr), self.len)
+    }
+}
+
+/// An inferred aggregate: a prefix plus its share of the drop history.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InferredAggregate {
+    /// The destination prefix.
+    pub prefix: Prefix,
+    /// Drops attributed to the prefix in the analysis window.
+    pub drops: u64,
+}
+
+/// Infers up to `max_aggregates` aggregates from the destination addresses
+/// of dropped packets, per the ACC procedure. `refine_keep` is the
+/// fraction of a prefix's drops a child must retain for the walk-down to
+/// descend (the paper's "still contain most of the packet drops"; we use
+/// 0.9 by default at the call site).
+pub fn infer_aggregates(
+    dropped_dsts: &[u32],
+    max_aggregates: usize,
+    refine_keep: f64,
+) -> Vec<InferredAggregate> {
+    assert!(
+        (0.5..=1.0).contains(&refine_keep),
+        "refine_keep must be in [0.5, 1.0]"
+    );
+    if dropped_dsts.is_empty() || max_aggregates == 0 {
+        return Vec::new();
+    }
+
+    // (i) per-address drop counts and the high-drop address list.
+    let mut per_ip: HashMap<u32, u64> = HashMap::new();
+    for &ip in dropped_dsts {
+        *per_ip.entry(ip).or_insert(0) += 1;
+    }
+    let mean = dropped_dsts.len() as f64 / per_ip.len() as f64;
+    let threshold = 2.0 * mean;
+    let heavy: Vec<u32> = per_ip
+        .iter()
+        .filter(|&(_, &c)| c as f64 > threshold)
+        .map(|(&ip, _)| ip)
+        .collect();
+    // When drops are spread evenly (no address stands out — e.g. a whole
+    // /24 being carpet-bombed), fall back to clustering all addresses:
+    // the /24 aggregation below still finds the hot prefix.
+    let candidates: Vec<u32> = if heavy.is_empty() {
+        per_ip.keys().copied().collect()
+    } else {
+        heavy
+    };
+
+    // (ii) cluster candidates into /24s; attribute *all* drops per /24.
+    let mut per_24: HashMap<Prefix, u64> = HashMap::new();
+    for ip in candidates {
+        per_24.entry(Prefix::new(ip, 24)).or_insert(0);
+    }
+    for (&ip, &count) in &per_ip {
+        let p = Prefix::new(ip, 24);
+        if let Some(c) = per_24.get_mut(&p) {
+            *c += count;
+        }
+    }
+
+    let mut ranked: Vec<(Prefix, u64)> = per_24.into_iter().collect();
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    ranked.truncate(max_aggregates);
+
+    // (iii) walk each prefix's subtree downward.
+    ranked
+        .into_iter()
+        .map(|(mut prefix, mut drops)| {
+            loop {
+                let Some((left, right)) = prefix.children() else {
+                    break;
+                };
+                let left_drops: u64 = per_ip
+                    .iter()
+                    .filter(|&(&ip, _)| left.contains(ip))
+                    .map(|(_, &c)| c)
+                    .sum();
+                let right_drops = drops - left_drops;
+                let (child, child_drops) = if left_drops >= right_drops {
+                    (left, left_drops)
+                } else {
+                    (right, right_drops)
+                };
+                if (child_drops as f64) < refine_keep * drops as f64 {
+                    break;
+                }
+                prefix = child;
+                drops = child_drops;
+            }
+            InferredAggregate { prefix, drops }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(a: u8, b: u8, c: u8, d: u8) -> u32 {
+        u32::from_be_bytes([a, b, c, d])
+    }
+
+    #[test]
+    fn prefix_masks_host_bits() {
+        let p = Prefix::new(ip(198, 18, 5, 77), 24);
+        assert_eq!(p.addr, ip(198, 18, 5, 0));
+        assert!(p.contains(ip(198, 18, 5, 200)));
+        assert!(!p.contains(ip(198, 18, 6, 1)));
+        assert_eq!(p.to_string(), "198.18.5.0/24");
+    }
+
+    #[test]
+    fn children_split_the_space() {
+        let p = Prefix::new(ip(10, 0, 0, 0), 24);
+        let (l, r) = p.children().expect("not a /32");
+        assert_eq!(l, Prefix::new(ip(10, 0, 0, 0), 25));
+        assert_eq!(r, Prefix::new(ip(10, 0, 0, 128), 25));
+        assert!(Prefix::new(0, 32).children().is_none());
+    }
+
+    #[test]
+    fn single_hot_destination_refines_to_slash32() {
+        // 1000 drops on one IP, background noise elsewhere.
+        let mut drops = vec![ip(198, 18, 0, 10); 1000];
+        for i in 0..50u8 {
+            drops.push(ip(20, 0, i, i));
+        }
+        let aggs = infer_aggregates(&drops, 5, 0.9);
+        assert!(!aggs.is_empty());
+        assert_eq!(aggs[0].prefix, Prefix::new(ip(198, 18, 0, 10), 32));
+        assert_eq!(aggs[0].drops, 1000);
+    }
+
+    #[test]
+    fn carpet_bombing_stays_at_slash24() {
+        // Drops spread over a whole /24: no single address is heavy, but
+        // the /24 must be inferred.
+        let mut drops = Vec::new();
+        for i in 0..=255u8 {
+            for _ in 0..4 {
+                drops.push(ip(198, 18, 5, i));
+            }
+        }
+        let aggs = infer_aggregates(&drops, 5, 0.9);
+        assert_eq!(aggs[0].prefix, Prefix::new(ip(198, 18, 5, 0), 24));
+        assert_eq!(aggs[0].drops, 1024);
+    }
+
+    #[test]
+    fn ranks_multiple_aggregates_by_drops() {
+        let mut drops = Vec::new();
+        drops.extend(std::iter::repeat(ip(1, 1, 1, 1)).take(500));
+        drops.extend(std::iter::repeat(ip(2, 2, 2, 2)).take(300));
+        drops.extend(std::iter::repeat(ip(3, 3, 3, 3)).take(100));
+        for i in 0..60u8 {
+            drops.push(ip(50, i, 0, 1));
+        }
+        let aggs = infer_aggregates(&drops, 2, 0.9);
+        assert_eq!(aggs.len(), 2);
+        assert_eq!(aggs[0].prefix.addr, ip(1, 1, 1, 1));
+        assert_eq!(aggs[1].prefix.addr, ip(2, 2, 2, 2));
+    }
+
+    #[test]
+    fn half_slash24_refines_to_slash25() {
+        // All drops in the lower half of a /24.
+        let mut drops = Vec::new();
+        for i in 0..128u8 {
+            for _ in 0..8 {
+                drops.push(ip(198, 18, 9, i));
+            }
+        }
+        let aggs = infer_aggregates(&drops, 5, 0.9);
+        assert_eq!(aggs[0].prefix.len, 25);
+        assert_eq!(aggs[0].prefix.addr, ip(198, 18, 9, 0));
+    }
+
+    #[test]
+    fn empty_input_yields_nothing() {
+        assert!(infer_aggregates(&[], 5, 0.9).is_empty());
+        assert!(infer_aggregates(&[ip(1, 1, 1, 1)], 0, 0.9).is_empty());
+    }
+}

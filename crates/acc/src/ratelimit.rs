@@ -1,0 +1,135 @@
+//! Rate-limit computation (paper §2.1).
+//!
+//! Given the inferred aggregates sorted by drop count and the excess
+//! arrival rate `R_excess` (how much traffic must be shed for the output
+//! queue's drop rate to fall below `p_target`), ACC finds the minimum
+//! number of aggregates `|A|` to limit and the common limit `L` such that
+//!
+//! ```text
+//! Σ_{i=1..|A|} (rate_i − L) = R_excess
+//! ```
+//!
+//! This is the classic water-filling solution: pour the required
+//! reduction over the highest-rate aggregates until the water level `L`
+//! clears the next aggregate's rate.
+
+use accturbo_netsim::Bandwidth;
+
+/// Result of the rate-limit computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RateLimitPlan {
+    /// Number of aggregates to limit (`|A|`), counted from the
+    /// highest-rate aggregate down.
+    pub num_limited: usize,
+    /// The common rate limit `L`.
+    pub limit: Bandwidth,
+}
+
+/// Computes `R_excess` in bits/s: the arrival rate that must be shed so
+/// the drop rate at a link of `capacity` falls to `p_target`. Zero when
+/// the link is not oversubscribed beyond the target.
+pub fn excess_rate(arrival_bps: f64, capacity: Bandwidth, p_target: f64) -> f64 {
+    assert!((0.0..1.0).contains(&p_target), "p_target must be in [0, 1)");
+    // Drop rate p = (A − C)/A wants to be ≤ p_target ⇒ A ≤ C/(1 − p_target).
+    let allowed = capacity.as_bps() as f64 / (1.0 - p_target);
+    (arrival_bps - allowed).max(0.0)
+}
+
+/// Water-fills `excess_bps` over `rates` (aggregate arrival rates in
+/// bits/s, **sorted descending**). Returns `None` when no limiting is
+/// needed (zero excess or no aggregates).
+pub fn water_fill(rates: &[f64], excess_bps: f64) -> Option<RateLimitPlan> {
+    assert!(
+        rates.windows(2).all(|w| w[0] >= w[1]),
+        "rates must be sorted descending"
+    );
+    if excess_bps <= 0.0 || rates.is_empty() {
+        return None;
+    }
+    let mut prefix_sum = 0.0;
+    for k in 1..=rates.len() {
+        prefix_sum += rates[k - 1];
+        let level = (prefix_sum - excess_bps) / k as f64;
+        let next = rates.get(k).copied().unwrap_or(0.0);
+        if level >= next {
+            return Some(RateLimitPlan {
+                num_limited: k,
+                limit: Bandwidth::from_bps(level.max(0.0) as u64),
+            });
+        }
+    }
+    // Even limiting everything to zero cannot shed the excess: limit all
+    // aggregates to zero (the best ACC can do locally).
+    Some(RateLimitPlan {
+        num_limited: rates.len(),
+        limit: Bandwidth::ZERO,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn excess_rate_zero_when_under_capacity() {
+        let c = Bandwidth::from_mbps(10);
+        assert_eq!(excess_rate(5e6, c, 0.05), 0.0);
+        assert_eq!(excess_rate(10.5e6, c, 0.05), 0.0); // within the slack
+    }
+
+    #[test]
+    fn excess_rate_formula() {
+        let c = Bandwidth::from_mbps(10);
+        // Allowed = 10M / 0.95 ≈ 10.526M; arrival 20M ⇒ excess ≈ 9.47M.
+        let e = excess_rate(20e6, c, 0.05);
+        assert!((e - (20e6 - 10e6 / 0.95)).abs() < 1.0);
+    }
+
+    #[test]
+    fn single_aggregate_takes_all_the_cut() {
+        let plan = water_fill(&[8e6, 1e6], 3e6).expect("limiting needed");
+        // L = 8 − 3 = 5 Mbps ≥ 1 Mbps, so only the top aggregate is cut.
+        assert_eq!(plan.num_limited, 1);
+        assert_eq!(plan.limit.as_bps(), 5_000_000);
+    }
+
+    #[test]
+    fn cut_spreads_when_level_sinks_below_next_rate() {
+        // rates 8, 6; excess 5: k=1 gives L=3 < 6, so k=2:
+        // L = (14 − 5)/2 = 4.5 ≥ 0.
+        let plan = water_fill(&[8e6, 6e6, 1e6], 5e6).expect("limiting needed");
+        assert_eq!(plan.num_limited, 2);
+        assert_eq!(plan.limit.as_bps(), 4_500_000);
+    }
+
+    #[test]
+    fn reduction_sums_to_excess() {
+        let rates = [9e6, 7e6, 4e6, 2e6];
+        let excess = 8e6;
+        let plan = water_fill(&rates, excess).expect("limiting needed");
+        let shed: f64 = rates[..plan.num_limited]
+            .iter()
+            .map(|r| r - plan.limit.as_bps() as f64)
+            .sum();
+        assert!((shed - excess).abs() < 10.0, "shed {shed} != excess {excess}");
+    }
+
+    #[test]
+    fn impossible_excess_limits_everything_to_zero() {
+        let plan = water_fill(&[1e6, 1e6], 10e6).expect("limiting needed");
+        assert_eq!(plan.num_limited, 2);
+        assert_eq!(plan.limit, Bandwidth::ZERO);
+    }
+
+    #[test]
+    fn no_excess_means_no_plan() {
+        assert!(water_fill(&[5e6], 0.0).is_none());
+        assert!(water_fill(&[], 1e6).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted descending")]
+    fn unsorted_rates_rejected() {
+        let _ = water_fill(&[1e6, 2e6], 1e6);
+    }
+}

@@ -1,0 +1,268 @@
+//! Rate-limiting sessions (paper §2.1 and Table 4 lifecycle).
+//!
+//! Each inferred aggregate gets a session: a token-bucket policer at the
+//! computed limit `L`, an EWMA estimate of the aggregate's arrival rate,
+//! and the lifecycle timers of Table 4 — a session lives at least
+//! `Release Time`, and is only released after the aggregate has behaved
+//! (sent below its limit) for `Free Time`; it is revisited after
+//! `Init Time` at first and every `Cyc Time` afterwards.
+
+use crate::prefix::Prefix;
+use accturbo_netsim::{Bandwidth, EwmaRate, SimDuration, SimTime, TokenBucket};
+
+/// One rate-limiting session.
+#[derive(Debug, Clone)]
+pub struct Session {
+    /// The policed destination prefix.
+    pub prefix: Prefix,
+    /// The current limit `L`.
+    pub limit: Bandwidth,
+    /// When the session was created.
+    pub created: SimTime,
+    /// Last time the aggregate was observed exceeding its limit.
+    pub last_misbehave: SimTime,
+    /// Next scheduled revisit.
+    pub next_revisit: SimTime,
+    /// Packets dropped by this session's policer.
+    pub policer_drops: u64,
+    limiter: TokenBucket,
+    rate: EwmaRate,
+}
+
+impl Session {
+    fn new(prefix: Prefix, limit: Bandwidth, now: SimTime, cfg: &SessionConfig) -> Self {
+        Session {
+            prefix,
+            limit,
+            created: now,
+            last_misbehave: now,
+            next_revisit: now + cfg.init_time,
+            policer_drops: 0,
+            limiter: TokenBucket::new(limit, cfg.burst_bytes),
+            rate: EwmaRate::new(cfg.ewma_interval, 0.5),
+        }
+    }
+
+    /// Offers a packet of `bytes` to the policer. Returns true when it
+    /// conforms (proceed to the RED queue), false when it must drop.
+    pub fn police(&mut self, bytes: u32, now: SimTime) -> bool {
+        self.rate.record(bytes as u64, now);
+        if self.limiter.conforms(bytes, now) {
+            true
+        } else {
+            self.policer_drops += 1;
+            false
+        }
+    }
+
+    /// Current arrival-rate estimate of the aggregate (pre-policing).
+    pub fn arrival_rate(&mut self, now: SimTime) -> Bandwidth {
+        self.rate.rate(now)
+    }
+
+    /// Re-targets the limit.
+    pub fn set_limit(&mut self, limit: Bandwidth) {
+        self.limit = limit;
+        self.limiter.set_rate(limit);
+    }
+}
+
+/// Lifecycle parameters shared by all sessions.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Maximum simultaneous sessions.
+    pub max_sessions: usize,
+    /// Minimum session lifetime.
+    pub release_time: SimDuration,
+    /// Required good behaviour before release.
+    pub free_time: SimDuration,
+    /// Steady-state revisit period.
+    pub cyc_time: SimDuration,
+    /// First-revisit delay.
+    pub init_time: SimDuration,
+    /// EWMA interval for the per-session rate estimate.
+    pub ewma_interval: SimDuration,
+    /// Policer burst allowance in bytes.
+    pub burst_bytes: u64,
+}
+
+/// The table of active sessions.
+#[derive(Debug, Clone)]
+pub struct SessionTable {
+    cfg: SessionConfig,
+    sessions: Vec<Session>,
+}
+
+impl SessionTable {
+    /// Creates an empty table.
+    pub fn new(cfg: SessionConfig) -> Self {
+        assert!(cfg.max_sessions > 0, "need at least one session slot");
+        SessionTable {
+            cfg,
+            sessions: Vec::new(),
+        }
+    }
+
+    /// Number of active sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// True when no sessions are active.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// The active sessions.
+    pub fn sessions(&self) -> &[Session] {
+        &self.sessions
+    }
+
+    /// The first session whose prefix contains `dst`, if any. Longer
+    /// prefixes win when several match.
+    pub fn match_mut(&mut self, dst: u32) -> Option<&mut Session> {
+        self.sessions
+            .iter_mut()
+            .filter(|s| s.prefix.contains(dst))
+            .max_by_key(|s| s.prefix.len)
+    }
+
+    /// Installs a session for `prefix` at `limit`, or re-targets the
+    /// existing session covering the same prefix. Respects the session
+    /// cap; returns false when the table is full.
+    pub fn install(&mut self, prefix: Prefix, limit: Bandwidth, now: SimTime) -> bool {
+        if let Some(s) = self.sessions.iter_mut().find(|s| s.prefix == prefix) {
+            s.set_limit(limit);
+            return true;
+        }
+        if self.sessions.len() >= self.cfg.max_sessions {
+            return false;
+        }
+        self.sessions.push(Session::new(prefix, limit, now, &self.cfg));
+        true
+    }
+
+    /// Runs the lifecycle at `now`: marks misbehaving sessions and
+    /// releases those that have lived out `release_time` and behaved for
+    /// `free_time`. Returns the released prefixes.
+    pub fn revisit(&mut self, now: SimTime) -> Vec<Prefix> {
+        let cfg = self.cfg.clone();
+        for s in &mut self.sessions {
+            if now < s.next_revisit {
+                continue;
+            }
+            s.next_revisit = now + cfg.cyc_time;
+            let rate = s.arrival_rate(now);
+            if rate.as_bps() as f64 > s.limit.as_bps() as f64 * 1.05 {
+                s.last_misbehave = now;
+            }
+        }
+        let mut released = Vec::new();
+        self.sessions.retain(|s| {
+            let old_enough = now.saturating_since(s.created) >= cfg.release_time;
+            let behaved = now.saturating_since(s.last_misbehave) >= cfg.free_time;
+            if old_enough && behaved {
+                released.push(s.prefix);
+                false
+            } else {
+                true
+            }
+        });
+        released
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SessionConfig {
+        SessionConfig {
+            max_sessions: 2,
+            release_time: SimDuration::from_secs(10),
+            free_time: SimDuration::from_secs(20),
+            cyc_time: SimDuration::from_secs(5),
+            init_time: SimDuration::from_millis(500),
+            ewma_interval: SimDuration::from_millis(100),
+            burst_bytes: 10_000,
+        }
+    }
+
+    fn prefix(a: u8) -> Prefix {
+        Prefix::new(u32::from_be_bytes([198, 18, a, 0]), 24)
+    }
+
+    #[test]
+    fn policer_enforces_the_limit() {
+        let mut t = SessionTable::new(cfg());
+        t.install(prefix(1), Bandwidth::from_kbps(80), SimTime::ZERO);
+        // Offer 100 kB/s (10x the 10 kB/s limit) for one second.
+        let mut passed = 0u64;
+        for i in 0..1000u64 {
+            let s = t
+                .match_mut(u32::from_be_bytes([198, 18, 1, 55]))
+                .expect("matches the /24");
+            if s.police(100, SimTime::from_millis(i)) {
+                passed += 100;
+            }
+        }
+        assert!(passed < 25_000, "policer passed {passed} bytes");
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let mut t = SessionTable::new(cfg());
+        t.install(prefix(1), Bandwidth::from_mbps(1), SimTime::ZERO);
+        t.install(
+            Prefix::new(u32::from_be_bytes([198, 18, 1, 55]), 32),
+            Bandwidth::from_kbps(1),
+            SimTime::ZERO,
+        );
+        let s = t
+            .match_mut(u32::from_be_bytes([198, 18, 1, 55]))
+            .expect("matches");
+        assert_eq!(s.prefix.len, 32);
+    }
+
+    #[test]
+    fn table_respects_session_cap() {
+        let mut t = SessionTable::new(cfg());
+        assert!(t.install(prefix(1), Bandwidth::from_mbps(1), SimTime::ZERO));
+        assert!(t.install(prefix(2), Bandwidth::from_mbps(1), SimTime::ZERO));
+        assert!(!t.install(prefix(3), Bandwidth::from_mbps(1), SimTime::ZERO));
+        assert_eq!(t.len(), 2);
+        // Re-installing an existing prefix only re-targets.
+        assert!(t.install(prefix(1), Bandwidth::from_mbps(2), SimTime::ZERO));
+        assert_eq!(t.sessions()[0].limit, Bandwidth::from_mbps(2));
+    }
+
+    #[test]
+    fn release_requires_age_and_good_behaviour() {
+        let mut t = SessionTable::new(cfg());
+        t.install(prefix(1), Bandwidth::from_mbps(1), SimTime::ZERO);
+        // Too young at 5 s even if behaving.
+        assert!(t.revisit(SimTime::from_secs(5)).is_empty());
+        // At 20 s: old enough and silent since t=0 -> released.
+        let released = t.revisit(SimTime::from_secs(20));
+        assert_eq!(released, vec![prefix(1)]);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn misbehaving_session_is_retained() {
+        let mut t = SessionTable::new(cfg());
+        t.install(prefix(1), Bandwidth::from_kbps(8), SimTime::ZERO);
+        // Keep sending way above the limit.
+        for i in 0..30_000u64 {
+            let s = t
+                .match_mut(u32::from_be_bytes([198, 18, 1, 9]))
+                .expect("matches");
+            s.police(1000, SimTime::from_millis(i));
+        }
+        // Revisits observe the high rate and refresh last_misbehave.
+        for sec in [1u64, 6, 12, 18, 24, 29] {
+            t.revisit(SimTime::from_secs(sec));
+        }
+        assert_eq!(t.len(), 1, "misbehaving session must not be released");
+    }
+}

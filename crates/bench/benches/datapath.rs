@@ -1,0 +1,192 @@
+//! Data-path microbenchmarks: the per-packet costs that determine whether
+//! the reproduction's algorithms are line-rate-plausible — the clustering
+//! assignment (per distance/search), the queue disciplines, the sketch,
+//! and classic ACC's control-plane primitives.
+
+use accturbo_acc::{infer_aggregates, water_fill};
+use accturbo_clustering::{
+    ClusteringConfig, DistanceKind, FeatureSet, NominalMode, OnlineClusterer, SearchKind,
+};
+use accturbo_jaqen::CountMinSketch;
+use accturbo_netsim::{
+    ClassId, FifoQueue, Packet, PifoQueue, PriorityBank, QueueDiscipline, RedConfig, RedQueue,
+    SimTime,
+};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+
+fn packets(n: usize) -> Vec<Packet> {
+    let mut rng = StdRng::seed_from_u64(99);
+    (0..n)
+        .map(|i| {
+            let mut p = Packet::new(SimTime::from_micros(i as u64))
+                .with_src(Ipv4Addr::new(rng.gen(), rng.gen(), rng.gen(), rng.gen()))
+                .with_dst(Ipv4Addr::new(rng.gen(), rng.gen(), rng.gen(), rng.gen()))
+                .with_ports(rng.gen(), rng.gen_range(1..1024))
+                .with_size(rng.gen_range(64..1500))
+                .with_ttl(rng.gen_range(32..128))
+                .with_class(ClassId(rng.gen_range(0..2)));
+            p.seq = i as u64;
+            p
+        })
+        .collect()
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    let pkts = packets(10_000);
+    let mut group = c.benchmark_group("clustering_assign");
+    group.throughput(Throughput::Elements(pkts.len() as u64));
+    for (name, distance, search) in [
+        ("manhattan_fast", DistanceKind::Manhattan, SearchKind::Fast),
+        ("manhattan_exhaustive", DistanceKind::Manhattan, SearchKind::Exhaustive),
+        ("anime_fast", DistanceKind::Anime, SearchKind::Fast),
+        ("euclidean_fast", DistanceKind::Euclidean, SearchKind::Fast),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let mut cfg =
+                        ClusteringConfig::deployable(10, FeatureSet::simulation_default());
+                    cfg.distance = distance;
+                    cfg.search = search;
+                    cfg.nominal = NominalMode::Exact;
+                    OnlineClusterer::new(cfg)
+                },
+                |mut oc| {
+                    for p in &pkts {
+                        black_box(oc.assign(p));
+                    }
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_queues(c: &mut Criterion) {
+    let pkts = packets(10_000);
+    let mut group = c.benchmark_group("queues");
+    group.throughput(Throughput::Elements(pkts.len() as u64));
+
+    group.bench_function("fifo_enqueue_dequeue", |b| {
+        b.iter_batched(
+            || FifoQueue::new(64 * 1024 * 1024),
+            |mut q| {
+                let mut drops = Vec::new();
+                for p in &pkts {
+                    q.enqueue(p.clone(), SimTime::ZERO, &mut drops);
+                }
+                while q.dequeue(SimTime::ZERO).is_some() {}
+                black_box(drops.len())
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    group.bench_function("red_enqueue_dequeue", |b| {
+        b.iter_batched(
+            || {
+                RedQueue::new(RedConfig {
+                    cap_bytes: 64 * 1024 * 1024,
+                    min_th: 2_000.0,
+                    max_th: 8_000.0,
+                    ..RedConfig::default()
+                })
+            },
+            |mut q| {
+                let mut drops = Vec::new();
+                for p in &pkts {
+                    q.enqueue(p.clone(), p.arrival, &mut drops);
+                }
+                while q.dequeue(SimTime::ZERO).is_some() {}
+                black_box(drops.len())
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    group.bench_function("priority_bank_8q", |b| {
+        b.iter_batched(
+            || PriorityBank::new(8, 16 * 1024 * 1024),
+            |mut bank| {
+                let mut drops = Vec::new();
+                for (i, p) in pkts.iter().enumerate() {
+                    bank.enqueue_to(i % 8, p.clone(), SimTime::ZERO, &mut drops);
+                }
+                while bank.dequeue(SimTime::ZERO).is_some() {}
+                black_box(drops.len())
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    group.bench_function("pifo_ranked", |b| {
+        b.iter_batched(
+            || PifoQueue::new(64 * 1024 * 1024),
+            |mut q| {
+                let mut drops = Vec::new();
+                for p in &pkts {
+                    let rank = p.seq % 64;
+                    q.enqueue_ranked(p.clone(), rank, &mut drops);
+                }
+                while q.dequeue(SimTime::ZERO).is_some() {}
+                black_box(drops.len())
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_control_plane(c: &mut Criterion) {
+    let mut group = c.benchmark_group("control_plane");
+
+    // Count-min update (Jaqen's per-packet work).
+    let keys: Vec<u64> = {
+        let mut rng = StdRng::seed_from_u64(3);
+        (0..10_000).map(|_| rng.gen()).collect()
+    };
+    group.throughput(Throughput::Elements(keys.len() as u64));
+    group.bench_function("count_min_update", |b| {
+        b.iter_batched(
+            || CountMinSketch::new(3, 65_536),
+            |mut s| {
+                for &k in &keys {
+                    black_box(s.update(k, 1));
+                }
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    // Classic ACC's aggregate inference on a realistic drop history.
+    let dropped: Vec<u32> = {
+        let mut rng = StdRng::seed_from_u64(4);
+        (0..20_000)
+            .map(|i| {
+                if i % 4 == 0 {
+                    // hot /24
+                    u32::from_be_bytes([198, 18, 5, rng.gen()])
+                } else {
+                    rng.gen()
+                }
+            })
+            .collect()
+    };
+    group.bench_function("acc_infer_aggregates", |b| {
+        b.iter(|| black_box(infer_aggregates(&dropped, 5, 0.9)))
+    });
+
+    group.bench_function("acc_water_fill", |b| {
+        let rates: Vec<f64> = (0..64).map(|i| 1e9 / (i + 1) as f64).collect();
+        b.iter(|| black_box(water_fill(&rates, 5e8)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_clustering, bench_queues, bench_control_plane);
+criterion_main!(benches);

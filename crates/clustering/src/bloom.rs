@@ -1,0 +1,144 @@
+//! Bloom-filter admission lists.
+//!
+//! The Tofino prototype stores a cluster's nominal-feature value sets as
+//! bloom-filter admission lists (paper §6): a value is "in" the cluster if
+//! its filter bits are set. False positives make clusters *appear* to
+//! already contain a value — a hardware-fidelity behaviour the simulation
+//! can reproduce or avoid (see `NominalSet` in the range module).
+
+/// A fixed-size bloom filter over `u32` values with `k` hash functions.
+#[derive(Debug, Clone)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    num_bits: u64,
+    k: u32,
+    entries: u64,
+}
+
+impl BloomFilter {
+    /// Creates a filter with `num_bits` bits and `k` hash functions.
+    ///
+    /// Panics when either parameter is zero.
+    pub fn new(num_bits: u64, k: u32) -> Self {
+        assert!(num_bits > 0, "bloom filter needs at least one bit");
+        assert!(k > 0, "bloom filter needs at least one hash");
+        BloomFilter {
+            bits: vec![0; num_bits.div_ceil(64) as usize],
+            num_bits,
+            k,
+            entries: 0,
+        }
+    }
+
+    /// SplitMix64 finalizer — a solid, dependency-free 64-bit mixer.
+    fn mix(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+
+    /// The `i`-th bit index for `value` (double hashing).
+    fn bit_index(&self, value: u32, i: u32) -> u64 {
+        let h1 = Self::mix(value as u64);
+        let h2 = Self::mix((value as u64) ^ 0xDEAD_BEEF_CAFE_F00D) | 1;
+        h1.wrapping_add(h2.wrapping_mul(i as u64)) % self.num_bits
+    }
+
+    /// Inserts `value`.
+    pub fn insert(&mut self, value: u32) {
+        for i in 0..self.k {
+            let b = self.bit_index(value, i);
+            self.bits[(b / 64) as usize] |= 1 << (b % 64);
+        }
+        self.entries += 1;
+    }
+
+    /// True when `value` may have been inserted (false positives possible,
+    /// false negatives impossible).
+    pub fn contains(&self, value: u32) -> bool {
+        (0..self.k).all(|i| {
+            let b = self.bit_index(value, i);
+            self.bits[(b / 64) as usize] & (1 << (b % 64)) != 0
+        })
+    }
+
+    /// Clears the filter (the periodic reset of §7.2.3 / Fig. 8b).
+    pub fn reset(&mut self) {
+        self.bits.iter_mut().for_each(|w| *w = 0);
+        self.entries = 0;
+    }
+
+    /// Number of insertions since the last reset (duplicates counted).
+    pub fn entries(&self) -> u64 {
+        self.entries
+    }
+
+    /// Fraction of bits set — a saturation indicator.
+    pub fn fill_ratio(&self) -> f64 {
+        let set: u64 = self.bits.iter().map(|w| w.count_ones() as u64).sum();
+        set as f64 / self.num_bits as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = BloomFilter::new(1024, 3);
+        for v in 0..100u32 {
+            f.insert(v * 7919);
+        }
+        for v in 0..100u32 {
+            assert!(f.contains(v * 7919));
+        }
+    }
+
+    #[test]
+    fn mostly_rejects_absent_values_when_sized_right() {
+        let mut f = BloomFilter::new(4096, 3);
+        for v in 0..100u32 {
+            f.insert(v);
+        }
+        let fp = (1000..11_000u32).filter(|&v| f.contains(v)).count();
+        assert!(fp < 100, "false positive count {fp} too high");
+    }
+
+    #[test]
+    fn saturated_filter_accepts_everything() {
+        let mut f = BloomFilter::new(64, 2);
+        for v in 0..10_000u32 {
+            f.insert(v);
+        }
+        assert!(f.fill_ratio() > 0.99);
+        assert!((50_000..50_100u32).all(|v| f.contains(v)));
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut f = BloomFilter::new(1024, 3);
+        f.insert(42);
+        assert!(f.contains(42));
+        f.reset();
+        assert!(!f.contains(42));
+        assert_eq!(f.entries(), 0);
+        assert_eq!(f.fill_ratio(), 0.0);
+    }
+
+    #[test]
+    fn entries_counts_insertions() {
+        let mut f = BloomFilter::new(1024, 3);
+        f.insert(1);
+        f.insert(1);
+        f.insert(2);
+        assert_eq!(f.entries(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bit")]
+    fn zero_bits_rejected() {
+        let _ = BloomFilter::new(0, 1);
+    }
+}

@@ -1,0 +1,470 @@
+//! Cluster representations.
+//!
+//! The paper studies two representations (§4.2.2): *range-based* (a
+//! `[min, max]` interval per ordinal feature plus a value set per nominal
+//! feature — what ACC-Turbo deploys) and *center-based* (a centroid moved
+//! toward each new point by a learning rate — the Euclidean baseline).
+
+use crate::bloom::BloomFilter;
+use crate::feature::{FeatureKind, FeatureSet};
+use std::collections::HashSet;
+
+/// How nominal-feature value sets are stored.
+#[derive(Debug, Clone)]
+pub enum NominalMode {
+    /// Exact hash sets (simulation; unlimited resources).
+    Exact,
+    /// Bloom-filter admission lists, as on Tofino (§6). False positives
+    /// make values appear already admitted.
+    Bloom {
+        /// Bits per filter.
+        bits: u64,
+        /// Hash functions per filter.
+        hashes: u32,
+    },
+}
+
+/// A set of admitted values for one nominal feature.
+#[derive(Debug, Clone)]
+pub enum NominalSet {
+    /// Exact membership.
+    Exact(HashSet<u32>),
+    /// Approximate membership with a distinct-insert counter.
+    Bloom {
+        /// The admission list.
+        filter: BloomFilter,
+        /// Number of values admitted while not already present (an
+        /// estimate of the set's cardinality).
+        distinct: u64,
+    },
+}
+
+impl NominalSet {
+    fn new(mode: &NominalMode) -> Self {
+        match mode {
+            NominalMode::Exact => NominalSet::Exact(HashSet::new()),
+            NominalMode::Bloom { bits, hashes } => NominalSet::Bloom {
+                filter: BloomFilter::new(*bits, *hashes),
+                distinct: 0,
+            },
+        }
+    }
+
+    /// True when `value` is (or appears to be) admitted.
+    pub fn contains(&self, value: u32) -> bool {
+        match self {
+            NominalSet::Exact(s) => s.contains(&value),
+            NominalSet::Bloom { filter, .. } => filter.contains(value),
+        }
+    }
+
+    /// Admits `value`.
+    pub fn insert(&mut self, value: u32) {
+        match self {
+            NominalSet::Exact(s) => {
+                s.insert(value);
+            }
+            NominalSet::Bloom { filter, distinct } => {
+                if !filter.contains(value) {
+                    *distinct += 1;
+                }
+                filter.insert(value);
+            }
+        }
+    }
+
+    /// The (estimated) number of distinct admitted values — the nominal
+    /// feature's cost `δ_f(a) = |f(a)|` of Def. 4.1.
+    pub fn cardinality(&self) -> u64 {
+        match self {
+            NominalSet::Exact(s) => s.len() as u64,
+            NominalSet::Bloom { distinct, .. } => *distinct,
+        }
+    }
+
+    /// Unions `other` into `self` (used by exhaustive-search merges).
+    pub fn union_with(&mut self, other: &NominalSet) {
+        match (self, other) {
+            (NominalSet::Exact(a), NominalSet::Exact(b)) => {
+                a.extend(b.iter().copied());
+            }
+            _ => unreachable!("mixed nominal modes never occur within one clusterer"),
+        }
+    }
+}
+
+/// One per-feature dimension of a range-based cluster.
+#[derive(Debug, Clone)]
+pub enum Dim {
+    /// `[min, max]` interval for an ordinal feature.
+    Range {
+        /// Smallest admitted value.
+        min: u32,
+        /// Largest admitted value.
+        max: u32,
+    },
+    /// Value set for a nominal feature.
+    Set(NominalSet),
+}
+
+/// A range-based cluster (the representation ACC-Turbo deploys).
+#[derive(Debug, Clone)]
+pub struct RangeCluster {
+    dims: Vec<Dim>,
+}
+
+impl RangeCluster {
+    /// Seeds a cluster from a single feature vector.
+    pub fn seed(features: &FeatureSet, values: &[u32], nominal: &NominalMode) -> Self {
+        assert_eq!(features.len(), values.len(), "feature/value arity mismatch");
+        let dims = features
+            .specs()
+            .iter()
+            .zip(values)
+            .map(|(spec, &v)| match spec.kind {
+                FeatureKind::Ordinal => Dim::Range { min: v, max: v },
+                FeatureKind::Nominal => {
+                    let mut set = NominalSet::new(nominal);
+                    set.insert(v);
+                    Dim::Set(set)
+                }
+            })
+            .collect();
+        RangeCluster { dims }
+    }
+
+    /// The per-feature dimensions.
+    pub fn dims(&self) -> &[Dim] {
+        &self.dims
+    }
+
+    /// Manhattan distance from a point to this cluster (paper Eq. 5): the
+    /// sum over ordinal features of the gap to the nearest range edge,
+    /// plus 1 for every nominal feature whose value is not admitted.
+    /// Zero means the point is covered.
+    pub fn manhattan(&self, values: &[u32]) -> u64 {
+        self.dims
+            .iter()
+            .zip(values)
+            .map(|(dim, &v)| match dim {
+                Dim::Range { min, max } => {
+                    if v < *min {
+                        (*min - v) as u64
+                    } else if v > *max {
+                        (v - *max) as u64
+                    } else {
+                        0
+                    }
+                }
+                Dim::Set(set) => u64::from(!set.contains(v)),
+            })
+            .sum()
+    }
+
+    /// The cluster's Manhattan cost `δ''(c)` (paper Eq. 3): the sum of
+    /// range extents and nominal cardinalities.
+    pub fn manhattan_cost(&self) -> u64 {
+        self.dims
+            .iter()
+            .map(|dim| match dim {
+                Dim::Range { min, max } => (max - min) as u64,
+                Dim::Set(set) => set.cardinality(),
+            })
+            .sum()
+    }
+
+    /// The cluster's Anime cost (paper Eq. 1): the product of per-feature
+    /// extents. We use `extent + 1` per ordinal feature (the number of
+    /// representable values) so fresh single-point clusters have volume 1
+    /// rather than a degenerate 0 (see DESIGN.md §4). Computed in `f64`
+    /// because the exact value needs up to 2^157 (paper §4.2.3).
+    pub fn anime_cost(&self) -> f64 {
+        self.dims
+            .iter()
+            .map(|dim| match dim {
+                Dim::Range { min, max } => (max - min) as f64 + 1.0,
+                Dim::Set(set) => set.cardinality().max(1) as f64,
+            })
+            .product()
+    }
+
+    /// Anime distance from a point: the volume increase caused by
+    /// admitting it, `δ(p ∪ c) − δ(c)`.
+    pub fn anime(&self, values: &[u32]) -> f64 {
+        let grown: f64 = self
+            .dims
+            .iter()
+            .zip(values)
+            .map(|(dim, &v)| match dim {
+                Dim::Range { min, max } => {
+                    let min = (*min).min(v);
+                    let max = (*max).max(v);
+                    (max - min) as f64 + 1.0
+                }
+                Dim::Set(set) => {
+                    let card = set.cardinality().max(1);
+                    if set.contains(v) {
+                        card as f64
+                    } else {
+                        (card + 1) as f64
+                    }
+                }
+            })
+            .product();
+        grown - self.anime_cost()
+    }
+
+    /// Expands the cluster to cover `values` (Alg. 1's `UpdateCluster`).
+    pub fn admit(&mut self, values: &[u32]) {
+        for (dim, &v) in self.dims.iter_mut().zip(values) {
+            match dim {
+                Dim::Range { min, max } => {
+                    if v < *min {
+                        *min = v;
+                    }
+                    if v > *max {
+                        *max = v;
+                    }
+                }
+                Dim::Set(set) => set.insert(v),
+            }
+        }
+    }
+
+    /// True when the cluster covers `values` exactly (distance zero).
+    pub fn covers(&self, values: &[u32]) -> bool {
+        self.manhattan(values) == 0
+    }
+
+    /// Merges `other` into `self` (exhaustive search, §4.2.1): ranges
+    /// become the convex hull, sets the union.
+    pub fn merge(&mut self, other: &RangeCluster) {
+        for (a, b) in self.dims.iter_mut().zip(&other.dims) {
+            match (a, b) {
+                (Dim::Range { min, max }, Dim::Range { min: m2, max: x2 }) => {
+                    *min = (*min).min(*m2);
+                    *max = (*max).max(*x2);
+                }
+                (Dim::Set(sa), Dim::Set(sb)) => sa.union_with(sb),
+                _ => unreachable!("dimension kinds are fixed by the feature set"),
+            }
+        }
+    }
+
+    /// Manhattan cost increase of merging `self` and `other` compared to
+    /// keeping them separate: `δ(ci ∪ cj) − (δ(ci) + δ(cj))`.
+    pub fn manhattan_merge_cost(&self, other: &RangeCluster) -> i64 {
+        let mut merged_cost = 0i64;
+        for (a, b) in self.dims.iter().zip(&other.dims) {
+            merged_cost += match (a, b) {
+                (Dim::Range { min, max }, Dim::Range { min: m2, max: x2 }) => {
+                    ((*max).max(*x2) - (*min).min(*m2)) as i64
+                }
+                (Dim::Set(sa), Dim::Set(sb)) => {
+                    // Upper bound |A ∪ B| ≤ |A| + |B| — exact when disjoint.
+                    (sa.cardinality() + sb.cardinality()) as i64
+                }
+                _ => unreachable!("dimension kinds are fixed by the feature set"),
+            };
+        }
+        merged_cost - self.manhattan_cost() as i64 - other.manhattan_cost() as i64
+    }
+
+    /// Anime cost increase of merging.
+    pub fn anime_merge_cost(&self, other: &RangeCluster) -> f64 {
+        let merged: f64 = self
+            .dims
+            .iter()
+            .zip(&other.dims)
+            .map(|(a, b)| match (a, b) {
+                (Dim::Range { min, max }, Dim::Range { min: m2, max: x2 }) => {
+                    ((*max).max(*x2) - (*min).min(*m2)) as f64 + 1.0
+                }
+                (Dim::Set(sa), Dim::Set(sb)) => {
+                    (sa.cardinality() + sb.cardinality()).max(1) as f64
+                }
+                _ => unreachable!("dimension kinds are fixed by the feature set"),
+            })
+            .product();
+        merged - self.anime_cost() - other.anime_cost()
+    }
+}
+
+/// A center-based cluster (the Euclidean baseline of §4.2.2).
+#[derive(Debug, Clone)]
+pub struct CenterCluster {
+    center: Vec<f64>,
+    /// Points absorbed so far (used for weighted merges).
+    pub weight: u64,
+}
+
+impl CenterCluster {
+    /// Seeds a centroid at `values`.
+    pub fn seed(values: &[u32]) -> Self {
+        CenterCluster {
+            center: values.iter().map(|&v| v as f64).collect(),
+            weight: 1,
+        }
+    }
+
+    /// The centroid coordinates.
+    pub fn center(&self) -> &[f64] {
+        &self.center
+    }
+
+    /// Squared Euclidean distance from a point to the centroid (Eq. 2).
+    pub fn euclidean_sq(&self, values: &[u32]) -> f64 {
+        self.center
+            .iter()
+            .zip(values)
+            .map(|(c, &v)| {
+                let d = v as f64 - c;
+                d * d
+            })
+            .sum()
+    }
+
+    /// Moves the centroid toward `values` by `learning_rate` (§4.2.2's
+    /// "pre-defined learning rate").
+    pub fn admit(&mut self, values: &[u32], learning_rate: f64) {
+        for (c, &v) in self.center.iter_mut().zip(values) {
+            *c += learning_rate * (v as f64 - *c);
+        }
+        self.weight += 1;
+    }
+
+    /// Merges `other` into `self` as the weight-averaged centroid.
+    pub fn merge(&mut self, other: &CenterCluster) {
+        let total = (self.weight + other.weight) as f64;
+        for (c, o) in self.center.iter_mut().zip(&other.center) {
+            *c = (*c * self.weight as f64 + *o * other.weight as f64) / total;
+        }
+        self.weight += other.weight;
+    }
+
+    /// Squared distance between centroids (the exhaustive merge cost for
+    /// center-based representations).
+    pub fn merge_cost(&self, other: &CenterCluster) -> f64 {
+        self.center
+            .iter()
+            .zip(&other.center)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feature::{Feature, FeatureSpec};
+
+    fn feats() -> FeatureSet {
+        // Two ordinal (dst bytes), one nominal (dport).
+        FeatureSet::new(vec![
+            FeatureSpec::ordinal(Feature::DstIpByte(2)),
+            FeatureSpec::ordinal(Feature::DstIpByte(3)),
+            FeatureSpec::natural(Feature::DstPort),
+        ])
+    }
+
+    #[test]
+    fn seed_covers_itself() {
+        let c = RangeCluster::seed(&feats(), &[5, 10, 80], &NominalMode::Exact);
+        assert!(c.covers(&[5, 10, 80]));
+        assert_eq!(c.manhattan(&[5, 10, 80]), 0);
+        assert_eq!(c.manhattan_cost(), 1); // zero extents + one port
+    }
+
+    #[test]
+    fn manhattan_distance_is_gap_to_nearest_edge() {
+        let mut c = RangeCluster::seed(&feats(), &[5, 10, 80], &NominalMode::Exact);
+        c.admit(&[8, 20, 80]);
+        // Ranges now [5,8] and [10,20]; port set {80}.
+        assert_eq!(c.manhattan(&[3, 25, 80]), 2 + 5);
+        assert_eq!(c.manhattan(&[6, 15, 443]), 1); // nominal miss costs 1
+        assert_eq!(c.manhattan(&[5, 20, 80]), 0);
+    }
+
+    #[test]
+    fn admit_expands_to_cover() {
+        let mut c = RangeCluster::seed(&feats(), &[5, 10, 80], &NominalMode::Exact);
+        assert!(!c.covers(&[3, 25, 443]));
+        c.admit(&[3, 25, 443]);
+        assert!(c.covers(&[3, 25, 443]));
+        assert!(c.covers(&[4, 12, 80]), "hull covers in-between points");
+    }
+
+    #[test]
+    fn manhattan_cost_tracks_extents_and_cardinality() {
+        let mut c = RangeCluster::seed(&feats(), &[5, 10, 80], &NominalMode::Exact);
+        c.admit(&[8, 20, 443]);
+        assert_eq!(c.manhattan_cost(), 3 + 10 + 2);
+    }
+
+    #[test]
+    fn anime_cost_is_volume() {
+        let mut c = RangeCluster::seed(&feats(), &[5, 10, 80], &NominalMode::Exact);
+        assert_eq!(c.anime_cost(), 1.0);
+        c.admit(&[8, 20, 443]);
+        // (3+1) * (10+1) * 2 = 88.
+        assert_eq!(c.anime_cost(), 88.0);
+    }
+
+    #[test]
+    fn anime_distance_is_volume_increase() {
+        let c = RangeCluster::seed(&feats(), &[5, 10, 80], &NominalMode::Exact);
+        // Admitting (6, 10, 80): volume (1+1)*1*1 = 2, increase 1.
+        assert_eq!(c.anime(&[6, 10, 80]), 1.0);
+        // A covered point increases nothing.
+        assert_eq!(c.anime(&[5, 10, 80]), 0.0);
+    }
+
+    #[test]
+    fn merge_takes_hull_and_union() {
+        let mut a = RangeCluster::seed(&feats(), &[5, 10, 80], &NominalMode::Exact);
+        let b = RangeCluster::seed(&feats(), &[9, 2, 443], &NominalMode::Exact);
+        a.merge(&b);
+        assert!(a.covers(&[7, 5, 80]));
+        assert!(a.covers(&[9, 2, 443]));
+        assert_eq!(a.manhattan_cost(), 4 + 8 + 2);
+    }
+
+    #[test]
+    fn merge_cost_reflects_separation() {
+        let near_a = RangeCluster::seed(&feats(), &[5, 10, 80], &NominalMode::Exact);
+        let near_b = RangeCluster::seed(&feats(), &[6, 11, 80], &NominalMode::Exact);
+        let far = RangeCluster::seed(&feats(), &[200, 250, 9999], &NominalMode::Exact);
+        assert!(near_a.manhattan_merge_cost(&near_b) < near_a.manhattan_merge_cost(&far));
+        assert!(near_a.anime_merge_cost(&near_b) < near_a.anime_merge_cost(&far));
+    }
+
+    #[test]
+    fn bloom_mode_admits_with_false_positive_semantics() {
+        let mode = NominalMode::Bloom { bits: 1024, hashes: 3 };
+        let mut c = RangeCluster::seed(&feats(), &[5, 10, 80], &mode);
+        c.admit(&[5, 10, 443]);
+        assert!(c.covers(&[5, 10, 80]));
+        assert!(c.covers(&[5, 10, 443]));
+        assert_eq!(c.manhattan_cost(), 2); // two distinct ports admitted
+    }
+
+    #[test]
+    fn center_cluster_moves_toward_points() {
+        let mut c = CenterCluster::seed(&[0, 0, 0]);
+        c.admit(&[10, 10, 10], 0.5);
+        assert_eq!(c.center(), &[5.0, 5.0, 5.0]);
+        assert_eq!(c.euclidean_sq(&[5, 5, 5]), 0.0);
+        assert_eq!(c.euclidean_sq(&[8, 5, 5]), 9.0);
+    }
+
+    #[test]
+    fn center_merge_is_weighted() {
+        let mut a = CenterCluster::seed(&[0]);
+        a.admit(&[0], 0.1); // weight 2, center 0
+        a.admit(&[0], 0.1); // weight 3
+        let b = CenterCluster::seed(&[30]); // weight 1
+        a.merge(&b);
+        assert_eq!(a.weight, 4);
+        assert!((a.center()[0] - 7.5).abs() < 1e-9);
+    }
+}

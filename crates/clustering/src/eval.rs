@@ -1,0 +1,244 @@
+//! Clustering-quality metrics: purity and recall (paper §8.1).
+//!
+//! Purity: label every cluster majority-benign or majority-malicious by
+//! its packet counts, count the packets matching their cluster's label,
+//! divide by the total. Recall of benign (malicious) traffic: the fraction
+//! of benign (malicious) packets that landed in majority-benign
+//! (majority-malicious) clusters. The paper computes these per one-minute
+//! window and averages over windows containing both kinds of traffic;
+//! [`WindowedEval`] implements exactly that protocol.
+
+use accturbo_netsim::{ClassId, SimDuration, SimTime};
+
+/// Per-cluster benign/malicious counts for one evaluation window.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterEval {
+    /// `counts[cluster] = (benign, malicious)` packet counts.
+    counts: Vec<(u64, u64)>,
+}
+
+impl ClusterEval {
+    /// An empty evaluation.
+    pub fn new() -> Self {
+        ClusterEval::default()
+    }
+
+    /// Records a packet of ground-truth `class` assigned to `cluster`.
+    pub fn record(&mut self, cluster: usize, class: ClassId) {
+        if self.counts.len() <= cluster {
+            self.counts.resize(cluster + 1, (0, 0));
+        }
+        if class.is_benign() {
+            self.counts[cluster].0 += 1;
+        } else {
+            self.counts[cluster].1 += 1;
+        }
+    }
+
+    /// Total packets recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().map(|(b, m)| b + m).sum()
+    }
+
+    /// True when both benign and malicious packets were recorded (the
+    /// paper only scores such windows).
+    pub fn is_mixed(&self) -> bool {
+        let benign: u64 = self.counts.iter().map(|(b, _)| b).sum();
+        let malicious: u64 = self.counts.iter().map(|(_, m)| m).sum();
+        benign > 0 && malicious > 0
+    }
+
+    /// Purity in percent (0–100). Zero when nothing was recorded.
+    pub fn purity(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let matching: u64 = self.counts.iter().map(|&(b, m)| b.max(m)).sum();
+        100.0 * matching as f64 / total as f64
+    }
+
+    /// Recall of benign traffic in percent: benign packets in
+    /// majority-benign clusters over all benign packets.
+    pub fn recall_benign(&self) -> f64 {
+        let benign_total: u64 = self.counts.iter().map(|(b, _)| b).sum();
+        if benign_total == 0 {
+            return 0.0;
+        }
+        let captured: u64 = self
+            .counts
+            .iter()
+            .filter(|&&(b, m)| b >= m && b > 0)
+            .map(|(b, _)| b)
+            .sum();
+        100.0 * captured as f64 / benign_total as f64
+    }
+
+    /// Recall of malicious traffic in percent.
+    pub fn recall_malicious(&self) -> f64 {
+        let mal_total: u64 = self.counts.iter().map(|(_, m)| m).sum();
+        if mal_total == 0 {
+            return 0.0;
+        }
+        let captured: u64 = self
+            .counts
+            .iter()
+            .filter(|&&(b, m)| m > b)
+            .map(|(_, m)| m)
+            .sum();
+        100.0 * captured as f64 / mal_total as f64
+    }
+}
+
+/// Averaged quality over an evaluation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct QualitySummary {
+    /// Mean purity over mixed windows, percent.
+    pub purity: f64,
+    /// Mean benign recall over mixed windows, percent.
+    pub recall_benign: f64,
+    /// Mean malicious recall over mixed windows, percent.
+    pub recall_malicious: f64,
+    /// Number of mixed windows scored.
+    pub windows: usize,
+}
+
+/// Windowed evaluation: a fresh [`ClusterEval`] per fixed-width window,
+/// summarized as the mean over windows that contained both benign and
+/// malicious traffic (the paper's protocol, §8.1).
+#[derive(Debug, Clone)]
+pub struct WindowedEval {
+    width: SimDuration,
+    current_window: u64,
+    current: ClusterEval,
+    finished: Vec<ClusterEval>,
+}
+
+impl WindowedEval {
+    /// Creates an evaluator with windows of `width` (the paper uses 1 min).
+    pub fn new(width: SimDuration) -> Self {
+        assert!(!width.is_zero(), "window width must be positive");
+        WindowedEval {
+            width,
+            current_window: 0,
+            current: ClusterEval::new(),
+            finished: Vec::new(),
+        }
+    }
+
+    /// Records a packet observed at `now`, assigned to `cluster`, with
+    /// ground truth `class`. Must be called in nondecreasing time order.
+    pub fn record(&mut self, now: SimTime, cluster: usize, class: ClassId) {
+        let window = now.bucket(self.width);
+        if window != self.current_window {
+            let done = std::mem::take(&mut self.current);
+            if done.total() > 0 {
+                self.finished.push(done);
+            }
+            self.current_window = window;
+        }
+        self.current.record(cluster, class);
+    }
+
+    /// Finalizes and summarizes. Windows with only one traffic kind are
+    /// skipped, as in the paper.
+    pub fn finish(mut self) -> QualitySummary {
+        if self.current.total() > 0 {
+            self.finished.push(self.current);
+        }
+        let mixed: Vec<&ClusterEval> = self.finished.iter().filter(|e| e.is_mixed()).collect();
+        if mixed.is_empty() {
+            return QualitySummary::default();
+        }
+        let n = mixed.len() as f64;
+        QualitySummary {
+            purity: mixed.iter().map(|e| e.purity()).sum::<f64>() / n,
+            recall_benign: mixed.iter().map(|e| e.recall_benign()).sum::<f64>() / n,
+            recall_malicious: mixed.iter().map(|e| e.recall_malicious()).sum::<f64>() / n,
+            windows: mixed.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_split_scores_100() {
+        let mut e = ClusterEval::new();
+        for _ in 0..10 {
+            e.record(0, ClassId::BENIGN);
+            e.record(1, ClassId(1));
+        }
+        assert_eq!(e.purity(), 100.0);
+        assert_eq!(e.recall_benign(), 100.0);
+        assert_eq!(e.recall_malicious(), 100.0);
+        assert!(e.is_mixed());
+    }
+
+    #[test]
+    fn fully_mixed_cluster_scores_50() {
+        let mut e = ClusterEval::new();
+        for _ in 0..10 {
+            e.record(0, ClassId::BENIGN);
+            e.record(0, ClassId(1));
+        }
+        assert_eq!(e.purity(), 50.0);
+        // Cluster 0 ties benign: labeled benign (b >= m), so benign recall
+        // is 100 and malicious recall 0.
+        assert_eq!(e.recall_benign(), 100.0);
+        assert_eq!(e.recall_malicious(), 0.0);
+    }
+
+    #[test]
+    fn majority_labeling() {
+        let mut e = ClusterEval::new();
+        // Cluster 0: 8 benign, 2 malicious -> benign.
+        for _ in 0..8 {
+            e.record(0, ClassId::BENIGN);
+        }
+        for _ in 0..2 {
+            e.record(0, ClassId(3));
+        }
+        // Cluster 1: 1 benign, 9 malicious -> malicious.
+        e.record(1, ClassId::BENIGN);
+        for _ in 0..9 {
+            e.record(1, ClassId(3));
+        }
+        assert!((e.purity() - 85.0).abs() < 1e-9);
+        assert!((e.recall_benign() - 8.0 / 9.0 * 100.0).abs() < 1e-9);
+        assert!((e.recall_malicious() - 9.0 / 11.0 * 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_kind_window_is_not_mixed() {
+        let mut e = ClusterEval::new();
+        e.record(0, ClassId::BENIGN);
+        assert!(!e.is_mixed());
+    }
+
+    #[test]
+    fn windowed_eval_skips_pure_windows() {
+        let mut we = WindowedEval::new(SimDuration::from_secs(60));
+        // Window 0: benign only -> skipped.
+        we.record(SimTime::from_secs(10), 0, ClassId::BENIGN);
+        // Window 1: mixed, perfect split.
+        we.record(SimTime::from_secs(70), 0, ClassId::BENIGN);
+        we.record(SimTime::from_secs(75), 1, ClassId(1));
+        // Window 2: mixed, fully confused.
+        we.record(SimTime::from_secs(130), 0, ClassId::BENIGN);
+        we.record(SimTime::from_secs(135), 0, ClassId(1));
+        let s = we.finish();
+        assert_eq!(s.windows, 2);
+        assert!((s.purity - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_eval_is_zero() {
+        let we = WindowedEval::new(SimDuration::from_secs(60));
+        let s = we.finish();
+        assert_eq!(s, QualitySummary::default());
+        assert_eq!(ClusterEval::new().purity(), 0.0);
+    }
+}

@@ -1,0 +1,297 @@
+//! Packet features.
+//!
+//! The paper (§4.1) models a packet as a set of features, one per header
+//! field, split into *ordinal* features (value proximity implies
+//! similarity: addresses, lengths, TTL) and *nominal* features (proximity
+//! is meaningless: ports, protocol). A [`FeatureSet`] selects which fields
+//! to cluster on and how to treat each; the hardware profile of §7.1, for
+//! example, uses the last two bytes of the destination address plus both
+//! ports, all handled as ordinal ranges as in the P4 prototype.
+
+use accturbo_netsim::Packet;
+use std::fmt;
+
+/// A clusterable header field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Feature {
+    /// Full 32-bit source address.
+    SrcIp,
+    /// Full 32-bit destination address.
+    DstIp,
+    /// Byte `i` (0 = most significant) of the source address.
+    SrcIpByte(u8),
+    /// Byte `i` (0 = most significant) of the destination address.
+    DstIpByte(u8),
+    /// Transport source port.
+    SrcPort,
+    /// Transport destination port.
+    DstPort,
+    /// IP time-to-live.
+    Ttl,
+    /// IP total length.
+    IpLen,
+    /// IP protocol number.
+    Proto,
+    /// IP fragment offset.
+    FragOffset,
+    /// IP identification.
+    IpId,
+}
+
+impl Feature {
+    /// Extracts this feature's value from a packet.
+    pub fn extract(self, pkt: &Packet) -> u32 {
+        match self {
+            Feature::SrcIp => u32::from(pkt.src),
+            Feature::DstIp => u32::from(pkt.dst),
+            Feature::SrcIpByte(i) => {
+                assert!(i < 4, "IP byte index out of range");
+                pkt.src.octets()[i as usize] as u32
+            }
+            Feature::DstIpByte(i) => {
+                assert!(i < 4, "IP byte index out of range");
+                pkt.dst.octets()[i as usize] as u32
+            }
+            Feature::SrcPort => pkt.sport as u32,
+            Feature::DstPort => pkt.dport as u32,
+            Feature::Ttl => pkt.ttl as u32,
+            Feature::IpLen => pkt.ip_len as u32,
+            Feature::Proto => pkt.proto as u32,
+            Feature::FragOffset => pkt.frag_offset as u32,
+            Feature::IpId => pkt.ip_id as u32,
+        }
+    }
+
+    /// The natural kind of this feature per the paper's taxonomy (§4.1):
+    /// addresses, lengths, TTL and offsets are ordinal; ports and
+    /// protocol are nominal.
+    pub fn natural_kind(self) -> FeatureKind {
+        match self {
+            Feature::SrcPort | Feature::DstPort | Feature::Proto => FeatureKind::Nominal,
+            _ => FeatureKind::Ordinal,
+        }
+    }
+
+    /// The size of this feature's value space (number of distinct values).
+    pub fn space(self) -> u64 {
+        match self {
+            Feature::SrcIp | Feature::DstIp => 1 << 32,
+            Feature::SrcIpByte(_) | Feature::DstIpByte(_) => 1 << 8,
+            Feature::SrcPort | Feature::DstPort | Feature::IpLen | Feature::IpId => 1 << 16,
+            Feature::Ttl | Feature::Proto => 1 << 8,
+            Feature::FragOffset => 1 << 13,
+        }
+    }
+
+    /// Short display name used in Fig. 9b.
+    pub fn name(self) -> String {
+        match self {
+            Feature::SrcIp => "saddr".into(),
+            Feature::DstIp => "daddr".into(),
+            Feature::SrcIpByte(i) => format!("saddr[{i}]"),
+            Feature::DstIpByte(i) => format!("daddr[{i}]"),
+            Feature::SrcPort => "sport".into(),
+            Feature::DstPort => "dport".into(),
+            Feature::Ttl => "ttl".into(),
+            Feature::IpLen => "len".into(),
+            Feature::Proto => "proto".into(),
+            Feature::FragOffset => "f.off.".into(),
+            Feature::IpId => "id".into(),
+        }
+    }
+}
+
+impl fmt::Display for Feature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// How a feature participates in clustering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FeatureKind {
+    /// Represented as a `[min, max]` range; distance is range extension.
+    Ordinal,
+    /// Represented as a set of admitted values; distance is membership.
+    Nominal,
+}
+
+/// A feature together with the kind it is treated as.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeatureSpec {
+    /// The header field.
+    pub feature: Feature,
+    /// Ordinal or nominal handling.
+    pub kind: FeatureKind,
+}
+
+impl FeatureSpec {
+    /// A spec using the feature's natural kind.
+    pub fn natural(feature: Feature) -> Self {
+        FeatureSpec {
+            feature,
+            kind: feature.natural_kind(),
+        }
+    }
+
+    /// A spec forcing ordinal (range) handling, as the Tofino prototype
+    /// does for ports.
+    pub fn ordinal(feature: Feature) -> Self {
+        FeatureSpec {
+            feature,
+            kind: FeatureKind::Ordinal,
+        }
+    }
+}
+
+/// An ordered list of feature specs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FeatureSet {
+    specs: Vec<FeatureSpec>,
+}
+
+impl FeatureSet {
+    /// Builds a feature set. Panics when empty.
+    pub fn new(specs: Vec<FeatureSpec>) -> Self {
+        assert!(!specs.is_empty(), "feature set must be non-empty");
+        FeatureSet { specs }
+    }
+
+    /// The hardware profile of §7.1: the last two bytes of the destination
+    /// address (ordinal ranges) plus the source and destination ports,
+    /// treated as nominal per the paper's taxonomy (§4.1) and stored as
+    /// bloom-filter admission lists on hardware (§6).
+    pub fn hardware_fig6() -> Self {
+        FeatureSet::new(vec![
+            FeatureSpec::ordinal(Feature::DstIpByte(2)),
+            FeatureSpec::ordinal(Feature::DstIpByte(3)),
+            FeatureSpec::natural(Feature::SrcPort),
+            FeatureSpec::natural(Feature::DstPort),
+        ])
+    }
+
+    /// The §7.2 profile: the four bytes of the destination address.
+    pub fn hardware_dst_bytes() -> Self {
+        FeatureSet::new(
+            (0..4)
+                .map(|i| FeatureSpec::ordinal(Feature::DstIpByte(i)))
+                .collect(),
+        )
+    }
+
+    /// The simulation default of §8: every byte of source and destination
+    /// address, both ports, TTL, and IP length (all ordinal, matching the
+    /// NetBench configuration).
+    pub fn simulation_default() -> Self {
+        let mut specs = Vec::new();
+        for i in 0..4 {
+            specs.push(FeatureSpec::ordinal(Feature::SrcIpByte(i)));
+        }
+        for i in 0..4 {
+            specs.push(FeatureSpec::ordinal(Feature::DstIpByte(i)));
+        }
+        specs.push(FeatureSpec::ordinal(Feature::SrcPort));
+        specs.push(FeatureSpec::ordinal(Feature::DstPort));
+        specs.push(FeatureSpec::ordinal(Feature::Ttl));
+        specs.push(FeatureSpec::ordinal(Feature::IpLen));
+        FeatureSet::new(specs)
+    }
+
+    /// Number of features.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// True when the set is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// The specs, in order.
+    pub fn specs(&self) -> &[FeatureSpec] {
+        &self.specs
+    }
+
+    /// Extracts the feature vector of `pkt` into `out` (cleared first).
+    pub fn extract_into(&self, pkt: &Packet, out: &mut Vec<u32>) {
+        out.clear();
+        out.extend(self.specs.iter().map(|s| s.feature.extract(pkt)));
+    }
+
+    /// Extracts the feature vector of `pkt` as a fresh vector.
+    pub fn extract(&self, pkt: &Packet) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.specs.len());
+        self.extract_into(pkt, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accturbo_netsim::SimTime;
+    use std::net::Ipv4Addr;
+
+    fn pkt() -> Packet {
+        let mut p = Packet::new(SimTime::ZERO)
+            .with_src(Ipv4Addr::new(1, 2, 3, 4))
+            .with_dst(Ipv4Addr::new(9, 8, 7, 6))
+            .with_ports(1234, 80)
+            .with_ttl(60);
+        p.ip_len = 500;
+        p.ip_id = 777;
+        p.frag_offset = 3;
+        p
+    }
+
+    #[test]
+    fn extraction_per_feature() {
+        let p = pkt();
+        assert_eq!(Feature::SrcIp.extract(&p), u32::from_be_bytes([1, 2, 3, 4]));
+        assert_eq!(Feature::DstIpByte(0).extract(&p), 9);
+        assert_eq!(Feature::DstIpByte(3).extract(&p), 6);
+        assert_eq!(Feature::SrcPort.extract(&p), 1234);
+        assert_eq!(Feature::DstPort.extract(&p), 80);
+        assert_eq!(Feature::Ttl.extract(&p), 60);
+        assert_eq!(Feature::IpLen.extract(&p), 500);
+        assert_eq!(Feature::IpId.extract(&p), 777);
+        assert_eq!(Feature::FragOffset.extract(&p), 3);
+    }
+
+    #[test]
+    fn natural_kinds_match_the_paper() {
+        assert_eq!(Feature::SrcIp.natural_kind(), FeatureKind::Ordinal);
+        assert_eq!(Feature::Ttl.natural_kind(), FeatureKind::Ordinal);
+        assert_eq!(Feature::IpLen.natural_kind(), FeatureKind::Ordinal);
+        assert_eq!(Feature::SrcPort.natural_kind(), FeatureKind::Nominal);
+        assert_eq!(Feature::DstPort.natural_kind(), FeatureKind::Nominal);
+        assert_eq!(Feature::Proto.natural_kind(), FeatureKind::Nominal);
+    }
+
+    #[test]
+    fn hardware_profile_shapes() {
+        assert_eq!(FeatureSet::hardware_fig6().len(), 4);
+        assert_eq!(FeatureSet::hardware_dst_bytes().len(), 4);
+        assert_eq!(FeatureSet::simulation_default().len(), 12);
+    }
+
+    #[test]
+    fn extract_vector_in_order() {
+        let set = FeatureSet::hardware_fig6();
+        let v = set.extract(&pkt());
+        assert_eq!(v, vec![7, 6, 1234, 80]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn ip_byte_index_bounds() {
+        let _ = Feature::DstIpByte(4).extract(&pkt());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Feature::DstIp.to_string(), "daddr");
+        assert_eq!(Feature::SrcIpByte(2).to_string(), "saddr[2]");
+        assert_eq!(Feature::FragOffset.to_string(), "f.off.");
+    }
+}

@@ -1,0 +1,207 @@
+//! Offline k-means (Lloyd's algorithm).
+//!
+//! The paper compares ACC-Turbo's online clustering against "offline
+//! k-means with unlimited resources" (§8.1, Fig. 10): the whole window of
+//! packets is available at once and the algorithm may iterate. This is the
+//! accuracy upper bound the deployable algorithm is measured against.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of a k-means fit.
+#[derive(Debug, Clone)]
+pub struct KMeansFit {
+    /// Final centroids, `k × dims`.
+    pub centers: Vec<Vec<f64>>,
+    /// Cluster index of every input point.
+    pub assignment: Vec<usize>,
+    /// Sum of squared distances to assigned centroids.
+    pub inertia: f64,
+    /// Iterations executed.
+    pub iterations: usize,
+}
+
+/// Runs Lloyd's algorithm with k-means++-style seeding.
+///
+/// `points` are feature vectors (all the same arity); `k` clusters; at
+/// most `max_iters` iterations; deterministic given `seed`. Panics on
+/// empty input, zero `k`, or ragged points.
+pub fn kmeans(points: &[Vec<f64>], k: usize, max_iters: usize, seed: u64) -> KMeansFit {
+    assert!(!points.is_empty(), "k-means needs at least one point");
+    assert!(k >= 1, "k must be at least 1");
+    let dims = points[0].len();
+    assert!(
+        points.iter().all(|p| p.len() == dims),
+        "all points must have the same arity"
+    );
+    let k = k.min(points.len());
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // k-means++ seeding: first center uniform, then proportional to D².
+    let mut centers: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centers.push(points[rng.gen_range(0..points.len())].clone());
+    let mut d2: Vec<f64> = points.iter().map(|p| dist_sq(p, &centers[0])).collect();
+    while centers.len() < k {
+        let total: f64 = d2.iter().sum();
+        let next = if total <= 0.0 {
+            // All points coincide with existing centers; pick uniformly.
+            rng.gen_range(0..points.len())
+        } else {
+            let mut target = rng.gen::<f64>() * total;
+            let mut pick = points.len() - 1;
+            for (i, &d) in d2.iter().enumerate() {
+                if target <= d {
+                    pick = i;
+                    break;
+                }
+                target -= d;
+            }
+            pick
+        };
+        centers.push(points[next].clone());
+        for (i, p) in points.iter().enumerate() {
+            d2[i] = d2[i].min(dist_sq(p, centers.last().expect("just pushed")));
+        }
+    }
+
+    let mut assignment = vec![0usize; points.len()];
+    let mut iterations = 0;
+    for iter in 0..max_iters {
+        iterations = iter + 1;
+        // Assign.
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let best = centers
+                .iter()
+                .enumerate()
+                .map(|(c, center)| (c, dist_sq(p, center)))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("distances are finite"))
+                .map(|(c, _)| c)
+                .expect("k >= 1");
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        // Update.
+        let mut sums = vec![vec![0.0; dims]; centers.len()];
+        let mut counts = vec![0usize; centers.len()];
+        for (p, &a) in points.iter().zip(&assignment) {
+            counts[a] += 1;
+            for (s, v) in sums[a].iter_mut().zip(p) {
+                *s += v;
+            }
+        }
+        for (c, center) in centers.iter_mut().enumerate() {
+            if counts[c] > 0 {
+                for (cv, s) in center.iter_mut().zip(&sums[c]) {
+                    *cv = s / counts[c] as f64;
+                }
+            }
+        }
+        if !changed && iter > 0 {
+            break;
+        }
+    }
+
+    let inertia = points
+        .iter()
+        .zip(&assignment)
+        .map(|(p, &a)| dist_sq(p, &centers[a]))
+        .sum();
+    KMeansFit {
+        centers,
+        assignment,
+        inertia,
+        iterations,
+    }
+}
+
+fn dist_sq(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Assigns a point to the nearest of `centers`.
+pub fn nearest(centers: &[Vec<f64>], point: &[f64]) -> usize {
+    centers
+        .iter()
+        .enumerate()
+        .map(|(c, center)| (c, dist_sq(point, center)))
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("distances are finite"))
+        .map(|(c, _)| c)
+        .expect("centers must be non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for i in 0..50 {
+            pts.push(vec![10.0 + (i % 5) as f64, 10.0 + (i % 3) as f64]);
+            pts.push(vec![200.0 + (i % 5) as f64, 200.0 + (i % 3) as f64]);
+        }
+        pts
+    }
+
+    #[test]
+    fn separates_two_blobs_perfectly() {
+        let pts = two_blobs();
+        let fit = kmeans(&pts, 2, 50, 1);
+        // Points alternate blob A / blob B; assignments must alternate too.
+        let a = fit.assignment[0];
+        let b = fit.assignment[1];
+        assert_ne!(a, b);
+        for (i, &asg) in fit.assignment.iter().enumerate() {
+            assert_eq!(asg, if i % 2 == 0 { a } else { b });
+        }
+        assert!(fit.inertia < 50.0 * pts.len() as f64);
+    }
+
+    #[test]
+    fn centers_land_on_blob_means() {
+        let pts = two_blobs();
+        let fit = kmeans(&pts, 2, 50, 2);
+        let mut xs: Vec<f64> = fit.centers.iter().map(|c| c[0]).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        assert!((xs[0] - 12.0).abs() < 1.0, "low blob center {}", xs[0]);
+        assert!((xs[1] - 202.0).abs() < 1.0, "high blob center {}", xs[1]);
+    }
+
+    #[test]
+    fn k_clamped_to_point_count() {
+        let pts = vec![vec![1.0], vec![2.0]];
+        let fit = kmeans(&pts, 10, 10, 3);
+        assert_eq!(fit.centers.len(), 2);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let pts = two_blobs();
+        let a = kmeans(&pts, 3, 20, 7);
+        let b = kmeans(&pts, 3, 20, 7);
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.inertia, b.inertia);
+    }
+
+    #[test]
+    fn identical_points_do_not_crash() {
+        let pts = vec![vec![5.0, 5.0]; 20];
+        let fit = kmeans(&pts, 4, 10, 1);
+        assert_eq!(fit.inertia, 0.0);
+    }
+
+    #[test]
+    fn nearest_picks_closest_center() {
+        let centers = vec![vec![0.0], vec![100.0]];
+        assert_eq!(nearest(&centers, &[10.0]), 0);
+        assert_eq!(nearest(&centers, &[90.0]), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn empty_input_rejected() {
+        let _ = kmeans(&[], 2, 10, 1);
+    }
+}

@@ -1,0 +1,812 @@
+//! The online-clustering engine (paper §4, Algorithm 1).
+//!
+//! Maintains `|C|` clusters over an endless packet stream. Every packet is
+//! seen exactly once and triggers an irrevocable action (the
+//! online-clustering framework of Def. 4.2):
+//!
+//! * **Fast search** (deployable on Tofino): assign the packet to its
+//!   closest cluster and expand that cluster to cover it.
+//! * **Exhaustive search** (simulation upper bound): additionally consider
+//!   merging the two closest clusters and starting a fresh cluster at the
+//!   packet, choosing whichever action increases total cost least.
+//!
+//! Distances: Manhattan and Anime operate on range-based clusters;
+//! Euclidean on center-based clusters — the design space of §4.2.
+
+use crate::cluster::{CenterCluster, NominalMode, RangeCluster};
+use crate::feature::FeatureSet;
+use accturbo_netsim::Packet;
+
+/// Distance function (paper §4.2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DistanceKind {
+    /// Sum of per-feature gaps — deployable (linear output space).
+    Manhattan,
+    /// Product-volume increase — the faithful cost of Def. 4.1 (needs up
+    /// to 2^157, so not deployable; computed in `f64` here).
+    Anime,
+    /// Squared distance to a centroid (center-based representation).
+    Euclidean,
+}
+
+/// Search strategy (paper §4.2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchKind {
+    /// Linear scan, assign-to-nearest only (deployable).
+    Fast,
+    /// Also consider merging two clusters to free a slot (quadratic).
+    Exhaustive,
+}
+
+/// How cluster slots are (re-)initialized.
+///
+/// Algorithm 1 in the paper *requires* initial ranges ("Require: `p`: New
+/// packet, `min`, `max`: Initial ranges"): clusters exist before the first
+/// packet and are never empty. [`InitMode::Anchors`] implements that:
+/// slot `k` starts as a singleton at the diagonal point
+/// `(2k+1)·space_f / 2|C|` of every feature's value space, so slots have
+/// stable spatial semantics across resets and a high-rate attack cannot
+/// monopolize them. [`InitMode::FromTraffic`] is the classic
+/// online-clustering alternative (first packets seed the slots), kept for
+/// the initialization ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InitMode {
+    /// Pre-initialized singleton clusters on the feature-space diagonal.
+    Anchors,
+    /// Empty slots seeded by the first arriving packets.
+    FromTraffic,
+}
+
+/// Configuration of the clustering engine.
+#[derive(Debug, Clone)]
+pub struct ClusteringConfig {
+    /// Number of cluster slots `|C|`.
+    pub num_clusters: usize,
+    /// The features to cluster on.
+    pub features: FeatureSet,
+    /// Distance function (also selects the representation).
+    pub distance: DistanceKind,
+    /// Search strategy.
+    pub search: SearchKind,
+    /// Nominal-feature set storage.
+    pub nominal: NominalMode,
+    /// Learning rate for center-based updates (§4.2.2).
+    pub learning_rate: f64,
+    /// Cluster initialization.
+    pub init: InitMode,
+    /// Maximum total range *growth* (in Manhattan-cost units) per cluster
+    /// per window (`None` = unlimited). Models the Tofino prototype's
+    /// resubmission-based cluster update (§6): resubmission bandwidth is
+    /// scarce, so a cluster can only grow a bounded amount between polls.
+    /// Packets beyond the budget are still assigned to their nearest
+    /// cluster but no longer expand it — which keeps a hot cluster from
+    /// snowballing across the feature space within one control period.
+    pub update_budget: Option<u64>,
+    /// How a cluster's re-seeding representative is chosen at each reset.
+    pub rep: RepMode,
+}
+
+/// Where an active cluster re-seeds at a reset (anchor initialization).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepMode {
+    /// The last packet assigned in the window (a per-cluster register
+    /// overwritten per packet): biased toward the cluster's dominant
+    /// flow, so a high-rate attack becomes its own seed within a window.
+    LastPacket,
+    /// The midpoint of the cluster's final ranges (read from the same
+    /// min/max registers the controller already polls): more stable for
+    /// diffuse benign clusters, slower to lock onto a new attack.
+    RangeMidpoint,
+}
+
+impl ClusteringConfig {
+    /// The deployable configuration ACC-Turbo ships: Manhattan distance,
+    /// fast search, exact nominal sets, anchor initialization (Alg. 1).
+    pub fn deployable(num_clusters: usize, features: FeatureSet) -> Self {
+        ClusteringConfig {
+            num_clusters,
+            features,
+            distance: DistanceKind::Manhattan,
+            search: SearchKind::Fast,
+            nominal: NominalMode::Exact,
+            learning_rate: 0.3,
+            init: InitMode::Anchors,
+            update_budget: Some(256),
+            rep: RepMode::LastPacket,
+        }
+    }
+
+    /// Switches to traffic seeding (the initialization ablation).
+    pub fn with_init(mut self, init: InitMode) -> Self {
+        self.init = init;
+        self
+    }
+
+    /// Overrides the per-cluster per-window growth budget.
+    pub fn with_update_budget(mut self, budget: Option<u64>) -> Self {
+        self.update_budget = budget;
+        self
+    }
+
+    /// Overrides the representative mode.
+    pub fn with_rep(mut self, rep: RepMode) -> Self {
+        self.rep = rep;
+        self
+    }
+}
+
+/// One cluster's internal representation.
+#[derive(Debug, Clone)]
+pub enum Repr {
+    /// Range-based (Manhattan / Anime).
+    Range(RangeCluster),
+    /// Center-based (Euclidean).
+    Center(CenterCluster),
+}
+
+/// Per-cluster traffic counters since the last [`OnlineClusterer::take_window`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WindowStats {
+    /// Packets assigned in the window.
+    pub pkts: u64,
+    /// Bytes assigned in the window.
+    pub bytes: u64,
+}
+
+/// The online clustering engine.
+#[derive(Debug, Clone)]
+pub struct OnlineClusterer {
+    cfg: ClusteringConfig,
+    clusters: Vec<Option<Repr>>,
+    window: Vec<WindowStats>,
+    totals: Vec<WindowStats>,
+    scratch: Vec<u32>,
+    /// Per-feature (min, max) of every value observed since the last
+    /// reset. Under anchor initialization, the next reset spreads the
+    /// anchors of *idle* slots over these ranges, so the anchor grid
+    /// adapts to the value ranges traffic actually uses (declared field
+    /// widths like ip.len's 16 bits are mostly unused; see DESIGN.md §4).
+    observed: Option<Vec<(u32, u32)>>,
+    /// The *last* feature vector assigned to each cluster in the current
+    /// window. At the next reset each active slot is re-seeded at its
+    /// representative, so slots track the traffic aggregates they
+    /// captured. "Last packet" is (a) trivially implementable in the data
+    /// plane (a per-cluster register overwritten on every packet, read by
+    /// the control plane at the poll) and (b) biased toward the cluster's
+    /// dominant flow — exactly the property that makes a high-rate attack
+    /// become its own seed and release any benign traffic it dragged in.
+    representative: Vec<Option<Vec<u32>>>,
+    /// Remaining growth budget per cluster in the current window.
+    budget: Vec<u64>,
+    /// Per-cluster per-feature (min, max) of every value *assigned* in the
+    /// current window — independent of the budget-limited geometry. This
+    /// is what the P4 min/max registers report to the controller, and it
+    /// is what the `/Size` rankings divide by: the cluster's statistical
+    /// spread, not its (stabilized) geometric shape.
+    stat_ranges: Vec<Option<Vec<(u32, u32)>>>,
+}
+
+impl OnlineClusterer {
+    /// Creates an engine with all cluster slots empty; the first packets
+    /// seed them (the standard online-clustering initialization).
+    pub fn new(cfg: ClusteringConfig) -> Self {
+        assert!(cfg.num_clusters >= 1, "need at least one cluster");
+        assert!(
+            cfg.learning_rate > 0.0 && cfg.learning_rate <= 1.0,
+            "learning rate must be in (0, 1]"
+        );
+        if cfg.search == SearchKind::Exhaustive {
+            assert!(
+                matches!(cfg.nominal, NominalMode::Exact),
+                "exhaustive merges require exact nominal sets"
+            );
+        }
+        let n = cfg.num_clusters;
+        let mut oc = OnlineClusterer {
+            cfg,
+            clusters: vec![None; n],
+            window: vec![WindowStats::default(); n],
+            totals: vec![WindowStats::default(); n],
+            scratch: Vec::new(),
+            observed: None,
+            representative: vec![None; n],
+            budget: vec![0; n],
+            stat_ranges: vec![None; n],
+        };
+        oc.init_clusters();
+        oc
+    }
+
+    /// The anchor point of slot `k`: the diagonal point of the per-feature
+    /// ranges observed since the last reset (the declared field width
+    /// before any traffic has been seen).
+    fn anchor(&self, k: usize) -> Vec<u32> {
+        let n = self.cfg.num_clusters as u64;
+        self.cfg
+            .features
+            .specs()
+            .iter()
+            .enumerate()
+            .map(|(f, spec)| {
+                let (lo, hi) = match &self.observed {
+                    Some(ranges) => {
+                        let (lo, hi) = ranges[f];
+                        (lo as u64, hi as u64)
+                    }
+                    None => (0, spec.feature.space() - 1),
+                };
+                let span = hi - lo + 1;
+                (lo + ((2 * k as u64 + 1) * span) / (2 * n)).min(hi) as u32
+            })
+            .collect()
+    }
+
+    /// The midpoint of cluster `k`'s current representation, if seeded.
+    fn midpoint(&self, k: usize) -> Option<Vec<u32>> {
+        match self.clusters[k].as_ref()? {
+            Repr::Range(c) => Some(
+                c.dims()
+                    .iter()
+                    .enumerate()
+                    .map(|(f, dim)| match dim {
+                        crate::cluster::Dim::Range { min, max } => min / 2 + max / 2,
+                        crate::cluster::Dim::Set(_) => {
+                            // Sets have no midpoint; fall back to the
+                            // anchor coordinate for this feature.
+                            self.anchor(k)[f]
+                        }
+                    })
+                    .collect(),
+            ),
+            Repr::Center(c) => Some(c.center().iter().map(|&v| v as u32).collect()),
+        }
+    }
+
+    fn init_clusters(&mut self) {
+        match self.cfg.init {
+            InitMode::FromTraffic => {
+                self.clusters.iter_mut().for_each(|c| *c = None);
+            }
+            InitMode::Anchors => {
+                for k in 0..self.cfg.num_clusters {
+                    // Active slots re-seed at their representative; idle
+                    // slots fall back to the diagonal anchor over the
+                    // observed ranges.
+                    let rep = self.representative[k].take();
+                    let point = match (self.cfg.rep, rep) {
+                        (RepMode::RangeMidpoint, Some(_)) => self
+                            .midpoint(k)
+                            .unwrap_or_else(|| self.anchor(k)),
+                        (_, Some(rep)) => rep,
+                        (_, None) => self.anchor(k),
+                    };
+                    let repr = match self.cfg.distance {
+                        DistanceKind::Euclidean => Repr::Center(CenterCluster::seed(&point)),
+                        _ => Repr::Range(RangeCluster::seed(
+                            &self.cfg.features,
+                            &point,
+                            &self.cfg.nominal,
+                        )),
+                    };
+                    self.clusters[k] = Some(repr);
+                }
+            }
+        }
+        self.representative.iter_mut().for_each(|r| *r = None);
+        self.stat_ranges.iter_mut().for_each(|r| *r = None);
+        let budget = self.cfg.update_budget.unwrap_or(u64::MAX);
+        self.budget.iter_mut().for_each(|b| *b = budget);
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ClusteringConfig {
+        &self.cfg
+    }
+
+    /// Number of cluster slots.
+    pub fn num_clusters(&self) -> usize {
+        self.cfg.num_clusters
+    }
+
+    /// Assigns `pkt` to a cluster and returns the cluster index.
+    pub fn assign(&mut self, pkt: &Packet) -> usize {
+        let mut values = std::mem::take(&mut self.scratch);
+        self.cfg.features.extract_into(pkt, &mut values);
+        let idx = self.assign_values(&values, pkt.size);
+        self.scratch = values;
+        idx
+    }
+
+    /// Assigns a pre-extracted feature vector carrying `bytes` of payload.
+    pub fn assign_values(&mut self, values: &[u32], bytes: u32) -> usize {
+        assert_eq!(
+            values.len(),
+            self.cfg.features.len(),
+            "feature vector arity mismatch"
+        );
+        match &mut self.observed {
+            Some(ranges) => {
+                for (r, &v) in ranges.iter_mut().zip(values) {
+                    r.0 = r.0.min(v);
+                    r.1 = r.1.max(v);
+                }
+            }
+            None => self.observed = Some(values.iter().map(|&v| (v, v)).collect()),
+        }
+        let (idx, dist) = match self.cfg.distance {
+            DistanceKind::Euclidean => self.assign_center(values),
+            _ => self.assign_range(values),
+        };
+        let _ = dist;
+        match &mut self.stat_ranges[idx] {
+            Some(ranges) => {
+                for (r, &v) in ranges.iter_mut().zip(values) {
+                    r.0 = r.0.min(v);
+                    r.1 = r.1.max(v);
+                }
+            }
+            None => self.stat_ranges[idx] = Some(values.iter().map(|&v| (v, v)).collect()),
+        }
+        match &mut self.representative[idx] {
+            Some(rep) => {
+                rep.clear();
+                rep.extend_from_slice(values);
+            }
+            None => self.representative[idx] = Some(values.to_vec()),
+        }
+        self.window[idx].pkts += 1;
+        self.window[idx].bytes += bytes as u64;
+        self.totals[idx].pkts += 1;
+        self.totals[idx].bytes += bytes as u64;
+        idx
+    }
+
+    fn assign_range(&mut self, values: &[u32]) -> (usize, f64) {
+        // Distance to every occupied slot.
+        let mut best: Option<(usize, f64)> = None;
+        for (i, slot) in self.clusters.iter().enumerate() {
+            if let Some(Repr::Range(c)) = slot {
+                let d = match self.cfg.distance {
+                    DistanceKind::Manhattan => c.manhattan(values) as f64,
+                    DistanceKind::Anime => c.anime(values),
+                    DistanceKind::Euclidean => unreachable!("handled separately"),
+                };
+                if best.map_or(true, |(_, bd)| d < bd) {
+                    best = Some((i, d));
+                }
+            }
+        }
+
+        match best {
+            // Covered by an existing cluster: no growth needed.
+            Some((i, d)) if d <= 0.0 => (i, 0.0),
+            // Not covered. An empty slot (initialization phase) always
+            // wins: seeding costs nothing.
+            _ if self.first_empty().is_some() => {
+                let slot = self.first_empty().expect("just checked");
+                self.clusters[slot] = Some(Repr::Range(RangeCluster::seed(
+                    &self.cfg.features,
+                    values,
+                    &self.cfg.nominal,
+                )));
+                (slot, 0.0)
+            }
+            Some((i, d)) => {
+                if self.cfg.search == SearchKind::Exhaustive {
+                    if let Some((a, b, merge_cost)) = self.cheapest_range_merge() {
+                        // Hysteresis: only restructure when merging is
+                        // *clearly* cheaper than expanding — a bare
+                        // `merge_cost < d` lets every far outlier trigger a
+                        // merge of two nearby clusters, cascading until one
+                        // mega-cluster absorbs the space.
+                        if merge_cost * 4.0 < d {
+                            // Merge b into a, seed b with the new packet.
+                            let other = self.clusters[b].take().expect("occupied");
+                            let Repr::Range(other) = other else {
+                                unreachable!("range mode holds range clusters")
+                            };
+                            let Some(Repr::Range(target)) = self.clusters[a].as_mut() else {
+                                unreachable!("range mode holds range clusters")
+                            };
+                            target.merge(&other);
+                            self.fold_stats(b, a);
+                            self.clusters[b] = Some(Repr::Range(RangeCluster::seed(
+                                &self.cfg.features,
+                                values,
+                                &self.cfg.nominal,
+                            )));
+                            return (b, 0.0);
+                        }
+                    }
+                }
+                let Some(Repr::Range(c)) = self.clusters[i].as_mut() else {
+                    unreachable!("best index is occupied")
+                };
+                // The Manhattan distance *is* the cost growth admitting
+                // the packet would cause; only admit within budget.
+                let growth = d as u64;
+                if self.budget[i] >= growth {
+                    self.budget[i] -= growth;
+                    c.admit(values);
+                }
+                (i, d)
+            }
+            None => unreachable!("no clusters and no empty slot is impossible"),
+        }
+    }
+
+    fn assign_center(&mut self, values: &[u32]) -> (usize, f64) {
+        if let Some(slot) = self.first_empty() {
+            self.clusters[slot] = Some(Repr::Center(CenterCluster::seed(values)));
+            return (slot, 0.0);
+        }
+        let mut best: (usize, f64) = (0, f64::INFINITY);
+        for (i, slot) in self.clusters.iter().enumerate() {
+            if let Some(Repr::Center(c)) = slot {
+                let d = c.euclidean_sq(values);
+                if d < best.1 {
+                    best = (i, d);
+                }
+            }
+        }
+        let (i, d) = best;
+        if self.cfg.search == SearchKind::Exhaustive && d > 0.0 {
+            if let Some((a, b, merge_cost)) = self.cheapest_center_merge() {
+                if merge_cost * 4.0 < d {
+                    let other = self.clusters[b].take().expect("occupied");
+                    let Repr::Center(other) = other else {
+                        unreachable!("center mode holds center clusters")
+                    };
+                    let Some(Repr::Center(target)) = self.clusters[a].as_mut() else {
+                        unreachable!("center mode holds center clusters")
+                    };
+                    target.merge(&other);
+                    self.fold_stats(b, a);
+                    self.clusters[b] = Some(Repr::Center(CenterCluster::seed(values)));
+                    return (b, 0.0);
+                }
+            }
+        }
+        let Some(Repr::Center(c)) = self.clusters[i].as_mut() else {
+            unreachable!("best index is occupied")
+        };
+        c.admit(values, self.cfg.learning_rate);
+        (i, d)
+    }
+
+    fn first_empty(&self) -> Option<usize> {
+        self.clusters.iter().position(|c| c.is_none())
+    }
+
+    fn cheapest_range_merge(&self) -> Option<(usize, usize, f64)> {
+        let mut best: Option<(usize, usize, f64)> = None;
+        for a in 0..self.clusters.len() {
+            // Only clusters that actually captured traffic this window are
+            // merge candidates: consolidating two *active* aggregates frees
+            // a slot for a new one. Merging idle anchors would only erode
+            // the initialization grid.
+            if self.window[a].pkts == 0 {
+                continue;
+            }
+            let Some(Repr::Range(ca)) = &self.clusters[a] else {
+                continue;
+            };
+            for b in (a + 1)..self.clusters.len() {
+                if self.window[b].pkts == 0 {
+                    continue;
+                }
+                let Some(Repr::Range(cb)) = &self.clusters[b] else {
+                    continue;
+                };
+                let cost = match self.cfg.distance {
+                    DistanceKind::Manhattan => ca.manhattan_merge_cost(cb) as f64,
+                    DistanceKind::Anime => ca.anime_merge_cost(cb),
+                    DistanceKind::Euclidean => unreachable!("handled separately"),
+                };
+                if best.map_or(true, |(_, _, bc)| cost < bc) {
+                    best = Some((a, b, cost));
+                }
+            }
+        }
+        best
+    }
+
+    fn cheapest_center_merge(&self) -> Option<(usize, usize, f64)> {
+        let mut best: Option<(usize, usize, f64)> = None;
+        for a in 0..self.clusters.len() {
+            if self.window[a].pkts == 0 {
+                continue;
+            }
+            let Some(Repr::Center(ca)) = &self.clusters[a] else {
+                continue;
+            };
+            for b in (a + 1)..self.clusters.len() {
+                if self.window[b].pkts == 0 {
+                    continue;
+                }
+                let Some(Repr::Center(cb)) = &self.clusters[b] else {
+                    continue;
+                };
+                let cost = ca.merge_cost(cb);
+                if best.map_or(true, |(_, _, bc)| cost < bc) {
+                    best = Some((a, b, cost));
+                }
+            }
+        }
+        best
+    }
+
+    /// Moves cluster `from`'s counters into cluster `to` (after a merge).
+    fn fold_stats(&mut self, from: usize, to: usize) {
+        let w = std::mem::take(&mut self.window[from]);
+        self.window[to].pkts += w.pkts;
+        self.window[to].bytes += w.bytes;
+        let t = std::mem::take(&mut self.totals[from]);
+        self.totals[to].pkts += t.pkts;
+        self.totals[to].bytes += t.bytes;
+    }
+
+    /// Returns and clears the per-cluster window counters — what the
+    /// control plane polls each period (§5.2).
+    pub fn take_window(&mut self) -> Vec<WindowStats> {
+        let fresh = vec![WindowStats::default(); self.window.len()];
+        std::mem::replace(&mut self.window, fresh)
+    }
+
+    /// Cumulative per-cluster counters since construction.
+    pub fn totals(&self) -> &[WindowStats] {
+        &self.totals
+    }
+
+    /// The cluster's representation, if seeded (operator interpretability,
+    /// §10: the exact packet-to-cluster mapping is inspectable).
+    pub fn repr(&self, idx: usize) -> Option<&Repr> {
+        self.clusters.get(idx).and_then(|c| c.as_ref())
+    }
+
+    /// The cluster's cost (its "size" `δ(c)`), used by the `/Size` ranking
+    /// algorithms: the statistical per-feature spread of the traffic
+    /// assigned this window (what the data plane's min/max registers
+    /// report), falling back to the geometric cost when the slot saw no
+    /// traffic. `None` for never-seeded slots.
+    pub fn cost(&self, idx: usize) -> Option<f64> {
+        if let Some(Some(ranges)) = self.stat_ranges.get(idx) {
+            let spread = match self.cfg.distance {
+                DistanceKind::Anime => ranges
+                    .iter()
+                    .map(|&(lo, hi)| (hi - lo) as f64 + 1.0)
+                    .product(),
+                _ => ranges.iter().map(|&(lo, hi)| (hi - lo) as f64).sum(),
+            };
+            return Some(spread);
+        }
+        match self.clusters.get(idx)?.as_ref()? {
+            Repr::Range(c) => Some(match self.cfg.distance {
+                DistanceKind::Anime => c.anime_cost(),
+                _ => c.manhattan_cost() as f64,
+            }),
+            Repr::Center(c) => Some(c.weight as f64),
+        }
+    }
+
+    /// Re-initializes every cluster slot per the configured [`InitMode`]
+    /// (the controller's periodic reset; see DESIGN.md §4). Counters are
+    /// preserved. Under anchor initialization the slots keep their spatial
+    /// semantics, so priority mappings computed from the previous window
+    /// remain meaningful.
+    pub fn reset_clusters(&mut self) {
+        self.init_clusters();
+        // Start a fresh observation window for the next re-anchoring.
+        self.observed = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feature::{Feature, FeatureSet, FeatureSpec};
+    use accturbo_netsim::SimTime;
+    use std::net::Ipv4Addr;
+
+    fn cfg(n: usize, distance: DistanceKind, search: SearchKind) -> ClusteringConfig {
+        ClusteringConfig {
+            num_clusters: n,
+            features: FeatureSet::new(vec![
+                FeatureSpec::ordinal(Feature::DstIpByte(3)),
+                FeatureSpec::ordinal(Feature::SrcPort),
+            ]),
+            distance,
+            search,
+            nominal: NominalMode::Exact,
+            learning_rate: 0.3,
+            init: InitMode::FromTraffic,
+            update_budget: None,
+            rep: RepMode::LastPacket,
+        }
+    }
+
+    fn pkt(dst_last: u8, sport: u16) -> Packet {
+        Packet::new(SimTime::ZERO)
+            .with_dst(Ipv4Addr::new(198, 18, 0, dst_last))
+            .with_ports(sport, 80)
+            .with_size(100)
+    }
+
+    #[test]
+    fn first_packets_seed_distinct_clusters() {
+        let mut oc = OnlineClusterer::new(cfg(3, DistanceKind::Manhattan, SearchKind::Fast));
+        let a = oc.assign(&pkt(1, 1000));
+        let b = oc.assign(&pkt(100, 30000));
+        let c = oc.assign(&pkt(200, 60000));
+        let set: std::collections::HashSet<_> = [a, b, c].into_iter().collect();
+        assert_eq!(set.len(), 3, "three distant packets get three clusters");
+    }
+
+    #[test]
+    fn covered_packets_reuse_their_cluster() {
+        let mut oc = OnlineClusterer::new(cfg(2, DistanceKind::Manhattan, SearchKind::Fast));
+        let a = oc.assign(&pkt(10, 1000));
+        let _ = oc.assign(&pkt(200, 50000));
+        let again = oc.assign(&pkt(10, 1000));
+        assert_eq!(a, again);
+    }
+
+    #[test]
+    fn nearby_packets_join_the_nearest_cluster_and_expand_it() {
+        let mut oc = OnlineClusterer::new(cfg(2, DistanceKind::Manhattan, SearchKind::Fast));
+        let a = oc.assign(&pkt(10, 1000));
+        let _b = oc.assign(&pkt(200, 50000));
+        let c = oc.assign(&pkt(12, 1010)); // near cluster a
+        assert_eq!(a, c);
+        // The cluster has grown to cover the new point.
+        let d = oc.assign(&pkt(11, 1005));
+        assert_eq!(d, a);
+    }
+
+    #[test]
+    fn window_stats_accumulate_and_clear() {
+        let mut oc = OnlineClusterer::new(cfg(2, DistanceKind::Manhattan, SearchKind::Fast));
+        oc.assign(&pkt(10, 1000));
+        oc.assign(&pkt(10, 1000));
+        oc.assign(&pkt(200, 50000));
+        let w = oc.take_window();
+        let total_pkts: u64 = w.iter().map(|s| s.pkts).sum();
+        let total_bytes: u64 = w.iter().map(|s| s.bytes).sum();
+        assert_eq!(total_pkts, 3);
+        assert_eq!(total_bytes, 300);
+        let w2 = oc.take_window();
+        assert!(w2.iter().all(|s| s.pkts == 0));
+        assert_eq!(oc.totals().iter().map(|s| s.pkts).sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn reset_clusters_reseeds_but_keeps_totals() {
+        let mut oc = OnlineClusterer::new(cfg(2, DistanceKind::Manhattan, SearchKind::Fast));
+        oc.assign(&pkt(10, 1000));
+        oc.reset_clusters();
+        assert!(oc.repr(0).is_none());
+        assert_eq!(oc.totals()[0].pkts, 1);
+        let idx = oc.assign(&pkt(250, 60000));
+        assert_eq!(idx, 0, "first packet after reset seeds slot 0");
+    }
+
+    #[test]
+    fn exhaustive_merges_when_cheaper() {
+        // Two clusters seeded close together; a distant packet should
+        // cause a merge + fresh cluster rather than a huge expansion.
+        let mut oc =
+            OnlineClusterer::new(cfg(2, DistanceKind::Manhattan, SearchKind::Exhaustive));
+        let a = oc.assign(&pkt(10, 1000));
+        let b = oc.assign(&pkt(12, 1005)); // nearby -> another slot (seeding)
+        assert_ne!(a, b);
+        let c = oc.assign(&pkt(250, 64000)); // far away
+        // The far packet gets its own (reused) slot; the two near clusters
+        // are now one.
+        let d = oc.assign(&pkt(11, 1002));
+        assert_ne!(c, d);
+        assert!(oc.repr(c).is_some() && oc.repr(d).is_some());
+    }
+
+    #[test]
+    fn fast_never_merges() {
+        let mut oc = OnlineClusterer::new(cfg(2, DistanceKind::Manhattan, SearchKind::Fast));
+        oc.assign(&pkt(10, 1000));
+        oc.assign(&pkt(12, 1005));
+        let c = oc.assign(&pkt(250, 64000));
+        // Fast search must expand one of the existing clusters.
+        let cost: f64 = (0..2).filter_map(|i| oc.cost(i)).sum();
+        assert!(cost > 1000.0, "one cluster must have stretched: {cost}");
+        assert!(c < 2);
+    }
+
+    #[test]
+    fn euclidean_centers_track_points() {
+        let mut oc = OnlineClusterer::new(cfg(2, DistanceKind::Euclidean, SearchKind::Fast));
+        let a = oc.assign(&pkt(10, 1000));
+        let _ = oc.assign(&pkt(200, 60000));
+        for _ in 0..20 {
+            assert_eq!(oc.assign(&pkt(10, 1000)), a);
+        }
+        let Some(Repr::Center(c)) = oc.repr(a) else {
+            panic!("expected a center cluster");
+        };
+        assert!((c.center()[0] - 10.0).abs() < 1.0);
+        assert!((c.center()[1] - 1000.0).abs() < 50.0);
+    }
+
+    #[test]
+    fn anime_distance_mode_works_end_to_end() {
+        let mut oc = OnlineClusterer::new(cfg(3, DistanceKind::Anime, SearchKind::Fast));
+        let a = oc.assign(&pkt(10, 1000));
+        let b = oc.assign(&pkt(11, 1001));
+        let c = oc.assign(&pkt(240, 64000));
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+        // Repeat points stay put.
+        assert_eq!(oc.assign(&pkt(10, 1000)), a);
+    }
+
+    #[test]
+    fn cost_reports_cluster_size() {
+        let mut oc = OnlineClusterer::new(cfg(2, DistanceKind::Manhattan, SearchKind::Fast));
+        assert_eq!(oc.cost(0), None);
+        oc.assign(&pkt(10, 1000));
+        assert_eq!(oc.cost(0), Some(0.0));
+        oc.assign(&pkt(200, 50000)); // slot 1
+        oc.assign(&pkt(20, 1100)); // expands slot 0 by 10 + 100
+        assert_eq!(oc.cost(0), Some(110.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn wrong_arity_is_rejected() {
+        let mut oc = OnlineClusterer::new(cfg(2, DistanceKind::Manhattan, SearchKind::Fast));
+        oc.assign_values(&[1, 2, 3], 100);
+    }
+
+    #[test]
+    fn anchors_fill_all_slots_on_construction() {
+        let c = cfg(4, DistanceKind::Manhattan, SearchKind::Fast).with_init(InitMode::Anchors);
+        let oc = OnlineClusterer::new(c);
+        for k in 0..4 {
+            assert!(oc.repr(k).is_some(), "anchor slot {k} must be seeded");
+        }
+    }
+
+    #[test]
+    fn anchors_are_spread_over_the_space() {
+        let c = cfg(4, DistanceKind::Manhattan, SearchKind::Fast).with_init(InitMode::Anchors);
+        let mut oc = OnlineClusterer::new(c);
+        // Packets at the space's extremes must land in different slots.
+        let low = oc.assign(&pkt(0, 1));
+        let high = oc.assign(&pkt(255, 65000));
+        assert_ne!(low, high);
+        assert_eq!(low, 0, "lowest point maps to the first anchor");
+        assert_eq!(high, 3, "highest point maps to the last anchor");
+    }
+
+    #[test]
+    fn anchor_slots_are_stable_across_resets() {
+        let c = cfg(4, DistanceKind::Manhattan, SearchKind::Fast).with_init(InitMode::Anchors);
+        let mut oc = OnlineClusterer::new(c);
+        let before = oc.assign(&pkt(10, 2000));
+        oc.reset_clusters();
+        let after = oc.assign(&pkt(10, 2000));
+        assert_eq!(before, after, "same point, same slot after reset");
+    }
+
+    #[test]
+    fn a_tight_attack_cannot_monopolize_anchor_slots() {
+        let c = cfg(4, DistanceKind::Manhattan, SearchKind::Fast).with_init(InitMode::Anchors);
+        let mut oc = OnlineClusterer::new(c);
+        // Flood one corner of the space.
+        let mut attack_slots = std::collections::HashSet::new();
+        for i in 0..1000u32 {
+            attack_slots.insert(oc.assign(&pkt((i % 16) as u8, 5000 + (i % 50) as u16)));
+        }
+        assert_eq!(attack_slots.len(), 1, "a tight flood stays in one slot");
+        // A distant benign packet still has its own slot.
+        let benign = oc.assign(&pkt(250, 60000));
+        assert!(!attack_slots.contains(&benign));
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests for clustering invariants.
+
+use accturbo_clustering::{
+    kmeans, BloomFilter, ClusteringConfig, DistanceKind, Feature, FeatureSet, FeatureSpec,
+    InitMode, NominalMode, OnlineClusterer, RangeCluster, RepMode, SearchKind,
+};
+use proptest::prelude::*;
+
+fn feats() -> FeatureSet {
+    FeatureSet::new(vec![
+        FeatureSpec::ordinal(Feature::DstIpByte(2)),
+        FeatureSpec::ordinal(Feature::DstIpByte(3)),
+        FeatureSpec::natural(Feature::DstPort),
+    ])
+}
+
+proptest! {
+    /// A range cluster covers every point it has admitted, and its
+    /// Manhattan cost never decreases as points are admitted.
+    #[test]
+    fn range_cluster_monotone_coverage(points in prop::collection::vec(
+        (0u32..256, 0u32..256, 0u32..65536), 1..100)) {
+        let f = feats();
+        let first = [points[0].0, points[0].1, points[0].2];
+        let mut c = RangeCluster::seed(&f, &first, &NominalMode::Exact);
+        let mut last_cost = c.manhattan_cost();
+        for &(a, b, p) in &points {
+            c.admit(&[a, b, p]);
+            let cost = c.manhattan_cost();
+            prop_assert!(cost >= last_cost, "cost shrank: {last_cost} -> {cost}");
+            last_cost = cost;
+        }
+        for &(a, b, p) in &points {
+            prop_assert!(c.covers(&[a, b, p]));
+            prop_assert_eq!(c.manhattan(&[a, b, p]), 0);
+        }
+    }
+
+    /// Anime distance is nonnegative and zero exactly on covered points.
+    #[test]
+    fn anime_distance_properties(points in prop::collection::vec(
+        (0u32..256, 0u32..256, 0u32..65536), 2..50)) {
+        let f = feats();
+        let first = [points[0].0, points[0].1, points[0].2];
+        let mut c = RangeCluster::seed(&f, &first, &NominalMode::Exact);
+        for &(a, b, p) in &points[..points.len() / 2] {
+            c.admit(&[a, b, p]);
+        }
+        for &(a, b, p) in &points {
+            let d = c.anime(&[a, b, p]);
+            prop_assert!(d >= 0.0, "anime distance negative: {d}");
+            if c.covers(&[a, b, p]) {
+                prop_assert_eq!(d, 0.0);
+            } else {
+                prop_assert!(d > 0.0);
+            }
+        }
+    }
+
+    /// The online clusterer always returns a valid index, never leaves a
+    /// slot empty while others grew (seed-first policy), and its counters
+    /// account for every packet, in every configuration.
+    #[test]
+    fn clusterer_accounts_for_all_packets(
+        points in prop::collection::vec((0u32..256, 0u32..256, 0u32..65536), 1..300),
+        n_clusters in 1usize..8,
+        distance_pick in 0u8..3,
+        exhaustive in any::<bool>(),
+        anchors in any::<bool>()) {
+        let distance = match distance_pick {
+            0 => DistanceKind::Manhattan,
+            1 => DistanceKind::Anime,
+            _ => DistanceKind::Euclidean,
+        };
+        let search = if exhaustive { SearchKind::Exhaustive } else { SearchKind::Fast };
+        let cfg = ClusteringConfig {
+            num_clusters: n_clusters,
+            features: feats(),
+            distance,
+            search,
+            nominal: NominalMode::Exact,
+            learning_rate: 0.3,
+            init: if anchors { InitMode::Anchors } else { InitMode::FromTraffic },
+            update_budget: None,
+            rep: RepMode::LastPacket,
+        };
+        let mut oc = OnlineClusterer::new(cfg);
+        for &(a, b, p) in &points {
+            let idx = oc.assign_values(&[a, b, p], 100);
+            prop_assert!(idx < n_clusters);
+        }
+        let total: u64 = oc.totals().iter().map(|s| s.pkts).sum();
+        prop_assert_eq!(total, points.len() as u64);
+        let bytes: u64 = oc.totals().iter().map(|s| s.bytes).sum();
+        prop_assert_eq!(bytes, points.len() as u64 * 100);
+        let window: u64 = oc.take_window().iter().map(|s| s.pkts).sum();
+        prop_assert_eq!(window, points.len() as u64);
+    }
+
+    /// Bloom filters never report false negatives.
+    #[test]
+    fn bloom_no_false_negatives(values in prop::collection::vec(any::<u32>(), 1..200),
+                                bits in 64u64..4096,
+                                k in 1u32..6) {
+        let mut f = BloomFilter::new(bits, k);
+        for &v in &values {
+            f.insert(v);
+        }
+        for &v in &values {
+            prop_assert!(f.contains(v));
+        }
+    }
+
+    /// k-means assigns every point to its nearest final center.
+    #[test]
+    fn kmeans_assignment_is_nearest(points in prop::collection::vec(
+        prop::collection::vec(0.0f64..1000.0, 2), 2..100),
+        k in 1usize..5) {
+        let fit = kmeans(&points, k, 30, 42);
+        for (p, &a) in points.iter().zip(&fit.assignment) {
+            let nearest = accturbo_clustering::nearest(&fit.centers, p);
+            let da: f64 = p.iter().zip(&fit.centers[a]).map(|(x, y)| (x - y) * (x - y)).sum();
+            let dn: f64 = p.iter().zip(&fit.centers[nearest]).map(|(x, y)| (x - y) * (x - y)).sum();
+            prop_assert!(da <= dn + 1e-9, "assignment not nearest: {da} > {dn}");
+        }
+    }
+}

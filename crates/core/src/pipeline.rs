@@ -1,0 +1,243 @@
+//! The ACC-Turbo switch (paper §3.2, Fig. 4).
+//!
+//! Data plane, per packet: extract features → find the closest cluster
+//! (expanding it if needed, Alg. 1) → enqueue into the cluster's current
+//! priority queue. Control plane, per tick: poll per-cluster counters,
+//! score clusters with the ranking algorithm, re-map clusters to queues,
+//! and (as in the authors' prototype) re-seed the clusters so their
+//! shapes track the present traffic.
+//!
+//! Because mitigation is *scheduling* rather than filtering, the switch is
+//! transparent without congestion: packets are only lost when the buffer
+//! actually overflows, starting with those in the most-suspect queues.
+
+use crate::config::AccTurboConfig;
+use accturbo_clustering::OnlineClusterer;
+use accturbo_netsim::{Dropped, Packet, PriorityBank, QueueDiscipline, SimTime, Switch};
+use accturbo_sched::Controller;
+
+/// Observer invoked on every classified packet: `(packet, cluster, queue)`.
+/// Used by the evaluation to compute purity/recall and scheduling scores
+/// without touching the data path.
+pub type ClassifyTap<'a> = Box<dyn FnMut(&Packet, usize, usize) + 'a>;
+
+/// A full ACC-Turbo switch.
+pub struct AccTurboSwitch<'a> {
+    clusterer: OnlineClusterer,
+    controller: Controller,
+    bank: PriorityBank,
+    cluster_to_queue: Vec<usize>,
+    reset_on_poll: bool,
+    ticks: u64,
+    tap: Option<ClassifyTap<'a>>,
+}
+
+impl<'a> AccTurboSwitch<'a> {
+    /// Builds the switch from a configuration.
+    pub fn new(cfg: AccTurboConfig) -> Self {
+        let n = cfg.clustering.num_clusters;
+        let clusterer = OnlineClusterer::new(cfg.clustering);
+        let controller = Controller::new(cfg.ranking, cfg.num_queues);
+        let mut bank = PriorityBank::new(cfg.num_queues, cfg.queue_capacity_bytes);
+        if let Some(shared) = cfg.shared_capacity_bytes {
+            bank = bank.with_shared_cap(shared);
+        }
+        // Initial mapping: identity modulo queue count. Until the first
+        // poll the controller has no statistics, and this is what a
+        // freshly-loaded prototype does.
+        let cluster_to_queue = (0..n).map(|c| c % cfg.num_queues).collect();
+        AccTurboSwitch {
+            clusterer,
+            controller,
+            bank,
+            cluster_to_queue,
+            reset_on_poll: cfg.reset_on_poll,
+            ticks: 0,
+            tap: None,
+        }
+    }
+
+    /// Installs a classification observer.
+    pub fn set_tap(&mut self, tap: ClassifyTap<'a>) {
+        self.tap = Some(tap);
+    }
+
+    /// The current cluster → queue mapping (operator interpretability,
+    /// §10: every scheduling decision is inspectable).
+    pub fn mapping(&self) -> &[usize] {
+        &self.cluster_to_queue
+    }
+
+    /// Control ticks executed so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// The clustering engine (read access for reports and tests).
+    pub fn clusterer(&self) -> &OnlineClusterer {
+        &self.clusterer
+    }
+
+    /// The control plane (e.g. to pin clusters, §10).
+    pub fn controller_mut(&mut self) -> &mut Controller {
+        &mut self.controller
+    }
+}
+
+impl Switch for AccTurboSwitch<'_> {
+    fn ingress(&mut self, pkt: Packet, now: SimTime, drops: &mut Vec<Dropped>) {
+        let cluster = self.clusterer.assign(&pkt);
+        let queue = self.cluster_to_queue[cluster];
+        if let Some(tap) = &mut self.tap {
+            tap(&pkt, cluster, queue);
+        }
+        self.bank.enqueue_to(queue, pkt, now, drops);
+    }
+
+    fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
+        self.bank.dequeue(now)
+    }
+
+    fn backlog_pkts(&self) -> usize {
+        self.bank.len_pkts()
+    }
+
+    fn control_tick(&mut self, _now: SimTime) {
+        // (i) poll cluster statistics, (ii) assess and rank, (iii) deploy
+        // the new mapping — the three control-plane steps of §5.2.
+        let stats = self.clusterer.take_window();
+        let sizes: Vec<Option<f64>> = (0..stats.len()).map(|i| self.clusterer.cost(i)).collect();
+        self.cluster_to_queue = self.controller.assign_queues(&stats, &sizes);
+        if self.reset_on_poll {
+            self.clusterer.reset_clusters();
+        }
+        self.ticks += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accturbo_clustering::FeatureSet;
+    use accturbo_netsim::{ClassId, SimTime};
+    use std::net::Ipv4Addr;
+
+    fn switch() -> AccTurboSwitch<'static> {
+        AccTurboSwitch::new(
+            crate::config::AccTurboConfig::hardware(FeatureSet::hardware_fig6())
+                .with_queue_capacity(1_000_000),
+        )
+    }
+
+    fn benign(i: u32) -> Packet {
+        Packet::new(SimTime::ZERO)
+            .with_dst(Ipv4Addr::new(20, 0, (i % 7) as u8, (i % 251) as u8))
+            .with_ports(1024 + (i % 5000) as u16, 443)
+            .with_size(400)
+    }
+
+    fn attack(_i: u32) -> Packet {
+        Packet::new(SimTime::ZERO)
+            .with_dst(Ipv4Addr::new(198, 18, 0, 10))
+            .with_ports(123, 4444)
+            .with_size(1000)
+            .with_class(ClassId(1))
+    }
+
+    #[test]
+    fn attack_cluster_is_deprioritized_after_a_tick() {
+        let mut sw = switch();
+        let mut drops = Vec::new();
+        // Heavy self-similar attack + light diverse benign traffic.
+        let mut attack_cluster = None;
+        for i in 0..2_000u32 {
+            let pkt = attack(i);
+            let cluster = sw.clusterer.assign(&pkt);
+            attack_cluster = Some(cluster);
+            sw.bank
+                .enqueue_to(sw.cluster_to_queue[cluster], pkt, SimTime::ZERO, &mut drops);
+            sw.bank.dequeue(SimTime::ZERO);
+            if i % 10 == 0 {
+                sw.ingress(benign(i), SimTime::ZERO, &mut drops);
+                sw.dequeue(SimTime::ZERO);
+            }
+        }
+        let attack_cluster = attack_cluster.expect("attack packets were assigned");
+        sw.control_tick(SimTime::from_secs(1));
+        let q_attack = sw.mapping()[attack_cluster];
+        assert_eq!(
+            q_attack,
+            sw.controller_mut().num_queues() - 1,
+            "heaviest cluster must land in the worst queue"
+        );
+    }
+
+    #[test]
+    fn tap_sees_every_packet() {
+        let seen = std::rc::Rc::new(std::cell::RefCell::new(0u32));
+        let seen2 = std::rc::Rc::clone(&seen);
+        let mut sw = switch();
+        sw.set_tap(Box::new(move |_, cluster, queue| {
+            assert!(cluster < 4);
+            assert!(queue < 4);
+            *seen2.borrow_mut() += 1;
+        }));
+        let mut drops = Vec::new();
+        for i in 0..50 {
+            sw.ingress(benign(i), SimTime::ZERO, &mut drops);
+        }
+        drop(sw);
+        assert_eq!(*seen.borrow(), 50);
+    }
+
+    #[test]
+    fn reset_on_poll_restores_singleton_geometry() {
+        let mut sw = switch();
+        let mut drops = Vec::new();
+        // Packets jittering near one anchor grow its cluster within the
+        // per-window growth budget; the tick must shrink every cluster
+        // back to a singleton (cost 0).
+        for i in 0..40u8 {
+            let p = Packet::new(SimTime::ZERO)
+                .with_dst(Ipv4Addr::new(198, 18, 30 + i % 5, 30 + i % 7))
+                .with_ports(8190 + (i % 9) as u16, 8190 + (i % 5) as u16)
+                .with_size(200);
+            sw.ingress(p, SimTime::ZERO, &mut drops);
+        }
+        // A fresh switch's clusters are singletons: zero range extents,
+        // one admitted value per nominal feature (cost 1 each).
+        let baseline: f64 = {
+            let fresh = switch();
+            (0..4).filter_map(|k| fresh.clusterer().cost(k)).sum()
+        };
+        let grown: f64 = (0..4).filter_map(|k| sw.clusterer().cost(k)).sum();
+        assert!(grown > baseline, "some cluster must have grown");
+        sw.control_tick(SimTime::from_secs(1));
+        let after: f64 = (0..4).filter_map(|k| sw.clusterer().cost(k)).sum();
+        assert_eq!(after, baseline, "clusters are singletons again after reset");
+        assert_eq!(sw.ticks(), 1);
+    }
+
+    #[test]
+    fn transparent_without_congestion() {
+        let mut sw = switch();
+        let mut drops = Vec::new();
+        for i in 0..1_000 {
+            sw.ingress(benign(i), SimTime::ZERO, &mut drops);
+            sw.dequeue(SimTime::ZERO);
+        }
+        assert!(drops.is_empty(), "no congestion, no drops");
+    }
+
+    #[test]
+    fn backlog_accounting() {
+        let mut sw = switch();
+        let mut drops = Vec::new();
+        for i in 0..10 {
+            sw.ingress(benign(i), SimTime::ZERO, &mut drops);
+        }
+        assert_eq!(sw.backlog_pkts(), 10);
+        while sw.dequeue(SimTime::ZERO).is_some() {}
+        assert_eq!(sw.backlog_pkts(), 0);
+    }
+}

@@ -1,0 +1,190 @@
+//! Tofino pipeline-resource model (paper §6).
+//!
+//! The prototype's footprint on Tofino 1 is dictated by its pipeline
+//! structure: per ordinal feature and cluster, the min and max registers
+//! are accessed sequentially (2 stages, parallelizable across
+//! cluster-feature pairs); nominal features take one bloom-filter stage;
+//! per-cluster distances are aggregated by a log₂|F|-deep adder tree and
+//! the minimum found by a log₂|C|-deep comparator tree; cluster update
+//! uses resubmission and queue selection one match-action stage. The
+//! paper reports 12 stages for 4 clusters × 4 features on Tofino 1 and
+//! notes Tofino 2/3 allow more-performant configurations.
+//!
+//! This module computes the stage/register budget of an arbitrary
+//! configuration so experiments can assert "deployable on Tofino 1"
+//! mechanically instead of by folklore.
+
+use accturbo_clustering::{FeatureKind, FeatureSet};
+
+/// A switch-ASIC resource budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Target {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Match-action stages available to the clustering program.
+    pub stages: u32,
+    /// Register (SRAM) budget available, in 32-bit words — a coarse model
+    /// of the per-stage SRAM the prototype can claim.
+    pub register_words: u64,
+    /// Strict-priority queues per port usable by the scheduler.
+    pub queues: u32,
+}
+
+/// Tofino 1 (the paper's deployment platform).
+pub const TOFINO1: Target = Target {
+    name: "Tofino 1",
+    stages: 12,
+    register_words: 1 << 20,
+    queues: 8,
+};
+
+/// Tofino 2 (more stages; the paper's "more-performant implementations").
+pub const TOFINO2: Target = Target {
+    name: "Tofino 2",
+    stages: 20,
+    register_words: 1 << 21,
+    queues: 16,
+};
+
+/// Tofino 3.
+pub const TOFINO3: Target = Target {
+    name: "Tofino 3",
+    stages: 24,
+    register_words: 1 << 22,
+    queues: 16,
+};
+
+/// The resource usage of a clustering configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Usage {
+    /// Pipeline stages consumed.
+    pub stages: u32,
+    /// Register words consumed.
+    pub register_words: u64,
+}
+
+/// Computes the §6 pipeline layout for `clusters` range clusters over
+/// `features`, with `bloom_bits` per nominal admission list.
+pub fn usage(features: &FeatureSet, clusters: usize, bloom_bits: u64) -> Usage {
+    assert!(clusters >= 1, "need at least one cluster");
+    let ordinal = features
+        .specs()
+        .iter()
+        .filter(|s| s.kind == FeatureKind::Ordinal)
+        .count() as u32;
+    let nominal = features.len() as u32 - ordinal;
+
+    // Distance computation: min/max registers are read sequentially (2
+    // stages) for ordinal features; bloom lookups take 1. Pairs across
+    // clusters and features run in parallel within those stages.
+    let distance_stages = if ordinal > 0 { 2 } else { 0 } + u32::from(nominal > 0);
+    // Aggregate per-cluster feature distances: ⌈log₂ |F|⌉ adder stages.
+    let agg_stages = (features.len() as u32).next_power_of_two().trailing_zeros();
+    // Find the minimum across clusters: ⌈log₂ |C|⌉ comparator stages.
+    let min_stages = (clusters as u32).next_power_of_two().trailing_zeros();
+    // Queue selection: one match-action stage. Cluster update runs on the
+    // resubmission path and reuses the distance stages.
+    let queue_stage = 1;
+    // Per-cluster statistics (packet/byte counters + the representative
+    // register the control plane reads): one stage.
+    let stats_stage = 1;
+
+    let stages = distance_stages + agg_stages + min_stages + queue_stage + stats_stage;
+
+    // Registers: 2 words (min/max) per ordinal feature per cluster, a
+    // bloom filter per nominal feature per cluster, plus counters and the
+    // representative vector per cluster.
+    let per_cluster = 2 * ordinal as u64
+        + nominal as u64 * bloom_bits.div_ceil(32)
+        + 2 // packet + byte counters
+        + features.len() as u64; // representative
+    Usage {
+        stages,
+        register_words: clusters as u64 * per_cluster,
+    }
+}
+
+/// Whether `features`×`clusters` fits on `target` (stages, registers, and
+/// one priority queue per cluster).
+pub fn fits(features: &FeatureSet, clusters: usize, bloom_bits: u64, target: Target) -> bool {
+    let u = usage(features, clusters, bloom_bits);
+    u.stages <= target.stages
+        && u.register_words <= target.register_words
+        && clusters as u32 <= target.queues
+}
+
+/// The largest cluster count of `features` that fits on `target`.
+pub fn max_clusters(features: &FeatureSet, bloom_bits: u64, target: Target) -> usize {
+    (1..=target.queues as usize)
+        .take_while(|&c| fits(features, c, bloom_bits, target))
+        .last()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accturbo_clustering::FeatureSet;
+
+    #[test]
+    fn the_paper_prototype_fits_tofino1_in_12_stages() {
+        // §6: "Our prototype uses 12 stages and supports 4 features and 4
+        // clusters."
+        let features = FeatureSet::hardware_fig6();
+        let u = usage(&features, 4, 1024);
+        assert!(
+            u.stages <= 12,
+            "paper prototype needs {} stages (> 12)",
+            u.stages
+        );
+        assert!(fits(&features, 4, 1024, TOFINO1));
+    }
+
+    #[test]
+    fn ten_clusters_need_a_newer_tofino() {
+        // The §8 simulation profile (10 clusters, 12 features) exceeds
+        // Tofino 1's queue budget but fits the newer parts, matching the
+        // paper's "more-complete versions become implementable" remark.
+        let features = FeatureSet::simulation_default();
+        assert!(!fits(&features, 10, 1024, TOFINO1));
+        assert!(fits(&features, 10, 1024, TOFINO2));
+        assert!(fits(&features, 10, 1024, TOFINO3));
+    }
+
+    #[test]
+    fn stage_count_grows_logarithmically() {
+        let features = FeatureSet::hardware_dst_bytes();
+        let u4 = usage(&features, 4, 1024);
+        let u8 = usage(&features, 8, 1024);
+        let u16 = usage(&features, 16, 1024);
+        assert_eq!(u8.stages - u4.stages, 1, "4→8 clusters adds one min stage");
+        assert_eq!(u16.stages - u8.stages, 1, "8→16 clusters adds one min stage");
+    }
+
+    #[test]
+    fn registers_scale_linearly_with_clusters() {
+        let features = FeatureSet::hardware_dst_bytes();
+        let u2 = usage(&features, 2, 1024);
+        let u4 = usage(&features, 4, 1024);
+        assert_eq!(u4.register_words, 2 * u2.register_words);
+    }
+
+    #[test]
+    fn max_clusters_is_monotone_across_targets() {
+        let features = FeatureSet::hardware_fig6();
+        let t1 = max_clusters(&features, 1024, TOFINO1);
+        let t2 = max_clusters(&features, 1024, TOFINO2);
+        let t3 = max_clusters(&features, 1024, TOFINO3);
+        assert!(t1 >= 4, "Tofino 1 must at least fit the paper's prototype");
+        assert!(t2 >= t1 && t3 >= t2);
+    }
+
+    #[test]
+    fn ordinal_only_configs_skip_the_bloom_stage() {
+        let ordinal_only = FeatureSet::hardware_dst_bytes();
+        let with_nominal = FeatureSet::hardware_fig6();
+        let a = usage(&ordinal_only, 4, 1024);
+        let b = usage(&with_nominal, 4, 1024);
+        assert_eq!(b.stages, a.stages + 1, "nominal features add one stage");
+    }
+}

@@ -1,0 +1,234 @@
+//! Ablations of the design decisions this reproduction had to concretize
+//! (DESIGN.md §4), each run on the Fig. 6 pulse-wave scenario and scored
+//! by benign loss during the pulses:
+//!
+//! * cluster initialization: Alg-1 anchors vs. seed-from-traffic;
+//! * representative choice at re-seeding: range midpoint vs. last packet;
+//! * the resubmission-modeled growth budget;
+//! * the control-plane period (the paper's reaction-time knob);
+//! * nominal-set storage: exact sets vs. hardware bloom filters.
+
+use crate::common::{simulate, Scale, LINK_10G_SCALED};
+use crate::fig6;
+use accturbo_clustering::{FeatureSet, InitMode, NominalMode, RepMode};
+use accturbo_core::{AccTurboConfig, AccTurboSwitch, RankedAccTurboSwitch};
+use accturbo_netsim::SimDuration;
+use accturbo_telemetry::{f, Table};
+use std::fmt::Write as _;
+
+const LINK: u64 = LINK_10G_SCALED;
+
+/// Runs the Fig. 6 workload through a customized hardware-profile switch
+/// and returns the benign loss during pulses.
+fn benign_loss(customize: impl FnOnce(&mut AccTurboConfig), period_ms: u64, secs: u64) -> f64 {
+    let mut cfg = AccTurboConfig::hardware(FeatureSet::hardware_fig6());
+    customize(&mut cfg);
+    let mut sw = AccTurboSwitch::new(cfg);
+    let mut src = fig6::source(secs);
+    let res = simulate(
+        &mut src,
+        &mut sw,
+        LINK,
+        secs,
+        Some(SimDuration::from_millis(period_ms)),
+    );
+    fig6::benign_loss_during_pulses(&res, secs)
+}
+
+/// Benign pulse-loss for the two initialization modes.
+pub fn init_mode_ablation(secs: u64) -> (f64, f64) {
+    let anchors = benign_loss(|_| {}, 50, secs);
+    let from_traffic = benign_loss(
+        |cfg| {
+            cfg.clustering = cfg.clustering.clone().with_init(InitMode::FromTraffic);
+        },
+        50,
+        secs,
+    );
+    (anchors, from_traffic)
+}
+
+/// Benign pulse-loss for the two representative modes.
+pub fn rep_mode_ablation(secs: u64) -> (f64, f64) {
+    let midpoint = benign_loss(
+        |cfg| {
+            cfg.clustering = cfg.clustering.clone().with_rep(RepMode::RangeMidpoint);
+        },
+        50,
+        secs,
+    );
+    let last_packet = benign_loss(
+        |cfg| {
+            cfg.clustering = cfg.clustering.clone().with_rep(RepMode::LastPacket);
+        },
+        50,
+        secs,
+    );
+    (midpoint, last_packet)
+}
+
+/// Benign pulse-loss per growth budget (`None` = unlimited).
+pub fn budget_ablation(budget: Option<u64>, secs: u64) -> f64 {
+    benign_loss(
+        |cfg| {
+            cfg.clustering = cfg.clustering.clone().with_update_budget(budget);
+        },
+        50,
+        secs,
+    )
+}
+
+/// Benign pulse-loss per control-plane period.
+pub fn period_ablation(period_ms: u64, secs: u64) -> f64 {
+    benign_loss(|_| {}, period_ms, secs)
+}
+
+/// Benign pulse-loss with the per-packet SP-PIFO rank scheduler instead
+/// of the control-plane cluster→queue mapping (§5.1's other design point).
+pub fn ranked_scheduler_ablation(secs: u64) -> (f64, f64) {
+    let bank = benign_loss(|_| {}, 50, secs);
+    let mut sw = RankedAccTurboSwitch::new(AccTurboConfig::hardware(FeatureSet::hardware_fig6()));
+    let mut src = fig6::source(secs);
+    let res = simulate(
+        &mut src,
+        &mut sw,
+        LINK,
+        secs,
+        Some(SimDuration::from_millis(50)),
+    );
+    (bank, fig6::benign_loss_during_pulses(&res, secs))
+}
+
+/// Benign pulse-loss with bloom-filter nominal sets of the given size
+/// (`None` = exact sets).
+pub fn nominal_ablation(bloom_bits: Option<u64>, secs: u64) -> f64 {
+    benign_loss(
+        |cfg| {
+            if let Some(bits) = bloom_bits {
+                cfg.clustering.nominal = NominalMode::Bloom { bits, hashes: 3 };
+            }
+        },
+        50,
+        secs,
+    )
+}
+
+/// Regenerates the ablation report.
+pub fn report(scale: Scale) -> String {
+    let secs = scale.secs(100, 4);
+    let mut out = String::new();
+
+    let mut t = Table::new(&["Ablation", "variant", "benign loss during pulses (%)"]);
+    let (anchors, seeded) = init_mode_ablation(secs);
+    t.row(vec!["init".into(), "anchors (Alg. 1)".into(), f(100.0 * anchors)]);
+    t.row(vec!["init".into(), "seed-from-traffic".into(), f(100.0 * seeded)]);
+    let (midpoint, last) = rep_mode_ablation(secs);
+    t.row(vec!["representative".into(), "range midpoint".into(), f(100.0 * midpoint)]);
+    t.row(vec!["representative".into(), "last packet".into(), f(100.0 * last)]);
+    for budget in [Some(64), Some(256), Some(4096), None] {
+        let label = budget.map(|b| b.to_string()).unwrap_or_else(|| "unlimited".into());
+        t.row(vec![
+            "growth budget".into(),
+            label,
+            f(100.0 * budget_ablation(budget, secs)),
+        ]);
+    }
+    for period in [50u64, 250, 1000] {
+        t.row(vec![
+            "control period".into(),
+            format!("{period} ms"),
+            f(100.0 * period_ablation(period, secs)),
+        ]);
+    }
+    let (bank, ranked) = ranked_scheduler_ablation(secs);
+    t.row(vec!["scheduler".into(), "cluster→queue bank".into(), f(100.0 * bank)]);
+    t.row(vec!["scheduler".into(), "per-packet SP-PIFO".into(), f(100.0 * ranked)]);
+    t.row(vec![
+        "nominal sets".into(),
+        "exact".into(),
+        f(100.0 * nominal_ablation(None, secs)),
+    ]);
+    for bits in [64u64, 1024] {
+        t.row(vec![
+            "nominal sets".into(),
+            format!("bloom {bits}b"),
+            f(100.0 * nominal_ablation(Some(bits), secs)),
+        ]);
+    }
+    let _ = write!(&mut out, "{}", t.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SECS: u64 = 60;
+
+    #[test]
+    fn unlimited_growth_is_worse_under_midpoint_reps() {
+        // The growth budget and the representative mode interact:
+        // last-packet re-seeding alone stops the within-window snowball,
+        // but under midpoint re-seeding (where the seed inherits the
+        // grown range's center) the budget is load-bearing.
+        let loss = |budget: Option<u64>| {
+            benign_loss(
+                |cfg| {
+                    cfg.clustering = cfg
+                        .clustering
+                        .clone()
+                        .with_rep(RepMode::RangeMidpoint)
+                        .with_update_budget(budget);
+                },
+                50,
+                SECS,
+            )
+        };
+        let budgeted = loss(Some(256));
+        let unlimited = loss(None);
+        assert!(
+            unlimited > budgeted,
+            "unlimited growth ({unlimited:.2}) must lose to the budget ({budgeted:.2})"
+        );
+    }
+
+    #[test]
+    fn very_slow_control_planes_protect_less() {
+        // Sub-second periods are statistically indistinguishable on this
+        // workload; a controller slower than half a pulse is not.
+        let fast = period_ablation(50, SECS);
+        let glacial = period_ablation(5_000, SECS);
+        assert!(
+            glacial > fast,
+            "a 5 s controller ({glacial:.2}) must lose to a 50 ms one ({fast:.2})"
+        );
+    }
+
+    #[test]
+    fn tiny_bloom_filters_saturate_and_hurt() {
+        // A saturated admission list makes every port look already
+        // admitted, erasing the nominal features.
+        let exact = nominal_ablation(None, SECS);
+        let tiny = nominal_ablation(Some(64), SECS);
+        assert!(
+            tiny >= exact - 0.03,
+            "64-bit blooms ({tiny:.2}) should not beat exact sets ({exact:.2})"
+        );
+    }
+
+    #[test]
+    fn both_scheduler_architectures_defend() {
+        let (bank, ranked) = ranked_scheduler_ablation(SECS);
+        assert!(bank < 0.35, "bank loss {bank:.2}");
+        assert!(ranked < 0.35, "ranked loss {ranked:.2}");
+    }
+
+    #[test]
+    fn all_ablation_axes_run() {
+        let (a, b) = init_mode_ablation(30);
+        let (c, d) = rep_mode_ablation(30);
+        for v in [a, b, c, d] {
+            assert!((0.0..=1.0).contains(&v), "loss fraction out of range: {v}");
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! The adversarial scenarios of paper §9, executable.
+//!
+//! §9.1 — evading ACC-Turbo:
+//! * **Packet-level evasion**: randomize every clustering feature so the
+//!   attack spreads across all clusters. The paper predicts ACC-Turbo
+//!   cannot isolate such traffic; congestion then hurts benign and attack
+//!   proportionally (FIFO-like), no worse.
+//! * **Aggregate-level evasion**: |C| simultaneous low-rate vectors, one
+//!   per cluster, so no single cluster stands out.
+//!
+//! §9.2 — weaponizing ACC-Turbo:
+//! * **Swapping attack**: benign traffic is a tight high-rate aggregate;
+//!   the attacker sends *randomized* traffic so the benign aggregate looks
+//!   like the attack and gets deprioritized.
+//! * **Imitation attack**: attack traffic replicates the victim's own
+//!   feature signature, dragging the victim's cluster down with it.
+//!
+//! Each scenario reports benign/attack drop percentages under ACC-Turbo
+//! and FIFO, quantifying how much of the defense survives.
+
+use crate::common::{simulate, Scale, LINK_10G_SCALED};
+use accturbo_clustering::FeatureSet;
+use accturbo_core::{AccTurboConfig, AccTurboSwitch};
+use accturbo_netsim::{
+    ClassId, MergedSource, PacketSource, SimDuration, SimTime, SingleQueueSwitch,
+};
+use accturbo_telemetry::{f, Table};
+use accturbo_traffic::{
+    AttackConfig, AttackSource, AttackVector, BackgroundConfig, BackgroundSource, CbrSource,
+    FlowTemplate, MapSource, Spread, SpreadSource,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::net::Ipv4Addr;
+
+const LINK: u64 = LINK_10G_SCALED;
+const SECS: u64 = 40;
+const SEED: u64 = 0xADE5;
+
+/// The §9 scenarios.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// Baseline: a plain single-flow flood (the defense's home turf).
+    PlainFlood,
+    /// §9.1: every feature randomized per packet.
+    PacketLevelEvasion,
+    /// §9.1: |C| spread-out low-rate vectors, one per cluster.
+    AggregateLevelEvasion,
+    /// §9.2: tight high-rate benign + randomized attack.
+    Swapping,
+    /// §9.2: attack replicates the benign service's signature.
+    Imitation,
+}
+
+impl Scenario {
+    /// All scenarios, report order.
+    pub const ALL: [Scenario; 5] = [
+        Scenario::PlainFlood,
+        Scenario::PacketLevelEvasion,
+        Scenario::AggregateLevelEvasion,
+        Scenario::Swapping,
+        Scenario::Imitation,
+    ];
+
+    /// Row label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scenario::PlainFlood => "Plain flood (baseline)",
+            Scenario::PacketLevelEvasion => "Packet-level evasion",
+            Scenario::AggregateLevelEvasion => "Aggregate-level evasion",
+            Scenario::Swapping => "Swapping attack",
+            Scenario::Imitation => "Imitation attack",
+        }
+    }
+}
+
+/// The benign service all §9.2 scenarios target: a tight, high-rate
+/// aggregate (one /24, one port band, fixed size).
+fn victim_service(end: SimTime, rate_bps: u64) -> Box<dyn PacketSource> {
+    let cbr = CbrSource::new(
+        FlowTemplate::udp(
+            Ipv4Addr::new(95, 10, 1, 1),
+            Ipv4Addr::new(203, 7, 44, 0),
+            30_000,
+            443,
+            ClassId::BENIGN,
+        )
+        .with_size(1200),
+        rate_bps,
+        SimTime::ZERO,
+        end,
+    );
+    Box::new(SpreadSource::new(
+        cbr,
+        Spread {
+            dst_low_bits: 8,
+            sport: Some((30_000, 30_200)),
+            ..Spread::default()
+        },
+        SEED + 9,
+    ))
+}
+
+/// Builds the workload for a scenario.
+pub fn workload(scenario: Scenario, secs: u64) -> MergedSource {
+    let end = SimTime::from_secs(secs);
+    let start = SimTime::from_secs(5);
+    let mut sources: Vec<Box<dyn PacketSource>> = vec![Box::new(BackgroundSource::new(
+        BackgroundConfig::new(5_000_000, SimTime::ZERO, end, SEED),
+    ))];
+    match scenario {
+        Scenario::PlainFlood => {
+            sources.push(Box::new(AttackSource::new(
+                AttackConfig::new(
+                    AttackVector::UdpFlood,
+                    40_000_000,
+                    start,
+                    end,
+                    ClassId(1),
+                    SEED + 1,
+                )
+                .with_single_flow(),
+            )));
+        }
+        Scenario::PacketLevelEvasion => {
+            // Randomize *everything*: source, destination, both ports,
+            // size, TTL — nothing left to correlate on.
+            let flood = AttackSource::new(
+                AttackConfig::new(
+                    AttackVector::UdpFlood,
+                    40_000_000,
+                    start,
+                    end,
+                    ClassId(1),
+                    SEED + 1,
+                )
+                .with_source_spoofing(),
+            );
+            let mut rng = StdRng::seed_from_u64(SEED + 2);
+            sources.push(Box::new(MapSource::new(flood, move |p| {
+                p.dst = Ipv4Addr::new(rng.gen(), rng.gen(), rng.gen(), rng.gen());
+                p.ttl = rng.gen();
+                p.ip_len = rng.gen();
+                p.ip_id = rng.gen();
+            })));
+        }
+        Scenario::AggregateLevelEvasion => {
+            // Ten spread-out vectors at 4 Mbps each (same 40 Mbps total),
+            // one per cluster slot of the simulation profile.
+            for (i, vector) in AttackVector::ALL.iter().enumerate() {
+                sources.push(Box::new(AttackSource::new(
+                    AttackConfig::new(
+                        *vector,
+                        4_000_000,
+                        start,
+                        end,
+                        ClassId(1 + i as u16),
+                        SEED + 10 + i as u64,
+                    )
+                    .with_victim(Ipv4Addr::new(10 + 20 * i as u8, 50, 7, 9), 4000 + i as u16),
+                )));
+            }
+        }
+        Scenario::Swapping => {
+            // Benign = tight 6 Mbps service; attack = randomized 12 Mbps.
+            sources.push(victim_service(end, 6_000_000));
+            let flood = AttackSource::new(
+                AttackConfig::new(
+                    AttackVector::UdpFlood,
+                    12_000_000,
+                    start,
+                    end,
+                    ClassId(1),
+                    SEED + 3,
+                )
+                .with_source_spoofing(),
+            );
+            let mut rng = StdRng::seed_from_u64(SEED + 4);
+            sources.push(Box::new(MapSource::new(flood, move |p| {
+                p.dst = Ipv4Addr::new(rng.gen(), rng.gen(), rng.gen(), rng.gen());
+                p.ttl = rng.gen();
+            })));
+        }
+        Scenario::Imitation => {
+            // The attack replicates the victim service's exact signature.
+            sources.push(victim_service(end, 6_000_000));
+            let imitation = CbrSource::new(
+                FlowTemplate::udp(
+                    Ipv4Addr::new(95, 10, 1, 1),
+                    Ipv4Addr::new(203, 7, 44, 0),
+                    30_000,
+                    443,
+                    ClassId(1),
+                )
+                .with_size(1200),
+                40_000_000,
+                start,
+                end,
+            );
+            sources.push(Box::new(SpreadSource::new(
+                imitation,
+                Spread {
+                    dst_low_bits: 8,
+                    sport: Some((30_000, 30_200)),
+                    ..Spread::default()
+                },
+                SEED + 5,
+            )));
+        }
+    }
+    MergedSource::new(sources)
+}
+
+/// Runs a scenario through ACC-Turbo and FIFO; returns
+/// `(accturbo benign%, accturbo attack%, fifo benign%)` drop percentages.
+pub fn run_scenario(scenario: Scenario, secs: u64) -> (f64, f64, f64) {
+    let mut src = workload(scenario, secs);
+    let mut sw =
+        AccTurboSwitch::new(AccTurboConfig::simulation(FeatureSet::simulation_default()));
+    let res = simulate(&mut src, &mut sw, LINK, secs, Some(SimDuration::from_millis(50)));
+    let (at_benign, at_attack) = (res.stats.benign_drop_pct(), res.stats.attack_drop_pct());
+
+    let mut src = workload(scenario, secs);
+    let mut fifo = SingleQueueSwitch::new(crate::common::baseline_fifo());
+    let res = simulate(&mut src, &mut fifo, LINK, secs, None);
+    (at_benign, at_attack, res.stats.benign_drop_pct())
+}
+
+/// Regenerates the §9 adversarial table.
+pub fn report(scale: Scale) -> String {
+    let secs = scale.secs(SECS, 4);
+    let mut table = Table::new(&[
+        "Scenario (§9)",
+        "ACC-Turbo benign%",
+        "ACC-Turbo attack%",
+        "FIFO benign%",
+    ]);
+    for s in Scenario::ALL {
+        let (b, a, fb) = run_scenario(s, secs);
+        table.row(vec![s.name().into(), f(b), f(a), f(fb)]);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_flood_is_mitigated() {
+        let (benign, attack, fifo) = run_scenario(Scenario::PlainFlood, SECS);
+        assert!(benign < fifo / 2.0, "defense must beat FIFO: {benign:.1} vs {fifo:.1}");
+        assert!(attack > 60.0, "the flood must absorb the loss: {attack:.1}");
+    }
+
+    #[test]
+    fn packet_level_evasion_degrades_to_fifo_but_not_worse() {
+        // §9.1: with every feature randomized, ACC-Turbo "can not infer
+        // attack traffic" — mitigation efficiency collapses, but because
+        // mitigation is scheduling (not filtering), benign traffic fares
+        // no worse than under FIFO.
+        let (benign, _attack, fifo) = run_scenario(Scenario::PacketLevelEvasion, SECS);
+        assert!(
+            benign < fifo + 10.0,
+            "evasion must not make the defense worse than FIFO: {benign:.1} vs {fifo:.1}"
+        );
+        // And the defense visibly degrades vs the plain flood.
+        let (plain_benign, _, _) = run_scenario(Scenario::PlainFlood, SECS);
+        assert!(
+            benign > plain_benign,
+            "evasion should cost the defense something: {benign:.1} vs {plain_benign:.1}"
+        );
+    }
+
+    #[test]
+    fn aggregate_level_evasion_is_harder_but_bounded() {
+        let (benign, _attack, fifo) = run_scenario(Scenario::AggregateLevelEvasion, SECS);
+        assert!(
+            benign < fifo + 10.0,
+            "aggregate evasion must not be worse than FIFO: {benign:.1} vs {fifo:.1}"
+        );
+    }
+
+    #[test]
+    fn swapping_attack_hurts_the_tight_benign_service() {
+        // §9.2: the tight high-rate benign aggregate is the one that looks
+        // malicious; expect it to suffer more than under the plain flood.
+        let (benign, _, _) = run_scenario(Scenario::Swapping, SECS);
+        let (plain_benign, _, _) = run_scenario(Scenario::PlainFlood, SECS);
+        assert!(
+            benign > plain_benign,
+            "swapping should hurt benign more than a plain flood: {benign:.1} vs {plain_benign:.1}"
+        );
+    }
+
+    #[test]
+    fn imitation_attack_drags_the_victim_down() {
+        // The victim's cluster carries the attack: both are deprioritized
+        // together; the victim suffers while total collateral stays below
+        // FIFO (the rest of the background is protected).
+        let (benign, attack, fifo) = run_scenario(Scenario::Imitation, SECS);
+        assert!(benign > 5.0, "imitation must hurt the victim: {benign:.1}");
+        assert!(benign < fifo + 5.0, "but not exceed FIFO: {benign:.1} vs {fifo:.1}");
+        assert!(attack > 30.0, "the imitation flood still pays: {attack:.1}");
+    }
+}

@@ -1,0 +1,115 @@
+//! Shared experiment plumbing.
+//!
+//! All "hardware" experiments run at the 1/1000 rate scale documented in
+//! DESIGN.md §4 (10 Gbps bottleneck → 10 Mbps simulated link) with
+//! identical rate ratios, so shares, percentages and times match the
+//! paper's axes.
+
+use accturbo_netsim::{
+    run, Bandwidth, EngineConfig, PacketSource, RunResult, SimDuration, SimTime, Switch,
+};
+
+/// Experiment fidelity: `Full` regenerates the paper's figures; `Quick`
+/// shrinks durations/rates for benches and CI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Paper-shaped durations and rates.
+    Full,
+    /// Shortened runs for benches and integration tests.
+    Quick,
+}
+
+impl Scale {
+    /// Scales a duration in seconds: quick mode divides by `q`.
+    pub fn secs(self, full: u64, q: u64) -> u64 {
+        match self {
+            Scale::Full => full,
+            Scale::Quick => (full / q).max(1),
+        }
+    }
+}
+
+/// The scaled 10 Gbps → 10 Mbps bottleneck used by the §7 experiments.
+pub const LINK_10G_SCALED: u64 = 10_000_000;
+
+/// The undefended baseline queue used across experiments: 512 KB of
+/// buffer, additionally capped at ~775 packets so near-full behaviour is
+/// cell-granular like a real switch buffer (a pure byte cap would
+/// preferentially admit small packets).
+pub fn baseline_fifo() -> accturbo_netsim::FifoQueue {
+    accturbo_netsim::FifoQueue::new(512 * 1024).with_pkt_cap(775)
+}
+
+/// Runs `source` through `switch` with the standard experiment engine:
+/// 1-second stats buckets, the given control period, hard stop at `secs`.
+pub fn simulate(
+    source: &mut dyn PacketSource,
+    switch: &mut dyn Switch,
+    link_bps: u64,
+    secs: u64,
+    control_period: Option<SimDuration>,
+) -> RunResult {
+    let mut cfg = EngineConfig::new(Bandwidth::from_bps(link_bps))
+        .with_stats_interval(SimDuration::from_secs(1))
+        .with_end_time(SimTime::from_secs(secs));
+    if let Some(p) = control_period {
+        cfg = cfg.with_control_period(p);
+    }
+    run(source, switch, &cfg)
+}
+
+/// Per-second fraction-of-link-bandwidth series for a set of classes —
+/// the y-axis of Figs. 2 and 3.
+pub fn share_series(
+    result: &RunResult,
+    link_bps: u64,
+    classes: &[accturbo_netsim::ClassId],
+    secs: u64,
+) -> Vec<Vec<f64>> {
+    (0..secs as usize)
+        .map(|b| {
+            classes
+                .iter()
+                .map(|&c| result.stats.throughput_bps(b, c) / link_bps as f64)
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accturbo_netsim::{ClassId, FifoQueue, Packet, SingleQueueSwitch, VecSource};
+
+    #[test]
+    fn scale_math() {
+        assert_eq!(Scale::Full.secs(50, 5), 50);
+        assert_eq!(Scale::Quick.secs(50, 5), 10);
+        assert_eq!(Scale::Quick.secs(3, 5), 1);
+    }
+
+    #[test]
+    fn simulate_enforces_end_time() {
+        let pkts: Vec<Packet> = (0..1000)
+            .map(|i| Packet::new(SimTime::from_millis(i * 10)).with_size(100))
+            .collect();
+        let mut src = VecSource::new(pkts);
+        let mut sw = SingleQueueSwitch::new(FifoQueue::new(100_000));
+        let res = simulate(&mut src, &mut sw, LINK_10G_SCALED, 5, None);
+        assert_eq!(res.arrivals, 500);
+    }
+
+    #[test]
+    fn share_series_shape() {
+        let pkts: Vec<Packet> = (0..100)
+            .map(|i| Packet::new(SimTime::from_millis(i * 10)).with_size(1250))
+            .collect();
+        let mut src = VecSource::new(pkts);
+        let mut sw = SingleQueueSwitch::new(FifoQueue::new(1_000_000));
+        let res = simulate(&mut src, &mut sw, LINK_10G_SCALED, 2, None);
+        let series = share_series(&res, LINK_10G_SCALED, &[ClassId::BENIGN], 2);
+        assert_eq!(series.len(), 2);
+        // 1250 B x 100 pkts in 1 s = 1 Mbps = 0.1 of the link.
+        assert!((series[0][0] - 0.1).abs() < 0.01);
+    }
+}

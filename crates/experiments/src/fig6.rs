@@ -1,0 +1,219 @@
+//! Figure 6: mitigation of a pulse-wave DDoS attack on the testbed (§7.1).
+//!
+//! CAIDA-like background traffic on a 10 G bottleneck (here rate-scaled to
+//! 10 Mbps, DESIGN.md §4) plus four UDP-flood pulses of 10 s with 10 s
+//! interleaves, each targeting a different IP of a common /24 and a
+//! different port, peaking around 4× the bottleneck (the paper's
+//! 40.789 Gbps). ACC-Turbo runs the §7.1 hardware profile: 4 clusters on
+//! the last two destination-address bytes plus both ports, throughput
+//! ranking, priorities updated at the controller's speed.
+//!
+//! Expected shape: under FIFO the pulses cut background throughput by
+//! ≈61%; under ACC-Turbo the background recovers fully within ≈1 s of
+//! each pulse.
+
+use crate::common::{simulate, Scale, LINK_10G_SCALED};
+use accturbo_clustering::FeatureSet;
+use accturbo_core::{AccTurboConfig, AccTurboSwitch};
+use accturbo_netsim::{
+    ClassId, MergedSource, PacketSource, RunResult, SimDuration, SimTime, SingleQueueSwitch,
+};
+use accturbo_telemetry::f;
+use accturbo_traffic::{BackgroundConfig, BackgroundSource, PulseWave};
+use std::fmt::Write as _;
+use std::net::Ipv4Addr;
+
+const LINK: u64 = LINK_10G_SCALED;
+/// Scaled background rate (the paper's CAIDA replay carried a bit under
+/// the bottleneck's capacity).
+const BACKGROUND_BPS: u64 = 7_000_000;
+/// Scaled pulse rate (the paper's pulses peak at ≈40.8 Gbps).
+const PULSE_BPS: u64 = 40_000_000;
+const SEED: u64 = 0xF16;
+
+/// Builds the Fig. 6 workload: background + 4 pulses (10 s on / 10 s off)
+/// starting at t = 10 s.
+pub fn source(secs: u64) -> MergedSource {
+    let end = SimTime::from_secs(secs);
+    let background: Box<dyn PacketSource> = Box::new(BackgroundSource::new(
+        BackgroundConfig::new(BACKGROUND_BPS, SimTime::ZERO, end, SEED),
+    ));
+    let wave: Box<dyn PacketSource> = Box::new(
+        PulseWave::fig6(
+            4,
+            SimTime::from_secs(10),
+            SimDuration::from_secs(10),
+            SimDuration::from_secs(10),
+            PULSE_BPS,
+            Ipv4Addr::new(198, 18, 5, 0),
+            SEED + 1,
+        )
+        .into_source(),
+    );
+    MergedSource::new(vec![background, wave])
+}
+
+/// Runs the workload through FIFO.
+pub fn fifo_run(secs: u64) -> RunResult {
+    let mut src = source(secs);
+    let mut sw = SingleQueueSwitch::new(crate::common::baseline_fifo());
+    simulate(&mut src, &mut sw, LINK, secs, None)
+}
+
+/// Runs the workload through the hardware-profile ACC-Turbo.
+pub fn accturbo_run(secs: u64) -> RunResult {
+    let mut src = source(secs);
+    let mut sw = AccTurboSwitch::new(
+        AccTurboConfig::hardware(FeatureSet::hardware_fig6()),
+    );
+    simulate(
+        &mut src,
+        &mut sw,
+        LINK,
+        secs,
+        // The paper's controller updates priorities "at the controller's
+        // maximum speed" (milliseconds); 50 ms here.
+        Some(SimDuration::from_millis(50)),
+    )
+}
+
+fn panel(out: &mut String, title: &str, res: &RunResult, secs: u64) {
+    let _ = writeln!(out, "# {title}");
+    let _ = writeln!(out, "t,attack_gbps,benign_gbps");
+    for t in 0..secs as usize {
+        // Report at the paper's axis scale (sim Mbps == paper Gbps).
+        let attack = res.stats.attack_throughput_bps(t) / 1e6;
+        let benign = res.stats.throughput_bps(t, ClassId::BENIGN) / 1e6;
+        let _ = writeln!(out, "{t},{},{}", f(attack), f(benign));
+    }
+}
+
+/// Fraction of offered benign traffic *lost* during the pulse-active
+/// seconds (1 − delivered/offered). This is the drop-based equivalent of
+/// the paper's "throughput reduction": it compares against what benign
+/// traffic actually offered, so background burstiness cancels out.
+pub fn benign_loss_during_pulses(res: &RunResult, secs: u64) -> f64 {
+    let (mut offered, mut delivered) = (0.0f64, 0.0f64);
+    for pulse in 0..4u64 {
+        let start = 10 + 20 * pulse;
+        for t in start + 1..(start + 10).min(secs) {
+            offered += res.stats.arrival_bps(t as usize, ClassId::BENIGN);
+            delivered += res.stats.throughput_bps(t as usize, ClassId::BENIGN);
+        }
+    }
+    if offered <= 0.0 {
+        0.0
+    } else {
+        (1.0 - delivered / offered).max(0.0)
+    }
+}
+
+/// Fraction of offered attack traffic lost during the pulse seconds.
+pub fn attack_loss_during_pulses(res: &RunResult, secs: u64) -> f64 {
+    let (mut offered, mut delivered) = (0.0f64, 0.0f64);
+    for pulse in 0..4u64 {
+        let start = 10 + 20 * pulse;
+        for t in start + 1..(start + 10).min(secs) {
+            let t = t as usize;
+            offered += (1..=4)
+                .map(|c| res.stats.arrival_bps(t, ClassId(c)))
+                .sum::<f64>();
+            delivered += res.stats.attack_throughput_bps(t);
+        }
+    }
+    if offered <= 0.0 {
+        0.0
+    } else {
+        (1.0 - delivered / offered).max(0.0)
+    }
+}
+
+/// Regenerates Fig. 6 and returns the textual report.
+pub fn report(scale: Scale) -> String {
+    let secs = scale.secs(100, 4);
+    let mut out = String::new();
+    let fifo = fifo_run(secs);
+    panel(&mut out, "Fig. 6a: FIFO", &fifo, secs);
+    let turbo = accturbo_run(secs);
+    panel(&mut out, "Fig. 6b: ACC-Turbo", &turbo, secs);
+
+    let _ = writeln!(&mut out, "# Summary");
+    let _ = writeln!(
+        &mut out,
+        "benign_loss_during_pulses_fifo_pct,{}",
+        f(100.0 * benign_loss_during_pulses(&fifo, secs))
+    );
+    let _ = writeln!(
+        &mut out,
+        "benign_loss_during_pulses_accturbo_pct,{}",
+        f(100.0 * benign_loss_during_pulses(&turbo, secs))
+    );
+    let _ = writeln!(
+        &mut out,
+        "attack_loss_during_pulses_accturbo_pct,{}",
+        f(100.0 * attack_loss_during_pulses(&turbo, secs))
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_pulses_crush_background() {
+        // The pulses offer 4x the link on top of the background: under
+        // FIFO, benign traffic loses roughly its proportional share (the
+        // paper's testbed measured a 61% throughput reduction).
+        let res = fifo_run(100);
+        let loss = benign_loss_during_pulses(&res, 100);
+        assert!(
+            (0.5..0.95).contains(&loss),
+            "FIFO benign loss {loss:.2} (paper: ≈0.61 reduction)"
+        );
+    }
+
+    #[test]
+    fn accturbo_recovers_most_background() {
+        // The paper's Fig. 6b narrates full recovery while its Table 3
+        // measures ≈15% benign drops for the same profile; we hold
+        // ACC-Turbo to that measured bound.
+        let res = accturbo_run(100);
+        let loss = benign_loss_during_pulses(&res, 100);
+        assert!(
+            loss < 0.30,
+            "ACC-Turbo benign loss {loss:.2} (paper's Table 3 measures ≈0.15-0.20 \
+             for these attacks; see EXPERIMENTS.md on the 4-cluster capture floor)"
+        );
+    }
+
+    #[test]
+    fn accturbo_sheds_mostly_attack_traffic() {
+        let res = accturbo_run(100);
+        let attack_loss = attack_loss_during_pulses(&res, 100);
+        let benign_loss = benign_loss_during_pulses(&res, 100);
+        assert!(
+            attack_loss > 0.7,
+            "attack must absorb the congestion: loss {attack_loss:.2}"
+        );
+        assert!(
+            attack_loss > 3.0 * benign_loss,
+            "attack loss {attack_loss:.2} vs benign loss {benign_loss:.2}"
+        );
+    }
+
+    #[test]
+    fn quiet_periods_are_transparent() {
+        let fifo = fifo_run(30);
+        let turbo = accturbo_run(30);
+        // Before the first pulse both schemes deliver the same background.
+        for t in 3..9 {
+            let a = fifo.stats.throughput_bps(t, ClassId::BENIGN);
+            let b = turbo.stats.throughput_bps(t, ClassId::BENIGN);
+            assert!(
+                (a - b).abs() / a.max(1.0) < 0.05,
+                "t={t}: fifo {a:.0} vs accturbo {b:.0}"
+            );
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! # accturbo-experiments
+//!
+//! Regeneration harness for every table and figure of the paper's
+//! evaluation (see DESIGN.md §3 for the experiment index). Each module
+//! owns one figure/table and exposes `report(Scale) -> String`, printing
+//! the same rows/series the paper reports. The `xp` binary dispatches.
+
+#![deny(missing_docs)]
+
+pub mod ablations;
+pub mod adversarial;
+pub mod common;
+pub mod fig2;
+pub mod fig3;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod pushback;
+pub mod fig10;
+pub mod fig11;
+pub mod table3;
+
+pub use common::Scale;

@@ -1,0 +1,31 @@
+//! `xp` — regenerate the paper's tables and figures.
+
+use accturbo_experiments::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick { Scale::Quick } else { Scale::Full };
+    let which: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    let all = which.is_empty() || which.contains(&"all");
+
+    let run = |name: &str, f: fn(Scale) -> String| {
+        if all || which.contains(&name) {
+            println!("==================== {name} ====================");
+            println!("{}", f(scale));
+        }
+    };
+
+    run("fig2", accturbo_experiments::fig2::report);
+    run("fig3", accturbo_experiments::fig3::report);
+    run("fig6", accturbo_experiments::fig6::report);
+    run("fig7", accturbo_experiments::fig7::report);
+    run("table3", accturbo_experiments::table3::report);
+    run("fig8", accturbo_experiments::fig8::report);
+    run("fig9", accturbo_experiments::fig9::report);
+    run("fig10", accturbo_experiments::fig10::report);
+    run("fig11", accturbo_experiments::fig11::report);
+    run("adversarial", accturbo_experiments::adversarial::report);
+    run("ablations", accturbo_experiments::ablations::report);
+    run("pushback", accturbo_experiments::pushback::report);
+}

@@ -1,0 +1,110 @@
+//! Count-min sketch — Jaqen's detection substrate.
+//!
+//! Jaqen (Liu et al., USENIX Security 2021) detects volumetric attacks
+//! with sketch-based signatures in the data plane. A count-min sketch
+//! estimates per-key packet counts with bounded overestimation; the
+//! controller reads it periodically and compares against a threshold.
+
+/// A count-min sketch over `u64` keys.
+#[derive(Debug, Clone)]
+pub struct CountMinSketch {
+    rows: usize,
+    cols: usize,
+    counters: Vec<u64>,
+}
+
+impl CountMinSketch {
+    /// Creates a sketch with `rows` hash rows of `cols` counters each.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "sketch dimensions must be positive");
+        CountMinSketch {
+            rows,
+            cols,
+            counters: vec![0; rows * cols],
+        }
+    }
+
+    /// SplitMix64 finalizer, salted per row.
+    fn index(&self, key: u64, row: usize) -> usize {
+        let mut x = key ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(row as u64 + 1));
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        row * self.cols + (x % self.cols as u64) as usize
+    }
+
+    /// Adds `count` to `key` and returns the updated estimate.
+    pub fn update(&mut self, key: u64, count: u64) -> u64 {
+        let mut est = u64::MAX;
+        for row in 0..self.rows {
+            let i = self.index(key, row);
+            self.counters[i] += count;
+            est = est.min(self.counters[i]);
+        }
+        est
+    }
+
+    /// The current estimate for `key` (never underestimates).
+    pub fn estimate(&self, key: u64) -> u64 {
+        (0..self.rows)
+            .map(|row| self.counters[self.index(key, row)])
+            .min()
+            .expect("rows > 0")
+    }
+
+    /// Zeroes all counters (the periodic reset of §7.2.3).
+    pub fn reset(&mut self) {
+        self.counters.iter_mut().for_each(|c| *c = 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_for_sparse_keys() {
+        let mut s = CountMinSketch::new(4, 4096);
+        for k in 0..100u64 {
+            for _ in 0..(k + 1) {
+                s.update(k, 1);
+            }
+        }
+        for k in 0..100u64 {
+            assert_eq!(s.estimate(k), k + 1, "key {k}");
+        }
+    }
+
+    #[test]
+    fn never_underestimates() {
+        let mut s = CountMinSketch::new(2, 64);
+        for k in 0..10_000u64 {
+            s.update(k, 1);
+        }
+        for k in 0..100u64 {
+            assert!(s.estimate(k) >= 1);
+        }
+    }
+
+    #[test]
+    fn update_returns_estimate() {
+        let mut s = CountMinSketch::new(3, 1024);
+        assert_eq!(s.update(42, 5), 5);
+        assert_eq!(s.update(42, 5), 10);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut s = CountMinSketch::new(3, 1024);
+        s.update(7, 100);
+        s.reset();
+        assert_eq!(s.estimate(7), 0);
+    }
+
+    #[test]
+    fn unseen_keys_are_zero_when_sparse() {
+        let mut s = CountMinSketch::new(4, 4096);
+        s.update(1, 10);
+        assert_eq!(s.estimate(999), 0);
+    }
+}

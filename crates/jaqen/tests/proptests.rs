@@ -1,0 +1,74 @@
+//! Property-based tests for the Jaqen model's primitives.
+
+use accturbo_jaqen::{CountMinSketch, Signature};
+use accturbo_netsim::{Packet, SimTime};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+proptest! {
+    /// The count-min estimate never underestimates the true count.
+    #[test]
+    fn sketch_never_underestimates(
+        updates in prop::collection::vec((any::<u64>(), 1u64..50), 1..500),
+        rows in 1usize..5,
+        cols in 16usize..4096) {
+        let mut sketch = CountMinSketch::new(rows, cols);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for &(key, count) in &updates {
+            sketch.update(key, count);
+            *truth.entry(key).or_insert(0) += count;
+        }
+        for (&key, &count) in &truth {
+            prop_assert!(
+                sketch.estimate(key) >= count,
+                "estimate {} below truth {count}",
+                sketch.estimate(key)
+            );
+        }
+    }
+
+    /// With enough columns relative to keys, the estimate is exact.
+    #[test]
+    fn sketch_is_exact_when_sparse(keys in prop::collection::hash_set(any::<u64>(), 1..32)) {
+        let mut sketch = CountMinSketch::new(4, 65_536);
+        for &k in &keys {
+            sketch.update(k, 7);
+        }
+        for &k in &keys {
+            prop_assert_eq!(sketch.estimate(k), 7);
+        }
+    }
+
+    /// Signature keys are deterministic and respect their field scope:
+    /// the src-IP key ignores everything but the source; the 5-tuple key
+    /// changes when any of its five fields changes.
+    #[test]
+    fn signature_key_scope(src in any::<u32>(), dst in any::<u32>(),
+                           sport in any::<u16>(), dport in any::<u16>(),
+                           flip in 0u8..5) {
+        let base = Packet::new(SimTime::ZERO)
+            .with_src(Ipv4Addr::from(src))
+            .with_dst(Ipv4Addr::from(dst))
+            .with_ports(sport, dport);
+        let mut changed = base.clone();
+        match flip {
+            0 => changed.src = Ipv4Addr::from(src.wrapping_add(1)),
+            1 => changed.dst = Ipv4Addr::from(dst.wrapping_add(1)),
+            2 => changed.sport = sport.wrapping_add(1),
+            3 => changed.dport = dport.wrapping_add(1),
+            _ => changed.proto = base.proto.wrapping_add(1),
+        }
+        // Determinism.
+        prop_assert_eq!(Signature::FiveTuple.key(&base), Signature::FiveTuple.key(&base));
+        prop_assert_eq!(Signature::SrcIp.key(&base), Signature::SrcIp.key(&base));
+        // Scope: the 5-tuple key must change; the srcIP key only when the
+        // source changed.
+        prop_assert_ne!(Signature::FiveTuple.key(&base), Signature::FiveTuple.key(&changed));
+        if flip == 0 {
+            prop_assert_ne!(Signature::SrcIp.key(&base), Signature::SrcIp.key(&changed));
+        } else {
+            prop_assert_eq!(Signature::SrcIp.key(&base), Signature::SrcIp.key(&changed));
+        }
+    }
+}

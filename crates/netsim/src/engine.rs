@@ -1,0 +1,298 @@
+//! The discrete-event simulation engine.
+//!
+//! The engine models the paper's testbed topology reduced to its essential
+//! element: one switch in front of one bottleneck output link. Input
+//! capacity is assumed larger than the output link (paper §3.1), so
+//! arrivals are taken directly from the workload source. Three event kinds
+//! are interleaved in exact time order:
+//!
+//! 1. **Packet arrival** — the switch's data path runs (`ingress`).
+//! 2. **Transmission completion** — the link frees and the next packet is
+//!    pulled from the switch (`dequeue`).
+//! 3. **Control tick** — the switch's control plane runs (`control_tick`),
+//!    at a fixed configurable period. This is where the paper's reaction
+//!    time lives: ACC-Turbo's priority updates only take effect at ticks.
+//!
+//! The engine is synchronous and single-threaded: the workload is CPU-bound
+//! and determinism is a hard requirement for figure regeneration, so (per
+//! the networking guides) an async runtime would buy nothing here.
+
+use crate::latency::DelayHistogram;
+use crate::packet::{Dropped, Packet};
+use crate::source::PacketSource;
+use crate::stats::StatsCollector;
+use crate::switch::Switch;
+use crate::time::{SimDuration, SimTime};
+use crate::units::Bandwidth;
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Output-link (bottleneck) bandwidth.
+    pub link: Bandwidth,
+    /// Width of the statistics buckets.
+    pub stats_interval: SimDuration,
+    /// Control-plane period; `None` disables control ticks entirely.
+    pub control_period: Option<SimDuration>,
+    /// Hard stop: arrivals at or after this time are discarded and the
+    /// simulation drains. `None` runs until the source is exhausted.
+    pub end_time: Option<SimTime>,
+}
+
+impl EngineConfig {
+    /// A config with the given link rate, 1-second stats buckets, no
+    /// control plane and no end time.
+    pub fn new(link: Bandwidth) -> Self {
+        EngineConfig {
+            link,
+            stats_interval: SimDuration::from_secs(1),
+            control_period: None,
+            end_time: None,
+        }
+    }
+
+    /// Sets the stats bucket width.
+    pub fn with_stats_interval(mut self, interval: SimDuration) -> Self {
+        self.stats_interval = interval;
+        self
+    }
+
+    /// Enables control ticks at `period`.
+    pub fn with_control_period(mut self, period: SimDuration) -> Self {
+        assert!(!period.is_zero(), "control period must be positive");
+        self.control_period = Some(period);
+        self
+    }
+
+    /// Sets the hard stop time.
+    pub fn with_end_time(mut self, end: SimTime) -> Self {
+        self.end_time = Some(end);
+        self
+    }
+}
+
+/// Result of a simulation run.
+#[derive(Debug)]
+pub struct RunResult {
+    /// Per-class, per-bucket statistics.
+    pub stats: StatsCollector,
+    /// Per-class queueing-delay distribution (arrival → wire departure).
+    pub delays: DelayHistogram,
+    /// Time of the last event processed.
+    pub final_time: SimTime,
+    /// Total packets offered to the switch.
+    pub arrivals: u64,
+    /// Total packets transmitted on the output link.
+    pub departures: u64,
+    /// Total packets dropped (anywhere in the switch).
+    pub drops: u64,
+}
+
+/// Runs `source` through `switch` under `cfg` and returns the statistics.
+pub fn run(
+    source: &mut dyn PacketSource,
+    switch: &mut dyn Switch,
+    cfg: &EngineConfig,
+) -> RunResult {
+    let mut stats = StatsCollector::new(cfg.stats_interval);
+    let mut delays = DelayHistogram::new();
+    let mut drops_buf: Vec<Dropped> = Vec::new();
+
+    let mut pending: Option<Packet> = next_arrival(source, cfg.end_time);
+    // In-flight transmission: completion time and the packet on the wire.
+    let mut in_flight: Option<(SimTime, Packet)> = None;
+    let mut control_next = cfg.control_period.map(|p| SimTime::ZERO + p);
+
+    let mut now = SimTime::ZERO;
+    let (mut arrivals, mut departures, mut total_drops) = (0u64, 0u64, 0u64);
+
+    loop {
+        // Earliest of: tx completion, control tick, next arrival.
+        // Control ticks only matter while there is still work, so the loop
+        // exits when both the source and the switch are drained.
+        let t_tx = in_flight.as_ref().map(|(t, _)| *t).unwrap_or(SimTime::MAX);
+        let t_arr = pending.as_ref().map(|p| p.arrival).unwrap_or(SimTime::MAX);
+        let t_ctl = if pending.is_some() || in_flight.is_some() || switch.backlog_pkts() > 0 {
+            control_next.unwrap_or(SimTime::MAX)
+        } else {
+            SimTime::MAX
+        };
+
+        let t = t_tx.min(t_arr).min(t_ctl);
+        if t == SimTime::MAX {
+            break;
+        }
+        debug_assert!(t >= now, "event time went backwards");
+        now = t;
+
+        if t == t_tx {
+            // Transmission completes: the packet leaves on the wire.
+            let (_, pkt) = in_flight.take().expect("t_tx implies in-flight");
+            stats.on_depart(&pkt, now);
+            delays.record(pkt.class, now.saturating_since(pkt.arrival));
+            departures += 1;
+        } else if t == t_ctl {
+            switch.control_tick(now);
+            let period = cfg.control_period.expect("t_ctl implies a period");
+            control_next = Some(now + period);
+        } else {
+            // Arrival.
+            let pkt = pending.take().expect("t_arr implies a pending packet");
+            stats.on_arrival(&pkt);
+            arrivals += 1;
+            drops_buf.clear();
+            switch.ingress(pkt, now, &mut drops_buf);
+            for d in &drops_buf {
+                stats.on_drop(d, now);
+            }
+            total_drops += drops_buf.len() as u64;
+            pending = next_arrival(source, cfg.end_time);
+        }
+
+        // Whenever the link is idle and the switch has backlog, start the
+        // next transmission.
+        if in_flight.is_none() {
+            if let Some(pkt) = switch.dequeue(now) {
+                let done = now + cfg.link.tx_time(pkt.size);
+                in_flight = Some((done, pkt));
+            }
+        }
+    }
+
+    RunResult {
+        stats,
+        delays,
+        final_time: now,
+        arrivals,
+        departures,
+        drops: total_drops,
+    }
+}
+
+fn next_arrival(source: &mut dyn PacketSource, end: Option<SimTime>) -> Option<Packet> {
+    let pkt = source.next_packet()?;
+    match end {
+        Some(end) if pkt.arrival >= end => None,
+        _ => Some(pkt),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::ClassId;
+    use crate::queue::FifoQueue;
+    use crate::source::VecSource;
+    use crate::switch::SingleQueueSwitch;
+
+    fn cbr_packets(n: u64, gap_us: u64, size: u32) -> Vec<Packet> {
+        (0..n)
+            .map(|i| Packet::new(SimTime::from_micros(i * gap_us)).with_size(size))
+            .collect()
+    }
+
+    #[test]
+    fn uncongested_link_delivers_everything() {
+        // 1000-byte packets every 1 ms = 8 Mbps offered on a 10 Mbps link.
+        let mut src = VecSource::new(cbr_packets(100, 1_000, 1000));
+        let mut sw = SingleQueueSwitch::new(FifoQueue::new(100_000));
+        let cfg = EngineConfig::new(Bandwidth::from_mbps(10));
+        let res = run(&mut src, &mut sw, &cfg);
+        assert_eq!(res.arrivals, 100);
+        assert_eq!(res.departures, 100);
+        assert_eq!(res.drops, 0);
+    }
+
+    #[test]
+    fn overloaded_link_drops_the_excess() {
+        // 1000-byte packets every 100 us = 80 Mbps offered on a 10 Mbps
+        // link with a small buffer: ~7/8 of traffic must drop.
+        let mut src = VecSource::new(cbr_packets(2_000, 100, 1000));
+        let mut sw = SingleQueueSwitch::new(FifoQueue::new(10_000));
+        let cfg = EngineConfig::new(Bandwidth::from_mbps(10));
+        let res = run(&mut src, &mut sw, &cfg);
+        assert_eq!(res.arrivals, 2_000);
+        assert_eq!(res.departures + res.drops, 2_000 /* conservation */);
+        let drop_frac = res.drops as f64 / res.arrivals as f64;
+        assert!(
+            (drop_frac - 0.875).abs() < 0.02,
+            "expected ~87.5% drops, got {drop_frac}"
+        );
+    }
+
+    #[test]
+    fn throughput_matches_link_capacity_under_overload() {
+        let mut src = VecSource::new(cbr_packets(20_000, 100, 1000));
+        let mut sw = SingleQueueSwitch::new(FifoQueue::new(50_000));
+        let cfg = EngineConfig::new(Bandwidth::from_mbps(10))
+            .with_stats_interval(SimDuration::from_millis(500));
+        let res = run(&mut src, &mut sw, &cfg);
+        // Middle buckets should be saturated at ~10 Mbps.
+        let bps = res.stats.throughput_bps(2, ClassId::BENIGN);
+        assert!(
+            (bps - 10e6).abs() / 10e6 < 0.02,
+            "expected ~10 Mbps, got {bps}"
+        );
+    }
+
+    #[test]
+    fn control_ticks_fire_at_period() {
+        struct TickCounter {
+            inner: SingleQueueSwitch<FifoQueue>,
+            ticks: Vec<SimTime>,
+        }
+        impl Switch for TickCounter {
+            fn ingress(&mut self, pkt: Packet, now: SimTime, drops: &mut Vec<Dropped>) {
+                self.inner.ingress(pkt, now, drops);
+            }
+            fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
+                self.inner.dequeue(now)
+            }
+            fn backlog_pkts(&self) -> usize {
+                self.inner.backlog_pkts()
+            }
+            fn control_tick(&mut self, now: SimTime) {
+                self.ticks.push(now);
+            }
+        }
+        let mut src = VecSource::new(cbr_packets(50, 10_000, 1000)); // 0.5 s of traffic
+        let mut sw = TickCounter {
+            inner: SingleQueueSwitch::new(FifoQueue::new(100_000)),
+            ticks: Vec::new(),
+        };
+        let cfg = EngineConfig::new(Bandwidth::from_mbps(100))
+            .with_control_period(SimDuration::from_millis(100));
+        run(&mut src, &mut sw, &cfg);
+        assert!(!sw.ticks.is_empty());
+        for (i, t) in sw.ticks.iter().enumerate() {
+            assert_eq!(t.as_nanos(), (i as u64 + 1) * 100_000_000);
+        }
+    }
+
+    #[test]
+    fn end_time_truncates_the_workload() {
+        let mut src = VecSource::new(cbr_packets(1_000, 1_000, 1000)); // 1 s
+        let mut sw = SingleQueueSwitch::new(FifoQueue::new(100_000));
+        let cfg = EngineConfig::new(Bandwidth::from_mbps(100))
+            .with_end_time(SimTime::from_millis(100));
+        let res = run(&mut src, &mut sw, &cfg);
+        assert_eq!(res.arrivals, 100);
+    }
+
+    #[test]
+    fn conservation_holds_exactly() {
+        let mut src = VecSource::new(cbr_packets(5_000, 50, 1200));
+        let mut sw = SingleQueueSwitch::new(FifoQueue::new(20_000));
+        let cfg = EngineConfig::new(Bandwidth::from_mbps(20));
+        let res = run(&mut src, &mut sw, &cfg);
+        assert_eq!(res.arrivals, res.departures + res.drops);
+        assert_eq!(
+            res.stats.total_arrived(ClassId::BENIGN).pkts,
+            res.arrivals
+        );
+        assert_eq!(
+            res.stats.total_departed(ClassId::BENIGN).pkts,
+            res.departures
+        );
+    }
+}

@@ -1,0 +1,161 @@
+//! Queueing-delay tracking.
+//!
+//! The paper argues ACC-Turbo is transparent without congestion and that
+//! deprioritization only delays (rather than drops) traffic below the
+//! overflow point (§3.2, §10). Verifying that requires per-class delay
+//! distributions; [`DelayHistogram`] collects them with bounded memory
+//! using logarithmic buckets (≈4% relative resolution).
+
+use crate::packet::ClassId;
+use crate::time::SimDuration;
+
+/// Log-bucketed delay histogram.
+///
+/// Buckets are at 4%-growth boundaries starting from 1 µs, giving ~340
+/// buckets up to an hour of delay — enough resolution for percentile
+/// queries while staying a few kilobytes per class.
+#[derive(Debug, Clone)]
+pub struct DelayHistogram {
+    /// `counts[class][bucket]`.
+    counts: Vec<Vec<u64>>,
+    totals: Vec<u64>,
+}
+
+const BASE_NS: f64 = 1_000.0; // 1 µs
+const GROWTH: f64 = 1.04;
+const NUM_BUCKETS: usize = 384;
+
+fn bucket_of(d: SimDuration) -> usize {
+    let ns = d.as_nanos() as f64;
+    if ns <= BASE_NS {
+        return 0;
+    }
+    let b = (ns / BASE_NS).ln() / GROWTH.ln();
+    (b as usize + 1).min(NUM_BUCKETS - 1)
+}
+
+fn bucket_upper_bound(b: usize) -> SimDuration {
+    SimDuration::from_nanos((BASE_NS * GROWTH.powi(b as i32)) as u64)
+}
+
+impl DelayHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        DelayHistogram {
+            counts: Vec::new(),
+            totals: Vec::new(),
+        }
+    }
+
+    /// Records a delay sample for `class`.
+    pub fn record(&mut self, class: ClassId, delay: SimDuration) {
+        let idx = class.0 as usize;
+        if self.counts.len() <= idx {
+            self.counts.resize(idx + 1, vec![0; NUM_BUCKETS]);
+            self.totals.resize(idx + 1, 0);
+        }
+        self.counts[idx][bucket_of(delay)] += 1;
+        self.totals[idx] += 1;
+    }
+
+    /// Number of samples recorded for `class`.
+    pub fn samples(&self, class: ClassId) -> u64 {
+        self.totals.get(class.0 as usize).copied().unwrap_or(0)
+    }
+
+    /// The `p`-th percentile (0–100) of `class`'s delays, as the upper
+    /// bound of the bucket containing it. `None` without samples.
+    pub fn percentile(&self, class: ClassId, p: f64) -> Option<SimDuration> {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range");
+        let idx = class.0 as usize;
+        let total = *self.totals.get(idx)?;
+        if total == 0 {
+            return None;
+        }
+        let target = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (b, &c) in self.counts[idx].iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(bucket_upper_bound(b));
+            }
+        }
+        Some(bucket_upper_bound(NUM_BUCKETS - 1))
+    }
+
+    /// Mean delay of `class` (bucket upper bounds weighted by counts).
+    pub fn mean(&self, class: ClassId) -> Option<SimDuration> {
+        let idx = class.0 as usize;
+        let total = *self.totals.get(idx)?;
+        if total == 0 {
+            return None;
+        }
+        let sum: f64 = self.counts[idx]
+            .iter()
+            .enumerate()
+            .map(|(b, &c)| c as f64 * bucket_upper_bound(b).as_nanos() as f64)
+            .sum();
+        Some(SimDuration::from_nanos((sum / total as f64) as u64))
+    }
+}
+
+impl Default for DelayHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_of_a_uniform_ramp() {
+        let mut h = DelayHistogram::new();
+        for ms in 1..=1000u64 {
+            h.record(ClassId::BENIGN, SimDuration::from_millis(ms));
+        }
+        let p50 = h.percentile(ClassId::BENIGN, 50.0).expect("samples");
+        let p99 = h.percentile(ClassId::BENIGN, 99.0).expect("samples");
+        // Log buckets give ~4% resolution.
+        assert!((p50.as_secs_f64() - 0.5).abs() / 0.5 < 0.08, "p50 {p50}");
+        assert!((p99.as_secs_f64() - 0.99).abs() / 0.99 < 0.08, "p99 {p99}");
+        assert!(p99 > p50);
+    }
+
+    #[test]
+    fn classes_are_independent() {
+        let mut h = DelayHistogram::new();
+        h.record(ClassId::BENIGN, SimDuration::from_millis(1));
+        h.record(ClassId(1), SimDuration::from_secs(1));
+        let benign = h.percentile(ClassId::BENIGN, 50.0).expect("samples");
+        let attack = h.percentile(ClassId(1), 50.0).expect("samples");
+        assert!(attack.as_nanos() > 100 * benign.as_nanos());
+        assert_eq!(h.samples(ClassId::BENIGN), 1);
+        assert_eq!(h.samples(ClassId(2)), 0);
+    }
+
+    #[test]
+    fn tiny_delays_land_in_the_first_bucket() {
+        let mut h = DelayHistogram::new();
+        h.record(ClassId::BENIGN, SimDuration::from_nanos(10));
+        let p = h.percentile(ClassId::BENIGN, 100.0).expect("samples");
+        assert!(p.as_nanos() <= 1_000);
+    }
+
+    #[test]
+    fn empty_class_has_no_percentile() {
+        let h = DelayHistogram::new();
+        assert!(h.percentile(ClassId::BENIGN, 50.0).is_none());
+        assert!(h.mean(ClassId::BENIGN).is_none());
+    }
+
+    #[test]
+    fn mean_is_between_min_and_max() {
+        let mut h = DelayHistogram::new();
+        h.record(ClassId::BENIGN, SimDuration::from_millis(10));
+        h.record(ClassId::BENIGN, SimDuration::from_millis(1000));
+        let mean = h.mean(ClassId::BENIGN).expect("samples").as_secs_f64();
+        assert!((0.01..=1.1).contains(&mean), "mean {mean}");
+    }
+}

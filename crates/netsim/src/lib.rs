@@ -1,0 +1,49 @@
+//! # accturbo-netsim
+//!
+//! Deterministic packet-level network simulator — the substrate on which
+//! the ACC-Turbo reproduction runs (standing in for the NetBench simulator
+//! and the Tofino testbed of the paper; see DESIGN.md §1).
+//!
+//! The model is a single output-queued switch in front of a bottleneck
+//! link, matching the paper's system model (§3.1): the defense runs on the
+//! switch that gives access to the critical link, whose input capacity
+//! exceeds the output bandwidth.
+//!
+//! Building blocks:
+//!
+//! * [`time`] / [`units`] — integer-nanosecond simulated time, bandwidths.
+//! * [`packet`] — packets with full header state plus ground-truth labels.
+//! * [`queue`] — FIFO, RED, strict-priority banks, and rank-ordered PIFO.
+//! * [`rate`] — EWMA rate estimation and token-bucket policing.
+//! * [`source`] — workload streams and the k-way time-ordered merge.
+//! * [`switch`] / [`engine`] — the defended-switch abstraction and the
+//!   event loop that drives arrivals, transmissions and control ticks.
+//!
+//! Everything is synchronous, allocation-conscious and seeded: running the
+//! same experiment twice produces bit-identical results.
+
+#![deny(missing_docs)]
+
+pub mod engine;
+pub mod latency;
+pub mod packet;
+pub mod queue;
+pub mod rate;
+pub mod source;
+pub mod stats;
+pub mod switch;
+pub mod time;
+pub mod trace;
+pub mod units;
+
+pub use engine::{run, EngineConfig, RunResult};
+pub use latency::DelayHistogram;
+pub use packet::{ClassId, DropReason, Dropped, FiveTuple, Packet};
+pub use queue::{FifoQueue, PifoQueue, PriorityBank, QueueDiscipline, RedConfig, RedQueue};
+pub use rate::{EwmaRate, TokenBucket};
+pub use source::{IterSource, MergedSource, PacketSource, VecSource};
+pub use stats::{Counts, StatsCollector};
+pub use switch::{SingleQueueSwitch, Switch};
+pub use time::{SimDuration, SimTime};
+pub use trace::{pcap_source, read_csv, read_pcap, write_csv, write_pcap, TraceStats};
+pub use units::Bandwidth;

@@ -1,0 +1,53 @@
+//! Queue disciplines.
+//!
+//! The paper exercises four queueing behaviours, all built here from
+//! scratch:
+//!
+//! * [`FifoQueue`] — the undefended baseline (tail drop).
+//! * [`RedQueue`] — Random Early Detection, the substrate of classic ACC
+//!   (§2.1): drops probabilistically as the average queue grows, and
+//!   reports every drop so the ACC agent can cluster the dropped headers.
+//! * [`PriorityBank`] — a bank of strict-priority FIFO queues, the
+//!   data-plane scheduler ACC-Turbo builds on (§5.2): packets are enqueued
+//!   to the queue chosen by the pipeline and drained lowest-index-first.
+//! * [`PifoQueue`] — a rank-ordered (Push-In First-Out) queue used for the
+//!   "ideal scheduler" baseline of §8.2 and the unconstrained ACC-Turbo
+//!   variants.
+
+mod fifo;
+mod pifo;
+mod priority;
+mod red;
+
+pub use fifo::FifoQueue;
+pub use pifo::PifoQueue;
+pub use priority::PriorityBank;
+pub use red::{RedConfig, RedQueue};
+
+use crate::packet::{Dropped, Packet};
+use crate::time::SimTime;
+
+/// A queue discipline with a single logical enqueue point.
+///
+/// `enqueue` pushes any packets dropped as a consequence of the arrival
+/// (usually the arriving packet itself; for rank-ordered queues possibly an
+/// evicted resident) into `drops`, reusing the caller's buffer so the hot
+/// path never allocates.
+pub trait QueueDiscipline {
+    /// Offers `pkt` to the queue at time `now`.
+    fn enqueue(&mut self, pkt: Packet, now: SimTime, drops: &mut Vec<Dropped>);
+
+    /// Removes the next packet to transmit, if any.
+    fn dequeue(&mut self, now: SimTime) -> Option<Packet>;
+
+    /// Total bytes currently queued.
+    fn len_bytes(&self) -> u64;
+
+    /// Total packets currently queued.
+    fn len_pkts(&self) -> usize;
+
+    /// True when no packets are queued.
+    fn is_empty(&self) -> bool {
+        self.len_pkts() == 0
+    }
+}

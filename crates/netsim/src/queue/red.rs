@@ -1,0 +1,277 @@
+//! Random Early Detection (RED) queue.
+//!
+//! Classic RED (Floyd & Jacobson 1993) as used by ACC (paper §2.1): the
+//! average queue size is tracked with an exponentially weighted moving
+//! average; packets are dropped probabilistically between `min_th` and
+//! `max_th`, and deterministically above `max_th`. Every drop is reported
+//! through the `drops` buffer so the ACC agent can record the dropped
+//! headers for aggregate inference.
+
+use super::{FifoQueue, QueueDiscipline};
+use crate::packet::{DropReason, Dropped, Packet};
+use crate::time::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// RED parameters.
+#[derive(Debug, Clone)]
+pub struct RedConfig {
+    /// Queue-averaging weight `w_q` (classic value: 0.002).
+    pub weight: f64,
+    /// Minimum threshold, in packets.
+    pub min_th: f64,
+    /// Maximum threshold, in packets.
+    pub max_th: f64,
+    /// Maximum early-drop probability `max_p`.
+    pub max_p: f64,
+    /// Physical queue capacity, in bytes.
+    pub cap_bytes: u64,
+    /// Typical packet transmission time, used to age the average while the
+    /// queue sits idle.
+    pub typical_tx: SimDuration,
+    /// RNG seed for the early-drop coin flips (deterministic per run).
+    pub seed: u64,
+}
+
+impl Default for RedConfig {
+    fn default() -> Self {
+        RedConfig {
+            weight: 0.002,
+            min_th: 50.0,
+            max_th: 150.0,
+            max_p: 0.1,
+            cap_bytes: 512 * 1024,
+            typical_tx: SimDuration::from_micros(100),
+            seed: 0xACC0,
+        }
+    }
+}
+
+/// A RED-managed FIFO queue.
+#[derive(Debug, Clone)]
+pub struct RedQueue {
+    cfg: RedConfig,
+    inner: FifoQueue,
+    /// EWMA of the queue length in packets.
+    avg: f64,
+    /// Packets accepted since the last drop (the `count` of classic RED).
+    count: i64,
+    /// When the queue last went idle, if it is currently empty.
+    idle_since: Option<SimTime>,
+    rng: StdRng,
+}
+
+impl RedQueue {
+    /// Creates a RED queue from a configuration.
+    ///
+    /// Panics on nonsensical thresholds (`min_th >= max_th`), weights, or
+    /// probabilities.
+    pub fn new(cfg: RedConfig) -> Self {
+        assert!(cfg.min_th < cfg.max_th, "RED requires min_th < max_th");
+        assert!(
+            cfg.weight > 0.0 && cfg.weight <= 1.0,
+            "RED weight must be in (0, 1]"
+        );
+        assert!(
+            cfg.max_p > 0.0 && cfg.max_p <= 1.0,
+            "RED max_p must be in (0, 1]"
+        );
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        RedQueue {
+            inner: FifoQueue::new(cfg.cap_bytes),
+            avg: 0.0,
+            count: -1,
+            idle_since: Some(SimTime::ZERO),
+            cfg,
+            rng,
+        }
+    }
+
+    /// The current EWMA of the queue length, in packets.
+    pub fn avg_queue(&self) -> f64 {
+        self.avg
+    }
+
+    /// Updates the queue-size average on a packet arrival at `now`.
+    fn update_avg(&mut self, now: SimTime) {
+        if let Some(idle_since) = self.idle_since {
+            // Queue has been empty: decay the average as if `m` small
+            // packets had been transmitted during the idle period.
+            let idle = now.saturating_since(idle_since);
+            let m = idle.as_nanos() as f64 / self.cfg.typical_tx.as_nanos().max(1) as f64;
+            self.avg *= (1.0 - self.cfg.weight).powf(m);
+            self.idle_since = None;
+        } else {
+            let q = self.inner.len_pkts() as f64;
+            self.avg += self.cfg.weight * (q - self.avg);
+        }
+    }
+
+    /// Classic RED drop decision for the current average.
+    fn early_drop(&mut self) -> bool {
+        let pb = self.cfg.max_p * (self.avg - self.cfg.min_th) / (self.cfg.max_th - self.cfg.min_th);
+        let pb = pb.clamp(0.0, 1.0);
+        let denom = 1.0 - self.count as f64 * pb;
+        let pa = if denom <= 0.0 { 1.0 } else { (pb / denom).clamp(0.0, 1.0) };
+        self.rng.gen::<f64>() < pa
+    }
+}
+
+impl QueueDiscipline for RedQueue {
+    fn enqueue(&mut self, pkt: Packet, now: SimTime, drops: &mut Vec<Dropped>) {
+        self.update_avg(now);
+
+        if self.avg >= self.cfg.max_th {
+            self.count = 0;
+            drops.push(Dropped {
+                packet: pkt,
+                reason: DropReason::RedForced,
+            });
+            return;
+        }
+        if self.avg >= self.cfg.min_th {
+            self.count += 1;
+            if self.early_drop() {
+                self.count = 0;
+                drops.push(Dropped {
+                    packet: pkt,
+                    reason: DropReason::RedEarly,
+                });
+                return;
+            }
+        } else {
+            self.count = -1;
+        }
+
+        // Physical tail drop still applies regardless of the average.
+        let before = drops.len();
+        self.inner.enqueue(pkt, now, drops);
+        if drops.len() > before {
+            self.count = 0;
+        }
+    }
+
+    fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
+        let pkt = self.inner.dequeue(now);
+        if self.inner.is_empty() && pkt.is_some() {
+            self.idle_since = Some(now);
+        }
+        pkt
+    }
+
+    fn len_bytes(&self) -> u64 {
+        self.inner.len_bytes()
+    }
+
+    fn len_pkts(&self) -> usize {
+        self.inner.len_pkts()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(seq: u64) -> Packet {
+        let mut p = Packet::new(SimTime::ZERO).with_size(1000);
+        p.seq = seq;
+        p
+    }
+
+    fn cfg() -> RedConfig {
+        RedConfig {
+            min_th: 5.0,
+            max_th: 15.0,
+            max_p: 0.1,
+            weight: 0.2,
+            cap_bytes: 1_000_000,
+            ..RedConfig::default()
+        }
+    }
+
+    #[test]
+    fn accepts_everything_when_nearly_empty() {
+        let mut q = RedQueue::new(cfg());
+        let mut drops = Vec::new();
+        for i in 0..4 {
+            q.enqueue(pkt(i), SimTime::from_micros(i), &mut drops);
+        }
+        assert!(drops.is_empty(), "no drops expected below min_th");
+    }
+
+    #[test]
+    fn forces_drops_above_max_th() {
+        let mut q = RedQueue::new(cfg());
+        let mut drops = Vec::new();
+        // Flood without draining: the average chases the instantaneous
+        // queue length and must eventually exceed max_th.
+        for i in 0..500 {
+            q.enqueue(pkt(i), SimTime::from_nanos(i), &mut drops);
+        }
+        assert!(
+            drops.iter().any(|d| d.reason == DropReason::RedForced),
+            "sustained overload must trigger forced drops"
+        );
+    }
+
+    #[test]
+    fn early_drops_between_thresholds() {
+        let mut q = RedQueue::new(cfg());
+        let mut drops = Vec::new();
+        for i in 0..200 {
+            q.enqueue(pkt(i), SimTime::from_nanos(i), &mut drops);
+            // Drain a little to keep the queue hovering in the RED band.
+            if q.len_pkts() > 10 {
+                q.dequeue(SimTime::from_nanos(i));
+            }
+        }
+        assert!(
+            drops.iter().any(|d| d.reason == DropReason::RedEarly),
+            "queue hovering between thresholds must produce early drops"
+        );
+    }
+
+    #[test]
+    fn average_decays_while_idle() {
+        let mut q = RedQueue::new(cfg());
+        let mut drops = Vec::new();
+        for i in 0..20 {
+            q.enqueue(pkt(i), SimTime::from_nanos(i), &mut drops);
+        }
+        let avg_loaded = q.avg_queue();
+        while q.dequeue(SimTime::from_micros(1)).is_some() {}
+        // Arrive again after a long idle gap: the average must have decayed.
+        q.enqueue(pkt(999), SimTime::from_secs(1), &mut drops);
+        assert!(
+            q.avg_queue() < avg_loaded / 2.0,
+            "idle decay should shrink the average (was {avg_loaded}, now {})",
+            q.avg_queue()
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut q = RedQueue::new(cfg());
+            let mut drops = Vec::new();
+            for i in 0..300 {
+                q.enqueue(pkt(i), SimTime::from_nanos(i * 10), &mut drops);
+                if i % 3 == 0 {
+                    q.dequeue(SimTime::from_nanos(i * 10));
+                }
+            }
+            drops.iter().map(|d| d.packet.seq).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "min_th < max_th")]
+    fn rejects_inverted_thresholds() {
+        let _ = RedQueue::new(RedConfig {
+            min_th: 10.0,
+            max_th: 5.0,
+            ..RedConfig::default()
+        });
+    }
+}

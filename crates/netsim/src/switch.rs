@@ -1,0 +1,81 @@
+//! The switch abstraction the engine drives.
+//!
+//! A [`Switch`] is the defended device of the paper's system model (§3.1):
+//! it sees every arriving packet, decides where (or whether) to queue it,
+//! and hands packets to the output link on demand. Defenses differ only in
+//! how they implement `ingress` (classification, policing, queue mapping)
+//! and `control_tick` (the control-plane loop); the engine treats them all
+//! identically.
+
+use crate::packet::{Dropped, Packet};
+use crate::queue::QueueDiscipline;
+use crate::time::SimTime;
+
+/// A switch with one output port.
+pub trait Switch {
+    /// Processes an arriving packet: classify, police, and enqueue. Any
+    /// resulting drops are pushed into `drops`.
+    fn ingress(&mut self, pkt: Packet, now: SimTime, drops: &mut Vec<Dropped>);
+
+    /// Hands the next packet to the output link, if any.
+    fn dequeue(&mut self, now: SimTime) -> Option<Packet>;
+
+    /// Number of packets currently buffered.
+    fn backlog_pkts(&self) -> usize;
+
+    /// Invoked by the engine at every control-plane period (when one is
+    /// configured). Defenses run their slow-path logic here: classic ACC's
+    /// agent, ACC-Turbo's cluster polling and priority updates, Jaqen's
+    /// sketch reads.
+    fn control_tick(&mut self, _now: SimTime) {}
+}
+
+/// A switch that is just a single queue discipline — the FIFO and plain-RED
+/// baselines.
+#[derive(Debug, Clone)]
+pub struct SingleQueueSwitch<Q: QueueDiscipline> {
+    queue: Q,
+}
+
+impl<Q: QueueDiscipline> SingleQueueSwitch<Q> {
+    /// Wraps a queue discipline.
+    pub fn new(queue: Q) -> Self {
+        SingleQueueSwitch { queue }
+    }
+
+    /// Access to the wrapped queue (e.g. to read RED's average).
+    pub fn queue(&self) -> &Q {
+        &self.queue
+    }
+}
+
+impl<Q: QueueDiscipline> Switch for SingleQueueSwitch<Q> {
+    fn ingress(&mut self, pkt: Packet, now: SimTime, drops: &mut Vec<Dropped>) {
+        self.queue.enqueue(pkt, now, drops);
+    }
+
+    fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
+        self.queue.dequeue(now)
+    }
+
+    fn backlog_pkts(&self) -> usize {
+        self.queue.len_pkts()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::FifoQueue;
+
+    #[test]
+    fn single_queue_switch_passes_through() {
+        let mut sw = SingleQueueSwitch::new(FifoQueue::new(10_000));
+        let mut drops = Vec::new();
+        sw.ingress(Packet::new(SimTime::ZERO), SimTime::ZERO, &mut drops);
+        assert_eq!(sw.backlog_pkts(), 1);
+        assert!(sw.dequeue(SimTime::ZERO).is_some());
+        assert_eq!(sw.backlog_pkts(), 0);
+        assert!(drops.is_empty());
+    }
+}

@@ -1,0 +1,157 @@
+//! The control-plane priority mapper (paper §5.2).
+//!
+//! Each control period the controller (i) polls per-cluster statistics
+//! from the data plane, (ii) scores every cluster with a ranking
+//! algorithm, and (iii) derives the cluster → priority-queue mapping that
+//! the data plane applies to subsequent packets. Least-malicious clusters
+//! get the highest priority (queue 0); when there are more clusters than
+//! queues the mapping spreads rank-proportionally.
+
+use crate::rank::RankingAlgorithm;
+use accturbo_clustering::WindowStats;
+use std::collections::HashMap;
+
+/// Derives cluster → queue mappings from polled statistics.
+#[derive(Debug, Clone)]
+pub struct Controller {
+    ranking: RankingAlgorithm,
+    num_queues: usize,
+    /// Operator overrides (§10): cluster index → pinned queue.
+    pinned: HashMap<usize, usize>,
+}
+
+impl Controller {
+    /// Creates a controller using `ranking` over `num_queues` priority
+    /// queues. Panics when `num_queues` is zero.
+    pub fn new(ranking: RankingAlgorithm, num_queues: usize) -> Self {
+        assert!(num_queues > 0, "need at least one priority queue");
+        Controller {
+            ranking,
+            num_queues,
+            pinned: HashMap::new(),
+        }
+    }
+
+    /// The ranking algorithm in use.
+    pub fn ranking(&self) -> RankingAlgorithm {
+        self.ranking
+    }
+
+    /// Number of priority queues.
+    pub fn num_queues(&self) -> usize {
+        self.num_queues
+    }
+
+    /// Pins `cluster` to `queue` regardless of its score — the operator
+    /// override of §10 (e.g. a dedicated queue for known-benign traffic).
+    pub fn pin(&mut self, cluster: usize, queue: usize) {
+        assert!(queue < self.num_queues, "pinned queue out of range");
+        self.pinned.insert(cluster, queue);
+    }
+
+    /// Removes a pin.
+    pub fn unpin(&mut self, cluster: usize) {
+        self.pinned.remove(&cluster);
+    }
+
+    /// Computes the cluster → queue mapping for this period.
+    ///
+    /// `stats[i]` and `sizes[i]` describe cluster `i` (`sizes[i] = None`
+    /// for empty slots). Returns one queue index per cluster.
+    pub fn assign_queues(&self, stats: &[WindowStats], sizes: &[Option<f64>]) -> Vec<usize> {
+        assert_eq!(stats.len(), sizes.len(), "stats/sizes arity mismatch");
+        let n = stats.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        let scores: Vec<f64> = (0..n)
+            .map(|i| self.ranking.score(&stats[i], sizes[i]))
+            .collect();
+        // Ascending score: best behaved first. Stable tie-break on index.
+        order.sort_by(|&a, &b| {
+            scores[a]
+                .partial_cmp(&scores[b])
+                .expect("scores are finite")
+                .then(a.cmp(&b))
+        });
+
+        let mut queues = vec![0usize; n];
+        for (rank, &cluster) in order.iter().enumerate() {
+            // Spread ranks over the queues proportionally.
+            queues[cluster] = rank * self.num_queues / n.max(1);
+        }
+        for (&cluster, &queue) in &self.pinned {
+            if cluster < n {
+                queues[cluster] = queue;
+            }
+        }
+        queues
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(v: &[(u64, u64)]) -> Vec<WindowStats> {
+        v.iter()
+            .map(|&(pkts, bytes)| WindowStats { pkts, bytes })
+            .collect()
+    }
+
+    #[test]
+    fn highest_rate_cluster_gets_worst_queue() {
+        let c = Controller::new(RankingAlgorithm::Throughput, 4);
+        let s = stats(&[(10, 1_000), (10, 100_000), (10, 10_000), (10, 500)]);
+        let sizes = vec![Some(1.0); 4];
+        let q = c.assign_queues(&s, &sizes);
+        assert_eq!(q[1], 3, "heaviest cluster must be deprioritized");
+        assert_eq!(q[3], 0, "lightest cluster must keep top priority");
+        assert_eq!(q, vec![1, 3, 2, 0]);
+    }
+
+    #[test]
+    fn more_clusters_than_queues_spread_proportionally() {
+        let c = Controller::new(RankingAlgorithm::NumPackets, 2);
+        let s = stats(&[(1, 1), (2, 1), (3, 1), (4, 1)]);
+        let sizes = vec![Some(1.0); 4];
+        let q = c.assign_queues(&s, &sizes);
+        assert_eq!(q, vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn empty_slots_rank_best() {
+        let c = Controller::new(RankingAlgorithm::Throughput, 3);
+        let s = stats(&[(0, 0), (10, 10_000), (5, 3_000)]);
+        let sizes = vec![None, Some(1.0), Some(1.0)];
+        let q = c.assign_queues(&s, &sizes);
+        assert_eq!(q[0], 0);
+        assert_eq!(q[1], 2);
+        assert_eq!(q[2], 1);
+    }
+
+    #[test]
+    fn pinning_overrides_scores() {
+        let mut c = Controller::new(RankingAlgorithm::Throughput, 4);
+        c.pin(1, 0); // cluster 1 is known-benign
+        let s = stats(&[(10, 100), (10, 1_000_000), (10, 500), (10, 200)]);
+        let sizes = vec![Some(1.0); 4];
+        let q = c.assign_queues(&s, &sizes);
+        assert_eq!(q[1], 0, "pin must win over the score");
+        c.unpin(1);
+        let q = c.assign_queues(&s, &sizes);
+        assert_eq!(q[1], 3);
+    }
+
+    #[test]
+    fn ties_break_deterministically() {
+        let c = Controller::new(RankingAlgorithm::Throughput, 4);
+        let s = stats(&[(1, 100), (1, 100), (1, 100), (1, 100)]);
+        let sizes = vec![Some(1.0); 4];
+        assert_eq!(c.assign_queues(&s, &sizes), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one priority queue")]
+    fn zero_queues_rejected() {
+        let _ = Controller::new(RankingAlgorithm::Throughput, 0);
+    }
+}

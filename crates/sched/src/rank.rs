@@ -1,0 +1,118 @@
+//! Ranking algorithms (paper §5.1).
+//!
+//! A ranking algorithm scores each cluster's *maliciousness* from the
+//! statistics the data plane exposes: its arrival rate (byte and packet
+//! counters) and its size (the cost `δ(c)`, a proxy for packet
+//! similarity — small cluster + high rate = highly self-similar traffic).
+//! Higher score = more likely attack = lower scheduling priority. The
+//! paper proposes four instances, all implemented here and compared in
+//! Fig. 11a.
+
+use accturbo_clustering::WindowStats;
+
+/// The ranking algorithms of §5.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RankingAlgorithm {
+    /// `rank(p) = throughput(c)` — bytes per window.
+    Throughput,
+    /// `rank(p) = num_packets(c)` — packets per window ("N.P.").
+    NumPackets,
+    /// `rank(p) = throughput(c) / size(c)` — rate density ("Th./Size").
+    ThroughputOverSize,
+    /// `rank(p) = num_packets(c) / size(c)` ("N.P./Size").
+    NumPacketsOverSize,
+}
+
+impl RankingAlgorithm {
+    /// All algorithms, in Fig. 11a's order.
+    pub const ALL: [RankingAlgorithm; 4] = [
+        RankingAlgorithm::NumPackets,
+        RankingAlgorithm::Throughput,
+        RankingAlgorithm::NumPacketsOverSize,
+        RankingAlgorithm::ThroughputOverSize,
+    ];
+
+    /// Display label matching Fig. 11a.
+    pub fn name(self) -> &'static str {
+        match self {
+            RankingAlgorithm::NumPackets => "N.P.",
+            RankingAlgorithm::Throughput => "Th.",
+            RankingAlgorithm::NumPacketsOverSize => "N.P./Size",
+            RankingAlgorithm::ThroughputOverSize => "Th./Size",
+        }
+    }
+
+    /// Scores one cluster. `stats` are the window counters the control
+    /// plane polled; `size` is the cluster's cost `δ(c)` (`None` for an
+    /// empty slot, which scores zero). Higher = more malicious.
+    pub fn score(self, stats: &WindowStats, size: Option<f64>) -> f64 {
+        let Some(size) = size else {
+            return 0.0;
+        };
+        // +1 keeps tight single-point clusters (size 0) finite while
+        // preserving the ordering the paper intends: among equal rates,
+        // the *smaller* (more self-similar) cluster ranks worse.
+        let denom = size + 1.0;
+        match self {
+            RankingAlgorithm::Throughput => stats.bytes as f64,
+            RankingAlgorithm::NumPackets => stats.pkts as f64,
+            RankingAlgorithm::ThroughputOverSize => stats.bytes as f64 / denom,
+            RankingAlgorithm::NumPacketsOverSize => stats.pkts as f64 / denom,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(pkts: u64, bytes: u64) -> WindowStats {
+        WindowStats { pkts, bytes }
+    }
+
+    #[test]
+    fn throughput_orders_by_bytes() {
+        let alg = RankingAlgorithm::Throughput;
+        let hi = alg.score(&stats(10, 10_000), Some(5.0));
+        let lo = alg.score(&stats(100, 1_000), Some(5.0));
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn num_packets_orders_by_packets() {
+        let alg = RankingAlgorithm::NumPackets;
+        let hi = alg.score(&stats(100, 1_000), Some(5.0));
+        let lo = alg.score(&stats(10, 10_000), Some(5.0));
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn size_division_penalizes_self_similarity() {
+        // Same rate; the tighter cluster must rank worse (more malicious).
+        let alg = RankingAlgorithm::ThroughputOverSize;
+        let tight = alg.score(&stats(100, 100_000), Some(2.0));
+        let broad = alg.score(&stats(100, 100_000), Some(50_000.0));
+        assert!(tight > broad);
+    }
+
+    #[test]
+    fn empty_slot_scores_zero() {
+        for alg in RankingAlgorithm::ALL {
+            assert_eq!(alg.score(&stats(100, 100_000), None), 0.0);
+        }
+    }
+
+    #[test]
+    fn zero_size_cluster_is_finite() {
+        let alg = RankingAlgorithm::ThroughputOverSize;
+        let s = alg.score(&stats(10, 1_000), Some(0.0));
+        assert!(s.is_finite());
+        assert_eq!(s, 1_000.0);
+    }
+
+    #[test]
+    fn names_match_figure() {
+        assert_eq!(RankingAlgorithm::NumPackets.name(), "N.P.");
+        assert_eq!(RankingAlgorithm::ThroughputOverSize.name(), "Th./Size");
+    }
+}

@@ -1,0 +1,16 @@
+//! # accturbo-telemetry
+//!
+//! Evaluation metrics and reporting for the experiment harness: the
+//! Fig. 11a scheduling score, reaction-time measurement on throughput
+//! series (§7.2.2), and plain-text table/CSV rendering used by every
+//! figure and table regeneration.
+
+#![deny(missing_docs)]
+
+pub mod reaction;
+pub mod report;
+pub mod score;
+
+pub use reaction::benign_recovery_time;
+pub use report::{csv, f, Table};
+pub use score::SchedulingScore;

@@ -1,0 +1,97 @@
+//! Reaction-time measurement (paper §7.2.2).
+//!
+//! The paper defines reaction time as "the time since [a defense] sees
+//! the first attack packet until it starts mitigating the attack". On a
+//! throughput time series this is observable as the moment benign
+//! throughput recovers (or attack throughput collapses) after the attack
+//! begins.
+
+use accturbo_netsim::{ClassId, SimTime, StatsCollector};
+
+/// Measures when benign throughput recovers above `recover_frac` of its
+/// pre-attack level, after an attack starting at `attack_start`.
+///
+/// Returns the reaction time, or `None` when benign traffic never
+/// recovers before the series ends. The pre-attack level is the mean
+/// benign throughput over the buckets strictly before `attack_start`.
+pub fn benign_recovery_time(
+    stats: &StatsCollector,
+    attack_start: SimTime,
+    recover_frac: f64,
+) -> Option<SimTime> {
+    assert!(
+        (0.0..=1.0).contains(&recover_frac),
+        "recover_frac must be in [0, 1]"
+    );
+    let interval = stats.interval();
+    let start_bucket = attack_start.bucket(interval) as usize;
+    assert!(start_bucket > 0, "need at least one pre-attack bucket");
+
+    let baseline: f64 = (0..start_bucket)
+        .map(|b| stats.throughput_bps(b, ClassId::BENIGN))
+        .sum::<f64>()
+        / start_bucket as f64;
+    if baseline <= 0.0 {
+        return None;
+    }
+    let target = baseline * recover_frac;
+
+    // Find the first post-attack bucket where benign throughput dipped
+    // (the attack actually bit) ...
+    let impacted = (start_bucket..stats.num_buckets())
+        .find(|&b| stats.throughput_bps(b, ClassId::BENIGN) < target)?;
+    // ... then the first bucket after it that recovers.
+    let recovered = (impacted..stats.num_buckets())
+        .find(|&b| stats.throughput_bps(b, ClassId::BENIGN) >= target)?;
+    let recovered_at = SimTime::from_nanos(recovered as u64 * interval.as_nanos());
+    Some(SimTime::from_nanos(
+        recovered_at.as_nanos().saturating_sub(attack_start.as_nanos()),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accturbo_netsim::{Packet, SimDuration};
+
+    /// Builds a stats series with the given per-second benign Mbps.
+    fn series(mbps_per_sec: &[f64]) -> StatsCollector {
+        let mut s = StatsCollector::new(SimDuration::from_secs(1));
+        for (sec, &mbps) in mbps_per_sec.iter().enumerate() {
+            let bytes = (mbps * 1e6 / 8.0) as u32;
+            let t = SimTime::from_millis(sec as u64 * 1000 + 500);
+            let p = Packet::new(t).with_size(bytes.max(1));
+            s.on_depart(&p, t);
+        }
+        s
+    }
+
+    #[test]
+    fn measures_the_dip_and_recovery() {
+        // Baseline 8 Mbps; attack at t=3 s crushes throughput for 2 s.
+        let s = series(&[8.0, 8.0, 8.0, 1.0, 1.0, 8.0, 8.0]);
+        let r = benign_recovery_time(&s, SimTime::from_secs(3), 0.9).expect("recovers");
+        assert_eq!(r, SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn none_when_never_recovering() {
+        let s = series(&[8.0, 8.0, 1.0, 1.0, 1.0]);
+        assert!(benign_recovery_time(&s, SimTime::from_secs(2), 0.9).is_none());
+    }
+
+    #[test]
+    fn immediate_recovery_is_fast() {
+        // Dip for one bucket only.
+        let s = series(&[8.0, 8.0, 1.0, 8.0]);
+        let r = benign_recovery_time(&s, SimTime::from_secs(2), 0.9).expect("recovers");
+        assert_eq!(r, SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn no_dip_means_no_reaction_needed() {
+        // Attack never bites: there is no "impacted" bucket.
+        let s = series(&[8.0, 8.0, 8.0, 8.0]);
+        assert!(benign_recovery_time(&s, SimTime::from_secs(2), 0.9).is_none());
+    }
+}

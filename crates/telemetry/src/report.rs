@@ -1,0 +1,123 @@
+//! Plain-text report formatting for the experiment harness.
+//!
+//! Every figure/table regeneration prints either an aligned table (for
+//! the paper's tables) or a CSV series (for the figures, ready to plot).
+
+use std::fmt::Write as _;
+
+/// An aligned plain-text table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        assert!(!header.is_empty(), "table needs at least one column");
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row. Panics on arity mismatch.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                let _ = write!(out, "{:<width$}", cell, width = widths[i]);
+                if i + 1 < ncols {
+                    out.push_str("  ");
+                }
+            }
+            out.push('\n');
+        };
+        fmt_row(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Renders a CSV series: one header line, then one line per record.
+pub fn csv(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in rows {
+        assert_eq!(row.len(), header.len(), "CSV row arity mismatch");
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a float with sensible experiment precision.
+pub fn f(x: f64) -> String {
+    if x.abs() >= 100.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["longer-name".into(), "22.5".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("a  "));
+        // All data lines have the value column starting at the same offset.
+        let off = lines[2].find('1').expect("value present");
+        assert_eq!(&lines[3][off..off + 4], "22.5");
+    }
+
+    #[test]
+    fn csv_round_trip_shape() {
+        let s = csv(
+            &["t", "v"],
+            &[vec!["0".into(), "1.5".into()], vec!["1".into(), "2.5".into()]],
+        );
+        assert_eq!(s, "t,v\n0,1.5\n1,2.5\n");
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(0.12345), "0.12");
+        assert_eq!(f(1234.5), "1234.5");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn row_arity_checked() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+}

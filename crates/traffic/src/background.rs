@@ -1,0 +1,397 @@
+//! CAIDA-like synthetic background traffic.
+//!
+//! The paper replays CAIDA backbone traces as benign background. We
+//! synthesize a statistically similar mix (see DESIGN.md §1): flows arrive
+//! as a Poisson process; flow lengths are heavy-tailed (bounded Pareto);
+//! header fields follow backbone-like distributions (ephemeral source
+//! ports, service destination ports, mostly TCP, diverse addresses and
+//! TTLs). What matters for the reproduction is the *diversity* of benign
+//! feature values versus the self-similarity of attack aggregates, and
+//! that is exactly what this generator reproduces.
+
+use crate::cbr::FlowTemplate;
+use accturbo_netsim::packet::proto;
+use accturbo_netsim::{ClassId, Packet, PacketSource, SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::net::Ipv4Addr;
+
+/// Background-traffic configuration.
+#[derive(Debug, Clone)]
+pub struct BackgroundConfig {
+    /// Target long-run aggregate rate, in bits per second.
+    pub rate_bps: u64,
+    /// First packet at or after this time.
+    pub start: SimTime,
+    /// No packets at or after this time.
+    pub end: SimTime,
+    /// Mean flow length in packets (bounded-Pareto mean, α = 1.5).
+    pub mean_flow_pkts: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl BackgroundConfig {
+    /// A background mix at `rate_bps` for `[start, end)` with defaults.
+    pub fn new(rate_bps: u64, start: SimTime, end: SimTime, seed: u64) -> Self {
+        BackgroundConfig {
+            rate_bps,
+            start,
+            end,
+            mean_flow_pkts: 60.0,
+            seed,
+        }
+    }
+}
+
+/// Common destination service ports with rough backbone weights.
+const SERVICE_PORTS: &[(u16, u32)] = &[
+    (443, 30),
+    (80, 25),
+    (53, 8),
+    (22, 3),
+    (25, 2),
+    (123, 2),
+    (993, 2),
+    (8080, 2),
+];
+
+struct Flow {
+    template: FlowTemplate,
+    remaining: u32,
+    gap: SimDuration,
+    ip_id: u16,
+}
+
+/// Lazily generated background traffic source.
+pub struct BackgroundSource {
+    cfg: BackgroundConfig,
+    rng: StdRng,
+    /// (next emission time, flow slot) for active flows; min-heap.
+    active: BinaryHeap<Reverse<(SimTime, usize)>>,
+    flows: Vec<Flow>,
+    free_slots: Vec<usize>,
+    next_flow_at: SimTime,
+    flow_gap_ns_mean: f64,
+    mean_pkt_size: f64,
+}
+
+impl BackgroundSource {
+    /// Creates the source. Panics on an empty window or zero rate.
+    pub fn new(cfg: BackgroundConfig) -> Self {
+        assert!(cfg.end > cfg.start, "background window must be non-empty");
+        assert!(cfg.rate_bps > 0, "background rate must be positive");
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        // Mean packet size of the size mix below (empirically ~660 B).
+        let mean_pkt_size = 660.0;
+        let mean_flow_bytes = cfg.mean_flow_pkts * mean_pkt_size;
+        // Flow arrival rate that yields the target byte rate on average.
+        let flows_per_sec = cfg.rate_bps as f64 / 8.0 / mean_flow_bytes;
+        let flow_gap_ns_mean = 1e9 / flows_per_sec;
+        let first = cfg.start;
+        BackgroundSource {
+            cfg,
+            rng,
+            active: BinaryHeap::new(),
+            flows: Vec::new(),
+            free_slots: Vec::new(),
+            next_flow_at: first,
+            flow_gap_ns_mean,
+            mean_pkt_size,
+        }
+    }
+
+    fn sample_exp(&mut self, mean: f64) -> f64 {
+        // Inverse-CDF exponential; u in (0,1].
+        let u: f64 = 1.0 - self.rng.gen::<f64>();
+        -mean * u.ln()
+    }
+
+    /// Bounded Pareto (α = 1.5) flow length with the configured mean.
+    fn sample_flow_pkts(&mut self) -> u32 {
+        let alpha = 1.5f64;
+        // For a Pareto with x_min m, mean = m * α/(α−1) = 3m.
+        let m = (self.cfg.mean_flow_pkts / 3.0).max(1.0);
+        let u: f64 = self.rng.gen::<f64>().max(1e-12);
+        let x = m / u.powf(1.0 / alpha);
+        x.min(10_000.0).max(1.0) as u32
+    }
+
+    fn sample_pkt_size(&mut self) -> u32 {
+        let r: f64 = self.rng.gen();
+        if r < 0.45 {
+            self.rng.gen_range(40..=120) // ACKs, DNS queries, small control
+        } else if r < 0.75 {
+            1500 // MTU-sized bulk transfer
+        } else {
+            self.rng.gen_range(120..1500)
+        }
+    }
+
+    fn sample_dport(&mut self) -> u16 {
+        let total: u32 = SERVICE_PORTS.iter().map(|&(_, w)| w).sum::<u32>() + 15;
+        let mut pick = self.rng.gen_range(0..total);
+        for &(port, w) in SERVICE_PORTS {
+            if pick < w {
+                return port;
+            }
+            pick -= w;
+        }
+        self.rng.gen_range(1024..u16::MAX) // long tail
+    }
+
+    fn sample_addr(&mut self) -> Ipv4Addr {
+        // Public-looking unicast space, avoiding 0/8, 10/8, 127/8, 224+/8.
+        let a = loop {
+            let a = self.rng.gen_range(1..=223u8);
+            if a != 10 && a != 127 {
+                break a;
+            }
+        };
+        Ipv4Addr::new(a, self.rng.gen(), self.rng.gen(), self.rng.gen())
+    }
+
+    fn spawn_flow(&mut self, now: SimTime) {
+        let proto_pick: f64 = self.rng.gen();
+        let proto = if proto_pick < 0.80 {
+            proto::TCP
+        } else if proto_pick < 0.97 {
+            proto::UDP
+        } else {
+            proto::ICMP
+        };
+        let src = self.sample_addr();
+        let dst = self.sample_addr();
+        let (sport, dport) = if proto == proto::ICMP {
+            (0, 0)
+        } else {
+            (self.rng.gen_range(1024..u16::MAX), self.sample_dport())
+        };
+        let remaining = self.sample_flow_pkts();
+        let size = self.sample_pkt_size();
+        // Per-flow packet rate: log-uniform ~20–800 pps, additionally
+        // capped so no single benign flow exceeds ~8% of the scaled
+        // bottleneck — a backbone's per-flow rates are small relative to
+        // the link, which keeps the 1-second aggregate nearly constant.
+        let pps = 10f64
+            .powf(self.rng.gen_range(1.3..2.9))
+            .min(100_000.0 / size as f64);
+        let gap = SimDuration::from_nanos((1e9 / pps) as u64);
+        let ttl = *[32u8, 48, 52, 57, 64, 110, 118, 128]
+            .get(self.rng.gen_range(0..8))
+            .expect("index in range");
+        let template = FlowTemplate {
+            src,
+            dst,
+            sport,
+            dport,
+            proto,
+            ttl,
+            size,
+            class: ClassId::BENIGN,
+        };
+        let flow = Flow {
+            template,
+            remaining,
+            gap,
+            ip_id: self.rng.gen(),
+        };
+        let slot = match self.free_slots.pop() {
+            Some(s) => {
+                self.flows[s] = flow;
+                s
+            }
+            None => {
+                self.flows.push(flow);
+                self.flows.len() - 1
+            }
+        };
+        self.active.push(Reverse((now, slot)));
+    }
+
+    fn schedule_next_flow(&mut self) {
+        let gap = self.sample_exp(self.flow_gap_ns_mean);
+        self.next_flow_at = self.next_flow_at + SimDuration::from_nanos(gap.max(1.0) as u64);
+    }
+
+    /// Mean packet size assumed by the rate calibration (for tests).
+    pub fn mean_pkt_size(&self) -> f64 {
+        self.mean_pkt_size
+    }
+}
+
+impl PacketSource for BackgroundSource {
+    fn next_packet(&mut self) -> Option<Packet> {
+        loop {
+            // Admit flow arrivals that precede the earliest active emission.
+            let earliest_active = self.active.peek().map(|Reverse((t, _))| *t);
+            while self.next_flow_at < self.cfg.end
+                && earliest_active.map_or(true, |t| self.next_flow_at <= t)
+            {
+                let at = self.next_flow_at;
+                self.spawn_flow(at);
+                self.schedule_next_flow();
+                if self.active.peek().map(|Reverse((t, _))| *t) == Some(at) {
+                    break;
+                }
+            }
+
+            let Reverse((t, slot)) = self.active.pop()?;
+            if t >= self.cfg.end {
+                // Flow truncated by the end of the window; recycle and try
+                // the next one (all later emissions are also past the end).
+                self.free_slots.push(slot);
+                continue;
+            }
+            // A backbone link carries both directions of a connection:
+            // roughly half the packets are server→client responses with
+            // the endpoints and ports swapped.
+            let reverse = self.rng.gen::<f64>() < 0.45;
+            let flow = &mut self.flows[slot];
+            let (src, dst, sport, dport) = if reverse {
+                (
+                    flow.template.dst,
+                    flow.template.src,
+                    flow.template.dport,
+                    flow.template.sport,
+                )
+            } else {
+                (
+                    flow.template.src,
+                    flow.template.dst,
+                    flow.template.sport,
+                    flow.template.dport,
+                )
+            };
+            let mut pkt = Packet::new(t)
+                .with_size(flow.template.size)
+                .with_src(src)
+                .with_dst(dst)
+                .with_ports(sport, dport)
+                .with_proto(flow.template.proto)
+                .with_ttl(flow.template.ttl)
+                .with_class(ClassId::BENIGN);
+            pkt.ip_id = flow.ip_id;
+            if flow.template.proto == proto::TCP {
+                pkt.tcp_flags = 0x10; // ACK
+            }
+            flow.ip_id = flow.ip_id.wrapping_add(1);
+            flow.remaining -= 1;
+            if flow.remaining > 0 {
+                let next = t + flow.gap;
+                self.active.push(Reverse((next, slot)));
+            } else {
+                self.free_slots.push(slot);
+            }
+            return Some(pkt);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(cfg: BackgroundConfig) -> Vec<Packet> {
+        let mut src = BackgroundSource::new(cfg);
+        std::iter::from_fn(move || src.next_packet()).collect()
+    }
+
+    #[test]
+    fn respects_time_window() {
+        let pkts = collect(BackgroundConfig::new(
+            5_000_000,
+            SimTime::from_secs(1),
+            SimTime::from_secs(3),
+            7,
+        ));
+        assert!(!pkts.is_empty());
+        assert!(pkts.iter().all(|p| p.arrival >= SimTime::from_secs(1)));
+        assert!(pkts.iter().all(|p| p.arrival < SimTime::from_secs(3)));
+    }
+
+    #[test]
+    fn emits_in_time_order() {
+        let pkts = collect(BackgroundConfig::new(
+            5_000_000,
+            SimTime::ZERO,
+            SimTime::from_secs(2),
+            11,
+        ));
+        assert!(pkts.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+    }
+
+    #[test]
+    fn long_run_rate_close_to_target() {
+        let target = 10_000_000u64; // 10 Mbps
+        let secs = 20u64;
+        let pkts = collect(BackgroundConfig::new(
+            target,
+            SimTime::ZERO,
+            SimTime::from_secs(secs),
+            42,
+        ));
+        let bytes: u64 = pkts.iter().map(|p| p.size as u64).sum();
+        let rate = bytes as f64 * 8.0 / secs as f64;
+        let err = (rate - target as f64).abs() / target as f64;
+        assert!(
+            err < 0.30,
+            "generated {rate:.0} bps vs target {target} (err {err:.2})"
+        );
+    }
+
+    #[test]
+    fn traffic_is_diverse() {
+        let pkts = collect(BackgroundConfig::new(
+            5_000_000,
+            SimTime::ZERO,
+            SimTime::from_secs(5),
+            3,
+        ));
+        let srcs: std::collections::HashSet<_> = pkts.iter().map(|p| p.src).collect();
+        let dports: std::collections::HashSet<_> = pkts.iter().map(|p| p.dport).collect();
+        assert!(srcs.len() > 100, "only {} distinct sources", srcs.len());
+        assert!(dports.len() > 8, "only {} distinct dports", dports.len());
+        let tcp = pkts.iter().filter(|p| p.proto == proto::TCP).count();
+        let frac = tcp as f64 / pkts.len() as f64;
+        assert!((0.6..0.95).contains(&frac), "TCP fraction {frac}");
+    }
+
+    #[test]
+    fn all_packets_are_benign() {
+        let pkts = collect(BackgroundConfig::new(
+            1_000_000,
+            SimTime::ZERO,
+            SimTime::from_secs(1),
+            5,
+        ));
+        assert!(pkts.iter().all(|p| p.class.is_benign()));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = collect(BackgroundConfig::new(
+            2_000_000,
+            SimTime::ZERO,
+            SimTime::from_secs(2),
+            9,
+        ));
+        let b = collect(BackgroundConfig::new(
+            2_000_000,
+            SimTime::ZERO,
+            SimTime::from_secs(2),
+            9,
+        ));
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a, b);
+        let c = collect(BackgroundConfig::new(
+            2_000_000,
+            SimTime::ZERO,
+            SimTime::from_secs(2),
+            10,
+        ));
+        assert_ne!(a, c, "different seeds should differ");
+    }
+}
