@@ -25,9 +25,10 @@ use crate::config::AccConfig;
 use crate::prefix::Prefix;
 use crate::switch::AccSwitch;
 use accturbo_netsim::{
-    Bandwidth, DropReason, Dropped, FifoQueue, Packet, PacketSource, QueueDiscipline,
-    SimDuration, SimTime, StatsCollector, Switch, TokenBucket,
+    Bandwidth, DropReason, Dropped, FifoQueue, Packet, PacketSource, QueueDiscipline, SimDuration,
+    SimTime, StatsCollector, Switch, TokenBucket,
 };
+use accturbo_obs::{Event, NoopTracer, Tracer};
 use std::collections::HashMap;
 
 /// Configuration of the pushback topology.
@@ -122,9 +123,20 @@ pub struct PushbackResult {
 /// `sources[i]` feeds upstream `i`; each upstream forwards over its own
 /// link into the bottleneck ACC switch.
 pub fn run_pushback(
+    sources: Vec<Box<dyn PacketSource>>,
+    cfg: &PushbackConfig,
+    end: SimTime,
+) -> PushbackResult {
+    run_pushback_traced(sources, cfg, end, &mut NoopTracer)
+}
+
+/// Like [`run_pushback`], but emits a `pushback_limit` trace event for
+/// every per-upstream rate allocation installed or revised at a refresh.
+pub fn run_pushback_traced<T: Tracer + ?Sized>(
     mut sources: Vec<Box<dyn PacketSource>>,
     cfg: &PushbackConfig,
     end: SimTime,
+    tracer: &mut T,
 ) -> PushbackResult {
     assert!(!sources.is_empty(), "need at least one upstream");
     let n = sources.len();
@@ -241,6 +253,17 @@ pub fn run_pushback(
                                     .push((prefix, TokenBucket::new(share, 15_000)));
                                 installs += 1;
                             }
+                        }
+                        if tracer.enabled() {
+                            tracer.record(
+                                now.as_nanos(),
+                                &Event::PushbackLimit {
+                                    upstream: i,
+                                    prefix: prefix.addr,
+                                    prefix_len: prefix.len,
+                                    bps: share.as_bps(),
+                                },
+                            );
                         }
                     }
                 }
@@ -412,6 +435,34 @@ mod tests {
             delivered as f64 > 0.9 * arrived as f64,
             "class 2 delivered {delivered}/{arrived}"
         );
+    }
+
+    #[test]
+    fn traced_run_records_pushback_limits() {
+        use accturbo_obs::RingTracer;
+        let secs = 20;
+        let mut t = RingTracer::new(100_000);
+        let res = run_pushback_traced(
+            sources(secs),
+            &config(true),
+            SimTime::from_secs(secs),
+            &mut t,
+        );
+        assert!(res.pushback_installs > 0, "pushback must have fired");
+        let limits = t
+            .iter()
+            .filter(|(_, e)| e.kind() == "pushback_limit")
+            .count() as u64;
+        // Every install is traced, and revisions at later refreshes add
+        // more events on top.
+        assert!(
+            limits >= res.pushback_installs,
+            "{limits} events vs {} installs",
+            res.pushback_installs
+        );
+        let jsonl = t.to_jsonl();
+        assert!(jsonl.contains("\"ev\":\"pushback_limit\""));
+        assert!(jsonl.contains("\"upstream\":0"));
     }
 
     #[test]

@@ -111,7 +111,10 @@ mod tests {
             .iter()
             .map(|r| r - plan.limit.as_bps() as f64)
             .sum();
-        assert!((shed - excess).abs() < 10.0, "shed {shed} != excess {excess}");
+        assert!(
+            (shed - excess).abs() < 10.0,
+            "shed {shed} != excess {excess}"
+        );
     }
 
     #[test]

@@ -138,7 +138,8 @@ impl SessionTable {
         if self.sessions.len() >= self.cfg.max_sessions {
             return false;
         }
-        self.sessions.push(Session::new(prefix, limit, now, &self.cfg));
+        self.sessions
+            .push(Session::new(prefix, limit, now, &self.cfg));
         true
     }
 

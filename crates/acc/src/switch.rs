@@ -24,6 +24,11 @@ use std::collections::VecDeque;
 /// to descend.
 const REFINE_KEEP: f64 = 0.9;
 
+/// Fraction of the recently dropped bytes the kept aggregates must
+/// cover: ranked prefixes past this cumulative coverage are treated as
+/// collateral victims, not congestion-responsible aggregates.
+const DROP_COVERAGE: f64 = 0.8;
+
 /// One binned interval of RED arrival/drop counters.
 #[derive(Debug, Clone, Copy, Default)]
 struct Bin {
@@ -203,7 +208,7 @@ impl AccSwitch {
             return;
         }
         let span = now.saturating_since(recent_horizon).as_secs_f64().max(0.1);
-        let mut rated: Vec<(InferredAggregate, f64)> = aggregates
+        let mut rated: Vec<(InferredAggregate, f64, u64)> = aggregates
             .into_iter()
             .map(|agg| {
                 let agg_bytes: u64 = recent
@@ -212,18 +217,70 @@ impl AccSwitch {
                     .map(|d| d.bytes as u64)
                     .sum();
                 let rate = agg_bytes as f64 / drop_rate * 8.0 / span;
-                (agg, rate)
+                (agg, rate, agg_bytes)
             })
             .collect();
         rated.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("rates are finite"));
-        let rates: Vec<f64> = rated.iter().map(|(_, r)| *r).collect();
-        let Some(plan) = water_fill(&rates, excess) else {
-            return;
-        };
-        for (agg, _) in rated.into_iter().take(plan.num_limited) {
-            self.sessions.install(agg.prefix, plan.limit, now);
+        // Identification keeps only the prefixes responsible for most of
+        // the drops (the paper's criterion): walk the ranked list and stop
+        // once the kept aggregates cover DROP_COVERAGE of the dropped
+        // bytes. Without this, a scenario with one attack and one benign
+        // destination ranks the benign /24 as a second "aggregate" (83% /
+        // 17% drop split beats no 2x-mean heavy hitter) and water-fills
+        // the victim down alongside the attack.
+        let mut covered = 0u64;
+        let mut keep = rated.len();
+        for (i, &(_, _, bytes)) in rated.iter().enumerate() {
+            covered += bytes;
+            if covered as f64 >= DROP_COVERAGE * total_dropped_bytes as f64 {
+                keep = i + 1;
+                break;
+            }
         }
-        self.activations += 1;
+        rated.truncate(keep);
+        // When congestion persists past the first activation, the drop
+        // history mixes the already-limited aggregates with collateral
+        // drops from well-behaved traffic, so inference alone can no
+        // longer separate attack from victim. Classic ACC handles this by
+        // *revising* the limit of existing sessions as conditions change
+        // (Mahajan et al. §5.2): tighten the aggregates already convicted
+        // first, and only open fresh sessions for whatever excess the
+        // tightening cannot shed.
+        let (existing, fresh): (Vec<_>, Vec<_>) = rated.into_iter().partition(|(agg, _, _)| {
+            self.sessions
+                .sessions()
+                .iter()
+                .any(|s| s.prefix == agg.prefix)
+        });
+        let mut remaining = excess;
+        let mut acted = false;
+        if !existing.is_empty() {
+            let rates: Vec<f64> = existing.iter().map(|(_, r, _)| *r).collect();
+            if let Some(plan) = water_fill(&rates, remaining) {
+                let level = plan.limit.as_bps() as f64;
+                let shed: f64 = rates[..plan.num_limited]
+                    .iter()
+                    .map(|r| (r - level).max(0.0))
+                    .sum();
+                for (agg, _, _) in existing.iter().take(plan.num_limited) {
+                    self.sessions.install(agg.prefix, plan.limit, now);
+                }
+                remaining -= shed;
+                acted = true;
+            }
+        }
+        if remaining > 1.0 && !fresh.is_empty() {
+            let rates: Vec<f64> = fresh.iter().map(|(_, r, _)| *r).collect();
+            if let Some(plan) = water_fill(&rates, remaining) {
+                for (agg, _, _) in fresh.iter().take(plan.num_limited) {
+                    self.sessions.install(agg.prefix, plan.limit, now);
+                }
+                acted = true;
+            }
+        }
+        if acted {
+            self.activations += 1;
+        }
     }
 }
 
@@ -331,7 +388,10 @@ mod tests {
     fn no_congestion_no_sessions() {
         // 8 Mbps offered on a 10 Mbps link: RED stays quiet.
         let mut src = MergedSource::new(vec![cbr(1, 1, 8_000_000, 0, 10)]);
-        let mut sw = AccSwitch::new(AccConfig::default().with_red(red()), Bandwidth::from_bps(LINK));
+        let mut sw = AccSwitch::new(
+            AccConfig::default().with_red(red()),
+            Bandwidth::from_bps(LINK),
+        );
         let res = run(&mut src, &mut sw, &engine_cfg());
         assert_eq!(sw.activations(), 0);
         assert!(sw.sessions().is_empty());
@@ -345,7 +405,10 @@ mod tests {
             cbr(1, 1, 6_000_000, 0, 20),
             cbr(5, 5, 30_000_000, 0, 20),
         ]);
-        let mut sw = AccSwitch::new(AccConfig::default().with_red(red()), Bandwidth::from_bps(LINK));
+        let mut sw = AccSwitch::new(
+            AccConfig::default().with_red(red()),
+            Bandwidth::from_bps(LINK),
+        );
         let res = run(&mut src, &mut sw, &engine_cfg());
         assert!(sw.activations() > 0, "the threshold must have fired");
         // The attack must be throttled: benign gets most of its traffic
@@ -374,11 +437,17 @@ mod tests {
             cbr(1, 1, 6_000_000, 0, 20),
             cbr(5, 5, 30_000_000, 0, 20),
         ]);
-        let mut sw = AccSwitch::new(AccConfig::default().with_red(red()), Bandwidth::from_bps(LINK));
+        let mut sw = AccSwitch::new(
+            AccConfig::default().with_red(red()),
+            Bandwidth::from_bps(LINK),
+        );
         let res = run(&mut src, &mut sw, &engine_cfg());
         let attack_drops = res.stats.total_dropped(ClassId(5)).pkts;
         let benign_drops = res.stats.total_dropped(ClassId(1)).pkts;
-        assert!(attack_drops > benign_drops * 3, "attack must absorb the drops");
+        assert!(
+            attack_drops > benign_drops * 3,
+            "attack must absorb the drops"
+        );
     }
 
     #[test]
@@ -403,6 +472,9 @@ mod tests {
         };
         let fast = first_activation(2).expect("K=2 must mitigate");
         let slow = first_activation(10).expect("K=10 must mitigate");
-        assert!(slow >= fast, "K=10 ({slow}s) must react no faster than K=2 ({fast}s)");
+        assert!(
+            slow >= fast,
+            "K=10 ({slow}s) must react no faster than K=2 ({fast}s)"
+        );
     }
 }

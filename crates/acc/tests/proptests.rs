@@ -1,95 +1,139 @@
-//! Property-based tests for classic ACC's control-plane primitives.
+//! Randomized property tests for classic ACC's control-plane primitives.
+//!
+//! Originally written against `proptest`; the build environment has no
+//! crates.io access, so these now run as seeded randomized loops over
+//! `accturbo_prng` (deterministic per seed, so failures reproduce).
 
 use accturbo_acc::{excess_rate, infer_aggregates, water_fill, Prefix};
 use accturbo_netsim::Bandwidth;
-use proptest::prelude::*;
+use accturbo_prng::{Rng, SeedableRng, StdRng};
 
-proptest! {
-    /// Water-filling always sheds exactly the excess (when feasible) and
-    /// never produces a negative limit or an empty plan for positive
-    /// excess.
-    #[test]
-    fn water_fill_sheds_exactly_the_excess(
-        mut rates in prop::collection::vec(1e3f64..1e9, 1..20),
-        excess_frac in 0.01f64..0.99) {
+const CASES: usize = 128;
+
+/// Water-filling always sheds exactly the excess (when feasible) and
+/// never produces a negative limit or an empty plan for positive
+/// excess.
+#[test]
+fn water_fill_sheds_exactly_the_excess() {
+    let mut rng = StdRng::seed_from_u64(0xacc_0001);
+    for case in 0..CASES {
+        let n = rng.gen_range(1usize..20);
+        let mut rates: Vec<f64> = (0..n).map(|_| rng.gen_range(1e3f64..1e9)).collect();
+        let excess_frac = rng.gen_range(0.01f64..0.99);
         rates.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
         let total: f64 = rates.iter().sum();
         let excess = total * excess_frac;
         let plan = water_fill(&rates, excess).expect("positive excess needs a plan");
-        prop_assert!(plan.num_limited >= 1 && plan.num_limited <= rates.len());
+        assert!(plan.num_limited >= 1 && plan.num_limited <= rates.len());
         let limit = plan.limit.as_bps() as f64;
-        prop_assert!(limit >= 0.0);
+        assert!(limit >= 0.0);
         let shed: f64 = rates[..plan.num_limited].iter().map(|r| r - limit).sum();
         // Feasible cut: shed == excess (within the integer-bps rounding of
         // the limit, amplified by the number of limited aggregates).
         let tolerance = plan.num_limited as f64 + 1.0;
-        prop_assert!(
+        assert!(
             (shed - excess).abs() <= tolerance,
-            "shed {shed} vs excess {excess}"
+            "case {case}: shed {shed} vs excess {excess}"
         );
         // The water level never exceeds the highest rate and never cuts an
         // aggregate below zero.
-        prop_assert!(limit <= rates[0] + 1.0);
+        assert!(limit <= rates[0] + 1.0);
         // Aggregates outside the plan all have rate <= limit + rounding.
         for &r in &rates[plan.num_limited..] {
-            prop_assert!(r <= limit + tolerance, "unlimited rate {r} above level {limit}");
+            assert!(
+                r <= limit + tolerance,
+                "case {case}: unlimited rate {r} above level {limit}"
+            );
         }
     }
+}
 
-    /// The excess rate is zero exactly when the arrival fits within the
-    /// capacity slack, and increasing arrivals never decreases it.
-    #[test]
-    fn excess_rate_is_monotone(arrival in 0f64..1e10, cap_mbps in 1u64..10_000) {
+/// The excess rate is zero exactly when the arrival fits within the
+/// capacity slack, and increasing arrivals never decreases it.
+#[test]
+fn excess_rate_is_monotone() {
+    let mut rng = StdRng::seed_from_u64(0xacc_0002);
+    for case in 0..CASES {
+        let arrival = rng.gen_range(0f64..1e10);
+        let cap_mbps = rng.gen_range(1u64..10_000);
         let cap = Bandwidth::from_mbps(cap_mbps);
         let e1 = excess_rate(arrival, cap, 0.05);
         let e2 = excess_rate(arrival * 1.5 + 1.0, cap, 0.05);
-        prop_assert!(e1 >= 0.0);
-        prop_assert!(e2 >= e1);
+        assert!(e1 >= 0.0, "case {case}");
+        assert!(e2 >= e1, "case {case}");
         if arrival <= cap.as_bps() as f64 {
-            prop_assert_eq!(e1, 0.0);
+            assert_eq!(e1, 0.0, "case {case}");
         }
     }
+}
 
-    /// Inferred aggregates always contain the addresses that dominated the
-    /// drop history, respect the cap, and report drop counts that never
-    /// exceed the history length.
-    #[test]
-    fn inference_finds_the_dominant_prefix(
-        hot_ip in any::<u32>(),
-        hot_count in 100usize..1000,
-        noise in prop::collection::vec(any::<u32>(), 0..100),
-        max_aggs in 1usize..8) {
+/// Inferred aggregates always contain the addresses that dominated the
+/// drop history, respect the cap, and report drop counts that never
+/// exceed the history length.
+#[test]
+fn inference_finds_the_dominant_prefix() {
+    let mut rng = StdRng::seed_from_u64(0xacc_0003);
+    for case in 0..CASES {
+        let hot_ip: u32 = rng.gen();
+        let hot_count = rng.gen_range(100usize..1000);
+        let n_noise = rng.gen_range(0usize..100);
+        let max_aggs = rng.gen_range(1usize..8);
         let mut drops = vec![hot_ip; hot_count];
-        drops.extend(&noise);
+        for _ in 0..n_noise {
+            drops.push(rng.gen());
+        }
         let aggs = infer_aggregates(&drops, max_aggs, 0.9);
-        prop_assert!(!aggs.is_empty());
-        prop_assert!(aggs.len() <= max_aggs);
-        prop_assert!(aggs[0].prefix.contains(hot_ip), "top prefix misses the hot ip");
+        assert!(!aggs.is_empty(), "case {case}");
+        assert!(aggs.len() <= max_aggs, "case {case}");
+        assert!(
+            aggs[0].prefix.contains(hot_ip),
+            "case {case}: top prefix misses the hot ip"
+        );
         for a in &aggs {
-            prop_assert!(a.drops as usize <= drops.len());
+            assert!(a.drops as usize <= drops.len(), "case {case}");
         }
     }
+}
 
-    /// Prefix containment is consistent with masking: a /len prefix built
-    /// from an address contains exactly the addresses sharing its top bits.
-    #[test]
-    fn prefix_contains_iff_bits_match(addr in any::<u32>(), other in any::<u32>(), len in 0u8..=32) {
+/// Prefix containment is consistent with masking: a /len prefix built
+/// from an address contains exactly the addresses sharing its top bits.
+#[test]
+fn prefix_contains_iff_bits_match() {
+    let mut rng = StdRng::seed_from_u64(0xacc_0004);
+    for case in 0..CASES * 4 {
+        let addr: u32 = rng.gen();
+        let other: u32 = rng.gen();
+        let len = rng.gen_range(0u8..=32);
         let p = Prefix::new(addr, len);
-        let mask = if len == 0 { 0u32 } else { u32::MAX << (32 - len) };
-        prop_assert_eq!(p.contains(other), (other & mask) == (addr & mask));
-        prop_assert!(p.contains(addr));
+        let mask = if len == 0 {
+            0u32
+        } else {
+            u32::MAX << (32 - len)
+        };
+        assert_eq!(
+            p.contains(other),
+            (other & mask) == (addr & mask),
+            "case {case} len {len}"
+        );
+        assert!(p.contains(addr), "case {case}");
     }
+}
 
-    /// Children partition a prefix: every address in the parent is in
-    /// exactly one child.
-    #[test]
-    fn prefix_children_partition(addr in any::<u32>(), len in 0u8..32, probe in any::<u32>()) {
+/// Children partition a prefix: every address in the parent is in
+/// exactly one child.
+#[test]
+fn prefix_children_partition() {
+    let mut rng = StdRng::seed_from_u64(0xacc_0005);
+    for case in 0..CASES * 4 {
+        let addr: u32 = rng.gen();
+        let len = rng.gen_range(0u8..32);
+        let probe: u32 = rng.gen();
         let p = Prefix::new(addr, len);
         let (l, r) = p.children().expect("len < 32");
         if p.contains(probe) {
-            prop_assert!(l.contains(probe) ^ r.contains(probe));
+            assert!(l.contains(probe) ^ r.contains(probe), "case {case}");
         } else {
-            prop_assert!(!l.contains(probe) && !r.contains(probe));
+            assert!(!l.contains(probe) && !r.contains(probe), "case {case}");
         }
     }
 }

@@ -4,6 +4,7 @@
 //! and classic ACC's control-plane primitives.
 
 use accturbo_acc::{infer_aggregates, water_fill};
+use accturbo_bench::{black_box, Harness};
 use accturbo_clustering::{
     ClusteringConfig, DistanceKind, FeatureSet, NominalMode, OnlineClusterer, SearchKind,
 };
@@ -12,10 +13,7 @@ use accturbo_netsim::{
     ClassId, FifoQueue, Packet, PifoQueue, PriorityBank, QueueDiscipline, RedConfig, RedQueue,
     SimTime,
 };
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use std::hint::black_box;
+use accturbo_prng::{Rng, SeedableRng, StdRng};
 use std::net::Ipv4Addr;
 
 fn packets(n: usize) -> Vec<Packet> {
@@ -35,133 +33,134 @@ fn packets(n: usize) -> Vec<Packet> {
         .collect()
 }
 
-fn bench_clustering(c: &mut Criterion) {
+fn bench_clustering(h: &Harness) {
     let pkts = packets(10_000);
-    let mut group = c.benchmark_group("clustering_assign");
-    group.throughput(Throughput::Elements(pkts.len() as u64));
     for (name, distance, search) in [
-        ("manhattan_fast", DistanceKind::Manhattan, SearchKind::Fast),
-        ("manhattan_exhaustive", DistanceKind::Manhattan, SearchKind::Exhaustive),
-        ("anime_fast", DistanceKind::Anime, SearchKind::Fast),
-        ("euclidean_fast", DistanceKind::Euclidean, SearchKind::Fast),
+        (
+            "clustering_assign/manhattan_fast",
+            DistanceKind::Manhattan,
+            SearchKind::Fast,
+        ),
+        (
+            "clustering_assign/manhattan_exhaustive",
+            DistanceKind::Manhattan,
+            SearchKind::Exhaustive,
+        ),
+        (
+            "clustering_assign/anime_fast",
+            DistanceKind::Anime,
+            SearchKind::Fast,
+        ),
+        (
+            "clustering_assign/euclidean_fast",
+            DistanceKind::Euclidean,
+            SearchKind::Fast,
+        ),
     ] {
-        group.bench_function(name, |b| {
-            b.iter_batched(
-                || {
-                    let mut cfg =
-                        ClusteringConfig::deployable(10, FeatureSet::simulation_default());
-                    cfg.distance = distance;
-                    cfg.search = search;
-                    cfg.nominal = NominalMode::Exact;
-                    OnlineClusterer::new(cfg)
-                },
-                |mut oc| {
-                    for p in &pkts {
-                        black_box(oc.assign(p));
-                    }
-                },
-                criterion::BatchSize::LargeInput,
-            )
-        });
-    }
-    group.finish();
-}
-
-fn bench_queues(c: &mut Criterion) {
-    let pkts = packets(10_000);
-    let mut group = c.benchmark_group("queues");
-    group.throughput(Throughput::Elements(pkts.len() as u64));
-
-    group.bench_function("fifo_enqueue_dequeue", |b| {
-        b.iter_batched(
-            || FifoQueue::new(64 * 1024 * 1024),
-            |mut q| {
-                let mut drops = Vec::new();
-                for p in &pkts {
-                    q.enqueue(p.clone(), SimTime::ZERO, &mut drops);
-                }
-                while q.dequeue(SimTime::ZERO).is_some() {}
-                black_box(drops.len())
-            },
-            criterion::BatchSize::LargeInput,
-        )
-    });
-
-    group.bench_function("red_enqueue_dequeue", |b| {
-        b.iter_batched(
+        h.run_batched(
+            name,
+            Some(pkts.len() as u64),
             || {
-                RedQueue::new(RedConfig {
-                    cap_bytes: 64 * 1024 * 1024,
-                    min_th: 2_000.0,
-                    max_th: 8_000.0,
-                    ..RedConfig::default()
-                })
+                let mut cfg = ClusteringConfig::deployable(10, FeatureSet::simulation_default());
+                cfg.distance = distance;
+                cfg.search = search;
+                cfg.nominal = NominalMode::Exact;
+                OnlineClusterer::new(cfg)
             },
-            |mut q| {
-                let mut drops = Vec::new();
+            |mut oc| {
                 for p in &pkts {
-                    q.enqueue(p.clone(), p.arrival, &mut drops);
+                    black_box(oc.assign(p));
                 }
-                while q.dequeue(SimTime::ZERO).is_some() {}
-                black_box(drops.len())
             },
-            criterion::BatchSize::LargeInput,
-        )
-    });
-
-    group.bench_function("priority_bank_8q", |b| {
-        b.iter_batched(
-            || PriorityBank::new(8, 16 * 1024 * 1024),
-            |mut bank| {
-                let mut drops = Vec::new();
-                for (i, p) in pkts.iter().enumerate() {
-                    bank.enqueue_to(i % 8, p.clone(), SimTime::ZERO, &mut drops);
-                }
-                while bank.dequeue(SimTime::ZERO).is_some() {}
-                black_box(drops.len())
-            },
-            criterion::BatchSize::LargeInput,
-        )
-    });
-
-    group.bench_function("pifo_ranked", |b| {
-        b.iter_batched(
-            || PifoQueue::new(64 * 1024 * 1024),
-            |mut q| {
-                let mut drops = Vec::new();
-                for p in &pkts {
-                    let rank = p.seq % 64;
-                    q.enqueue_ranked(p.clone(), rank, &mut drops);
-                }
-                while q.dequeue(SimTime::ZERO).is_some() {}
-                black_box(drops.len())
-            },
-            criterion::BatchSize::LargeInput,
-        )
-    });
-    group.finish();
+        );
+    }
 }
 
-fn bench_control_plane(c: &mut Criterion) {
-    let mut group = c.benchmark_group("control_plane");
+fn bench_queues(h: &Harness) {
+    let pkts = packets(10_000);
+    let elems = Some(pkts.len() as u64);
 
+    h.run_batched(
+        "queues/fifo_enqueue_dequeue",
+        elems,
+        || FifoQueue::new(64 * 1024 * 1024),
+        |mut q| {
+            let mut drops = Vec::new();
+            for p in &pkts {
+                q.enqueue(p.clone(), SimTime::ZERO, &mut drops);
+            }
+            while q.dequeue(SimTime::ZERO).is_some() {}
+            black_box(drops.len());
+        },
+    );
+
+    h.run_batched(
+        "queues/red_enqueue_dequeue",
+        elems,
+        || {
+            RedQueue::new(RedConfig {
+                cap_bytes: 64 * 1024 * 1024,
+                min_th: 2_000.0,
+                max_th: 8_000.0,
+                ..RedConfig::default()
+            })
+        },
+        |mut q| {
+            let mut drops = Vec::new();
+            for p in &pkts {
+                q.enqueue(p.clone(), p.arrival, &mut drops);
+            }
+            while q.dequeue(SimTime::ZERO).is_some() {}
+            black_box(drops.len());
+        },
+    );
+
+    h.run_batched(
+        "queues/priority_bank_8q",
+        elems,
+        || PriorityBank::new(8, 16 * 1024 * 1024),
+        |mut bank| {
+            let mut drops = Vec::new();
+            for (i, p) in pkts.iter().enumerate() {
+                bank.enqueue_to(i % 8, p.clone(), SimTime::ZERO, &mut drops);
+            }
+            while bank.dequeue(SimTime::ZERO).is_some() {}
+            black_box(drops.len());
+        },
+    );
+
+    h.run_batched(
+        "queues/pifo_ranked",
+        elems,
+        || PifoQueue::new(64 * 1024 * 1024),
+        |mut q| {
+            let mut drops = Vec::new();
+            for p in &pkts {
+                let rank = p.seq % 64;
+                q.enqueue_ranked(p.clone(), rank, &mut drops);
+            }
+            while q.dequeue(SimTime::ZERO).is_some() {}
+            black_box(drops.len());
+        },
+    );
+}
+
+fn bench_control_plane(h: &Harness) {
     // Count-min update (Jaqen's per-packet work).
     let keys: Vec<u64> = {
         let mut rng = StdRng::seed_from_u64(3);
         (0..10_000).map(|_| rng.gen()).collect()
     };
-    group.throughput(Throughput::Elements(keys.len() as u64));
-    group.bench_function("count_min_update", |b| {
-        b.iter_batched(
-            || CountMinSketch::new(3, 65_536),
-            |mut s| {
-                for &k in &keys {
-                    black_box(s.update(k, 1));
-                }
-            },
-            criterion::BatchSize::LargeInput,
-        )
-    });
+    h.run_batched(
+        "control_plane/count_min_update",
+        Some(keys.len() as u64),
+        || CountMinSketch::new(3, 65_536),
+        |mut s| {
+            for &k in &keys {
+                black_box(s.update(k, 1));
+            }
+        },
+    );
 
     // Classic ACC's aggregate inference on a realistic drop history.
     let dropped: Vec<u32> = {
@@ -177,16 +176,19 @@ fn bench_control_plane(c: &mut Criterion) {
             })
             .collect()
     };
-    group.bench_function("acc_infer_aggregates", |b| {
-        b.iter(|| black_box(infer_aggregates(&dropped, 5, 0.9)))
+    h.run("control_plane/acc_infer_aggregates", || {
+        black_box(infer_aggregates(&dropped, 5, 0.9));
     });
 
-    group.bench_function("acc_water_fill", |b| {
-        let rates: Vec<f64> = (0..64).map(|i| 1e9 / (i + 1) as f64).collect();
-        b.iter(|| black_box(water_fill(&rates, 5e8)))
+    let rates: Vec<f64> = (0..64).map(|i| 1e9 / (i + 1) as f64).collect();
+    h.run("control_plane/acc_water_fill", || {
+        black_box(water_fill(&rates, 5e8));
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_clustering, bench_queues, bench_control_plane);
-criterion_main!(benches);
+fn main() {
+    let h = Harness::from_args();
+    bench_clustering(&h);
+    bench_queues(&h);
+    bench_control_plane(&h);
+}

@@ -1,46 +1,42 @@
-//! One Criterion benchmark per paper table/figure: each regenerates the
-//! experiment at `Scale::Quick` (shortened durations, identical code
-//! paths), so regressions in any reproduction pipeline are caught and
-//! timed. The full-fidelity outputs come from `cargo run -p
-//! accturbo-experiments --release -- all`.
+//! One benchmark per paper table/figure: each regenerates the experiment
+//! at `Scale::Quick` (shortened durations, identical code paths), so
+//! regressions in any reproduction pipeline are caught and timed. The
+//! full-fidelity outputs come from `cargo run -p accturbo-experiments
+//! --release -- all`.
 
+use accturbo_bench::{black_box, Harness};
 use accturbo_experiments::{fig10, fig11, fig2, fig3, fig6, fig7, fig8, fig9, table3, Scale};
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 
-fn bench_figures(c: &mut Criterion) {
-    let mut group = c.benchmark_group("figures");
-    group.sample_size(10);
+fn main() {
+    // One quick-scale iteration already takes O(seconds); three samples
+    // keep `cargo bench` tolerable while still exposing regressions.
+    let h = Harness::from_args().with_samples(3);
 
-    group.bench_function("fig2_quick", |b| {
-        b.iter(|| black_box(fig2::report(Scale::Quick)))
+    h.run("figures/fig2_quick", || {
+        black_box(fig2::report(Scale::Quick));
     });
-    group.bench_function("fig3_quick", |b| {
-        b.iter(|| black_box(fig3::report(Scale::Quick)))
+    h.run("figures/fig3_quick", || {
+        black_box(fig3::report(Scale::Quick));
     });
-    group.bench_function("fig6_quick", |b| {
-        b.iter(|| black_box(fig6::report(Scale::Quick)))
+    h.run("figures/fig6_quick", || {
+        black_box(fig6::report(Scale::Quick));
     });
-    group.bench_function("fig7_quick", |b| {
-        b.iter(|| black_box(fig7::report(Scale::Quick)))
+    h.run("figures/fig7_quick", || {
+        black_box(fig7::report(Scale::Quick));
     });
-    group.bench_function("table3_quick", |b| {
-        b.iter(|| black_box(table3::report(Scale::Quick)))
+    h.run("figures/table3_quick", || {
+        black_box(table3::report(Scale::Quick));
     });
-    group.bench_function("fig8_quick", |b| {
-        b.iter(|| black_box(fig8::report(Scale::Quick)))
+    h.run("figures/fig8_quick", || {
+        black_box(fig8::report(Scale::Quick));
     });
-    group.bench_function("fig9_quick", |b| {
-        b.iter(|| black_box(fig9::report(Scale::Quick)))
+    h.run("figures/fig9_quick", || {
+        black_box(fig9::report(Scale::Quick));
     });
-    group.bench_function("fig10_quick", |b| {
-        b.iter(|| black_box(fig10::report(Scale::Quick)))
+    h.run("figures/fig10_quick", || {
+        black_box(fig10::report(Scale::Quick));
     });
-    group.bench_function("fig11_quick", |b| {
-        b.iter(|| black_box(fig11::report(Scale::Quick)))
+    h.run("figures/fig11_quick", || {
+        black_box(fig11::report(Scale::Quick));
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_figures);
-criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! Proof that observability is pay-for-what-you-use (DESIGN.md,
+//! Observability): the plain `run` entry point monomorphizes
+//! `run_instrumented` over `NoopTracer`, so the tracing branches must
+//! compile out of the hot path. This bench runs the Fig. 2 ACC-Turbo
+//! workload three ways on identical inputs:
+//!
+//! * `plain`  — `run` (the pre-observability datapath),
+//! * `noop`   — `run_instrumented` with `NoopTracer` and no metrics,
+//! * `active` — `run_instrumented` with a live `RingTracer`, a metrics
+//!   registry on both engine and switch, and stage timing enabled.
+//!
+//! The budget is **noop ≤ plain + 2%** (median over samples). The active
+//! row is informational: it is the price of full tracing, not a budget.
+
+use accturbo_bench::{black_box, fmt_ns, overhead_pct, Harness};
+use accturbo_clustering::FeatureSet;
+use accturbo_core::{AccTurboConfig, AccTurboSwitch};
+use accturbo_netsim::{
+    run, run_instrumented, Bandwidth, EngineConfig, MergedSource, SimDuration, SimTime,
+};
+use accturbo_obs::{shared, NoopTracer, Registry, RingTracer};
+use accturbo_traffic::scenarios;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+const LINK: u64 = 10_000_000;
+const SEED: u64 = 2022;
+/// Simulated seconds per iteration: long enough to cross several control
+/// periods and stats intervals, short enough for many samples.
+const SECS: u64 = 2;
+
+fn cfg() -> EngineConfig {
+    EngineConfig::new(Bandwidth::from_bps(LINK))
+        .with_stats_interval(SimDuration::from_secs(1))
+        .with_end_time(SimTime::from_secs(SECS))
+        .with_control_period(SimDuration::from_millis(250))
+}
+
+fn fresh() -> (MergedSource, AccTurboSwitch<'static>) {
+    let src = scenarios::fig2_source(LINK, SEED);
+    let sw = AccTurboSwitch::new(AccTurboConfig::simulation(FeatureSet::simulation_default()));
+    (src, sw)
+}
+
+fn main() {
+    let h = Harness::from_args().with_samples(21);
+
+    let plain = h.run_batched(
+        "obs_overhead/plain_run",
+        None,
+        fresh,
+        |(mut src, mut sw)| {
+            black_box(run(&mut src, &mut sw, &cfg()));
+        },
+    );
+
+    let noop = h.run_batched(
+        "obs_overhead/noop_tracer",
+        None,
+        fresh,
+        |(mut src, mut sw)| {
+            black_box(run_instrumented(
+                &mut src,
+                &mut sw,
+                &cfg(),
+                &mut NoopTracer,
+                None,
+            ));
+        },
+    );
+
+    let _active = h.run_batched(
+        "obs_overhead/active_tracing",
+        None,
+        || {
+            let (src, mut sw) = fresh();
+            let tracer = shared(RingTracer::new(1_000_000));
+            let metrics = Rc::new(RefCell::new(Registry::new()));
+            sw.set_tracer(Box::new(Rc::clone(&tracer)));
+            sw.set_metrics(Rc::clone(&metrics));
+            sw.set_timing(true);
+            (src, sw, tracer, metrics)
+        },
+        |(mut src, mut sw, tracer, metrics)| {
+            let mut engine_tracer = Rc::clone(&tracer);
+            black_box(run_instrumented(
+                &mut src,
+                &mut sw,
+                &cfg(),
+                &mut engine_tracer,
+                Some(&metrics),
+            ));
+        },
+    );
+
+    if let (Some(plain), Some(noop)) = (plain, noop) {
+        let pct = overhead_pct(&plain, &noop);
+        let verdict = if pct <= 2.0 { "PASS" } else { "FAIL" };
+        println!(
+            "\nnoop-instrumented vs plain: {:+.2}% (budget +2.00%) ... {}",
+            pct, verdict
+        );
+        println!(
+            "  plain median {}, noop median {}",
+            fmt_ns(plain.median_ns()),
+            fmt_ns(noop.median_ns())
+        );
+        if h.smoke() {
+            println!("  (smoke mode: single iteration, percentage is noise)");
+        } else if pct > 2.0 {
+            // A loaded machine can push any single run past the budget;
+            // a nonzero exit makes the regression visible to CI wrappers.
+            std::process::exit(1);
+        }
+    }
+}

@@ -280,9 +280,7 @@ impl RangeCluster {
                 (Dim::Range { min, max }, Dim::Range { min: m2, max: x2 }) => {
                     ((*max).max(*x2) - (*min).min(*m2)) as f64 + 1.0
                 }
-                (Dim::Set(sa), Dim::Set(sb)) => {
-                    (sa.cardinality() + sb.cardinality()).max(1) as f64
-                }
+                (Dim::Set(sa), Dim::Set(sb)) => (sa.cardinality() + sb.cardinality()).max(1) as f64,
                 _ => unreachable!("dimension kinds are fixed by the feature set"),
             })
             .product();
@@ -440,7 +438,10 @@ mod tests {
 
     #[test]
     fn bloom_mode_admits_with_false_positive_semantics() {
-        let mode = NominalMode::Bloom { bits: 1024, hashes: 3 };
+        let mode = NominalMode::Bloom {
+            bits: 1024,
+            hashes: 3,
+        };
         let mut c = RangeCluster::seed(&feats(), &[5, 10, 80], &mode);
         c.admit(&[5, 10, 443]);
         assert!(c.covers(&[5, 10, 80]));

@@ -73,7 +73,12 @@ impl HybridClusterer {
 
         // Offline refit on a full window.
         if self.since_refit >= self.refit_every && self.buffer.len() >= self.k {
-            let fit = kmeans(&self.buffer, self.k, 20, self.seed.wrapping_add(self.refits));
+            let fit = kmeans(
+                &self.buffer,
+                self.k,
+                20,
+                self.seed.wrapping_add(self.refits),
+            );
             self.centers = fit.centers;
             self.refits += 1;
             self.since_refit = 0;

@@ -5,8 +5,7 @@
 //! packets is available at once and the algorithm may iterate. This is the
 //! accuracy upper bound the deployable algorithm is measured against.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use accturbo_prng::{Rng, SeedableRng, StdRng};
 
 /// Result of a k-means fit.
 #[derive(Debug, Clone)]

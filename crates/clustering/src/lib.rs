@@ -27,4 +27,7 @@ pub use eval::{ClusterEval, QualitySummary, WindowedEval};
 pub use feature::{Feature, FeatureKind, FeatureSet, FeatureSpec};
 pub use hybrid::HybridClusterer;
 pub use kmeans::{kmeans, nearest, KMeansFit};
-pub use online::{ClusteringConfig, DistanceKind, InitMode, OnlineClusterer, RepMode, Repr, SearchKind, WindowStats};
+pub use online::{
+    Assignment, ClusteringConfig, DistanceKind, InitMode, OnlineClusterer, RepMode, Repr,
+    SearchKind, WindowStats,
+};

@@ -16,6 +16,7 @@
 use crate::cluster::{CenterCluster, NominalMode, RangeCluster};
 use crate::feature::FeatureSet;
 use accturbo_netsim::Packet;
+use accturbo_obs::{Event, Tracer};
 
 /// Distance function (paper §4.2.3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -133,6 +134,40 @@ impl ClusteringConfig {
         self.rep = rep;
         self
     }
+}
+
+/// What happened structurally when a packet was assigned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AssignAction {
+    /// The packet was already covered (or absorbed without growth).
+    Covered,
+    /// An empty/reused slot was seeded at the packet.
+    Seeded,
+    /// Two clusters merged to free the slot, which was seeded at the
+    /// packet (exhaustive search only).
+    Merged {
+        /// The slot that was emptied (and re-seeded at the packet).
+        from: usize,
+        /// The slot that absorbed `from`'s extent and counters.
+        into: usize,
+    },
+    /// The nearest cluster expanded (or would have, absent budget) to
+    /// admit the packet; `grew` is whether it actually changed shape.
+    Expanded {
+        /// Whether the cluster's geometry actually grew.
+        grew: bool,
+    },
+}
+
+/// The result of a traced assignment: the chosen cluster and the
+/// distance the packet had to it before any expansion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Assignment {
+    /// Index of the cluster the packet was assigned to.
+    pub cluster: usize,
+    /// Distance from the packet to that cluster before expansion
+    /// (0 when the packet was covered or seeded a slot).
+    pub distance: f64,
 }
 
 /// One cluster's internal representation.
@@ -274,9 +309,9 @@ impl OnlineClusterer {
                     // observed ranges.
                     let rep = self.representative[k].take();
                     let point = match (self.cfg.rep, rep) {
-                        (RepMode::RangeMidpoint, Some(_)) => self
-                            .midpoint(k)
-                            .unwrap_or_else(|| self.anchor(k)),
+                        (RepMode::RangeMidpoint, Some(_)) => {
+                            self.midpoint(k).unwrap_or_else(|| self.anchor(k))
+                        }
                         (_, Some(rep)) => rep,
                         (_, None) => self.anchor(k),
                     };
@@ -317,8 +352,59 @@ impl OnlineClusterer {
         idx
     }
 
+    /// Like [`assign`](Self::assign), but emits `cluster_seed` /
+    /// `cluster_assign` / `cluster_merge` trace events at `now_ns` and
+    /// returns the pre-expansion distance alongside the cluster index.
+    pub fn assign_traced<T: Tracer + ?Sized>(
+        &mut self,
+        pkt: &Packet,
+        tracer: &mut T,
+        now_ns: u64,
+    ) -> Assignment {
+        let mut values = std::mem::take(&mut self.scratch);
+        self.cfg.features.extract_into(pkt, &mut values);
+        let (cluster, distance, action) = self.assign_values_inner(&values, pkt.size);
+        self.scratch = values;
+        if tracer.enabled() {
+            match action {
+                AssignAction::Seeded => {
+                    tracer.record(now_ns, &Event::ClusterSeed { cluster });
+                }
+                AssignAction::Merged { from, into } => {
+                    tracer.record(now_ns, &Event::ClusterMerge { from, into });
+                    tracer.record(now_ns, &Event::ClusterSeed { cluster });
+                }
+                AssignAction::Covered => {
+                    tracer.record(
+                        now_ns,
+                        &Event::ClusterAssign {
+                            cluster,
+                            distance,
+                            expanded: false,
+                        },
+                    );
+                }
+                AssignAction::Expanded { grew } => {
+                    tracer.record(
+                        now_ns,
+                        &Event::ClusterAssign {
+                            cluster,
+                            distance,
+                            expanded: grew,
+                        },
+                    );
+                }
+            }
+        }
+        Assignment { cluster, distance }
+    }
+
     /// Assigns a pre-extracted feature vector carrying `bytes` of payload.
     pub fn assign_values(&mut self, values: &[u32], bytes: u32) -> usize {
+        self.assign_values_inner(values, bytes).0
+    }
+
+    fn assign_values_inner(&mut self, values: &[u32], bytes: u32) -> (usize, f64, AssignAction) {
         assert_eq!(
             values.len(),
             self.cfg.features.len(),
@@ -333,11 +419,10 @@ impl OnlineClusterer {
             }
             None => self.observed = Some(values.iter().map(|&v| (v, v)).collect()),
         }
-        let (idx, dist) = match self.cfg.distance {
+        let (idx, dist, action) = match self.cfg.distance {
             DistanceKind::Euclidean => self.assign_center(values),
             _ => self.assign_range(values),
         };
-        let _ = dist;
         match &mut self.stat_ranges[idx] {
             Some(ranges) => {
                 for (r, &v) in ranges.iter_mut().zip(values) {
@@ -358,10 +443,10 @@ impl OnlineClusterer {
         self.window[idx].bytes += bytes as u64;
         self.totals[idx].pkts += 1;
         self.totals[idx].bytes += bytes as u64;
-        idx
+        (idx, dist, action)
     }
 
-    fn assign_range(&mut self, values: &[u32]) -> (usize, f64) {
+    fn assign_range(&mut self, values: &[u32]) -> (usize, f64, AssignAction) {
         // Distance to every occupied slot.
         let mut best: Option<(usize, f64)> = None;
         for (i, slot) in self.clusters.iter().enumerate() {
@@ -379,7 +464,7 @@ impl OnlineClusterer {
 
         match best {
             // Covered by an existing cluster: no growth needed.
-            Some((i, d)) if d <= 0.0 => (i, 0.0),
+            Some((i, d)) if d <= 0.0 => (i, 0.0, AssignAction::Covered),
             // Not covered. An empty slot (initialization phase) always
             // wins: seeding costs nothing.
             _ if self.first_empty().is_some() => {
@@ -389,7 +474,7 @@ impl OnlineClusterer {
                     values,
                     &self.cfg.nominal,
                 )));
-                (slot, 0.0)
+                (slot, 0.0, AssignAction::Seeded)
             }
             Some((i, d)) => {
                 if self.cfg.search == SearchKind::Exhaustive {
@@ -415,7 +500,7 @@ impl OnlineClusterer {
                                 values,
                                 &self.cfg.nominal,
                             )));
-                            return (b, 0.0);
+                            return (b, 0.0, AssignAction::Merged { from: b, into: a });
                         }
                     }
                 }
@@ -425,20 +510,21 @@ impl OnlineClusterer {
                 // The Manhattan distance *is* the cost growth admitting
                 // the packet would cause; only admit within budget.
                 let growth = d as u64;
-                if self.budget[i] >= growth {
+                let grew = self.budget[i] >= growth;
+                if grew {
                     self.budget[i] -= growth;
                     c.admit(values);
                 }
-                (i, d)
+                (i, d, AssignAction::Expanded { grew })
             }
             None => unreachable!("no clusters and no empty slot is impossible"),
         }
     }
 
-    fn assign_center(&mut self, values: &[u32]) -> (usize, f64) {
+    fn assign_center(&mut self, values: &[u32]) -> (usize, f64, AssignAction) {
         if let Some(slot) = self.first_empty() {
             self.clusters[slot] = Some(Repr::Center(CenterCluster::seed(values)));
-            return (slot, 0.0);
+            return (slot, 0.0, AssignAction::Seeded);
         }
         let mut best: (usize, f64) = (0, f64::INFINITY);
         for (i, slot) in self.clusters.iter().enumerate() {
@@ -463,7 +549,7 @@ impl OnlineClusterer {
                     target.merge(&other);
                     self.fold_stats(b, a);
                     self.clusters[b] = Some(Repr::Center(CenterCluster::seed(values)));
-                    return (b, 0.0);
+                    return (b, 0.0, AssignAction::Merged { from: b, into: a });
                 }
             }
         }
@@ -471,7 +557,7 @@ impl OnlineClusterer {
             unreachable!("best index is occupied")
         };
         c.admit(values, self.cfg.learning_rate);
-        (i, d)
+        (i, d, AssignAction::Expanded { grew: d > 0.0 })
     }
 
     fn first_empty(&self) -> Option<usize> {
@@ -694,14 +780,13 @@ mod tests {
     fn exhaustive_merges_when_cheaper() {
         // Two clusters seeded close together; a distant packet should
         // cause a merge + fresh cluster rather than a huge expansion.
-        let mut oc =
-            OnlineClusterer::new(cfg(2, DistanceKind::Manhattan, SearchKind::Exhaustive));
+        let mut oc = OnlineClusterer::new(cfg(2, DistanceKind::Manhattan, SearchKind::Exhaustive));
         let a = oc.assign(&pkt(10, 1000));
         let b = oc.assign(&pkt(12, 1005)); // nearby -> another slot (seeding)
         assert_ne!(a, b);
         let c = oc.assign(&pkt(250, 64000)); // far away
-        // The far packet gets its own (reused) slot; the two near clusters
-        // are now one.
+                                             // The far packet gets its own (reused) slot; the two near clusters
+                                             // are now one.
         let d = oc.assign(&pkt(11, 1002));
         assert_ne!(c, d);
         assert!(oc.repr(c).is_some() && oc.repr(d).is_some());
@@ -793,6 +878,45 @@ mod tests {
         oc.reset_clusters();
         let after = oc.assign(&pkt(10, 2000));
         assert_eq!(before, after, "same point, same slot after reset");
+    }
+
+    #[test]
+    fn traced_assignment_emits_seed_assign_and_merge_events() {
+        use accturbo_obs::RingTracer;
+        let mut oc = OnlineClusterer::new(cfg(2, DistanceKind::Manhattan, SearchKind::Exhaustive));
+        let mut t = RingTracer::new(64);
+        // Two seeds, then a nearby point (assign), then a far point that
+        // triggers a merge (same scenario as `exhaustive_merges_when_cheaper`).
+        let a = oc.assign_traced(&pkt(10, 1000), &mut t, 1);
+        assert_eq!(a.distance, 0.0);
+        oc.assign_traced(&pkt(12, 1005), &mut t, 2);
+        let near = oc.assign_traced(&pkt(10, 1000), &mut t, 3);
+        assert_eq!(near.cluster, a.cluster);
+        oc.assign_traced(&pkt(250, 64000), &mut t, 4);
+        let kinds: Vec<&str> = t.iter().map(|(_, e)| e.kind()).collect();
+        assert_eq!(
+            kinds,
+            [
+                "cluster_seed",
+                "cluster_seed",
+                "cluster_assign",
+                "cluster_merge",
+                "cluster_seed"
+            ]
+        );
+    }
+
+    #[test]
+    fn traced_and_plain_assignment_agree() {
+        use accturbo_obs::NoopTracer;
+        let mut a = OnlineClusterer::new(cfg(3, DistanceKind::Manhattan, SearchKind::Fast));
+        let mut b = a.clone();
+        for i in 0..200u32 {
+            let p = pkt((i * 37 % 251) as u8, (i * 997 % 60000) as u16);
+            let ia = a.assign(&p);
+            let ib = b.assign_traced(&p, &mut NoopTracer, i as u64).cluster;
+            assert_eq!(ia, ib, "packet {i}");
+        }
     }
 
     #[test]

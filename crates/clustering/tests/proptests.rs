@@ -1,10 +1,16 @@
-//! Property-based tests for clustering invariants.
+//! Randomized property tests for clustering invariants.
+//!
+//! Originally written against `proptest`; the build environment has no
+//! crates.io access, so these now run as seeded randomized loops over
+//! `accturbo_prng` (deterministic per seed, so failures reproduce).
 
 use accturbo_clustering::{
     kmeans, BloomFilter, ClusteringConfig, DistanceKind, Feature, FeatureSet, FeatureSpec,
     InitMode, NominalMode, OnlineClusterer, RangeCluster, RepMode, SearchKind,
 };
-use proptest::prelude::*;
+use accturbo_prng::{Rng, SeedableRng, StdRng};
+
+const CASES: usize = 48;
 
 fn feats() -> FeatureSet {
     FeatureSet::new(vec![
@@ -14,12 +20,26 @@ fn feats() -> FeatureSet {
     ])
 }
 
-proptest! {
-    /// A range cluster covers every point it has admitted, and its
-    /// Manhattan cost never decreases as points are admitted.
-    #[test]
-    fn range_cluster_monotone_coverage(points in prop::collection::vec(
-        (0u32..256, 0u32..256, 0u32..65536), 1..100)) {
+fn arb_points(rng: &mut StdRng, lo: usize, hi: usize) -> Vec<(u32, u32, u32)> {
+    let n = rng.gen_range(lo..hi);
+    (0..n)
+        .map(|_| {
+            (
+                rng.gen_range(0u32..256),
+                rng.gen_range(0u32..256),
+                rng.gen_range(0u32..65536),
+            )
+        })
+        .collect()
+}
+
+/// A range cluster covers every point it has admitted, and its
+/// Manhattan cost never decreases as points are admitted.
+#[test]
+fn range_cluster_monotone_coverage() {
+    let mut rng = StdRng::seed_from_u64(0xc1_0001);
+    for case in 0..CASES {
+        let points = arb_points(&mut rng, 1, 100);
         let f = feats();
         let first = [points[0].0, points[0].1, points[0].2];
         let mut c = RangeCluster::seed(&f, &first, &NominalMode::Exact);
@@ -27,19 +47,25 @@ proptest! {
         for &(a, b, p) in &points {
             c.admit(&[a, b, p]);
             let cost = c.manhattan_cost();
-            prop_assert!(cost >= last_cost, "cost shrank: {last_cost} -> {cost}");
+            assert!(
+                cost >= last_cost,
+                "case {case}: cost shrank: {last_cost} -> {cost}"
+            );
             last_cost = cost;
         }
         for &(a, b, p) in &points {
-            prop_assert!(c.covers(&[a, b, p]));
-            prop_assert_eq!(c.manhattan(&[a, b, p]), 0);
+            assert!(c.covers(&[a, b, p]), "case {case}");
+            assert_eq!(c.manhattan(&[a, b, p]), 0, "case {case}");
         }
     }
+}
 
-    /// Anime distance is nonnegative and zero exactly on covered points.
-    #[test]
-    fn anime_distance_properties(points in prop::collection::vec(
-        (0u32..256, 0u32..256, 0u32..65536), 2..50)) {
+/// Anime distance is nonnegative and zero exactly on covered points.
+#[test]
+fn anime_distance_properties() {
+    let mut rng = StdRng::seed_from_u64(0xc1_0002);
+    for case in 0..CASES {
+        let points = arb_points(&mut rng, 2, 50);
         let f = feats();
         let first = [points[0].0, points[0].1, points[0].2];
         let mut c = RangeCluster::seed(&f, &first, &NominalMode::Exact);
@@ -48,31 +74,37 @@ proptest! {
         }
         for &(a, b, p) in &points {
             let d = c.anime(&[a, b, p]);
-            prop_assert!(d >= 0.0, "anime distance negative: {d}");
+            assert!(d >= 0.0, "case {case}: anime distance negative: {d}");
             if c.covers(&[a, b, p]) {
-                prop_assert_eq!(d, 0.0);
+                assert_eq!(d, 0.0, "case {case}");
             } else {
-                prop_assert!(d > 0.0);
+                assert!(d > 0.0, "case {case}");
             }
         }
     }
+}
 
-    /// The online clusterer always returns a valid index, never leaves a
-    /// slot empty while others grew (seed-first policy), and its counters
-    /// account for every packet, in every configuration.
-    #[test]
-    fn clusterer_accounts_for_all_packets(
-        points in prop::collection::vec((0u32..256, 0u32..256, 0u32..65536), 1..300),
-        n_clusters in 1usize..8,
-        distance_pick in 0u8..3,
-        exhaustive in any::<bool>(),
-        anchors in any::<bool>()) {
-        let distance = match distance_pick {
+/// The online clusterer always returns a valid index, never leaves a
+/// slot empty while others grew (seed-first policy), and its counters
+/// account for every packet, in every configuration.
+#[test]
+fn clusterer_accounts_for_all_packets() {
+    let mut rng = StdRng::seed_from_u64(0xc1_0003);
+    for case in 0..CASES {
+        let points = arb_points(&mut rng, 1, 300);
+        let n_clusters = rng.gen_range(1usize..8);
+        let distance = match rng.gen_range(0u8..3) {
             0 => DistanceKind::Manhattan,
             1 => DistanceKind::Anime,
             _ => DistanceKind::Euclidean,
         };
-        let search = if exhaustive { SearchKind::Exhaustive } else { SearchKind::Fast };
+        let exhaustive: bool = rng.gen();
+        let anchors: bool = rng.gen();
+        let search = if exhaustive {
+            SearchKind::Exhaustive
+        } else {
+            SearchKind::Fast
+        };
         let cfg = ClusteringConfig {
             num_clusters: n_clusters,
             features: feats(),
@@ -80,48 +112,74 @@ proptest! {
             search,
             nominal: NominalMode::Exact,
             learning_rate: 0.3,
-            init: if anchors { InitMode::Anchors } else { InitMode::FromTraffic },
+            init: if anchors {
+                InitMode::Anchors
+            } else {
+                InitMode::FromTraffic
+            },
             update_budget: None,
             rep: RepMode::LastPacket,
         };
         let mut oc = OnlineClusterer::new(cfg);
         for &(a, b, p) in &points {
             let idx = oc.assign_values(&[a, b, p], 100);
-            prop_assert!(idx < n_clusters);
+            assert!(idx < n_clusters, "case {case}");
         }
         let total: u64 = oc.totals().iter().map(|s| s.pkts).sum();
-        prop_assert_eq!(total, points.len() as u64);
+        assert_eq!(total, points.len() as u64, "case {case}");
         let bytes: u64 = oc.totals().iter().map(|s| s.bytes).sum();
-        prop_assert_eq!(bytes, points.len() as u64 * 100);
+        assert_eq!(bytes, points.len() as u64 * 100, "case {case}");
         let window: u64 = oc.take_window().iter().map(|s| s.pkts).sum();
-        prop_assert_eq!(window, points.len() as u64);
+        assert_eq!(window, points.len() as u64, "case {case}");
     }
+}
 
-    /// Bloom filters never report false negatives.
-    #[test]
-    fn bloom_no_false_negatives(values in prop::collection::vec(any::<u32>(), 1..200),
-                                bits in 64u64..4096,
-                                k in 1u32..6) {
+/// Bloom filters never report false negatives.
+#[test]
+fn bloom_no_false_negatives() {
+    let mut rng = StdRng::seed_from_u64(0xc1_0004);
+    for case in 0..CASES {
+        let n_values = rng.gen_range(1usize..200);
+        let values: Vec<u32> = (0..n_values).map(|_| rng.gen()).collect();
+        let bits = rng.gen_range(64u64..4096);
+        let k = rng.gen_range(1u32..6);
         let mut f = BloomFilter::new(bits, k);
         for &v in &values {
             f.insert(v);
         }
         for &v in &values {
-            prop_assert!(f.contains(v));
+            assert!(f.contains(v), "case {case}");
         }
     }
+}
 
-    /// k-means assigns every point to its nearest final center.
-    #[test]
-    fn kmeans_assignment_is_nearest(points in prop::collection::vec(
-        prop::collection::vec(0.0f64..1000.0, 2), 2..100),
-        k in 1usize..5) {
+/// k-means assigns every point to its nearest final center.
+#[test]
+fn kmeans_assignment_is_nearest() {
+    let mut rng = StdRng::seed_from_u64(0xc1_0005);
+    for case in 0..CASES {
+        let n = rng.gen_range(2usize..100);
+        let points: Vec<Vec<f64>> = (0..n)
+            .map(|_| vec![rng.gen_range(0.0f64..1000.0), rng.gen_range(0.0f64..1000.0)])
+            .collect();
+        let k = rng.gen_range(1usize..5);
         let fit = kmeans(&points, k, 30, 42);
         for (p, &a) in points.iter().zip(&fit.assignment) {
             let nearest = accturbo_clustering::nearest(&fit.centers, p);
-            let da: f64 = p.iter().zip(&fit.centers[a]).map(|(x, y)| (x - y) * (x - y)).sum();
-            let dn: f64 = p.iter().zip(&fit.centers[nearest]).map(|(x, y)| (x - y) * (x - y)).sum();
-            prop_assert!(da <= dn + 1e-9, "assignment not nearest: {da} > {dn}");
+            let da: f64 = p
+                .iter()
+                .zip(&fit.centers[a])
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum();
+            let dn: f64 = p
+                .iter()
+                .zip(&fit.centers[nearest])
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum();
+            assert!(
+                da <= dn + 1e-9,
+                "case {case}: assignment not nearest: {da} > {dn}"
+            );
         }
     }
 }

@@ -14,12 +14,72 @@
 use crate::config::AccTurboConfig;
 use accturbo_clustering::OnlineClusterer;
 use accturbo_netsim::{Dropped, Packet, PriorityBank, QueueDiscipline, SimTime, Switch};
+use accturbo_obs::{CounterId, Event, HistogramId, MetricsHandle, StageClock, StageId, Tracer};
 use accturbo_sched::Controller;
+use std::time::Instant;
 
 /// Observer invoked on every classified packet: `(packet, cluster, queue)`.
 /// Used by the evaluation to compute purity/recall and scheduling scores
 /// without touching the data path.
 pub type ClassifyTap<'a> = Box<dyn FnMut(&Packet, usize, usize) + 'a>;
+
+/// Pre-registered metric ids for the switch's registry entries.
+struct SwitchMetrics {
+    handle: MetricsHandle,
+    enqueues: CounterId,
+    drops: CounterId,
+    cluster_distance: HistogramId,
+    control_us: HistogramId,
+    /// `(arrivals, drops)` per packet class, keyed by class id.
+    per_class: std::collections::HashMap<u16, (CounterId, CounterId)>,
+}
+
+impl SwitchMetrics {
+    fn new(handle: MetricsHandle) -> Self {
+        let (enqueues, drops, cluster_distance, control_us) = {
+            let mut r = handle.borrow_mut();
+            (
+                r.counter("switch_enqueues"),
+                r.counter("switch_drops"),
+                r.histogram(
+                    "cluster_distance",
+                    &[
+                        0.0, 1.0, 4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0,
+                    ],
+                ),
+                r.histogram(
+                    "control_loop_us",
+                    &[
+                        1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0, 5000.0,
+                    ],
+                ),
+            )
+        };
+        SwitchMetrics {
+            handle,
+            enqueues,
+            drops,
+            cluster_distance,
+            control_us,
+            per_class: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Lazily registers the per-class counter pair for `class`.
+    fn class_ids(&mut self, class: u16) -> (CounterId, CounterId) {
+        if let Some(&ids) = self.per_class.get(&class) {
+            return ids;
+        }
+        let mut r = self.handle.borrow_mut();
+        let ids = (
+            r.counter(&format!("switch_pkts_class_{class}")),
+            r.counter(&format!("switch_drops_class_{class}")),
+        );
+        drop(r);
+        self.per_class.insert(class, ids);
+        ids
+    }
+}
 
 /// A full ACC-Turbo switch.
 pub struct AccTurboSwitch<'a> {
@@ -30,6 +90,12 @@ pub struct AccTurboSwitch<'a> {
     reset_on_poll: bool,
     ticks: u64,
     tap: Option<ClassifyTap<'a>>,
+    tracer: Option<Box<dyn Tracer + 'a>>,
+    metrics: Option<SwitchMetrics>,
+    clock: StageClock,
+    classify_stage: StageId,
+    enqueue_stage: StageId,
+    control_stage: StageId,
 }
 
 impl<'a> AccTurboSwitch<'a> {
@@ -46,6 +112,10 @@ impl<'a> AccTurboSwitch<'a> {
         // poll the controller has no statistics, and this is what a
         // freshly-loaded prototype does.
         let cluster_to_queue = (0..n).map(|c| c % cfg.num_queues).collect();
+        let mut clock = StageClock::new(false);
+        let classify_stage = clock.stage("classify");
+        let enqueue_stage = clock.stage("enqueue");
+        let control_stage = clock.stage("control_tick");
         AccTurboSwitch {
             clusterer,
             controller,
@@ -54,12 +124,49 @@ impl<'a> AccTurboSwitch<'a> {
             reset_on_poll: cfg.reset_on_poll,
             ticks: 0,
             tap: None,
+            tracer: None,
+            metrics: None,
+            clock,
+            classify_stage,
+            enqueue_stage,
+            control_stage,
         }
     }
 
     /// Installs a classification observer.
     pub fn set_tap(&mut self, tap: ClassifyTap<'a>) {
         self.tap = Some(tap);
+    }
+
+    /// Installs a trace sink: the switch emits `enqueue`, cluster
+    /// (`cluster_seed`/`cluster_assign`/`cluster_merge`) and
+    /// `priority_remap` events. Pass a clone of the engine's
+    /// `SharedTracer` (boxed) to get one interleaved timeline; drop
+    /// events stay engine-side so they are never double-counted.
+    pub fn set_tracer(&mut self, tracer: Box<dyn Tracer + 'a>) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Installs a metrics registry. The switch registers
+    /// `switch_enqueues` / `switch_drops` counters, `cluster_distance`
+    /// and `control_loop_us` histograms, and lazily one
+    /// `switch_pkts_class_{c}` / `switch_drops_class_{c}` counter pair
+    /// plus a `drop_ratio_class_{c}` gauge per packet class, along with
+    /// per-queue depth gauges `queue_depth_q{i}` refreshed at each
+    /// control tick.
+    pub fn set_metrics(&mut self, handle: MetricsHandle) {
+        self.metrics = Some(SwitchMetrics::new(handle));
+    }
+
+    /// Enables (or disables) wall-clock stage timing of the classify,
+    /// enqueue and control-tick stages.
+    pub fn set_timing(&mut self, enabled: bool) {
+        self.clock.set_enabled(enabled);
+    }
+
+    /// The hot-path stage timings (classify / enqueue / control_tick).
+    pub fn stage_clock(&self) -> &StageClock {
+        &self.clock
     }
 
     /// The current cluster → queue mapping (operator interpretability,
@@ -86,12 +193,71 @@ impl<'a> AccTurboSwitch<'a> {
 
 impl Switch for AccTurboSwitch<'_> {
     fn ingress(&mut self, pkt: Packet, now: SimTime, drops: &mut Vec<Dropped>) {
-        let cluster = self.clusterer.assign(&pkt);
+        // Fast path: no tracer, no metrics, no timing — identical to the
+        // uninstrumented switch.
+        if self.tracer.is_none() && self.metrics.is_none() && !self.clock.enabled() {
+            let cluster = self.clusterer.assign(&pkt);
+            let queue = self.cluster_to_queue[cluster];
+            if let Some(tap) = &mut self.tap {
+                tap(&pkt, cluster, queue);
+            }
+            self.bank.enqueue_to(queue, pkt, now, drops);
+            return;
+        }
+
+        let now_ns = now.as_nanos();
+        let t0 = self.clock.enabled().then(Instant::now);
+        let assignment = match &mut self.tracer {
+            Some(tracer) => self.clusterer.assign_traced(&pkt, tracer.as_mut(), now_ns),
+            None => accturbo_clustering::Assignment {
+                cluster: self.clusterer.assign(&pkt),
+                distance: 0.0,
+            },
+        };
+        if let Some(t0) = t0 {
+            self.clock.add(self.classify_stage, t0.elapsed());
+        }
+        let cluster = assignment.cluster;
         let queue = self.cluster_to_queue[cluster];
         if let Some(tap) = &mut self.tap {
             tap(&pkt, cluster, queue);
         }
+        let (class, size) = (pkt.class.0, pkt.size);
+        if let Some(tracer) = &mut self.tracer {
+            if tracer.enabled() {
+                tracer.record(
+                    now_ns,
+                    &Event::Enqueue {
+                        queue,
+                        cluster: Some(cluster),
+                        class,
+                        size,
+                    },
+                );
+            }
+        }
+
+        let t0 = self.clock.enabled().then(Instant::now);
+        let drops_before = drops.len();
         self.bank.enqueue_to(queue, pkt, now, drops);
+        if let Some(t0) = t0 {
+            self.clock.add(self.enqueue_stage, t0.elapsed());
+        }
+
+        if let Some(m) = &mut self.metrics {
+            let dropped_here = (drops.len() - drops_before) as u64;
+            let (pkts_id, drops_id) = m.class_ids(class);
+            let mut r = m.handle.borrow_mut();
+            r.inc(m.enqueues, 1);
+            r.inc(pkts_id, 1);
+            if dropped_here > 0 {
+                r.inc(m.drops, dropped_here);
+                r.inc(drops_id, dropped_here);
+            }
+            if self.tracer.is_some() {
+                r.observe(m.cluster_distance, assignment.distance);
+            }
+        }
     }
 
     fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
@@ -102,16 +268,46 @@ impl Switch for AccTurboSwitch<'_> {
         self.bank.len_pkts()
     }
 
-    fn control_tick(&mut self, _now: SimTime) {
+    fn control_tick(&mut self, now: SimTime) {
         // (i) poll cluster statistics, (ii) assess and rank, (iii) deploy
         // the new mapping — the three control-plane steps of §5.2.
+        let wall0 = (self.clock.enabled() || self.metrics.is_some()).then(Instant::now);
+        let now_ns = now.as_nanos();
         let stats = self.clusterer.take_window();
         let sizes: Vec<Option<f64>> = (0..stats.len()).map(|i| self.clusterer.cost(i)).collect();
-        self.cluster_to_queue = self.controller.assign_queues(&stats, &sizes);
+        self.cluster_to_queue = match &mut self.tracer {
+            Some(tracer) => {
+                self.controller
+                    .assign_queues_traced(&stats, &sizes, tracer.as_mut(), now_ns)
+            }
+            None => self.controller.assign_queues(&stats, &sizes),
+        };
         if self.reset_on_poll {
             self.clusterer.reset_clusters();
         }
         self.ticks += 1;
+        if let Some(wall0) = wall0 {
+            let elapsed = wall0.elapsed();
+            if self.clock.enabled() {
+                self.clock.add(self.control_stage, elapsed);
+            }
+            if let Some(m) = &mut self.metrics {
+                let mut r = m.handle.borrow_mut();
+                r.observe(m.control_us, elapsed.as_secs_f64() * 1e6);
+                for q in 0..self.bank.num_queues() {
+                    let id = r.gauge(&format!("queue_depth_q{q}"));
+                    r.set(id, self.bank.len_pkts_at(q) as f64);
+                }
+                for (&class, &(pkts_id, drops_id)) in &m.per_class {
+                    let pkts = r.counter_value(pkts_id);
+                    if pkts > 0 {
+                        let ratio = r.counter_value(drops_id) as f64 / pkts as f64;
+                        let id = r.gauge(&format!("drop_ratio_class_{class}"));
+                        r.set(id, ratio);
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -227,6 +423,91 @@ mod tests {
             sw.dequeue(SimTime::ZERO);
         }
         assert!(drops.is_empty(), "no congestion, no drops");
+    }
+
+    #[test]
+    fn instrumented_switch_traces_and_counts() {
+        use accturbo_obs::{shared, Registry, RingTracer};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let mut sw = switch();
+        let tracer = shared(RingTracer::new(10_000));
+        let metrics = Rc::new(RefCell::new(Registry::new()));
+        sw.set_tracer(Box::new(Rc::clone(&tracer)));
+        sw.set_metrics(Rc::clone(&metrics));
+        sw.set_timing(true);
+
+        let mut drops = Vec::new();
+        for i in 0..200 {
+            sw.ingress(benign(i), SimTime::ZERO, &mut drops);
+        }
+        for i in 0..100 {
+            sw.ingress(attack(i), SimTime::ZERO, &mut drops);
+        }
+        sw.control_tick(SimTime::from_secs(1));
+
+        let t = tracer.borrow();
+        let enq = t.iter().filter(|(_, e)| e.kind() == "enqueue").count();
+        let remaps = t
+            .iter()
+            .filter(|(_, e)| e.kind() == "priority_remap")
+            .count();
+        let cluster_events = t
+            .iter()
+            .filter(|(_, e)| e.kind().starts_with("cluster_"))
+            .count();
+        assert_eq!(enq, 300, "one enqueue event per packet");
+        assert_eq!(remaps, 1, "one remap per control tick");
+        assert!(cluster_events > 0, "cluster decisions must be traced");
+
+        let mut r = metrics.borrow_mut();
+        let enq_id = r.counter("switch_enqueues");
+        assert_eq!(r.counter_value(enq_id), 300);
+        let benign_id = r.counter("switch_pkts_class_0");
+        let attack_id = r.counter("switch_pkts_class_1");
+        assert_eq!(r.counter_value(benign_id), 200);
+        assert_eq!(r.counter_value(attack_id), 100);
+        drop(r);
+
+        // Stage timing accumulated for both hot-path stages and control.
+        let report = sw.stage_clock().report();
+        for stage in ["classify", "enqueue", "control_tick"] {
+            let (_, _, calls) = *report
+                .iter()
+                .find(|(n, _, _)| *n == stage)
+                .unwrap_or_else(|| panic!("missing stage {stage}"));
+            assert!(calls > 0, "{stage} never timed");
+        }
+    }
+
+    #[test]
+    fn instrumentation_does_not_change_decisions() {
+        use accturbo_obs::{shared, RingTracer};
+
+        let mut plain = switch();
+        let mut traced = switch();
+        let tracer = shared(RingTracer::new(100_000));
+        traced.set_tracer(Box::new(tracer));
+
+        let mut d1 = Vec::new();
+        let mut d2 = Vec::new();
+        for i in 0..500 {
+            let (a, b) = if i % 3 == 0 {
+                (attack(i), attack(i))
+            } else {
+                (benign(i), benign(i))
+            };
+            plain.ingress(a, SimTime::ZERO, &mut d1);
+            traced.ingress(b, SimTime::ZERO, &mut d2);
+            if i % 100 == 99 {
+                plain.control_tick(SimTime::ZERO);
+                traced.control_tick(SimTime::ZERO);
+                assert_eq!(plain.mapping(), traced.mapping(), "tick {i}");
+            }
+        }
+        assert_eq!(d1.len(), d2.len());
+        assert_eq!(plain.backlog_pkts(), traced.backlog_pkts());
     }
 
     #[test]

@@ -106,7 +106,9 @@ mod tests {
     use accturbo_netsim::{
         run, Bandwidth, ClassId, EngineConfig, MergedSource, PacketSource, SimDuration, SimTime,
     };
-    use accturbo_traffic::{AttackConfig, AttackSource, AttackVector, BackgroundConfig, BackgroundSource};
+    use accturbo_traffic::{
+        AttackConfig, AttackSource, AttackVector, BackgroundConfig, BackgroundSource,
+    };
 
     fn workload(secs: u64) -> MergedSource {
         let end = SimTime::from_secs(secs);
@@ -133,9 +135,8 @@ mod tests {
     #[test]
     fn ranked_variant_mitigates_a_flood() {
         let mut src = workload(25);
-        let mut sw = RankedAccTurboSwitch::new(AccTurboConfig::hardware(
-            FeatureSet::hardware_dst_bytes(),
-        ));
+        let mut sw =
+            RankedAccTurboSwitch::new(AccTurboConfig::hardware(FeatureSet::hardware_dst_bytes()));
         let cfg = EngineConfig::new(Bandwidth::from_mbps(10))
             .with_stats_interval(SimDuration::from_secs(1))
             .with_control_period(SimDuration::from_millis(50))
@@ -152,12 +153,15 @@ mod tests {
     #[test]
     fn ranked_variant_is_transparent_without_congestion() {
         let end = SimTime::from_secs(5);
-        let mut src = MergedSource::new(vec![Box::new(BackgroundSource::new(
-            BackgroundConfig::new(5_000_000, SimTime::ZERO, end, 9),
-        )) as Box<dyn PacketSource>]);
-        let mut sw = RankedAccTurboSwitch::new(AccTurboConfig::hardware(
-            FeatureSet::hardware_dst_bytes(),
-        ));
+        let mut src =
+            MergedSource::new(vec![Box::new(BackgroundSource::new(BackgroundConfig::new(
+                5_000_000,
+                SimTime::ZERO,
+                end,
+                9,
+            ))) as Box<dyn PacketSource>]);
+        let mut sw =
+            RankedAccTurboSwitch::new(AccTurboConfig::hardware(FeatureSet::hardware_dst_bytes()));
         let cfg = EngineConfig::new(Bandwidth::from_mbps(10))
             .with_control_period(SimDuration::from_millis(50))
             .with_end_time(end);

@@ -158,7 +158,11 @@ mod tests {
         let u8 = usage(&features, 8, 1024);
         let u16 = usage(&features, 16, 1024);
         assert_eq!(u8.stages - u4.stages, 1, "4→8 clusters adds one min stage");
-        assert_eq!(u16.stages - u8.stages, 1, "8→16 clusters adds one min stage");
+        assert_eq!(
+            u16.stages - u8.stages,
+            1,
+            "8→16 clusters adds one min stage"
+        );
     }
 
     #[test]

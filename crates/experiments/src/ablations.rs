@@ -120,13 +120,31 @@ pub fn report(scale: Scale) -> String {
 
     let mut t = Table::new(&["Ablation", "variant", "benign loss during pulses (%)"]);
     let (anchors, seeded) = init_mode_ablation(secs);
-    t.row(vec!["init".into(), "anchors (Alg. 1)".into(), f(100.0 * anchors)]);
-    t.row(vec!["init".into(), "seed-from-traffic".into(), f(100.0 * seeded)]);
+    t.row(vec![
+        "init".into(),
+        "anchors (Alg. 1)".into(),
+        f(100.0 * anchors),
+    ]);
+    t.row(vec![
+        "init".into(),
+        "seed-from-traffic".into(),
+        f(100.0 * seeded),
+    ]);
     let (midpoint, last) = rep_mode_ablation(secs);
-    t.row(vec!["representative".into(), "range midpoint".into(), f(100.0 * midpoint)]);
-    t.row(vec!["representative".into(), "last packet".into(), f(100.0 * last)]);
+    t.row(vec![
+        "representative".into(),
+        "range midpoint".into(),
+        f(100.0 * midpoint),
+    ]);
+    t.row(vec![
+        "representative".into(),
+        "last packet".into(),
+        f(100.0 * last),
+    ]);
     for budget in [Some(64), Some(256), Some(4096), None] {
-        let label = budget.map(|b| b.to_string()).unwrap_or_else(|| "unlimited".into());
+        let label = budget
+            .map(|b| b.to_string())
+            .unwrap_or_else(|| "unlimited".into());
         t.row(vec![
             "growth budget".into(),
             label,
@@ -141,8 +159,16 @@ pub fn report(scale: Scale) -> String {
         ]);
     }
     let (bank, ranked) = ranked_scheduler_ablation(secs);
-    t.row(vec!["scheduler".into(), "cluster→queue bank".into(), f(100.0 * bank)]);
-    t.row(vec!["scheduler".into(), "per-packet SP-PIFO".into(), f(100.0 * ranked)]);
+    t.row(vec![
+        "scheduler".into(),
+        "cluster→queue bank".into(),
+        f(100.0 * bank),
+    ]);
+    t.row(vec![
+        "scheduler".into(),
+        "per-packet SP-PIFO".into(),
+        f(100.0 * ranked),
+    ]);
     t.row(vec![
         "nominal sets".into(),
         "exact".into(),

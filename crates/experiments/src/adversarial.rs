@@ -24,13 +24,12 @@ use accturbo_core::{AccTurboConfig, AccTurboSwitch};
 use accturbo_netsim::{
     ClassId, MergedSource, PacketSource, SimDuration, SimTime, SingleQueueSwitch,
 };
+use accturbo_prng::{Rng, SeedableRng, StdRng};
 use accturbo_telemetry::{f, Table};
 use accturbo_traffic::{
     AttackConfig, AttackSource, AttackVector, BackgroundConfig, BackgroundSource, CbrSource,
     FlowTemplate, MapSource, Spread, SpreadSource,
 };
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::net::Ipv4Addr;
 
 const LINK: u64 = LINK_10G_SCALED;
@@ -215,9 +214,14 @@ pub fn workload(scenario: Scenario, secs: u64) -> MergedSource {
 /// `(accturbo benign%, accturbo attack%, fifo benign%)` drop percentages.
 pub fn run_scenario(scenario: Scenario, secs: u64) -> (f64, f64, f64) {
     let mut src = workload(scenario, secs);
-    let mut sw =
-        AccTurboSwitch::new(AccTurboConfig::simulation(FeatureSet::simulation_default()));
-    let res = simulate(&mut src, &mut sw, LINK, secs, Some(SimDuration::from_millis(50)));
+    let mut sw = AccTurboSwitch::new(AccTurboConfig::simulation(FeatureSet::simulation_default()));
+    let res = simulate(
+        &mut src,
+        &mut sw,
+        LINK,
+        secs,
+        Some(SimDuration::from_millis(50)),
+    );
     let (at_benign, at_attack) = (res.stats.benign_drop_pct(), res.stats.attack_drop_pct());
 
     let mut src = workload(scenario, secs);
@@ -249,7 +253,10 @@ mod tests {
     #[test]
     fn plain_flood_is_mitigated() {
         let (benign, attack, fifo) = run_scenario(Scenario::PlainFlood, SECS);
-        assert!(benign < fifo / 2.0, "defense must beat FIFO: {benign:.1} vs {fifo:.1}");
+        assert!(
+            benign < fifo / 2.0,
+            "defense must beat FIFO: {benign:.1} vs {fifo:.1}"
+        );
         assert!(attack > 60.0, "the flood must absorb the loss: {attack:.1}");
     }
 
@@ -300,7 +307,10 @@ mod tests {
         // FIFO (the rest of the background is protected).
         let (benign, attack, fifo) = run_scenario(Scenario::Imitation, SECS);
         assert!(benign > 5.0, "imitation must hurt the victim: {benign:.1}");
-        assert!(benign < fifo + 5.0, "but not exceed FIFO: {benign:.1} vs {fifo:.1}");
+        assert!(
+            benign < fifo + 5.0,
+            "but not exceed FIFO: {benign:.1} vs {fifo:.1}"
+        );
         assert!(attack > 30.0, "the imitation flood still pays: {attack:.1}");
     }
 }

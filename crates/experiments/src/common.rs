@@ -6,8 +6,10 @@
 //! paper's axes.
 
 use accturbo_netsim::{
-    run, Bandwidth, EngineConfig, PacketSource, RunResult, SimDuration, SimTime, Switch,
+    run, run_instrumented, Bandwidth, EngineConfig, PacketSource, RunResult, SimDuration, SimTime,
+    Switch,
 };
+use accturbo_obs::{MetricsHandle, Tracer};
 
 /// Experiment fidelity: `Full` regenerates the paper's figures; `Quick`
 /// shrinks durations/rates for benches and CI.
@@ -56,6 +58,28 @@ pub fn simulate(
         cfg = cfg.with_control_period(p);
     }
     run(source, switch, &cfg)
+}
+
+/// [`simulate`] with observability: engine-side events go to `tracer`,
+/// engine metrics (and per-interval snapshots) to `metrics`. Install the
+/// same tracer/registry on the switch beforehand to interleave its
+/// enqueue/cluster/remap events into the same timeline.
+pub fn simulate_instrumented<T: Tracer + ?Sized>(
+    source: &mut dyn PacketSource,
+    switch: &mut dyn Switch,
+    link_bps: u64,
+    secs: u64,
+    control_period: Option<SimDuration>,
+    tracer: &mut T,
+    metrics: Option<&MetricsHandle>,
+) -> RunResult {
+    let mut cfg = EngineConfig::new(Bandwidth::from_bps(link_bps))
+        .with_stats_interval(SimDuration::from_secs(1))
+        .with_end_time(SimTime::from_secs(secs));
+    if let Some(p) = control_period {
+        cfg = cfg.with_control_period(p);
+    }
+    run_instrumented(source, switch, &cfg, tracer, metrics)
 }
 
 /// Per-second fraction-of-link-bandwidth series for a set of classes —

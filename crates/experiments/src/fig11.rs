@@ -95,12 +95,8 @@ pub fn elephant_drops(ranking: RankingAlgorithm) -> (f64, f64) {
         )
         .with_single_flow(),
     );
-    let background = BackgroundSource::new(BackgroundConfig::new(
-        8_000_000,
-        SimTime::ZERO,
-        end,
-        11,
-    ));
+    let background =
+        BackgroundSource::new(BackgroundConfig::new(8_000_000, SimTime::ZERO, end, 11));
     let cdn = CbrSource::new(
         FlowTemplate::udp(
             std::net::Ipv4Addr::new(95, 10, 1, 1),
@@ -197,8 +193,7 @@ pub fn benign_drop_pct(scheme: Scheme, link_bps: u64, scale: Scale) -> f64 {
                 .benign_drop_pct()
         }
         _ => {
-            let mut clustering =
-                ClusteringConfig::deployable(10, FeatureSet::simulation_default());
+            let mut clustering = ClusteringConfig::deployable(10, FeatureSet::simulation_default());
             let ranking = match scheme {
                 Scheme::AnimeFastTh => {
                     clustering.distance = DistanceKind::Anime;
@@ -258,7 +253,10 @@ pub fn report(scale: Scale) -> String {
         }
     }
 
-    let _ = writeln!(&mut out, "# Fig. 11b: % benign packets dropped vs bottleneck");
+    let _ = writeln!(
+        &mut out,
+        "# Fig. 11b: % benign packets dropped vs bottleneck"
+    );
     let _ = write!(&mut out, "bottleneck_mbps");
     for s in Scheme::ALL {
         let _ = write!(&mut out, ",{}", s.name());

@@ -16,9 +16,7 @@ use crate::common::{share_series, simulate, Scale, LINK_10G_SCALED};
 use accturbo_acc::{AccConfig, AccSwitch};
 use accturbo_clustering::FeatureSet;
 use accturbo_core::{AccTurboConfig, AccTurboSwitch};
-use accturbo_netsim::{
-    Bandwidth, ClassId, RunResult, SimDuration, SingleQueueSwitch,
-};
+use accturbo_netsim::{Bandwidth, ClassId, RunResult, SimDuration, SingleQueueSwitch};
 use accturbo_telemetry::f;
 use accturbo_traffic::scenarios;
 use std::fmt::Write as _;
@@ -54,6 +52,67 @@ fn accturbo_run(secs: u64) -> RunResult {
         secs,
         Some(SimDuration::from_millis(250)),
     )
+}
+
+/// The Fig. 2d ACC-Turbo run with full observability: every engine and
+/// switch decision traced into one ring, engine + switch metrics in one
+/// registry. Returns `(result, tracer, metrics)` — what the `xp`
+/// `--trace`/`--metrics` flags export.
+pub fn accturbo_run_instrumented(
+    scale: Scale,
+) -> (
+    RunResult,
+    accturbo_obs::SharedTracer,
+    accturbo_obs::MetricsHandle,
+) {
+    use accturbo_obs::{shared, Registry, RingTracer};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    let secs = scale.secs(scenarios::RUN_SECS, 2);
+    let tracer = shared(RingTracer::new(2_000_000));
+    let metrics: accturbo_obs::MetricsHandle = Rc::new(RefCell::new(Registry::new()));
+    let mut src = scenarios::fig2_source(LINK, SEED);
+    let mut sw = AccTurboSwitch::new(AccTurboConfig::simulation(FeatureSet::simulation_default()));
+    sw.set_tracer(Box::new(Rc::clone(&tracer)));
+    sw.set_metrics(Rc::clone(&metrics));
+    sw.set_timing(true);
+    let mut engine_tracer = Rc::clone(&tracer);
+    let res = crate::common::simulate_instrumented(
+        &mut src,
+        &mut sw,
+        LINK,
+        secs,
+        Some(SimDuration::from_millis(250)),
+        &mut engine_tracer,
+        Some(&metrics),
+    );
+    // Export the hot-path stage timings as custom events at end-of-run.
+    {
+        let mut t = tracer.borrow_mut();
+        let ts = res.final_time.as_nanos();
+        for (name, total, calls) in sw.stage_clock().report() {
+            use accturbo_obs::{Event, Tracer as _};
+            let per_call_ns = if calls > 0 {
+                total.as_nanos() as f64 / calls as f64
+            } else {
+                0.0
+            };
+            let leaked: &'static str = match name {
+                "classify" => "stage_classify_ns_per_call",
+                "enqueue" => "stage_enqueue_ns_per_call",
+                _ => "stage_control_tick_ns_per_call",
+            };
+            t.record(
+                ts,
+                &Event::Custom {
+                    name: leaked,
+                    value: per_call_ns,
+                },
+            );
+        }
+    }
+    (res, tracer, metrics)
 }
 
 fn panel(out: &mut String, title: &str, res: &RunResult, secs: u64) {
@@ -111,7 +170,10 @@ pub fn report(scale: Scale) -> String {
     let acc = acc_run(SimDuration::from_secs(2), secs);
     panel(&mut out, "Fig. 2b: ACC (K=2s)", &acc, secs);
 
-    let _ = writeln!(&mut out, "# Fig. 2c: Impact of K (mitigation deploy time after attack start)");
+    let _ = writeln!(
+        &mut out,
+        "# Fig. 2c: Impact of K (mitigation deploy time after attack start)"
+    );
     let _ = writeln!(&mut out, "K_s,deploy_after_s");
     let ks: &[u64] = match scale {
         Scale::Full => &[10, 15, 20, 25, 30, 35],
@@ -136,12 +198,16 @@ pub fn report(scale: Scale) -> String {
     let _ = writeln!(
         &mut out,
         "acc_mitigation_after_s,{}",
-        acc_delay.map(|d| d.to_string()).unwrap_or_else(|| "never".into())
+        acc_delay
+            .map(|d| d.to_string())
+            .unwrap_or_else(|| "never".into())
     );
     let _ = writeln!(
         &mut out,
         "accturbo_mitigation_after_s,{}",
-        turbo_delay.map(|d| d.to_string()).unwrap_or_else(|| "never".into())
+        turbo_delay
+            .map(|d| d.to_string())
+            .unwrap_or_else(|| "never".into())
     );
     out
 }

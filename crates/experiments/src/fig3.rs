@@ -49,8 +49,7 @@ pub fn acc_run(k: SimDuration, secs: u64) -> RunResult {
 /// Runs the Fig. 3 workload through ACC-Turbo.
 pub fn accturbo_run(secs: u64) -> RunResult {
     let mut src = scenarios::fig3_source(LINK, SEED);
-    let mut sw =
-        AccTurboSwitch::new(AccTurboConfig::simulation(FeatureSet::simulation_default()));
+    let mut sw = AccTurboSwitch::new(AccTurboConfig::simulation(FeatureSet::simulation_default()));
     simulate(
         &mut src,
         &mut sw,
@@ -89,7 +88,10 @@ pub fn report(scale: Scale) -> String {
     panel(&mut out, "Fig. 3a: No ACC (FIFO)", &fifo, secs);
 
     // (b) speed vs. accuracy: % benign drops vs K.
-    let _ = writeln!(&mut out, "# Fig. 3b: Speed vs. accuracy (% benign drops vs K)");
+    let _ = writeln!(
+        &mut out,
+        "# Fig. 3b: Speed vs. accuracy (% benign drops vs K)"
+    );
     let _ = writeln!(&mut out, "K_s,acc,accturbo,fifo");
     let fifo_pct = benign_pct(&fifo);
     let turbo = accturbo_run(secs);
@@ -155,7 +157,10 @@ mod tests {
             acc_pct <= fifo_pct + 1.0,
             "ACC ({acc_pct:.1}%) must not be worse than FIFO ({fifo_pct:.1}%)"
         );
-        assert!(turbo_pct < 10.0, "ACC-Turbo drops too much: {turbo_pct:.1}%");
+        assert!(
+            turbo_pct < 10.0,
+            "ACC-Turbo drops too much: {turbo_pct:.1}%"
+        );
     }
 
     #[test]

@@ -35,9 +35,12 @@ const SEED: u64 = 0xF16;
 /// starting at t = 10 s.
 pub fn source(secs: u64) -> MergedSource {
     let end = SimTime::from_secs(secs);
-    let background: Box<dyn PacketSource> = Box::new(BackgroundSource::new(
-        BackgroundConfig::new(BACKGROUND_BPS, SimTime::ZERO, end, SEED),
-    ));
+    let background: Box<dyn PacketSource> = Box::new(BackgroundSource::new(BackgroundConfig::new(
+        BACKGROUND_BPS,
+        SimTime::ZERO,
+        end,
+        SEED,
+    )));
     let wave: Box<dyn PacketSource> = Box::new(
         PulseWave::fig6(
             4,
@@ -63,9 +66,7 @@ pub fn fifo_run(secs: u64) -> RunResult {
 /// Runs the workload through the hardware-profile ACC-Turbo.
 pub fn accturbo_run(secs: u64) -> RunResult {
     let mut src = source(secs);
-    let mut sw = AccTurboSwitch::new(
-        AccTurboConfig::hardware(FeatureSet::hardware_fig6()),
-    );
+    let mut sw = AccTurboSwitch::new(AccTurboConfig::hardware(FeatureSet::hardware_fig6()));
     simulate(
         &mut src,
         &mut sw,

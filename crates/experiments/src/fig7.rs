@@ -23,7 +23,9 @@ use accturbo_netsim::{
     SimDuration, SimTime, SingleQueueSwitch, Switch,
 };
 use accturbo_telemetry::{benign_recovery_time, f};
-use accturbo_traffic::{AttackConfig, AttackSource, AttackVector, BackgroundConfig, BackgroundSource};
+use accturbo_traffic::{
+    AttackConfig, AttackSource, AttackVector, BackgroundConfig, BackgroundSource,
+};
 use std::fmt::Write as _;
 
 const LINK: u64 = LINK_10G_SCALED;
@@ -37,9 +39,12 @@ pub const ATTACK_START_S: u64 = 20;
 /// flood from t = 20 s to t = end − 20 s.
 pub fn source(secs: u64) -> MergedSource {
     let end = SimTime::from_secs(secs);
-    let background: Box<dyn PacketSource> = Box::new(BackgroundSource::new(
-        BackgroundConfig::new(BACKGROUND_BPS, SimTime::ZERO, end, SEED),
-    ));
+    let background: Box<dyn PacketSource> = Box::new(BackgroundSource::new(BackgroundConfig::new(
+        BACKGROUND_BPS,
+        SimTime::ZERO,
+        end,
+        SEED,
+    )));
     let attack_end = SimTime::from_secs(secs.saturating_sub(20).max(ATTACK_START_S + 1));
     let attack: Box<dyn PacketSource> = Box::new(AttackSource::new(
         AttackConfig::new(
@@ -106,19 +111,26 @@ pub fn fifo_run(secs: u64) -> RunResult {
 /// controller.
 pub fn accturbo_run(secs: u64) -> RunResult {
     let mut src = source(secs);
-    let mut sw = AccTurboSwitch::new(
-        AccTurboConfig::hardware(FeatureSet::hardware_dst_bytes()),
-    );
-    simulate(&mut src, &mut sw, LINK, secs, Some(SimDuration::from_secs(1)))
+    let mut sw = AccTurboSwitch::new(AccTurboConfig::hardware(FeatureSet::hardware_dst_bytes()));
+    simulate(
+        &mut src,
+        &mut sw,
+        LINK,
+        secs,
+        Some(SimDuration::from_secs(1)),
+    )
 }
 
 /// Runs benign-only traffic through the program-swap model (the paper's
 /// Fig. 7c swaps between two trivial programs with no attack).
 pub fn swap_run(secs: u64) -> RunResult {
     let end = SimTime::from_secs(secs);
-    let mut src = MergedSource::new(vec![Box::new(BackgroundSource::new(
-        BackgroundConfig::new(BACKGROUND_BPS, SimTime::ZERO, end, SEED),
-    )) as Box<dyn PacketSource>]);
+    let mut src = MergedSource::new(vec![Box::new(BackgroundSource::new(BackgroundConfig::new(
+        BACKGROUND_BPS,
+        SimTime::ZERO,
+        end,
+        SEED,
+    ))) as Box<dyn PacketSource>]);
     let mut sw = ProgramSwapSwitch::new(
         SimTime::from_secs(secs * 3 / 5),
         SimDuration::from_millis(11_500),
@@ -190,10 +202,18 @@ pub fn report(scale: Scale) -> String {
     let swap = swap_run(secs);
     panel(&mut out, "Fig. 7c: Program swap downtime", &swap, secs);
     let jaqen = jaqen_run(secs);
-    panel(&mut out, "Fig. 7d: Jaqen (defense already deployed)", &jaqen, secs);
+    panel(
+        &mut out,
+        "Fig. 7d: Jaqen (defense already deployed)",
+        &jaqen,
+        secs,
+    );
 
     let _ = writeln!(&mut out, "# Summary");
-    let show = |r: Option<f64>| r.map(|x| format!("{x:.1}")).unwrap_or_else(|| "never".into());
+    let show = |r: Option<f64>| {
+        r.map(|x| format!("{x:.1}"))
+            .unwrap_or_else(|| "never".into())
+    };
     let turbo_r = reaction_secs(&turbo);
     let jaqen_r = reaction_secs(&jaqen);
     let _ = writeln!(&mut out, "reaction_s_accturbo,{}", show(turbo_r));
@@ -264,6 +284,9 @@ mod tests {
         }
         let before = res.stats.throughput_bps(55, ClassId::BENIGN);
         let after = res.stats.throughput_bps(75, ClassId::BENIGN);
-        assert!(before > 1e6 && after > 1e6, "traffic flows outside the swap");
+        assert!(
+            before > 1e6 && after > 1e6,
+            "traffic flows outside the swap"
+        );
     }
 }

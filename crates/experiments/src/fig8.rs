@@ -52,10 +52,15 @@ pub fn report(scale: Scale) -> String {
     let fifo = cell(Defense::Fifo, Variation::SingleFlow, secs);
     let turbo = cell(Defense::AccTurbo, Variation::SingleFlow, secs);
 
-    let _ = writeln!(&mut out, "# Fig. 8a: benign drops vs dropping threshold (packets/window)");
+    let _ = writeln!(
+        &mut out,
+        "# Fig. 8a: benign drops vs dropping threshold (packets/window)"
+    );
     let _ = writeln!(&mut out, "threshold,jaqen,accturbo,fifo");
     let thresholds: &[u64] = match scale {
-        Scale::Full => &[1, 10, 100, 500, 1_000, 3_000, 5_000, 7_000, 10_000, 100_000, 1_000_000],
+        Scale::Full => &[
+            1, 10, 100, 500, 1_000, 3_000, 5_000, 7_000, 10_000, 100_000, 1_000_000,
+        ],
         Scale::Quick => &[10, 1_000, 100_000],
     };
     for &th in thresholds {
@@ -63,8 +68,14 @@ pub fn report(scale: Scale) -> String {
         let _ = writeln!(&mut out, "{th},{},{},{}", f(pct), f(turbo), f(fifo));
     }
 
-    let _ = writeln!(&mut out, "# Fig. 8b: benign drops vs sketch inter-reset time (s)");
-    let _ = writeln!(&mut out, "inter_reset_s,jaqen_th_low,jaqen_th_high,accturbo,fifo");
+    let _ = writeln!(
+        &mut out,
+        "# Fig. 8b: benign drops vs sketch inter-reset time (s)"
+    );
+    let _ = writeln!(
+        &mut out,
+        "inter_reset_s,jaqen_th_low,jaqen_th_high,accturbo,fifo"
+    );
     let (th_low, th_high) = (2_000u64, 100_000u64);
     let resets: &[u64] = match scale {
         Scale::Full => &[1, 2, 5, 10, 15, 20],
@@ -73,7 +84,14 @@ pub fn report(scale: Scale) -> String {
     for &r in resets {
         let low = jaqen_pct(th_low, SimDuration::from_secs(r), secs);
         let high = jaqen_pct(th_high, SimDuration::from_secs(r), secs);
-        let _ = writeln!(&mut out, "{r},{},{},{},{}", f(low), f(high), f(turbo), f(fifo));
+        let _ = writeln!(
+            &mut out,
+            "{r},{},{},{},{}",
+            f(low),
+            f(high),
+            f(turbo),
+            f(fifo)
+        );
     }
     out
 }

@@ -10,6 +10,8 @@
 pub mod ablations;
 pub mod adversarial;
 pub mod common;
+pub mod fig10;
+pub mod fig11;
 pub mod fig2;
 pub mod fig3;
 pub mod fig6;
@@ -17,8 +19,6 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod pushback;
-pub mod fig10;
-pub mod fig11;
 pub mod table3;
 
 pub use common::Scale;

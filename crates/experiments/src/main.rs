@@ -1,31 +1,199 @@
 //! `xp` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! xp [FIGURE...] [--quick] [--trace PATH] [--metrics PATH]
+//! xp trace PATH        # pretty-print a JSONL trace
+//! xp --help
+//! ```
 
 use accturbo_experiments::Scale;
+use accturbo_obs::OwnedEvent;
+use std::process::ExitCode;
 
-fn main() {
+/// Every figure/table `xp` can regenerate, in the paper's order.
+const FIGURES: &[(&str, fn(Scale) -> String)] = &[
+    ("fig2", accturbo_experiments::fig2::report),
+    ("fig3", accturbo_experiments::fig3::report),
+    ("fig6", accturbo_experiments::fig6::report),
+    ("fig7", accturbo_experiments::fig7::report),
+    ("table3", accturbo_experiments::table3::report),
+    ("fig8", accturbo_experiments::fig8::report),
+    ("fig9", accturbo_experiments::fig9::report),
+    ("fig10", accturbo_experiments::fig10::report),
+    ("fig11", accturbo_experiments::fig11::report),
+    ("adversarial", accturbo_experiments::adversarial::report),
+    ("ablations", accturbo_experiments::ablations::report),
+    ("pushback", accturbo_experiments::pushback::report),
+];
+
+fn usage() -> String {
+    let names: Vec<&str> = FIGURES.iter().map(|(n, _)| *n).collect();
+    format!(
+        "xp — regenerate the paper's tables and figures\n\
+         \n\
+         USAGE:\n\
+         \x20   xp [FIGURE...] [OPTIONS]     run the named figures (default: all)\n\
+         \x20   xp trace PATH                pretty-print a JSONL trace file\n\
+         \n\
+         FIGURES:\n\
+         \x20   {}\n\
+         \x20   all                          everything above\n\
+         \n\
+         OPTIONS:\n\
+         \x20   --quick                      shrink durations/rates (CI scale)\n\
+         \x20   --trace PATH                 also run the Fig. 2 ACC-Turbo scenario\n\
+         \x20                                with event tracing and write the JSONL\n\
+         \x20                                trace to PATH\n\
+         \x20   --metrics PATH               write the same run's per-interval\n\
+         \x20                                metrics snapshots (JSONL) to PATH\n\
+         \x20   --help                       this text",
+        names.join(", ")
+    )
+}
+
+struct Cli {
+    scale: Scale,
+    targets: Vec<String>,
+    trace: Option<String>,
+    metrics: Option<String>,
+}
+
+fn parse(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        scale: Scale::Full,
+        targets: Vec::new(),
+        trace: None,
+        metrics: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => cli.scale = Scale::Quick,
+            "--trace" => {
+                cli.trace = Some(
+                    it.next()
+                        .ok_or_else(|| "--trace requires a PATH argument".to_string())?
+                        .clone(),
+                );
+            }
+            "--metrics" => {
+                cli.metrics = Some(
+                    it.next()
+                        .ok_or_else(|| "--metrics requires a PATH argument".to_string())?
+                        .clone(),
+                );
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown option `{flag}`"));
+            }
+            name => {
+                let known = name == "all" || FIGURES.iter().any(|(n, _)| *n == name);
+                if !known {
+                    let names: Vec<&str> = FIGURES.iter().map(|(n, _)| *n).collect();
+                    return Err(format!(
+                        "unknown figure `{name}`; valid names: {}, all",
+                        names.join(", ")
+                    ));
+                }
+                cli.targets.push(name.to_string());
+            }
+        }
+    }
+    Ok(cli)
+}
+
+/// `xp trace PATH`: pretty-print a JSONL trace written by `--trace`.
+fn dump_trace(path: &str) -> Result<(), String> {
+    use std::io::Write as _;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    let mut skipped = 0usize;
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        match OwnedEvent::parse_jsonl_line(line) {
+            Some((ts, ev)) => {
+                // A closed pipe (`xp trace … | head`) is a normal exit.
+                if writeln!(out, "{}", ev.pretty(ts)).is_err() {
+                    return Ok(());
+                }
+            }
+            None => skipped += 1,
+        }
+    }
+    let _ = out.flush();
+    if skipped > 0 {
+        eprintln!("({skipped} unparseable lines skipped)");
+    }
+    Ok(())
+}
+
+/// Runs the instrumented Fig. 2 ACC-Turbo scenario and writes the
+/// requested JSONL exports.
+fn export_observability(cli: &Cli) -> Result<(), String> {
+    eprintln!("running the instrumented Fig. 2 ACC-Turbo scenario ...");
+    let (_, tracer, metrics) = accturbo_experiments::fig2::accturbo_run_instrumented(cli.scale);
+    if let Some(path) = &cli.trace {
+        let t = tracer.borrow();
+        t.write_jsonl_to(std::path::Path::new(path))
+            .map_err(|e| format!("cannot write trace to `{path}`: {e}"))?;
+        eprintln!(
+            "wrote {} events ({} recorded in total) to {path}",
+            t.len(),
+            t.total_recorded()
+        );
+    }
+    if let Some(path) = &cli.metrics {
+        let m = metrics.borrow();
+        m.write_jsonl_to(std::path::Path::new(path))
+            .map_err(|e| format!("cannot write metrics to `{path}`: {e}"))?;
+        eprintln!("wrote {} metric snapshots to {path}", m.snapshot_count());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let scale = if quick { Scale::Quick } else { Scale::Full };
-    let which: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
-    let all = which.is_empty() || which.contains(&"all");
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+    if args.first().map(String::as_str) == Some("trace") {
+        return match args.get(1) {
+            Some(path) => match dump_trace(path) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+            None => {
+                eprintln!("error: `xp trace` requires a PATH argument");
+                ExitCode::FAILURE
+            }
+        };
+    }
 
-    let run = |name: &str, f: fn(Scale) -> String| {
-        if all || which.contains(&name) {
-            println!("==================== {name} ====================");
-            println!("{}", f(scale));
+    let cli = match parse(&args) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", usage());
+            return ExitCode::FAILURE;
         }
     };
 
-    run("fig2", accturbo_experiments::fig2::report);
-    run("fig3", accturbo_experiments::fig3::report);
-    run("fig6", accturbo_experiments::fig6::report);
-    run("fig7", accturbo_experiments::fig7::report);
-    run("table3", accturbo_experiments::table3::report);
-    run("fig8", accturbo_experiments::fig8::report);
-    run("fig9", accturbo_experiments::fig9::report);
-    run("fig10", accturbo_experiments::fig10::report);
-    run("fig11", accturbo_experiments::fig11::report);
-    run("adversarial", accturbo_experiments::adversarial::report);
-    run("ablations", accturbo_experiments::ablations::report);
-    run("pushback", accturbo_experiments::pushback::report);
+    let all = cli.targets.is_empty() || cli.targets.iter().any(|t| t == "all");
+    for (name, f) in FIGURES {
+        if all || cli.targets.iter().any(|t| t == name) {
+            println!("==================== {name} ====================");
+            println!("{}", f(cli.scale));
+        }
+    }
+
+    if cli.trace.is_some() || cli.metrics.is_some() {
+        if let Err(e) = export_observability(&cli) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
 }

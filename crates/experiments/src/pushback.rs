@@ -10,9 +10,7 @@
 
 use crate::common::Scale;
 use accturbo_acc::{run_pushback, PushbackConfig};
-use accturbo_netsim::{
-    Bandwidth, ClassId, MergedSource, PacketSource, RedConfig, SimTime,
-};
+use accturbo_netsim::{Bandwidth, ClassId, MergedSource, PacketSource, RedConfig, SimTime};
 use accturbo_telemetry::{f, Table};
 use accturbo_traffic::{AttackConfig, AttackSource, AttackVector, CbrSource, FlowTemplate};
 use std::net::Ipv4Addr;

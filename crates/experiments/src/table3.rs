@@ -21,7 +21,9 @@ use accturbo_netsim::{
     ClassId, MergedSource, PacketSource, SimDuration, SimTime, SingleQueueSwitch,
 };
 use accturbo_telemetry::{f, Table};
-use accturbo_traffic::{AttackConfig, AttackSource, AttackVector, BackgroundConfig, BackgroundSource};
+use accturbo_traffic::{
+    AttackConfig, AttackSource, AttackVector, BackgroundConfig, BackgroundSource,
+};
 
 const LINK: u64 = LINK_10G_SCALED;
 const BACKGROUND_BPS: u64 = 7_000_000;
@@ -159,9 +161,8 @@ pub fn cell(defense: Defense, variation: Variation, secs: u64) -> f64 {
             .benign_drop_pct()
         }
         Defense::AccTurbo => {
-            let mut sw = AccTurboSwitch::new(
-                AccTurboConfig::hardware(FeatureSet::hardware_dst_bytes()),
-            );
+            let mut sw =
+                AccTurboSwitch::new(AccTurboConfig::hardware(FeatureSet::hardware_dst_bytes()));
             simulate(
                 &mut src,
                 &mut sw,
@@ -205,7 +206,11 @@ mod tests {
 
     #[test]
     fn fifo_loses_most_benign_under_any_attack() {
-        for v in [Variation::SingleFlow, Variation::CarpetBombing, Variation::SourceSpoofing] {
+        for v in [
+            Variation::SingleFlow,
+            Variation::CarpetBombing,
+            Variation::SourceSpoofing,
+        ] {
             let pct = cell(Defense::Fifo, v, SECS);
             assert!(pct > 70.0, "{}: FIFO dropped only {pct:.1}%", v.name());
         }
@@ -218,8 +223,14 @@ mod tests {
         let carpet = cell(Defense::JaqenFiveTuple, Variation::CarpetBombing, SECS);
         let spoof = cell(Defense::JaqenFiveTuple, Variation::SourceSpoofing, SECS);
         assert!(single < 15.0, "single flow: {single:.1}%");
-        assert!(carpet > 50.0, "carpet bombing must defeat the 5-tuple key: {carpet:.1}%");
-        assert!(spoof > 50.0, "spoofing must defeat the 5-tuple key: {spoof:.1}%");
+        assert!(
+            carpet > 50.0,
+            "carpet bombing must defeat the 5-tuple key: {carpet:.1}%"
+        );
+        assert!(
+            spoof > 50.0,
+            "spoofing must defeat the 5-tuple key: {spoof:.1}%"
+        );
     }
 
     #[test]
@@ -228,13 +239,23 @@ mod tests {
         let carpet = cell(Defense::JaqenSrcIp, Variation::CarpetBombing, SECS);
         let spoof = cell(Defense::JaqenSrcIp, Variation::SourceSpoofing, SECS);
         assert!(single < 15.0, "single flow: {single:.1}%");
-        assert!(carpet < 15.0, "srcIP key survives carpet bombing: {carpet:.1}%");
-        assert!(spoof > 50.0, "spoofing must defeat the srcIP key: {spoof:.1}%");
+        assert!(
+            carpet < 15.0,
+            "srcIP key survives carpet bombing: {carpet:.1}%"
+        );
+        assert!(
+            spoof > 50.0,
+            "spoofing must defeat the srcIP key: {spoof:.1}%"
+        );
     }
 
     #[test]
     fn accturbo_is_robust_across_all_variations() {
-        for v in [Variation::SingleFlow, Variation::CarpetBombing, Variation::SourceSpoofing] {
+        for v in [
+            Variation::SingleFlow,
+            Variation::CarpetBombing,
+            Variation::SourceSpoofing,
+        ] {
             let pct = cell(Defense::AccTurbo, v, SECS);
             assert!(
                 pct < 30.0,

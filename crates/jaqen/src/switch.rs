@@ -262,10 +262,8 @@ mod tests {
 
     #[test]
     fn single_flow_flood_is_detected_and_dropped() {
-        let mut src = MergedSource::new(vec![
-            benign_src(20),
-            Box::new(AttackSource::new(flood(20))),
-        ]);
+        let mut src =
+            MergedSource::new(vec![benign_src(20), Box::new(AttackSource::new(flood(20)))]);
         let mut sw = JaqenSwitch::new(JaqenConfig::best_case(Signature::FiveTuple, 1_000));
         let res = run(&mut src, &mut sw, &engine());
         assert!(sw.detections() >= 1);
@@ -283,8 +281,15 @@ mod tests {
         ]);
         let mut sw = JaqenSwitch::new(JaqenConfig::best_case(Signature::FiveTuple, 1_000));
         let res = run(&mut src, &mut sw, &engine());
-        assert_eq!(sw.detections(), 0, "per-flow counts never cross the threshold");
-        assert!(res.stats.benign_drop_pct() > 40.0, "benign suffers like FIFO");
+        assert_eq!(
+            sw.detections(),
+            0,
+            "per-flow counts never cross the threshold"
+        );
+        assert!(
+            res.stats.benign_drop_pct() > 40.0,
+            "benign suffers like FIFO"
+        );
     }
 
     #[test]
@@ -333,7 +338,10 @@ mod tests {
             sw.ingress(p, SimTime::from_millis(i), &mut drops);
             sw.dequeue(SimTime::from_millis(i));
         }
-        let drops_before = drops.iter().filter(|d| d.reason == DropReason::Filter).count();
+        let drops_before = drops
+            .iter()
+            .filter(|d| d.reason == DropReason::Filter)
+            .count();
         assert_eq!(drops_before, 0, "no filtering before the rule deploys");
         sw.control_tick(SimTime::from_secs(13));
         let p = Packet::new(SimTime::from_secs(13)).with_ports(1, 2);

@@ -1,52 +1,72 @@
-//! Property-based tests for the Jaqen model's primitives.
+//! Randomized property tests for the Jaqen model's primitives.
+//!
+//! Originally written against `proptest`; the build environment has no
+//! crates.io access, so these now run as seeded randomized loops over
+//! `accturbo_prng` (deterministic per seed, so failures reproduce).
 
 use accturbo_jaqen::{CountMinSketch, Signature};
 use accturbo_netsim::{Packet, SimTime};
-use proptest::prelude::*;
-use std::collections::HashMap;
+use accturbo_prng::{Rng, SeedableRng, StdRng};
+use std::collections::{HashMap, HashSet};
 use std::net::Ipv4Addr;
 
-proptest! {
-    /// The count-min estimate never underestimates the true count.
-    #[test]
-    fn sketch_never_underestimates(
-        updates in prop::collection::vec((any::<u64>(), 1u64..50), 1..500),
-        rows in 1usize..5,
-        cols in 16usize..4096) {
+const CASES: usize = 64;
+
+/// The count-min estimate never underestimates the true count.
+#[test]
+fn sketch_never_underestimates() {
+    let mut rng = StdRng::seed_from_u64(0x9a9e_0001);
+    for case in 0..CASES {
+        let rows = rng.gen_range(1usize..5);
+        let cols = rng.gen_range(16usize..4096);
+        let n_updates = rng.gen_range(1usize..500);
         let mut sketch = CountMinSketch::new(rows, cols);
         let mut truth: HashMap<u64, u64> = HashMap::new();
-        for &(key, count) in &updates {
+        for _ in 0..n_updates {
+            let key: u64 = rng.gen();
+            let count = rng.gen_range(1u64..50);
             sketch.update(key, count);
             *truth.entry(key).or_insert(0) += count;
         }
         for (&key, &count) in &truth {
-            prop_assert!(
+            assert!(
                 sketch.estimate(key) >= count,
-                "estimate {} below truth {count}",
+                "case {case}: estimate {} below truth {count}",
                 sketch.estimate(key)
             );
         }
     }
+}
 
-    /// With enough columns relative to keys, the estimate is exact.
-    #[test]
-    fn sketch_is_exact_when_sparse(keys in prop::collection::hash_set(any::<u64>(), 1..32)) {
+/// With enough columns relative to keys, the estimate is exact.
+#[test]
+fn sketch_is_exact_when_sparse() {
+    let mut rng = StdRng::seed_from_u64(0x9a9e_0002);
+    for case in 0..CASES {
+        let n_keys = rng.gen_range(1usize..32);
+        let keys: HashSet<u64> = (0..n_keys).map(|_| rng.gen()).collect();
         let mut sketch = CountMinSketch::new(4, 65_536);
         for &k in &keys {
             sketch.update(k, 7);
         }
         for &k in &keys {
-            prop_assert_eq!(sketch.estimate(k), 7);
+            assert_eq!(sketch.estimate(k), 7, "case {case}");
         }
     }
+}
 
-    /// Signature keys are deterministic and respect their field scope:
-    /// the src-IP key ignores everything but the source; the 5-tuple key
-    /// changes when any of its five fields changes.
-    #[test]
-    fn signature_key_scope(src in any::<u32>(), dst in any::<u32>(),
-                           sport in any::<u16>(), dport in any::<u16>(),
-                           flip in 0u8..5) {
+/// Signature keys are deterministic and respect their field scope:
+/// the src-IP key ignores everything but the source; the 5-tuple key
+/// changes when any of its five fields changes.
+#[test]
+fn signature_key_scope() {
+    let mut rng = StdRng::seed_from_u64(0x9a9e_0003);
+    for case in 0..CASES * 4 {
+        let src: u32 = rng.gen();
+        let dst: u32 = rng.gen();
+        let sport: u16 = rng.gen();
+        let dport: u16 = rng.gen();
+        let flip = rng.gen_range(0u8..5);
         let base = Packet::new(SimTime::ZERO)
             .with_src(Ipv4Addr::from(src))
             .with_dst(Ipv4Addr::from(dst))
@@ -60,15 +80,22 @@ proptest! {
             _ => changed.proto = base.proto.wrapping_add(1),
         }
         // Determinism.
-        prop_assert_eq!(Signature::FiveTuple.key(&base), Signature::FiveTuple.key(&base));
-        prop_assert_eq!(Signature::SrcIp.key(&base), Signature::SrcIp.key(&base));
+        assert_eq!(
+            Signature::FiveTuple.key(&base),
+            Signature::FiveTuple.key(&base)
+        );
+        assert_eq!(Signature::SrcIp.key(&base), Signature::SrcIp.key(&base));
         // Scope: the 5-tuple key must change; the srcIP key only when the
         // source changed.
-        prop_assert_ne!(Signature::FiveTuple.key(&base), Signature::FiveTuple.key(&changed));
+        assert_ne!(
+            Signature::FiveTuple.key(&base),
+            Signature::FiveTuple.key(&changed),
+            "case {case} flip {flip}"
+        );
         if flip == 0 {
-            prop_assert_ne!(Signature::SrcIp.key(&base), Signature::SrcIp.key(&changed));
+            assert_ne!(Signature::SrcIp.key(&base), Signature::SrcIp.key(&changed));
         } else {
-            prop_assert_eq!(Signature::SrcIp.key(&base), Signature::SrcIp.key(&changed));
+            assert_eq!(Signature::SrcIp.key(&base), Signature::SrcIp.key(&changed));
         }
     }
 }

@@ -24,6 +24,7 @@ use crate::stats::StatsCollector;
 use crate::switch::Switch;
 use crate::time::{SimDuration, SimTime};
 use crate::units::Bandwidth;
+use accturbo_obs::{Event, MetricsHandle, NoopTracer, Tracer};
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -94,9 +95,51 @@ pub fn run(
     switch: &mut dyn Switch,
     cfg: &EngineConfig,
 ) -> RunResult {
+    // NoopTracer monomorphizes: the tracing branches compile out of this
+    // path entirely (verified by the `obs_overhead` bench).
+    run_instrumented(source, switch, cfg, &mut NoopTracer, None)
+}
+
+/// Runs `source` through `switch` under `cfg`, emitting trace events to
+/// `tracer` and (when given) engine-level metrics to `metrics`.
+///
+/// Trace events emitted here: `depart` and `drop` per packet,
+/// `control_tick` per control-plane tick, and `stats_tick` at every
+/// stats-interval boundary. Switch-internal events (enqueue, cluster
+/// decisions, priority remaps) are emitted by the switch itself when its
+/// own tracer is installed — share one `SharedTracer` across both to get
+/// a single interleaved timeline.
+///
+/// When `metrics` is given, the engine registers `engine_arrivals` /
+/// `engine_departures` / `engine_drops` counters, a `backlog_pkts`
+/// gauge, and a `queue_depth_pkts` histogram, and snapshots the whole
+/// registry at every stats-interval boundary (plus once at the end).
+pub fn run_instrumented<T: Tracer + ?Sized>(
+    source: &mut dyn PacketSource,
+    switch: &mut dyn Switch,
+    cfg: &EngineConfig,
+    tracer: &mut T,
+    metrics: Option<&MetricsHandle>,
+) -> RunResult {
     let mut stats = StatsCollector::new(cfg.stats_interval);
     let mut delays = DelayHistogram::new();
     let mut drops_buf: Vec<Dropped> = Vec::new();
+
+    let ids = metrics.map(|m| {
+        let mut r = m.borrow_mut();
+        (
+            r.counter("engine_arrivals"),
+            r.counter("engine_departures"),
+            r.counter("engine_drops"),
+            r.gauge("backlog_pkts"),
+            r.histogram(
+                "queue_depth_pkts",
+                &[
+                    1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0,
+                ],
+            ),
+        )
+    });
 
     let mut pending: Option<Packet> = next_arrival(source, cfg.end_time);
     // In-flight transmission: completion time and the packet on the wire.
@@ -105,6 +148,8 @@ pub fn run(
 
     let mut now = SimTime::ZERO;
     let (mut arrivals, mut departures, mut total_drops) = (0u64, 0u64, 0u64);
+    let mut control_ticks = 0u64;
+    let mut stats_bucket = 0u64;
 
     loop {
         // Earliest of: tx completion, control tick, next arrival.
@@ -125,14 +170,50 @@ pub fn run(
         debug_assert!(t >= now, "event time went backwards");
         now = t;
 
+        // Stats-interval boundary: note the tick and snapshot metrics.
+        let bucket = now.bucket(cfg.stats_interval);
+        if bucket != stats_bucket {
+            stats_bucket = bucket;
+            let boundary_ns = bucket * cfg.stats_interval.as_nanos();
+            if tracer.enabled() {
+                tracer.record(boundary_ns, &Event::StatsTick { bucket });
+            }
+            if let (Some(m), Some(ids)) = (metrics, &ids) {
+                let mut r = m.borrow_mut();
+                r.set(ids.3, switch.backlog_pkts() as f64);
+                r.snapshot(boundary_ns);
+            }
+        }
+
         if t == t_tx {
             // Transmission completes: the packet leaves on the wire.
             let (_, pkt) = in_flight.take().expect("t_tx implies in-flight");
             stats.on_depart(&pkt, now);
             delays.record(pkt.class, now.saturating_since(pkt.arrival));
             departures += 1;
+            if tracer.enabled() {
+                tracer.record(
+                    now.as_nanos(),
+                    &Event::Depart {
+                        class: pkt.class.0,
+                        size: pkt.size,
+                    },
+                );
+            }
+            if let (Some(m), Some(ids)) = (metrics, &ids) {
+                m.borrow_mut().inc(ids.1, 1);
+            }
         } else if t == t_ctl {
             switch.control_tick(now);
+            control_ticks += 1;
+            if tracer.enabled() {
+                tracer.record(
+                    now.as_nanos(),
+                    &Event::ControlTick {
+                        tick: control_ticks,
+                    },
+                );
+            }
             let period = cfg.control_period.expect("t_ctl implies a period");
             control_next = Some(now + period);
         } else {
@@ -144,8 +225,27 @@ pub fn run(
             switch.ingress(pkt, now, &mut drops_buf);
             for d in &drops_buf {
                 stats.on_drop(d, now);
+                if tracer.enabled() {
+                    tracer.record(
+                        now.as_nanos(),
+                        &Event::Drop {
+                            queue: None,
+                            class: d.packet.class.0,
+                            size: d.packet.size,
+                            reason: d.reason.name(),
+                        },
+                    );
+                }
             }
             total_drops += drops_buf.len() as u64;
+            if let (Some(m), Some(ids)) = (metrics, &ids) {
+                let mut r = m.borrow_mut();
+                r.inc(ids.0, 1);
+                if !drops_buf.is_empty() {
+                    r.inc(ids.2, drops_buf.len() as u64);
+                }
+                r.observe(ids.4, switch.backlog_pkts() as f64);
+            }
             pending = next_arrival(source, cfg.end_time);
         }
 
@@ -157,6 +257,13 @@ pub fn run(
                 in_flight = Some((done, pkt));
             }
         }
+    }
+
+    // Final snapshot so short runs still export at least one.
+    if let (Some(m), Some(ids)) = (metrics, &ids) {
+        let mut r = m.borrow_mut();
+        r.set(ids.3, switch.backlog_pkts() as f64);
+        r.snapshot(now.as_nanos());
     }
 
     RunResult {
@@ -201,6 +308,63 @@ mod tests {
         assert_eq!(res.arrivals, 100);
         assert_eq!(res.departures, 100);
         assert_eq!(res.drops, 0);
+    }
+
+    #[test]
+    fn instrumented_run_traces_and_snapshots() {
+        use accturbo_obs::{shared, Registry, RingTracer};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        // Same overload scenario as `overloaded_link_drops_the_excess`:
+        // both departs and drops occur, and the run spans many stats
+        // intervals.
+        let mut src = VecSource::new(cbr_packets(2_000, 100, 1000));
+        let mut sw = SingleQueueSwitch::new(FifoQueue::new(10_000));
+        let cfg = EngineConfig::new(Bandwidth::from_mbps(10))
+            .with_stats_interval(SimDuration::from_millis(20));
+        let mut tracer = shared(RingTracer::new(100_000));
+        let metrics = Rc::new(RefCell::new(Registry::new()));
+        let res = run_instrumented(&mut src, &mut sw, &cfg, &mut tracer, Some(&metrics));
+
+        let t = tracer.borrow();
+        let departs = t.iter().filter(|(_, e)| e.kind() == "depart").count() as u64;
+        let drops = t.iter().filter(|(_, e)| e.kind() == "drop").count() as u64;
+        let ticks = t.iter().filter(|(_, e)| e.kind() == "stats_tick").count();
+        assert_eq!(departs, res.departures);
+        assert_eq!(drops, res.drops);
+        assert!(ticks > 0, "run must cross stats-interval boundaries");
+
+        // Re-registering returns the existing ids.
+        let mut r = metrics.borrow_mut();
+        let (ia, id, ix) = (
+            r.counter("engine_arrivals"),
+            r.counter("engine_departures"),
+            r.counter("engine_drops"),
+        );
+        let arr = r.counter_value(ia);
+        let dep = r.counter_value(id);
+        let drp = r.counter_value(ix);
+        assert_eq!(arr, res.arrivals);
+        assert_eq!(dep, res.departures);
+        assert_eq!(drp, res.drops);
+        assert!(r.snapshot_count() > 1, "per-interval + final snapshots");
+        assert!(!r.to_jsonl().is_empty());
+    }
+
+    #[test]
+    fn plain_run_matches_instrumented_run() {
+        let cfg = EngineConfig::new(Bandwidth::from_mbps(10));
+        let mut src1 = VecSource::new(cbr_packets(500, 100, 1000));
+        let mut sw1 = SingleQueueSwitch::new(FifoQueue::new(10_000));
+        let a = run(&mut src1, &mut sw1, &cfg);
+        let mut src2 = VecSource::new(cbr_packets(500, 100, 1000));
+        let mut sw2 = SingleQueueSwitch::new(FifoQueue::new(10_000));
+        let b = run_instrumented(&mut src2, &mut sw2, &cfg, &mut NoopTracer, None);
+        assert_eq!(a.arrivals, b.arrivals);
+        assert_eq!(a.departures, b.departures);
+        assert_eq!(a.drops, b.drops);
+        assert_eq!(a.final_time, b.final_time);
     }
 
     #[test]
@@ -273,8 +437,8 @@ mod tests {
     fn end_time_truncates_the_workload() {
         let mut src = VecSource::new(cbr_packets(1_000, 1_000, 1000)); // 1 s
         let mut sw = SingleQueueSwitch::new(FifoQueue::new(100_000));
-        let cfg = EngineConfig::new(Bandwidth::from_mbps(100))
-            .with_end_time(SimTime::from_millis(100));
+        let cfg =
+            EngineConfig::new(Bandwidth::from_mbps(100)).with_end_time(SimTime::from_millis(100));
         let res = run(&mut src, &mut sw, &cfg);
         assert_eq!(res.arrivals, 100);
     }
@@ -286,10 +450,7 @@ mod tests {
         let cfg = EngineConfig::new(Bandwidth::from_mbps(20));
         let res = run(&mut src, &mut sw, &cfg);
         assert_eq!(res.arrivals, res.departures + res.drops);
-        assert_eq!(
-            res.stats.total_arrived(ClassId::BENIGN).pkts,
-            res.arrivals
-        );
+        assert_eq!(res.stats.total_arrived(ClassId::BENIGN).pkts, res.arrivals);
         assert_eq!(
             res.stats.total_departed(ClassId::BENIGN).pkts,
             res.departures

@@ -36,7 +36,7 @@ pub mod time;
 pub mod trace;
 pub mod units;
 
-pub use engine::{run, EngineConfig, RunResult};
+pub use engine::{run, run_instrumented, EngineConfig, RunResult};
 pub use latency::DelayHistogram;
 pub use packet::{ClassId, DropReason, Dropped, FiveTuple, Packet};
 pub use queue::{FifoQueue, PifoQueue, PriorityBank, QueueDiscipline, RedConfig, RedQueue};

@@ -199,6 +199,20 @@ pub enum DropReason {
     Filter,
 }
 
+impl DropReason {
+    /// Stable snake_case tag used in trace output.
+    pub fn name(self) -> &'static str {
+        match self {
+            DropReason::TailDrop => "tail_drop",
+            DropReason::RedEarly => "red_early",
+            DropReason::RedForced => "red_forced",
+            DropReason::RankEviction => "rank_eviction",
+            DropReason::Policer => "policer",
+            DropReason::Filter => "filter",
+        }
+    }
+}
+
 /// A dropped packet together with the reason it was dropped.
 #[derive(Debug, Clone)]
 pub struct Dropped {

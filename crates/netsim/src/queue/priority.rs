@@ -46,13 +46,7 @@ impl PriorityBank {
 
     /// Enqueues `pkt` into queue `idx` (clamped to the lowest priority if
     /// out of range, mirroring a table miss mapped to best effort).
-    pub fn enqueue_to(
-        &mut self,
-        idx: usize,
-        pkt: Packet,
-        now: SimTime,
-        drops: &mut Vec<Dropped>,
-    ) {
+    pub fn enqueue_to(&mut self, idx: usize, pkt: Packet, now: SimTime, drops: &mut Vec<Dropped>) {
         let idx = idx.min(self.queues.len() - 1);
         if self.len_bytes() + pkt.size as u64 > self.shared_cap {
             drops.push(Dropped {

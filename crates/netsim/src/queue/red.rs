@@ -10,8 +10,7 @@
 use super::{FifoQueue, QueueDiscipline};
 use crate::packet::{DropReason, Dropped, Packet};
 use crate::time::{SimDuration, SimTime};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use accturbo_prng::{Rng, SeedableRng, StdRng};
 
 /// RED parameters.
 #[derive(Debug, Clone)]
@@ -109,10 +108,15 @@ impl RedQueue {
 
     /// Classic RED drop decision for the current average.
     fn early_drop(&mut self) -> bool {
-        let pb = self.cfg.max_p * (self.avg - self.cfg.min_th) / (self.cfg.max_th - self.cfg.min_th);
+        let pb =
+            self.cfg.max_p * (self.avg - self.cfg.min_th) / (self.cfg.max_th - self.cfg.min_th);
         let pb = pb.clamp(0.0, 1.0);
         let denom = 1.0 - self.count as f64 * pb;
-        let pa = if denom <= 0.0 { 1.0 } else { (pb / denom).clamp(0.0, 1.0) };
+        let pa = if denom <= 0.0 {
+            1.0
+        } else {
+            (pb / denom).clamp(0.0, 1.0)
+        };
         self.rng.gen::<f64>() < pa
     }
 }

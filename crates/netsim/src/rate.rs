@@ -58,8 +58,7 @@ impl EwmaRate {
     /// Closes every measurement window that ended before `now`.
     fn roll_forward(&mut self, now: SimTime) {
         while now >= self.window_start + self.interval {
-            let inst_bps =
-                self.window_bytes as f64 * 8.0 / self.interval.as_secs_f64();
+            let inst_bps = self.window_bytes as f64 * 8.0 / self.interval.as_secs_f64();
             if self.initialized {
                 self.rate_bps += self.alpha * (inst_bps - self.rate_bps);
             } else {

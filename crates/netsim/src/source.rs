@@ -174,7 +174,9 @@ mod tests {
         let a = Box::new(VecSource::new(pkts(&[0, 5])));
         let b = Box::new(VecSource::new(pkts(&[2, 7])));
         let mut m = MergedSource::new(vec![a, b]);
-        let seqs: Vec<u64> = std::iter::from_fn(|| m.next_packet()).map(|p| p.seq).collect();
+        let seqs: Vec<u64> = std::iter::from_fn(|| m.next_packet())
+            .map(|p| p.seq)
+            .collect();
         assert_eq!(seqs, vec![0, 1, 2, 3]);
     }
 

@@ -228,12 +228,7 @@ impl StatsCollector {
     pub fn max_class(&self) -> u16 {
         self.buckets
             .iter()
-            .map(|b| {
-                b.arrived
-                    .len()
-                    .max(b.departed.len())
-                    .max(b.dropped.len())
-            })
+            .map(|b| b.arrived.len().max(b.departed.len()).max(b.dropped.len()))
             .max()
             .unwrap_or(0)
             .saturating_sub(1) as u16
@@ -333,6 +328,76 @@ mod tests {
         assert_eq!(s.total_departed(ClassId(2)).bytes, 300);
         assert_eq!(s.num_buckets(), 4);
         assert_eq!(s.max_class(), 2);
+    }
+
+    #[test]
+    fn events_exactly_on_an_interval_edge_open_the_next_bucket() {
+        // Buckets are left-closed right-open: [0,1s) [1s,2s) ... An event
+        // at exactly t = k*interval belongs to bucket k, never k-1.
+        let mut s = StatsCollector::new(SimDuration::from_secs(1));
+        let at = |ns: u64| {
+            Packet::new(SimTime::from_nanos(ns))
+                .with_size(100)
+                .with_class(ClassId::BENIGN)
+        };
+        s.on_arrival(&at(0)); // opens bucket 0
+        s.on_arrival(&at(1_000_000_000 - 1)); // last instant of bucket 0
+        s.on_arrival(&at(1_000_000_000)); // first instant of bucket 1
+        s.on_arrival(&at(2_000_000_000)); // first instant of bucket 2
+        assert_eq!(s.num_buckets(), 3);
+        let arrived_pkts = |idx: usize| {
+            // Reconstruct per-bucket counts through the public rate API:
+            // bytes/interval * interval = bytes; 100 B per packet.
+            (s.arrival_bps(idx, ClassId::BENIGN) / 8.0 / 100.0).round() as u64
+        };
+        assert_eq!(arrived_pkts(0), 2);
+        assert_eq!(arrived_pkts(1), 1);
+        assert_eq!(arrived_pkts(2), 1);
+    }
+
+    #[test]
+    fn departures_and_drops_bucket_by_event_time_not_arrival_time() {
+        // A packet arriving late in bucket 0 but departing (or being
+        // dropped) just past the edge must be charged to bucket 1.
+        let mut s = StatsCollector::new(SimDuration::from_secs(1));
+        let p = pkt(999, 125_000, 0); // arrival t = 0.999 s → bucket 0
+        s.on_arrival(&p);
+        s.on_depart(&p, SimTime::from_secs(1)); // edge → bucket 1
+        assert_eq!(s.throughput_bps(0, ClassId::BENIGN), 0.0);
+        assert_eq!(s.throughput_bps(1, ClassId::BENIGN), 1_000_000.0);
+
+        let q = pkt(999, 100, 0);
+        s.on_arrival(&q);
+        s.on_drop(
+            &Dropped {
+                packet: q,
+                reason: crate::packet::DropReason::TailDrop,
+            },
+            SimTime::from_secs(1),
+        );
+        // Both arrivals landed in bucket 0, the drop in bucket 1: the
+        // bucket-0 drop rate stays zero even though the packet arrived
+        // there — and so does bucket 1's, because drop_rate divides by
+        // the *same bucket's* arrivals (none landed there). Only the
+        // run-level totals see the drop.
+        assert_eq!(s.drop_rate(0), 0.0);
+        assert_eq!(s.drop_rate(1), 0.0);
+        assert_eq!(s.total_dropped(ClassId::BENIGN).pkts, 1);
+    }
+
+    #[test]
+    fn sub_second_intervals_normalize_rates_by_the_bucket_width() {
+        // 250 ms buckets: 25_000 B in one bucket is 25_000*8/0.25 bps.
+        let mut s = StatsCollector::new(SimDuration::from_millis(250));
+        let p = pkt(0, 25_000, 0);
+        s.on_arrival(&p);
+        s.on_depart(&p, SimTime::from_millis(250)); // edge → bucket 1
+        s.on_depart(&p, SimTime::from_millis(500)); // edge → bucket 2
+        assert_eq!(s.num_buckets(), 3);
+        assert_eq!(s.arrival_bps(0, ClassId::BENIGN), 800_000.0);
+        assert_eq!(s.throughput_bps(0, ClassId::BENIGN), 0.0);
+        assert_eq!(s.throughput_bps(1, ClassId::BENIGN), 800_000.0);
+        assert_eq!(s.throughput_bps(2, ClassId::BENIGN), 800_000.0);
     }
 
     #[test]

@@ -111,7 +111,10 @@ impl SimDuration {
     ///
     /// Panics if `s` is negative or not finite.
     pub fn from_secs_f64(s: f64) -> Self {
-        assert!(s.is_finite() && s >= 0.0, "invalid SimDuration seconds: {s}");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "invalid SimDuration seconds: {s}"
+        );
         SimDuration((s * 1e9).round() as u64)
     }
 
@@ -234,7 +237,10 @@ mod tests {
         assert_eq!(SimTime::from_secs(2), SimTime::from_millis(2_000));
         assert_eq!(SimTime::from_millis(3), SimTime::from_micros(3_000));
         assert_eq!(SimTime::from_micros(5), SimTime::from_nanos(5_000));
-        assert_eq!(SimDuration::from_secs(1), SimDuration::from_nanos(1e9 as u64));
+        assert_eq!(
+            SimDuration::from_secs(1),
+            SimDuration::from_nanos(1e9 as u64)
+        );
     }
 
     #[test]

@@ -92,7 +92,12 @@ pub fn read_pcap<R: Read>(mut reader: R) -> io::Result<(Vec<Packet>, TraceStats)
         let base = *first_ts.get_or_insert(ts_ns);
         let arrival = SimTime::from_nanos(ts_ns.saturating_sub(base));
 
-        match parse_ipv4(&data[l2_offset.min(data.len())..], arrival, orig_len, l2_offset) {
+        match parse_ipv4(
+            &data[l2_offset.min(data.len())..],
+            arrival,
+            orig_len,
+            l2_offset,
+        ) {
             Some(pkt) => {
                 packets.push(pkt);
                 stats.parsed += 1;
@@ -244,7 +249,11 @@ pub fn read_csv<R: Read>(reader: R) -> io::Result<Vec<Packet>> {
         if fields.len() != 13 {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
-                format!("line {}: expected 13 fields, got {}", lineno + 1, fields.len()),
+                format!(
+                    "line {}: expected 13 fields, got {}",
+                    lineno + 1,
+                    fields.len()
+                ),
             ));
         }
         let parse_err =
@@ -376,7 +385,11 @@ mod tests {
         write_pcap(&mut buf, &sample_packets()).expect("write");
         let (mut src, _) = pcap_source(buf.as_slice()).expect("read");
         let mut sw = SingleQueueSwitch::new(FifoQueue::new(1_000_000));
-        let res = run(&mut src, &mut sw, &EngineConfig::new(Bandwidth::from_mbps(100)));
+        let res = run(
+            &mut src,
+            &mut sw,
+            &EngineConfig::new(Bandwidth::from_mbps(100)),
+        );
         assert_eq!(res.arrivals, 50);
         assert_eq!(res.departures, 50);
     }

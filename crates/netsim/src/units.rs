@@ -112,6 +112,9 @@ mod tests {
 
     #[test]
     fn scaling() {
-        assert_eq!(Bandwidth::from_gbps(10).scale(0.001), Bandwidth::from_mbps(10));
+        assert_eq!(
+            Bandwidth::from_gbps(10).scale(0.001),
+            Bandwidth::from_mbps(10)
+        );
     }
 }

@@ -1,21 +1,40 @@
-//! Property-based tests for the simulator substrate's core invariants.
+//! Randomized property tests for the simulator substrate's core
+//! invariants.
+//!
+//! Originally written against `proptest`; the build environment has no
+//! crates.io access, so these now run as seeded randomized loops over
+//! `accturbo_prng` (deterministic per seed, so failures reproduce).
 
 use accturbo_netsim::{
-    Bandwidth, ClassId, EngineConfig, FifoQueue, Packet, PifoQueue, PriorityBank,
-    QueueDiscipline, SimDuration, SimTime, SingleQueueSwitch, VecSource,
+    Bandwidth, ClassId, EngineConfig, FifoQueue, Packet, PifoQueue, PriorityBank, QueueDiscipline,
+    SimDuration, SimTime, SingleQueueSwitch, VecSource,
 };
-use proptest::prelude::*;
+use accturbo_prng::{Rng, SeedableRng, StdRng};
 
-fn arb_packet() -> impl Strategy<Value = (u64, u32, u64, u16)> {
-    // (arrival_us, size, rank, class)
-    (0u64..1_000_000, 64u32..1600, 0u64..1000, 0u16..8)
+const CASES: usize = 64;
+
+/// Draws one `(arrival_us, size, rank, class)` tuple.
+fn arb_packet(rng: &mut StdRng) -> (u64, u32, u64, u16) {
+    (
+        rng.gen_range(0u64..1_000_000),
+        rng.gen_range(64u32..1600),
+        rng.gen_range(0u64..1000),
+        rng.gen_range(0u16..8),
+    )
 }
 
-proptest! {
-    /// FIFO never exceeds its byte capacity and conserves packets.
-    #[test]
-    fn fifo_respects_capacity(ops in prop::collection::vec(arb_packet(), 1..200),
-                              cap in 1000u64..20_000) {
+fn arb_ops(rng: &mut StdRng, max: usize) -> Vec<(u64, u32, u64, u16)> {
+    let n = rng.gen_range(1usize..max);
+    (0..n).map(|_| arb_packet(rng)).collect()
+}
+
+/// FIFO never exceeds its byte capacity and conserves packets.
+#[test]
+fn fifo_respects_capacity() {
+    let mut rng = StdRng::seed_from_u64(0x5e7_0001);
+    for case in 0..CASES {
+        let ops = arb_ops(&mut rng, 200);
+        let cap = rng.gen_range(1000u64..20_000);
         let mut q = FifoQueue::new(cap);
         let mut drops = Vec::new();
         let mut enqueued = 0u64;
@@ -27,47 +46,59 @@ proptest! {
             if drops.len() == before {
                 enqueued += 1;
             }
-            prop_assert!(q.len_bytes() <= cap);
+            assert!(q.len_bytes() <= cap, "case {case}");
         }
         let mut dequeued = 0u64;
         while q.dequeue(SimTime::ZERO).is_some() {
             dequeued += 1;
         }
-        prop_assert_eq!(enqueued, dequeued);
-        prop_assert_eq!(enqueued + drops.len() as u64, ops.len() as u64);
-        prop_assert_eq!(q.len_bytes(), 0);
+        assert_eq!(enqueued, dequeued, "case {case}");
+        assert_eq!(
+            enqueued + drops.len() as u64,
+            ops.len() as u64,
+            "case {case}"
+        );
+        assert_eq!(q.len_bytes(), 0, "case {case}");
     }
+}
 
-    /// PIFO always dequeues in nondecreasing rank order and conserves
-    /// packets and bytes.
-    #[test]
-    fn pifo_rank_order_and_conservation(ops in prop::collection::vec(arb_packet(), 1..200),
-                                        cap in 1000u64..20_000) {
+/// PIFO always dequeues in nondecreasing rank order and conserves
+/// packets and bytes.
+#[test]
+fn pifo_rank_order_and_conservation() {
+    let mut rng = StdRng::seed_from_u64(0x5e7_0002);
+    for case in 0..CASES {
+        let ops = arb_ops(&mut rng, 200);
+        let cap = rng.gen_range(1000u64..20_000);
         let mut q = PifoQueue::new(cap);
         let mut drops = Vec::new();
         for (i, (t, size, rank, _)) in ops.iter().enumerate() {
             let mut p = Packet::new(SimTime::from_micros(*t)).with_size(*size);
             p.seq = i as u64;
             q.enqueue_ranked(p, *rank, &mut drops);
-            prop_assert!(q.len_bytes() <= cap);
+            assert!(q.len_bytes() <= cap, "case {case}");
         }
         let resident = q.len_pkts();
-        prop_assert_eq!(resident + drops.len(), ops.len());
+        assert_eq!(resident + drops.len(), ops.len(), "case {case}");
         let mut last_rank = 0u64;
         let mut count = 0usize;
         while let Some(pkt) = q.dequeue(SimTime::ZERO) {
             let rank = ops[pkt.seq as usize].2;
-            prop_assert!(rank >= last_rank, "rank order violated");
+            assert!(rank >= last_rank, "case {case}: rank order violated");
             last_rank = rank;
             count += 1;
         }
-        prop_assert_eq!(count, resident);
+        assert_eq!(count, resident, "case {case}");
     }
+}
 
-    /// A strict-priority bank never reorders within a queue and always
-    /// serves a lower-index queue before a higher one.
-    #[test]
-    fn priority_bank_strictness(ops in prop::collection::vec(arb_packet(), 1..200)) {
+/// A strict-priority bank never reorders within a queue and always
+/// serves a lower-index queue before a higher one.
+#[test]
+fn priority_bank_strictness() {
+    let mut rng = StdRng::seed_from_u64(0x5e7_0003);
+    for case in 0..CASES {
+        let ops = arb_ops(&mut rng, 200);
         let nq = 4usize;
         let mut bank = PriorityBank::new(nq, 1_000_000);
         let mut drops = Vec::new();
@@ -76,7 +107,7 @@ proptest! {
             p.seq = i as u64;
             bank.enqueue_to((*class as usize) % nq, p, SimTime::ZERO, &mut drops);
         }
-        prop_assert!(drops.is_empty());
+        assert!(drops.is_empty(), "case {case}");
         // Drain fully: output must be exactly queue 0's FIFO order, then
         // queue 1's, etc. (no arrivals interleave in this test).
         let mut out: Vec<u64> = Vec::new();
@@ -91,17 +122,21 @@ proptest! {
                 }
             }
         }
-        prop_assert_eq!(out, expected);
+        assert_eq!(out, expected, "case {case}");
     }
+}
 
-    /// End-to-end engine conservation: arrivals = departures + drops, for
-    /// arbitrary CBR-ish workloads and link speeds.
-    #[test]
-    fn engine_conserves_packets(gap_us in 1u64..500,
-                                n in 1u64..500,
-                                size in 64u32..1500,
-                                mbps in 1u64..100,
-                                cap in 2_000u64..100_000) {
+/// End-to-end engine conservation: arrivals = departures + drops, for
+/// arbitrary CBR-ish workloads and link speeds.
+#[test]
+fn engine_conserves_packets() {
+    let mut rng = StdRng::seed_from_u64(0x5e7_0004);
+    for case in 0..CASES {
+        let gap_us = rng.gen_range(1u64..500);
+        let n = rng.gen_range(1u64..500);
+        let size = rng.gen_range(64u32..1500);
+        let mbps = rng.gen_range(1u64..100);
+        let cap = rng.gen_range(2_000u64..100_000);
         let pkts: Vec<Packet> = (0..n)
             .map(|i| Packet::new(SimTime::from_micros(i * gap_us)).with_size(size))
             .collect();
@@ -110,19 +145,31 @@ proptest! {
         let cfg = EngineConfig::new(Bandwidth::from_mbps(mbps))
             .with_stats_interval(SimDuration::from_millis(100));
         let res = accturbo_netsim::run(&mut src, &mut sw, &cfg);
-        prop_assert_eq!(res.arrivals, n);
-        prop_assert_eq!(res.departures + res.drops, n);
-        prop_assert_eq!(res.stats.total_departed(ClassId::BENIGN).pkts, res.departures);
-        prop_assert_eq!(res.stats.total_dropped(ClassId::BENIGN).pkts, res.drops);
+        assert_eq!(res.arrivals, n, "case {case}");
+        assert_eq!(res.departures + res.drops, n, "case {case}");
+        assert_eq!(
+            res.stats.total_departed(ClassId::BENIGN).pkts,
+            res.departures,
+            "case {case}"
+        );
+        assert_eq!(
+            res.stats.total_dropped(ClassId::BENIGN).pkts,
+            res.drops,
+            "case {case}"
+        );
     }
+}
 
-    /// The engine never beats the speed of light: departed bytes per stats
-    /// bucket can never exceed the link capacity (plus one packet of
-    /// boundary slop).
-    #[test]
-    fn engine_respects_link_capacity(gap_us in 1u64..100,
-                                     n in 100u64..2_000,
-                                     mbps in 1u64..50) {
+/// The engine never beats the speed of light: departed bytes per stats
+/// bucket can never exceed the link capacity (plus one packet of
+/// boundary slop).
+#[test]
+fn engine_respects_link_capacity() {
+    let mut rng = StdRng::seed_from_u64(0x5e7_0005);
+    for case in 0..CASES {
+        let gap_us = rng.gen_range(1u64..100);
+        let n = rng.gen_range(100u64..2_000);
+        let mbps = rng.gen_range(1u64..50);
         let size = 1000u32;
         let pkts: Vec<Packet> = (0..n)
             .map(|i| Packet::new(SimTime::from_micros(i * gap_us)).with_size(size))
@@ -135,8 +182,10 @@ proptest! {
         let cap_bits = mbps as f64 * 1e6 * interval.as_secs_f64();
         for b in 0..res.stats.num_buckets() {
             let bits = res.stats.throughput_bps(b, ClassId::BENIGN) * interval.as_secs_f64();
-            prop_assert!(bits <= cap_bits + (size as f64 * 8.0),
-                "bucket {} carried {} bits > cap {}", b, bits, cap_bits);
+            assert!(
+                bits <= cap_bits + (size as f64 * 8.0),
+                "case {case}: bucket {b} carried {bits} bits > cap {cap_bits}"
+            );
         }
     }
 }

@@ -1,0 +1,66 @@
+//! # accturbo-obs
+//!
+//! The in-tree observability core: structured event tracing, a metrics
+//! registry, and wall-clock span timing for the datapath, clustering and
+//! control plane. Dependency-free by construction (the build environment
+//! has no crates.io access) and dependency-*root* by design: `netsim`,
+//! `clustering`, `sched`, `acc` and `core` all thread [`Tracer`] hooks,
+//! so this crate must sit below all of them in the workspace DAG.
+//! Downstream consumers use it as `accturbo_telemetry::obs`, which
+//! re-exports this crate wholesale.
+//!
+//! Three pillars:
+//!
+//! * [`event`] / [`tracer`] — a structured record of datapath decisions
+//!   (enqueue/drop with queue id, cluster seed/assign/merge, priority
+//!   remap, control tick, pushback rate-limit change), emitted through
+//!   the [`Tracer`] trait. [`NoopTracer`] is the default and compiles to
+//!   nothing on the hot path; [`RingTracer`] buffers the last N events
+//!   and exports JSONL.
+//! * [`metrics`] — named counters, gauges, and fixed-bucket histograms,
+//!   snapshotted per stats interval into JSONL lines.
+//! * [`span`] — wall-clock self-profiling of pipeline stages
+//!   (classify/rank/enqueue) using `std::time::Instant`.
+//!
+//! Timestamps are raw `u64` simulated nanoseconds rather than `SimTime`
+//! so this crate stays below `netsim` in the dependency graph.
+
+#![deny(missing_docs)]
+
+pub mod event;
+pub mod metrics;
+pub mod span;
+pub mod tracer;
+
+pub use event::{Event, OwnedEvent};
+pub use metrics::{CounterId, GaugeId, Histogram, HistogramId, MetricsHandle, Registry};
+pub use span::{StageClock, StageId};
+pub use tracer::{shared, NoopTracer, RingTracer, SharedTracer, Tracer};
+
+/// Escapes a string for inclusion in a JSON string literal.
+pub(crate) fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Formats an `f64` as JSON (finite → shortest form; non-finite → null,
+/// since JSON has no Infinity/NaN literals).
+pub(crate) fn json_f64(x: f64, out: &mut String) {
+    use std::fmt::Write as _;
+    if x.is_finite() {
+        let _ = write!(out, "{x}");
+    } else {
+        out.push_str("null");
+    }
+}

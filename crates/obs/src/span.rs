@@ -1,0 +1,161 @@
+//! Wall-clock span timing for pipeline stages.
+//!
+//! [`StageClock`] accumulates real (host) elapsed time per named stage
+//! using `std::time::Instant`. Unlike the event trace and metrics —
+//! which live in simulated time — this measures how long the *host*
+//! spends in each hot-path stage (classify, rank, enqueue), which is
+//! what the <2% NoopTracer overhead bound is stated against.
+
+use std::time::{Duration, Instant};
+
+/// Handle to a registered stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageId(usize);
+
+#[derive(Debug, Clone, Default)]
+struct Stage {
+    name: String,
+    total: Duration,
+    calls: u64,
+}
+
+/// Accumulates wall-clock time per pipeline stage.
+#[derive(Debug, Clone, Default)]
+pub struct StageClock {
+    stages: Vec<Stage>,
+    enabled: bool,
+}
+
+impl StageClock {
+    /// Creates a clock. When `enabled` is false, [`StageClock::time`]
+    /// runs its closure without touching `Instant` at all.
+    pub fn new(enabled: bool) -> Self {
+        StageClock {
+            stages: Vec::new(),
+            enabled,
+        }
+    }
+
+    /// Whether timing is active.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Turns timing on or off; accumulated totals are kept.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Registers (or re-resolves) a stage by name.
+    pub fn stage(&mut self, name: &str) -> StageId {
+        if let Some(i) = self.stages.iter().position(|s| s.name == name) {
+            return StageId(i);
+        }
+        self.stages.push(Stage {
+            name: name.to_string(),
+            ..Stage::default()
+        });
+        StageId(self.stages.len() - 1)
+    }
+
+    /// Runs `f`, attributing its wall-clock time to `stage`.
+    #[inline]
+    pub fn time<R>(&mut self, stage: StageId, f: impl FnOnce() -> R) -> R {
+        if !self.enabled {
+            return f();
+        }
+        let start = Instant::now();
+        let r = f();
+        let s = &mut self.stages[stage.0];
+        s.total += start.elapsed();
+        s.calls += 1;
+        r
+    }
+
+    /// Manually attributes an already-measured duration to `stage`.
+    #[inline]
+    pub fn add(&mut self, stage: StageId, elapsed: Duration) {
+        if self.enabled {
+            let s = &mut self.stages[stage.0];
+            s.total += elapsed;
+            s.calls += 1;
+        }
+    }
+
+    /// Total time attributed to `stage`.
+    pub fn total(&self, stage: StageId) -> Duration {
+        self.stages[stage.0].total
+    }
+
+    /// Call count for `stage`.
+    pub fn calls(&self, stage: StageId) -> u64 {
+        self.stages[stage.0].calls
+    }
+
+    /// `(name, total, calls)` for every registered stage, in
+    /// registration order.
+    pub fn report(&self) -> Vec<(&str, Duration, u64)> {
+        self.stages
+            .iter()
+            .map(|s| (s.name.as_str(), s.total, s.calls))
+            .collect()
+    }
+
+    /// A human-readable multi-line summary (empty string when nothing
+    /// was timed).
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        for s in &self.stages {
+            if s.calls == 0 {
+                continue;
+            }
+            let per_call = s.total.as_nanos() as f64 / s.calls as f64;
+            out.push_str(&format!(
+                "  {:<12} {:>10.3} ms total  {:>10} calls  {:>8.1} ns/call\n",
+                s.name,
+                s.total.as_secs_f64() * 1e3,
+                s.calls,
+                per_call
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_clock_records_nothing() {
+        let mut c = StageClock::new(false);
+        let s = c.stage("classify");
+        let v = c.time(s, || 41 + 1);
+        assert_eq!(v, 42);
+        assert_eq!(c.calls(s), 0);
+        assert_eq!(c.total(s), Duration::ZERO);
+    }
+
+    #[test]
+    fn enabled_clock_accumulates() {
+        let mut c = StageClock::new(true);
+        let s = c.stage("rank");
+        for _ in 0..3 {
+            c.time(s, || std::hint::black_box(1u64 + 1));
+        }
+        assert_eq!(c.calls(s), 3);
+        assert!(c.total(s) > Duration::ZERO);
+        let report = c.report();
+        assert_eq!(report.len(), 1);
+        assert_eq!(report[0].0, "rank");
+        assert!(c.summary().contains("rank"));
+    }
+
+    #[test]
+    fn stage_names_deduplicate() {
+        let mut c = StageClock::new(true);
+        let a = c.stage("enqueue");
+        let b = c.stage("enqueue");
+        assert_eq!(a, b);
+    }
+}

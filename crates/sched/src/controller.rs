@@ -9,6 +9,7 @@
 
 use crate::rank::RankingAlgorithm;
 use accturbo_clustering::WindowStats;
+use accturbo_obs::{Event, Tracer};
 use std::collections::HashMap;
 
 /// Derives cluster → queue mappings from polled statistics.
@@ -85,6 +86,22 @@ impl Controller {
         }
         queues
     }
+
+    /// Like [`assign_queues`](Self::assign_queues), but emits a
+    /// `priority_remap` trace event at `now_ns` carrying the new mapping.
+    pub fn assign_queues_traced<T: Tracer + ?Sized>(
+        &self,
+        stats: &[WindowStats],
+        sizes: &[Option<f64>],
+        tracer: &mut T,
+        now_ns: u64,
+    ) -> Vec<usize> {
+        let queues = self.assign_queues(stats, sizes);
+        if tracer.enabled() {
+            tracer.record(now_ns, &Event::PriorityRemap { mapping: &queues });
+        }
+        queues
+    }
 }
 
 #[cfg(test)]
@@ -153,5 +170,21 @@ mod tests {
     #[should_panic(expected = "at least one priority queue")]
     fn zero_queues_rejected() {
         let _ = Controller::new(RankingAlgorithm::Throughput, 0);
+    }
+
+    #[test]
+    fn traced_assignment_records_the_mapping() {
+        use accturbo_obs::RingTracer;
+        let c = Controller::new(RankingAlgorithm::Throughput, 4);
+        let s = stats(&[(10, 1_000), (10, 100_000), (10, 10_000), (10, 500)]);
+        let sizes = vec![Some(1.0); 4];
+        let mut t = RingTracer::new(8);
+        let q = c.assign_queues_traced(&s, &sizes, &mut t, 7);
+        assert_eq!(q, c.assign_queues(&s, &sizes));
+        let jsonl = t.to_jsonl();
+        assert_eq!(
+            jsonl,
+            "{\"ts\":7,\"ev\":\"priority_remap\",\"mapping\":[1,3,2,0]}\n"
+        );
     }
 }

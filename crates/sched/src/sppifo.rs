@@ -142,8 +142,7 @@ mod tests {
         // After the adaptation warms up, all rank-1 packets leave before
         // rank-10 packets (allowing the first few inversions).
         let first_high = out.iter().position(|&r| r == 10).expect("highs exist");
-        let lows_after_first_high =
-            out[first_high..].iter().filter(|&&r| r == 1).count();
+        let lows_after_first_high = out[first_high..].iter().filter(|&&r| r == 1).count();
         assert!(
             lows_after_first_high <= 2,
             "{lows_after_first_high} low-rank packets scheduled behind high ranks"
@@ -172,10 +171,16 @@ mod tests {
         let mut x = 12345u64;
         for i in 0..5_000u64 {
             // Deterministic pseudo-random ranks.
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             sp.enqueue_ranked(pkt(i), x % 1000, SimTime::ZERO, &mut drops);
             for w in sp.bounds().windows(2) {
-                assert!(w[0] <= w[1], "bounds must be nondecreasing: {:?}", sp.bounds());
+                assert!(
+                    w[0] <= w[1],
+                    "bounds must be nondecreasing: {:?}",
+                    sp.bounds()
+                );
             }
             if i % 3 == 0 {
                 sp.dequeue(SimTime::ZERO);
@@ -192,7 +197,9 @@ mod tests {
         let mut ranks = Vec::new();
         let mut x = 7u64;
         for i in 0..2_000u64 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let r = x % 256;
             ranks.push(r);
             sp.enqueue_ranked(pkt(i), r, SimTime::ZERO, &mut drops);

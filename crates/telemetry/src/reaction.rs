@@ -45,7 +45,9 @@ pub fn benign_recovery_time(
         .find(|&b| stats.throughput_bps(b, ClassId::BENIGN) >= target)?;
     let recovered_at = SimTime::from_nanos(recovered as u64 * interval.as_nanos());
     Some(SimTime::from_nanos(
-        recovered_at.as_nanos().saturating_sub(attack_start.as_nanos()),
+        recovered_at
+            .as_nanos()
+            .saturating_sub(attack_start.as_nanos()),
     ))
 }
 

@@ -103,7 +103,10 @@ mod tests {
     fn csv_round_trip_shape() {
         let s = csv(
             &["t", "v"],
-            &[vec!["0".into(), "1.5".into()], vec!["1".into(), "2.5".into()]],
+            &[
+                vec!["0".into(), "1.5".into()],
+                vec!["1".into(), "2.5".into()],
+            ],
         );
         assert_eq!(s, "t,v\n0,1.5\n1,2.5\n");
     }

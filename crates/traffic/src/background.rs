@@ -12,8 +12,7 @@
 use crate::cbr::FlowTemplate;
 use accturbo_netsim::packet::proto;
 use accturbo_netsim::{ClassId, Packet, PacketSource, SimDuration, SimTime};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use accturbo_prng::{Rng, SeedableRng, StdRng};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::net::Ipv4Addr;
@@ -180,7 +179,7 @@ impl BackgroundSource {
             .min(100_000.0 / size as f64);
         let gap = SimDuration::from_nanos((1e9 / pps) as u64);
         let ttl = *[32u8, 48, 52, 57, 64, 110, 118, 128]
-            .get(self.rng.gen_range(0..8))
+            .get(self.rng.gen_range(0usize..8))
             .expect("index in range");
         let template = FlowTemplate {
             src,

@@ -126,7 +126,10 @@ impl RampSource {
     ///
     /// Panics when `steps` is empty or unsorted.
     pub fn new(template: FlowTemplate, steps: Vec<RateStep>, end: SimTime) -> Self {
-        assert!(!steps.is_empty(), "rate profile must have at least one step");
+        assert!(
+            !steps.is_empty(),
+            "rate profile must have at least one step"
+        );
         assert!(
             steps.windows(2).all(|w| w[0].at < w[1].at),
             "rate profile must be strictly time-sorted"
@@ -198,12 +201,7 @@ mod tests {
     #[test]
     fn cbr_hits_target_rate() {
         // 1 Mbps of 1000-byte packets for 1 s = 125 packets.
-        let mut src = CbrSource::new(
-            template(1),
-            1_000_000,
-            SimTime::ZERO,
-            SimTime::from_secs(1),
-        );
+        let mut src = CbrSource::new(template(1), 1_000_000, SimTime::ZERO, SimTime::from_secs(1));
         let pkts: Vec<Packet> = std::iter::from_fn(|| src.next_packet()).collect();
         assert_eq!(pkts.len(), 125);
         assert!(pkts.windows(2).all(|w| w[0].arrival < w[1].arrival));
@@ -228,13 +226,22 @@ mod tests {
         let mut src = RampSource::new(
             template(5),
             vec![
-                RateStep { at: SimTime::ZERO, rate_bps: 1_000_000 },
-                RateStep { at: SimTime::from_secs(1), rate_bps: 4_000_000 },
+                RateStep {
+                    at: SimTime::ZERO,
+                    rate_bps: 1_000_000,
+                },
+                RateStep {
+                    at: SimTime::from_secs(1),
+                    rate_bps: 4_000_000,
+                },
             ],
             SimTime::from_secs(2),
         );
         let pkts: Vec<Packet> = std::iter::from_fn(|| src.next_packet()).collect();
-        let first_second = pkts.iter().filter(|p| p.arrival < SimTime::from_secs(1)).count();
+        let first_second = pkts
+            .iter()
+            .filter(|p| p.arrival < SimTime::from_secs(1))
+            .count();
         let second_second = pkts.len() - first_second;
         assert_eq!(first_second, 125);
         assert_eq!(second_second, 500);
@@ -245,9 +252,18 @@ mod tests {
         let mut src = RampSource::new(
             template(5),
             vec![
-                RateStep { at: SimTime::ZERO, rate_bps: 1_000_000 },
-                RateStep { at: SimTime::from_secs(1), rate_bps: 0 },
-                RateStep { at: SimTime::from_secs(2), rate_bps: 1_000_000 },
+                RateStep {
+                    at: SimTime::ZERO,
+                    rate_bps: 1_000_000,
+                },
+                RateStep {
+                    at: SimTime::from_secs(1),
+                    rate_bps: 0,
+                },
+                RateStep {
+                    at: SimTime::from_secs(2),
+                    rate_bps: 1_000_000,
+                },
             ],
             SimTime::from_secs(3),
         );
@@ -263,8 +279,14 @@ mod tests {
         let mut src = RampSource::new(
             template(5),
             vec![
-                RateStep { at: SimTime::ZERO, rate_bps: 1_000_000 },
-                RateStep { at: SimTime::from_secs(1), rate_bps: 0 },
+                RateStep {
+                    at: SimTime::ZERO,
+                    rate_bps: 1_000_000,
+                },
+                RateStep {
+                    at: SimTime::from_secs(1),
+                    rate_bps: 0,
+                },
             ],
             SimTime::from_secs(10),
         );
@@ -278,8 +300,14 @@ mod tests {
         let _ = RampSource::new(
             template(5),
             vec![
-                RateStep { at: SimTime::from_secs(1), rate_bps: 1 },
-                RateStep { at: SimTime::ZERO, rate_bps: 1 },
+                RateStep {
+                    at: SimTime::from_secs(1),
+                    rate_bps: 1,
+                },
+                RateStep {
+                    at: SimTime::ZERO,
+                    rate_bps: 1,
+                },
             ],
             SimTime::from_secs(2),
         );

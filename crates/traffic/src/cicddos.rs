@@ -175,9 +175,6 @@ mod tests {
     #[test]
     fn total_duration_accounts_for_everything() {
         let cfg = CicDdosConfig::default();
-        assert_eq!(
-            cfg.total_duration(),
-            SimDuration::from_secs(4 + 10 * 12)
-        );
+        assert_eq!(cfg.total_duration(), SimDuration::from_secs(4 + 10 * 12));
     }
 }

@@ -6,8 +6,7 @@
 //! [`MapSource`] applies an arbitrary deterministic rewrite.
 
 use accturbo_netsim::{Packet, PacketSource};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use accturbo_prng::{Rng, SeedableRng, StdRng};
 
 /// Which fields to randomize, and over what ranges.
 #[derive(Debug, Clone, Default)]
@@ -55,7 +54,11 @@ impl<S: PacketSource> SpreadSource<S> {
         if bits == 0 {
             return addr;
         }
-        let mask = if bits >= 32 { u32::MAX } else { (1u32 << bits) - 1 };
+        let mask = if bits >= 32 {
+            u32::MAX
+        } else {
+            (1u32 << bits) - 1
+        };
         (addr & !mask) | (rng.gen::<u32>() & mask)
     }
 }

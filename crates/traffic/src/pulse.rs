@@ -117,11 +117,9 @@ mod tests {
         assert_eq!(wave.pulses[1].start, SimTime::from_secs(30));
         assert_eq!(wave.pulses[3].start, SimTime::from_secs(70));
         // Distinct victims within the subnet, distinct ports, distinct classes.
-        let victims: std::collections::HashSet<_> =
-            wave.pulses.iter().map(|p| p.victim).collect();
+        let victims: std::collections::HashSet<_> = wave.pulses.iter().map(|p| p.victim).collect();
         let ports: std::collections::HashSet<_> = wave.pulses.iter().map(|p| p.dport).collect();
-        let classes: std::collections::HashSet<_> =
-            wave.pulses.iter().map(|p| p.class).collect();
+        let classes: std::collections::HashSet<_> = wave.pulses.iter().map(|p| p.class).collect();
         assert_eq!(victims.len(), 4);
         assert_eq!(ports.len(), 4);
         assert_eq!(classes.len(), 4);

@@ -221,17 +221,28 @@ mod tests {
     #[test]
     fn fig2_attack_profile() {
         let pkts = drain(fig2_source(LINK, 1));
-        assert_eq!(rate_of(&pkts, ATTACK_CLASS, 0, 12), 0.0, "silent before 13s");
+        assert_eq!(
+            rate_of(&pkts, ATTACK_CLASS, 0, 12),
+            0.0,
+            "silent before 13s"
+        );
         let peak = rate_of(&pkts, ATTACK_CLASS, 20, 25);
         assert!(
             (peak - 4.0 * LINK as f64).abs() / (4.0 * LINK as f64) < 0.1,
             "peak {peak:.0}"
         );
-        assert_eq!(rate_of(&pkts, ATTACK_CLASS, 32, 50), 0.0, "silent after ramp-down");
+        assert_eq!(
+            rate_of(&pkts, ATTACK_CLASS, 32, 50),
+            0.0,
+            "silent after ramp-down"
+        );
         // Ramp is monotone up between 13 and 19.
         let early = rate_of(&pkts, ATTACK_CLASS, 13, 15);
         let late = rate_of(&pkts, ATTACK_CLASS, 17, 19);
-        assert!(late > early * 1.5, "ramp should grow: {early:.0} -> {late:.0}");
+        assert!(
+            late > early * 1.5,
+            "ramp should grow: {early:.0} -> {late:.0}"
+        );
     }
 
     #[test]

@@ -12,8 +12,7 @@
 
 use accturbo_netsim::packet::proto;
 use accturbo_netsim::{ClassId, Packet, PacketSource, SimDuration, SimTime};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use accturbo_prng::{Rng, SeedableRng, StdRng};
 use std::net::Ipv4Addr;
 
 /// The attack vectors of the paper's simulation dataset.
@@ -191,10 +190,7 @@ impl AttackConfig {
             seed,
             carpet_bombing: false,
             source_spoofing: false,
-            randomize_dport: matches!(
-                vector,
-                AttackVector::UdpFlood | AttackVector::UdpLag
-            ),
+            randomize_dport: matches!(vector, AttackVector::UdpFlood | AttackVector::UdpLag),
             single_flow: false,
         }
     }
@@ -323,7 +319,12 @@ impl AttackSource {
                 // Exploitation vectors: botnet-style sources from a handful
                 // of infected /16s (Mirai-like: shared source subnets).
                 let subnet = self.rng.gen_range(0..24u8);
-                Ipv4Addr::new(100 + subnet / 8, 64 + subnet, self.rng.gen(), self.rng.gen())
+                Ipv4Addr::new(
+                    100 + subnet / 8,
+                    64 + subnet,
+                    self.rng.gen(),
+                    self.rng.gen(),
+                )
             }
         }
     }
@@ -448,7 +449,11 @@ mod tests {
             let bytes: u64 = pkts.iter().map(|p| p.size as u64).sum();
             let rate = bytes as f64 * 8.0;
             let err = (rate - 1e7).abs() / 1e7;
-            assert!(err < 0.1, "{}: rate {rate:.0} off target ({err:.2})", vector.name());
+            assert!(
+                err < 0.1,
+                "{}: rate {rate:.0} off target ({err:.2})",
+                vector.name()
+            );
         }
     }
 
@@ -470,7 +475,12 @@ mod tests {
         for vector in [AttackVector::Mssql, AttackVector::Ssdp] {
             let pkts = collect(basic(vector));
             let sports: std::collections::HashSet<_> = pkts.iter().map(|p| p.sport).collect();
-            assert!(sports.len() > 100, "{}: {} sports", vector.name(), sports.len());
+            assert!(
+                sports.len() > 100,
+                "{}: {} sports",
+                vector.name(),
+                sports.len()
+            );
         }
     }
 
@@ -540,12 +550,16 @@ mod tests {
     #[test]
     fn extended_vectors_have_their_signatures() {
         let memcached = collect(basic(AttackVector::Memcached));
-        assert!(memcached.iter().all(|p| p.sport == 11_211 && p.size == 1428));
+        assert!(memcached
+            .iter()
+            .all(|p| p.sport == 11_211 && p.size == 1428));
         let ldap = collect(basic(AttackVector::Ldap));
         assert!(ldap.iter().all(|p| p.sport == 389));
         assert!(ldap.iter().all(|p| (1000..1400).contains(&p.size)));
         let ack = collect(basic(AttackVector::AckFlood));
-        assert!(ack.iter().all(|p| p.proto == proto::TCP && p.tcp_flags == 0x10));
+        assert!(ack
+            .iter()
+            .all(|p| p.proto == proto::TCP && p.tcp_flags == 0x10));
         assert!(ack.iter().all(|p| p.size == 40 && p.dport == 80));
         let icmp = collect(basic(AttackVector::IcmpFlood));
         assert!(icmp.iter().all(|p| p.proto == proto::ICMP));
@@ -567,8 +581,7 @@ mod tests {
     #[test]
     fn single_flow_shares_one_five_tuple() {
         let pkts = collect(basic(AttackVector::UdpFlood).with_single_flow());
-        let tuples: std::collections::HashSet<_> =
-            pkts.iter().map(|p| p.five_tuple()).collect();
+        let tuples: std::collections::HashSet<_> = pkts.iter().map(|p| p.five_tuple()).collect();
         assert_eq!(tuples.len(), 1);
         let sizes: std::collections::HashSet<_> = pkts.iter().map(|p| p.size).collect();
         assert_eq!(sizes.len(), 1);

@@ -15,7 +15,11 @@ use accturbo::traffic::{AttackVector, CicDdosConfig};
 
 fn day() -> CicDdosConfig {
     CicDdosConfig {
-        vectors: vec![AttackVector::Ntp, AttackVector::Ssdp, AttackVector::UdpFlood],
+        vectors: vec![
+            AttackVector::Ntp,
+            AttackVector::Ssdp,
+            AttackVector::UdpFlood,
+        ],
         episode: SimDuration::from_secs(4),
         gap: SimDuration::from_secs(2),
         ..CicDdosConfig::default()
@@ -47,12 +51,32 @@ fn main() {
         "strategy", "purity%", "recall-benign%"
     );
     for (name, distance, search) in [
-        ("Manhattan / fast (deploy)", DistanceKind::Manhattan, SearchKind::Fast),
-        ("Manhattan / exhaustive", DistanceKind::Manhattan, SearchKind::Exhaustive),
+        (
+            "Manhattan / fast (deploy)",
+            DistanceKind::Manhattan,
+            SearchKind::Fast,
+        ),
+        (
+            "Manhattan / exhaustive",
+            DistanceKind::Manhattan,
+            SearchKind::Exhaustive,
+        ),
         ("Anime / fast", DistanceKind::Anime, SearchKind::Fast),
-        ("Anime / exhaustive", DistanceKind::Anime, SearchKind::Exhaustive),
-        ("Euclidean / fast", DistanceKind::Euclidean, SearchKind::Fast),
-        ("Euclidean / exhaustive", DistanceKind::Euclidean, SearchKind::Exhaustive),
+        (
+            "Anime / exhaustive",
+            DistanceKind::Anime,
+            SearchKind::Exhaustive,
+        ),
+        (
+            "Euclidean / fast",
+            DistanceKind::Euclidean,
+            SearchKind::Fast,
+        ),
+        (
+            "Euclidean / exhaustive",
+            DistanceKind::Euclidean,
+            SearchKind::Exhaustive,
+        ),
     ] {
         let mut cfg = ClusteringConfig::deployable(10, FeatureSet::simulation_default());
         cfg.distance = distance;
@@ -62,7 +86,10 @@ fn main() {
     }
 
     println!("\ncluster count sweep (Manhattan / fast):");
-    println!("{:>9} {:>8} {:>14}", "clusters", "purity%", "recall-benign%");
+    println!(
+        "{:>9} {:>8} {:>14}",
+        "clusters", "purity%", "recall-benign%"
+    );
     for k in [2usize, 4, 6, 8, 10, 16] {
         let cfg = ClusteringConfig::deployable(k, FeatureSet::simulation_default());
         let (purity, recall) = evaluate(cfg);
@@ -96,11 +123,16 @@ fn main() {
         let Some(Repr::Range(cluster)) = clusterer.repr(k) else {
             continue;
         };
-        print!("  cluster {k} (benign {:>6}, attack {:>6}): ", counts[k].0, counts[k].1);
+        print!(
+            "  cluster {k} (benign {:>6}, attack {:>6}): ",
+            counts[k].0, counts[k].1
+        );
         for (spec, dim) in features.specs().iter().zip(cluster.dims()) {
             match dim {
                 Dim::Range { min, max } => print!("{}=[{min},{max}] ", spec.feature.name()),
-                Dim::Set(set) => print!("{}={{{} values}} ", spec.feature.name(), set.cardinality()),
+                Dim::Set(set) => {
+                    print!("{}={{{} values}} ", spec.feature.name(), set.cardinality())
+                }
             }
         }
         println!();

@@ -13,14 +13,18 @@
 use accturbo::clustering::FeatureSet;
 use accturbo::core::{AccTurboConfig, AccTurboSwitch};
 use accturbo::netsim::{
-    run, Bandwidth, ClassId, EngineConfig, MergedSource, PacketSource, SimDuration, SimTime,
+    run, run_instrumented, Bandwidth, ClassId, EngineConfig, MergedSource, PacketSource,
+    SimDuration, SimTime,
 };
+use accturbo::obs::{MetricsHandle, NoopTracer, Registry};
 use accturbo::sched::RankingAlgorithm;
 use accturbo::traffic::{
     AttackConfig, AttackSource, AttackVector, BackgroundConfig, BackgroundSource, CbrSource,
     FlowTemplate, Spread, SpreadSource,
 };
+use std::cell::RefCell;
 use std::net::Ipv4Addr;
+use std::rc::Rc;
 
 const LINK_BPS: u64 = 18_000_000;
 const SECS: u64 = 30;
@@ -40,9 +44,12 @@ fn workload() -> MergedSource {
         )
         .with_single_flow(),
     ));
-    let background: Box<dyn PacketSource> = Box::new(BackgroundSource::new(
-        BackgroundConfig::new(6_000_000, SimTime::ZERO, end, 11),
-    ));
+    let background: Box<dyn PacketSource> = Box::new(BackgroundSource::new(BackgroundConfig::new(
+        6_000_000,
+        SimTime::ZERO,
+        end,
+        11,
+    )));
     // The legitimate backup transfer: high rate, spread over its /24.
     let backup = CbrSource::new(
         FlowTemplate::udp(
@@ -115,12 +122,89 @@ fn run_once(pin: Option<usize>) -> (f64, f64) {
     (res.stats.benign_drop_pct(), res.stats.attack_drop_pct())
 }
 
+/// Renders the registry's per-interval snapshots as a console table:
+/// one row per control period, cumulative counters shown as deltas so
+/// the operator sees rates, not totals. The snapshot JSONL is flat
+/// (`{"ts":..,"metric":"..","type":"..","value":..}`), so a couple of
+/// substring extractions suffice — no JSON parser needed.
+fn print_live_metrics(registry: &Registry, period: SimDuration) {
+    fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+        let pat = format!("\"{key}\":");
+        let start = line.find(&pat)? + pat.len();
+        let rest = &line[start..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(rest[..end].trim_matches('"'))
+    }
+
+    println!(
+        "\nlive metrics (one row per {} ms control period; pkt counts are per-period):",
+        period.as_secs_f64() * 1e3
+    );
+    println!(
+        "{:>6}  {:>8}  {:>8}  {:>8}  {:>8}",
+        "t(s)", "arrived", "dropped", "enqueued", "backlog"
+    );
+    let (mut ts_prev, mut row) = (None::<u64>, [0.0f64; 4]);
+    let (mut prev, mut have_row) = ([0.0f64; 3], false);
+    let flush = |ts: u64, row: &[f64; 4], prev: &mut [f64; 3]| {
+        println!(
+            "{:>6.2}  {:>8}  {:>8}  {:>8}  {:>8}",
+            ts as f64 / 1e9,
+            (row[0] - prev[0]) as u64,
+            (row[1] - prev[1]) as u64,
+            (row[2] - prev[2]) as u64,
+            row[3] as u64,
+        );
+        *prev = [row[0], row[1], row[2]];
+    };
+    for line in registry.to_jsonl().lines() {
+        let (Some(ts), Some(metric), Some(value)) = (
+            field(line, "ts"),
+            field(line, "metric"),
+            field(line, "value"),
+        ) else {
+            continue;
+        };
+        let ts: u64 = ts.parse().unwrap_or(0);
+        if ts_prev.is_some_and(|p| p != ts) {
+            flush(ts_prev.unwrap(), &row, &mut prev);
+            have_row = false;
+        }
+        ts_prev = Some(ts);
+        let v: f64 = value.parse().unwrap_or(0.0);
+        match metric {
+            "engine_arrivals" => row[0] = v,
+            "engine_drops" => row[1] = v,
+            "switch_enqueues" => row[2] = v,
+            "backlog_pkts" => row[3] = v,
+            _ => continue,
+        }
+        have_row = true;
+    }
+    if let (Some(ts), true) = (ts_prev, have_row) {
+        flush(ts, &row, &mut prev);
+    }
+}
+
 fn main() {
-    // Console: watch the mapping evolve during the attack's onset.
+    // Console: watch the mapping evolve during the attack's onset, with
+    // a live metrics row per control period (snapshot interval aligned
+    // to the control period so each row covers exactly one remap).
+    let period = SimDuration::from_millis(250);
     let mut source = workload();
     let mut sw = switch();
-    run(&mut source, &mut sw, &engine(8));
-    println!("cluster -> queue mapping after 8 s: {:?} (queue 0 = best)", sw.mapping());
+    let metrics: MetricsHandle = Rc::new(RefCell::new(Registry::new()));
+    sw.set_metrics(Rc::clone(&metrics));
+    let cfg = EngineConfig::new(Bandwidth::from_bps(LINK_BPS))
+        .with_stats_interval(period)
+        .with_control_period(period)
+        .with_end_time(SimTime::from_secs(8));
+    run_instrumented(&mut source, &mut sw, &cfg, &mut NoopTracer, Some(&metrics));
+    println!(
+        "cluster -> queue mapping after 8 s: {:?} (queue 0 = best)",
+        sw.mapping()
+    );
+    print_live_metrics(&metrics.borrow(), period);
 
     let backup_cluster = find_backup_cluster();
     println!("backup /{BACKUP_NET:?}/24 traffic lives in cluster {backup_cluster}");

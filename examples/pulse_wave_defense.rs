@@ -23,9 +23,12 @@ const SECS: u64 = 100;
 
 fn workload() -> MergedSource {
     let end = SimTime::from_secs(SECS);
-    let background: Box<dyn PacketSource> = Box::new(BackgroundSource::new(
-        BackgroundConfig::new(7_000_000, SimTime::ZERO, end, 1),
-    ));
+    let background: Box<dyn PacketSource> = Box::new(BackgroundSource::new(BackgroundConfig::new(
+        7_000_000,
+        SimTime::ZERO,
+        end,
+        1,
+    )));
     // Four 10 s pulses at 4x the bottleneck, 10 s apart, each hitting a
     // different host and port of the victim /24.
     let pulses: Box<dyn PacketSource> = Box::new(
@@ -85,7 +88,10 @@ fn main() {
             .find(|&t| turbo_res.stats.attack_throughput_bps(t) < 0.5 * LINK_BPS as f64)
             .map(|t| format!("{}s", t - start))
             .unwrap_or_else(|| "none".into());
-        println!("  pulse {} (t={start}s): suppressed within {reaction}", pulse + 1);
+        println!(
+            "  pulse {} (t={start}s): suppressed within {reaction}",
+            pulse + 1
+        );
     }
 
     println!(

@@ -53,7 +53,10 @@ fn main() {
     let turbo_res = simulate(&mut turbo, Some(250));
 
     println!("benign traffic share of the link, per second:");
-    println!("{:>4} {:>8} {:>8} {:>10}", "t(s)", "FIFO", "ACC", "ACC-Turbo");
+    println!(
+        "{:>4} {:>8} {:>8} {:>10}",
+        "t(s)", "FIFO", "ACC", "ACC-Turbo"
+    );
     for t in 0..SECS as usize {
         let share = |res: &RunResult| -> f64 {
             (1..=4)
@@ -61,7 +64,11 @@ fn main() {
                 .sum::<f64>()
                 / LINK_BPS as f64
         };
-        let marker = if [5, 15, 25, 35].contains(&t) { " <- pulse" } else { "" };
+        let marker = if [5, 15, 25, 35].contains(&t) {
+            " <- pulse"
+        } else {
+            ""
+        };
         println!(
             "{t:>4} {:>8.2} {:>8.2} {:>10.2}{marker}",
             share(&fifo_res),

@@ -54,7 +54,10 @@ fn main() -> std::io::Result<()> {
     //    relabel Memcached-signature packets so the report can score the
     //    defense, exactly as one would label a captured attack trace.
     let (packets, stats) = accturbo::netsim::read_pcap(std::fs::File::open(&pcap_path)?)?;
-    println!("parsed {} packets ({} skipped)", stats.parsed, stats.skipped);
+    println!(
+        "parsed {} packets ({} skipped)",
+        stats.parsed, stats.skipped
+    );
     let labeled: Vec<Packet> = packets
         .into_iter()
         .map(|mut p| {
@@ -97,7 +100,14 @@ fn main() -> std::io::Result<()> {
     // Bonus: `pcap_source` plugs a capture straight into the engine.
     let (mut src, _) = pcap_source(std::fs::File::open(&pcap_path)?)?;
     let mut sw = SingleQueueSwitch::new(FifoQueue::new(512 * 1024));
-    let res = run(&mut src, &mut sw, &EngineConfig::new(Bandwidth::from_mbps(100)));
-    println!("uncongested sanity replay: {} in / {} out", res.arrivals, res.departures);
+    let res = run(
+        &mut src,
+        &mut sw,
+        &EngineConfig::new(Bandwidth::from_mbps(100)),
+    );
+    println!(
+        "uncongested sanity replay: {} in / {} out",
+        res.arrivals, res.departures
+    );
     Ok(())
 }

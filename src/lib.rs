@@ -22,6 +22,8 @@
 //! * [`acc`] — the classic-ACC baseline switch.
 //! * [`jaqen`] — the Jaqen baseline switch.
 //! * [`telemetry`] — scores, reaction times, report rendering.
+//! * [`obs`] — tracing, metrics, and span timing (also re-exported as
+//!   [`telemetry::obs`]).
 //!
 //! ## Quickstart
 //!
@@ -50,6 +52,7 @@ pub use accturbo_clustering as clustering;
 pub use accturbo_core as core;
 pub use accturbo_jaqen as jaqen;
 pub use accturbo_netsim as netsim;
+pub use accturbo_obs as obs;
 pub use accturbo_sched as sched;
 pub use accturbo_telemetry as telemetry;
 pub use accturbo_traffic as traffic;

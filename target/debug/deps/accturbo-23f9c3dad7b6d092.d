@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/accturbo-23f9c3dad7b6d092.d: src/lib.rs
+
+/root/repo/target/debug/deps/accturbo-23f9c3dad7b6d092: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/accturbo-420cce1d02c7c170.d: src/lib.rs
+
+/root/repo/target/debug/deps/libaccturbo-420cce1d02c7c170.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libaccturbo-420cce1d02c7c170.rmeta: src/lib.rs
+
+src/lib.rs:

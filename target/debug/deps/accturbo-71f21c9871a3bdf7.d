@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/accturbo-71f21c9871a3bdf7.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaccturbo-71f21c9871a3bdf7.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/accturbo-798ece21d714fb64.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaccturbo-798ece21d714fb64.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/accturbo-89a45e3795c9363f.d: src/lib.rs
+
+/root/repo/target/debug/deps/libaccturbo-89a45e3795c9363f.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libaccturbo-89a45e3795c9363f.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/accturbo-ec98f42c3c38d87b.d: src/lib.rs
+
+/root/repo/target/debug/deps/accturbo-ec98f42c3c38d87b: src/lib.rs
+
+src/lib.rs:

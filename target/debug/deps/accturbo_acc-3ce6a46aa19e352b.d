@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/accturbo_acc-3ce6a46aa19e352b.d: crates/acc/src/lib.rs crates/acc/src/config.rs crates/acc/src/prefix.rs crates/acc/src/pushback.rs crates/acc/src/ratelimit.rs crates/acc/src/sessions.rs crates/acc/src/switch.rs
+
+/root/repo/target/debug/deps/libaccturbo_acc-3ce6a46aa19e352b.rlib: crates/acc/src/lib.rs crates/acc/src/config.rs crates/acc/src/prefix.rs crates/acc/src/pushback.rs crates/acc/src/ratelimit.rs crates/acc/src/sessions.rs crates/acc/src/switch.rs
+
+/root/repo/target/debug/deps/libaccturbo_acc-3ce6a46aa19e352b.rmeta: crates/acc/src/lib.rs crates/acc/src/config.rs crates/acc/src/prefix.rs crates/acc/src/pushback.rs crates/acc/src/ratelimit.rs crates/acc/src/sessions.rs crates/acc/src/switch.rs
+
+crates/acc/src/lib.rs:
+crates/acc/src/config.rs:
+crates/acc/src/prefix.rs:
+crates/acc/src/pushback.rs:
+crates/acc/src/ratelimit.rs:
+crates/acc/src/sessions.rs:
+crates/acc/src/switch.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/accturbo_acc-8bc8630a916267a7.d: crates/acc/src/lib.rs crates/acc/src/config.rs crates/acc/src/prefix.rs crates/acc/src/pushback.rs crates/acc/src/ratelimit.rs crates/acc/src/sessions.rs crates/acc/src/switch.rs
+
+/root/repo/target/debug/deps/accturbo_acc-8bc8630a916267a7: crates/acc/src/lib.rs crates/acc/src/config.rs crates/acc/src/prefix.rs crates/acc/src/pushback.rs crates/acc/src/ratelimit.rs crates/acc/src/sessions.rs crates/acc/src/switch.rs
+
+crates/acc/src/lib.rs:
+crates/acc/src/config.rs:
+crates/acc/src/prefix.rs:
+crates/acc/src/pushback.rs:
+crates/acc/src/ratelimit.rs:
+crates/acc/src/sessions.rs:
+crates/acc/src/switch.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/accturbo_acc-acf33631ca06e52e.d: crates/acc/src/lib.rs crates/acc/src/config.rs crates/acc/src/prefix.rs crates/acc/src/pushback.rs crates/acc/src/ratelimit.rs crates/acc/src/sessions.rs crates/acc/src/switch.rs
+
+/root/repo/target/debug/deps/libaccturbo_acc-acf33631ca06e52e.rlib: crates/acc/src/lib.rs crates/acc/src/config.rs crates/acc/src/prefix.rs crates/acc/src/pushback.rs crates/acc/src/ratelimit.rs crates/acc/src/sessions.rs crates/acc/src/switch.rs
+
+/root/repo/target/debug/deps/libaccturbo_acc-acf33631ca06e52e.rmeta: crates/acc/src/lib.rs crates/acc/src/config.rs crates/acc/src/prefix.rs crates/acc/src/pushback.rs crates/acc/src/ratelimit.rs crates/acc/src/sessions.rs crates/acc/src/switch.rs
+
+crates/acc/src/lib.rs:
+crates/acc/src/config.rs:
+crates/acc/src/prefix.rs:
+crates/acc/src/pushback.rs:
+crates/acc/src/ratelimit.rs:
+crates/acc/src/sessions.rs:
+crates/acc/src/switch.rs:

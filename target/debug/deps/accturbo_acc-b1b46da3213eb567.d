@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/accturbo_acc-b1b46da3213eb567.d: crates/acc/src/lib.rs crates/acc/src/config.rs crates/acc/src/prefix.rs crates/acc/src/pushback.rs crates/acc/src/ratelimit.rs crates/acc/src/sessions.rs crates/acc/src/switch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaccturbo_acc-b1b46da3213eb567.rmeta: crates/acc/src/lib.rs crates/acc/src/config.rs crates/acc/src/prefix.rs crates/acc/src/pushback.rs crates/acc/src/ratelimit.rs crates/acc/src/sessions.rs crates/acc/src/switch.rs Cargo.toml
+
+crates/acc/src/lib.rs:
+crates/acc/src/config.rs:
+crates/acc/src/prefix.rs:
+crates/acc/src/pushback.rs:
+crates/acc/src/ratelimit.rs:
+crates/acc/src/sessions.rs:
+crates/acc/src/switch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

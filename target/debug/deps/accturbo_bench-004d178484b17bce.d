@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/accturbo_bench-004d178484b17bce.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/accturbo_bench-004d178484b17bce: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/accturbo_bench-0eaccfd2732107bc.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/accturbo_bench-0eaccfd2732107bc: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/accturbo_bench-2681a15f39a0cb5b.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaccturbo_bench-2681a15f39a0cb5b.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/accturbo_bench-6ed67609aa9a277c.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libaccturbo_bench-6ed67609aa9a277c.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libaccturbo_bench-6ed67609aa9a277c.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

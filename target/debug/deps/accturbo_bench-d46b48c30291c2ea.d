@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/accturbo_bench-d46b48c30291c2ea.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libaccturbo_bench-d46b48c30291c2ea.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libaccturbo_bench-d46b48c30291c2ea.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/accturbo_bench-dc2d4bb3e2a35966.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaccturbo_bench-dc2d4bb3e2a35966.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

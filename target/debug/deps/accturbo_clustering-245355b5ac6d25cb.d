@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/accturbo_clustering-245355b5ac6d25cb.d: crates/clustering/src/lib.rs crates/clustering/src/bloom.rs crates/clustering/src/cluster.rs crates/clustering/src/eval.rs crates/clustering/src/feature.rs crates/clustering/src/hybrid.rs crates/clustering/src/kmeans.rs crates/clustering/src/online.rs
+
+/root/repo/target/debug/deps/libaccturbo_clustering-245355b5ac6d25cb.rlib: crates/clustering/src/lib.rs crates/clustering/src/bloom.rs crates/clustering/src/cluster.rs crates/clustering/src/eval.rs crates/clustering/src/feature.rs crates/clustering/src/hybrid.rs crates/clustering/src/kmeans.rs crates/clustering/src/online.rs
+
+/root/repo/target/debug/deps/libaccturbo_clustering-245355b5ac6d25cb.rmeta: crates/clustering/src/lib.rs crates/clustering/src/bloom.rs crates/clustering/src/cluster.rs crates/clustering/src/eval.rs crates/clustering/src/feature.rs crates/clustering/src/hybrid.rs crates/clustering/src/kmeans.rs crates/clustering/src/online.rs
+
+crates/clustering/src/lib.rs:
+crates/clustering/src/bloom.rs:
+crates/clustering/src/cluster.rs:
+crates/clustering/src/eval.rs:
+crates/clustering/src/feature.rs:
+crates/clustering/src/hybrid.rs:
+crates/clustering/src/kmeans.rs:
+crates/clustering/src/online.rs:

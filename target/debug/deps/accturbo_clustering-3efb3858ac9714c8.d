@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/accturbo_clustering-3efb3858ac9714c8.d: crates/clustering/src/lib.rs crates/clustering/src/bloom.rs crates/clustering/src/cluster.rs crates/clustering/src/eval.rs crates/clustering/src/feature.rs crates/clustering/src/hybrid.rs crates/clustering/src/kmeans.rs crates/clustering/src/online.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaccturbo_clustering-3efb3858ac9714c8.rmeta: crates/clustering/src/lib.rs crates/clustering/src/bloom.rs crates/clustering/src/cluster.rs crates/clustering/src/eval.rs crates/clustering/src/feature.rs crates/clustering/src/hybrid.rs crates/clustering/src/kmeans.rs crates/clustering/src/online.rs Cargo.toml
+
+crates/clustering/src/lib.rs:
+crates/clustering/src/bloom.rs:
+crates/clustering/src/cluster.rs:
+crates/clustering/src/eval.rs:
+crates/clustering/src/feature.rs:
+crates/clustering/src/hybrid.rs:
+crates/clustering/src/kmeans.rs:
+crates/clustering/src/online.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

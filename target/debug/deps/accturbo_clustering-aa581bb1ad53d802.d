@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/accturbo_clustering-aa581bb1ad53d802.d: crates/clustering/src/lib.rs crates/clustering/src/bloom.rs crates/clustering/src/cluster.rs crates/clustering/src/eval.rs crates/clustering/src/feature.rs crates/clustering/src/hybrid.rs crates/clustering/src/kmeans.rs crates/clustering/src/online.rs
+
+/root/repo/target/debug/deps/accturbo_clustering-aa581bb1ad53d802: crates/clustering/src/lib.rs crates/clustering/src/bloom.rs crates/clustering/src/cluster.rs crates/clustering/src/eval.rs crates/clustering/src/feature.rs crates/clustering/src/hybrid.rs crates/clustering/src/kmeans.rs crates/clustering/src/online.rs
+
+crates/clustering/src/lib.rs:
+crates/clustering/src/bloom.rs:
+crates/clustering/src/cluster.rs:
+crates/clustering/src/eval.rs:
+crates/clustering/src/feature.rs:
+crates/clustering/src/hybrid.rs:
+crates/clustering/src/kmeans.rs:
+crates/clustering/src/online.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/accturbo_core-7c94073d1504e7c9.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/ideal.rs crates/core/src/pipeline.rs crates/core/src/ranked.rs crates/core/src/resources.rs
+
+/root/repo/target/debug/deps/accturbo_core-7c94073d1504e7c9: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/ideal.rs crates/core/src/pipeline.rs crates/core/src/ranked.rs crates/core/src/resources.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/ideal.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/ranked.rs:
+crates/core/src/resources.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/accturbo_core-e6f9bbf53057396d.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/ideal.rs crates/core/src/pipeline.rs crates/core/src/ranked.rs crates/core/src/resources.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaccturbo_core-e6f9bbf53057396d.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/ideal.rs crates/core/src/pipeline.rs crates/core/src/ranked.rs crates/core/src/resources.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/ideal.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/ranked.rs:
+crates/core/src/resources.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/accturbo_core-ec0d3c4d2664452b.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/ideal.rs crates/core/src/pipeline.rs crates/core/src/ranked.rs crates/core/src/resources.rs
+
+/root/repo/target/debug/deps/libaccturbo_core-ec0d3c4d2664452b.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/ideal.rs crates/core/src/pipeline.rs crates/core/src/ranked.rs crates/core/src/resources.rs
+
+/root/repo/target/debug/deps/libaccturbo_core-ec0d3c4d2664452b.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/ideal.rs crates/core/src/pipeline.rs crates/core/src/ranked.rs crates/core/src/resources.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/ideal.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/ranked.rs:
+crates/core/src/resources.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/accturbo_jaqen-3b37fb6d03de4a86.d: crates/jaqen/src/lib.rs crates/jaqen/src/sketch.rs crates/jaqen/src/switch.rs
+
+/root/repo/target/debug/deps/libaccturbo_jaqen-3b37fb6d03de4a86.rlib: crates/jaqen/src/lib.rs crates/jaqen/src/sketch.rs crates/jaqen/src/switch.rs
+
+/root/repo/target/debug/deps/libaccturbo_jaqen-3b37fb6d03de4a86.rmeta: crates/jaqen/src/lib.rs crates/jaqen/src/sketch.rs crates/jaqen/src/switch.rs
+
+crates/jaqen/src/lib.rs:
+crates/jaqen/src/sketch.rs:
+crates/jaqen/src/switch.rs:

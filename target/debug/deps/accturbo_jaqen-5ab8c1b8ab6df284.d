@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/accturbo_jaqen-5ab8c1b8ab6df284.d: crates/jaqen/src/lib.rs crates/jaqen/src/sketch.rs crates/jaqen/src/switch.rs
+
+/root/repo/target/debug/deps/accturbo_jaqen-5ab8c1b8ab6df284: crates/jaqen/src/lib.rs crates/jaqen/src/sketch.rs crates/jaqen/src/switch.rs
+
+crates/jaqen/src/lib.rs:
+crates/jaqen/src/sketch.rs:
+crates/jaqen/src/switch.rs:

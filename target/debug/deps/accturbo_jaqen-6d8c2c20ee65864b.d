@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/accturbo_jaqen-6d8c2c20ee65864b.d: crates/jaqen/src/lib.rs crates/jaqen/src/sketch.rs crates/jaqen/src/switch.rs
+
+/root/repo/target/debug/deps/libaccturbo_jaqen-6d8c2c20ee65864b.rlib: crates/jaqen/src/lib.rs crates/jaqen/src/sketch.rs crates/jaqen/src/switch.rs
+
+/root/repo/target/debug/deps/libaccturbo_jaqen-6d8c2c20ee65864b.rmeta: crates/jaqen/src/lib.rs crates/jaqen/src/sketch.rs crates/jaqen/src/switch.rs
+
+crates/jaqen/src/lib.rs:
+crates/jaqen/src/sketch.rs:
+crates/jaqen/src/switch.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/accturbo_jaqen-84db40943c8ecaae.d: crates/jaqen/src/lib.rs crates/jaqen/src/sketch.rs crates/jaqen/src/switch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaccturbo_jaqen-84db40943c8ecaae.rmeta: crates/jaqen/src/lib.rs crates/jaqen/src/sketch.rs crates/jaqen/src/switch.rs Cargo.toml
+
+crates/jaqen/src/lib.rs:
+crates/jaqen/src/sketch.rs:
+crates/jaqen/src/switch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

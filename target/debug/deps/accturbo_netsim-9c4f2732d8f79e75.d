@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/accturbo_netsim-9c4f2732d8f79e75.d: crates/netsim/src/lib.rs crates/netsim/src/engine.rs crates/netsim/src/latency.rs crates/netsim/src/packet.rs crates/netsim/src/queue/mod.rs crates/netsim/src/queue/fifo.rs crates/netsim/src/queue/pifo.rs crates/netsim/src/queue/priority.rs crates/netsim/src/queue/red.rs crates/netsim/src/rate.rs crates/netsim/src/source.rs crates/netsim/src/stats.rs crates/netsim/src/switch.rs crates/netsim/src/time.rs crates/netsim/src/trace.rs crates/netsim/src/units.rs
+
+/root/repo/target/debug/deps/libaccturbo_netsim-9c4f2732d8f79e75.rlib: crates/netsim/src/lib.rs crates/netsim/src/engine.rs crates/netsim/src/latency.rs crates/netsim/src/packet.rs crates/netsim/src/queue/mod.rs crates/netsim/src/queue/fifo.rs crates/netsim/src/queue/pifo.rs crates/netsim/src/queue/priority.rs crates/netsim/src/queue/red.rs crates/netsim/src/rate.rs crates/netsim/src/source.rs crates/netsim/src/stats.rs crates/netsim/src/switch.rs crates/netsim/src/time.rs crates/netsim/src/trace.rs crates/netsim/src/units.rs
+
+/root/repo/target/debug/deps/libaccturbo_netsim-9c4f2732d8f79e75.rmeta: crates/netsim/src/lib.rs crates/netsim/src/engine.rs crates/netsim/src/latency.rs crates/netsim/src/packet.rs crates/netsim/src/queue/mod.rs crates/netsim/src/queue/fifo.rs crates/netsim/src/queue/pifo.rs crates/netsim/src/queue/priority.rs crates/netsim/src/queue/red.rs crates/netsim/src/rate.rs crates/netsim/src/source.rs crates/netsim/src/stats.rs crates/netsim/src/switch.rs crates/netsim/src/time.rs crates/netsim/src/trace.rs crates/netsim/src/units.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/engine.rs:
+crates/netsim/src/latency.rs:
+crates/netsim/src/packet.rs:
+crates/netsim/src/queue/mod.rs:
+crates/netsim/src/queue/fifo.rs:
+crates/netsim/src/queue/pifo.rs:
+crates/netsim/src/queue/priority.rs:
+crates/netsim/src/queue/red.rs:
+crates/netsim/src/rate.rs:
+crates/netsim/src/source.rs:
+crates/netsim/src/stats.rs:
+crates/netsim/src/switch.rs:
+crates/netsim/src/time.rs:
+crates/netsim/src/trace.rs:
+crates/netsim/src/units.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/accturbo_netsim-abd210d377331b94.d: crates/netsim/src/lib.rs crates/netsim/src/engine.rs crates/netsim/src/latency.rs crates/netsim/src/packet.rs crates/netsim/src/queue/mod.rs crates/netsim/src/queue/fifo.rs crates/netsim/src/queue/pifo.rs crates/netsim/src/queue/priority.rs crates/netsim/src/queue/red.rs crates/netsim/src/rate.rs crates/netsim/src/source.rs crates/netsim/src/stats.rs crates/netsim/src/switch.rs crates/netsim/src/time.rs crates/netsim/src/trace.rs crates/netsim/src/units.rs
+
+/root/repo/target/debug/deps/accturbo_netsim-abd210d377331b94: crates/netsim/src/lib.rs crates/netsim/src/engine.rs crates/netsim/src/latency.rs crates/netsim/src/packet.rs crates/netsim/src/queue/mod.rs crates/netsim/src/queue/fifo.rs crates/netsim/src/queue/pifo.rs crates/netsim/src/queue/priority.rs crates/netsim/src/queue/red.rs crates/netsim/src/rate.rs crates/netsim/src/source.rs crates/netsim/src/stats.rs crates/netsim/src/switch.rs crates/netsim/src/time.rs crates/netsim/src/trace.rs crates/netsim/src/units.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/engine.rs:
+crates/netsim/src/latency.rs:
+crates/netsim/src/packet.rs:
+crates/netsim/src/queue/mod.rs:
+crates/netsim/src/queue/fifo.rs:
+crates/netsim/src/queue/pifo.rs:
+crates/netsim/src/queue/priority.rs:
+crates/netsim/src/queue/red.rs:
+crates/netsim/src/rate.rs:
+crates/netsim/src/source.rs:
+crates/netsim/src/stats.rs:
+crates/netsim/src/switch.rs:
+crates/netsim/src/time.rs:
+crates/netsim/src/trace.rs:
+crates/netsim/src/units.rs:

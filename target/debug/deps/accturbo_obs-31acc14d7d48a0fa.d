@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/accturbo_obs-31acc14d7d48a0fa.d: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/metrics.rs crates/obs/src/span.rs crates/obs/src/tracer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaccturbo_obs-31acc14d7d48a0fa.rmeta: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/metrics.rs crates/obs/src/span.rs crates/obs/src/tracer.rs Cargo.toml
+
+crates/obs/src/lib.rs:
+crates/obs/src/event.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/span.rs:
+crates/obs/src/tracer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/accturbo_obs-336708aca0124863.d: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/metrics.rs crates/obs/src/span.rs crates/obs/src/tracer.rs
+
+/root/repo/target/debug/deps/accturbo_obs-336708aca0124863: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/metrics.rs crates/obs/src/span.rs crates/obs/src/tracer.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/event.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/span.rs:
+crates/obs/src/tracer.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/accturbo_obs-adca75a919610bd9.d: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/metrics.rs crates/obs/src/span.rs crates/obs/src/tracer.rs
+
+/root/repo/target/debug/deps/libaccturbo_obs-adca75a919610bd9.rlib: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/metrics.rs crates/obs/src/span.rs crates/obs/src/tracer.rs
+
+/root/repo/target/debug/deps/libaccturbo_obs-adca75a919610bd9.rmeta: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/metrics.rs crates/obs/src/span.rs crates/obs/src/tracer.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/event.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/span.rs:
+crates/obs/src/tracer.rs:

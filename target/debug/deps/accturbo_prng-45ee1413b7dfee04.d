@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/accturbo_prng-45ee1413b7dfee04.d: crates/prng/src/lib.rs
+
+/root/repo/target/debug/deps/accturbo_prng-45ee1413b7dfee04: crates/prng/src/lib.rs
+
+crates/prng/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/accturbo_prng-bc573cdf17465588.d: crates/prng/src/lib.rs
+
+/root/repo/target/debug/deps/libaccturbo_prng-bc573cdf17465588.rlib: crates/prng/src/lib.rs
+
+/root/repo/target/debug/deps/libaccturbo_prng-bc573cdf17465588.rmeta: crates/prng/src/lib.rs
+
+crates/prng/src/lib.rs:

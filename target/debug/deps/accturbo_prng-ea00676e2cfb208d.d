@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/accturbo_prng-ea00676e2cfb208d.d: crates/prng/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaccturbo_prng-ea00676e2cfb208d.rmeta: crates/prng/src/lib.rs Cargo.toml
+
+crates/prng/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/accturbo_sched-65a702c61662755d.d: crates/sched/src/lib.rs crates/sched/src/controller.rs crates/sched/src/rank.rs crates/sched/src/sppifo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaccturbo_sched-65a702c61662755d.rmeta: crates/sched/src/lib.rs crates/sched/src/controller.rs crates/sched/src/rank.rs crates/sched/src/sppifo.rs Cargo.toml
+
+crates/sched/src/lib.rs:
+crates/sched/src/controller.rs:
+crates/sched/src/rank.rs:
+crates/sched/src/sppifo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

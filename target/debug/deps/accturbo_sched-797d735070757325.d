@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/accturbo_sched-797d735070757325.d: crates/sched/src/lib.rs crates/sched/src/controller.rs crates/sched/src/rank.rs crates/sched/src/sppifo.rs
+
+/root/repo/target/debug/deps/accturbo_sched-797d735070757325: crates/sched/src/lib.rs crates/sched/src/controller.rs crates/sched/src/rank.rs crates/sched/src/sppifo.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/controller.rs:
+crates/sched/src/rank.rs:
+crates/sched/src/sppifo.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/accturbo_sched-827d5b2aaa6d5c9a.d: crates/sched/src/lib.rs crates/sched/src/controller.rs crates/sched/src/rank.rs crates/sched/src/sppifo.rs
+
+/root/repo/target/debug/deps/libaccturbo_sched-827d5b2aaa6d5c9a.rlib: crates/sched/src/lib.rs crates/sched/src/controller.rs crates/sched/src/rank.rs crates/sched/src/sppifo.rs
+
+/root/repo/target/debug/deps/libaccturbo_sched-827d5b2aaa6d5c9a.rmeta: crates/sched/src/lib.rs crates/sched/src/controller.rs crates/sched/src/rank.rs crates/sched/src/sppifo.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/controller.rs:
+crates/sched/src/rank.rs:
+crates/sched/src/sppifo.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/accturbo_sched-9af67b4c043f31ca.d: crates/sched/src/lib.rs crates/sched/src/controller.rs crates/sched/src/rank.rs crates/sched/src/sppifo.rs
+
+/root/repo/target/debug/deps/accturbo_sched-9af67b4c043f31ca: crates/sched/src/lib.rs crates/sched/src/controller.rs crates/sched/src/rank.rs crates/sched/src/sppifo.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/controller.rs:
+crates/sched/src/rank.rs:
+crates/sched/src/sppifo.rs:

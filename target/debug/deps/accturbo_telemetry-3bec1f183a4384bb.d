@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/accturbo_telemetry-3bec1f183a4384bb.d: crates/telemetry/src/lib.rs crates/telemetry/src/reaction.rs crates/telemetry/src/report.rs crates/telemetry/src/score.rs
+
+/root/repo/target/debug/deps/libaccturbo_telemetry-3bec1f183a4384bb.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/reaction.rs crates/telemetry/src/report.rs crates/telemetry/src/score.rs
+
+/root/repo/target/debug/deps/libaccturbo_telemetry-3bec1f183a4384bb.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/reaction.rs crates/telemetry/src/report.rs crates/telemetry/src/score.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/reaction.rs:
+crates/telemetry/src/report.rs:
+crates/telemetry/src/score.rs:

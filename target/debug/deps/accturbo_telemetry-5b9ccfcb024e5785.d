@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/accturbo_telemetry-5b9ccfcb024e5785.d: crates/telemetry/src/lib.rs crates/telemetry/src/reaction.rs crates/telemetry/src/report.rs crates/telemetry/src/score.rs
+
+/root/repo/target/debug/deps/accturbo_telemetry-5b9ccfcb024e5785: crates/telemetry/src/lib.rs crates/telemetry/src/reaction.rs crates/telemetry/src/report.rs crates/telemetry/src/score.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/reaction.rs:
+crates/telemetry/src/report.rs:
+crates/telemetry/src/score.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/accturbo_telemetry-a277c93472d8120b.d: crates/telemetry/src/lib.rs crates/telemetry/src/reaction.rs crates/telemetry/src/report.rs crates/telemetry/src/score.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaccturbo_telemetry-a277c93472d8120b.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/reaction.rs crates/telemetry/src/report.rs crates/telemetry/src/score.rs Cargo.toml
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/reaction.rs:
+crates/telemetry/src/report.rs:
+crates/telemetry/src/score.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

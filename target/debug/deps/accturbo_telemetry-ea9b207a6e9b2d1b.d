@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/accturbo_telemetry-ea9b207a6e9b2d1b.d: crates/telemetry/src/lib.rs crates/telemetry/src/reaction.rs crates/telemetry/src/report.rs crates/telemetry/src/score.rs
+
+/root/repo/target/debug/deps/libaccturbo_telemetry-ea9b207a6e9b2d1b.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/reaction.rs crates/telemetry/src/report.rs crates/telemetry/src/score.rs
+
+/root/repo/target/debug/deps/libaccturbo_telemetry-ea9b207a6e9b2d1b.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/reaction.rs crates/telemetry/src/report.rs crates/telemetry/src/score.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/reaction.rs:
+crates/telemetry/src/report.rs:
+crates/telemetry/src/score.rs:

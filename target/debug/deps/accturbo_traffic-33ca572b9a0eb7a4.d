@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/accturbo_traffic-33ca572b9a0eb7a4.d: crates/traffic/src/lib.rs crates/traffic/src/background.rs crates/traffic/src/cbr.rs crates/traffic/src/cicddos.rs crates/traffic/src/modifiers.rs crates/traffic/src/pulse.rs crates/traffic/src/scenarios.rs crates/traffic/src/vectors.rs
+
+/root/repo/target/debug/deps/libaccturbo_traffic-33ca572b9a0eb7a4.rlib: crates/traffic/src/lib.rs crates/traffic/src/background.rs crates/traffic/src/cbr.rs crates/traffic/src/cicddos.rs crates/traffic/src/modifiers.rs crates/traffic/src/pulse.rs crates/traffic/src/scenarios.rs crates/traffic/src/vectors.rs
+
+/root/repo/target/debug/deps/libaccturbo_traffic-33ca572b9a0eb7a4.rmeta: crates/traffic/src/lib.rs crates/traffic/src/background.rs crates/traffic/src/cbr.rs crates/traffic/src/cicddos.rs crates/traffic/src/modifiers.rs crates/traffic/src/pulse.rs crates/traffic/src/scenarios.rs crates/traffic/src/vectors.rs
+
+crates/traffic/src/lib.rs:
+crates/traffic/src/background.rs:
+crates/traffic/src/cbr.rs:
+crates/traffic/src/cicddos.rs:
+crates/traffic/src/modifiers.rs:
+crates/traffic/src/pulse.rs:
+crates/traffic/src/scenarios.rs:
+crates/traffic/src/vectors.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/accturbo_traffic-9db24db699991db7.d: crates/traffic/src/lib.rs crates/traffic/src/background.rs crates/traffic/src/cbr.rs crates/traffic/src/cicddos.rs crates/traffic/src/modifiers.rs crates/traffic/src/pulse.rs crates/traffic/src/scenarios.rs crates/traffic/src/vectors.rs
+
+/root/repo/target/debug/deps/accturbo_traffic-9db24db699991db7: crates/traffic/src/lib.rs crates/traffic/src/background.rs crates/traffic/src/cbr.rs crates/traffic/src/cicddos.rs crates/traffic/src/modifiers.rs crates/traffic/src/pulse.rs crates/traffic/src/scenarios.rs crates/traffic/src/vectors.rs
+
+crates/traffic/src/lib.rs:
+crates/traffic/src/background.rs:
+crates/traffic/src/cbr.rs:
+crates/traffic/src/cicddos.rs:
+crates/traffic/src/modifiers.rs:
+crates/traffic/src/pulse.rs:
+crates/traffic/src/scenarios.rs:
+crates/traffic/src/vectors.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/accturbo_traffic-b7e5aa466f34d64f.d: crates/traffic/src/lib.rs crates/traffic/src/background.rs crates/traffic/src/cbr.rs crates/traffic/src/cicddos.rs crates/traffic/src/modifiers.rs crates/traffic/src/pulse.rs crates/traffic/src/scenarios.rs crates/traffic/src/vectors.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaccturbo_traffic-b7e5aa466f34d64f.rmeta: crates/traffic/src/lib.rs crates/traffic/src/background.rs crates/traffic/src/cbr.rs crates/traffic/src/cicddos.rs crates/traffic/src/modifiers.rs crates/traffic/src/pulse.rs crates/traffic/src/scenarios.rs crates/traffic/src/vectors.rs Cargo.toml
+
+crates/traffic/src/lib.rs:
+crates/traffic/src/background.rs:
+crates/traffic/src/cbr.rs:
+crates/traffic/src/cicddos.rs:
+crates/traffic/src/modifiers.rs:
+crates/traffic/src/pulse.rs:
+crates/traffic/src/scenarios.rs:
+crates/traffic/src/vectors.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/accturbo_traffic-f410b9d0ac7c52fa.d: crates/traffic/src/lib.rs crates/traffic/src/background.rs crates/traffic/src/cbr.rs crates/traffic/src/cicddos.rs crates/traffic/src/modifiers.rs crates/traffic/src/pulse.rs crates/traffic/src/scenarios.rs crates/traffic/src/vectors.rs
+
+/root/repo/target/debug/deps/libaccturbo_traffic-f410b9d0ac7c52fa.rlib: crates/traffic/src/lib.rs crates/traffic/src/background.rs crates/traffic/src/cbr.rs crates/traffic/src/cicddos.rs crates/traffic/src/modifiers.rs crates/traffic/src/pulse.rs crates/traffic/src/scenarios.rs crates/traffic/src/vectors.rs
+
+/root/repo/target/debug/deps/libaccturbo_traffic-f410b9d0ac7c52fa.rmeta: crates/traffic/src/lib.rs crates/traffic/src/background.rs crates/traffic/src/cbr.rs crates/traffic/src/cicddos.rs crates/traffic/src/modifiers.rs crates/traffic/src/pulse.rs crates/traffic/src/scenarios.rs crates/traffic/src/vectors.rs
+
+crates/traffic/src/lib.rs:
+crates/traffic/src/background.rs:
+crates/traffic/src/cbr.rs:
+crates/traffic/src/cicddos.rs:
+crates/traffic/src/modifiers.rs:
+crates/traffic/src/pulse.rs:
+crates/traffic/src/scenarios.rs:
+crates/traffic/src/vectors.rs:

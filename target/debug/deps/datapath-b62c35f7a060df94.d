@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/datapath-b62c35f7a060df94.d: crates/bench/benches/datapath.rs
+
+/root/repo/target/debug/deps/datapath-b62c35f7a060df94: crates/bench/benches/datapath.rs
+
+crates/bench/benches/datapath.rs:

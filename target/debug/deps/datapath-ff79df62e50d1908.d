@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/datapath-ff79df62e50d1908.d: crates/bench/benches/datapath.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdatapath-ff79df62e50d1908.rmeta: crates/bench/benches/datapath.rs Cargo.toml
+
+crates/bench/benches/datapath.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

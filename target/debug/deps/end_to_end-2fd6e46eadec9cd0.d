@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-2fd6e46eadec9cd0.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-2fd6e46eadec9cd0: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-ab982c1bfa7c23cf.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-ab982c1bfa7c23cf: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-8c703bc3f1708300.d: crates/bench/benches/figures.rs
+
+/root/repo/target/debug/deps/figures-8c703bc3f1708300: crates/bench/benches/figures.rs
+
+crates/bench/benches/figures.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figures-a507b6b0a8cb604d.d: crates/bench/benches/figures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigures-a507b6b0a8cb604d.rmeta: crates/bench/benches/figures.rs Cargo.toml
+
+crates/bench/benches/figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

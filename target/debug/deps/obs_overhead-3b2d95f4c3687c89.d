@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/obs_overhead-3b2d95f4c3687c89.d: crates/bench/benches/obs_overhead.rs
+
+/root/repo/target/debug/deps/obs_overhead-3b2d95f4c3687c89: crates/bench/benches/obs_overhead.rs
+
+crates/bench/benches/obs_overhead.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/obs_overhead-f7019ca797019291.d: crates/bench/benches/obs_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libobs_overhead-f7019ca797019291.rmeta: crates/bench/benches/obs_overhead.rs Cargo.toml
+
+crates/bench/benches/obs_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

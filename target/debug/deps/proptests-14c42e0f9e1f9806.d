@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-14c42e0f9e1f9806.d: crates/acc/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-14c42e0f9e1f9806: crates/acc/tests/proptests.rs
+
+crates/acc/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-24e44156955d34ee.d: crates/jaqen/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-24e44156955d34ee.rmeta: crates/jaqen/tests/proptests.rs Cargo.toml
+
+crates/jaqen/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-26d9f3bb77eeb01e.d: crates/clustering/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-26d9f3bb77eeb01e.rmeta: crates/clustering/tests/proptests.rs Cargo.toml
+
+crates/clustering/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

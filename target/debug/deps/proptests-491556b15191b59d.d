@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-491556b15191b59d.d: crates/clustering/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-491556b15191b59d: crates/clustering/tests/proptests.rs
+
+crates/clustering/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-658bdc74ee0ff106.d: crates/clustering/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-658bdc74ee0ff106: crates/clustering/tests/proptests.rs
+
+crates/clustering/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-669d43a970bcbc1a.d: crates/netsim/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-669d43a970bcbc1a: crates/netsim/tests/proptests.rs
+
+crates/netsim/tests/proptests.rs:

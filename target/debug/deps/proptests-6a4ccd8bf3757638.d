@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-6a4ccd8bf3757638.d: crates/acc/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-6a4ccd8bf3757638.rmeta: crates/acc/tests/proptests.rs Cargo.toml
+
+crates/acc/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

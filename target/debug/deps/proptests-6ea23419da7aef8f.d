@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-6ea23419da7aef8f.d: crates/netsim/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-6ea23419da7aef8f.rmeta: crates/netsim/tests/proptests.rs Cargo.toml
+
+crates/netsim/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

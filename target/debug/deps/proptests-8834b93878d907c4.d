@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-8834b93878d907c4.d: crates/netsim/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-8834b93878d907c4: crates/netsim/tests/proptests.rs
+
+crates/netsim/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-affc8fb60499ccdc.d: crates/jaqen/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-affc8fb60499ccdc: crates/jaqen/tests/proptests.rs
+
+crates/jaqen/tests/proptests.rs:

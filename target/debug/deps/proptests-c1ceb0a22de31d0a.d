@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-c1ceb0a22de31d0a.d: crates/acc/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-c1ceb0a22de31d0a: crates/acc/tests/proptests.rs
+
+crates/acc/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xp-598eca1e39702957.d: crates/experiments/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxp-598eca1e39702957.rmeta: crates/experiments/src/main.rs Cargo.toml
+
+crates/experiments/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xp-8e838e2525eaafa8.d: crates/experiments/src/main.rs
+
+/root/repo/target/debug/deps/xp-8e838e2525eaafa8: crates/experiments/src/main.rs
+
+crates/experiments/src/main.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xp-ede443c916bb216e.d: crates/experiments/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxp-ede443c916bb216e.rmeta: crates/experiments/src/main.rs Cargo.toml
+
+crates/experiments/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xp-f86eab4ffe17b9d5.d: crates/experiments/src/main.rs
+
+/root/repo/target/debug/deps/xp-f86eab4ffe17b9d5: crates/experiments/src/main.rs
+
+crates/experiments/src/main.rs:

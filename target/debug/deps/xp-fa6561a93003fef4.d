@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xp-fa6561a93003fef4.d: crates/experiments/src/main.rs
+
+/root/repo/target/debug/deps/xp-fa6561a93003fef4: crates/experiments/src/main.rs
+
+crates/experiments/src/main.rs:

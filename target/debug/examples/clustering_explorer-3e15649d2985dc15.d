@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/clustering_explorer-3e15649d2985dc15.d: examples/clustering_explorer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libclustering_explorer-3e15649d2985dc15.rmeta: examples/clustering_explorer.rs Cargo.toml
+
+examples/clustering_explorer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/clustering_explorer-d474129e6da4d41c.d: examples/clustering_explorer.rs
+
+/root/repo/target/debug/examples/clustering_explorer-d474129e6da4d41c: examples/clustering_explorer.rs
+
+examples/clustering_explorer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/clustering_explorer-eb5b11652a4457b7.d: examples/clustering_explorer.rs
+
+/root/repo/target/debug/examples/clustering_explorer-eb5b11652a4457b7: examples/clustering_explorer.rs
+
+examples/clustering_explorer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/operator_console-478ebbf6ca8e562f.d: examples/operator_console.rs
+
+/root/repo/target/debug/examples/operator_console-478ebbf6ca8e562f: examples/operator_console.rs
+
+examples/operator_console.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/operator_console-47a340f4d8f22355.d: examples/operator_console.rs Cargo.toml
+
+/root/repo/target/debug/examples/liboperator_console-47a340f4d8f22355.rmeta: examples/operator_console.rs Cargo.toml
+
+examples/operator_console.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

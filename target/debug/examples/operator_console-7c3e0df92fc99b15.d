@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/operator_console-7c3e0df92fc99b15.d: examples/operator_console.rs
+
+/root/repo/target/debug/examples/operator_console-7c3e0df92fc99b15: examples/operator_console.rs
+
+examples/operator_console.rs:

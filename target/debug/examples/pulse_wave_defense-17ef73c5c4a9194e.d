@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/pulse_wave_defense-17ef73c5c4a9194e.d: examples/pulse_wave_defense.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpulse_wave_defense-17ef73c5c4a9194e.rmeta: examples/pulse_wave_defense.rs Cargo.toml
+
+examples/pulse_wave_defense.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pulse_wave_defense-e979260e8fd2aa71.d: examples/pulse_wave_defense.rs
+
+/root/repo/target/debug/examples/pulse_wave_defense-e979260e8fd2aa71: examples/pulse_wave_defense.rs
+
+examples/pulse_wave_defense.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pulse_wave_defense-ef04dc2b7074248e.d: examples/pulse_wave_defense.rs
+
+/root/repo/target/debug/examples/pulse_wave_defense-ef04dc2b7074248e: examples/pulse_wave_defense.rs
+
+examples/pulse_wave_defense.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-69f0dcb8fe21d10b.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-69f0dcb8fe21d10b: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-9bba936adf31821a.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-9bba936adf31821a: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/trace_replay-531608e7f936a796.d: examples/trace_replay.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtrace_replay-531608e7f936a796.rmeta: examples/trace_replay.rs Cargo.toml
+
+examples/trace_replay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_replay-5a9197a2f1cbc092.d: examples/trace_replay.rs
+
+/root/repo/target/debug/examples/trace_replay-5a9197a2f1cbc092: examples/trace_replay.rs
+
+examples/trace_replay.rs:

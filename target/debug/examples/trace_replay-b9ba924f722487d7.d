@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_replay-b9ba924f722487d7.d: examples/trace_replay.rs
+
+/root/repo/target/debug/examples/trace_replay-b9ba924f722487d7: examples/trace_replay.rs
+
+examples/trace_replay.rs:

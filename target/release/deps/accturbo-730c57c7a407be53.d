@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/accturbo-730c57c7a407be53.d: src/lib.rs
+
+/root/repo/target/release/deps/libaccturbo-730c57c7a407be53.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libaccturbo-730c57c7a407be53.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/accturbo-da91da72ea73aa12.d: src/lib.rs
+
+/root/repo/target/release/deps/accturbo-da91da72ea73aa12: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/accturbo-fa6f592ba9198d64.d: src/lib.rs
+
+/root/repo/target/release/deps/libaccturbo-fa6f592ba9198d64.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libaccturbo-fa6f592ba9198d64.rmeta: src/lib.rs
+
+src/lib.rs:

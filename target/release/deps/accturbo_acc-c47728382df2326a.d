@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/accturbo_acc-c47728382df2326a.d: crates/acc/src/lib.rs crates/acc/src/config.rs crates/acc/src/prefix.rs crates/acc/src/pushback.rs crates/acc/src/ratelimit.rs crates/acc/src/sessions.rs crates/acc/src/switch.rs
+
+/root/repo/target/release/deps/libaccturbo_acc-c47728382df2326a.rlib: crates/acc/src/lib.rs crates/acc/src/config.rs crates/acc/src/prefix.rs crates/acc/src/pushback.rs crates/acc/src/ratelimit.rs crates/acc/src/sessions.rs crates/acc/src/switch.rs
+
+/root/repo/target/release/deps/libaccturbo_acc-c47728382df2326a.rmeta: crates/acc/src/lib.rs crates/acc/src/config.rs crates/acc/src/prefix.rs crates/acc/src/pushback.rs crates/acc/src/ratelimit.rs crates/acc/src/sessions.rs crates/acc/src/switch.rs
+
+crates/acc/src/lib.rs:
+crates/acc/src/config.rs:
+crates/acc/src/prefix.rs:
+crates/acc/src/pushback.rs:
+crates/acc/src/ratelimit.rs:
+crates/acc/src/sessions.rs:
+crates/acc/src/switch.rs:

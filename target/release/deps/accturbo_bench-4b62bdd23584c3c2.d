@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/accturbo_bench-4b62bdd23584c3c2.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/accturbo_bench-4b62bdd23584c3c2: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/accturbo_bench-83dc7902cfbfdc44.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libaccturbo_bench-83dc7902cfbfdc44.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libaccturbo_bench-83dc7902cfbfdc44.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

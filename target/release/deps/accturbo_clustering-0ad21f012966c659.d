@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/accturbo_clustering-0ad21f012966c659.d: crates/clustering/src/lib.rs crates/clustering/src/bloom.rs crates/clustering/src/cluster.rs crates/clustering/src/eval.rs crates/clustering/src/feature.rs crates/clustering/src/hybrid.rs crates/clustering/src/kmeans.rs crates/clustering/src/online.rs
+
+/root/repo/target/release/deps/libaccturbo_clustering-0ad21f012966c659.rlib: crates/clustering/src/lib.rs crates/clustering/src/bloom.rs crates/clustering/src/cluster.rs crates/clustering/src/eval.rs crates/clustering/src/feature.rs crates/clustering/src/hybrid.rs crates/clustering/src/kmeans.rs crates/clustering/src/online.rs
+
+/root/repo/target/release/deps/libaccturbo_clustering-0ad21f012966c659.rmeta: crates/clustering/src/lib.rs crates/clustering/src/bloom.rs crates/clustering/src/cluster.rs crates/clustering/src/eval.rs crates/clustering/src/feature.rs crates/clustering/src/hybrid.rs crates/clustering/src/kmeans.rs crates/clustering/src/online.rs
+
+crates/clustering/src/lib.rs:
+crates/clustering/src/bloom.rs:
+crates/clustering/src/cluster.rs:
+crates/clustering/src/eval.rs:
+crates/clustering/src/feature.rs:
+crates/clustering/src/hybrid.rs:
+crates/clustering/src/kmeans.rs:
+crates/clustering/src/online.rs:

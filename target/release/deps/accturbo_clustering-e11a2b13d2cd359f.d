@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/accturbo_clustering-e11a2b13d2cd359f.d: crates/clustering/src/lib.rs crates/clustering/src/bloom.rs crates/clustering/src/cluster.rs crates/clustering/src/eval.rs crates/clustering/src/feature.rs crates/clustering/src/hybrid.rs crates/clustering/src/kmeans.rs crates/clustering/src/online.rs
+
+/root/repo/target/release/deps/libaccturbo_clustering-e11a2b13d2cd359f.rlib: crates/clustering/src/lib.rs crates/clustering/src/bloom.rs crates/clustering/src/cluster.rs crates/clustering/src/eval.rs crates/clustering/src/feature.rs crates/clustering/src/hybrid.rs crates/clustering/src/kmeans.rs crates/clustering/src/online.rs
+
+/root/repo/target/release/deps/libaccturbo_clustering-e11a2b13d2cd359f.rmeta: crates/clustering/src/lib.rs crates/clustering/src/bloom.rs crates/clustering/src/cluster.rs crates/clustering/src/eval.rs crates/clustering/src/feature.rs crates/clustering/src/hybrid.rs crates/clustering/src/kmeans.rs crates/clustering/src/online.rs
+
+crates/clustering/src/lib.rs:
+crates/clustering/src/bloom.rs:
+crates/clustering/src/cluster.rs:
+crates/clustering/src/eval.rs:
+crates/clustering/src/feature.rs:
+crates/clustering/src/hybrid.rs:
+crates/clustering/src/kmeans.rs:
+crates/clustering/src/online.rs:

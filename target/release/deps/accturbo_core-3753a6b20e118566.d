@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/accturbo_core-3753a6b20e118566.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/ideal.rs crates/core/src/pipeline.rs crates/core/src/ranked.rs crates/core/src/resources.rs
+
+/root/repo/target/release/deps/libaccturbo_core-3753a6b20e118566.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/ideal.rs crates/core/src/pipeline.rs crates/core/src/ranked.rs crates/core/src/resources.rs
+
+/root/repo/target/release/deps/libaccturbo_core-3753a6b20e118566.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/ideal.rs crates/core/src/pipeline.rs crates/core/src/ranked.rs crates/core/src/resources.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/ideal.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/ranked.rs:
+crates/core/src/resources.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/accturbo_core-7ba958444c3648f5.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/ideal.rs crates/core/src/pipeline.rs crates/core/src/ranked.rs crates/core/src/resources.rs
+
+/root/repo/target/release/deps/accturbo_core-7ba958444c3648f5: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/ideal.rs crates/core/src/pipeline.rs crates/core/src/ranked.rs crates/core/src/resources.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/ideal.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/ranked.rs:
+crates/core/src/resources.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/accturbo_jaqen-08a1a819187ba05a.d: crates/jaqen/src/lib.rs crates/jaqen/src/sketch.rs crates/jaqen/src/switch.rs
+
+/root/repo/target/release/deps/accturbo_jaqen-08a1a819187ba05a: crates/jaqen/src/lib.rs crates/jaqen/src/sketch.rs crates/jaqen/src/switch.rs
+
+crates/jaqen/src/lib.rs:
+crates/jaqen/src/sketch.rs:
+crates/jaqen/src/switch.rs:

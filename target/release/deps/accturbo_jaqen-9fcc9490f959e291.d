@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/accturbo_jaqen-9fcc9490f959e291.d: crates/jaqen/src/lib.rs crates/jaqen/src/sketch.rs crates/jaqen/src/switch.rs
+
+/root/repo/target/release/deps/libaccturbo_jaqen-9fcc9490f959e291.rlib: crates/jaqen/src/lib.rs crates/jaqen/src/sketch.rs crates/jaqen/src/switch.rs
+
+/root/repo/target/release/deps/libaccturbo_jaqen-9fcc9490f959e291.rmeta: crates/jaqen/src/lib.rs crates/jaqen/src/sketch.rs crates/jaqen/src/switch.rs
+
+crates/jaqen/src/lib.rs:
+crates/jaqen/src/sketch.rs:
+crates/jaqen/src/switch.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/accturbo_jaqen-e5c0abf2218e105e.d: crates/jaqen/src/lib.rs crates/jaqen/src/sketch.rs crates/jaqen/src/switch.rs
+
+/root/repo/target/release/deps/libaccturbo_jaqen-e5c0abf2218e105e.rlib: crates/jaqen/src/lib.rs crates/jaqen/src/sketch.rs crates/jaqen/src/switch.rs
+
+/root/repo/target/release/deps/libaccturbo_jaqen-e5c0abf2218e105e.rmeta: crates/jaqen/src/lib.rs crates/jaqen/src/sketch.rs crates/jaqen/src/switch.rs
+
+crates/jaqen/src/lib.rs:
+crates/jaqen/src/sketch.rs:
+crates/jaqen/src/switch.rs:

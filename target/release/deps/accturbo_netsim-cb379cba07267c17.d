@@ -1,0 +1,22 @@
+/root/repo/target/release/deps/accturbo_netsim-cb379cba07267c17.d: crates/netsim/src/lib.rs crates/netsim/src/engine.rs crates/netsim/src/latency.rs crates/netsim/src/packet.rs crates/netsim/src/queue/mod.rs crates/netsim/src/queue/fifo.rs crates/netsim/src/queue/pifo.rs crates/netsim/src/queue/priority.rs crates/netsim/src/queue/red.rs crates/netsim/src/rate.rs crates/netsim/src/source.rs crates/netsim/src/stats.rs crates/netsim/src/switch.rs crates/netsim/src/time.rs crates/netsim/src/trace.rs crates/netsim/src/units.rs
+
+/root/repo/target/release/deps/libaccturbo_netsim-cb379cba07267c17.rlib: crates/netsim/src/lib.rs crates/netsim/src/engine.rs crates/netsim/src/latency.rs crates/netsim/src/packet.rs crates/netsim/src/queue/mod.rs crates/netsim/src/queue/fifo.rs crates/netsim/src/queue/pifo.rs crates/netsim/src/queue/priority.rs crates/netsim/src/queue/red.rs crates/netsim/src/rate.rs crates/netsim/src/source.rs crates/netsim/src/stats.rs crates/netsim/src/switch.rs crates/netsim/src/time.rs crates/netsim/src/trace.rs crates/netsim/src/units.rs
+
+/root/repo/target/release/deps/libaccturbo_netsim-cb379cba07267c17.rmeta: crates/netsim/src/lib.rs crates/netsim/src/engine.rs crates/netsim/src/latency.rs crates/netsim/src/packet.rs crates/netsim/src/queue/mod.rs crates/netsim/src/queue/fifo.rs crates/netsim/src/queue/pifo.rs crates/netsim/src/queue/priority.rs crates/netsim/src/queue/red.rs crates/netsim/src/rate.rs crates/netsim/src/source.rs crates/netsim/src/stats.rs crates/netsim/src/switch.rs crates/netsim/src/time.rs crates/netsim/src/trace.rs crates/netsim/src/units.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/engine.rs:
+crates/netsim/src/latency.rs:
+crates/netsim/src/packet.rs:
+crates/netsim/src/queue/mod.rs:
+crates/netsim/src/queue/fifo.rs:
+crates/netsim/src/queue/pifo.rs:
+crates/netsim/src/queue/priority.rs:
+crates/netsim/src/queue/red.rs:
+crates/netsim/src/rate.rs:
+crates/netsim/src/source.rs:
+crates/netsim/src/stats.rs:
+crates/netsim/src/switch.rs:
+crates/netsim/src/time.rs:
+crates/netsim/src/trace.rs:
+crates/netsim/src/units.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/accturbo_obs-80778cc4b5f5740b.d: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/metrics.rs crates/obs/src/span.rs crates/obs/src/tracer.rs
+
+/root/repo/target/release/deps/accturbo_obs-80778cc4b5f5740b: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/metrics.rs crates/obs/src/span.rs crates/obs/src/tracer.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/event.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/span.rs:
+crates/obs/src/tracer.rs:

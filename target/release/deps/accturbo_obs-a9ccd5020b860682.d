@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/accturbo_obs-a9ccd5020b860682.d: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/metrics.rs crates/obs/src/span.rs crates/obs/src/tracer.rs
+
+/root/repo/target/release/deps/libaccturbo_obs-a9ccd5020b860682.rlib: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/metrics.rs crates/obs/src/span.rs crates/obs/src/tracer.rs
+
+/root/repo/target/release/deps/libaccturbo_obs-a9ccd5020b860682.rmeta: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/metrics.rs crates/obs/src/span.rs crates/obs/src/tracer.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/event.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/span.rs:
+crates/obs/src/tracer.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/accturbo_prng-5a3e3b19e8131a0a.d: crates/prng/src/lib.rs
+
+/root/repo/target/release/deps/libaccturbo_prng-5a3e3b19e8131a0a.rlib: crates/prng/src/lib.rs
+
+/root/repo/target/release/deps/libaccturbo_prng-5a3e3b19e8131a0a.rmeta: crates/prng/src/lib.rs
+
+crates/prng/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/accturbo_prng-fa764ca22c2e6210.d: crates/prng/src/lib.rs
+
+/root/repo/target/release/deps/accturbo_prng-fa764ca22c2e6210: crates/prng/src/lib.rs
+
+crates/prng/src/lib.rs:

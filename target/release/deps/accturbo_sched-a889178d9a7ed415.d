@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/accturbo_sched-a889178d9a7ed415.d: crates/sched/src/lib.rs crates/sched/src/controller.rs crates/sched/src/rank.rs crates/sched/src/sppifo.rs
+
+/root/repo/target/release/deps/accturbo_sched-a889178d9a7ed415: crates/sched/src/lib.rs crates/sched/src/controller.rs crates/sched/src/rank.rs crates/sched/src/sppifo.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/controller.rs:
+crates/sched/src/rank.rs:
+crates/sched/src/sppifo.rs:

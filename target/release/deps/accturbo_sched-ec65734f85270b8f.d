@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/accturbo_sched-ec65734f85270b8f.d: crates/sched/src/lib.rs crates/sched/src/controller.rs crates/sched/src/rank.rs crates/sched/src/sppifo.rs
+
+/root/repo/target/release/deps/libaccturbo_sched-ec65734f85270b8f.rlib: crates/sched/src/lib.rs crates/sched/src/controller.rs crates/sched/src/rank.rs crates/sched/src/sppifo.rs
+
+/root/repo/target/release/deps/libaccturbo_sched-ec65734f85270b8f.rmeta: crates/sched/src/lib.rs crates/sched/src/controller.rs crates/sched/src/rank.rs crates/sched/src/sppifo.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/controller.rs:
+crates/sched/src/rank.rs:
+crates/sched/src/sppifo.rs:

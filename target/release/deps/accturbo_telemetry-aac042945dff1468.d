@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/accturbo_telemetry-aac042945dff1468.d: crates/telemetry/src/lib.rs crates/telemetry/src/reaction.rs crates/telemetry/src/report.rs crates/telemetry/src/score.rs
+
+/root/repo/target/release/deps/accturbo_telemetry-aac042945dff1468: crates/telemetry/src/lib.rs crates/telemetry/src/reaction.rs crates/telemetry/src/report.rs crates/telemetry/src/score.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/reaction.rs:
+crates/telemetry/src/report.rs:
+crates/telemetry/src/score.rs:

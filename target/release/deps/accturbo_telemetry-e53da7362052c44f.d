@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/accturbo_telemetry-e53da7362052c44f.d: crates/telemetry/src/lib.rs crates/telemetry/src/reaction.rs crates/telemetry/src/report.rs crates/telemetry/src/score.rs
+
+/root/repo/target/release/deps/libaccturbo_telemetry-e53da7362052c44f.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/reaction.rs crates/telemetry/src/report.rs crates/telemetry/src/score.rs
+
+/root/repo/target/release/deps/libaccturbo_telemetry-e53da7362052c44f.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/reaction.rs crates/telemetry/src/report.rs crates/telemetry/src/score.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/reaction.rs:
+crates/telemetry/src/report.rs:
+crates/telemetry/src/score.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/accturbo_traffic-017bde56e7d902f0.d: crates/traffic/src/lib.rs crates/traffic/src/background.rs crates/traffic/src/cbr.rs crates/traffic/src/cicddos.rs crates/traffic/src/modifiers.rs crates/traffic/src/pulse.rs crates/traffic/src/scenarios.rs crates/traffic/src/vectors.rs
+
+/root/repo/target/release/deps/libaccturbo_traffic-017bde56e7d902f0.rlib: crates/traffic/src/lib.rs crates/traffic/src/background.rs crates/traffic/src/cbr.rs crates/traffic/src/cicddos.rs crates/traffic/src/modifiers.rs crates/traffic/src/pulse.rs crates/traffic/src/scenarios.rs crates/traffic/src/vectors.rs
+
+/root/repo/target/release/deps/libaccturbo_traffic-017bde56e7d902f0.rmeta: crates/traffic/src/lib.rs crates/traffic/src/background.rs crates/traffic/src/cbr.rs crates/traffic/src/cicddos.rs crates/traffic/src/modifiers.rs crates/traffic/src/pulse.rs crates/traffic/src/scenarios.rs crates/traffic/src/vectors.rs
+
+crates/traffic/src/lib.rs:
+crates/traffic/src/background.rs:
+crates/traffic/src/cbr.rs:
+crates/traffic/src/cicddos.rs:
+crates/traffic/src/modifiers.rs:
+crates/traffic/src/pulse.rs:
+crates/traffic/src/scenarios.rs:
+crates/traffic/src/vectors.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/datapath-99daa2ce44967912.d: crates/bench/benches/datapath.rs
+
+/root/repo/target/release/deps/datapath-99daa2ce44967912: crates/bench/benches/datapath.rs
+
+crates/bench/benches/datapath.rs:

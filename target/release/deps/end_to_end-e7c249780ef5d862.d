@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-e7c249780ef5d862.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-e7c249780ef5d862: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-fcc51c95cfee074f.d: crates/bench/benches/figures.rs
+
+/root/repo/target/release/deps/figures-fcc51c95cfee074f: crates/bench/benches/figures.rs
+
+crates/bench/benches/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/obs_overhead-8965344a41538f07.d: crates/bench/benches/obs_overhead.rs
+
+/root/repo/target/release/deps/obs_overhead-8965344a41538f07: crates/bench/benches/obs_overhead.rs
+
+crates/bench/benches/obs_overhead.rs:

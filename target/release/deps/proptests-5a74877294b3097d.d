@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-5a74877294b3097d.d: crates/clustering/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-5a74877294b3097d: crates/clustering/tests/proptests.rs
+
+crates/clustering/tests/proptests.rs:

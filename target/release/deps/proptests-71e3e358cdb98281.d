@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-71e3e358cdb98281.d: crates/acc/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-71e3e358cdb98281: crates/acc/tests/proptests.rs
+
+crates/acc/tests/proptests.rs:

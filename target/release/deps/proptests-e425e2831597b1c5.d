@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-e425e2831597b1c5.d: crates/jaqen/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-e425e2831597b1c5: crates/jaqen/tests/proptests.rs
+
+crates/jaqen/tests/proptests.rs:

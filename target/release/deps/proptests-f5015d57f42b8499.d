@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-f5015d57f42b8499.d: crates/netsim/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-f5015d57f42b8499: crates/netsim/tests/proptests.rs
+
+crates/netsim/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/xp-4fd77d7df4b79c82.d: crates/experiments/src/main.rs
+
+/root/repo/target/release/deps/xp-4fd77d7df4b79c82: crates/experiments/src/main.rs
+
+crates/experiments/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/xp-c90b42c4d2337b3d.d: crates/experiments/src/main.rs
+
+/root/repo/target/release/deps/xp-c90b42c4d2337b3d: crates/experiments/src/main.rs
+
+crates/experiments/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/clustering_explorer-03d5394d7c0fcbdd.d: examples/clustering_explorer.rs
+
+/root/repo/target/release/examples/clustering_explorer-03d5394d7c0fcbdd: examples/clustering_explorer.rs
+
+examples/clustering_explorer.rs:

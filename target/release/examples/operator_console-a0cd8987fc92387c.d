@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/operator_console-a0cd8987fc92387c.d: examples/operator_console.rs
+
+/root/repo/target/release/examples/operator_console-a0cd8987fc92387c: examples/operator_console.rs
+
+examples/operator_console.rs:

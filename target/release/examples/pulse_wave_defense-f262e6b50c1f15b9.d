@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/pulse_wave_defense-f262e6b50c1f15b9.d: examples/pulse_wave_defense.rs
+
+/root/repo/target/release/examples/pulse_wave_defense-f262e6b50c1f15b9: examples/pulse_wave_defense.rs
+
+examples/pulse_wave_defense.rs:

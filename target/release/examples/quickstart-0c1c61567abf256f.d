@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-0c1c61567abf256f.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-0c1c61567abf256f: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/trace_replay-756163f5d2443c5b.d: examples/trace_replay.rs
+
+/root/repo/target/release/examples/trace_replay-756163f5d2443c5b: examples/trace_replay.rs
+
+examples/trace_replay.rs:

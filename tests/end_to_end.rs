@@ -59,8 +59,7 @@ fn packet_conservation_across_all_defenses() {
     let mut fifo = SingleQueueSwitch::new(FifoQueue::new(512 * 1024));
     let mut acc = AccSwitch::new(AccConfig::default(), Bandwidth::from_bps(LINK));
     let mut jaqen = JaqenSwitch::new(JaqenConfig::best_case(Signature::FiveTuple, 2_000));
-    let mut turbo =
-        AccTurboSwitch::new(AccTurboConfig::hardware(FeatureSet::hardware_dst_bytes()));
+    let mut turbo = AccTurboSwitch::new(AccTurboConfig::hardware(FeatureSet::hardware_dst_bytes()));
     let mut ideal = IdealPifoSwitch::new(512 * 1024);
 
     for (name, sw, control) in [
@@ -98,8 +97,7 @@ fn defense_ordering_on_a_flood() {
     };
     let mut fifo = SingleQueueSwitch::new(FifoQueue::new(512 * 1024));
     let (fifo_benign, _) = pct(&mut fifo, None);
-    let mut turbo =
-        AccTurboSwitch::new(AccTurboConfig::hardware(FeatureSet::hardware_dst_bytes()));
+    let mut turbo = AccTurboSwitch::new(AccTurboConfig::hardware(FeatureSet::hardware_dst_bytes()));
     let (turbo_benign, turbo_attack) = pct(&mut turbo, Some(50));
     let mut ideal = IdealPifoSwitch::new(512 * 1024);
     let (ideal_benign, ideal_attack) = pct(&mut ideal, None);
@@ -109,7 +107,10 @@ fn defense_ordering_on_a_flood() {
         turbo_benign < fifo_benign - 20.0,
         "ACC-Turbo ({turbo_benign:.1}%) must clearly beat FIFO ({fifo_benign:.1}%)"
     );
-    assert!(turbo_attack > turbo_benign, "the attack must absorb the loss");
+    assert!(
+        turbo_attack > turbo_benign,
+        "the attack must absorb the loss"
+    );
     assert!(ideal_attack > 50.0, "the oracle sheds attack traffic");
 }
 
@@ -123,9 +124,7 @@ fn full_runs_are_deterministic() {
             AccTurboSwitch::new(AccTurboConfig::simulation(FeatureSet::simulation_default()));
         let res = run(&mut src, &mut sw, &engine(scenarios::RUN_SECS, Some(250)));
         let series: Vec<u64> = (0..scenarios::RUN_SECS as usize)
-            .flat_map(|t| {
-                (1..=5).map(move |c| (t, c)).collect::<Vec<_>>()
-            })
+            .flat_map(|t| (1..=5).map(move |c| (t, c)).collect::<Vec<_>>())
             .map(|(t, c)| res.stats.throughput_bps(t, ClassId(c)) as u64)
             .collect();
         (res.arrivals, res.departures, res.drops, series)
@@ -173,8 +172,7 @@ fn acc_inference_composes_with_the_simulator() {
 fn deprioritized_traffic_waits_longer() {
     let secs = 20;
     let mut src = flood_over_background(secs);
-    let mut turbo =
-        AccTurboSwitch::new(AccTurboConfig::hardware(FeatureSet::hardware_dst_bytes()));
+    let mut turbo = AccTurboSwitch::new(AccTurboConfig::hardware(FeatureSet::hardware_dst_bytes()));
     let res = run(&mut src, &mut turbo, &engine(secs, Some(50)));
     let benign_p50 = res
         .delays
