@@ -128,10 +128,7 @@ pub fn infer_aggregates(
     ranked
         .into_iter()
         .map(|(mut prefix, mut drops)| {
-            loop {
-                let Some((left, right)) = prefix.children() else {
-                    break;
-                };
+            while let Some((left, right)) = prefix.children() {
                 let left_drops: u64 = per_ip
                     .iter()
                     .filter(|&(&ip, _)| left.contains(ip))
@@ -211,9 +208,9 @@ mod tests {
     #[test]
     fn ranks_multiple_aggregates_by_drops() {
         let mut drops = Vec::new();
-        drops.extend(std::iter::repeat(ip(1, 1, 1, 1)).take(500));
-        drops.extend(std::iter::repeat(ip(2, 2, 2, 2)).take(300));
-        drops.extend(std::iter::repeat(ip(3, 3, 3, 3)).take(100));
+        drops.extend(std::iter::repeat_n(ip(1, 1, 1, 1), 500));
+        drops.extend(std::iter::repeat_n(ip(2, 2, 2, 2), 300));
+        drops.extend(std::iter::repeat_n(ip(3, 3, 3, 3), 100));
         for i in 0..60u8 {
             drops.push(ip(50, i, 0, 1));
         }

@@ -200,17 +200,15 @@ pub fn run_pushback_traced<T: Tracer + ?Sized>(
         }
         // 2. Upstream tx completions: the packet crosses into the
         //    bottleneck's data path.
-        for i in 0..n {
-            if let Some((done, _)) = &upstream_tx[i] {
-                if *done == now {
-                    let (_, pkt) = upstream_tx[i].take().expect("just matched");
-                    drops_buf.clear();
-                    bottleneck.ingress(pkt, now, &mut drops_buf);
-                    for d in &drops_buf {
-                        stats.on_drop(d, now);
-                    }
-                    bottleneck_drops += drops_buf.len() as u64;
+        for slot in upstream_tx.iter_mut() {
+            if matches!(slot, Some((done, _)) if *done == now) {
+                let (_, pkt) = slot.take().expect("just matched");
+                drops_buf.clear();
+                bottleneck.ingress(pkt, now, &mut drops_buf);
+                for d in &drops_buf {
+                    stats.on_drop(d, now);
                 }
+                bottleneck_drops += drops_buf.len() as u64;
             }
         }
         // 3. Control tick (the bottleneck ACC agent).

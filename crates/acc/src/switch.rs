@@ -151,12 +151,7 @@ impl AccSwitch {
         let bins = &self.bins.as_slices();
         let take = n.min(self.bins.len());
         let (mut arr_p, mut arr_b, mut drop_p) = (0u64, 0u64, 0u64);
-        let mut seen = 0usize;
-        for &(_, b) in bins.1.iter().rev().chain(bins.0.iter().rev()) {
-            if seen >= take {
-                break;
-            }
-            seen += 1;
+        for &(_, b) in bins.1.iter().rev().chain(bins.0.iter().rev()).take(take) {
             arr_p += b.arr_pkts;
             arr_b += b.arr_bytes;
             drop_p += b.drop_pkts;

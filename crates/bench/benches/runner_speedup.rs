@@ -1,0 +1,51 @@
+//! Parallel-runner speedup: the full quick-scale figure set through the
+//! `xp` pipeline with 1 worker vs the machine's available parallelism.
+//!
+//! Asserts (always, even in smoke mode) that the two byte streams are
+//! identical — the runner's core contract — and *reports* the measured
+//! speedup without gating on it, since CI cores vary (on a 1-core box
+//! the expected speedup is 1×; on 4+ cores the figure fan-out reaches
+//! ≥2× because the job costs are uneven but numerous).
+
+use accturbo_bench::{black_box, Harness};
+use accturbo_experiments::cli::{self, Cli};
+
+fn quick_all(jobs: usize) -> Cli {
+    let mut cli = cli::parse(&["--quick".to_string()]).expect("valid args");
+    cli.jobs = jobs;
+    cli
+}
+
+fn rendered_stream(cli: &Cli) -> String {
+    let mut out = String::new();
+    cli::run_figures(cli, |block| out.push_str(block));
+    out
+}
+
+fn main() {
+    let h = Harness::from_args().with_samples(3);
+    let threads = accturbo_runner::default_threads();
+
+    // The determinism assertion runs unconditionally (and doubles as the
+    // timing warm-up).
+    let serial_out = rendered_stream(&quick_all(1));
+    let parallel_out = rendered_stream(&quick_all(threads));
+    assert_eq!(
+        serial_out, parallel_out,
+        "xp output must be byte-identical for --jobs 1 and --jobs {threads}"
+    );
+
+    let serial = h.run("runner/quick_all_jobs_1", || {
+        black_box(rendered_stream(&quick_all(1)));
+    });
+    let parallel = h.run(&format!("runner/quick_all_jobs_{threads}"), || {
+        black_box(rendered_stream(&quick_all(threads)));
+    });
+    if let (Some(s), Some(p)) = (serial, parallel) {
+        let speedup = s.median_ns() / p.median_ns().max(1.0);
+        println!(
+            "runner speedup: {speedup:.2}x with {threads} worker(s) \
+             (reported, not gated; byte-identity asserted above)"
+        );
+    }
+}

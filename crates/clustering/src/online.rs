@@ -456,7 +456,7 @@ impl OnlineClusterer {
                     DistanceKind::Anime => c.anime(values),
                     DistanceKind::Euclidean => unreachable!("handled separately"),
                 };
-                if best.map_or(true, |(_, bd)| d < bd) {
+                if best.is_none_or(|(_, bd)| d < bd) {
                     best = Some((i, d));
                 }
             }
@@ -589,7 +589,7 @@ impl OnlineClusterer {
                     DistanceKind::Anime => ca.anime_merge_cost(cb),
                     DistanceKind::Euclidean => unreachable!("handled separately"),
                 };
-                if best.map_or(true, |(_, _, bc)| cost < bc) {
+                if best.is_none_or(|(_, _, bc)| cost < bc) {
                     best = Some((a, b, cost));
                 }
             }
@@ -614,7 +614,7 @@ impl OnlineClusterer {
                     continue;
                 };
                 let cost = ca.merge_cost(cb);
-                if best.map_or(true, |(_, _, bc)| cost < bc) {
+                if best.is_none_or(|(_, _, bc)| cost < bc) {
                     best = Some((a, b, cost));
                 }
             }

@@ -10,6 +10,8 @@
 
 use crate::common::{simulate, Scale, LINK_10G_SCALED};
 use crate::fig6;
+use crate::result::FigureResult;
+use crate::Figure;
 use accturbo_clustering::{FeatureSet, InitMode, NominalMode, RepMode};
 use accturbo_core::{AccTurboConfig, AccTurboSwitch, RankedAccTurboSwitch};
 use accturbo_netsim::SimDuration;
@@ -17,14 +19,22 @@ use accturbo_telemetry::{f, Table};
 use std::fmt::Write as _;
 
 const LINK: u64 = LINK_10G_SCALED;
+/// The canonical workload seed — ablations run on Fig. 6's workload, so
+/// they share its seed.
+pub const DEFAULT_SEED: u64 = fig6::DEFAULT_SEED;
 
 /// Runs the Fig. 6 workload through a customized hardware-profile switch
 /// and returns the benign loss during pulses.
-fn benign_loss(customize: impl FnOnce(&mut AccTurboConfig), period_ms: u64, secs: u64) -> f64 {
+fn benign_loss(
+    customize: impl FnOnce(&mut AccTurboConfig),
+    period_ms: u64,
+    secs: u64,
+    seed: u64,
+) -> f64 {
     let mut cfg = AccTurboConfig::hardware(FeatureSet::hardware_fig6());
     customize(&mut cfg);
     let mut sw = AccTurboSwitch::new(cfg);
-    let mut src = fig6::source(secs);
+    let mut src = fig6::source(secs, seed);
     let res = simulate(
         &mut src,
         &mut sw,
@@ -36,26 +46,28 @@ fn benign_loss(customize: impl FnOnce(&mut AccTurboConfig), period_ms: u64, secs
 }
 
 /// Benign pulse-loss for the two initialization modes.
-pub fn init_mode_ablation(secs: u64) -> (f64, f64) {
-    let anchors = benign_loss(|_| {}, 50, secs);
+pub fn init_mode_ablation(secs: u64, seed: u64) -> (f64, f64) {
+    let anchors = benign_loss(|_| {}, 50, secs, seed);
     let from_traffic = benign_loss(
         |cfg| {
             cfg.clustering = cfg.clustering.clone().with_init(InitMode::FromTraffic);
         },
         50,
         secs,
+        seed,
     );
     (anchors, from_traffic)
 }
 
 /// Benign pulse-loss for the two representative modes.
-pub fn rep_mode_ablation(secs: u64) -> (f64, f64) {
+pub fn rep_mode_ablation(secs: u64, seed: u64) -> (f64, f64) {
     let midpoint = benign_loss(
         |cfg| {
             cfg.clustering = cfg.clustering.clone().with_rep(RepMode::RangeMidpoint);
         },
         50,
         secs,
+        seed,
     );
     let last_packet = benign_loss(
         |cfg| {
@@ -63,32 +75,34 @@ pub fn rep_mode_ablation(secs: u64) -> (f64, f64) {
         },
         50,
         secs,
+        seed,
     );
     (midpoint, last_packet)
 }
 
 /// Benign pulse-loss per growth budget (`None` = unlimited).
-pub fn budget_ablation(budget: Option<u64>, secs: u64) -> f64 {
+pub fn budget_ablation(budget: Option<u64>, secs: u64, seed: u64) -> f64 {
     benign_loss(
         |cfg| {
             cfg.clustering = cfg.clustering.clone().with_update_budget(budget);
         },
         50,
         secs,
+        seed,
     )
 }
 
 /// Benign pulse-loss per control-plane period.
-pub fn period_ablation(period_ms: u64, secs: u64) -> f64 {
-    benign_loss(|_| {}, period_ms, secs)
+pub fn period_ablation(period_ms: u64, secs: u64, seed: u64) -> f64 {
+    benign_loss(|_| {}, period_ms, secs, seed)
 }
 
 /// Benign pulse-loss with the per-packet SP-PIFO rank scheduler instead
 /// of the control-plane cluster→queue mapping (§5.1's other design point).
-pub fn ranked_scheduler_ablation(secs: u64) -> (f64, f64) {
-    let bank = benign_loss(|_| {}, 50, secs);
+pub fn ranked_scheduler_ablation(secs: u64, seed: u64) -> (f64, f64) {
+    let bank = benign_loss(|_| {}, 50, secs, seed);
     let mut sw = RankedAccTurboSwitch::new(AccTurboConfig::hardware(FeatureSet::hardware_fig6()));
-    let mut src = fig6::source(secs);
+    let mut src = fig6::source(secs, seed);
     let res = simulate(
         &mut src,
         &mut sw,
@@ -101,7 +115,7 @@ pub fn ranked_scheduler_ablation(secs: u64) -> (f64, f64) {
 
 /// Benign pulse-loss with bloom-filter nominal sets of the given size
 /// (`None` = exact sets).
-pub fn nominal_ablation(bloom_bits: Option<u64>, secs: u64) -> f64 {
+pub fn nominal_ablation(bloom_bits: Option<u64>, secs: u64, seed: u64) -> f64 {
     benign_loss(
         |cfg| {
             if let Some(bits) = bloom_bits {
@@ -110,16 +124,19 @@ pub fn nominal_ablation(bloom_bits: Option<u64>, secs: u64) -> f64 {
         },
         50,
         secs,
+        seed,
     )
 }
 
-/// Regenerates the ablation report.
-pub fn report(scale: Scale) -> String {
+/// Regenerates the ablation report at `seed`, returning the rendered
+/// report and its machine-readable result.
+pub fn figure(scale: Scale, seed: u64) -> Figure {
     let secs = scale.secs(100, 4);
     let mut out = String::new();
+    let mut r = FigureResult::new("ablations");
 
     let mut t = Table::new(&["Ablation", "variant", "benign loss during pulses (%)"]);
-    let (anchors, seeded) = init_mode_ablation(secs);
+    let (anchors, seeded) = init_mode_ablation(secs, seed);
     t.row(vec![
         "init".into(),
         "anchors (Alg. 1)".into(),
@@ -130,7 +147,9 @@ pub fn report(scale: Scale) -> String {
         "seed-from-traffic".into(),
         f(100.0 * seeded),
     ]);
-    let (midpoint, last) = rep_mode_ablation(secs);
+    r.num("init.anchors.benign_loss_pct", 100.0 * anchors);
+    r.num("init.from_traffic.benign_loss_pct", 100.0 * seeded);
+    let (midpoint, last) = rep_mode_ablation(secs, seed);
     t.row(vec![
         "representative".into(),
         "range midpoint".into(),
@@ -141,24 +160,26 @@ pub fn report(scale: Scale) -> String {
         "last packet".into(),
         f(100.0 * last),
     ]);
+    r.num("rep.midpoint.benign_loss_pct", 100.0 * midpoint);
+    r.num("rep.last_packet.benign_loss_pct", 100.0 * last);
     for budget in [Some(64), Some(256), Some(4096), None] {
         let label = budget
             .map(|b| b.to_string())
             .unwrap_or_else(|| "unlimited".into());
-        t.row(vec![
-            "growth budget".into(),
-            label,
-            f(100.0 * budget_ablation(budget, secs)),
-        ]);
+        let loss = 100.0 * budget_ablation(budget, secs, seed);
+        r.num(&format!("budget.{label}.benign_loss_pct"), loss);
+        t.row(vec!["growth budget".into(), label, f(loss)]);
     }
     for period in [50u64, 250, 1000] {
+        let loss = 100.0 * period_ablation(period, secs, seed);
+        r.num(&format!("period.{period}ms.benign_loss_pct"), loss);
         t.row(vec![
             "control period".into(),
             format!("{period} ms"),
-            f(100.0 * period_ablation(period, secs)),
+            f(loss),
         ]);
     }
-    let (bank, ranked) = ranked_scheduler_ablation(secs);
+    let (bank, ranked) = ranked_scheduler_ablation(secs, seed);
     t.row(vec![
         "scheduler".into(),
         "cluster→queue bank".into(),
@@ -169,20 +190,27 @@ pub fn report(scale: Scale) -> String {
         "per-packet SP-PIFO".into(),
         f(100.0 * ranked),
     ]);
-    t.row(vec![
-        "nominal sets".into(),
-        "exact".into(),
-        f(100.0 * nominal_ablation(None, secs)),
-    ]);
+    r.num("scheduler.bank.benign_loss_pct", 100.0 * bank);
+    r.num("scheduler.sp_pifo.benign_loss_pct", 100.0 * ranked);
+    let exact = 100.0 * nominal_ablation(None, secs, seed);
+    r.num("nominal.exact.benign_loss_pct", exact);
+    t.row(vec!["nominal sets".into(), "exact".into(), f(exact)]);
     for bits in [64u64, 1024] {
+        let loss = 100.0 * nominal_ablation(Some(bits), secs, seed);
+        r.num(&format!("nominal.bloom{bits}b.benign_loss_pct"), loss);
         t.row(vec![
             "nominal sets".into(),
             format!("bloom {bits}b"),
-            f(100.0 * nominal_ablation(Some(bits), secs)),
+            f(loss),
         ]);
     }
     let _ = write!(&mut out, "{}", t.render());
-    out
+    Figure::new(out, r)
+}
+
+/// Regenerates the ablation report at the canonical seed.
+pub fn report(scale: Scale) -> String {
+    figure(scale, DEFAULT_SEED).rendered
 }
 
 #[cfg(test)]
@@ -208,6 +236,7 @@ mod tests {
                 },
                 50,
                 SECS,
+                DEFAULT_SEED,
             )
         };
         let budgeted = loss(Some(256));
@@ -222,8 +251,8 @@ mod tests {
     fn very_slow_control_planes_protect_less() {
         // Sub-second periods are statistically indistinguishable on this
         // workload; a controller slower than half a pulse is not.
-        let fast = period_ablation(50, SECS);
-        let glacial = period_ablation(5_000, SECS);
+        let fast = period_ablation(50, SECS, DEFAULT_SEED);
+        let glacial = period_ablation(5_000, SECS, DEFAULT_SEED);
         assert!(
             glacial > fast,
             "a 5 s controller ({glacial:.2}) must lose to a 50 ms one ({fast:.2})"
@@ -234,8 +263,8 @@ mod tests {
     fn tiny_bloom_filters_saturate_and_hurt() {
         // A saturated admission list makes every port look already
         // admitted, erasing the nominal features.
-        let exact = nominal_ablation(None, SECS);
-        let tiny = nominal_ablation(Some(64), SECS);
+        let exact = nominal_ablation(None, SECS, DEFAULT_SEED);
+        let tiny = nominal_ablation(Some(64), SECS, DEFAULT_SEED);
         assert!(
             tiny >= exact - 0.03,
             "64-bit blooms ({tiny:.2}) should not beat exact sets ({exact:.2})"
@@ -244,15 +273,15 @@ mod tests {
 
     #[test]
     fn both_scheduler_architectures_defend() {
-        let (bank, ranked) = ranked_scheduler_ablation(SECS);
+        let (bank, ranked) = ranked_scheduler_ablation(SECS, DEFAULT_SEED);
         assert!(bank < 0.35, "bank loss {bank:.2}");
         assert!(ranked < 0.35, "ranked loss {ranked:.2}");
     }
 
     #[test]
     fn all_ablation_axes_run() {
-        let (a, b) = init_mode_ablation(30);
-        let (c, d) = rep_mode_ablation(30);
+        let (a, b) = init_mode_ablation(30, DEFAULT_SEED);
+        let (c, d) = rep_mode_ablation(30, DEFAULT_SEED);
         for v in [a, b, c, d] {
             assert!((0.0..=1.0).contains(&v), "loss fraction out of range: {v}");
         }

@@ -19,6 +19,8 @@
 //! and FIFO, quantifying how much of the defense survives.
 
 use crate::common::{simulate, Scale, LINK_10G_SCALED};
+use crate::result::FigureResult;
+use crate::Figure;
 use accturbo_clustering::FeatureSet;
 use accturbo_core::{AccTurboConfig, AccTurboSwitch};
 use accturbo_netsim::{
@@ -34,7 +36,8 @@ use std::net::Ipv4Addr;
 
 const LINK: u64 = LINK_10G_SCALED;
 const SECS: u64 = 40;
-const SEED: u64 = 0xADE5;
+/// The canonical workload seed (the historical in-module constant).
+pub const DEFAULT_SEED: u64 = 0xADE5;
 
 /// The §9 scenarios.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,7 +78,7 @@ impl Scenario {
 
 /// The benign service all §9.2 scenarios target: a tight, high-rate
 /// aggregate (one /24, one port band, fixed size).
-fn victim_service(end: SimTime, rate_bps: u64) -> Box<dyn PacketSource> {
+fn victim_service(end: SimTime, rate_bps: u64, seed: u64) -> Box<dyn PacketSource> {
     let cbr = CbrSource::new(
         FlowTemplate::udp(
             Ipv4Addr::new(95, 10, 1, 1),
@@ -96,16 +99,16 @@ fn victim_service(end: SimTime, rate_bps: u64) -> Box<dyn PacketSource> {
             sport: Some((30_000, 30_200)),
             ..Spread::default()
         },
-        SEED + 9,
+        seed + 9,
     ))
 }
 
 /// Builds the workload for a scenario.
-pub fn workload(scenario: Scenario, secs: u64) -> MergedSource {
+pub fn workload(scenario: Scenario, secs: u64, seed: u64) -> MergedSource {
     let end = SimTime::from_secs(secs);
     let start = SimTime::from_secs(5);
     let mut sources: Vec<Box<dyn PacketSource>> = vec![Box::new(BackgroundSource::new(
-        BackgroundConfig::new(5_000_000, SimTime::ZERO, end, SEED),
+        BackgroundConfig::new(5_000_000, SimTime::ZERO, end, seed),
     ))];
     match scenario {
         Scenario::PlainFlood => {
@@ -116,7 +119,7 @@ pub fn workload(scenario: Scenario, secs: u64) -> MergedSource {
                     start,
                     end,
                     ClassId(1),
-                    SEED + 1,
+                    seed + 1,
                 )
                 .with_single_flow(),
             )));
@@ -131,11 +134,11 @@ pub fn workload(scenario: Scenario, secs: u64) -> MergedSource {
                     start,
                     end,
                     ClassId(1),
-                    SEED + 1,
+                    seed + 1,
                 )
                 .with_source_spoofing(),
             );
-            let mut rng = StdRng::seed_from_u64(SEED + 2);
+            let mut rng = StdRng::seed_from_u64(seed + 2);
             sources.push(Box::new(MapSource::new(flood, move |p| {
                 p.dst = Ipv4Addr::new(rng.gen(), rng.gen(), rng.gen(), rng.gen());
                 p.ttl = rng.gen();
@@ -154,7 +157,7 @@ pub fn workload(scenario: Scenario, secs: u64) -> MergedSource {
                         start,
                         end,
                         ClassId(1 + i as u16),
-                        SEED + 10 + i as u64,
+                        seed + 10 + i as u64,
                     )
                     .with_victim(Ipv4Addr::new(10 + 20 * i as u8, 50, 7, 9), 4000 + i as u16),
                 )));
@@ -162,7 +165,7 @@ pub fn workload(scenario: Scenario, secs: u64) -> MergedSource {
         }
         Scenario::Swapping => {
             // Benign = tight 6 Mbps service; attack = randomized 12 Mbps.
-            sources.push(victim_service(end, 6_000_000));
+            sources.push(victim_service(end, 6_000_000, seed));
             let flood = AttackSource::new(
                 AttackConfig::new(
                     AttackVector::UdpFlood,
@@ -170,11 +173,11 @@ pub fn workload(scenario: Scenario, secs: u64) -> MergedSource {
                     start,
                     end,
                     ClassId(1),
-                    SEED + 3,
+                    seed + 3,
                 )
                 .with_source_spoofing(),
             );
-            let mut rng = StdRng::seed_from_u64(SEED + 4);
+            let mut rng = StdRng::seed_from_u64(seed + 4);
             sources.push(Box::new(MapSource::new(flood, move |p| {
                 p.dst = Ipv4Addr::new(rng.gen(), rng.gen(), rng.gen(), rng.gen());
                 p.ttl = rng.gen();
@@ -182,7 +185,7 @@ pub fn workload(scenario: Scenario, secs: u64) -> MergedSource {
         }
         Scenario::Imitation => {
             // The attack replicates the victim service's exact signature.
-            sources.push(victim_service(end, 6_000_000));
+            sources.push(victim_service(end, 6_000_000, seed));
             let imitation = CbrSource::new(
                 FlowTemplate::udp(
                     Ipv4Addr::new(95, 10, 1, 1),
@@ -203,7 +206,7 @@ pub fn workload(scenario: Scenario, secs: u64) -> MergedSource {
                     sport: Some((30_000, 30_200)),
                     ..Spread::default()
                 },
-                SEED + 5,
+                seed + 5,
             )));
         }
     }
@@ -212,8 +215,8 @@ pub fn workload(scenario: Scenario, secs: u64) -> MergedSource {
 
 /// Runs a scenario through ACC-Turbo and FIFO; returns
 /// `(accturbo benign%, accturbo attack%, fifo benign%)` drop percentages.
-pub fn run_scenario(scenario: Scenario, secs: u64) -> (f64, f64, f64) {
-    let mut src = workload(scenario, secs);
+pub fn run_scenario(scenario: Scenario, secs: u64, seed: u64) -> (f64, f64, f64) {
+    let mut src = workload(scenario, secs, seed);
     let mut sw = AccTurboSwitch::new(AccTurboConfig::simulation(FeatureSet::simulation_default()));
     let res = simulate(
         &mut src,
@@ -224,26 +227,42 @@ pub fn run_scenario(scenario: Scenario, secs: u64) -> (f64, f64, f64) {
     );
     let (at_benign, at_attack) = (res.stats.benign_drop_pct(), res.stats.attack_drop_pct());
 
-    let mut src = workload(scenario, secs);
+    let mut src = workload(scenario, secs, seed);
     let mut fifo = SingleQueueSwitch::new(crate::common::baseline_fifo());
     let res = simulate(&mut src, &mut fifo, LINK, secs, None);
     (at_benign, at_attack, res.stats.benign_drop_pct())
 }
 
-/// Regenerates the §9 adversarial table.
-pub fn report(scale: Scale) -> String {
+/// Regenerates the §9 adversarial table at `seed`, returning the
+/// rendered report and its machine-readable result.
+pub fn figure(scale: Scale, seed: u64) -> Figure {
     let secs = scale.secs(SECS, 4);
+    let mut r = FigureResult::new("adversarial");
     let mut table = Table::new(&[
         "Scenario (§9)",
         "ACC-Turbo benign%",
         "ACC-Turbo attack%",
         "FIFO benign%",
     ]);
+    let slug = |s: &str| {
+        s.to_lowercase()
+            .replace(['(', ')'], "")
+            .trim()
+            .replace([' ', '-'], "_")
+    };
     for s in Scenario::ALL {
-        let (b, a, fb) = run_scenario(s, secs);
+        let (b, a, fb) = run_scenario(s, secs, seed);
+        r.num(&format!("{}.accturbo_benign_pct", slug(s.name())), b);
+        r.num(&format!("{}.accturbo_attack_pct", slug(s.name())), a);
+        r.num(&format!("{}.fifo_benign_pct", slug(s.name())), fb);
         table.row(vec![s.name().into(), f(b), f(a), f(fb)]);
     }
-    table.render()
+    Figure::new(table.render(), r)
+}
+
+/// Regenerates the §9 adversarial table at the canonical seed.
+pub fn report(scale: Scale) -> String {
+    figure(scale, DEFAULT_SEED).rendered
 }
 
 #[cfg(test)]
@@ -252,7 +271,7 @@ mod tests {
 
     #[test]
     fn plain_flood_is_mitigated() {
-        let (benign, attack, fifo) = run_scenario(Scenario::PlainFlood, SECS);
+        let (benign, attack, fifo) = run_scenario(Scenario::PlainFlood, SECS, DEFAULT_SEED);
         assert!(
             benign < fifo / 2.0,
             "defense must beat FIFO: {benign:.1} vs {fifo:.1}"
@@ -266,13 +285,14 @@ mod tests {
         // attack traffic" — mitigation efficiency collapses, but because
         // mitigation is scheduling (not filtering), benign traffic fares
         // no worse than under FIFO.
-        let (benign, _attack, fifo) = run_scenario(Scenario::PacketLevelEvasion, SECS);
+        let (benign, _attack, fifo) =
+            run_scenario(Scenario::PacketLevelEvasion, SECS, DEFAULT_SEED);
         assert!(
             benign < fifo + 10.0,
             "evasion must not make the defense worse than FIFO: {benign:.1} vs {fifo:.1}"
         );
         // And the defense visibly degrades vs the plain flood.
-        let (plain_benign, _, _) = run_scenario(Scenario::PlainFlood, SECS);
+        let (plain_benign, _, _) = run_scenario(Scenario::PlainFlood, SECS, DEFAULT_SEED);
         assert!(
             benign > plain_benign,
             "evasion should cost the defense something: {benign:.1} vs {plain_benign:.1}"
@@ -281,7 +301,8 @@ mod tests {
 
     #[test]
     fn aggregate_level_evasion_is_harder_but_bounded() {
-        let (benign, _attack, fifo) = run_scenario(Scenario::AggregateLevelEvasion, SECS);
+        let (benign, _attack, fifo) =
+            run_scenario(Scenario::AggregateLevelEvasion, SECS, DEFAULT_SEED);
         assert!(
             benign < fifo + 10.0,
             "aggregate evasion must not be worse than FIFO: {benign:.1} vs {fifo:.1}"
@@ -292,8 +313,8 @@ mod tests {
     fn swapping_attack_hurts_the_tight_benign_service() {
         // §9.2: the tight high-rate benign aggregate is the one that looks
         // malicious; expect it to suffer more than under the plain flood.
-        let (benign, _, _) = run_scenario(Scenario::Swapping, SECS);
-        let (plain_benign, _, _) = run_scenario(Scenario::PlainFlood, SECS);
+        let (benign, _, _) = run_scenario(Scenario::Swapping, SECS, DEFAULT_SEED);
+        let (plain_benign, _, _) = run_scenario(Scenario::PlainFlood, SECS, DEFAULT_SEED);
         assert!(
             benign > plain_benign,
             "swapping should hurt benign more than a plain flood: {benign:.1} vs {plain_benign:.1}"
@@ -305,7 +326,7 @@ mod tests {
         // The victim's cluster carries the attack: both are deprioritized
         // together; the victim suffers while total collateral stays below
         // FIFO (the rest of the background is protected).
-        let (benign, attack, fifo) = run_scenario(Scenario::Imitation, SECS);
+        let (benign, attack, fifo) = run_scenario(Scenario::Imitation, SECS, DEFAULT_SEED);
         assert!(benign > 5.0, "imitation must hurt the victim: {benign:.1}");
         assert!(
             benign < fifo + 5.0,

@@ -1,0 +1,386 @@
+//! The `xp` command-line front end: argument parsing and the parallel
+//! figure-run orchestration.
+//!
+//! Parsing and execution live in the library (rather than `main.rs`) so
+//! both are unit-testable: [`parse`] covers every flag/figure error path
+//! and [`run_figures`] writes its output through a caller-supplied sink,
+//! which the determinism tests point at a `String` instead of stdout.
+//!
+//! Output contract: the emitted byte stream depends only on the parsed
+//! [`Cli`], never on `jobs` — the runner delivers results in job-index
+//! order, so `--jobs 8` is byte-identical to `--jobs 1`.
+
+use crate::result::aggregate_csv;
+use crate::{figure_spec, FigureSpec, Scale, FIGURES};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// The parsed `xp` invocation.
+#[derive(Debug)]
+pub struct Cli {
+    /// Experiment scale (`--quick` selects [`Scale::Quick`]).
+    pub scale: Scale,
+    /// Resolved run targets: deduplicated, unknown names rejected, `all`
+    /// expanded, first-mention order preserved. Empty means "all".
+    pub targets: Vec<&'static FigureSpec>,
+    /// Worker threads for the figure fan-out (`--jobs N`, default: the
+    /// machine's available parallelism).
+    pub jobs: usize,
+    /// Explicit seeds (`--seeds a,b,c`). Empty means each figure runs
+    /// once at its canonical [`FigureSpec::default_seed`].
+    pub seeds: Vec<u64>,
+    /// `--trace PATH`: JSONL trace export of the instrumented Fig. 2
+    /// scenario, plus the run's job spans.
+    pub trace: Option<String>,
+    /// `--metrics PATH`: JSONL metrics export of the same scenario.
+    pub metrics: Option<String>,
+}
+
+/// The usage text (`xp --help`).
+pub fn usage() -> String {
+    let names: Vec<&str> = FIGURES.iter().map(|s| s.name).collect();
+    format!(
+        "xp — regenerate the paper's tables and figures\n\
+         \n\
+         USAGE:\n\
+         \x20   xp [FIGURE...] [OPTIONS]     run the named figures (default: all)\n\
+         \x20   xp trace PATH                pretty-print a JSONL trace file\n\
+         \n\
+         FIGURES:\n\
+         \x20   {}\n\
+         \x20   all                          everything above\n\
+         \n\
+         OPTIONS:\n\
+         \x20   --quick                      shrink durations/rates (CI scale)\n\
+         \x20   --jobs N                     run figures on N worker threads\n\
+         \x20                                (default: available parallelism;\n\
+         \x20                                output is identical for any N)\n\
+         \x20   --seeds A,B,C                run every figure once per seed and\n\
+         \x20                                append a mean/min/max aggregate\n\
+         \x20                                (default: each figure's canonical seed)\n\
+         \x20   --trace PATH                 also run the Fig. 2 ACC-Turbo scenario\n\
+         \x20                                with event tracing and write the JSONL\n\
+         \x20                                trace (plus this run's job spans) to PATH\n\
+         \x20   --metrics PATH               write the same run's per-interval\n\
+         \x20                                metrics snapshots (JSONL) to PATH\n\
+         \x20   --help                       this text",
+        names.join(", ")
+    )
+}
+
+fn valid_names() -> String {
+    let names: Vec<&str> = FIGURES.iter().map(|s| s.name).collect();
+    format!("{}, all", names.join(", "))
+}
+
+/// Parses `xp` arguments (without the program name).
+pub fn parse(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        scale: Scale::Full,
+        targets: Vec::new(),
+        jobs: accturbo_runner::default_threads(),
+        seeds: Vec::new(),
+        trace: None,
+        metrics: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => cli.scale = Scale::Quick,
+            "--jobs" => {
+                let raw = it
+                    .next()
+                    .ok_or_else(|| "--jobs requires a thread count".to_string())?;
+                let n: usize = raw
+                    .parse()
+                    .map_err(|_| format!("--jobs: `{raw}` is not a thread count"))?;
+                if n == 0 {
+                    return Err("--jobs must be at least 1".to_string());
+                }
+                cli.jobs = n;
+            }
+            "--seeds" => {
+                let raw = it
+                    .next()
+                    .ok_or_else(|| "--seeds requires a comma-separated seed list".to_string())?;
+                let mut seeds = Vec::new();
+                for part in raw.split(',') {
+                    let part = part.trim();
+                    if part.is_empty() {
+                        return Err(format!("--seeds: empty entry in `{raw}`"));
+                    }
+                    let seed: u64 = part
+                        .parse()
+                        .map_err(|_| format!("--seeds: `{part}` is not a u64 seed"))?;
+                    if seeds.contains(&seed) {
+                        return Err(format!("--seeds: duplicate seed {seed}"));
+                    }
+                    seeds.push(seed);
+                }
+                cli.seeds = seeds;
+            }
+            "--trace" => {
+                cli.trace = Some(
+                    it.next()
+                        .ok_or_else(|| "--trace requires a PATH argument".to_string())?
+                        .clone(),
+                );
+            }
+            "--metrics" => {
+                cli.metrics = Some(
+                    it.next()
+                        .ok_or_else(|| "--metrics requires a PATH argument".to_string())?
+                        .clone(),
+                );
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown option `{flag}`"));
+            }
+            "all" => {
+                for spec in FIGURES {
+                    if !cli.targets.iter().any(|t| t.name == spec.name) {
+                        cli.targets.push(spec);
+                    }
+                }
+            }
+            name => {
+                let spec = figure_spec(name).ok_or_else(|| {
+                    format!("unknown figure `{name}`; valid names: {}", valid_names())
+                })?;
+                if !cli.targets.iter().any(|t| t.name == spec.name) {
+                    cli.targets.push(spec);
+                }
+            }
+        }
+    }
+    if cli.targets.is_empty() {
+        cli.targets = FIGURES.iter().collect();
+    }
+    Ok(cli)
+}
+
+/// One finished figure job's timing, for `--trace` job spans and the
+/// speedup bench.
+#[derive(Debug, Clone)]
+pub struct JobSpan {
+    /// The figure's registry name.
+    pub figure: &'static str,
+    /// The seed the figure ran at.
+    pub seed: u64,
+    /// The worker thread (0-based) that ran the job.
+    pub worker: usize,
+    /// Job start, measured from the pool's launch.
+    pub started_at: Duration,
+    /// Wall-clock time the job took.
+    pub elapsed: Duration,
+}
+
+/// Runs the parsed figure selection on `cli.jobs` workers, handing each
+/// output block to `sink` **in deterministic order** (figures in target
+/// order, seeds in `--seeds` order, aggregate after a figure's last
+/// seed). Returns the per-job wall-clock spans.
+pub fn run_figures(cli: &Cli, mut sink: impl FnMut(&str)) -> Vec<JobSpan> {
+    // The job list: figure-major, seed-minor, so a figure's seeds are
+    // contiguous in delivery order and the aggregate can flush as soon
+    // as its last seed lands.
+    let seeded = !cli.seeds.is_empty();
+    let per_figure = cli.seeds.len().max(1);
+    let jobs: Vec<(&'static FigureSpec, u64)> = cli
+        .targets
+        .iter()
+        .flat_map(|spec| {
+            if seeded {
+                cli.seeds.iter().map(|&s| (*spec, s)).collect::<Vec<_>>()
+            } else {
+                vec![(*spec, spec.default_seed)]
+            }
+        })
+        .collect();
+
+    let mut spans = Vec::with_capacity(jobs.len());
+    let mut pending = Vec::with_capacity(per_figure);
+    accturbo_runner::run_streaming(
+        cli.jobs,
+        jobs.len(),
+        |i| {
+            let (spec, seed) = jobs[i];
+            (spec.run)(cli.scale, seed)
+        },
+        |r| {
+            let (spec, seed) = jobs[r.index];
+            spans.push(JobSpan {
+                figure: spec.name,
+                seed,
+                worker: r.worker,
+                started_at: r.started_at,
+                elapsed: r.elapsed,
+            });
+            let mut block = String::new();
+            if seeded {
+                let _ = writeln!(
+                    block,
+                    "==================== {} (seed {seed}) ====================",
+                    spec.name
+                );
+            } else {
+                let _ = writeln!(
+                    block,
+                    "==================== {} ====================",
+                    spec.name
+                );
+            }
+            let _ = writeln!(block, "{}", r.output.rendered);
+            if seeded {
+                pending.push(r.output);
+                if pending.len() == per_figure {
+                    if per_figure > 1 {
+                        let _ = writeln!(
+                            block,
+                            "==================== {} aggregate over {} seeds ====================",
+                            spec.name, per_figure
+                        );
+                        let results: Vec<_> =
+                            pending.iter().map(|f: &crate::Figure| &f.result).collect();
+                        let _ = writeln!(block, "{}", aggregate_csv(&results).trim_end());
+                        let _ = writeln!(block);
+                    }
+                    pending.clear();
+                }
+            }
+            sink(&block);
+        },
+    );
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_run_everything_at_full_scale() {
+        let cli = parse(&[]).unwrap();
+        assert_eq!(cli.scale, Scale::Full);
+        assert_eq!(cli.targets.len(), FIGURES.len());
+        assert!(cli.seeds.is_empty());
+        assert!(cli.jobs >= 1);
+        assert!(cli.trace.is_none() && cli.metrics.is_none());
+    }
+
+    #[test]
+    fn quick_and_explicit_targets_parse() {
+        let cli = parse(&args(&["--quick", "fig3", "fig2"])).unwrap();
+        assert_eq!(cli.scale, Scale::Quick);
+        let names: Vec<&str> = cli.targets.iter().map(|t| t.name).collect();
+        assert_eq!(names, vec!["fig3", "fig2"], "first-mention order");
+    }
+
+    #[test]
+    fn duplicate_targets_are_deduped_preserving_order() {
+        let cli = parse(&args(&["fig3", "fig2", "fig3", "fig2"])).unwrap();
+        let names: Vec<&str> = cli.targets.iter().map(|t| t.name).collect();
+        assert_eq!(names, vec!["fig3", "fig2"]);
+    }
+
+    #[test]
+    fn all_expands_and_dedupes_against_explicit_names() {
+        let cli = parse(&args(&["fig3", "all"])).unwrap();
+        assert_eq!(cli.targets.len(), FIGURES.len());
+        assert_eq!(
+            cli.targets[0].name, "fig3",
+            "explicit mention keeps its slot"
+        );
+    }
+
+    #[test]
+    fn unknown_figures_are_rejected_before_running() {
+        let err = parse(&args(&["fig2", "fig99"])).unwrap_err();
+        assert!(err.contains("unknown figure `fig99`"), "{err}");
+        assert!(err.contains("valid names"), "{err}");
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        let err = parse(&args(&["--frobnicate"])).unwrap_err();
+        assert!(err.contains("--frobnicate"), "{err}");
+    }
+
+    #[test]
+    fn jobs_rejects_zero_and_garbage_and_missing_value() {
+        assert!(parse(&args(&["--jobs", "0"]))
+            .unwrap_err()
+            .contains("at least 1"));
+        assert!(parse(&args(&["--jobs", "many"]))
+            .unwrap_err()
+            .contains("not a thread count"));
+        assert!(parse(&args(&["--jobs"]))
+            .unwrap_err()
+            .contains("requires a thread count"));
+        assert_eq!(parse(&args(&["--jobs", "4"])).unwrap().jobs, 4);
+    }
+
+    #[test]
+    fn seeds_parse_and_reject_malformed_lists() {
+        let cli = parse(&args(&["--seeds", "1,2,33"])).unwrap();
+        assert_eq!(cli.seeds, vec![1, 2, 33]);
+        assert!(parse(&args(&["--seeds"]))
+            .unwrap_err()
+            .contains("requires a comma-separated"));
+        assert!(parse(&args(&["--seeds", "1,,2"]))
+            .unwrap_err()
+            .contains("empty entry"));
+        assert!(parse(&args(&["--seeds", "1,x"]))
+            .unwrap_err()
+            .contains("not a u64 seed"));
+        assert!(parse(&args(&["--seeds", "7,7"]))
+            .unwrap_err()
+            .contains("duplicate seed 7"));
+        assert!(parse(&args(&["--seeds", "-3"]))
+            .unwrap_err()
+            .contains("not a u64 seed"));
+    }
+
+    #[test]
+    fn trace_and_metrics_require_paths() {
+        assert!(parse(&args(&["--trace"])).unwrap_err().contains("--trace"));
+        assert!(parse(&args(&["--metrics"]))
+            .unwrap_err()
+            .contains("--metrics"));
+        let cli = parse(&args(&["--trace", "t.jsonl", "--metrics", "m.jsonl"])).unwrap();
+        assert_eq!(cli.trace.as_deref(), Some("t.jsonl"));
+        assert_eq!(cli.metrics.as_deref(), Some("m.jsonl"));
+    }
+
+    #[test]
+    fn run_figures_emits_one_block_per_target_in_order() {
+        let mut cli = parse(&args(&["--quick", "pushback", "table3"])).unwrap();
+        cli.jobs = 2;
+        let mut out = String::new();
+        let spans = run_figures(&cli, |block| out.push_str(block));
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].figure, "pushback");
+        assert_eq!(spans[1].figure, "table3");
+        let pb = out.find("==================== pushback ====================");
+        let t3 = out.find("==================== table3 ====================");
+        assert!(pb.is_some() && t3.is_some(), "{out}");
+        assert!(pb < t3, "target order must be preserved");
+    }
+
+    #[test]
+    fn seeded_runs_emit_per_seed_blocks_and_an_aggregate() {
+        let mut cli = parse(&args(&["--quick", "pushback", "--seeds", "1,2"])).unwrap();
+        cli.jobs = 1;
+        let mut out = String::new();
+        let spans = run_figures(&cli, |block| out.push_str(block));
+        assert_eq!(spans.len(), 2);
+        assert_eq!((spans[0].seed, spans[1].seed), (1, 2));
+        assert!(out.contains("pushback (seed 1)"), "{out}");
+        assert!(out.contains("pushback (seed 2)"), "{out}");
+        assert!(out.contains("pushback aggregate over 2 seeds"), "{out}");
+        assert!(out.contains("field,mean,min,max"), "{out}");
+    }
+}

@@ -5,9 +5,10 @@
 //! identical rate ratios, so shares, percentages and times match the
 //! paper's axes.
 
+use crate::result::FigureResult;
 use accturbo_netsim::{
-    run, run_instrumented, Bandwidth, EngineConfig, PacketSource, RunResult, SimDuration, SimTime,
-    Switch,
+    run, run_instrumented, Bandwidth, ClassId, EngineConfig, PacketSource, RunResult, SimDuration,
+    SimTime, Switch,
 };
 use accturbo_obs::{MetricsHandle, Tracer};
 
@@ -80,6 +81,54 @@ pub fn simulate_instrumented<T: Tracer + ?Sized>(
         cfg = cfg.with_control_period(p);
     }
     run_instrumented(source, switch, &cfg, tracer, metrics)
+}
+
+/// Pushes the structural summary of a bandwidth-share panel into a
+/// [`FigureResult`]: per-class mean share and the mean drop rate over
+/// the run. Together with the `rendered_fnv` digest this pins the
+/// panel's series against silent drift while staying compact.
+pub fn push_share_summary(
+    r: &mut FigureResult,
+    prefix: &str,
+    res: &RunResult,
+    link_bps: u64,
+    classes: &[ClassId],
+    secs: u64,
+) {
+    let shares = share_series(res, link_bps, classes, secs);
+    for (i, &c) in classes.iter().enumerate() {
+        let mean = shares.iter().map(|row| row[i]).sum::<f64>() / secs.max(1) as f64;
+        r.num(&format!("{prefix}.agg{}.mean_share", c.0), mean);
+    }
+    let droprate = (0..secs as usize)
+        .map(|t| res.stats.drop_rate(t))
+        .sum::<f64>()
+        / secs.max(1) as f64;
+    r.num(&format!("{prefix}.mean_droprate"), droprate);
+}
+
+/// Pushes the structural summary of an attack/benign throughput panel
+/// (Figs. 6 and 7): mean delivered rate of each side over the run, at
+/// the paper's axis scale (sim Mbps == paper Gbps).
+pub fn push_throughput_summary(r: &mut FigureResult, prefix: &str, res: &RunResult, secs: u64) {
+    let n = secs.max(1) as f64;
+    let attack = (0..secs as usize)
+        .map(|t| res.stats.attack_throughput_bps(t))
+        .sum::<f64>()
+        / n
+        / 1e6;
+    let benign = (0..secs as usize)
+        .map(|t| res.stats.throughput_bps(t, ClassId::BENIGN))
+        .sum::<f64>()
+        / n
+        / 1e6;
+    r.num(&format!("{prefix}.mean_attack_gbps"), attack);
+    r.num(&format!("{prefix}.mean_benign_gbps"), benign);
+}
+
+/// Renders an optional delay as the reports' `"never"` convention.
+pub fn delay_text(d: Option<u64>) -> String {
+    d.map(|x| x.to_string()).unwrap_or_else(|| "never".into())
 }
 
 /// Per-second fraction-of-link-bandwidth series for a set of classes —

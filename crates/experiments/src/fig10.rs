@@ -14,6 +14,8 @@
 
 use crate::common::Scale;
 use crate::fig9::cluster_quality;
+use crate::result::FigureResult;
+use crate::Figure;
 use accturbo_clustering::{
     kmeans, nearest, ClusteringConfig, DistanceKind, FeatureSet, HybridClusterer, NominalMode,
     QualitySummary, SearchKind, WindowedEval,
@@ -90,8 +92,14 @@ impl Strategy {
     }
 }
 
-fn day(scale: Scale) -> CicDdosConfig {
-    let mut cfg = CicDdosConfig::default();
+/// The canonical workload seed (the CICDDoS-like day's default).
+pub const DEFAULT_SEED: u64 = 0xC1C;
+
+fn day(scale: Scale, seed: u64) -> CicDdosConfig {
+    let mut cfg = CicDdosConfig {
+        seed,
+        ..CicDdosConfig::default()
+    };
     if scale == Scale::Quick {
         cfg.vectors = vec![AttackVector::Ntp, AttackVector::UdpFlood];
         cfg.episode = SimDuration::from_secs(2);
@@ -106,19 +114,19 @@ fn day(scale: Scale) -> CicDdosConfig {
 const EVAL_WINDOW: SimDuration = SimDuration::from_secs(4);
 
 /// Runs one (strategy, k) cell and returns its quality.
-pub fn run_cell(strategy: Strategy, k: usize, scale: Scale) -> QualitySummary {
+pub fn run_cell(strategy: Strategy, k: usize, scale: Scale, seed: u64) -> QualitySummary {
     match strategy {
-        Strategy::OfflineKMeans => offline_kmeans_quality(k, scale),
-        Strategy::EuclideanFastInit => hybrid_quality(k, scale),
+        Strategy::OfflineKMeans => offline_kmeans_quality(k, scale, seed),
+        Strategy::EuclideanFastInit => hybrid_quality(k, scale, seed),
         _ => {
             let cfg = strategy.online_config(k).expect("online strategy");
-            cluster_quality(day(scale), cfg)
+            cluster_quality(day(scale, seed), cfg)
         }
     }
 }
 
-fn hybrid_quality(k: usize, scale: Scale) -> QualitySummary {
-    let mut source = day(scale).into_source();
+fn hybrid_quality(k: usize, scale: Scale, seed: u64) -> QualitySummary {
+    let mut source = day(scale, seed).into_source();
     let mut hc = HybridClusterer::new(FeatureSet::simulation_default(), k, 0.2, 20_000, 42);
     let mut eval = WindowedEval::new(EVAL_WINDOW);
     while let Some(pkt) = source.next_packet() {
@@ -128,12 +136,12 @@ fn hybrid_quality(k: usize, scale: Scale) -> QualitySummary {
     eval.finish()
 }
 
-fn offline_kmeans_quality(k: usize, scale: Scale) -> QualitySummary {
+fn offline_kmeans_quality(k: usize, scale: Scale, seed: u64) -> QualitySummary {
     // Offline, unlimited resources: fit k-means per evaluation window on
     // the window's own packets (subsampled for tractability), then score
     // the window's assignment.
     let features = FeatureSet::simulation_default();
-    let mut source = day(scale).into_source();
+    let mut source = day(scale, seed).into_source();
     let mut eval = WindowedEval::new(EVAL_WINDOW);
     let mut window_points: Vec<Vec<f64>> = Vec::new();
     let mut window_pkts: Vec<(accturbo_netsim::SimTime, accturbo_netsim::ClassId, Vec<f64>)> =
@@ -173,9 +181,11 @@ fn offline_kmeans_quality(k: usize, scale: Scale) -> QualitySummary {
     eval.finish()
 }
 
-/// Regenerates Fig. 10 and returns the textual report.
-pub fn report(scale: Scale) -> String {
+/// Regenerates Fig. 10 at `seed`, returning the rendered report and its
+/// machine-readable result.
+pub fn figure(scale: Scale, seed: u64) -> Figure {
     let mut out = String::new();
+    let mut r = FigureResult::new("fig10");
     let ks: &[usize] = match scale {
         Scale::Full => &[2, 4, 6, 8, 10],
         Scale::Quick => &[2, 10],
@@ -184,9 +194,15 @@ pub fn report(scale: Scale) -> String {
         Scale::Full => &Strategy::ALL,
         Scale::Quick => &[Strategy::ManhattanFast, Strategy::OfflineKMeans],
     };
-    for (title, pick) in [
-        ("Fig. 10a: Purity (%)", 0usize),
-        ("Fig. 10b: Recall benign (%)", 1),
+    let slug = |s: &str| {
+        s.to_lowercase()
+            .replace(['*', '.'], "")
+            .trim()
+            .replace(' ', "_")
+    };
+    for (title, panel, pick) in [
+        ("Fig. 10a: Purity (%)", "a", 0usize),
+        ("Fig. 10b: Recall benign (%)", "b", 1),
     ] {
         let _ = writeln!(&mut out, "# {title}");
         let _ = write!(&mut out, "clusters");
@@ -197,14 +213,21 @@ pub fn report(scale: Scale) -> String {
         for &k in ks {
             let _ = write!(&mut out, "{k}");
             for &s in strategies {
-                let q = run_cell(s, k, scale);
+                let q = run_cell(s, k, scale, seed);
                 let v = if pick == 0 { q.purity } else { q.recall_benign };
+                r.num(&format!("{panel}.k{k}.{}", slug(s.name())), v);
                 let _ = write!(&mut out, ",{}", f(v));
             }
             let _ = writeln!(&mut out);
         }
     }
-    out
+    Figure::new(out, r)
+}
+
+/// Regenerates Fig. 10 at the canonical seed and returns the textual
+/// report.
+pub fn report(scale: Scale) -> String {
+    figure(scale, DEFAULT_SEED).rendered
 }
 
 #[cfg(test)]
@@ -213,9 +236,9 @@ mod tests {
 
     #[test]
     fn more_clusters_help_with_diminishing_returns() {
-        let p2 = run_cell(Strategy::ManhattanFast, 2, Scale::Full).purity;
-        let p6 = run_cell(Strategy::ManhattanFast, 6, Scale::Full).purity;
-        let p10 = run_cell(Strategy::ManhattanFast, 10, Scale::Full).purity;
+        let p2 = run_cell(Strategy::ManhattanFast, 2, Scale::Full, DEFAULT_SEED).purity;
+        let p6 = run_cell(Strategy::ManhattanFast, 6, Scale::Full, DEFAULT_SEED).purity;
+        let p10 = run_cell(Strategy::ManhattanFast, 10, Scale::Full, DEFAULT_SEED).purity;
         assert!(p6 > p2, "6 clusters ({p6:.1}) must beat 2 ({p2:.1})");
         assert!(
             p10 >= p6 - 1.0,
@@ -229,8 +252,8 @@ mod tests {
 
     #[test]
     fn exhaustive_at_least_matches_fast_for_manhattan() {
-        let fast = run_cell(Strategy::ManhattanFast, 6, Scale::Full).purity;
-        let exh = run_cell(Strategy::ManhattanExhaustive, 6, Scale::Full).purity;
+        let fast = run_cell(Strategy::ManhattanFast, 6, Scale::Full, DEFAULT_SEED).purity;
+        let exh = run_cell(Strategy::ManhattanExhaustive, 6, Scale::Full, DEFAULT_SEED).purity;
         // Paper Fig. 10: the two perform similarly, and fast's greedy
         // merge choice can come out a couple of points ahead on some
         // traffic draws — allow that much noise, no more.
@@ -242,8 +265,8 @@ mod tests {
 
     #[test]
     fn deployable_is_close_to_offline_kmeans() {
-        let fast = run_cell(Strategy::ManhattanFast, 10, Scale::Full).purity;
-        let offline = run_cell(Strategy::OfflineKMeans, 10, Scale::Full).purity;
+        let fast = run_cell(Strategy::ManhattanFast, 10, Scale::Full, DEFAULT_SEED).purity;
+        let offline = run_cell(Strategy::OfflineKMeans, 10, Scale::Full, DEFAULT_SEED).purity;
         assert!(
             offline - fast < 10.0,
             "deployable ({fast:.1}) should be within ~5% of offline k-means ({offline:.1})"
@@ -253,7 +276,7 @@ mod tests {
     #[test]
     fn every_strategy_runs_at_every_cluster_count() {
         for s in Strategy::ALL {
-            let q = run_cell(s, 4, Scale::Quick);
+            let q = run_cell(s, 4, Scale::Quick, DEFAULT_SEED);
             assert!(q.windows > 0, "{}: no windows scored", s.name());
             assert!(q.purity > 50.0, "{}: purity {:.1}", s.name(), q.purity);
         }

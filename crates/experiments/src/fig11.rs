@@ -16,6 +16,8 @@
 //! (0.05 Gbps → 50 Mbps, …, 0.001 Gbps → 1 Mbps).
 
 use crate::common::{simulate, Scale};
+use crate::result::FigureResult;
+use crate::Figure;
 use accturbo_clustering::{ClusteringConfig, DistanceKind, FeatureSet, SearchKind};
 use accturbo_core::{AccTurboConfig, AccTurboSwitch, IdealPifoSwitch};
 use accturbo_netsim::{SimDuration, SingleQueueSwitch};
@@ -26,10 +28,15 @@ use std::fmt::Write as _;
 
 /// Control period for the §8 simulation experiments.
 const POLL: SimDuration = SimDuration::from_millis(50);
+/// The canonical workload seed (the CICDDoS-like day's default). The
+/// Fig. 11a "elephant" supplement keeps its own calibrated seeds — its
+/// regime is the experiment, not the draw.
+pub const DEFAULT_SEED: u64 = 0xC1C;
 
-fn day(vectors: Vec<AttackVector>, scale: Scale) -> CicDdosConfig {
+fn day(vectors: Vec<AttackVector>, scale: Scale, seed: u64) -> CicDdosConfig {
     let mut cfg = CicDdosConfig {
         vectors,
+        seed,
         ..CicDdosConfig::default()
     };
     if scale == Scale::Quick {
@@ -53,8 +60,9 @@ pub fn ranking_score(
     ranking: RankingAlgorithm,
     link_bps: u64,
     scale: Scale,
+    seed: u64,
 ) -> f64 {
-    let cfg = day(vec![vector], scale);
+    let cfg = day(vec![vector], scale, seed);
     let total = cfg.total_duration();
     let mut src = cfg.into_source();
     let mut score = SchedulingScore::new();
@@ -175,8 +183,8 @@ impl Scheme {
 
 /// Runs the full attack day through `scheme` at `link_bps`, returning the
 /// % of benign packets dropped.
-pub fn benign_drop_pct(scheme: Scheme, link_bps: u64, scale: Scale) -> f64 {
-    let cfg = day(AttackVector::ALL.to_vec(), scale);
+pub fn benign_drop_pct(scheme: Scheme, link_bps: u64, scale: Scale, seed: u64) -> f64 {
+    let cfg = day(AttackVector::ALL.to_vec(), scale, seed);
     let secs = cfg.total_duration().as_secs_f64().ceil() as u64;
     let mut src = cfg.into_source();
     match scheme {
@@ -222,9 +230,17 @@ pub fn benign_drop_pct(scheme: Scheme, link_bps: u64, scale: Scale) -> f64 {
 /// The Fig. 11b bottleneck capacities, scaled (paper: 0.05–0.001 Gbps).
 pub const BOTTLENECKS_MBPS: [u64; 5] = [50, 20, 10, 5, 1];
 
-/// Regenerates Fig. 11 and returns the textual report.
-pub fn report(scale: Scale) -> String {
+/// Regenerates Fig. 11 at `seed`, returning the rendered report and its
+/// machine-readable result.
+pub fn figure(scale: Scale, seed: u64) -> Figure {
     let mut out = String::new();
+    let mut r = FigureResult::new("fig11");
+    let slug = |s: &str| {
+        s.to_lowercase()
+            .replace(['*', '.', '/'], "")
+            .trim()
+            .replace(' ', "_")
+    };
 
     let _ = writeln!(&mut out, "# Fig. 11a: ranking-algorithm score (%)");
     let _ = writeln!(&mut out, "vector,N.P.,Th.,N.P./Size,Th./Size");
@@ -235,7 +251,8 @@ pub fn report(scale: Scale) -> String {
     for &v in vectors {
         let _ = write!(&mut out, "{}", v.name());
         for alg in RankingAlgorithm::ALL {
-            let s = ranking_score(v, alg, 15_000_000, scale);
+            let s = ranking_score(v, alg, 15_000_000, scale, seed);
+            r.num(&format!("a.{}.{}.score", v.name(), slug(alg.name())), s);
             let _ = write!(&mut out, ",{}", f(s));
         }
         let _ = writeln!(&mut out);
@@ -249,6 +266,8 @@ pub fn report(scale: Scale) -> String {
     if scale == Scale::Full {
         for alg in RankingAlgorithm::ALL {
             let (b, a) = elephant_drops(alg);
+            r.num(&format!("a_supp.{}.benign_drop_pct", slug(alg.name())), b);
+            r.num(&format!("a_supp.{}.attack_drop_pct", slug(alg.name())), a);
             let _ = writeln!(&mut out, "{},{},{}", alg.name(), f(b), f(a));
         }
     }
@@ -269,12 +288,19 @@ pub fn report(scale: Scale) -> String {
     for &mbps in capacities {
         let _ = write!(&mut out, "{mbps}");
         for s in Scheme::ALL {
-            let pct = benign_drop_pct(s, mbps * 1_000_000, scale);
+            let pct = benign_drop_pct(s, mbps * 1_000_000, scale, seed);
+            r.num(&format!("b.{}mbps.{}", mbps, slug(s.name())), pct);
             let _ = write!(&mut out, ",{}", f(pct));
         }
         let _ = writeln!(&mut out);
     }
-    out
+    Figure::new(out, r)
+}
+
+/// Regenerates Fig. 11 at the canonical seed and returns the textual
+/// report.
+pub fn report(scale: Scale) -> String {
+    figure(scale, DEFAULT_SEED).rendered
 }
 
 #[cfg(test)]
@@ -307,6 +333,7 @@ mod tests {
             RankingAlgorithm::Throughput,
             15_000_000,
             Scale::Full,
+            DEFAULT_SEED,
         );
         assert!(s > 95.0, "MSSQL Th. score {s:.1}");
     }
@@ -314,9 +341,19 @@ mod tests {
     #[test]
     fn accturbo_beats_fifo_and_tracks_the_ideal() {
         let mbps = 50;
-        let fifo = benign_drop_pct(Scheme::Fifo, mbps * 1_000_000, Scale::Full);
-        let ideal = benign_drop_pct(Scheme::PifoIdeal, mbps * 1_000_000, Scale::Full);
-        let turbo = benign_drop_pct(Scheme::ManhattanFastTh, mbps * 1_000_000, Scale::Full);
+        let fifo = benign_drop_pct(Scheme::Fifo, mbps * 1_000_000, Scale::Full, DEFAULT_SEED);
+        let ideal = benign_drop_pct(
+            Scheme::PifoIdeal,
+            mbps * 1_000_000,
+            Scale::Full,
+            DEFAULT_SEED,
+        );
+        let turbo = benign_drop_pct(
+            Scheme::ManhattanFastTh,
+            mbps * 1_000_000,
+            Scale::Full,
+            DEFAULT_SEED,
+        );
         assert!(
             fifo - turbo > 15.0,
             "ACC-Turbo ({turbo:.1}%) must save ≫ benign vs FIFO ({fifo:.1}%); paper: 29%"
@@ -330,9 +367,14 @@ mod tests {
     #[test]
     fn ideal_pifo_dominates_everything() {
         let mbps = 10;
-        let ideal = benign_drop_pct(Scheme::PifoIdeal, mbps * 1_000_000, Scale::Quick);
+        let ideal = benign_drop_pct(
+            Scheme::PifoIdeal,
+            mbps * 1_000_000,
+            Scale::Quick,
+            DEFAULT_SEED,
+        );
         for s in [Scheme::Fifo, Scheme::ManhattanFastTh] {
-            let pct = benign_drop_pct(s, mbps * 1_000_000, Scale::Quick);
+            let pct = benign_drop_pct(s, mbps * 1_000_000, Scale::Quick, DEFAULT_SEED);
             assert!(
                 ideal <= pct + 1.0,
                 "{} ({pct:.1}%) must not beat the oracle ({ideal:.1}%)",

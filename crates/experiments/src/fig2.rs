@@ -12,7 +12,11 @@
 //! Each panel prints a CSV of per-second link-bandwidth shares for the
 //! five aggregates plus the total, and the drop-rate series.
 
-use crate::common::{share_series, simulate, Scale, LINK_10G_SCALED};
+use crate::common::{
+    delay_text, push_share_summary, share_series, simulate, Scale, LINK_10G_SCALED,
+};
+use crate::result::FigureResult;
+use crate::Figure;
 use accturbo_acc::{AccConfig, AccSwitch};
 use accturbo_clustering::FeatureSet;
 use accturbo_core::{AccTurboConfig, AccTurboSwitch};
@@ -22,16 +26,17 @@ use accturbo_traffic::scenarios;
 use std::fmt::Write as _;
 
 const LINK: u64 = LINK_10G_SCALED;
-const SEED: u64 = 2022;
+/// The canonical workload seed (the historical in-module constant).
+pub const DEFAULT_SEED: u64 = 2022;
 
-fn fifo_run(secs: u64) -> RunResult {
-    let mut src = scenarios::fig2_source(LINK, SEED);
+fn fifo_run(secs: u64, seed: u64) -> RunResult {
+    let mut src = scenarios::fig2_source(LINK, seed);
     let mut sw = SingleQueueSwitch::new(crate::common::baseline_fifo());
     simulate(&mut src, &mut sw, LINK, secs, None)
 }
 
-fn acc_run(k: SimDuration, secs: u64) -> RunResult {
-    let mut src = scenarios::fig2_source(LINK, SEED);
+fn acc_run(k: SimDuration, secs: u64, seed: u64) -> RunResult {
+    let mut src = scenarios::fig2_source(LINK, seed);
     let mut sw = AccSwitch::new(AccConfig::default().with_k(k), Bandwidth::from_bps(LINK));
     simulate(
         &mut src,
@@ -42,8 +47,8 @@ fn acc_run(k: SimDuration, secs: u64) -> RunResult {
     )
 }
 
-fn accturbo_run(secs: u64) -> RunResult {
-    let mut src = scenarios::fig2_source(LINK, SEED);
+fn accturbo_run(secs: u64, seed: u64) -> RunResult {
+    let mut src = scenarios::fig2_source(LINK, seed);
     let mut sw = AccTurboSwitch::new(AccTurboConfig::simulation(FeatureSet::simulation_default()));
     simulate(
         &mut src,
@@ -72,7 +77,7 @@ pub fn accturbo_run_instrumented(
     let secs = scale.secs(scenarios::RUN_SECS, 2);
     let tracer = shared(RingTracer::new(2_000_000));
     let metrics: accturbo_obs::MetricsHandle = Rc::new(RefCell::new(Registry::new()));
-    let mut src = scenarios::fig2_source(LINK, SEED);
+    let mut src = scenarios::fig2_source(LINK, DEFAULT_SEED);
     let mut sw = AccTurboSwitch::new(AccTurboConfig::simulation(FeatureSet::simulation_default()));
     sw.set_tracer(Box::new(Rc::clone(&tracer)));
     sw.set_metrics(Rc::clone(&metrics));
@@ -159,16 +164,21 @@ pub fn mitigation_delay(res: &RunResult, secs: u64) -> Option<u64> {
     })
 }
 
-/// Regenerates Fig. 2 and returns the textual report.
-pub fn report(scale: Scale) -> String {
+/// Regenerates Fig. 2 at `seed`, returning the rendered report and its
+/// machine-readable result.
+pub fn figure(scale: Scale, seed: u64) -> Figure {
     let secs = scale.secs(scenarios::RUN_SECS, 2);
     let mut out = String::new();
+    let mut r = FigureResult::new("fig2");
+    let classes: Vec<ClassId> = (1..=5).map(ClassId).collect();
 
-    let fifo = fifo_run(secs);
+    let fifo = fifo_run(secs, seed);
     panel(&mut out, "Fig. 2a: No ACC (FIFO)", &fifo, secs);
+    push_share_summary(&mut r, "a", &fifo, LINK, &classes, secs);
 
-    let acc = acc_run(SimDuration::from_secs(2), secs);
+    let acc = acc_run(SimDuration::from_secs(2), secs, seed);
     panel(&mut out, "Fig. 2b: ACC (K=2s)", &acc, secs);
+    push_share_summary(&mut r, "b", &acc, LINK, &classes, secs);
 
     let _ = writeln!(
         &mut out,
@@ -180,36 +190,39 @@ pub fn report(scale: Scale) -> String {
         Scale::Quick => &[5, 10],
     };
     for &k in ks {
-        let res = acc_run(SimDuration::from_secs(k), secs);
-        let delay = mitigation_delay(&res, secs)
-            .map(|d| d.to_string())
-            .unwrap_or_else(|| "never".into());
+        let res = acc_run(SimDuration::from_secs(k), secs, seed);
+        let delay = delay_text(mitigation_delay(&res, secs));
+        r.text(&format!("c.k{k}.deploy_after_s"), &delay);
         let _ = writeln!(&mut out, "{k},{delay}");
     }
 
-    let turbo = accturbo_run(secs);
+    let turbo = accturbo_run(secs, seed);
     panel(&mut out, "Fig. 2d: ACC-Turbo", &turbo, secs);
+    push_share_summary(&mut r, "d", &turbo, LINK, &classes, secs);
 
     // Headline comparison the paper narrates: ACC reacts in ≈4 s, driven
     // by K; ACC-Turbo within one control period.
     let acc_delay = mitigation_delay(&acc, secs);
     let turbo_delay = mitigation_delay(&turbo, secs);
     let _ = writeln!(&mut out, "# Summary");
-    let _ = writeln!(
-        &mut out,
-        "acc_mitigation_after_s,{}",
-        acc_delay
-            .map(|d| d.to_string())
-            .unwrap_or_else(|| "never".into())
-    );
+    let _ = writeln!(&mut out, "acc_mitigation_after_s,{}", delay_text(acc_delay));
     let _ = writeln!(
         &mut out,
         "accturbo_mitigation_after_s,{}",
-        turbo_delay
-            .map(|d| d.to_string())
-            .unwrap_or_else(|| "never".into())
+        delay_text(turbo_delay)
     );
-    out
+    r.text("summary.acc_mitigation_after_s", &delay_text(acc_delay));
+    r.text(
+        "summary.accturbo_mitigation_after_s",
+        &delay_text(turbo_delay),
+    );
+    Figure::new(out, r)
+}
+
+/// Regenerates Fig. 2 at the canonical seed and returns the textual
+/// report.
+pub fn report(scale: Scale) -> String {
+    figure(scale, DEFAULT_SEED).rendered
 }
 
 #[cfg(test)]
@@ -219,7 +232,7 @@ mod tests {
     #[test]
     fn fifo_lets_the_attack_capture_the_link() {
         let secs = 32;
-        let res = fifo_run(secs);
+        let res = fifo_run(secs, DEFAULT_SEED);
         // At the ramp's peak (t in 20..25) the attack offers 4x the link
         // and FIFO serves it proportionally: attack share > 0.6.
         let share = res.stats.throughput_bps(22, ClassId(5)) / LINK as f64;
@@ -232,7 +245,7 @@ mod tests {
     #[test]
     fn acc_mitigates_within_a_few_seconds() {
         let secs = 32;
-        let res = acc_run(SimDuration::from_secs(2), secs);
+        let res = acc_run(SimDuration::from_secs(2), secs, DEFAULT_SEED);
         let delay = mitigation_delay(&res, secs).expect("ACC must mitigate");
         assert!(delay <= 6, "ACC took {delay}s (paper: ≈4s)");
         // Post-mitigation, benign aggregates recover.
@@ -243,7 +256,7 @@ mod tests {
     #[test]
     fn accturbo_mitigates_within_a_second() {
         let secs = 32;
-        let res = accturbo_run(secs);
+        let res = accturbo_run(secs, DEFAULT_SEED);
         let delay = mitigation_delay(&res, secs).expect("ACC-Turbo must mitigate");
         assert!(delay <= 2, "ACC-Turbo took {delay}s (paper: <1s)");
         let benign = res.stats.throughput_bps(22, ClassId(1)) / LINK as f64;

@@ -13,7 +13,9 @@
 //! Expected shape (paper): ACC misses at least the early pulses for any
 //! K, bottoming out near 20% benign drops; ACC-Turbo defends all pulses.
 
-use crate::common::{share_series, simulate, Scale, LINK_10G_SCALED};
+use crate::common::{push_share_summary, share_series, simulate, Scale, LINK_10G_SCALED};
+use crate::result::FigureResult;
+use crate::Figure;
 use accturbo_acc::{AccConfig, AccSwitch};
 use accturbo_clustering::FeatureSet;
 use accturbo_core::{AccTurboConfig, AccTurboSwitch};
@@ -23,7 +25,8 @@ use accturbo_traffic::scenarios;
 use std::fmt::Write as _;
 
 const LINK: u64 = LINK_10G_SCALED;
-const SEED: u64 = 33;
+/// The canonical workload seed (the historical in-module constant).
+pub const DEFAULT_SEED: u64 = 33;
 
 /// % of packets of the benign aggregates (classes 1-4) dropped.
 pub fn benign_pct(res: &RunResult) -> f64 {
@@ -32,23 +35,23 @@ pub fn benign_pct(res: &RunResult) -> f64 {
 }
 
 /// Runs the Fig. 3 workload through FIFO.
-pub fn fifo_run(secs: u64) -> RunResult {
-    let mut src = scenarios::fig3_source(LINK, SEED);
+pub fn fifo_run(secs: u64, seed: u64) -> RunResult {
+    let mut src = scenarios::fig3_source(LINK, seed);
     let mut sw = SingleQueueSwitch::new(crate::common::baseline_fifo());
     simulate(&mut src, &mut sw, LINK, secs, None)
 }
 
 /// Runs the Fig. 3 workload through classic ACC with monitoring window `k`.
-pub fn acc_run(k: SimDuration, secs: u64) -> RunResult {
-    let mut src = scenarios::fig3_source(LINK, SEED);
+pub fn acc_run(k: SimDuration, secs: u64, seed: u64) -> RunResult {
+    let mut src = scenarios::fig3_source(LINK, seed);
     let mut sw = AccSwitch::new(AccConfig::default().with_k(k), Bandwidth::from_bps(LINK));
     let tick = SimDuration::from_millis(100).min(k);
     simulate(&mut src, &mut sw, LINK, secs, Some(tick))
 }
 
 /// Runs the Fig. 3 workload through ACC-Turbo.
-pub fn accturbo_run(secs: u64) -> RunResult {
-    let mut src = scenarios::fig3_source(LINK, SEED);
+pub fn accturbo_run(secs: u64, seed: u64) -> RunResult {
+    let mut src = scenarios::fig3_source(LINK, seed);
     let mut sw = AccTurboSwitch::new(AccTurboConfig::simulation(FeatureSet::simulation_default()));
     simulate(
         &mut src,
@@ -79,13 +82,17 @@ fn panel(out: &mut String, title: &str, res: &RunResult, secs: u64) {
     }
 }
 
-/// Regenerates Fig. 3 and returns the textual report.
-pub fn report(scale: Scale) -> String {
+/// Regenerates Fig. 3 at `seed`, returning the rendered report and its
+/// machine-readable result.
+pub fn figure(scale: Scale, seed: u64) -> Figure {
     let secs = scale.secs(scenarios::RUN_SECS, 2);
     let mut out = String::new();
+    let mut r = FigureResult::new("fig3");
+    let classes: Vec<ClassId> = (1..=5).map(ClassId).collect();
 
-    let fifo = fifo_run(secs);
+    let fifo = fifo_run(secs, seed);
     panel(&mut out, "Fig. 3a: No ACC (FIFO)", &fifo, secs);
+    push_share_summary(&mut r, "a", &fifo, LINK, &classes, secs);
 
     // (b) speed vs. accuracy: % benign drops vs K.
     let _ = writeln!(
@@ -94,14 +101,15 @@ pub fn report(scale: Scale) -> String {
     );
     let _ = writeln!(&mut out, "K_s,acc,accturbo,fifo");
     let fifo_pct = benign_pct(&fifo);
-    let turbo = accturbo_run(secs);
+    let turbo = accturbo_run(secs, seed);
     let turbo_pct = benign_pct(&turbo);
     let ks: &[f64] = match scale {
         Scale::Full => &[0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 1.5, 2.0],
         Scale::Quick => &[0.1, 1.0],
     };
     for &k in ks {
-        let res = acc_run(SimDuration::from_secs_f64(k), secs);
+        let res = acc_run(SimDuration::from_secs_f64(k), secs, seed);
+        r.num(&format!("b.k{k}.acc_benign_drop_pct"), benign_pct(&res));
         let _ = writeln!(
             &mut out,
             "{k},{},{},{}",
@@ -111,15 +119,26 @@ pub fn report(scale: Scale) -> String {
         );
     }
 
-    let acc = acc_run(SimDuration::from_secs(2), secs);
+    let acc = acc_run(SimDuration::from_secs(2), secs, seed);
     panel(&mut out, "Fig. 3c: ACC (K=2s)", &acc, secs);
+    push_share_summary(&mut r, "c", &acc, LINK, &classes, secs);
     panel(&mut out, "Fig. 3d: ACC-Turbo", &turbo, secs);
+    push_share_summary(&mut r, "d", &turbo, LINK, &classes, secs);
 
     let _ = writeln!(&mut out, "# Summary");
     let _ = writeln!(&mut out, "benign_drop_pct_fifo,{}", f(fifo_pct));
     let _ = writeln!(&mut out, "benign_drop_pct_acc_k2,{}", f(benign_pct(&acc)));
     let _ = writeln!(&mut out, "benign_drop_pct_accturbo,{}", f(turbo_pct));
-    out
+    r.num("summary.benign_drop_pct_fifo", fifo_pct);
+    r.num("summary.benign_drop_pct_acc_k2", benign_pct(&acc));
+    r.num("summary.benign_drop_pct_accturbo", turbo_pct);
+    Figure::new(out, r)
+}
+
+/// Regenerates Fig. 3 at the canonical seed and returns the textual
+/// report.
+pub fn report(scale: Scale) -> String {
+    figure(scale, DEFAULT_SEED).rendered
 }
 
 #[cfg(test)]
@@ -128,7 +147,7 @@ mod tests {
 
     #[test]
     fn fifo_suffers_during_every_pulse() {
-        let res = fifo_run(scenarios::RUN_SECS);
+        let res = fifo_run(scenarios::RUN_SECS, DEFAULT_SEED);
         for pulse_start in [5usize, 15, 25, 35] {
             let benign: f64 = (1..=4)
                 .map(|c| res.stats.throughput_bps(pulse_start + 2, ClassId(c)))
@@ -143,9 +162,9 @@ mod tests {
     #[test]
     fn accturbo_beats_acc_on_benign_drops() {
         let secs = scenarios::RUN_SECS;
-        let acc = acc_run(SimDuration::from_secs(2), secs);
-        let turbo = accturbo_run(secs);
-        let fifo = fifo_run(secs);
+        let acc = acc_run(SimDuration::from_secs(2), secs, DEFAULT_SEED);
+        let turbo = accturbo_run(secs, DEFAULT_SEED);
+        let fifo = fifo_run(secs, DEFAULT_SEED);
         let acc_pct = benign_pct(&acc);
         let turbo_pct = benign_pct(&turbo);
         let fifo_pct = benign_pct(&fifo);
@@ -168,7 +187,7 @@ mod tests {
         // Classic ACC must re-run its threshold + inference loop for each
         // pulse (new vector, new target), losing the pulse's first
         // seconds every time.
-        let res = acc_run(SimDuration::from_secs(2), scenarios::RUN_SECS);
+        let res = acc_run(SimDuration::from_secs(2), scenarios::RUN_SECS, DEFAULT_SEED);
         for pulse_start in [5usize, 15, 25, 35] {
             let benign: f64 = (1..=4)
                 .map(|c| res.stats.throughput_bps(pulse_start, ClassId(c)))
@@ -182,7 +201,7 @@ mod tests {
 
     #[test]
     fn accturbo_defends_later_pulses_fully() {
-        let res = accturbo_run(scenarios::RUN_SECS);
+        let res = accturbo_run(scenarios::RUN_SECS, DEFAULT_SEED);
         // By the third and fourth pulses the defense is warm: benign
         // keeps ≥90% of its demand.
         for pulse_start in [25usize, 35] {

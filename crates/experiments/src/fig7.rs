@@ -14,7 +14,9 @@
 //! Expected shape: ACC-Turbo reacts ≈10–11× faster than Jaqen's best and
 //! worst cases respectively.
 
-use crate::common::{simulate, Scale, LINK_10G_SCALED};
+use crate::common::{push_throughput_summary, simulate, Scale, LINK_10G_SCALED};
+use crate::result::FigureResult;
+use crate::Figure;
 use accturbo_clustering::FeatureSet;
 use accturbo_core::{AccTurboConfig, AccTurboSwitch};
 use accturbo_jaqen::{JaqenConfig, JaqenSwitch, Signature};
@@ -31,19 +33,20 @@ use std::fmt::Write as _;
 const LINK: u64 = LINK_10G_SCALED;
 const BACKGROUND_BPS: u64 = 7_000_000;
 const ATTACK_BPS: u64 = 60_000_000;
-const SEED: u64 = 0x716;
+/// The canonical workload seed (the historical in-module constant).
+pub const DEFAULT_SEED: u64 = 0x716;
 /// Attack start (seconds).
 pub const ATTACK_START_S: u64 = 20;
 
 /// Builds the workload: background for the whole run, single-flow UDP
 /// flood from t = 20 s to t = end − 20 s.
-pub fn source(secs: u64) -> MergedSource {
+pub fn source(secs: u64, seed: u64) -> MergedSource {
     let end = SimTime::from_secs(secs);
     let background: Box<dyn PacketSource> = Box::new(BackgroundSource::new(BackgroundConfig::new(
         BACKGROUND_BPS,
         SimTime::ZERO,
         end,
-        SEED,
+        seed,
     )));
     let attack_end = SimTime::from_secs(secs.saturating_sub(20).max(ATTACK_START_S + 1));
     let attack: Box<dyn PacketSource> = Box::new(AttackSource::new(
@@ -53,7 +56,7 @@ pub fn source(secs: u64) -> MergedSource {
             SimTime::from_secs(ATTACK_START_S),
             attack_end,
             ClassId(1),
-            SEED + 1,
+            seed + 1,
         )
         .with_single_flow(),
     ));
@@ -101,16 +104,16 @@ impl Switch for ProgramSwapSwitch {
 }
 
 /// Runs the workload through FIFO.
-pub fn fifo_run(secs: u64) -> RunResult {
-    let mut src = source(secs);
+pub fn fifo_run(secs: u64, seed: u64) -> RunResult {
+    let mut src = source(secs, seed);
     let mut sw = SingleQueueSwitch::new(crate::common::baseline_fifo());
     simulate(&mut src, &mut sw, LINK, secs, None)
 }
 
 /// Runs the workload through ACC-Turbo with the paper's unoptimized 1 s
 /// controller.
-pub fn accturbo_run(secs: u64) -> RunResult {
-    let mut src = source(secs);
+pub fn accturbo_run(secs: u64, seed: u64) -> RunResult {
+    let mut src = source(secs, seed);
     let mut sw = AccTurboSwitch::new(AccTurboConfig::hardware(FeatureSet::hardware_dst_bytes()));
     simulate(
         &mut src,
@@ -123,13 +126,13 @@ pub fn accturbo_run(secs: u64) -> RunResult {
 
 /// Runs benign-only traffic through the program-swap model (the paper's
 /// Fig. 7c swaps between two trivial programs with no attack).
-pub fn swap_run(secs: u64) -> RunResult {
+pub fn swap_run(secs: u64, seed: u64) -> RunResult {
     let end = SimTime::from_secs(secs);
     let mut src = MergedSource::new(vec![Box::new(BackgroundSource::new(BackgroundConfig::new(
         BACKGROUND_BPS,
         SimTime::ZERO,
         end,
-        SEED,
+        seed,
     ))) as Box<dyn PacketSource>]);
     let mut sw = ProgramSwapSwitch::new(
         SimTime::from_secs(secs * 3 / 5),
@@ -142,8 +145,8 @@ pub fn swap_run(secs: u64) -> RunResult {
 /// pre-loaded, sketch read periodically, threshold optimized — reaction is
 /// dominated by needing the threshold in two consecutive windows plus the
 /// controller round (≈10 s in the paper).
-pub fn jaqen_run(secs: u64) -> RunResult {
-    let mut src = source(secs);
+pub fn jaqen_run(secs: u64, seed: u64) -> RunResult {
+    let mut src = source(secs, seed);
     let cfg = JaqenConfig::best_case(Signature::FiveTuple, 2_000)
         .with_window(SimDuration::from_secs(4))
         .with_deploy_delay(SimDuration::from_millis(1_500));
@@ -190,24 +193,30 @@ pub fn benign_recovery_secs(res: &RunResult) -> Option<f64> {
         .map(|d| d.as_nanos() as f64 / 1e9)
 }
 
-/// Regenerates Fig. 7 and returns the textual report.
-pub fn report(scale: Scale) -> String {
+/// Regenerates Fig. 7 at `seed`, returning the rendered report and its
+/// machine-readable result.
+pub fn figure(scale: Scale, seed: u64) -> Figure {
     let secs = scale.secs(100, 4);
     let mut out = String::new();
+    let mut r = FigureResult::new("fig7");
 
-    let fifo = fifo_run(secs);
+    let fifo = fifo_run(secs, seed);
     panel(&mut out, "Fig. 7a: FIFO", &fifo, secs);
-    let turbo = accturbo_run(secs);
+    push_throughput_summary(&mut r, "a", &fifo, secs);
+    let turbo = accturbo_run(secs, seed);
     panel(&mut out, "Fig. 7b: ACC-Turbo", &turbo, secs);
-    let swap = swap_run(secs);
+    push_throughput_summary(&mut r, "b", &turbo, secs);
+    let swap = swap_run(secs, seed);
     panel(&mut out, "Fig. 7c: Program swap downtime", &swap, secs);
-    let jaqen = jaqen_run(secs);
+    push_throughput_summary(&mut r, "c", &swap, secs);
+    let jaqen = jaqen_run(secs, seed);
     panel(
         &mut out,
         "Fig. 7d: Jaqen (defense already deployed)",
         &jaqen,
         secs,
     );
+    push_throughput_summary(&mut r, "d", &jaqen, secs);
 
     let _ = writeln!(&mut out, "# Summary");
     let show = |r: Option<f64>| {
@@ -219,6 +228,8 @@ pub fn report(scale: Scale) -> String {
     let _ = writeln!(&mut out, "reaction_s_accturbo,{}", show(turbo_r));
     let _ = writeln!(&mut out, "reaction_s_jaqen_best_case,{}", show(jaqen_r));
     let _ = writeln!(&mut out, "program_swap_downtime_s,11.5");
+    r.text("summary.reaction_s_accturbo", &show(turbo_r));
+    r.text("summary.reaction_s_jaqen_best_case", &show(jaqen_r));
     if let (Some(t), Some(j)) = (turbo_r, jaqen_r) {
         let _ = writeln!(&mut out, "speedup_vs_jaqen_best,{}", f(j / t.max(0.1)));
         let _ = writeln!(
@@ -226,8 +237,16 @@ pub fn report(scale: Scale) -> String {
             "speedup_vs_jaqen_worst,{}",
             f((j + 11.5) / t.max(0.1))
         );
+        r.num("summary.speedup_vs_jaqen_best", j / t.max(0.1));
+        r.num("summary.speedup_vs_jaqen_worst", (j + 11.5) / t.max(0.1));
     }
-    out
+    Figure::new(out, r)
+}
+
+/// Regenerates Fig. 7 at the canonical seed and returns the textual
+/// report.
+pub fn report(scale: Scale) -> String {
+    figure(scale, DEFAULT_SEED).rendered
 }
 
 #[cfg(test)]
@@ -236,7 +255,7 @@ mod tests {
 
     #[test]
     fn fifo_never_mitigates() {
-        let res = fifo_run(60);
+        let res = fifo_run(60, DEFAULT_SEED);
         assert!(
             reaction_secs(&res).is_none(),
             "FIFO never suppresses the attack"
@@ -248,14 +267,14 @@ mod tests {
 
     #[test]
     fn accturbo_reacts_within_about_a_second() {
-        let res = accturbo_run(60);
+        let res = accturbo_run(60, DEFAULT_SEED);
         let r = reaction_secs(&res).expect("ACC-Turbo must recover");
         assert!(r <= 3.0, "ACC-Turbo reaction {r}s (paper: ≈1s)");
     }
 
     #[test]
     fn jaqen_takes_around_ten_seconds() {
-        let res = jaqen_run(60);
+        let res = jaqen_run(60, DEFAULT_SEED);
         let r = reaction_secs(&res).expect("Jaqen must eventually mitigate");
         assert!(
             (6.0..16.0).contains(&r),
@@ -265,8 +284,8 @@ mod tests {
 
     #[test]
     fn accturbo_is_an_order_of_magnitude_faster() {
-        let turbo = reaction_secs(&accturbo_run(60)).expect("recovers");
-        let jaqen = reaction_secs(&jaqen_run(60)).expect("recovers");
+        let turbo = reaction_secs(&accturbo_run(60, DEFAULT_SEED)).expect("recovers");
+        let jaqen = reaction_secs(&jaqen_run(60, DEFAULT_SEED)).expect("recovers");
         assert!(
             jaqen / turbo >= 4.0,
             "speedup only {:.1}x (paper: ≥10x; 1 s stat buckets floor ours)",
@@ -276,7 +295,7 @@ mod tests {
 
     #[test]
     fn program_swap_blackholes_for_11_5_seconds() {
-        let res = swap_run(100);
+        let res = swap_run(100, DEFAULT_SEED);
         // Throughput zero during the downtime window.
         for t in 61..71 {
             let total = res.stats.throughput_bps(t, ClassId::BENIGN);

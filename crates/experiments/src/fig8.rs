@@ -19,18 +19,23 @@
 //! 10–10^4 here.
 
 use crate::common::{simulate, Scale, LINK_10G_SCALED};
+use crate::result::FigureResult;
 use crate::table3::{cell, Defense, Variation};
+use crate::Figure;
 use accturbo_jaqen::{JaqenConfig, JaqenSwitch, Signature};
 use accturbo_netsim::SimDuration;
 use accturbo_telemetry::f;
 use std::fmt::Write as _;
 
 const LINK: u64 = LINK_10G_SCALED;
+/// The canonical workload seed — Fig. 8 sweeps run on Table 3's
+/// single-flow workload, so they share its seed.
+pub const DEFAULT_SEED: u64 = crate::table3::DEFAULT_SEED;
 
 /// Runs Jaqen(5-tuple) with `threshold` and `window` on the single-flow
 /// workload, returning the benign-drop percentage.
-pub fn jaqen_pct(threshold: u64, window: SimDuration, secs: u64) -> f64 {
-    let mut src = crate::table3::single_flow_workload(secs);
+pub fn jaqen_pct(threshold: u64, window: SimDuration, secs: u64, seed: u64) -> f64 {
+    let mut src = crate::table3::single_flow_workload(secs, seed);
     let cfg = JaqenConfig::best_case(Signature::FiveTuple, threshold).with_window(window);
     let mut sw = JaqenSwitch::new(cfg);
     simulate(
@@ -44,13 +49,17 @@ pub fn jaqen_pct(threshold: u64, window: SimDuration, secs: u64) -> f64 {
     .benign_drop_pct()
 }
 
-/// Regenerates Fig. 8 and returns the textual report.
-pub fn report(scale: Scale) -> String {
+/// Regenerates Fig. 8 at `seed`, returning the rendered report and its
+/// machine-readable result.
+pub fn figure(scale: Scale, seed: u64) -> Figure {
     let secs = scale.secs(100, 5);
     let mut out = String::new();
+    let mut r = FigureResult::new("fig8");
 
-    let fifo = cell(Defense::Fifo, Variation::SingleFlow, secs);
-    let turbo = cell(Defense::AccTurbo, Variation::SingleFlow, secs);
+    let fifo = cell(Defense::Fifo, Variation::SingleFlow, secs, seed);
+    let turbo = cell(Defense::AccTurbo, Variation::SingleFlow, secs, seed);
+    r.num("fifo_benign_drop_pct", fifo);
+    r.num("accturbo_benign_drop_pct", turbo);
 
     let _ = writeln!(
         &mut out,
@@ -64,7 +73,8 @@ pub fn report(scale: Scale) -> String {
         Scale::Quick => &[10, 1_000, 100_000],
     };
     for &th in thresholds {
-        let pct = jaqen_pct(th, SimDuration::from_secs(1), secs);
+        let pct = jaqen_pct(th, SimDuration::from_secs(1), secs, seed);
+        r.num(&format!("a.th{th}.jaqen_benign_drop_pct"), pct);
         let _ = writeln!(&mut out, "{th},{},{},{}", f(pct), f(turbo), f(fifo));
     }
 
@@ -81,19 +91,27 @@ pub fn report(scale: Scale) -> String {
         Scale::Full => &[1, 2, 5, 10, 15, 20],
         Scale::Quick => &[1, 10],
     };
-    for &r in resets {
-        let low = jaqen_pct(th_low, SimDuration::from_secs(r), secs);
-        let high = jaqen_pct(th_high, SimDuration::from_secs(r), secs);
+    for &rs in resets {
+        let low = jaqen_pct(th_low, SimDuration::from_secs(rs), secs, seed);
+        let high = jaqen_pct(th_high, SimDuration::from_secs(rs), secs, seed);
+        r.num(&format!("b.reset{rs}.jaqen_th_low_pct"), low);
+        r.num(&format!("b.reset{rs}.jaqen_th_high_pct"), high);
         let _ = writeln!(
             &mut out,
-            "{r},{},{},{},{}",
+            "{rs},{},{},{},{}",
             f(low),
             f(high),
             f(turbo),
             f(fifo)
         );
     }
-    out
+    Figure::new(out, r)
+}
+
+/// Regenerates Fig. 8 at the canonical seed and returns the textual
+/// report.
+pub fn report(scale: Scale) -> String {
+    figure(scale, DEFAULT_SEED).rendered
 }
 
 #[cfg(test)]
@@ -107,8 +125,8 @@ mod tests {
         // Threshold 10: every benign flow sustaining 10 pkts/s for two
         // windows gets a drop rule — heavy false positives even though
         // there is no congestion at all outside the attack.
-        let pct = jaqen_pct(10, SimDuration::from_secs(1), SECS);
-        let tuned = jaqen_pct(2_000, SimDuration::from_secs(1), SECS);
+        let pct = jaqen_pct(10, SimDuration::from_secs(1), SECS, DEFAULT_SEED);
+        let tuned = jaqen_pct(2_000, SimDuration::from_secs(1), SECS, DEFAULT_SEED);
         assert!(
             pct > 3.0 * tuned && pct > 10.0,
             "threshold 10 dropped {pct:.1}% vs tuned {tuned:.1}%"
@@ -119,8 +137,8 @@ mod tests {
     fn huge_thresholds_never_fire() {
         // Threshold 1M/window: the attack (≈10.7k pps) never reaches it,
         // so Jaqen behaves like FIFO.
-        let fifo = cell(Defense::Fifo, Variation::SingleFlow, SECS);
-        let pct = jaqen_pct(1_000_000, SimDuration::from_secs(1), SECS);
+        let fifo = cell(Defense::Fifo, Variation::SingleFlow, SECS, DEFAULT_SEED);
+        let pct = jaqen_pct(1_000_000, SimDuration::from_secs(1), SECS, DEFAULT_SEED);
         assert!(
             (pct - fifo).abs() < 5.0,
             "no detection should look like FIFO: {pct:.1} vs {fifo:.1}"
@@ -129,10 +147,10 @@ mod tests {
 
     #[test]
     fn a_tuned_threshold_wins_and_the_sweet_spot_is_narrow() {
-        let tuned = jaqen_pct(2_000, SimDuration::from_secs(1), SECS);
+        let tuned = jaqen_pct(2_000, SimDuration::from_secs(1), SECS, DEFAULT_SEED);
         assert!(tuned < 15.0, "tuned threshold: {tuned:.1}%");
-        let low = jaqen_pct(10, SimDuration::from_secs(1), SECS);
-        let high = jaqen_pct(1_000_000, SimDuration::from_secs(1), SECS);
+        let low = jaqen_pct(10, SimDuration::from_secs(1), SECS, DEFAULT_SEED);
+        let high = jaqen_pct(1_000_000, SimDuration::from_secs(1), SECS, DEFAULT_SEED);
         assert!(low > 3.0 * tuned, "low threshold must be much worse");
         assert!(high > tuned + 30.0, "high threshold must be much worse");
     }
@@ -141,8 +159,8 @@ mod tests {
     fn threshold_quality_depends_on_the_reset_period() {
         // The high threshold fails at 1 s windows but works at 15 s
         // windows (counts accumulate); crossing behaviour per Fig. 8b.
-        let high_short = jaqen_pct(100_000, SimDuration::from_secs(1), SECS);
-        let high_long = jaqen_pct(100_000, SimDuration::from_secs(15), SECS);
+        let high_short = jaqen_pct(100_000, SimDuration::from_secs(1), SECS, DEFAULT_SEED);
+        let high_long = jaqen_pct(100_000, SimDuration::from_secs(15), SECS, DEFAULT_SEED);
         assert!(
             high_long < high_short - 20.0,
             "long windows must rescue the high threshold: {high_short:.1} -> {high_long:.1}"
@@ -151,9 +169,9 @@ mod tests {
 
     #[test]
     fn accturbo_sits_below_any_mistuned_jaqen() {
-        let turbo = cell(Defense::AccTurbo, Variation::SingleFlow, SECS);
-        let mistuned_low = jaqen_pct(10, SimDuration::from_secs(1), SECS);
-        let mistuned_high = jaqen_pct(1_000_000, SimDuration::from_secs(1), SECS);
+        let turbo = cell(Defense::AccTurbo, Variation::SingleFlow, SECS, DEFAULT_SEED);
+        let mistuned_low = jaqen_pct(10, SimDuration::from_secs(1), SECS, DEFAULT_SEED);
+        let mistuned_high = jaqen_pct(1_000_000, SimDuration::from_secs(1), SECS, DEFAULT_SEED);
         assert!(turbo < mistuned_low && turbo < mistuned_high);
     }
 }

@@ -1,106 +1,19 @@
 //! `xp` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! xp [FIGURE...] [--quick] [--trace PATH] [--metrics PATH]
+//! xp [FIGURE...] [--quick] [--jobs N] [--seeds A,B,C]
+//!    [--trace PATH] [--metrics PATH]
 //! xp trace PATH        # pretty-print a JSONL trace
 //! xp --help
 //! ```
+//!
+//! All parsing and orchestration lives in `accturbo_experiments::cli`;
+//! this binary only wires stdout/stderr, the process exit code and the
+//! observability exports together.
 
-use accturbo_experiments::Scale;
-use accturbo_obs::OwnedEvent;
+use accturbo_experiments::cli::{self, Cli, JobSpan};
+use accturbo_obs::{Event, OwnedEvent, Tracer as _};
 use std::process::ExitCode;
-
-/// Every figure/table `xp` can regenerate, in the paper's order.
-const FIGURES: &[(&str, fn(Scale) -> String)] = &[
-    ("fig2", accturbo_experiments::fig2::report),
-    ("fig3", accturbo_experiments::fig3::report),
-    ("fig6", accturbo_experiments::fig6::report),
-    ("fig7", accturbo_experiments::fig7::report),
-    ("table3", accturbo_experiments::table3::report),
-    ("fig8", accturbo_experiments::fig8::report),
-    ("fig9", accturbo_experiments::fig9::report),
-    ("fig10", accturbo_experiments::fig10::report),
-    ("fig11", accturbo_experiments::fig11::report),
-    ("adversarial", accturbo_experiments::adversarial::report),
-    ("ablations", accturbo_experiments::ablations::report),
-    ("pushback", accturbo_experiments::pushback::report),
-];
-
-fn usage() -> String {
-    let names: Vec<&str> = FIGURES.iter().map(|(n, _)| *n).collect();
-    format!(
-        "xp — regenerate the paper's tables and figures\n\
-         \n\
-         USAGE:\n\
-         \x20   xp [FIGURE...] [OPTIONS]     run the named figures (default: all)\n\
-         \x20   xp trace PATH                pretty-print a JSONL trace file\n\
-         \n\
-         FIGURES:\n\
-         \x20   {}\n\
-         \x20   all                          everything above\n\
-         \n\
-         OPTIONS:\n\
-         \x20   --quick                      shrink durations/rates (CI scale)\n\
-         \x20   --trace PATH                 also run the Fig. 2 ACC-Turbo scenario\n\
-         \x20                                with event tracing and write the JSONL\n\
-         \x20                                trace to PATH\n\
-         \x20   --metrics PATH               write the same run's per-interval\n\
-         \x20                                metrics snapshots (JSONL) to PATH\n\
-         \x20   --help                       this text",
-        names.join(", ")
-    )
-}
-
-struct Cli {
-    scale: Scale,
-    targets: Vec<String>,
-    trace: Option<String>,
-    metrics: Option<String>,
-}
-
-fn parse(args: &[String]) -> Result<Cli, String> {
-    let mut cli = Cli {
-        scale: Scale::Full,
-        targets: Vec::new(),
-        trace: None,
-        metrics: None,
-    };
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--quick" => cli.scale = Scale::Quick,
-            "--trace" => {
-                cli.trace = Some(
-                    it.next()
-                        .ok_or_else(|| "--trace requires a PATH argument".to_string())?
-                        .clone(),
-                );
-            }
-            "--metrics" => {
-                cli.metrics = Some(
-                    it.next()
-                        .ok_or_else(|| "--metrics requires a PATH argument".to_string())?
-                        .clone(),
-                );
-            }
-            flag if flag.starts_with("--") => {
-                return Err(format!("unknown option `{flag}`"));
-            }
-            name => {
-                let known = name == "all" || FIGURES.iter().any(|(n, _)| *n == name);
-                if !known {
-                    let names: Vec<&str> = FIGURES.iter().map(|(n, _)| *n).collect();
-                    return Err(format!(
-                        "unknown figure `{name}`; valid names: {}, all",
-                        names.join(", ")
-                    ));
-                }
-                cli.targets.push(name.to_string());
-            }
-        }
-    }
-    Ok(cli)
-}
 
 /// `xp trace PATH`: pretty-print a JSONL trace written by `--trace`.
 fn dump_trace(path: &str) -> Result<(), String> {
@@ -128,11 +41,24 @@ fn dump_trace(path: &str) -> Result<(), String> {
 }
 
 /// Runs the instrumented Fig. 2 ACC-Turbo scenario and writes the
-/// requested JSONL exports.
-fn export_observability(cli: &Cli) -> Result<(), String> {
+/// requested JSONL exports. The figure run's own job spans are appended
+/// to the trace so a parallel `xp all --jobs N --trace …` shows where
+/// every figure ran and for how long.
+fn export_observability(cli: &Cli, spans: &[JobSpan]) -> Result<(), String> {
     eprintln!("running the instrumented Fig. 2 ACC-Turbo scenario ...");
     let (_, tracer, metrics) = accturbo_experiments::fig2::accturbo_run_instrumented(cli.scale);
     if let Some(path) = &cli.trace {
+        for span in spans {
+            tracer.borrow_mut().record(
+                span.started_at.as_nanos() as u64,
+                &Event::JobSpan {
+                    job: span.figure,
+                    seed: span.seed,
+                    worker: span.worker,
+                    elapsed_ns: span.elapsed.as_nanos() as u64,
+                },
+            );
+        }
         let t = tracer.borrow();
         t.write_jsonl_to(std::path::Path::new(path))
             .map_err(|e| format!("cannot write trace to `{path}`: {e}"))?;
@@ -154,7 +80,7 @@ fn export_observability(cli: &Cli) -> Result<(), String> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
-        println!("{}", usage());
+        println!("{}", cli::usage());
         return ExitCode::SUCCESS;
     }
     if args.first().map(String::as_str) == Some("trace") {
@@ -173,24 +99,18 @@ fn main() -> ExitCode {
         };
     }
 
-    let cli = match parse(&args) {
+    let cli = match cli::parse(&args) {
         Ok(cli) => cli,
         Err(e) => {
-            eprintln!("error: {e}\n\n{}", usage());
+            eprintln!("error: {e}\n\n{}", cli::usage());
             return ExitCode::FAILURE;
         }
     };
 
-    let all = cli.targets.is_empty() || cli.targets.iter().any(|t| t == "all");
-    for (name, f) in FIGURES {
-        if all || cli.targets.iter().any(|t| t == name) {
-            println!("==================== {name} ====================");
-            println!("{}", f(cli.scale));
-        }
-    }
+    let spans = cli::run_figures(&cli, |block| print!("{block}"));
 
     if cli.trace.is_some() || cli.metrics.is_some() {
-        if let Err(e) = export_observability(&cli) {
+        if let Err(e) = export_observability(&cli, &spans) {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }

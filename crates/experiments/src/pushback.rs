@@ -9,6 +9,8 @@
 //! benign service.
 
 use crate::common::Scale;
+use crate::result::FigureResult;
+use crate::Figure;
 use accturbo_acc::{run_pushback, PushbackConfig};
 use accturbo_netsim::{Bandwidth, ClassId, MergedSource, PacketSource, RedConfig, SimTime};
 use accturbo_telemetry::{f, Table};
@@ -21,8 +23,10 @@ pub const SHARED_BENIGN: ClassId = ClassId(1);
 pub const CLEAN_BENIGN: ClassId = ClassId(2);
 /// The attack class.
 pub const ATTACK: ClassId = ClassId(5);
+/// The canonical workload seed (the historical in-module attack seed).
+pub const DEFAULT_SEED: u64 = 0xACC;
 
-fn sources(secs: u64) -> Vec<Box<dyn PacketSource>> {
+fn sources(secs: u64, seed: u64) -> Vec<Box<dyn PacketSource>> {
     let end = SimTime::from_secs(secs);
     let shared_benign = CbrSource::new(
         FlowTemplate::udp(
@@ -42,7 +46,7 @@ fn sources(secs: u64) -> Vec<Box<dyn PacketSource>> {
         SimTime::from_secs(3),
         end,
         ATTACK,
-        0xACC,
+        seed,
     ));
     let upstream0: Box<dyn PacketSource> = Box::new(MergedSource::new(vec![
         Box::new(shared_benign),
@@ -78,8 +82,12 @@ fn config(enabled: bool) -> PushbackConfig {
 }
 
 /// Delivery percentage of `class` with/without pushback.
-pub fn delivery_pct(enabled: bool, class: ClassId, secs: u64) -> f64 {
-    let res = run_pushback(sources(secs), &config(enabled), SimTime::from_secs(secs));
+pub fn delivery_pct(enabled: bool, class: ClassId, secs: u64, seed: u64) -> f64 {
+    let res = run_pushback(
+        sources(secs, seed),
+        &config(enabled),
+        SimTime::from_secs(secs),
+    );
     let arrived = res.stats.total_arrived(class).pkts;
     if arrived == 0 {
         return 0.0;
@@ -87,26 +95,37 @@ pub fn delivery_pct(enabled: bool, class: ClassId, secs: u64) -> f64 {
     100.0 * res.stats.total_departed(class).pkts as f64 / arrived as f64
 }
 
-/// Regenerates the pushback comparison table.
-pub fn report(scale: Scale) -> String {
+/// Regenerates the pushback comparison table at `seed`, returning the
+/// rendered report and its machine-readable result.
+pub fn figure(scale: Scale, seed: u64) -> Figure {
     let secs = scale.secs(30, 3);
+    let mut r = FigureResult::new("pushback");
     let mut t = Table::new(&[
         "Traffic",
         "local ACC only (% delivered)",
         "ACC + pushback (% delivered)",
     ]);
-    for (name, class) in [
-        ("benign sharing the attacked upstream", SHARED_BENIGN),
-        ("benign on the clean upstream", CLEAN_BENIGN),
-        ("attack", ATTACK),
+    for (name, class, key) in [
+        (
+            "benign sharing the attacked upstream",
+            SHARED_BENIGN,
+            "shared_benign",
+        ),
+        ("benign on the clean upstream", CLEAN_BENIGN, "clean_benign"),
+        ("attack", ATTACK, "attack"),
     ] {
-        t.row(vec![
-            name.into(),
-            f(delivery_pct(false, class, secs)),
-            f(delivery_pct(true, class, secs)),
-        ]);
+        let local = delivery_pct(false, class, secs, seed);
+        let push = delivery_pct(true, class, secs, seed);
+        r.num(&format!("{key}.local_only_delivered_pct"), local);
+        r.num(&format!("{key}.pushback_delivered_pct"), push);
+        t.row(vec![name.into(), f(local), f(push)]);
     }
-    t.render()
+    Figure::new(t.render(), r)
+}
+
+/// Regenerates the pushback comparison table at the canonical seed.
+pub fn report(scale: Scale) -> String {
+    figure(scale, DEFAULT_SEED).rendered
 }
 
 #[cfg(test)]
@@ -115,8 +134,8 @@ mod tests {
 
     #[test]
     fn pushback_rescues_the_co_located_benign_service() {
-        let without = delivery_pct(false, SHARED_BENIGN, 30);
-        let with = delivery_pct(true, SHARED_BENIGN, 30);
+        let without = delivery_pct(false, SHARED_BENIGN, 30, DEFAULT_SEED);
+        let with = delivery_pct(true, SHARED_BENIGN, 30, DEFAULT_SEED);
         assert!(
             with > without + 15.0,
             "pushback {with:.1}% vs local-only {without:.1}%"
@@ -125,8 +144,8 @@ mod tests {
 
     #[test]
     fn the_attack_gains_nothing_from_pushback() {
-        let without = delivery_pct(false, ATTACK, 30);
-        let with = delivery_pct(true, ATTACK, 30);
+        let without = delivery_pct(false, ATTACK, 30, DEFAULT_SEED);
+        let with = delivery_pct(true, ATTACK, 30, DEFAULT_SEED);
         assert!(with <= without + 2.0, "attack {with:.1}% vs {without:.1}%");
     }
 }

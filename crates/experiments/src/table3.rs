@@ -14,6 +14,8 @@
 //! ≈90% whenever an attack runs.
 
 use crate::common::{simulate, Scale, LINK_10G_SCALED};
+use crate::result::FigureResult;
+use crate::Figure;
 use accturbo_clustering::FeatureSet;
 use accturbo_core::{AccTurboConfig, AccTurboSwitch};
 use accturbo_jaqen::{JaqenConfig, JaqenSwitch, Signature};
@@ -28,7 +30,8 @@ use accturbo_traffic::{
 const LINK: u64 = LINK_10G_SCALED;
 const BACKGROUND_BPS: u64 = 7_000_000;
 const ATTACK_BPS: u64 = 60_000_000;
-const SEED: u64 = 0x7AB;
+/// The canonical workload seed (the historical in-module constant).
+pub const DEFAULT_SEED: u64 = 0x7AB;
 
 /// The attack variations of Table 3's rows.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -104,14 +107,14 @@ impl Defense {
 const JAQEN_THRESHOLD: u64 = 1_500;
 
 /// The single-flow workload shared with Fig. 8's sweeps.
-pub fn single_flow_workload(secs: u64) -> MergedSource {
-    workload(Variation::SingleFlow, secs)
+pub fn single_flow_workload(secs: u64, seed: u64) -> MergedSource {
+    workload(Variation::SingleFlow, secs, seed)
 }
 
-fn workload(variation: Variation, secs: u64) -> MergedSource {
+fn workload(variation: Variation, secs: u64, seed: u64) -> MergedSource {
     let end = SimTime::from_secs(secs);
     let mut sources: Vec<Box<dyn PacketSource>> = vec![Box::new(BackgroundSource::new(
-        BackgroundConfig::new(BACKGROUND_BPS, SimTime::ZERO, end, SEED),
+        BackgroundConfig::new(BACKGROUND_BPS, SimTime::ZERO, end, seed),
     ))];
     if variation != Variation::NoAttack {
         let mut cfg = AttackConfig::new(
@@ -120,7 +123,7 @@ fn workload(variation: Variation, secs: u64) -> MergedSource {
             SimTime::from_secs(5),
             end,
             ClassId(1),
-            SEED + 1,
+            seed + 1,
         )
         .with_single_flow();
         cfg = match variation {
@@ -134,8 +137,8 @@ fn workload(variation: Variation, secs: u64) -> MergedSource {
 }
 
 /// Runs one cell of the table, returning the benign-drop percentage.
-pub fn cell(defense: Defense, variation: Variation, secs: u64) -> f64 {
-    let mut src = workload(variation, secs);
+pub fn cell(defense: Defense, variation: Variation, secs: u64, seed: u64) -> f64 {
+    let mut src = workload(variation, secs, seed);
     match defense {
         Defense::Fifo => {
             let mut sw = SingleQueueSwitch::new(crate::common::baseline_fifo());
@@ -176,9 +179,11 @@ pub fn cell(defense: Defense, variation: Variation, secs: u64) -> f64 {
     }
 }
 
-/// Regenerates Table 3 and returns the textual report.
-pub fn report(scale: Scale) -> String {
+/// Regenerates Table 3 at `seed`, returning the rendered report and its
+/// machine-readable result.
+pub fn figure(scale: Scale, seed: u64) -> Figure {
     let secs = scale.secs(100, 5);
+    let mut r = FigureResult::new("table3");
     let mut table = Table::new(&[
         "Benign packet drops (%)",
         "FIFO",
@@ -186,16 +191,30 @@ pub fn report(scale: Scale) -> String {
         "Jaqen(srcIP)",
         "ACC-Turbo",
     ]);
+    let slug = |s: &str| s.to_lowercase().replace([' ', '(', ')', '-'], "");
     for variation in Variation::ALL {
-        let row: Vec<String> = Defense::ALL
-            .iter()
-            .map(|&d| f(cell(d, variation, secs)))
-            .collect();
         let mut cells = vec![variation.name().to_string()];
-        cells.extend(row);
+        for d in Defense::ALL {
+            let pct = cell(d, variation, secs, seed);
+            r.num(
+                &format!(
+                    "{}.{}.benign_drop_pct",
+                    slug(variation.name()),
+                    slug(d.name())
+                ),
+                pct,
+            );
+            cells.push(f(pct));
+        }
         table.row(cells);
     }
-    table.render()
+    Figure::new(table.render(), r)
+}
+
+/// Regenerates Table 3 at the canonical seed and returns the textual
+/// report.
+pub fn report(scale: Scale) -> String {
+    figure(scale, DEFAULT_SEED).rendered
 }
 
 #[cfg(test)]
@@ -211,17 +230,35 @@ mod tests {
             Variation::CarpetBombing,
             Variation::SourceSpoofing,
         ] {
-            let pct = cell(Defense::Fifo, v, SECS);
+            let pct = cell(Defense::Fifo, v, SECS, DEFAULT_SEED);
             assert!(pct > 70.0, "{}: FIFO dropped only {pct:.1}%", v.name());
         }
-        assert_eq!(cell(Defense::Fifo, Variation::NoAttack, SECS), 0.0);
+        assert_eq!(
+            cell(Defense::Fifo, Variation::NoAttack, SECS, DEFAULT_SEED),
+            0.0
+        );
     }
 
     #[test]
     fn jaqen_five_tuple_wins_single_flow_loses_carpet_and_spoof() {
-        let single = cell(Defense::JaqenFiveTuple, Variation::SingleFlow, SECS);
-        let carpet = cell(Defense::JaqenFiveTuple, Variation::CarpetBombing, SECS);
-        let spoof = cell(Defense::JaqenFiveTuple, Variation::SourceSpoofing, SECS);
+        let single = cell(
+            Defense::JaqenFiveTuple,
+            Variation::SingleFlow,
+            SECS,
+            DEFAULT_SEED,
+        );
+        let carpet = cell(
+            Defense::JaqenFiveTuple,
+            Variation::CarpetBombing,
+            SECS,
+            DEFAULT_SEED,
+        );
+        let spoof = cell(
+            Defense::JaqenFiveTuple,
+            Variation::SourceSpoofing,
+            SECS,
+            DEFAULT_SEED,
+        );
         assert!(single < 15.0, "single flow: {single:.1}%");
         assert!(
             carpet > 50.0,
@@ -235,9 +272,24 @@ mod tests {
 
     #[test]
     fn jaqen_src_ip_survives_carpet_but_not_spoofing() {
-        let single = cell(Defense::JaqenSrcIp, Variation::SingleFlow, SECS);
-        let carpet = cell(Defense::JaqenSrcIp, Variation::CarpetBombing, SECS);
-        let spoof = cell(Defense::JaqenSrcIp, Variation::SourceSpoofing, SECS);
+        let single = cell(
+            Defense::JaqenSrcIp,
+            Variation::SingleFlow,
+            SECS,
+            DEFAULT_SEED,
+        );
+        let carpet = cell(
+            Defense::JaqenSrcIp,
+            Variation::CarpetBombing,
+            SECS,
+            DEFAULT_SEED,
+        );
+        let spoof = cell(
+            Defense::JaqenSrcIp,
+            Variation::SourceSpoofing,
+            SECS,
+            DEFAULT_SEED,
+        );
         assert!(single < 15.0, "single flow: {single:.1}%");
         assert!(
             carpet < 15.0,
@@ -256,14 +308,14 @@ mod tests {
             Variation::CarpetBombing,
             Variation::SourceSpoofing,
         ] {
-            let pct = cell(Defense::AccTurbo, v, SECS);
+            let pct = cell(Defense::AccTurbo, v, SECS, DEFAULT_SEED);
             assert!(
                 pct < 30.0,
                 "{}: ACC-Turbo dropped {pct:.1}% (paper: 15-20%)",
                 v.name()
             );
         }
-        let quiet = cell(Defense::AccTurbo, Variation::NoAttack, SECS);
+        let quiet = cell(Defense::AccTurbo, Variation::NoAttack, SECS, DEFAULT_SEED);
         assert!(quiet < 0.5, "transparent without attack: {quiet:.2}%");
     }
 }

@@ -38,12 +38,12 @@ impl Signature {
             Signature::FiveTuple => {
                 let mut x = u32::from(pkt.src) as u64;
                 x = x
-                    .wrapping_mul(0x1000_0000_1B3)
+                    .wrapping_mul(0x0100_0000_01B3)
                     .wrapping_add(u32::from(pkt.dst) as u64);
                 x = x
-                    .wrapping_mul(0x1000_0000_1B3)
+                    .wrapping_mul(0x0100_0000_01B3)
                     .wrapping_add(((pkt.sport as u64) << 24) | ((pkt.dport as u64) << 8));
-                x.wrapping_mul(0x1000_0000_1B3)
+                x.wrapping_mul(0x0100_0000_01B3)
                     .wrapping_add(pkt.proto as u64)
             }
             Signature::SrcIp => u32::from(pkt.src) as u64,

@@ -367,7 +367,7 @@ mod tests {
     fn timestamps_are_rebased_to_zero() {
         let mut shifted = sample_packets();
         for p in &mut shifted {
-            p.arrival = p.arrival + crate::time::SimDuration::from_secs(1_000);
+            p.arrival += crate::time::SimDuration::from_secs(1_000);
         }
         let mut buf = Vec::new();
         write_pcap(&mut buf, &shifted).expect("write");

@@ -105,6 +105,20 @@ pub enum Event<'a> {
         /// Scalar payload.
         value: f64,
     },
+    /// One experiment-runner job span, recorded post-hoc by `xp` when a
+    /// parallel run is traced (`{"job":"...","seed":s,"worker":w,
+    /// "elapsed_ns":n}`; the line's `ts` is the job's start, measured
+    /// from the pool's launch).
+    JobSpan {
+        /// The job label (the figure's registry name).
+        job: &'a str,
+        /// The seed the figure ran at.
+        seed: u64,
+        /// The worker thread (0-based) that ran the job.
+        worker: usize,
+        /// Wall-clock nanoseconds the job took.
+        elapsed_ns: u64,
+    },
 }
 
 /// The buffered (owning) form of [`Event`].
@@ -193,6 +207,17 @@ pub enum OwnedEvent {
         /// Scalar payload.
         value: f64,
     },
+    /// See [`Event::JobSpan`].
+    JobSpan {
+        /// The job label (the figure's registry name).
+        job: String,
+        /// The seed the figure ran at.
+        seed: u64,
+        /// The worker thread that ran the job.
+        worker: usize,
+        /// Wall-clock nanoseconds the job took.
+        elapsed_ns: u64,
+    },
 }
 
 impl Event<'_> {
@@ -210,6 +235,7 @@ impl Event<'_> {
             Event::PushbackLimit { .. } => "pushback_limit",
             Event::StatsTick { .. } => "stats_tick",
             Event::Custom { .. } => "custom",
+            Event::JobSpan { .. } => "job_span",
         }
     }
 
@@ -271,6 +297,17 @@ impl Event<'_> {
                 name: name.to_string(),
                 value,
             },
+            Event::JobSpan {
+                job,
+                seed,
+                worker,
+                elapsed_ns,
+            } => OwnedEvent::JobSpan {
+                job: job.to_string(),
+                seed,
+                worker,
+                elapsed_ns,
+            },
         }
     }
 }
@@ -295,6 +332,7 @@ impl OwnedEvent {
             OwnedEvent::PushbackLimit { .. } => "pushback_limit",
             OwnedEvent::StatsTick { .. } => "stats_tick",
             OwnedEvent::Custom { .. } => "custom",
+            OwnedEvent::JobSpan { .. } => "job_span",
         }
     }
 
@@ -386,6 +424,19 @@ impl OwnedEvent {
                 out.push_str("\",\"value\":");
                 crate::json_f64(*value, out);
             }
+            OwnedEvent::JobSpan {
+                job,
+                seed,
+                worker,
+                elapsed_ns,
+            } => {
+                out.push_str(",\"job\":\"");
+                escape_json(job, out);
+                let _ = write!(
+                    out,
+                    "\",\"seed\":{seed},\"worker\":{worker},\"elapsed_ns\":{elapsed_ns}"
+                );
+            }
         }
         out.push_str("}\n");
     }
@@ -454,6 +505,15 @@ impl OwnedEvent {
             OwnedEvent::Custom { name, value } => {
                 format!("{t:>12.6}s  CUSTOM    {name} = {value}")
             }
+            OwnedEvent::JobSpan {
+                job,
+                seed,
+                worker,
+                elapsed_ns,
+            } => format!(
+                "{t:>12.6}s  JOB       {job} (seed {seed}) on worker {worker}: {:.3}s",
+                *elapsed_ns as f64 / 1e9
+            ),
         }
     }
 
@@ -541,6 +601,12 @@ impl OwnedEvent {
                 name: string("name")?,
                 value: raw_field(body, "value")?.parse().ok()?,
             },
+            "job_span" => OwnedEvent::JobSpan {
+                job: string("job")?,
+                seed: num("seed")?,
+                worker: num("worker")? as usize,
+                elapsed_ns: num("elapsed_ns")?,
+            },
             _ => return None,
         };
         Some((ts, ev))
@@ -618,6 +684,12 @@ mod tests {
             Event::Custom {
                 name: "x",
                 value: 1.5,
+            },
+            Event::JobSpan {
+                job: "fig2",
+                seed: 2022,
+                worker: 3,
+                elapsed_ns: 1_234_567,
             },
         ];
         for (i, ev) in events.iter().enumerate() {

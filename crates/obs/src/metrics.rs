@@ -217,7 +217,7 @@ impl Registry {
         for (name, value) in self.counter_names.iter().zip(&self.counters) {
             let _ = write!(out, "{{\"ts\":{ts_ns},\"metric\":\"");
             escape_json(name, &mut out);
-            let _ = write!(out, "\",\"type\":\"counter\",\"value\":{value}}}\n");
+            let _ = writeln!(out, "\",\"type\":\"counter\",\"value\":{value}}}");
         }
         for (name, value) in self.gauge_names.iter().zip(&self.gauges) {
             let _ = write!(out, "{{\"ts\":{ts_ns},\"metric\":\"");

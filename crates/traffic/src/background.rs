@@ -115,7 +115,7 @@ impl BackgroundSource {
         let m = (self.cfg.mean_flow_pkts / 3.0).max(1.0);
         let u: f64 = self.rng.gen::<f64>().max(1e-12);
         let x = m / u.powf(1.0 / alpha);
-        x.min(10_000.0).max(1.0) as u32
+        x.clamp(1.0, 10_000.0) as u32
     }
 
     fn sample_pkt_size(&mut self) -> u32 {
@@ -212,7 +212,7 @@ impl BackgroundSource {
 
     fn schedule_next_flow(&mut self) {
         let gap = self.sample_exp(self.flow_gap_ns_mean);
-        self.next_flow_at = self.next_flow_at + SimDuration::from_nanos(gap.max(1.0) as u64);
+        self.next_flow_at += SimDuration::from_nanos(gap.max(1.0) as u64);
     }
 
     /// Mean packet size assumed by the rate calibration (for tests).
@@ -227,7 +227,7 @@ impl PacketSource for BackgroundSource {
             // Admit flow arrivals that precede the earliest active emission.
             let earliest_active = self.active.peek().map(|Reverse((t, _))| *t);
             while self.next_flow_at < self.cfg.end
-                && earliest_active.map_or(true, |t| self.next_flow_at <= t)
+                && earliest_active.is_none_or(|t| self.next_flow_at <= t)
             {
                 let at = self.next_flow_at;
                 self.spawn_flow(at);

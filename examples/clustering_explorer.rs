@@ -110,7 +110,7 @@ fn main() {
     let mut clusterer = OnlineClusterer::new(
         ClusteringConfig::deployable(4, features.clone()).with_update_budget(None),
     );
-    let mut counts = vec![(0u64, 0u64); 4];
+    let mut counts = [(0u64, 0u64); 4];
     while let Some(pkt) = source.next_packet() {
         let c = clusterer.assign(&pkt);
         if pkt.class.is_attack() {
@@ -119,14 +119,11 @@ fn main() {
             counts[c].0 += 1;
         }
     }
-    for k in 0..4 {
+    for (k, &(benign, attack)) in counts.iter().enumerate() {
         let Some(Repr::Range(cluster)) = clusterer.repr(k) else {
             continue;
         };
-        print!(
-            "  cluster {k} (benign {:>6}, attack {:>6}): ",
-            counts[k].0, counts[k].1
-        );
+        print!("  cluster {k} (benign {benign:>6}, attack {attack:>6}): ");
         for (spec, dim) in features.specs().iter().zip(cluster.dims()) {
             match dim {
                 Dim::Range { min, max } => print!("{}=[{min},{max}] ", spec.feature.name()),

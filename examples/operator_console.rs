@@ -95,7 +95,7 @@ fn engine(secs: u64) -> EngineConfig {
 /// /24 — what the operator reads off the console's range dump.
 fn find_backup_cluster() -> usize {
     let mut source = workload();
-    let mut counts = vec![0u64; 10];
+    let mut counts = [0u64; 10];
     let mut sw = switch();
     sw.set_tap(Box::new(|pkt, cluster, _queue| {
         if pkt.dst.octets()[..3] == BACKUP_NET {

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/accturbo-808299d19d79a642.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaccturbo-808299d19d79a642.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/accturbo-c70b0aa723ac19ff.d: src/lib.rs
+
+/root/repo/target/debug/deps/accturbo-c70b0aa723ac19ff: src/lib.rs
+
+src/lib.rs:

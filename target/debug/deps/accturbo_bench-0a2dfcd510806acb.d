@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/accturbo_bench-0a2dfcd510806acb.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaccturbo_bench-0a2dfcd510806acb.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

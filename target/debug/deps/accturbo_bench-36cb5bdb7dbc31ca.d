@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/accturbo_bench-36cb5bdb7dbc31ca.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaccturbo_bench-36cb5bdb7dbc31ca.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

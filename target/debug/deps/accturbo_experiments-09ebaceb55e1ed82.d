@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/accturbo_experiments-09ebaceb55e1ed82.d: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/adversarial.rs crates/experiments/src/cli.rs crates/experiments/src/common.rs crates/experiments/src/fig10.rs crates/experiments/src/fig11.rs crates/experiments/src/fig2.rs crates/experiments/src/fig3.rs crates/experiments/src/fig6.rs crates/experiments/src/fig7.rs crates/experiments/src/fig8.rs crates/experiments/src/fig9.rs crates/experiments/src/pushback.rs crates/experiments/src/result.rs crates/experiments/src/table3.rs
+
+/root/repo/target/debug/deps/libaccturbo_experiments-09ebaceb55e1ed82.rlib: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/adversarial.rs crates/experiments/src/cli.rs crates/experiments/src/common.rs crates/experiments/src/fig10.rs crates/experiments/src/fig11.rs crates/experiments/src/fig2.rs crates/experiments/src/fig3.rs crates/experiments/src/fig6.rs crates/experiments/src/fig7.rs crates/experiments/src/fig8.rs crates/experiments/src/fig9.rs crates/experiments/src/pushback.rs crates/experiments/src/result.rs crates/experiments/src/table3.rs
+
+/root/repo/target/debug/deps/libaccturbo_experiments-09ebaceb55e1ed82.rmeta: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/adversarial.rs crates/experiments/src/cli.rs crates/experiments/src/common.rs crates/experiments/src/fig10.rs crates/experiments/src/fig11.rs crates/experiments/src/fig2.rs crates/experiments/src/fig3.rs crates/experiments/src/fig6.rs crates/experiments/src/fig7.rs crates/experiments/src/fig8.rs crates/experiments/src/fig9.rs crates/experiments/src/pushback.rs crates/experiments/src/result.rs crates/experiments/src/table3.rs
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/ablations.rs:
+crates/experiments/src/adversarial.rs:
+crates/experiments/src/cli.rs:
+crates/experiments/src/common.rs:
+crates/experiments/src/fig10.rs:
+crates/experiments/src/fig11.rs:
+crates/experiments/src/fig2.rs:
+crates/experiments/src/fig3.rs:
+crates/experiments/src/fig6.rs:
+crates/experiments/src/fig7.rs:
+crates/experiments/src/fig8.rs:
+crates/experiments/src/fig9.rs:
+crates/experiments/src/pushback.rs:
+crates/experiments/src/result.rs:
+crates/experiments/src/table3.rs:

@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/accturbo_experiments-6cb3eebe776e6015.d: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/adversarial.rs crates/experiments/src/cli.rs crates/experiments/src/common.rs crates/experiments/src/fig10.rs crates/experiments/src/fig11.rs crates/experiments/src/fig2.rs crates/experiments/src/fig3.rs crates/experiments/src/fig6.rs crates/experiments/src/fig7.rs crates/experiments/src/fig8.rs crates/experiments/src/fig9.rs crates/experiments/src/pushback.rs crates/experiments/src/result.rs crates/experiments/src/table3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaccturbo_experiments-6cb3eebe776e6015.rmeta: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/adversarial.rs crates/experiments/src/cli.rs crates/experiments/src/common.rs crates/experiments/src/fig10.rs crates/experiments/src/fig11.rs crates/experiments/src/fig2.rs crates/experiments/src/fig3.rs crates/experiments/src/fig6.rs crates/experiments/src/fig7.rs crates/experiments/src/fig8.rs crates/experiments/src/fig9.rs crates/experiments/src/pushback.rs crates/experiments/src/result.rs crates/experiments/src/table3.rs Cargo.toml
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/ablations.rs:
+crates/experiments/src/adversarial.rs:
+crates/experiments/src/cli.rs:
+crates/experiments/src/common.rs:
+crates/experiments/src/fig10.rs:
+crates/experiments/src/fig11.rs:
+crates/experiments/src/fig2.rs:
+crates/experiments/src/fig3.rs:
+crates/experiments/src/fig6.rs:
+crates/experiments/src/fig7.rs:
+crates/experiments/src/fig8.rs:
+crates/experiments/src/fig9.rs:
+crates/experiments/src/pushback.rs:
+crates/experiments/src/result.rs:
+crates/experiments/src/table3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/accturbo_runner-1433e7d8cb8561e2.d: crates/runner/src/lib.rs
+
+/root/repo/target/debug/deps/libaccturbo_runner-1433e7d8cb8561e2.rlib: crates/runner/src/lib.rs
+
+/root/repo/target/debug/deps/libaccturbo_runner-1433e7d8cb8561e2.rmeta: crates/runner/src/lib.rs
+
+crates/runner/src/lib.rs:

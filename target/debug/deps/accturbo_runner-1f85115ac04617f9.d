@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/accturbo_runner-1f85115ac04617f9.d: crates/runner/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaccturbo_runner-1f85115ac04617f9.rmeta: crates/runner/src/lib.rs Cargo.toml
+
+crates/runner/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/accturbo_runner-577afbf18096acde.d: crates/runner/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaccturbo_runner-577afbf18096acde.rmeta: crates/runner/src/lib.rs Cargo.toml
+
+crates/runner/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

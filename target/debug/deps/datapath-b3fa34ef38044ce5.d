@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/datapath-b3fa34ef38044ce5.d: crates/bench/benches/datapath.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdatapath-b3fa34ef38044ce5.rmeta: crates/bench/benches/datapath.rs Cargo.toml
+
+crates/bench/benches/datapath.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

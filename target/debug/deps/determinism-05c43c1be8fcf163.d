@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-05c43c1be8fcf163.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-05c43c1be8fcf163: tests/determinism.rs
+
+tests/determinism.rs:

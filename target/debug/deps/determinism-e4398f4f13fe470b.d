@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/determinism-e4398f4f13fe470b.d: tests/determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism-e4398f4f13fe470b.rmeta: tests/determinism.rs Cargo.toml
+
+tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-88ef4420925f3dc7.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-88ef4420925f3dc7: tests/end_to_end.rs
+
+tests/end_to_end.rs:

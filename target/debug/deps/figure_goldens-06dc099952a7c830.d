@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/figure_goldens-06dc099952a7c830.d: tests/figure_goldens.rs
+
+/root/repo/target/debug/deps/figure_goldens-06dc099952a7c830: tests/figure_goldens.rs
+
+tests/figure_goldens.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

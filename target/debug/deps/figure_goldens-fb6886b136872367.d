@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/figure_goldens-fb6886b136872367.d: tests/figure_goldens.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure_goldens-fb6886b136872367.rmeta: tests/figure_goldens.rs Cargo.toml
+
+tests/figure_goldens.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figures-fadd68c452d0f5b2.d: crates/bench/benches/figures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigures-fadd68c452d0f5b2.rmeta: crates/bench/benches/figures.rs Cargo.toml
+
+crates/bench/benches/figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

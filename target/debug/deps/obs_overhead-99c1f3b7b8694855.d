@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/obs_overhead-99c1f3b7b8694855.d: crates/bench/benches/obs_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libobs_overhead-99c1f3b7b8694855.rmeta: crates/bench/benches/obs_overhead.rs Cargo.toml
+
+crates/bench/benches/obs_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/runner_speedup-47034578bb9e0b61.d: crates/bench/benches/runner_speedup.rs Cargo.toml
+
+/root/repo/target/debug/deps/librunner_speedup-47034578bb9e0b61.rmeta: crates/bench/benches/runner_speedup.rs Cargo.toml
+
+crates/bench/benches/runner_speedup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

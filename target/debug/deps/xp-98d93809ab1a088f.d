@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xp-98d93809ab1a088f.d: crates/experiments/src/main.rs
+
+/root/repo/target/debug/deps/xp-98d93809ab1a088f: crates/experiments/src/main.rs
+
+crates/experiments/src/main.rs:

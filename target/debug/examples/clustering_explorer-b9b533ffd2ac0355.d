@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/clustering_explorer-b9b533ffd2ac0355.d: examples/clustering_explorer.rs
+
+/root/repo/target/debug/examples/clustering_explorer-b9b533ffd2ac0355: examples/clustering_explorer.rs
+
+examples/clustering_explorer.rs:

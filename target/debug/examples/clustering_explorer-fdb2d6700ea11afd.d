@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/clustering_explorer-fdb2d6700ea11afd.d: examples/clustering_explorer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libclustering_explorer-fdb2d6700ea11afd.rmeta: examples/clustering_explorer.rs Cargo.toml
+
+examples/clustering_explorer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

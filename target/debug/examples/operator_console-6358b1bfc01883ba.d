@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/operator_console-6358b1bfc01883ba.d: examples/operator_console.rs Cargo.toml
+
+/root/repo/target/debug/examples/liboperator_console-6358b1bfc01883ba.rmeta: examples/operator_console.rs Cargo.toml
+
+examples/operator_console.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

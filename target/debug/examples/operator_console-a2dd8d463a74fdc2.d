@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/operator_console-a2dd8d463a74fdc2.d: examples/operator_console.rs
+
+/root/repo/target/debug/examples/operator_console-a2dd8d463a74fdc2: examples/operator_console.rs
+
+examples/operator_console.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/pulse_wave_defense-4017705556b173c5.d: examples/pulse_wave_defense.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpulse_wave_defense-4017705556b173c5.rmeta: examples/pulse_wave_defense.rs Cargo.toml
+
+examples/pulse_wave_defense.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

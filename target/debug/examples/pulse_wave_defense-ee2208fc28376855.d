@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pulse_wave_defense-ee2208fc28376855.d: examples/pulse_wave_defense.rs
+
+/root/repo/target/debug/examples/pulse_wave_defense-ee2208fc28376855: examples/pulse_wave_defense.rs
+
+examples/pulse_wave_defense.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-ac15c4c021c2be3a.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-ac15c4c021c2be3a: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_replay-e5df0922ef6d9c33.d: examples/trace_replay.rs
+
+/root/repo/target/debug/examples/trace_replay-e5df0922ef6d9c33: examples/trace_replay.rs
+
+examples/trace_replay.rs:

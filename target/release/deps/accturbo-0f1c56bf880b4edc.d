@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/accturbo-0f1c56bf880b4edc.d: src/lib.rs
+
+/root/repo/target/release/deps/accturbo-0f1c56bf880b4edc: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/accturbo_bench-372a2eb000deb0a6.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/accturbo_bench-372a2eb000deb0a6: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

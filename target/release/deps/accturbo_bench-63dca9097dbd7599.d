@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/accturbo_bench-63dca9097dbd7599.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/accturbo_bench-63dca9097dbd7599: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

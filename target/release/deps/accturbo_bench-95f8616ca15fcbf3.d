@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/accturbo_bench-95f8616ca15fcbf3.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libaccturbo_bench-95f8616ca15fcbf3.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libaccturbo_bench-95f8616ca15fcbf3.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/accturbo_bench-b1efaa4769393e35.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libaccturbo_bench-b1efaa4769393e35.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libaccturbo_bench-b1efaa4769393e35.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

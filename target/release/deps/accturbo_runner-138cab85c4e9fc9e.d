@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/accturbo_runner-138cab85c4e9fc9e.d: crates/runner/src/lib.rs
+
+/root/repo/target/release/deps/accturbo_runner-138cab85c4e9fc9e: crates/runner/src/lib.rs
+
+crates/runner/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/accturbo_runner-4db48fc2908c12da.d: crates/runner/src/lib.rs
+
+/root/repo/target/release/deps/libaccturbo_runner-4db48fc2908c12da.rlib: crates/runner/src/lib.rs
+
+/root/repo/target/release/deps/libaccturbo_runner-4db48fc2908c12da.rmeta: crates/runner/src/lib.rs
+
+crates/runner/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-1a07d93610275487.d: tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-1a07d93610275487: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-488e9ec5463e72ca.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-488e9ec5463e72ca: tests/end_to_end.rs
+
+tests/end_to_end.rs:

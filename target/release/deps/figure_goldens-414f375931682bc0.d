@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/figure_goldens-414f375931682bc0.d: tests/figure_goldens.rs
+
+/root/repo/target/release/deps/figure_goldens-414f375931682bc0: tests/figure_goldens.rs
+
+tests/figure_goldens.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

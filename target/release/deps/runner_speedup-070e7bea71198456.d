@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/runner_speedup-070e7bea71198456.d: crates/bench/benches/runner_speedup.rs
+
+/root/repo/target/release/deps/runner_speedup-070e7bea71198456: crates/bench/benches/runner_speedup.rs
+
+crates/bench/benches/runner_speedup.rs:

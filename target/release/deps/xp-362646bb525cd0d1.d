@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/xp-362646bb525cd0d1.d: crates/experiments/src/main.rs
+
+/root/repo/target/release/deps/xp-362646bb525cd0d1: crates/experiments/src/main.rs
+
+crates/experiments/src/main.rs:

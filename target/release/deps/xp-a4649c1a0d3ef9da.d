@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/xp-a4649c1a0d3ef9da.d: crates/experiments/src/main.rs
+
+/root/repo/target/release/deps/xp-a4649c1a0d3ef9da: crates/experiments/src/main.rs
+
+crates/experiments/src/main.rs:

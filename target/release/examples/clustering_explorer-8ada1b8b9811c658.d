@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/clustering_explorer-8ada1b8b9811c658.d: examples/clustering_explorer.rs
+
+/root/repo/target/release/examples/clustering_explorer-8ada1b8b9811c658: examples/clustering_explorer.rs
+
+examples/clustering_explorer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/operator_console-791d5600076f3fb3.d: examples/operator_console.rs
+
+/root/repo/target/release/examples/operator_console-791d5600076f3fb3: examples/operator_console.rs
+
+examples/operator_console.rs:

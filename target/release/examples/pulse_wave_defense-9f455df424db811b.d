@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/pulse_wave_defense-9f455df424db811b.d: examples/pulse_wave_defense.rs
+
+/root/repo/target/release/examples/pulse_wave_defense-9f455df424db811b: examples/pulse_wave_defense.rs
+
+examples/pulse_wave_defense.rs:

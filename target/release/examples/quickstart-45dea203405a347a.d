@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-45dea203405a347a.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-45dea203405a347a: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/trace_replay-1d2e31ff3e31fd4c.d: examples/trace_replay.rs
+
+/root/repo/target/release/examples/trace_replay-1d2e31ff3e31fd4c: examples/trace_replay.rs
+
+examples/trace_replay.rs:

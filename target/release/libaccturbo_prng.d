@@ -1,0 +1,1 @@
+/root/repo/target/release/libaccturbo_prng.rlib: /root/repo/crates/prng/src/lib.rs

@@ -1,0 +1,1 @@
+/root/repo/target/release/libaccturbo_runner.rlib: /root/repo/crates/runner/src/lib.rs

@@ -1,0 +1,88 @@
+//! Differential determinism tests for the parallel experiment runner:
+//! the observable output of a figure run must depend only on (figure,
+//! scale, seed) — never on the worker count or completion order.
+
+use accturbo_experiments::cli::{self, Cli};
+use accturbo_experiments::{Figure, Scale, FIGURES};
+
+/// Runs the full figure set through the worker pool and returns the
+/// delivered figures in index order.
+fn run_all(jobs: usize) -> Vec<Figure> {
+    accturbo_runner::run(jobs, FIGURES.len(), |i| {
+        FIGURES[i].run_default(Scale::Quick)
+    })
+    .into_iter()
+    .map(|r| r.output)
+    .collect()
+}
+
+/// The full figure set, serially and with 4 workers: rendered reports
+/// byte-identical, machine-readable results identical field-for-field.
+#[test]
+fn full_figure_set_is_identical_serial_and_parallel() {
+    let serial = run_all(1);
+    let parallel = run_all(4);
+    assert_eq!(serial.len(), parallel.len());
+    for ((spec, s), p) in FIGURES.iter().zip(&serial).zip(&parallel) {
+        assert_eq!(
+            s.rendered, p.rendered,
+            "{}: rendered output differs between --jobs 1 and --jobs 4",
+            spec.name
+        );
+        assert_eq!(
+            s.result, p.result,
+            "{}: FigureResult differs between --jobs 1 and --jobs 4",
+            spec.name
+        );
+        assert_eq!(s.result.figure, spec.name);
+    }
+}
+
+fn cli_for(targets: &[&str], jobs: usize, seeds: Vec<u64>) -> Cli {
+    let mut args: Vec<String> = targets.iter().map(|s| s.to_string()).collect();
+    args.push("--quick".into());
+    let mut cli = cli::parse(&args).expect("valid targets");
+    cli.jobs = jobs;
+    cli.seeds = seeds;
+    cli
+}
+
+fn rendered_stream(cli: &Cli) -> String {
+    let mut out = String::new();
+    cli::run_figures(cli, |block| out.push_str(block));
+    out
+}
+
+/// The assembled `xp` byte stream (headers, blocks, separators) through
+/// the real CLI pipeline is identical for any worker count — checked on
+/// the cheap figures so the full-set case above stays the long pole.
+#[test]
+fn cli_stream_is_byte_identical_across_job_counts() {
+    let targets = ["fig7", "pushback", "fig6", "fig2"];
+    let serial = rendered_stream(&cli_for(&targets, 1, vec![]));
+    let parallel = rendered_stream(&cli_for(&targets, 4, vec![]));
+    assert!(!serial.is_empty());
+    assert_eq!(serial, parallel, "stdout must not depend on --jobs");
+    for name in targets {
+        assert!(
+            serial.contains(&format!("==================== {name} ====================")),
+            "missing block for {name}"
+        );
+    }
+}
+
+/// Seeded multi-run output (per-seed blocks + aggregate) is also
+/// jobs-invariant, and two identically-seeded invocations agree.
+#[test]
+fn seeded_runs_are_reproducible_and_jobs_invariant() {
+    let serial = rendered_stream(&cli_for(&["pushback"], 1, vec![7, 8]));
+    let parallel = rendered_stream(&cli_for(&["pushback"], 4, vec![7, 8]));
+    let again = rendered_stream(&cli_for(&["pushback"], 4, vec![7, 8]));
+    assert_eq!(serial, parallel, "seeded stream must not depend on --jobs");
+    assert_eq!(parallel, again, "same seeds twice must be byte-identical");
+    assert!(serial.contains("pushback (seed 7)"), "{serial}");
+    assert!(
+        serial.contains("pushback aggregate over 2 seeds"),
+        "{serial}"
+    );
+}

@@ -145,7 +145,7 @@ fn acc_inference_composes_with_the_simulator() {
         drops.clear();
         sw.ingress(pkt, SimTime::ZERO, &mut drops);
         // Drain slower than the flood arrives so the queue overflows.
-        if i % 8 == 0 {
+        if i.is_multiple_of(8) {
             sw.dequeue(SimTime::ZERO);
         }
         i += 1;

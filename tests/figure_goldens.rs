@@ -1,0 +1,136 @@
+//! Golden-figure regression tests: every registry figure runs at smoke
+//! (`Quick`) scale and its machine-readable [`FigureResult`] is compared
+//! structurally against the checked-in snapshot under `tests/goldens/`.
+//!
+//! * Numeric fields pass within the golden's declared relative tolerance;
+//!   integer/text fields (including the `rendered_fnv` digest of the full
+//!   rendered report) compare exactly.
+//! * A failure names the figure and every drifted field.
+//! * To bless intentional changes, regenerate all snapshots with
+//!   `UPDATE_GOLDENS=1 cargo test --test figure_goldens`.
+
+use accturbo_experiments::{figure_spec, FigureResult, Scale, FIGURES};
+use std::path::PathBuf;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("goldens")
+}
+
+fn blessing() -> bool {
+    std::env::var_os("UPDATE_GOLDENS").is_some_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Runs `name` at smoke scale and checks (or, under `UPDATE_GOLDENS=1`,
+/// rewrites) its golden snapshot.
+fn check(name: &str) {
+    let spec = figure_spec(name).unwrap_or_else(|| panic!("`{name}` is not in FIGURES"));
+    let fresh = spec.run_default(Scale::Quick).result;
+    let path = golden_dir().join(format!("{name}.golden"));
+
+    if blessing() {
+        std::fs::create_dir_all(golden_dir()).expect("create tests/goldens");
+        std::fs::write(&path, fresh.to_golden())
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "no golden snapshot for `{name}` ({}: {e});\n\
+             create it with `UPDATE_GOLDENS=1 cargo test --test figure_goldens`",
+            path.display()
+        )
+    });
+    let golden = FigureResult::parse_golden(&text)
+        .unwrap_or_else(|e| panic!("corrupt golden {}: {e}", path.display()));
+    let diffs = golden.compare(&fresh);
+    assert!(
+        diffs.is_empty(),
+        "golden drift in `{name}` ({} field{}):\n  {}\n\
+         if this change is intended, re-bless with \
+         `UPDATE_GOLDENS=1 cargo test --test figure_goldens`",
+        diffs.len(),
+        if diffs.len() == 1 { "" } else { "s" },
+        diffs.join("\n  ")
+    );
+}
+
+/// Every `FIGURES` entry has a snapshot on disk and no stale snapshot
+/// lingers — adding a figure without a golden (or renaming one) fails
+/// here even before its per-figure test exists.
+#[test]
+fn goldens_cover_the_whole_registry() {
+    if blessing() {
+        return; // the per-figure tests are rewriting the set right now
+    }
+    let mut on_disk: Vec<String> = std::fs::read_dir(golden_dir())
+        .expect("tests/goldens must exist (bless with UPDATE_GOLDENS=1)")
+        .filter_map(|e| {
+            let name = e.ok()?.file_name().into_string().ok()?;
+            name.strip_suffix(".golden").map(str::to_string)
+        })
+        .collect();
+    on_disk.sort();
+    let mut expected: Vec<String> = FIGURES.iter().map(|s| s.name.to_string()).collect();
+    expected.sort();
+    assert_eq!(
+        on_disk, expected,
+        "tests/goldens/*.golden must match the FIGURES registry exactly"
+    );
+}
+
+macro_rules! golden_tests {
+    ($($name:ident),* $(,)?) => {
+        $(
+            #[test]
+            fn $name() {
+                check(stringify!($name));
+            }
+        )*
+    };
+}
+
+golden_tests!(
+    fig2,
+    fig3,
+    fig6,
+    fig7,
+    table3,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    adversarial,
+    ablations,
+    pushback,
+);
+
+/// The macro list above must not fall behind the registry.
+#[test]
+fn every_registry_entry_has_a_test() {
+    const TESTED: &[&str] = &[
+        "fig2",
+        "fig3",
+        "fig6",
+        "fig7",
+        "table3",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "adversarial",
+        "ablations",
+        "pushback",
+    ];
+    for spec in FIGURES {
+        assert!(
+            TESTED.contains(&spec.name),
+            "figure `{}` has no golden test — add it to golden_tests! and TESTED",
+            spec.name
+        );
+    }
+    assert_eq!(TESTED.len(), FIGURES.len());
+}
