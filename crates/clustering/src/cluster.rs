@@ -91,6 +91,18 @@ impl NominalSet {
             _ => unreachable!("mixed nominal modes never occur within one clusterer"),
         }
     }
+
+    /// Empties the set while keeping its backing storage (hash-set
+    /// capacity, bloom bit array) allocated for reuse.
+    pub fn clear(&mut self) {
+        match self {
+            NominalSet::Exact(s) => s.clear(),
+            NominalSet::Bloom { filter, distinct } => {
+                filter.reset();
+                *distinct = 0;
+            }
+        }
+    }
 }
 
 /// One per-feature dimension of a range-based cluster.
@@ -142,7 +154,48 @@ impl RangeCluster {
     /// sum over ordinal features of the gap to the nearest range edge,
     /// plus 1 for every nominal feature whose value is not admitted.
     /// Zero means the point is covered.
+    ///
+    /// The ordinal gap is computed branch-free: of the two saturating
+    /// differences at most one is non-zero (`min <= max` always), and a
+    /// point inside the range yields zero for both.
     pub fn manhattan(&self, values: &[u32]) -> u64 {
+        self.dims
+            .iter()
+            .zip(values)
+            .map(|(dim, &v)| match dim {
+                Dim::Range { min, max } => (min.saturating_sub(v) + v.saturating_sub(*max)) as u64,
+                Dim::Set(set) => u64::from(!set.contains(v)),
+            })
+            .sum()
+    }
+
+    /// [`manhattan`](Self::manhattan) with an early-exit bound: returns as
+    /// soon as the running sum reaches `bound`. Gap terms are non-negative,
+    /// so any partial sum `>= bound` proves the full distance is too; the
+    /// returned value then is that partial sum (still `>= bound`), which a
+    /// strict `d < bound` nearest-cluster comparison rejects exactly as it
+    /// would the full distance. When the result is `< bound` it *is* the
+    /// exact distance.
+    pub fn manhattan_bounded(&self, values: &[u32], bound: u64) -> u64 {
+        let mut acc = 0u64;
+        for (dim, &v) in self.dims.iter().zip(values) {
+            acc += match dim {
+                Dim::Range { min, max } => (min.saturating_sub(v) + v.saturating_sub(*max)) as u64,
+                Dim::Set(set) => u64::from(!set.contains(v)),
+            };
+            if acc >= bound {
+                return acc;
+            }
+        }
+        acc
+    }
+
+    /// The original branchy per-dimension Manhattan distance, kept
+    /// verbatim as the benchmark/differential baseline for the branch-free
+    /// kernels above. Must stay value-identical to
+    /// [`manhattan`](Self::manhattan).
+    #[cfg(feature = "reference")]
+    pub fn manhattan_reference(&self, values: &[u32]) -> u64 {
         self.dims
             .iter()
             .zip(values)
@@ -236,6 +289,31 @@ impl RangeCluster {
         self.manhattan(values) == 0
     }
 
+    /// Collapses the cluster onto the single point `values` in place,
+    /// reusing the per-dimension storage (ranges shrink to the point,
+    /// nominal sets clear but keep their allocation). State-equivalent to
+    /// re-running [`seed`](Self::seed) with the same feature set, without
+    /// the per-reset allocations.
+    pub fn reseed(&mut self, values: &[u32]) {
+        assert_eq!(
+            self.dims.len(),
+            values.len(),
+            "feature/value arity mismatch"
+        );
+        for (dim, &v) in self.dims.iter_mut().zip(values) {
+            match dim {
+                Dim::Range { min, max } => {
+                    *min = v;
+                    *max = v;
+                }
+                Dim::Set(set) => {
+                    set.clear();
+                    set.insert(v);
+                }
+            }
+        }
+    }
+
     /// Merges `other` into `self` (exhaustive search, §4.2.1): ranges
     /// become the convex hull, sets the union.
     pub fn merge(&mut self, other: &RangeCluster) {
@@ -320,6 +398,31 @@ impl CenterCluster {
                 d * d
             })
             .sum()
+    }
+
+    /// [`euclidean_sq`](Self::euclidean_sq) with an early-exit bound.
+    /// Squared terms are non-negative, so a partial sum `>= bound` already
+    /// proves the full distance is rejected by a strict `d < bound`
+    /// comparison; results `< bound` are exact and accumulated in the same
+    /// left-to-right order as the unbounded version (bit-identical `f64`).
+    pub fn euclidean_sq_bounded(&self, values: &[u32], bound: f64) -> f64 {
+        let mut acc = 0.0f64;
+        for (c, &v) in self.center.iter().zip(values) {
+            let d = v as f64 - c;
+            acc += d * d;
+            if acc >= bound {
+                return acc;
+            }
+        }
+        acc
+    }
+
+    /// Re-seeds the centroid at `values` in place, reusing the coordinate
+    /// buffer. State-equivalent to [`seed`](Self::seed).
+    pub fn reseed(&mut self, values: &[u32]) {
+        self.center.clear();
+        self.center.extend(values.iter().map(|&v| v as f64));
+        self.weight = 1;
     }
 
     /// Moves the centroid toward `values` by `learning_rate` (§4.2.2's
@@ -456,6 +559,78 @@ mod tests {
         assert_eq!(c.center(), &[5.0, 5.0, 5.0]);
         assert_eq!(c.euclidean_sq(&[5, 5, 5]), 0.0);
         assert_eq!(c.euclidean_sq(&[8, 5, 5]), 9.0);
+    }
+
+    #[test]
+    fn bounded_manhattan_agrees_below_the_bound() {
+        let mut c = RangeCluster::seed(&feats(), &[5, 10, 80], &NominalMode::Exact);
+        c.admit(&[8, 20, 80]);
+        for probe in [[3u32, 25, 80], [6, 15, 443], [5, 20, 80], [0, 0, 1]] {
+            let full = c.manhattan(&probe);
+            // An unreachable bound returns the exact distance.
+            assert_eq!(c.manhattan_bounded(&probe, u64::MAX), full);
+            // A tight bound still returns something >= the bound whenever
+            // the full distance is >= the bound (rejection-equivalent).
+            for bound in [0u64, 1, 2, full.saturating_sub(1), full, full + 1] {
+                let b = c.manhattan_bounded(&probe, bound);
+                if full < bound {
+                    assert_eq!(b, full, "below the bound the result is exact");
+                } else {
+                    assert!(b >= bound, "partial {b} must not dip below bound {bound}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_euclidean_agrees_below_the_bound() {
+        let mut c = CenterCluster::seed(&[0, 0, 0]);
+        c.admit(&[10, 10, 10], 0.5);
+        for probe in [[5u32, 5, 5], [8, 5, 5], [100, 0, 3]] {
+            let full = c.euclidean_sq(&probe);
+            assert_eq!(c.euclidean_sq_bounded(&probe, f64::INFINITY), full);
+            for bound in [0.0, 1.0, full / 2.0, full, full * 2.0 + 1.0] {
+                let b = c.euclidean_sq_bounded(&probe, bound);
+                if full < bound {
+                    assert_eq!(b, full, "below the bound the result is exact");
+                } else {
+                    assert!(b >= bound);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reseed_equals_fresh_seed() {
+        let mut grown = RangeCluster::seed(&feats(), &[5, 10, 80], &NominalMode::Exact);
+        grown.admit(&[200, 250, 9999]);
+        grown.reseed(&[7, 12, 443]);
+        let fresh = RangeCluster::seed(&feats(), &[7, 12, 443], &NominalMode::Exact);
+        assert_eq!(grown.manhattan_cost(), fresh.manhattan_cost());
+        for probe in [[7u32, 12, 443], [5, 10, 80], [0, 255, 1]] {
+            assert_eq!(grown.manhattan(&probe), fresh.manhattan(&probe));
+            assert_eq!(grown.anime(&probe), fresh.anime(&probe));
+        }
+
+        let mut center = CenterCluster::seed(&[1, 2, 3]);
+        center.admit(&[9, 9, 9], 0.3);
+        center.reseed(&[4, 5, 6]);
+        assert_eq!(center.center(), &[4.0, 5.0, 6.0]);
+        assert_eq!(center.weight, 1);
+    }
+
+    #[test]
+    fn reseed_equals_fresh_seed_in_bloom_mode() {
+        let mode = NominalMode::Bloom {
+            bits: 1024,
+            hashes: 3,
+        };
+        let mut c = RangeCluster::seed(&feats(), &[5, 10, 80], &mode);
+        c.admit(&[5, 10, 443]);
+        c.reseed(&[5, 10, 8080]);
+        assert!(c.covers(&[5, 10, 8080]));
+        assert!(!c.covers(&[5, 10, 80]), "cleared filter forgets old ports");
+        assert_eq!(c.manhattan_cost(), 1);
     }
 
     #[test]

@@ -13,10 +13,84 @@
 //! Distances: Manhattan and Anime operate on range-based clusters;
 //! Euclidean on center-based clusters — the design space of §4.2.
 
-use crate::cluster::{CenterCluster, NominalMode, RangeCluster};
+use crate::cluster::{CenterCluster, Dim, NominalMode, RangeCluster};
 use crate::feature::FeatureSet;
 use accturbo_netsim::Packet;
 use accturbo_obs::{Event, Tracer};
+
+/// Reference (pre-specialization) kernel control, compiled only with the
+/// `reference` cargo feature. The differential tests and the
+/// `xp bench-export` baseline flip this switch to run the original
+/// per-cluster `DistanceKind`-matched scan side by side with the
+/// specialized kernels and assert byte-identical figure output.
+#[cfg(feature = "reference")]
+pub mod reference {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static FORCE: AtomicBool = AtomicBool::new(false);
+
+    /// Forces every [`OnlineClusterer`](super::OnlineClusterer)
+    /// constructed *after* this call to use the original generic distance
+    /// scan instead of the specialized kernels. The flag is sampled once
+    /// at construction so the per-packet path stays branch-predictable.
+    pub fn force_reference_kernels(on: bool) {
+        FORCE.store(on, Ordering::SeqCst);
+    }
+
+    /// Whether reference kernels are currently forced.
+    pub fn reference_kernels_forced() -> bool {
+        FORCE.load(Ordering::SeqCst)
+    }
+}
+
+/// A specialized nearest-cluster scan over range representations: one
+/// pass, no per-cluster `DistanceKind` dispatch. Returns the first index
+/// attaining the minimum distance (ties keep the earliest slot, exactly
+/// like the original strict `d < best` scan).
+type RangeScan = fn(&[Option<Repr>], &[u32]) -> Option<(usize, f64)>;
+
+/// A specialized pairwise merge-cost kernel for range representations.
+type RangeMergeCost = fn(&RangeCluster, &RangeCluster) -> f64;
+
+fn scan_manhattan(clusters: &[Option<Repr>], values: &[u32]) -> Option<(usize, f64)> {
+    let mut best: Option<(usize, u64)> = None;
+    let mut bound = u64::MAX;
+    for (i, slot) in clusters.iter().enumerate() {
+        let Some(Repr::Range(c)) = slot else { continue };
+        // Any partial sum >= bound is rejected below exactly like the full
+        // distance would be, so the early exit never changes the winner.
+        let d = c.manhattan_bounded(values, bound);
+        if best.is_none() || d < bound {
+            best = Some((i, d));
+            bound = d;
+            if d == 0 {
+                // Covered: no later cluster can beat a strict `< 0`.
+                break;
+            }
+        }
+    }
+    best.map(|(i, d)| (i, d as f64))
+}
+
+fn scan_anime(clusters: &[Option<Repr>], values: &[u32]) -> Option<(usize, f64)> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, slot) in clusters.iter().enumerate() {
+        let Some(Repr::Range(c)) = slot else { continue };
+        let d = c.anime(values);
+        if best.is_none_or(|(_, bd)| d < bd) {
+            best = Some((i, d));
+        }
+    }
+    best
+}
+
+fn merge_cost_manhattan(a: &RangeCluster, b: &RangeCluster) -> f64 {
+    a.manhattan_merge_cost(b) as f64
+}
+
+fn merge_cost_anime(a: &RangeCluster, b: &RangeCluster) -> f64 {
+    a.anime_merge_cost(b)
+}
 
 /// Distance function (paper §4.2.3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -197,28 +271,44 @@ pub struct OnlineClusterer {
     totals: Vec<WindowStats>,
     scratch: Vec<u32>,
     /// Per-feature (min, max) of every value observed since the last
-    /// reset. Under anchor initialization, the next reset spreads the
-    /// anchors of *idle* slots over these ranges, so the anchor grid
-    /// adapts to the value ranges traffic actually uses (declared field
-    /// widths like ip.len's 16 bits are mostly unused; see DESIGN.md §4).
-    observed: Option<Vec<(u32, u32)>>,
+    /// reset (empty = nothing observed yet; the buffer is retained across
+    /// resets so steady state allocates nothing). Under anchor
+    /// initialization, the next reset spreads the anchors of *idle* slots
+    /// over these ranges, so the anchor grid adapts to the value ranges
+    /// traffic actually uses (declared field widths like ip.len's 16 bits
+    /// are mostly unused; see DESIGN.md §4).
+    observed: Vec<(u32, u32)>,
     /// The *last* feature vector assigned to each cluster in the current
-    /// window. At the next reset each active slot is re-seeded at its
-    /// representative, so slots track the traffic aggregates they
-    /// captured. "Last packet" is (a) trivially implementable in the data
-    /// plane (a per-cluster register overwritten on every packet, read by
-    /// the control plane at the poll) and (b) biased toward the cluster's
-    /// dominant flow — exactly the property that makes a high-rate attack
-    /// become its own seed and release any benign traffic it dragged in.
-    representative: Vec<Option<Vec<u32>>>,
+    /// window (empty = none yet). At the next reset each active slot is
+    /// re-seeded at its representative, so slots track the traffic
+    /// aggregates they captured. "Last packet" is (a) trivially
+    /// implementable in the data plane (a per-cluster register overwritten
+    /// on every packet, read by the control plane at the poll) and (b)
+    /// biased toward the cluster's dominant flow — exactly the property
+    /// that makes a high-rate attack become its own seed and release any
+    /// benign traffic it dragged in.
+    representative: Vec<Vec<u32>>,
     /// Remaining growth budget per cluster in the current window.
     budget: Vec<u64>,
     /// Per-cluster per-feature (min, max) of every value *assigned* in the
-    /// current window — independent of the budget-limited geometry. This
-    /// is what the P4 min/max registers report to the controller, and it
-    /// is what the `/Size` rankings divide by: the cluster's statistical
-    /// spread, not its (stabilized) geometric shape.
-    stat_ranges: Vec<Option<Vec<(u32, u32)>>>,
+    /// current window (empty = no traffic) — independent of the
+    /// budget-limited geometry. This is what the P4 min/max registers
+    /// report to the controller, and it is what the `/Size` rankings
+    /// divide by: the cluster's statistical spread, not its (stabilized)
+    /// geometric shape.
+    stat_ranges: Vec<Vec<(u32, u32)>>,
+    /// Scratch for re-seed points at resets (reused across resets).
+    point_scratch: Vec<u32>,
+    /// Nearest-cluster scan kernel, resolved from `cfg.distance` once at
+    /// construction (never consulted in Euclidean mode, which is
+    /// center-based and has its own kernel).
+    range_scan: RangeScan,
+    /// Pairwise merge-cost kernel for exhaustive search, resolved once at
+    /// construction.
+    range_merge_cost: RangeMergeCost,
+    /// Snapshot of [`reference::reference_kernels_forced`] taken at
+    /// construction; always `false` without the `reference` feature.
+    use_reference: bool,
 }
 
 impl OnlineClusterer {
@@ -237,63 +327,100 @@ impl OnlineClusterer {
             );
         }
         let n = cfg.num_clusters;
+        let (range_scan, range_merge_cost): (RangeScan, RangeMergeCost) = match cfg.distance {
+            DistanceKind::Manhattan => (scan_manhattan, merge_cost_manhattan),
+            DistanceKind::Anime => (scan_anime, merge_cost_anime),
+            // Euclidean mode is center-based; these kernels are never
+            // consulted, any valid pair keeps the fields total.
+            DistanceKind::Euclidean => (scan_manhattan, merge_cost_manhattan),
+        };
+        #[cfg(feature = "reference")]
+        let use_reference = reference::reference_kernels_forced();
+        #[cfg(not(feature = "reference"))]
+        let use_reference = false;
         let mut oc = OnlineClusterer {
             cfg,
             clusters: vec![None; n],
             window: vec![WindowStats::default(); n],
             totals: vec![WindowStats::default(); n],
             scratch: Vec::new(),
-            observed: None,
-            representative: vec![None; n],
+            observed: Vec::new(),
+            representative: vec![Vec::new(); n],
             budget: vec![0; n],
-            stat_ranges: vec![None; n],
+            stat_ranges: vec![Vec::new(); n],
+            point_scratch: Vec::new(),
+            range_scan,
+            range_merge_cost,
+            use_reference,
         };
         oc.init_clusters();
         oc
     }
 
-    /// The anchor point of slot `k`: the diagonal point of the per-feature
-    /// ranges observed since the last reset (the declared field width
-    /// before any traffic has been seen).
-    fn anchor(&self, k: usize) -> Vec<u32> {
+    /// The anchor coordinate of slot `k` on feature `f`: the diagonal
+    /// point of the per-feature range observed since the last reset (the
+    /// declared field width before any traffic has been seen).
+    fn anchor_coord(&self, k: usize, f: usize) -> u32 {
         let n = self.cfg.num_clusters as u64;
-        self.cfg
-            .features
-            .specs()
-            .iter()
-            .enumerate()
-            .map(|(f, spec)| {
-                let (lo, hi) = match &self.observed {
-                    Some(ranges) => {
-                        let (lo, hi) = ranges[f];
-                        (lo as u64, hi as u64)
-                    }
-                    None => (0, spec.feature.space() - 1),
-                };
-                let span = hi - lo + 1;
-                (lo + ((2 * k as u64 + 1) * span) / (2 * n)).min(hi) as u32
-            })
-            .collect()
+        let (lo, hi) = if self.observed.is_empty() {
+            (0, self.cfg.features.specs()[f].feature.space() - 1)
+        } else {
+            let (lo, hi) = self.observed[f];
+            (lo as u64, hi as u64)
+        };
+        let span = hi - lo + 1;
+        (lo + ((2 * k as u64 + 1) * span) / (2 * n)).min(hi) as u32
     }
 
-    /// The midpoint of cluster `k`'s current representation, if seeded.
-    fn midpoint(&self, k: usize) -> Option<Vec<u32>> {
-        match self.clusters[k].as_ref()? {
-            Repr::Range(c) => Some(
-                c.dims()
-                    .iter()
-                    .enumerate()
-                    .map(|(f, dim)| match dim {
-                        crate::cluster::Dim::Range { min, max } => min / 2 + max / 2,
-                        crate::cluster::Dim::Set(_) => {
-                            // Sets have no midpoint; fall back to the
-                            // anchor coordinate for this feature.
-                            self.anchor(k)[f]
-                        }
-                    })
-                    .collect(),
-            ),
-            Repr::Center(c) => Some(c.center().iter().map(|&v| v as u32).collect()),
+    /// Writes the full anchor point of slot `k` into `out`.
+    fn anchor_into(&self, k: usize, out: &mut Vec<u32>) {
+        out.clear();
+        for f in 0..self.cfg.features.len() {
+            out.push(self.anchor_coord(k, f));
+        }
+    }
+
+    /// Writes the midpoint of cluster `k`'s current representation into
+    /// `out`; returns `false` (leaving `out` untouched) for empty slots.
+    fn midpoint_into(&self, k: usize, out: &mut Vec<u32>) -> bool {
+        match &self.clusters[k] {
+            Some(Repr::Range(c)) => {
+                out.clear();
+                for (f, dim) in c.dims().iter().enumerate() {
+                    out.push(match dim {
+                        Dim::Range { min, max } => min / 2 + max / 2,
+                        // Sets have no midpoint; fall back to the anchor
+                        // coordinate for this feature.
+                        Dim::Set(_) => self.anchor_coord(k, f),
+                    });
+                }
+                true
+            }
+            Some(Repr::Center(c)) => {
+                out.clear();
+                out.extend(c.center().iter().map(|&v| v as u32));
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// (Re-)seeds slot `k` at `point`, reusing the slot's existing
+    /// representation storage when its kind already matches.
+    fn seed_slot(&mut self, k: usize, point: &[u32]) {
+        match (self.cfg.distance, &mut self.clusters[k]) {
+            (DistanceKind::Euclidean, Some(Repr::Center(c))) => c.reseed(point),
+            (DistanceKind::Euclidean, slot) => {
+                *slot = Some(Repr::Center(CenterCluster::seed(point)));
+            }
+            (_, Some(Repr::Range(c))) => c.reseed(point),
+            (_, slot) => {
+                *slot = Some(Repr::Range(RangeCluster::seed(
+                    &self.cfg.features,
+                    point,
+                    &self.cfg.nominal,
+                )));
+            }
         }
     }
 
@@ -303,32 +430,31 @@ impl OnlineClusterer {
                 self.clusters.iter_mut().for_each(|c| *c = None);
             }
             InitMode::Anchors => {
+                let mut point = std::mem::take(&mut self.point_scratch);
                 for k in 0..self.cfg.num_clusters {
                     // Active slots re-seed at their representative; idle
                     // slots fall back to the diagonal anchor over the
                     // observed ranges.
-                    let rep = self.representative[k].take();
-                    let point = match (self.cfg.rep, rep) {
-                        (RepMode::RangeMidpoint, Some(_)) => {
-                            self.midpoint(k).unwrap_or_else(|| self.anchor(k))
+                    let has_rep = !self.representative[k].is_empty();
+                    match (self.cfg.rep, has_rep) {
+                        (RepMode::RangeMidpoint, true) => {
+                            if !self.midpoint_into(k, &mut point) {
+                                self.anchor_into(k, &mut point);
+                            }
                         }
-                        (_, Some(rep)) => rep,
-                        (_, None) => self.anchor(k),
-                    };
-                    let repr = match self.cfg.distance {
-                        DistanceKind::Euclidean => Repr::Center(CenterCluster::seed(&point)),
-                        _ => Repr::Range(RangeCluster::seed(
-                            &self.cfg.features,
-                            &point,
-                            &self.cfg.nominal,
-                        )),
-                    };
-                    self.clusters[k] = Some(repr);
+                        (_, true) => {
+                            point.clear();
+                            point.extend_from_slice(&self.representative[k]);
+                        }
+                        (_, false) => self.anchor_into(k, &mut point),
+                    }
+                    self.seed_slot(k, &point);
                 }
+                self.point_scratch = point;
             }
         }
-        self.representative.iter_mut().for_each(|r| *r = None);
-        self.stat_ranges.iter_mut().for_each(|r| *r = None);
+        self.representative.iter_mut().for_each(|r| r.clear());
+        self.stat_ranges.iter_mut().for_each(|r| r.clear());
         let budget = self.cfg.update_budget.unwrap_or(u64::MAX);
         self.budget.iter_mut().for_each(|b| *b = budget);
     }
@@ -410,35 +536,30 @@ impl OnlineClusterer {
             self.cfg.features.len(),
             "feature vector arity mismatch"
         );
-        match &mut self.observed {
-            Some(ranges) => {
-                for (r, &v) in ranges.iter_mut().zip(values) {
-                    r.0 = r.0.min(v);
-                    r.1 = r.1.max(v);
-                }
+        if self.observed.is_empty() {
+            self.observed.extend(values.iter().map(|&v| (v, v)));
+        } else {
+            for (r, &v) in self.observed.iter_mut().zip(values) {
+                r.0 = r.0.min(v);
+                r.1 = r.1.max(v);
             }
-            None => self.observed = Some(values.iter().map(|&v| (v, v)).collect()),
         }
         let (idx, dist, action) = match self.cfg.distance {
             DistanceKind::Euclidean => self.assign_center(values),
             _ => self.assign_range(values),
         };
-        match &mut self.stat_ranges[idx] {
-            Some(ranges) => {
-                for (r, &v) in ranges.iter_mut().zip(values) {
-                    r.0 = r.0.min(v);
-                    r.1 = r.1.max(v);
-                }
+        let stat = &mut self.stat_ranges[idx];
+        if stat.is_empty() {
+            stat.extend(values.iter().map(|&v| (v, v)));
+        } else {
+            for (r, &v) in stat.iter_mut().zip(values) {
+                r.0 = r.0.min(v);
+                r.1 = r.1.max(v);
             }
-            None => self.stat_ranges[idx] = Some(values.iter().map(|&v| (v, v)).collect()),
         }
-        match &mut self.representative[idx] {
-            Some(rep) => {
-                rep.clear();
-                rep.extend_from_slice(values);
-            }
-            None => self.representative[idx] = Some(values.to_vec()),
-        }
+        let rep = &mut self.representative[idx];
+        rep.clear();
+        rep.extend_from_slice(values);
         self.window[idx].pkts += 1;
         self.window[idx].bytes += bytes as u64;
         self.totals[idx].pkts += 1;
@@ -446,13 +567,17 @@ impl OnlineClusterer {
         (idx, dist, action)
     }
 
-    fn assign_range(&mut self, values: &[u32]) -> (usize, f64, AssignAction) {
-        // Distance to every occupied slot.
+    /// The original generic scan: per-cluster dispatch on
+    /// `cfg.distance`, full (unbounded) distances. The baseline the
+    /// specialized kernels are benchmarked and differentially tested
+    /// against.
+    #[cfg(feature = "reference")]
+    fn scan_range_reference(&self, values: &[u32]) -> Option<(usize, f64)> {
         let mut best: Option<(usize, f64)> = None;
         for (i, slot) in self.clusters.iter().enumerate() {
             if let Some(Repr::Range(c)) = slot {
                 let d = match self.cfg.distance {
-                    DistanceKind::Manhattan => c.manhattan(values) as f64,
+                    DistanceKind::Manhattan => c.manhattan_reference(values) as f64,
                     DistanceKind::Anime => c.anime(values),
                     DistanceKind::Euclidean => unreachable!("handled separately"),
                 };
@@ -461,6 +586,22 @@ impl OnlineClusterer {
                 }
             }
         }
+        best
+    }
+
+    #[cfg(not(feature = "reference"))]
+    fn scan_range_reference(&self, _values: &[u32]) -> Option<(usize, f64)> {
+        unreachable!("reference kernels require the `reference` cargo feature")
+    }
+
+    fn assign_range(&mut self, values: &[u32]) -> (usize, f64, AssignAction) {
+        // Distance to every occupied slot, via the kernel resolved at
+        // construction (or the original generic scan when forced).
+        let best = if self.use_reference {
+            self.scan_range_reference(values)
+        } else {
+            (self.range_scan)(&self.clusters, values)
+        };
 
         match best {
             // Covered by an existing cluster: no growth needed.
@@ -521,11 +662,9 @@ impl OnlineClusterer {
         }
     }
 
-    fn assign_center(&mut self, values: &[u32]) -> (usize, f64, AssignAction) {
-        if let Some(slot) = self.first_empty() {
-            self.clusters[slot] = Some(Repr::Center(CenterCluster::seed(values)));
-            return (slot, 0.0, AssignAction::Seeded);
-        }
+    /// The original center scan: full (unbounded) squared distances.
+    #[cfg(feature = "reference")]
+    fn scan_center_reference(&self, values: &[u32]) -> (usize, f64) {
         let mut best: (usize, f64) = (0, f64::INFINITY);
         for (i, slot) in self.clusters.iter().enumerate() {
             if let Some(Repr::Center(c)) = slot {
@@ -535,7 +674,45 @@ impl OnlineClusterer {
                 }
             }
         }
-        let (i, d) = best;
+        best
+    }
+
+    #[cfg(not(feature = "reference"))]
+    fn scan_center_reference(&self, _values: &[u32]) -> (usize, f64) {
+        unreachable!("reference kernels require the `reference` cargo feature")
+    }
+
+    /// Single-pass center scan with early-exit partial sums: a running
+    /// sum of squares that reaches the best-so-far bound already loses the
+    /// strict `d < best` comparison, and a zero distance can never be
+    /// beaten, so both exits leave the winner (and its exact `f64`
+    /// distance) unchanged.
+    fn scan_center(&self, values: &[u32]) -> (usize, f64) {
+        let mut best: (usize, f64) = (0, f64::INFINITY);
+        for (i, slot) in self.clusters.iter().enumerate() {
+            if let Some(Repr::Center(c)) = slot {
+                let d = c.euclidean_sq_bounded(values, best.1);
+                if d < best.1 {
+                    best = (i, d);
+                    if d == 0.0 {
+                        break;
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    fn assign_center(&mut self, values: &[u32]) -> (usize, f64, AssignAction) {
+        if let Some(slot) = self.first_empty() {
+            self.clusters[slot] = Some(Repr::Center(CenterCluster::seed(values)));
+            return (slot, 0.0, AssignAction::Seeded);
+        }
+        let (i, d) = if self.use_reference {
+            self.scan_center_reference(values)
+        } else {
+            self.scan_center(values)
+        };
         if self.cfg.search == SearchKind::Exhaustive && d > 0.0 {
             if let Some((a, b, merge_cost)) = self.cheapest_center_merge() {
                 if merge_cost * 4.0 < d {
@@ -584,11 +761,7 @@ impl OnlineClusterer {
                 let Some(Repr::Range(cb)) = &self.clusters[b] else {
                     continue;
                 };
-                let cost = match self.cfg.distance {
-                    DistanceKind::Manhattan => ca.manhattan_merge_cost(cb) as f64,
-                    DistanceKind::Anime => ca.anime_merge_cost(cb),
-                    DistanceKind::Euclidean => unreachable!("handled separately"),
-                };
+                let cost = (self.range_merge_cost)(ca, cb);
                 if best.is_none_or(|(_, _, bc)| cost < bc) {
                     best = Some((a, b, cost));
                 }
@@ -635,8 +808,21 @@ impl OnlineClusterer {
     /// Returns and clears the per-cluster window counters — what the
     /// control plane polls each period (§5.2).
     pub fn take_window(&mut self) -> Vec<WindowStats> {
-        let fresh = vec![WindowStats::default(); self.window.len()];
-        std::mem::replace(&mut self.window, fresh)
+        let mut out = Vec::with_capacity(self.window.len());
+        self.take_window_into(&mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`take_window`](Self::take_window):
+    /// copies the window counters into `out` (cleared first) and zeroes
+    /// them in place. The control loop calls this every period, so the
+    /// caller-owned buffer keeps the steady-state tick allocation-free.
+    pub fn take_window_into(&mut self, out: &mut Vec<WindowStats>) {
+        out.clear();
+        out.extend_from_slice(&self.window);
+        self.window
+            .iter_mut()
+            .for_each(|w| *w = WindowStats::default());
     }
 
     /// Cumulative per-cluster counters since construction.
@@ -656,7 +842,7 @@ impl OnlineClusterer {
     /// report), falling back to the geometric cost when the slot saw no
     /// traffic. `None` for never-seeded slots.
     pub fn cost(&self, idx: usize) -> Option<f64> {
-        if let Some(Some(ranges)) = self.stat_ranges.get(idx) {
+        if let Some(ranges) = self.stat_ranges.get(idx).filter(|r| !r.is_empty()) {
             let spread = match self.cfg.distance {
                 DistanceKind::Anime => ranges
                     .iter()
@@ -682,8 +868,9 @@ impl OnlineClusterer {
     /// remain meaningful.
     pub fn reset_clusters(&mut self) {
         self.init_clusters();
-        // Start a fresh observation window for the next re-anchoring.
-        self.observed = None;
+        // Start a fresh observation window for the next re-anchoring (the
+        // buffer is retained, so steady-state resets allocate nothing).
+        self.observed.clear();
     }
 }
 
@@ -916,6 +1103,60 @@ mod tests {
             let ia = a.assign(&p);
             let ib = b.assign_traced(&p, &mut NoopTracer, i as u64).cluster;
             assert_eq!(ia, ib, "packet {i}");
+        }
+    }
+
+    #[test]
+    fn take_window_into_matches_take_window() {
+        let mut a = OnlineClusterer::new(cfg(3, DistanceKind::Manhattan, SearchKind::Fast));
+        let mut b = a.clone();
+        for i in 0..50u32 {
+            let p = pkt((i * 31 % 251) as u8, (i * 773 % 60000) as u16);
+            a.assign(&p);
+            b.assign(&p);
+        }
+        let via_alloc = a.take_window();
+        let mut via_scratch = Vec::new();
+        b.take_window_into(&mut via_scratch);
+        assert_eq!(via_alloc, via_scratch);
+        assert!(a.take_window().iter().all(|w| w.pkts == 0));
+        b.take_window_into(&mut via_scratch);
+        assert!(via_scratch.iter().all(|w| w.pkts == 0));
+    }
+
+    /// The specialized kernels must be assignment-identical to the
+    /// original generic scan across all three distance kinds, searches
+    /// and resets (the in-crate differential backstop; the figure-level
+    /// one lives in `tests/fastpath_equivalence.rs`).
+    #[cfg(feature = "reference")]
+    #[test]
+    fn specialized_kernels_match_reference_scan() {
+        for distance in [
+            DistanceKind::Manhattan,
+            DistanceKind::Anime,
+            DistanceKind::Euclidean,
+        ] {
+            for init in [InitMode::FromTraffic, InitMode::Anchors] {
+                let base = cfg(4, distance, SearchKind::Fast).with_init(init);
+                reference::force_reference_kernels(true);
+                let mut slow = OnlineClusterer::new(base.clone());
+                reference::force_reference_kernels(false);
+                let mut fast = OnlineClusterer::new(base);
+                for i in 0..400u32 {
+                    let p = pkt((i * 37 % 251) as u8, (i * 997 % 60000) as u16);
+                    let is = slow.assign(&p);
+                    let ifa = fast.assign(&p);
+                    assert_eq!(is, ifa, "{distance:?}/{init:?} diverged at packet {i}");
+                    if i % 97 == 0 {
+                        assert_eq!(slow.take_window(), fast.take_window());
+                        slow.reset_clusters();
+                        fast.reset_clusters();
+                    }
+                }
+                for k in 0..4 {
+                    assert_eq!(slow.cost(k), fast.cost(k), "{distance:?}/{init:?} slot {k}");
+                }
+            }
         }
     }
 

@@ -12,9 +12,11 @@
 //! actually overflows, starting with those in the most-suspect queues.
 
 use crate::config::AccTurboConfig;
-use accturbo_clustering::OnlineClusterer;
+use accturbo_clustering::{OnlineClusterer, WindowStats};
 use accturbo_netsim::{Dropped, Packet, PriorityBank, QueueDiscipline, SimTime, Switch};
-use accturbo_obs::{CounterId, Event, HistogramId, MetricsHandle, StageClock, StageId, Tracer};
+use accturbo_obs::{
+    CounterId, Event, GaugeId, HistogramId, MetricsHandle, StageClock, StageId, Tracer,
+};
 use accturbo_sched::Controller;
 use std::time::Instant;
 
@@ -30,13 +32,17 @@ struct SwitchMetrics {
     drops: CounterId,
     cluster_distance: HistogramId,
     control_us: HistogramId,
-    /// `(arrivals, drops)` per packet class, keyed by class id.
-    per_class: std::collections::HashMap<u16, (CounterId, CounterId)>,
+    /// One `queue_depth_q{i}` gauge per queue, registered upfront so the
+    /// control tick never formats metric names on the hot path.
+    queue_depth: Vec<GaugeId>,
+    /// `(arrivals, drops, drop_ratio)` per packet class, keyed by class
+    /// id. Registered once per class; ticks only update by id.
+    per_class: std::collections::HashMap<u16, (CounterId, CounterId, GaugeId)>,
 }
 
 impl SwitchMetrics {
-    fn new(handle: MetricsHandle) -> Self {
-        let (enqueues, drops, cluster_distance, control_us) = {
+    fn new(handle: MetricsHandle, num_queues: usize) -> Self {
+        let (enqueues, drops, cluster_distance, control_us, queue_depth) = {
             let mut r = handle.borrow_mut();
             (
                 r.counter("switch_enqueues"),
@@ -53,6 +59,9 @@ impl SwitchMetrics {
                         1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0, 5000.0,
                     ],
                 ),
+                (0..num_queues)
+                    .map(|q| r.gauge(&format!("queue_depth_q{q}")))
+                    .collect(),
             )
         };
         SwitchMetrics {
@@ -61,23 +70,26 @@ impl SwitchMetrics {
             drops,
             cluster_distance,
             control_us,
+            queue_depth,
             per_class: std::collections::HashMap::new(),
         }
     }
 
-    /// Lazily registers the per-class counter pair for `class`.
+    /// Lazily registers the per-class counter pair (and drop-ratio gauge)
+    /// for `class`.
     fn class_ids(&mut self, class: u16) -> (CounterId, CounterId) {
-        if let Some(&ids) = self.per_class.get(&class) {
-            return ids;
+        if let Some(&(pkts, drops, _)) = self.per_class.get(&class) {
+            return (pkts, drops);
         }
         let mut r = self.handle.borrow_mut();
         let ids = (
             r.counter(&format!("switch_pkts_class_{class}")),
             r.counter(&format!("switch_drops_class_{class}")),
+            r.gauge(&format!("drop_ratio_class_{class}")),
         );
         drop(r);
         self.per_class.insert(class, ids);
-        ids
+        (ids.0, ids.1)
     }
 }
 
@@ -87,6 +99,11 @@ pub struct AccTurboSwitch<'a> {
     controller: Controller,
     bank: PriorityBank,
     cluster_to_queue: Vec<usize>,
+    /// Control-tick scratch buffers, reused every tick so the steady
+    /// state allocates nothing (see DESIGN.md §8).
+    window_scratch: Vec<WindowStats>,
+    sizes_scratch: Vec<Option<f64>>,
+    mapping_scratch: Vec<usize>,
     reset_on_poll: bool,
     ticks: u64,
     tap: Option<ClassifyTap<'a>>,
@@ -121,6 +138,9 @@ impl<'a> AccTurboSwitch<'a> {
             controller,
             bank,
             cluster_to_queue,
+            window_scratch: Vec::new(),
+            sizes_scratch: Vec::new(),
+            mapping_scratch: Vec::new(),
             reset_on_poll: cfg.reset_on_poll,
             ticks: 0,
             tap: None,
@@ -155,7 +175,7 @@ impl<'a> AccTurboSwitch<'a> {
     /// per-queue depth gauges `queue_depth_q{i}` refreshed at each
     /// control tick.
     pub fn set_metrics(&mut self, handle: MetricsHandle) {
-        self.metrics = Some(SwitchMetrics::new(handle));
+        self.metrics = Some(SwitchMetrics::new(handle, self.bank.num_queues()));
     }
 
     /// Enables (or disables) wall-clock stage timing of the classify,
@@ -273,15 +293,26 @@ impl Switch for AccTurboSwitch<'_> {
         // the new mapping — the three control-plane steps of §5.2.
         let wall0 = (self.clock.enabled() || self.metrics.is_some()).then(Instant::now);
         let now_ns = now.as_nanos();
-        let stats = self.clusterer.take_window();
-        let sizes: Vec<Option<f64>> = (0..stats.len()).map(|i| self.clusterer.cost(i)).collect();
-        self.cluster_to_queue = match &mut self.tracer {
-            Some(tracer) => {
-                self.controller
-                    .assign_queues_traced(&stats, &sizes, tracer.as_mut(), now_ns)
-            }
-            None => self.controller.assign_queues(&stats, &sizes),
+        self.clusterer.take_window_into(&mut self.window_scratch);
+        self.sizes_scratch.clear();
+        let n = self.window_scratch.len();
+        self.sizes_scratch
+            .extend((0..n).map(|i| self.clusterer.cost(i)));
+        match &mut self.tracer {
+            Some(tracer) => self.controller.assign_queues_traced_into(
+                &self.window_scratch,
+                &self.sizes_scratch,
+                tracer.as_mut(),
+                now_ns,
+                &mut self.mapping_scratch,
+            ),
+            None => self.controller.assign_queues_into(
+                &self.window_scratch,
+                &self.sizes_scratch,
+                &mut self.mapping_scratch,
+            ),
         };
+        std::mem::swap(&mut self.cluster_to_queue, &mut self.mapping_scratch);
         if self.reset_on_poll {
             self.clusterer.reset_clusters();
         }
@@ -294,16 +325,14 @@ impl Switch for AccTurboSwitch<'_> {
             if let Some(m) = &mut self.metrics {
                 let mut r = m.handle.borrow_mut();
                 r.observe(m.control_us, elapsed.as_secs_f64() * 1e6);
-                for q in 0..self.bank.num_queues() {
-                    let id = r.gauge(&format!("queue_depth_q{q}"));
+                for (q, &id) in m.queue_depth.iter().enumerate() {
                     r.set(id, self.bank.len_pkts_at(q) as f64);
                 }
-                for (&class, &(pkts_id, drops_id)) in &m.per_class {
+                for &(pkts_id, drops_id, ratio_id) in m.per_class.values() {
                     let pkts = r.counter_value(pkts_id);
                     if pkts > 0 {
                         let ratio = r.counter_value(drops_id) as f64 / pkts as f64;
-                        let id = r.gauge(&format!("drop_ratio_class_{class}"));
-                        r.set(id, ratio);
+                        r.set(ratio_id, ratio);
                     }
                 }
             }

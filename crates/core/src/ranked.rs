@@ -14,7 +14,7 @@
 //! continuously instead of in |queues| steps.
 
 use crate::config::AccTurboConfig;
-use accturbo_clustering::OnlineClusterer;
+use accturbo_clustering::{OnlineClusterer, WindowStats};
 use accturbo_netsim::{Dropped, Packet, SimTime, Switch};
 use accturbo_sched::{RankingAlgorithm, SpPifo};
 
@@ -27,6 +27,9 @@ pub struct RankedAccTurboSwitch {
     /// polled window statistics (quantized to the scheduler's integer
     /// rank space).
     cluster_rank: Vec<u64>,
+    /// Control-tick scratch buffers, reused so ticks don't allocate.
+    window_scratch: Vec<WindowStats>,
+    scores_scratch: Vec<f64>,
     reset_on_poll: bool,
     ticks: u64,
 }
@@ -45,6 +48,8 @@ impl RankedAccTurboSwitch {
             ranking: cfg.ranking,
             scheduler: SpPifo::new(cfg.num_queues, cfg.queue_capacity_bytes),
             cluster_rank: vec![0; n],
+            window_scratch: Vec::new(),
+            scores_scratch: Vec::new(),
             reset_on_poll: cfg.reset_on_poll,
             ticks: 0,
         }
@@ -77,10 +82,15 @@ impl Switch for RankedAccTurboSwitch {
     }
 
     fn control_tick(&mut self, _now: SimTime) {
-        let stats = self.clusterer.take_window();
-        let scores: Vec<f64> = (0..stats.len())
-            .map(|i| self.ranking.score(&stats[i], self.clusterer.cost(i)))
-            .collect();
+        self.clusterer.take_window_into(&mut self.window_scratch);
+        self.scores_scratch.clear();
+        for i in 0..self.window_scratch.len() {
+            self.scores_scratch.push(
+                self.ranking
+                    .score(&self.window_scratch[i], self.clusterer.cost(i)),
+            );
+        }
+        let scores = &self.scores_scratch;
         // Normalize scores into the scheduler's rank space: the heaviest
         // cluster gets the worst rank.
         let max = scores.iter().fold(0.0f64, |a, &b| a.max(b));

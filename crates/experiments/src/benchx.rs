@@ -1,0 +1,373 @@
+//! `xp bench-export` — the datapath throughput baseline (DESIGN.md §8).
+//!
+//! Measures packets/second through the three hot kernels of the fast
+//! path — the engine event loop stepping a full ACC-Turbo switch, the
+//! online cluster update, and the SP-PIFO ranked enqueue — and, where a
+//! pre-optimization path is kept under the `reference` feature, the same
+//! workload through that path, recording the speedup. Results are
+//! written as machine-readable JSON (`BENCH_datapath.json` by default)
+//! so CI can archive the baseline per commit.
+//!
+//! The export refuses to report a speedup it cannot trust: before
+//! timing anything it re-runs a subset of the paper figures with the
+//! reference kernels forced on and asserts the rendered reports and
+//! golden serializations are byte-identical to the optimized path.
+
+use crate::{figure_spec, Scale};
+use accturbo_bench::{Harness, Stats};
+use accturbo_clustering::online::reference::force_reference_kernels;
+use accturbo_clustering::{ClusteringConfig, FeatureSet, OnlineClusterer, WindowStats};
+use accturbo_core::{AccTurboConfig, AccTurboSwitch};
+use accturbo_netsim::engine::reference::run_reference;
+use accturbo_netsim::{
+    run, Bandwidth, ClassId, EngineConfig, Packet, SimDuration, SimTime, VecSource,
+};
+use accturbo_prng::{Rng, SeedableRng, StdRng};
+use accturbo_sched::SpPifo;
+use std::fmt::Write as _;
+use std::net::Ipv4Addr;
+
+/// Figures re-run under both kernel paths for the byte-identity gate.
+const IDENTITY_FIGURES: &[&str] = &["fig2", "fig6", "fig9"];
+
+/// Parsed `xp bench-export` arguments.
+#[derive(Debug, PartialEq, Eq)]
+pub struct BenchArgs {
+    /// `--smoke`: one iteration per bench (CI wiring check, no timing
+    /// fidelity).
+    pub smoke: bool,
+    /// `--out PATH` (default `BENCH_datapath.json`).
+    pub out: String,
+}
+
+/// Parses the arguments following `xp bench-export`.
+pub fn parse_args(args: &[String]) -> Result<BenchArgs, String> {
+    let mut parsed = BenchArgs {
+        smoke: false,
+        out: "BENCH_datapath.json".to_string(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => parsed.smoke = true,
+            "--out" => {
+                parsed.out = it
+                    .next()
+                    .ok_or_else(|| "--out requires a PATH argument".to_string())?
+                    .clone();
+            }
+            other => return Err(format!("unknown bench-export option `{other}`")),
+        }
+    }
+    Ok(parsed)
+}
+
+/// One exported bench row: the optimized path's throughput plus, when a
+/// reference path exists, the reference throughput and the speedup.
+#[derive(Debug)]
+pub struct BenchRow {
+    /// Bench name (`engine_step`, `cluster_update`, `sppifo_enqueue`).
+    pub name: &'static str,
+    /// Packets processed per timed iteration.
+    pub elements: u64,
+    /// Median nanoseconds per iteration, optimized path.
+    pub median_ns: f64,
+    /// Packets/second, optimized path.
+    pub pkts_per_sec: f64,
+    /// Packets/second through the pre-optimization reference path.
+    pub reference_pkts_per_sec: Option<f64>,
+    /// `pkts_per_sec / reference_pkts_per_sec`.
+    pub speedup: Option<f64>,
+}
+
+fn row(name: &'static str, fast: &Stats, reference: Option<&Stats>) -> BenchRow {
+    let elements = fast.elements.expect("throughput benches carry elements");
+    let pkts = |s: &Stats| elements as f64 / (s.median_ns() * 1e-9);
+    let fast_pps = pkts(fast);
+    let ref_pps = reference.map(pkts);
+    BenchRow {
+        name,
+        elements,
+        median_ns: fast.median_ns(),
+        pkts_per_sec: fast_pps,
+        reference_pkts_per_sec: ref_pps,
+        speedup: ref_pps.map(|r| fast_pps / r),
+    }
+}
+
+/// The synthetic overload workload shared by the engine benches: a
+/// carpet of diverse benign flows with a high-rate single-flow attack on
+/// top, arriving well above the drain rate so classify, enqueue, drop
+/// and dequeue paths all stay hot.
+fn engine_workload(n: u64) -> Vec<Packet> {
+    (0..n)
+        .map(|i| {
+            let t = SimTime::from_nanos(i * 4_000);
+            if i.is_multiple_of(3) {
+                Packet::new(t)
+                    .with_dst(Ipv4Addr::new(198, 18, 0, 10))
+                    .with_ports(123, 4444)
+                    .with_size(1000)
+                    .with_class(ClassId(1))
+            } else {
+                Packet::new(t)
+                    .with_dst(Ipv4Addr::new(20, 0, (i % 7) as u8, (i % 251) as u8))
+                    .with_ports(1024 + (i % 5000) as u16, 443)
+                    .with_size(400)
+            }
+        })
+        .collect()
+}
+
+fn engine_switch() -> AccTurboSwitch<'static> {
+    AccTurboSwitch::new(AccTurboConfig::simulation(FeatureSet::hardware_fig6()))
+}
+
+fn engine_cfg() -> EngineConfig {
+    EngineConfig::new(Bandwidth::from_mbps(100))
+        .with_stats_interval(SimDuration::from_secs(1))
+        .with_control_period(SimDuration::from_millis(1))
+}
+
+/// Engine-step throughput: the calendar loop driving the full ACC-Turbo
+/// switch, versus (reference) the sentinel min-scan loop driving the
+/// generic per-packet-dispatch kernels.
+fn bench_engine_step(h: &Harness, n: u64) -> BenchRow {
+    let packets = engine_workload(n);
+    let cfg = engine_cfg();
+    let fast = h
+        .run_batched(
+            "engine_step/accturbo",
+            Some(n),
+            || (VecSource::new(packets.clone()), engine_switch()),
+            |(mut src, mut sw)| {
+                let res = run(&mut src, &mut sw, &cfg);
+                assert_eq!(res.arrivals, n);
+            },
+        )
+        .expect("unfiltered");
+    force_reference_kernels(true);
+    let reference = h
+        .run_batched(
+            "engine_step/accturbo (reference)",
+            Some(n),
+            || (VecSource::new(packets.clone()), engine_switch()),
+            |(mut src, mut sw)| {
+                let res = run_reference(&mut src, &mut sw, &cfg);
+                assert_eq!(res.arrivals, n);
+            },
+        )
+        .expect("unfiltered");
+    force_reference_kernels(false);
+    row("engine_step", &fast, Some(&reference))
+}
+
+/// Cluster-update throughput: `assign` over the simulation profile (10
+/// clusters), with a window poll + reset every 2048 packets, versus the
+/// reference per-cluster-dispatch full-distance scan.
+fn bench_cluster_update(h: &Harness, n: u64) -> BenchRow {
+    let packets = engine_workload(n);
+    let cfg = ClusteringConfig::deployable(10, FeatureSet::hardware_fig6());
+    let mut window: Vec<WindowStats> = Vec::new();
+    let mut run_once = |name: &str| {
+        h.run_batched(
+            name,
+            Some(n),
+            || OnlineClusterer::new(cfg.clone()),
+            |mut c| {
+                for (i, pkt) in packets.iter().enumerate() {
+                    accturbo_bench::black_box(c.assign(pkt));
+                    if i % 2048 == 2047 {
+                        c.take_window_into(&mut window);
+                        c.reset_clusters();
+                    }
+                }
+            },
+        )
+        .expect("unfiltered")
+    };
+    let fast = run_once("cluster_update/assign");
+    force_reference_kernels(true);
+    let reference = run_once("cluster_update/assign (reference)");
+    force_reference_kernels(false);
+    row("cluster_update", &fast, Some(&reference))
+}
+
+/// SP-PIFO ranked-enqueue throughput (drained interleaved, so the bench
+/// isn't dominated by tail drops). No reference path: the scheduler was
+/// already allocation-free; this row is the regression baseline.
+fn bench_sppifo_enqueue(h: &Harness, n: u64) -> BenchRow {
+    let mut rng = StdRng::seed_from_u64(0x5BF0);
+    let ranked: Vec<(Packet, u64)> = (0..n)
+        .map(|i| {
+            let pkt = Packet::new(SimTime::from_nanos(i)).with_size(400);
+            (pkt, rng.gen_range(0..4096u64))
+        })
+        .collect();
+    let fast = h
+        .run_batched(
+            "sppifo_enqueue/ranked",
+            Some(n),
+            || SpPifo::new(8, 1 << 20),
+            |mut sp| {
+                let mut drops = Vec::new();
+                for (i, (pkt, rank)) in ranked.iter().enumerate() {
+                    sp.enqueue_ranked(
+                        pkt.clone(),
+                        *rank,
+                        SimTime::from_nanos(i as u64),
+                        &mut drops,
+                    );
+                    if i % 4 == 3 {
+                        accturbo_bench::black_box(sp.dequeue(SimTime::from_nanos(i as u64)));
+                    }
+                }
+            },
+        )
+        .expect("unfiltered");
+    row("sppifo_enqueue", &fast, None)
+}
+
+/// Runs `IDENTITY_FIGURES` at quick scale under both kernel paths and
+/// returns an error naming the first figure whose rendered report or
+/// golden serialization differs.
+pub fn check_golden_identity() -> Result<(), String> {
+    for name in IDENTITY_FIGURES {
+        let spec = figure_spec(name).expect("identity figure is registered");
+        let fast = spec.run_default(Scale::Quick);
+        force_reference_kernels(true);
+        let reference = spec.run_default(Scale::Quick);
+        force_reference_kernels(false);
+        if fast.rendered != reference.rendered {
+            return Err(format!(
+                "{name}: rendered report differs between optimized and reference kernels"
+            ));
+        }
+        if fast.result.to_golden() != reference.result.to_golden() {
+            return Err(format!(
+                "{name}: golden serialization differs between optimized and reference kernels"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Serializes the export: schema tag, mode, identity verdict, rows.
+pub fn to_json(smoke: bool, rows: &[BenchRow]) -> String {
+    let mut s = String::from("{\n");
+    let _ = writeln!(s, "  \"schema\": \"accturbo-bench-datapath-v1\",");
+    let _ = writeln!(s, "  \"smoke\": {smoke},");
+    let _ = writeln!(
+        s,
+        "  \"golden_identity\": {{ \"figures\": [{}], \"identical\": true }},",
+        IDENTITY_FIGURES
+            .iter()
+            .map(|f| format!("\"{f}\""))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(s, "  \"benches\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{ \"name\": \"{}\", \"elements\": {}, \"median_ns_per_iter\": {:.1}, \"pkts_per_sec\": {:.1}",
+            r.name, r.elements, r.median_ns, r.pkts_per_sec
+        );
+        if let (Some(rp), Some(sp)) = (r.reference_pkts_per_sec, r.speedup) {
+            let _ = write!(
+                s,
+                ", \"reference_pkts_per_sec\": {rp:.1}, \"speedup\": {sp:.3}"
+            );
+        }
+        let _ = writeln!(s, " }}{}", if i + 1 < rows.len() { "," } else { "" });
+    }
+    let _ = writeln!(s, "  ]");
+    s.push_str("}\n");
+    s
+}
+
+/// Runs the three datapath benches on `h` with `n` packets each,
+/// returning the export rows (shared with the `fastpath` bench binary).
+pub fn run_rows(h: &Harness, n: u64) -> Vec<BenchRow> {
+    vec![
+        bench_engine_step(h, n),
+        bench_cluster_update(h, n),
+        bench_sppifo_enqueue(h, n),
+    ]
+}
+
+/// The `xp bench-export` entry point: identity gate, three benches,
+/// JSON export. Returns the path written to.
+pub fn run_export(args: &BenchArgs) -> Result<String, String> {
+    eprintln!("checking optimized/reference figure identity (quick scale) ...");
+    check_golden_identity()?;
+    let h = Harness::new(args.smoke, Vec::new());
+    let n: u64 = if args.smoke { 4_000 } else { 20_000 };
+    let rows = run_rows(&h, n);
+    let json = to_json(args.smoke, &rows);
+    std::fs::write(&args.out, &json).map_err(|e| format!("cannot write `{}`: {e}", args.out))?;
+    for r in &rows {
+        if let Some(s) = r.speedup {
+            eprintln!("{}: {:.2}x vs reference", r.name, s);
+        }
+    }
+    Ok(args.out.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_defaults_and_flags() {
+        let d = parse_args(&[]).unwrap();
+        assert!(!d.smoke);
+        assert_eq!(d.out, "BENCH_datapath.json");
+        let p = parse_args(&args(&["--smoke", "--out", "x.json"])).unwrap();
+        assert!(p.smoke);
+        assert_eq!(p.out, "x.json");
+    }
+
+    #[test]
+    fn parse_rejects_garbage_and_missing_out() {
+        assert!(parse_args(&args(&["--out"]))
+            .unwrap_err()
+            .contains("requires a PATH"));
+        assert!(parse_args(&args(&["--frob"]))
+            .unwrap_err()
+            .contains("--frob"));
+    }
+
+    #[test]
+    fn json_shape_with_and_without_reference() {
+        let rows = vec![
+            BenchRow {
+                name: "engine_step",
+                elements: 100,
+                median_ns: 50.0,
+                pkts_per_sec: 2e9,
+                reference_pkts_per_sec: Some(1e9),
+                speedup: Some(2.0),
+            },
+            BenchRow {
+                name: "sppifo_enqueue",
+                elements: 100,
+                median_ns: 50.0,
+                pkts_per_sec: 2e9,
+                reference_pkts_per_sec: None,
+                speedup: None,
+            },
+        ];
+        let json = to_json(true, &rows);
+        assert!(json.contains("\"schema\": \"accturbo-bench-datapath-v1\""));
+        assert!(json.contains("\"smoke\": true"));
+        assert!(json.contains("\"speedup\": 2.000"));
+        assert!(json.contains("\"identical\": true"));
+        let refs = json.matches("reference_pkts_per_sec").count();
+        assert_eq!(refs, 1, "only the engine row carries a reference");
+    }
+}

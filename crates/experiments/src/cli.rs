@@ -45,6 +45,11 @@ pub fn usage() -> String {
          USAGE:\n\
          \x20   xp [FIGURE...] [OPTIONS]     run the named figures (default: all)\n\
          \x20   xp trace PATH                pretty-print a JSONL trace file\n\
+         \x20   xp bench-export [--smoke] [--out PATH]\n\
+         \x20                                measure datapath throughput (engine\n\
+         \x20                                step, cluster update, SP-PIFO enqueue)\n\
+         \x20                                vs the pre-optimization reference and\n\
+         \x20                                write BENCH_datapath.json\n\
          \n\
          FIGURES:\n\
          \x20   {}\n\

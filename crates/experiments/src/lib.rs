@@ -17,6 +17,7 @@
 
 pub mod ablations;
 pub mod adversarial;
+pub mod benchx;
 pub mod cli;
 pub mod common;
 pub mod fig10;

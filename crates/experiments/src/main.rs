@@ -4,6 +4,7 @@
 //! xp [FIGURE...] [--quick] [--jobs N] [--seeds A,B,C]
 //!    [--trace PATH] [--metrics PATH]
 //! xp trace PATH        # pretty-print a JSONL trace
+//! xp bench-export [--smoke] [--out PATH]   # datapath throughput JSON
 //! xp --help
 //! ```
 //!
@@ -82,6 +83,19 @@ fn main() -> ExitCode {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!("{}", cli::usage());
         return ExitCode::SUCCESS;
+    }
+    if args.first().map(String::as_str) == Some("bench-export") {
+        use accturbo_experiments::benchx;
+        return match benchx::parse_args(&args[1..]).and_then(|a| benchx::run_export(&a)) {
+            Ok(path) => {
+                eprintln!("wrote datapath bench baseline to {path}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
     if args.first().map(String::as_str) == Some("trace") {
         return match args.get(1) {

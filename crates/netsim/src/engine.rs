@@ -26,6 +26,104 @@ use crate::time::{SimDuration, SimTime};
 use crate::units::Bandwidth;
 use accturbo_obs::{Event, MetricsHandle, NoopTracer, Tracer};
 
+/// The three event kinds the engine schedules, in tie-break priority
+/// order: at equal timestamps a transmission completion is processed
+/// before the control plane runs, and the control plane runs before a new
+/// arrival is admitted (the dispatch order of the original min-scan's
+/// `if t == t_tx` / `else if t == t_ctl` / `else` chain).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventSlot {
+    /// Output-link transmission completion.
+    Tx = 0,
+    /// Control-plane tick.
+    Control = 1,
+    /// Next packet arrival.
+    Arrival = 2,
+}
+
+/// Slot scan order == tie-break priority order.
+const SLOT_ORDER: [EventSlot; 3] = [EventSlot::Tx, EventSlot::Control, EventSlot::Arrival];
+
+/// A fixed three-slot event calendar: each slot holds the next firing
+/// time of one event kind, or `SimTime::MAX` for "not scheduled".
+///
+/// This replaces the engine's per-iteration `Option` unwrapping and
+/// sentinel `min`-chain with one small array the optimizer keeps in
+/// registers, and it makes phantom events structurally impossible:
+/// [`earliest`](Self::earliest) returns `None` when nothing is scheduled
+/// instead of a `SimTime::MAX` pseudo-winner the caller must remember to
+/// filter out.
+#[derive(Debug, Clone)]
+pub struct EventCalendar {
+    when: [SimTime; 3],
+}
+
+impl Default for EventCalendar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EventCalendar {
+    /// An empty calendar (nothing scheduled).
+    pub fn new() -> Self {
+        EventCalendar {
+            when: [SimTime::MAX; 3],
+        }
+    }
+
+    /// Schedules (or reschedules) `slot` to fire at `at`.
+    pub fn schedule(&mut self, slot: EventSlot, at: SimTime) {
+        debug_assert!(
+            at != SimTime::MAX,
+            "SimTime::MAX is the not-scheduled sentinel"
+        );
+        self.when[slot as usize] = at;
+    }
+
+    /// Unschedules `slot`.
+    pub fn cancel(&mut self, slot: EventSlot) {
+        self.when[slot as usize] = SimTime::MAX;
+    }
+
+    /// Whether `slot` currently has a firing time.
+    pub fn is_scheduled(&self, slot: EventSlot) -> bool {
+        self.when[slot as usize] != SimTime::MAX
+    }
+
+    /// The earliest scheduled event, if any. Ties resolve in
+    /// [`EventSlot`] priority order: `Tx` before `Control` before
+    /// `Arrival`.
+    pub fn earliest(&self) -> Option<(EventSlot, SimTime)> {
+        self.earliest_filtered(true)
+    }
+
+    /// [`earliest`](Self::earliest) with the control slot masked out —
+    /// the engine gates control ticks on work remaining, so a drained
+    /// simulation must not be kept alive by its own control plane.
+    pub fn earliest_without_control(&self) -> Option<(EventSlot, SimTime)> {
+        self.earliest_filtered(false)
+    }
+
+    fn earliest_filtered(&self, include_control: bool) -> Option<(EventSlot, SimTime)> {
+        let mut best: Option<(EventSlot, SimTime)> = None;
+        for slot in SLOT_ORDER {
+            if slot == EventSlot::Control && !include_control {
+                continue;
+            }
+            let t = self.when[slot as usize];
+            if t == SimTime::MAX {
+                continue;
+            }
+            // Strictly-less keeps the first slot in priority order on ties.
+            if best.is_none_or(|(_, bt)| t < bt) {
+                best = Some((slot, t));
+            }
+        }
+        best
+    }
+}
+
 /// Engine configuration.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -141,10 +239,20 @@ pub fn run_instrumented<T: Tracer + ?Sized>(
         )
     });
 
+    // The calendar owns the firing times; `pending`/`in_flight` own the
+    // corresponding payloads. The drop buffer above is the only per-event
+    // scratch and is reused across the whole run: after the first few
+    // events warm the buffers up, the loop itself allocates nothing
+    // (locked down by the `engine_steady_state_does_not_allocate` test).
+    let mut calendar = EventCalendar::new();
     let mut pending: Option<Packet> = next_arrival(source, cfg.end_time);
-    // In-flight transmission: completion time and the packet on the wire.
-    let mut in_flight: Option<(SimTime, Packet)> = None;
-    let mut control_next = cfg.control_period.map(|p| SimTime::ZERO + p);
+    if let Some(p) = &pending {
+        calendar.schedule(EventSlot::Arrival, p.arrival);
+    }
+    let mut in_flight: Option<Packet> = None;
+    if let Some(period) = cfg.control_period {
+        calendar.schedule(EventSlot::Control, SimTime::ZERO + period);
+    }
 
     let mut now = SimTime::ZERO;
     let (mut arrivals, mut departures, mut total_drops) = (0u64, 0u64, 0u64);
@@ -152,21 +260,20 @@ pub fn run_instrumented<T: Tracer + ?Sized>(
     let mut stats_bucket = 0u64;
 
     loop {
-        // Earliest of: tx completion, control tick, next arrival.
         // Control ticks only matter while there is still work, so the loop
-        // exits when both the source and the switch are drained.
-        let t_tx = in_flight.as_ref().map(|(t, _)| *t).unwrap_or(SimTime::MAX);
-        let t_arr = pending.as_ref().map(|p| p.arrival).unwrap_or(SimTime::MAX);
-        let t_ctl = if pending.is_some() || in_flight.is_some() || switch.backlog_pkts() > 0 {
-            control_next.unwrap_or(SimTime::MAX)
+        // exits when both the source and the switch are drained (a control
+        // plane must not keep its own simulation alive forever).
+        let has_work = calendar.is_scheduled(EventSlot::Tx)
+            || calendar.is_scheduled(EventSlot::Arrival)
+            || switch.backlog_pkts() > 0;
+        let next = if has_work {
+            calendar.earliest()
         } else {
-            SimTime::MAX
+            calendar.earliest_without_control()
         };
-
-        let t = t_tx.min(t_arr).min(t_ctl);
-        if t == SimTime::MAX {
+        let Some((slot, t)) = next else {
             break;
-        }
+        };
         debug_assert!(t >= now, "event time went backwards");
         now = t;
 
@@ -185,76 +292,86 @@ pub fn run_instrumented<T: Tracer + ?Sized>(
             }
         }
 
-        if t == t_tx {
-            // Transmission completes: the packet leaves on the wire.
-            let (_, pkt) = in_flight.take().expect("t_tx implies in-flight");
-            stats.on_depart(&pkt, now);
-            delays.record(pkt.class, now.saturating_since(pkt.arrival));
-            departures += 1;
-            if tracer.enabled() {
-                tracer.record(
-                    now.as_nanos(),
-                    &Event::Depart {
-                        class: pkt.class.0,
-                        size: pkt.size,
-                    },
-                );
-            }
-            if let (Some(m), Some(ids)) = (metrics, &ids) {
-                m.borrow_mut().inc(ids.1, 1);
-            }
-        } else if t == t_ctl {
-            switch.control_tick(now);
-            control_ticks += 1;
-            if tracer.enabled() {
-                tracer.record(
-                    now.as_nanos(),
-                    &Event::ControlTick {
-                        tick: control_ticks,
-                    },
-                );
-            }
-            let period = cfg.control_period.expect("t_ctl implies a period");
-            control_next = Some(now + period);
-        } else {
-            // Arrival.
-            let pkt = pending.take().expect("t_arr implies a pending packet");
-            stats.on_arrival(&pkt);
-            arrivals += 1;
-            drops_buf.clear();
-            switch.ingress(pkt, now, &mut drops_buf);
-            for d in &drops_buf {
-                stats.on_drop(d, now);
+        match slot {
+            EventSlot::Tx => {
+                // Transmission completes: the packet leaves on the wire.
+                let pkt = in_flight.take().expect("Tx slot implies in-flight");
+                calendar.cancel(EventSlot::Tx);
+                stats.on_depart(&pkt, now);
+                delays.record(pkt.class, now.saturating_since(pkt.arrival));
+                departures += 1;
                 if tracer.enabled() {
                     tracer.record(
                         now.as_nanos(),
-                        &Event::Drop {
-                            queue: None,
-                            class: d.packet.class.0,
-                            size: d.packet.size,
-                            reason: d.reason.name(),
+                        &Event::Depart {
+                            class: pkt.class.0,
+                            size: pkt.size,
                         },
                     );
                 }
-            }
-            total_drops += drops_buf.len() as u64;
-            if let (Some(m), Some(ids)) = (metrics, &ids) {
-                let mut r = m.borrow_mut();
-                r.inc(ids.0, 1);
-                if !drops_buf.is_empty() {
-                    r.inc(ids.2, drops_buf.len() as u64);
+                if let (Some(m), Some(ids)) = (metrics, &ids) {
+                    m.borrow_mut().inc(ids.1, 1);
                 }
-                r.observe(ids.4, switch.backlog_pkts() as f64);
             }
-            pending = next_arrival(source, cfg.end_time);
+            EventSlot::Control => {
+                switch.control_tick(now);
+                control_ticks += 1;
+                if tracer.enabled() {
+                    tracer.record(
+                        now.as_nanos(),
+                        &Event::ControlTick {
+                            tick: control_ticks,
+                        },
+                    );
+                }
+                let period = cfg.control_period.expect("Control slot implies a period");
+                calendar.schedule(EventSlot::Control, now + period);
+            }
+            EventSlot::Arrival => {
+                let pkt = pending
+                    .take()
+                    .expect("Arrival slot implies a pending packet");
+                calendar.cancel(EventSlot::Arrival);
+                stats.on_arrival(&pkt);
+                arrivals += 1;
+                drops_buf.clear();
+                switch.ingress(pkt, now, &mut drops_buf);
+                for d in &drops_buf {
+                    stats.on_drop(d, now);
+                    if tracer.enabled() {
+                        tracer.record(
+                            now.as_nanos(),
+                            &Event::Drop {
+                                queue: None,
+                                class: d.packet.class.0,
+                                size: d.packet.size,
+                                reason: d.reason.name(),
+                            },
+                        );
+                    }
+                }
+                total_drops += drops_buf.len() as u64;
+                if let (Some(m), Some(ids)) = (metrics, &ids) {
+                    let mut r = m.borrow_mut();
+                    r.inc(ids.0, 1);
+                    if !drops_buf.is_empty() {
+                        r.inc(ids.2, drops_buf.len() as u64);
+                    }
+                    r.observe(ids.4, switch.backlog_pkts() as f64);
+                }
+                pending = next_arrival(source, cfg.end_time);
+                if let Some(p) = &pending {
+                    calendar.schedule(EventSlot::Arrival, p.arrival);
+                }
+            }
         }
 
         // Whenever the link is idle and the switch has backlog, start the
         // next transmission.
         if in_flight.is_none() {
             if let Some(pkt) = switch.dequeue(now) {
-                let done = now + cfg.link.tx_time(pkt.size);
-                in_flight = Some((done, pkt));
+                calendar.schedule(EventSlot::Tx, now + cfg.link.tx_time(pkt.size));
+                in_flight = Some(pkt);
             }
         }
     }
@@ -281,6 +398,98 @@ fn next_arrival(source: &mut dyn PacketSource, end: Option<SimTime>) -> Option<P
     match end {
         Some(end) if pkt.arrival >= end => None,
         _ => Some(pkt),
+    }
+}
+
+/// The pre-calendar engine loop, kept verbatim (minus instrumentation,
+/// which `NoopTracer` monomorphized away) as the benchmark baseline and
+/// differential-test oracle for the [`EventCalendar`] refactor. Compiled
+/// only with the `reference` cargo feature.
+#[cfg(feature = "reference")]
+pub mod reference {
+    use super::*;
+
+    /// Runs `source` through `switch` with the original per-iteration
+    /// `Option`/`SimTime::MAX` sentinel min-scan. Must stay
+    /// result-identical to [`run`](super::run).
+    pub fn run_reference(
+        source: &mut dyn PacketSource,
+        switch: &mut dyn Switch,
+        cfg: &EngineConfig,
+    ) -> RunResult {
+        let mut stats = StatsCollector::new(cfg.stats_interval);
+        let mut delays = DelayHistogram::new();
+        let mut drops_buf: Vec<Dropped> = Vec::new();
+
+        let mut pending: Option<Packet> = next_arrival(source, cfg.end_time);
+        // In-flight transmission: completion time and the packet on the wire.
+        let mut in_flight: Option<(SimTime, Packet)> = None;
+        let mut control_next = cfg.control_period.map(|p| SimTime::ZERO + p);
+
+        let mut now = SimTime::ZERO;
+        let (mut arrivals, mut departures, mut total_drops) = (0u64, 0u64, 0u64);
+        let mut stats_bucket = 0u64;
+
+        loop {
+            // Earliest of: tx completion, control tick, next arrival.
+            let t_tx = in_flight.as_ref().map(|(t, _)| *t).unwrap_or(SimTime::MAX);
+            let t_arr = pending.as_ref().map(|p| p.arrival).unwrap_or(SimTime::MAX);
+            let t_ctl = if pending.is_some() || in_flight.is_some() || switch.backlog_pkts() > 0 {
+                control_next.unwrap_or(SimTime::MAX)
+            } else {
+                SimTime::MAX
+            };
+
+            let t = t_tx.min(t_arr).min(t_ctl);
+            if t == SimTime::MAX {
+                break;
+            }
+            debug_assert!(t >= now, "event time went backwards");
+            now = t;
+
+            let bucket = now.bucket(cfg.stats_interval);
+            if bucket != stats_bucket {
+                stats_bucket = bucket;
+            }
+
+            if t == t_tx {
+                let (_, pkt) = in_flight.take().expect("t_tx implies in-flight");
+                stats.on_depart(&pkt, now);
+                delays.record(pkt.class, now.saturating_since(pkt.arrival));
+                departures += 1;
+            } else if t == t_ctl {
+                switch.control_tick(now);
+                let period = cfg.control_period.expect("t_ctl implies a period");
+                control_next = Some(now + period);
+            } else {
+                let pkt = pending.take().expect("t_arr implies a pending packet");
+                stats.on_arrival(&pkt);
+                arrivals += 1;
+                drops_buf.clear();
+                switch.ingress(pkt, now, &mut drops_buf);
+                for d in &drops_buf {
+                    stats.on_drop(d, now);
+                }
+                total_drops += drops_buf.len() as u64;
+                pending = next_arrival(source, cfg.end_time);
+            }
+
+            if in_flight.is_none() {
+                if let Some(pkt) = switch.dequeue(now) {
+                    let done = now + cfg.link.tx_time(pkt.size);
+                    in_flight = Some((done, pkt));
+                }
+            }
+        }
+
+        RunResult {
+            stats,
+            delays,
+            final_time: now,
+            arrivals,
+            departures,
+            drops: total_drops,
+        }
     }
 }
 
@@ -441,6 +650,93 @@ mod tests {
             EngineConfig::new(Bandwidth::from_mbps(100)).with_end_time(SimTime::from_millis(100));
         let res = run(&mut src, &mut sw, &cfg);
         assert_eq!(res.arrivals, 100);
+    }
+
+    #[test]
+    fn calendar_earliest_picks_min_and_breaks_ties_by_priority() {
+        let mut cal = EventCalendar::new();
+        assert_eq!(cal.earliest(), None, "empty calendar has no events");
+
+        cal.schedule(EventSlot::Arrival, SimTime::from_micros(5));
+        cal.schedule(EventSlot::Tx, SimTime::from_micros(9));
+        assert_eq!(
+            cal.earliest(),
+            Some((EventSlot::Arrival, SimTime::from_micros(5)))
+        );
+
+        // Equal times: Tx beats Control beats Arrival.
+        cal.schedule(EventSlot::Tx, SimTime::from_micros(5));
+        cal.schedule(EventSlot::Control, SimTime::from_micros(5));
+        assert_eq!(
+            cal.earliest(),
+            Some((EventSlot::Tx, SimTime::from_micros(5)))
+        );
+        cal.cancel(EventSlot::Tx);
+        assert_eq!(
+            cal.earliest(),
+            Some((EventSlot::Control, SimTime::from_micros(5)))
+        );
+        assert_eq!(
+            cal.earliest_without_control(),
+            Some((EventSlot::Arrival, SimTime::from_micros(5)))
+        );
+
+        cal.cancel(EventSlot::Control);
+        cal.cancel(EventSlot::Arrival);
+        assert_eq!(cal.earliest(), None);
+        assert!(!cal.is_scheduled(EventSlot::Arrival));
+    }
+
+    #[test]
+    fn control_plane_does_not_keep_a_drained_simulation_alive() {
+        // An empty workload with a control period must terminate with
+        // zero ticks — the `SimTime::MAX` sentinel of the old loop (and
+        // the work gate of the new one) must never elect a phantom event.
+        struct Panicking;
+        impl Switch for Panicking {
+            fn ingress(&mut self, _: Packet, _: SimTime, _: &mut Vec<Dropped>) {
+                panic!("no packets exist");
+            }
+            fn dequeue(&mut self, _: SimTime) -> Option<Packet> {
+                None
+            }
+            fn backlog_pkts(&self) -> usize {
+                0
+            }
+            fn control_tick(&mut self, _: SimTime) {
+                panic!("a control tick fired with no work in the system");
+            }
+        }
+        let mut src = VecSource::new(Vec::new());
+        let mut sw = Panicking;
+        let cfg = EngineConfig::new(Bandwidth::from_mbps(10))
+            .with_control_period(SimDuration::from_millis(1));
+        let res = run(&mut src, &mut sw, &cfg);
+        assert_eq!(res.arrivals, 0);
+        assert_eq!(res.final_time, SimTime::ZERO);
+    }
+
+    #[test]
+    fn tx_completion_beats_simultaneous_arrival() {
+        // Packet 0 takes exactly 800 us on the wire (1000 B at 10 Mbps);
+        // packet 1 arrives at that same instant. The Tx slot's priority
+        // means the depart is processed first, so the arrival sees an
+        // empty switch and goes straight into service with no queueing
+        // delay.
+        let mut src = VecSource::new(vec![
+            Packet::new(SimTime::ZERO).with_size(1000),
+            Packet::new(SimTime::from_micros(800)).with_size(1000),
+        ]);
+        let mut sw = SingleQueueSwitch::new(FifoQueue::new(100_000));
+        let cfg = EngineConfig::new(Bandwidth::from_mbps(10));
+        let res = run(&mut src, &mut sw, &cfg);
+        assert_eq!(res.departures, 2);
+        assert_eq!(res.final_time, SimTime::from_micros(1600));
+        let (p50, max) = (
+            res.delays.percentile(ClassId::BENIGN, 50.0),
+            res.delays.percentile(ClassId::BENIGN, 100.0),
+        );
+        assert_eq!(p50, max, "neither packet ever waited behind the other");
     }
 
     #[test]

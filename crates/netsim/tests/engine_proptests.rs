@@ -1,0 +1,213 @@
+//! Property tests for the engine event loop (the regression guard for
+//! the `EventCalendar` refactor): across randomized interleavings of
+//! arrivals, transmissions and control ticks,
+//!
+//! 1. events are processed in non-decreasing `SimTime` order,
+//! 2. packet conservation holds exactly,
+//! 3. the old `SimTime::MAX` sentinel paths never elect a phantom event —
+//!    a drained simulation is never kept alive by its own control plane,
+//! 4. (with the `reference` feature) the calendar loop is
+//!    result-identical to the original min-scan loop.
+
+use accturbo_netsim::engine::{run, EngineConfig};
+use accturbo_netsim::{
+    Bandwidth, Dropped, FifoQueue, Packet, SimDuration, SimTime, SingleQueueSwitch, Switch,
+    VecSource,
+};
+use accturbo_prng::{Rng, SeedableRng, StdRng};
+
+/// Wraps the single-queue switch and records every datapath callback the
+/// engine makes, with its timestamp.
+struct RecordingSwitch {
+    inner: SingleQueueSwitch<FifoQueue>,
+    events: Vec<(&'static str, SimTime)>,
+}
+
+impl RecordingSwitch {
+    fn new(cap_bytes: u64) -> Self {
+        RecordingSwitch {
+            inner: SingleQueueSwitch::new(FifoQueue::new(cap_bytes)),
+            events: Vec::new(),
+        }
+    }
+}
+
+impl Switch for RecordingSwitch {
+    fn ingress(&mut self, pkt: Packet, now: SimTime, drops: &mut Vec<Dropped>) {
+        self.events.push(("arrival", now));
+        self.inner.ingress(pkt, now, drops);
+    }
+    fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
+        let pkt = self.inner.dequeue(now);
+        if pkt.is_some() {
+            self.events.push(("tx_start", now));
+        }
+        pkt
+    }
+    fn backlog_pkts(&self) -> usize {
+        self.inner.backlog_pkts()
+    }
+    fn control_tick(&mut self, now: SimTime) {
+        self.events.push(("control", now));
+    }
+}
+
+/// A randomized workload: bursty arrivals with random gaps and sizes.
+fn random_packets(rng: &mut StdRng) -> Vec<Packet> {
+    let n = rng.gen_range(0..400u32);
+    let mut t = 0u64;
+    (0..n)
+        .map(|_| {
+            // Mix dense bursts (likely simultaneous with tx completions)
+            // with idle gaps (forcing drain/restart of the link).
+            t += match rng.gen_range(0..3u32) {
+                0 => 0,
+                1 => rng.gen_range(1..200u64),
+                _ => rng.gen_range(10_000..200_000u64),
+            };
+            Packet::new(SimTime::from_nanos(t)).with_size(rng.gen_range(64..1500u32))
+        })
+        .collect()
+}
+
+fn random_config(rng: &mut StdRng) -> EngineConfig {
+    let mut cfg = EngineConfig::new(Bandwidth::from_mbps(rng.gen_range(1..100u64)))
+        .with_stats_interval(SimDuration::from_millis(rng.gen_range(1..50u64)));
+    if rng.gen_bool(0.7) {
+        cfg = cfg.with_control_period(SimDuration::from_micros(rng.gen_range(50..5_000u64)));
+    }
+    if rng.gen_bool(0.3) {
+        cfg = cfg.with_end_time(SimTime::from_micros(rng.gen_range(100..50_000u64)));
+    }
+    cfg
+}
+
+#[test]
+fn events_fire_in_nondecreasing_time_order_with_conservation() {
+    for seed in 0..60u64 {
+        let mut rng = StdRng::seed_from_u64(0xE4E7 ^ seed);
+        let packets = random_packets(&mut rng);
+        let cfg = random_config(&mut rng);
+        let mut src = VecSource::new(packets);
+        let mut sw = RecordingSwitch::new(rng.gen_range(2_000..50_000u64));
+        let res = run(&mut src, &mut sw, &cfg);
+
+        for w in sw.events.windows(2) {
+            assert!(
+                w[1].1 >= w[0].1,
+                "seed {seed}: {:?} fired before {:?}",
+                w[1],
+                w[0]
+            );
+        }
+        assert_eq!(
+            res.arrivals,
+            res.departures + res.drops,
+            "seed {seed}: conservation"
+        );
+        let arrivals_seen = sw.events.iter().filter(|(k, _)| *k == "arrival").count() as u64;
+        assert_eq!(
+            arrivals_seen, res.arrivals,
+            "seed {seed}: every arrival hit ingress"
+        );
+        let tx_started = sw.events.iter().filter(|(k, _)| *k == "tx_start").count() as u64;
+        assert_eq!(
+            tx_started, res.departures,
+            "seed {seed}: every tx completed"
+        );
+    }
+}
+
+#[test]
+fn control_ticks_never_fire_without_work() {
+    for seed in 0..60u64 {
+        let mut rng = StdRng::seed_from_u64(0xC011 ^ seed);
+        let packets = random_packets(&mut rng);
+        let cfg = random_config(&mut rng);
+        let period = cfg.control_period;
+        let mut src = VecSource::new(packets);
+        let mut sw = RecordingSwitch::new(rng.gen_range(2_000..50_000u64));
+        let res = run(&mut src, &mut sw, &cfg);
+
+        let ticks: Vec<SimTime> = sw
+            .events
+            .iter()
+            .filter(|(k, _)| *k == "control")
+            .map(|&(_, t)| t)
+            .collect();
+        if res.arrivals == 0 {
+            assert!(
+                ticks.is_empty(),
+                "seed {seed}: phantom ticks in an empty run"
+            );
+            assert_eq!(
+                res.final_time,
+                SimTime::ZERO,
+                "seed {seed}: empty run has no events"
+            );
+            continue;
+        }
+        // Ticks only fire while packets are pending, queued or in flight,
+        // so none can land after the final event of the run...
+        for &t in &ticks {
+            assert!(
+                t <= res.final_time,
+                "seed {seed}: tick at {t:?} after drain"
+            );
+        }
+        // ...and the tick count is bounded by the drained timespan (no
+        // tick storm past the workload either).
+        if let Some(p) = period {
+            let max_ticks = res.final_time.as_nanos() / p.as_nanos() + 1;
+            assert!(
+                (ticks.len() as u64) <= max_ticks,
+                "seed {seed}: {} ticks in {:?}",
+                ticks.len(),
+                res.final_time
+            );
+        } else {
+            assert!(ticks.is_empty(), "seed {seed}: ticks without a period");
+        }
+    }
+}
+
+/// Differential: the calendar loop must be result-identical to the
+/// original sentinel min-scan loop on randomized workloads.
+#[cfg(feature = "reference")]
+#[test]
+fn calendar_loop_matches_reference_loop() {
+    use accturbo_netsim::engine::reference::run_reference;
+    use accturbo_netsim::ClassId;
+
+    for seed in 0..40u64 {
+        let mut rng = StdRng::seed_from_u64(0xD1FF ^ seed);
+        let packets = random_packets(&mut rng);
+        let cfg = random_config(&mut rng);
+        let cap = rng.gen_range(2_000..50_000u64);
+
+        let mut src_a = VecSource::new(packets.clone());
+        let mut sw_a = SingleQueueSwitch::new(FifoQueue::new(cap));
+        let a = run(&mut src_a, &mut sw_a, &cfg);
+
+        let mut src_b = VecSource::new(packets);
+        let mut sw_b = SingleQueueSwitch::new(FifoQueue::new(cap));
+        let b = run_reference(&mut src_b, &mut sw_b, &cfg);
+
+        assert_eq!(a.arrivals, b.arrivals, "seed {seed}");
+        assert_eq!(a.departures, b.departures, "seed {seed}");
+        assert_eq!(a.drops, b.drops, "seed {seed}");
+        assert_eq!(a.final_time, b.final_time, "seed {seed}");
+        for p in [25.0, 50.0, 99.0, 100.0] {
+            assert_eq!(
+                a.delays.percentile(ClassId::BENIGN, p),
+                b.delays.percentile(ClassId::BENIGN, p),
+                "seed {seed}: p{p} delay"
+            );
+        }
+        assert_eq!(
+            a.stats.total_departed(ClassId::BENIGN),
+            b.stats.total_departed(ClassId::BENIGN),
+            "seed {seed}"
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! Locks down the fast path's "no allocation after warmup" claim: the
+//! engine loop reuses its calendar slots and drop buffer, so the number
+//! of heap allocations during a run must not scale with the number of
+//! packets simulated.
+//!
+//! This lives in its own integration-test binary because it installs a
+//! counting global allocator.
+
+use accturbo_netsim::engine::{run, EngineConfig};
+use accturbo_netsim::{
+    Bandwidth, FifoQueue, Packet, SimDuration, SimTime, SingleQueueSwitch, VecSource,
+};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Allocation count of one engine run over `n` overload packets (workload
+/// construction excluded; a wide stats interval keeps the bucket vectors
+/// from dominating).
+fn allocs_during_run(n: u64) -> u64 {
+    let packets: Vec<Packet> = (0..n)
+        .map(|i| Packet::new(SimTime::from_nanos(i * 50_000)).with_size(1000))
+        .collect();
+    let mut src = VecSource::new(packets);
+    let mut sw = SingleQueueSwitch::new(FifoQueue::new(20_000));
+    let cfg = EngineConfig::new(Bandwidth::from_mbps(20))
+        .with_stats_interval(SimDuration::from_secs(10))
+        .with_control_period(SimDuration::from_millis(10));
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let res = run(&mut src, &mut sw, &cfg);
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(res.arrivals, n, "workload must actually run");
+    after - before
+}
+
+#[test]
+fn engine_steady_state_does_not_allocate() {
+    // Warm up binary-wide lazies (stdio, etc.) outside the measurement.
+    let _ = allocs_during_run(100);
+    let small = allocs_during_run(2_000);
+    let large = allocs_during_run(8_000);
+    // 4x the packets must not mean 4x the allocations: only warmup (stats
+    // buckets, drop-buffer growth) may allocate, and that is sublinear.
+    assert!(
+        large <= small + 64,
+        "allocations scale with packet count: {small} allocs for 2k pkts, {large} for 8k"
+    );
+}

@@ -19,6 +19,10 @@ pub struct Controller {
     num_queues: usize,
     /// Operator overrides (§10): cluster index → pinned queue.
     pinned: HashMap<usize, usize>,
+    /// Reusable rank-order buffer for the allocation-free control path.
+    scratch_order: Vec<usize>,
+    /// Reusable score buffer for the allocation-free control path.
+    scratch_scores: Vec<f64>,
 }
 
 impl Controller {
@@ -30,6 +34,8 @@ impl Controller {
             ranking,
             num_queues,
             pinned: HashMap::new(),
+            scratch_order: Vec::new(),
+            scratch_scores: Vec::new(),
         }
     }
 
@@ -60,31 +66,45 @@ impl Controller {
     /// `stats[i]` and `sizes[i]` describe cluster `i` (`sizes[i] = None`
     /// for empty slots). Returns one queue index per cluster.
     pub fn assign_queues(&self, stats: &[WindowStats], sizes: &[Option<f64>]) -> Vec<usize> {
-        assert_eq!(stats.len(), sizes.len(), "stats/sizes arity mismatch");
-        let n = stats.len();
-        let mut order: Vec<usize> = (0..n).collect();
-        let scores: Vec<f64> = (0..n)
-            .map(|i| self.ranking.score(&stats[i], sizes[i]))
-            .collect();
-        // Ascending score: best behaved first. Stable tie-break on index.
-        order.sort_by(|&a, &b| {
-            scores[a]
-                .partial_cmp(&scores[b])
-                .expect("scores are finite")
-                .then(a.cmp(&b))
-        });
-
-        let mut queues = vec![0usize; n];
-        for (rank, &cluster) in order.iter().enumerate() {
-            // Spread ranks over the queues proportionally.
-            queues[cluster] = rank * self.num_queues / n.max(1);
-        }
-        for (&cluster, &queue) in &self.pinned {
-            if cluster < n {
-                queues[cluster] = queue;
-            }
-        }
+        let mut order = Vec::new();
+        let mut scores = Vec::new();
+        let mut queues = Vec::new();
+        fill_queues(
+            self.ranking,
+            self.num_queues,
+            &self.pinned,
+            stats,
+            sizes,
+            &mut order,
+            &mut scores,
+            &mut queues,
+        );
         queues
+    }
+
+    /// Allocation-free variant of [`assign_queues`](Self::assign_queues):
+    /// writes the mapping into `out` (cleared first), reusing internal
+    /// scratch buffers across calls. Produces exactly the same mapping.
+    pub fn assign_queues_into(
+        &mut self,
+        stats: &[WindowStats],
+        sizes: &[Option<f64>],
+        out: &mut Vec<usize>,
+    ) {
+        let mut order = std::mem::take(&mut self.scratch_order);
+        let mut scores = std::mem::take(&mut self.scratch_scores);
+        fill_queues(
+            self.ranking,
+            self.num_queues,
+            &self.pinned,
+            stats,
+            sizes,
+            &mut order,
+            &mut scores,
+            out,
+        );
+        self.scratch_order = order;
+        self.scratch_scores = scores;
     }
 
     /// Like [`assign_queues`](Self::assign_queues), but emits a
@@ -101,6 +121,64 @@ impl Controller {
             tracer.record(now_ns, &Event::PriorityRemap { mapping: &queues });
         }
         queues
+    }
+
+    /// Traced counterpart of
+    /// [`assign_queues_into`](Self::assign_queues_into).
+    pub fn assign_queues_traced_into<T: Tracer + ?Sized>(
+        &mut self,
+        stats: &[WindowStats],
+        sizes: &[Option<f64>],
+        tracer: &mut T,
+        now_ns: u64,
+        out: &mut Vec<usize>,
+    ) {
+        self.assign_queues_into(stats, sizes, out);
+        if tracer.enabled() {
+            tracer.record(now_ns, &Event::PriorityRemap { mapping: out });
+        }
+    }
+}
+
+/// The shared mapping kernel: ranks clusters by ascending score (stable
+/// tie-break on index), spreads ranks rank-proportionally over the
+/// queues, then applies operator pins. All output buffers are cleared
+/// and refilled, never reallocated once warm.
+#[allow(clippy::too_many_arguments)]
+fn fill_queues(
+    ranking: RankingAlgorithm,
+    num_queues: usize,
+    pinned: &HashMap<usize, usize>,
+    stats: &[WindowStats],
+    sizes: &[Option<f64>],
+    order: &mut Vec<usize>,
+    scores: &mut Vec<f64>,
+    queues: &mut Vec<usize>,
+) {
+    assert_eq!(stats.len(), sizes.len(), "stats/sizes arity mismatch");
+    let n = stats.len();
+    order.clear();
+    order.extend(0..n);
+    scores.clear();
+    scores.extend((0..n).map(|i| ranking.score(&stats[i], sizes[i])));
+    // Ascending score: best behaved first. Stable tie-break on index.
+    order.sort_by(|&a, &b| {
+        scores[a]
+            .partial_cmp(&scores[b])
+            .expect("scores are finite")
+            .then(a.cmp(&b))
+    });
+
+    queues.clear();
+    queues.resize(n, 0usize);
+    for (rank, &cluster) in order.iter().enumerate() {
+        // Spread ranks over the queues proportionally.
+        queues[cluster] = rank * num_queues / n.max(1);
+    }
+    for (&cluster, &queue) in pinned {
+        if cluster < n {
+            queues[cluster] = queue;
+        }
     }
 }
 
@@ -170,6 +248,25 @@ mod tests {
     #[should_panic(expected = "at least one priority queue")]
     fn zero_queues_rejected() {
         let _ = Controller::new(RankingAlgorithm::Throughput, 0);
+    }
+
+    #[test]
+    fn into_variant_matches_allocating_variant() {
+        let mut c = Controller::new(RankingAlgorithm::Throughput, 4);
+        c.pin(2, 1);
+        let mut out = Vec::new();
+        for round in 0..5u64 {
+            let s = stats(&[
+                (10 + round, 1_000 * (round + 1)),
+                (10, 100_000 / (round + 1)),
+                (10, 10_000),
+                (0, 0),
+            ]);
+            let sizes = vec![Some(1.0), Some(2.0), Some(0.5), None];
+            let expected = c.assign_queues(&s, &sizes);
+            c.assign_queues_into(&s, &sizes, &mut out);
+            assert_eq!(out, expected, "round {round}");
+        }
     }
 
     #[test]

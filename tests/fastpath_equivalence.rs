@@ -1,0 +1,33 @@
+//! Differential lockdown of the datapath fast path (DESIGN.md §8): the
+//! optimized kernels (calendar event loop, specialized distance scans,
+//! allocation-free control path) must regenerate the paper figures
+//! byte-identically to the pre-optimization reference kernels kept
+//! under the `reference` feature.
+//!
+//! A single `#[test]` covers all figures because the reference toggle
+//! is process-global: parallel test threads must not observe each
+//! other's kernel selection.
+
+use accturbo_clustering::online::reference::force_reference_kernels;
+use accturbo_experiments::{figure_spec, Scale};
+
+#[test]
+fn figures_are_byte_identical_across_kernel_paths() {
+    for name in ["fig2", "fig6", "fig9"] {
+        let spec = figure_spec(name).expect("figure is registered");
+        force_reference_kernels(false);
+        let fast = spec.run_default(Scale::Quick);
+        force_reference_kernels(true);
+        let reference = spec.run_default(Scale::Quick);
+        force_reference_kernels(false);
+        assert_eq!(
+            fast.rendered, reference.rendered,
+            "{name}: rendered report drifted between kernel paths"
+        );
+        assert_eq!(
+            fast.result.to_golden(),
+            reference.result.to_golden(),
+            "{name}: golden serialization drifted between kernel paths"
+        );
+    }
+}
