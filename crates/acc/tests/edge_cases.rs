@@ -1,0 +1,108 @@
+//! Edge cases of classic ACC's control plane surfaced by fault
+//! injection: suppressed and erratic control ticks mean the agent can
+//! fire at arbitrary times against empty state (zero sessions, empty
+//! drop history, empty bins). None of these paths may panic, and none
+//! may conjure sessions out of nothing.
+
+use accturbo_acc::{water_fill, AccConfig, AccSwitch};
+use accturbo_netsim::{Bandwidth, Dropped, Packet, SimTime, Switch};
+use std::net::Ipv4Addr;
+
+const LINK: u64 = 10_000_000;
+
+fn fresh() -> AccSwitch {
+    AccSwitch::new(AccConfig::default(), Bandwidth::from_bps(LINK))
+}
+
+/// Control ticks against a switch that has never seen a packet: no drop
+/// history, no bins, no sessions — at time zero, mid-window, far past
+/// every K boundary, and repeatedly at the same instant.
+#[test]
+fn control_tick_with_zero_sessions_and_no_traffic_never_panics() {
+    let mut sw = fresh();
+    for t in [
+        SimTime::ZERO,
+        SimTime::from_millis(1),
+        SimTime::from_secs(3),
+        SimTime::from_secs(3),
+        SimTime::from_secs(1_000),
+        SimTime::from_secs(1_000_000),
+    ] {
+        sw.control_tick(t);
+        assert_eq!(sw.activations(), 0, "no traffic can trigger the agent");
+        assert!(sw.sessions().is_empty(), "no traffic can open sessions");
+    }
+}
+
+/// The `control_missed` hook (what the engine calls when a fault
+/// schedule suppresses a tick) is a default no-op for ACC: state is
+/// untouched no matter how many ticks go missing.
+#[test]
+fn missed_control_ticks_leave_acc_state_untouched() {
+    let mut sw = fresh();
+    for s in 0..100u64 {
+        sw.control_missed(SimTime::from_secs(s));
+    }
+    assert_eq!(sw.activations(), 0);
+    assert!(sw.sessions().is_empty());
+    assert_eq!(sw.backlog_pkts(), 0);
+}
+
+/// Below-threshold traffic followed by erratic (fault-shaped) tick
+/// times: the agent's K-boundary bookkeeping must tolerate ticks that
+/// jump far forward, repeat, and land exactly on boundaries, without
+/// ever inferring aggregates from a drop-free window.
+#[test]
+fn erratic_tick_times_with_dropfree_traffic_open_no_sessions() {
+    let mut sw = fresh();
+    let mut drops: Vec<Dropped> = Vec::new();
+    for i in 0..2_000u64 {
+        // ~1.6 Mbps on a 10 Mbps link: far below any RED threshold.
+        let t = SimTime::from_nanos(i * 5_000_000);
+        let pkt =
+            Packet::new(t)
+                .with_size(1000)
+                .with_dst(Ipv4Addr::new(198, 18, (i % 4) as u8, 10));
+        sw.ingress(pkt, t, &mut drops);
+        while sw.dequeue(t).is_some() {}
+        match i % 7 {
+            0 => sw.control_tick(t),
+            3 => sw.control_tick(t + accturbo_netsim::SimDuration::from_secs(5)),
+            5 => sw.control_missed(t),
+            _ => {}
+        }
+    }
+    assert!(drops.is_empty(), "drop-free workload must not drop");
+    assert_eq!(sw.activations(), 0);
+    assert!(
+        sw.sessions().is_empty(),
+        "a drop-free window must never open rate-limit sessions"
+    );
+}
+
+/// Rate-limit planning against an empty prefix table: water-filling
+/// nothing yields no plan rather than a division by zero, for any
+/// excess.
+#[test]
+fn water_fill_on_an_empty_table_yields_no_plan() {
+    for excess in [0.0, 1.0, 1e6, 1e12] {
+        assert!(water_fill(&[], excess).is_none());
+    }
+    // All-zero rates with positive excess: the cut is infeasible, but it
+    // must degrade to a zero limit, not panic.
+    if let Some(plan) = water_fill(&[0.0, 0.0], 5.0) {
+        assert_eq!(plan.limit.as_bps(), 0);
+    }
+}
+
+/// Session revisits on an empty table at arbitrary times (the path a
+/// fault-suppressed agent exercises every surviving tick) are no-ops.
+#[test]
+fn session_revisit_on_empty_table_is_a_noop() {
+    let mut sw = fresh();
+    // Interleave far-future and repeated revisit times.
+    for t in [0u64, 5, 5, 100, 99_999] {
+        sw.control_tick(SimTime::from_secs(t));
+    }
+    assert!(sw.sessions().is_empty());
+}

@@ -13,11 +13,15 @@
 
 use crate::config::AccTurboConfig;
 use accturbo_clustering::{OnlineClusterer, WindowStats};
-use accturbo_netsim::{Dropped, Packet, PriorityBank, QueueDiscipline, SimTime, Switch};
+use accturbo_netsim::{
+    Dropped, FaultInjector, Packet, PriorityBank, QueueDiscipline, SimTime, Switch,
+};
 use accturbo_obs::{
     CounterId, Event, GaugeId, HistogramId, MetricsHandle, StageClock, StageId, Tracer,
 };
-use accturbo_sched::Controller;
+use accturbo_sched::{
+    Controller, DegradationConfig, DegradationPolicy, DegradeAction, FallbackMode,
+};
 use std::time::Instant;
 
 /// Observer invoked on every classified packet: `(packet, cluster, queue)`.
@@ -106,6 +110,16 @@ pub struct AccTurboSwitch<'a> {
     mapping_scratch: Vec<usize>,
     reset_on_poll: bool,
     ticks: u64,
+    /// Fault plane (DESIGN.md §9). `None` — the default — leaves the
+    /// control path byte-identical to the pre-fault pipeline.
+    faults: Option<FaultInjector>,
+    degradation: DegradationPolicy,
+    /// Previous window's polled statistics, cached only while a fault
+    /// plane is installed so stale-snapshot ticks have something old to
+    /// serve. Unused (and never allocated) on the fault-free path.
+    stale_window: Vec<WindowStats>,
+    stale_sizes: Vec<Option<f64>>,
+    have_stale: bool,
     tap: Option<ClassifyTap<'a>>,
     tracer: Option<Box<dyn Tracer + 'a>>,
     metrics: Option<SwitchMetrics>,
@@ -143,6 +157,11 @@ impl<'a> AccTurboSwitch<'a> {
             mapping_scratch: Vec::new(),
             reset_on_poll: cfg.reset_on_poll,
             ticks: 0,
+            faults: None,
+            degradation: DegradationPolicy::default(),
+            stale_window: Vec::new(),
+            stale_sizes: Vec::new(),
+            have_stale: false,
             tap: None,
             tracer: None,
             metrics: None,
@@ -208,6 +227,57 @@ impl<'a> AccTurboSwitch<'a> {
     /// The control plane (e.g. to pin clusters, §10).
     pub fn controller_mut(&mut self) -> &mut Controller {
         &mut self.controller
+    }
+
+    /// Installs a fault plane: stale-snapshot decisions for control ticks
+    /// are drawn from `faults`, and the switch starts caching the
+    /// previous window's poll so it has an old snapshot to serve. Missed
+    /// ticks (the engine's `control_missed`) are handled by the
+    /// degradation policy whether or not an injector is installed.
+    pub fn set_faults(&mut self, faults: FaultInjector) {
+        self.faults = Some(faults);
+    }
+
+    /// Replaces the graceful-degradation policy knobs (bounded staleness
+    /// + fallback mode; see DESIGN.md §9).
+    pub fn set_degradation(&mut self, cfg: DegradationConfig) {
+        self.degradation = DegradationPolicy::new(cfg);
+    }
+
+    /// The degradation policy's bookkeeping (missed/stale/fallback
+    /// counters) for figures and tests.
+    pub fn degradation(&self) -> &DegradationPolicy {
+        &self.degradation
+    }
+
+    /// Control ticks the engine reported as suppressed.
+    pub fn missed_ticks(&self) -> u64 {
+        self.degradation.total_missed()
+    }
+
+    /// Deploys the control-plane-free fallback mapping.
+    fn apply_fallback(&mut self, mode: FallbackMode) {
+        let nq = self.controller.num_queues();
+        for (c, q) in self.cluster_to_queue.iter_mut().enumerate() {
+            *q = match mode {
+                FallbackMode::Fifo => 0,
+                FallbackMode::StrictPriority => c % nq,
+            };
+        }
+    }
+
+    fn trace_degrade(&mut self, now_ns: u64, action: DegradeAction) {
+        if let Some(tracer) = &mut self.tracer {
+            if tracer.enabled() {
+                tracer.record(
+                    now_ns,
+                    &Event::Degrade {
+                        action: action.name(),
+                        missed: self.degradation.consecutive_missed(),
+                    },
+                );
+            }
+        }
     }
 }
 
@@ -298,6 +368,30 @@ impl Switch for AccTurboSwitch<'_> {
         let n = self.window_scratch.len();
         self.sizes_scratch
             .extend((0..n).map(|i| self.clusterer.cost(i)));
+        // Fault plane: a stale tick ranks on the previous window's
+        // snapshot instead of the fresh poll (the swap also caches the
+        // fresh poll for the next stale tick). Snapshot caching is
+        // skipped entirely with no injector installed; the degradation
+        // policy still sees every good tick so `control_missed` (which
+        // the engine can invoke with or without an injector) ages the
+        // view from the right baseline.
+        let mut degrade: Option<DegradeAction> = None;
+        let mut fresh = true;
+        if let Some(f) = &self.faults {
+            if f.stale_snapshot(now) && self.have_stale {
+                std::mem::swap(&mut self.window_scratch, &mut self.stale_window);
+                std::mem::swap(&mut self.sizes_scratch, &mut self.stale_sizes);
+                degrade = Some(self.degradation.on_stale_tick(now_ns));
+                fresh = false;
+            } else {
+                self.stale_window.clone_from(&self.window_scratch);
+                self.stale_sizes.clone_from(&self.sizes_scratch);
+            }
+            self.have_stale = true;
+        }
+        if fresh {
+            self.degradation.on_good_tick(now_ns);
+        }
         match &mut self.tracer {
             Some(tracer) => self.controller.assign_queues_traced_into(
                 &self.window_scratch,
@@ -313,6 +407,14 @@ impl Switch for AccTurboSwitch<'_> {
             ),
         };
         std::mem::swap(&mut self.cluster_to_queue, &mut self.mapping_scratch);
+        if let Some(action) = degrade {
+            // Past the staleness bound the mapping just derived is built
+            // on too-old evidence: deploy the fallback over it.
+            if let DegradeAction::Fallback(mode) = action {
+                self.apply_fallback(mode);
+            }
+            self.trace_degrade(now_ns, action);
+        }
         if self.reset_on_poll {
             self.clusterer.reset_clusters();
         }
@@ -337,6 +439,18 @@ impl Switch for AccTurboSwitch<'_> {
                 }
             }
         }
+    }
+
+    fn control_missed(&mut self, now: SimTime) {
+        // A suppressed tick: no poll happened, the deployed mapping ages.
+        // Within the staleness bound the last-good mapping stays in force
+        // (KeepLastGood is a no-op on purpose); past it, fall back to a
+        // scheduler that needs no control plane.
+        let action = self.degradation.on_missed_tick(now.as_nanos());
+        if let DegradeAction::Fallback(mode) = action {
+            self.apply_fallback(mode);
+        }
+        self.trace_degrade(now.as_nanos(), action);
     }
 }
 

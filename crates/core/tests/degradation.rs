@@ -1,0 +1,155 @@
+//! Integration tests of the pipeline's graceful-degradation behaviour
+//! (DESIGN.md §9): what the deployed cluster → queue mapping does when
+//! the control plane misses ticks or is fed stale snapshots.
+
+use accturbo_clustering::FeatureSet;
+use accturbo_core::{AccTurboConfig, AccTurboSwitch};
+use accturbo_netsim::{
+    Dropped, FaultConfig, FaultInjector, FaultSchedule, Packet, SimTime, Switch,
+};
+use accturbo_sched::{DegradationConfig, FallbackMode};
+use std::net::Ipv4Addr;
+
+fn switch() -> AccTurboSwitch<'static> {
+    AccTurboSwitch::new(AccTurboConfig::simulation(FeatureSet::simulation_default()))
+}
+
+/// Feeds a burst of clusterable traffic and one good control tick, so a
+/// non-trivial mapping is deployed.
+fn warm_up(sw: &mut AccTurboSwitch) {
+    let mut drops: Vec<Dropped> = Vec::new();
+    for i in 0..600u64 {
+        let t = SimTime::from_nanos(i * 100_000);
+        let pkt = Packet::new(t)
+            .with_size(400 + (i % 3) as u32 * 400)
+            .with_src(Ipv4Addr::from(0x0A00_0000 | (i % 5) as u32));
+        sw.ingress(pkt, t, &mut drops);
+    }
+    sw.control_tick(SimTime::from_millis(60));
+}
+
+/// A missed window inside the staleness bound keeps the last-good
+/// mapping deployed, bit for bit.
+#[test]
+fn missed_window_keeps_the_last_good_mapping() {
+    let mut sw = switch();
+    sw.set_degradation(DegradationConfig {
+        max_staleness_ns: 1_000_000_000,
+        fallback: FallbackMode::Fifo,
+    });
+    warm_up(&mut sw);
+    let deployed = sw.mapping().to_vec();
+
+    sw.control_missed(SimTime::from_millis(310));
+    sw.control_missed(SimTime::from_millis(560));
+    assert_eq!(sw.mapping(), deployed.as_slice(), "mapping must freeze");
+    assert_eq!(sw.missed_ticks(), 2);
+    assert_eq!(sw.degradation().fallbacks(), 0);
+}
+
+/// Exceeding the staleness bound deploys the FIFO fallback: every
+/// cluster collapses onto queue 0.
+#[test]
+fn exceeding_the_bound_deploys_the_fifo_fallback() {
+    let mut sw = switch();
+    sw.set_degradation(DegradationConfig {
+        max_staleness_ns: 500_000_000,
+        fallback: FallbackMode::Fifo,
+    });
+    warm_up(&mut sw);
+    sw.control_missed(SimTime::from_millis(310)); // within the bound
+    assert_eq!(sw.degradation().fallbacks(), 0);
+    sw.control_missed(SimTime::from_millis(1_100)); // past it
+    assert_eq!(sw.degradation().fallbacks(), 1);
+    assert!(
+        sw.mapping().iter().all(|&q| q == 0),
+        "FIFO fallback must map every cluster to queue 0, got {:?}",
+        sw.mapping()
+    );
+}
+
+/// The strict-priority fallback deploys the static identity mapping
+/// (cluster c → c mod num_queues).
+#[test]
+fn strict_priority_fallback_is_identity_modulo_queues() {
+    let mut sw = switch();
+    sw.set_degradation(DegradationConfig {
+        max_staleness_ns: 100_000_000,
+        fallback: FallbackMode::StrictPriority,
+    });
+    warm_up(&mut sw);
+    sw.control_missed(SimTime::from_millis(2_000));
+    let nq = {
+        let m = sw.mapping();
+        m.iter().max().copied().unwrap_or(0) + 1
+    };
+    for (c, &q) in sw.mapping().iter().enumerate() {
+        assert_eq!(q, c % nq, "cluster {c}");
+    }
+}
+
+/// A good tick after a fallback restores controller-derived mappings:
+/// the fallback is not sticky.
+#[test]
+fn a_good_tick_lifts_the_fallback() {
+    let mut sw = switch();
+    sw.set_degradation(DegradationConfig {
+        max_staleness_ns: 100_000_000,
+        fallback: FallbackMode::Fifo,
+    });
+    warm_up(&mut sw);
+    sw.control_missed(SimTime::from_millis(5_000));
+    assert!(sw.mapping().iter().all(|&q| q == 0));
+
+    // Fresh traffic + a real tick: the controller takes over again.
+    let mut drops: Vec<Dropped> = Vec::new();
+    for i in 0..600u64 {
+        let t = SimTime::from_millis(5_100) + accturbo_netsim::SimDuration::from_nanos(i * 100_000);
+        let pkt = Packet::new(t)
+            .with_size(1500)
+            .with_src(Ipv4Addr::from(0x0A00_0000 | (i % 5) as u32));
+        sw.ingress(pkt, t, &mut drops);
+    }
+    sw.control_tick(SimTime::from_millis(5_200));
+    assert_eq!(sw.degradation().consecutive_missed(), 0);
+    // The controller ranks 5 active clusters across the queues: the
+    // all-zero FIFO collapse must be gone.
+    assert!(
+        sw.mapping().iter().any(|&q| q != 0),
+        "controller mapping must replace the fallback, got {:?}",
+        sw.mapping()
+    );
+}
+
+/// Stale-snapshot serving is deterministic: two switches fed the same
+/// packets, ticks and fault seed deploy identical mappings at every
+/// step, and stale ticks are counted.
+#[test]
+fn stale_snapshot_serving_is_deterministic() {
+    let run = || {
+        let mut sw = switch();
+        sw.set_faults(FaultInjector::new(FaultSchedule::new(FaultConfig {
+            stale_snapshot: 0.6,
+            ..FaultConfig::none(515)
+        })));
+        let mut drops: Vec<Dropped> = Vec::new();
+        let mut mappings: Vec<Vec<usize>> = Vec::new();
+        for i in 0..4_000u64 {
+            let t = SimTime::from_nanos(i * 100_000);
+            let pkt = Packet::new(t)
+                .with_size(200 + (i % 4) as u32 * 300)
+                .with_src(Ipv4Addr::from(0x0A00_0000 | (i % 7) as u32));
+            sw.ingress(pkt, t, &mut drops);
+            if i % 400 == 399 {
+                sw.control_tick(t);
+                mappings.push(sw.mapping().to_vec());
+            }
+        }
+        (mappings, sw.degradation().total_stale(), sw.ticks())
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "stale serving must be deterministic per seed");
+    assert!(a.1 > 0, "stale prob 0.6 over 10 ticks must bite");
+    assert_eq!(a.2, 10);
+}

@@ -34,6 +34,10 @@ pub struct Cli {
     pub trace: Option<String>,
     /// `--metrics PATH`: JSONL metrics export of the same scenario.
     pub metrics: Option<String>,
+    /// `--faults KIND:VAL,...`: custom fault mix. Non-empty switches the
+    /// run to the robustness scenario under exactly this mix (baseline +
+    /// faulted cell) instead of the generic figure fan-out.
+    pub faults: Vec<(String, f64)>,
 }
 
 /// The usage text (`xp --help`).
@@ -57,6 +61,11 @@ pub fn usage() -> String {
          \n\
          OPTIONS:\n\
          \x20   --quick                      shrink durations/rates (CI scale)\n\
+         \x20   --smoke                      alias for --quick (CI smoke runs)\n\
+         \x20   --faults KIND:VAL,...        run the robustness scenario under a\n\
+         \x20                                custom fault mix (kinds: ctrl_drop,\n\
+         \x20                                ctrl_delay, stale, pkt_drop,\n\
+         \x20                                pkt_reorder, link_flap; VAL in [0,1])\n\
          \x20   --jobs N                     run figures on N worker threads\n\
          \x20                                (default: available parallelism;\n\
          \x20                                output is identical for any N)\n\
@@ -87,11 +96,46 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
         seeds: Vec::new(),
         trace: None,
         metrics: None,
+        faults: Vec::new(),
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--quick" => cli.scale = Scale::Quick,
+            "--quick" | "--smoke" => cli.scale = Scale::Quick,
+            "--faults" => {
+                let raw = it
+                    .next()
+                    .ok_or_else(|| "--faults requires a KIND:VAL,... fault mix".to_string())?;
+                let mut mix = Vec::new();
+                for part in raw.split(',') {
+                    let part = part.trim();
+                    if part.is_empty() {
+                        return Err(format!("--faults: empty entry in `{raw}`"));
+                    }
+                    let (kind, val) = part
+                        .split_once(':')
+                        .ok_or_else(|| format!("--faults: `{part}` is not KIND:VAL"))?;
+                    if !crate::robustness::FAULT_KINDS.contains(&kind) {
+                        return Err(format!(
+                            "--faults: unknown fault kind `{kind}`; valid kinds: {}",
+                            crate::robustness::FAULT_KINDS.join(", ")
+                        ));
+                    }
+                    let v: f64 = val
+                        .parse()
+                        .map_err(|_| format!("--faults: `{val}` is not an intensity"))?;
+                    if !v.is_finite() || !(0.0..=1.0).contains(&v) {
+                        return Err(format!(
+                            "--faults: intensity {val} for `{kind}` must be in [0, 1]"
+                        ));
+                    }
+                    if mix.iter().any(|(k, _): &(String, f64)| k == kind) {
+                        return Err(format!("--faults: duplicate fault kind `{kind}`"));
+                    }
+                    mix.push((kind.to_string(), v));
+                }
+                cli.faults = mix;
+            }
             "--jobs" => {
                 let raw = it
                     .next()
@@ -185,6 +229,25 @@ pub struct JobSpan {
 /// order, seeds in `--seeds` order, aggregate after a figure's last
 /// seed). Returns the per-job wall-clock spans.
 pub fn run_figures(cli: &Cli, mut sink: impl FnMut(&str)) -> Vec<JobSpan> {
+    // A custom fault mix bypasses the registry fan-out: the registry's
+    // `fn(Scale, u64)` entry points cannot carry the mix, and a faulted
+    // run answers one question (baseline vs this mix), not twelve.
+    if !cli.faults.is_empty() {
+        let seed = cli
+            .seeds
+            .first()
+            .copied()
+            .unwrap_or(crate::robustness::DEFAULT_SEED);
+        let fig = crate::robustness::figure_with(cli.scale, seed, &cli.faults);
+        let mut block = String::new();
+        let _ = writeln!(
+            block,
+            "==================== robustness (custom faults, seed {seed}) ===================="
+        );
+        let _ = writeln!(block, "{}", fig.rendered);
+        sink(&block);
+        return Vec::new();
+    }
     // The job list: figure-major, seed-minor, so a figure's seeds are
     // contiguous in delivery order and the aggregate can flush as soon
     // as its last seed lands.
@@ -358,6 +421,78 @@ mod tests {
         let cli = parse(&args(&["--trace", "t.jsonl", "--metrics", "m.jsonl"])).unwrap();
         assert_eq!(cli.trace.as_deref(), Some("t.jsonl"));
         assert_eq!(cli.metrics.as_deref(), Some("m.jsonl"));
+    }
+
+    #[test]
+    fn smoke_is_an_alias_for_quick() {
+        let cli = parse(&args(&["--smoke", "robustness"])).unwrap();
+        assert_eq!(cli.scale, Scale::Quick);
+        assert_eq!(cli.targets[0].name, "robustness");
+    }
+
+    #[test]
+    fn faults_parse_a_valid_mix() {
+        let cli = parse(&args(&["--faults", "ctrl_drop:0.5,link_flap:1"])).unwrap();
+        assert_eq!(
+            cli.faults,
+            vec![
+                ("ctrl_drop".to_string(), 0.5),
+                ("link_flap".to_string(), 1.0)
+            ]
+        );
+    }
+
+    #[test]
+    fn faults_reject_unknown_kinds() {
+        let err = parse(&args(&["--faults", "frobnicate:0.5"])).unwrap_err();
+        assert!(err.contains("unknown fault kind `frobnicate`"), "{err}");
+        assert!(err.contains("valid kinds"), "{err}");
+    }
+
+    #[test]
+    fn faults_reject_out_of_range_and_nan_intensities() {
+        assert!(parse(&args(&["--faults", "ctrl_drop:-0.1"]))
+            .unwrap_err()
+            .contains("must be in [0, 1]"));
+        assert!(parse(&args(&["--faults", "ctrl_drop:1.5"]))
+            .unwrap_err()
+            .contains("must be in [0, 1]"));
+        assert!(parse(&args(&["--faults", "ctrl_drop:NaN"]))
+            .unwrap_err()
+            .contains("must be in [0, 1]"));
+        assert!(parse(&args(&["--faults", "ctrl_drop:lots"]))
+            .unwrap_err()
+            .contains("not an intensity"));
+    }
+
+    #[test]
+    fn faults_reject_duplicates_and_malformed_entries() {
+        assert!(parse(&args(&["--faults", "stale:0.2,stale:0.3"]))
+            .unwrap_err()
+            .contains("duplicate fault kind `stale`"));
+        assert!(parse(&args(&["--faults", "ctrl_drop"]))
+            .unwrap_err()
+            .contains("not KIND:VAL"));
+        assert!(parse(&args(&["--faults", "ctrl_drop:0.1,,stale:0.2"]))
+            .unwrap_err()
+            .contains("empty entry"));
+        assert!(parse(&args(&["--faults"]))
+            .unwrap_err()
+            .contains("requires a KIND:VAL"));
+    }
+
+    #[test]
+    fn a_fault_mix_short_circuits_into_the_robustness_scenario() {
+        let mut cli = parse(&args(&["--quick", "--faults", "pkt_drop:0.5"])).unwrap();
+        cli.jobs = 1;
+        let mut out = String::new();
+        let spans = run_figures(&cli, |block| out.push_str(block));
+        assert!(spans.is_empty(), "fault runs bypass the figure fan-out");
+        assert!(out.contains("robustness (custom faults"), "{out}");
+        assert!(out.contains("# fault pkt_drop = 0.50"), "{out}");
+        // Two data rows: the fault-free baseline and the faulted cell.
+        assert!(out.contains("\n250,0.00,"), "{out}");
+        assert!(out.contains("\n250,1.00,"), "{out}");
     }
 
     #[test]

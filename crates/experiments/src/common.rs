@@ -7,10 +7,11 @@
 
 use crate::result::FigureResult;
 use accturbo_netsim::{
-    run, run_instrumented, Bandwidth, ClassId, EngineConfig, PacketSource, RunResult, SimDuration,
-    SimTime, Switch,
+    run, run_instrumented, run_with_faults, Bandwidth, ClassId, EngineConfig, FaultInjector,
+    NoopFaultInjector, PacketSource, RunResult, SimDuration, SimTime, Switch,
 };
-use accturbo_obs::{MetricsHandle, Tracer};
+use accturbo_obs::{MetricsHandle, NoopTracer, Tracer};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Experiment fidelity: `Full` regenerates the paper's figures; `Quick`
 /// shrinks durations/rates for benches and CI.
@@ -43,6 +44,30 @@ pub fn baseline_fifo() -> accturbo_netsim::FifoQueue {
     accturbo_netsim::FifoQueue::new(512 * 1024).with_pkt_cap(775)
 }
 
+/// Process-global test toggle: when set, every [`simulate`] call routes
+/// through the fault-injection engine entry with an explicit no-op
+/// injector instead of the plain `run`.
+static FORCE_NOOP_FAULTS: AtomicBool = AtomicBool::new(false);
+
+/// Fault-noop lockdown hook (`tests/fault_noop_equivalence.rs`): flips
+/// [`simulate`] onto the `run_with_faults(…, Some(noop))` path so the
+/// differential test can assert that threading a do-nothing injector
+/// through every figure leaves the output byte-identical. Process-global
+/// — tests using it must not run concurrently with other figure runs.
+pub fn force_noop_fault_injection(on: bool) {
+    FORCE_NOOP_FAULTS.store(on, Ordering::SeqCst);
+}
+
+fn engine_config(link_bps: u64, secs: u64, control_period: Option<SimDuration>) -> EngineConfig {
+    let mut cfg = EngineConfig::new(Bandwidth::from_bps(link_bps))
+        .with_stats_interval(SimDuration::from_secs(1))
+        .with_end_time(SimTime::from_secs(secs));
+    if let Some(p) = control_period {
+        cfg = cfg.with_control_period(p);
+    }
+    cfg
+}
+
 /// Runs `source` through `switch` with the standard experiment engine:
 /// 1-second stats buckets, the given control period, hard stop at `secs`.
 pub fn simulate(
@@ -52,13 +77,29 @@ pub fn simulate(
     secs: u64,
     control_period: Option<SimDuration>,
 ) -> RunResult {
-    let mut cfg = EngineConfig::new(Bandwidth::from_bps(link_bps))
-        .with_stats_interval(SimDuration::from_secs(1))
-        .with_end_time(SimTime::from_secs(secs));
-    if let Some(p) = control_period {
-        cfg = cfg.with_control_period(p);
+    let cfg = engine_config(link_bps, secs, control_period);
+    if FORCE_NOOP_FAULTS.load(Ordering::SeqCst) {
+        let noop: FaultInjector = NoopFaultInjector.into();
+        return run_with_faults(source, switch, &cfg, &mut NoopTracer, None, Some(&noop));
     }
     run(source, switch, &cfg)
+}
+
+/// [`simulate`] with a fault plane: the engine consults `faults` for
+/// control-tick suppression/delay and link flaps. Packet-level faults
+/// are the caller's job — wrap the source in a
+/// [`accturbo_netsim::FaultedSource`] holding a clone of the same
+/// injector.
+pub fn simulate_with_faults(
+    source: &mut dyn PacketSource,
+    switch: &mut dyn Switch,
+    link_bps: u64,
+    secs: u64,
+    control_period: Option<SimDuration>,
+    faults: &FaultInjector,
+) -> RunResult {
+    let cfg = engine_config(link_bps, secs, control_period);
+    run_with_faults(source, switch, &cfg, &mut NoopTracer, None, Some(faults))
 }
 
 /// [`simulate`] with observability: engine-side events go to `tracer`,
@@ -74,12 +115,7 @@ pub fn simulate_instrumented<T: Tracer + ?Sized>(
     tracer: &mut T,
     metrics: Option<&MetricsHandle>,
 ) -> RunResult {
-    let mut cfg = EngineConfig::new(Bandwidth::from_bps(link_bps))
-        .with_stats_interval(SimDuration::from_secs(1))
-        .with_end_time(SimTime::from_secs(secs));
-    if let Some(p) = control_period {
-        cfg = cfg.with_control_period(p);
-    }
+    let cfg = engine_config(link_bps, secs, control_period);
     run_instrumented(source, switch, &cfg, tracer, metrics)
 }
 

@@ -30,6 +30,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod pushback;
 pub mod result;
+pub mod robustness;
 pub mod table3;
 
 pub use common::Scale;
@@ -138,6 +139,11 @@ pub const FIGURES: &[FigureSpec] = &[
         name: "pushback",
         default_seed: pushback::DEFAULT_SEED,
         run: pushback::figure,
+    },
+    FigureSpec {
+        name: "robustness",
+        default_seed: robustness::DEFAULT_SEED,
+        run: robustness::figure,
     },
 ];
 

@@ -17,6 +17,7 @@
 //! and determinism is a hard requirement for figure regeneration, so (per
 //! the networking guides) an async runtime would buy nothing here.
 
+use crate::fault::{ControlAction, FaultInjector};
 use crate::latency::DelayHistogram;
 use crate::packet::{Dropped, Packet};
 use crate::source::PacketSource;
@@ -219,6 +220,30 @@ pub fn run_instrumented<T: Tracer + ?Sized>(
     tracer: &mut T,
     metrics: Option<&MetricsHandle>,
 ) -> RunResult {
+    run_with_faults(source, switch, cfg, tracer, metrics, None)
+}
+
+/// [`run_instrumented`] with an optional fault plane (DESIGN.md §9).
+///
+/// When `faults` is given, the injector is consulted at the engine's two
+/// substrate decision points: each control-tick firing (which may be run,
+/// suppressed — invoking the switch's `control_missed` hook — or
+/// postponed) and each transmission start (whose serialization time is
+/// stretched inside a link-flap window). Packet-level faults live in
+/// [`crate::fault::FaultedSource`], outside the engine.
+///
+/// With `faults == None` every injection point is a not-taken branch on
+/// unchanged state: the run is byte-identical to [`run_instrumented`]
+/// and stays allocation-free in steady state (both locked down by the
+/// fault lockdown test suite).
+pub fn run_with_faults<T: Tracer + ?Sized>(
+    source: &mut dyn PacketSource,
+    switch: &mut dyn Switch,
+    cfg: &EngineConfig,
+    tracer: &mut T,
+    metrics: Option<&MetricsHandle>,
+    faults: Option<&FaultInjector>,
+) -> RunResult {
     let mut stats = StatsCollector::new(cfg.stats_interval);
     let mut delays = DelayHistogram::new();
     let mut drops_buf: Vec<Dropped> = Vec::new();
@@ -258,6 +283,9 @@ pub fn run_instrumented<T: Tracer + ?Sized>(
     let (mut arrivals, mut departures, mut total_drops) = (0u64, 0u64, 0u64);
     let mut control_ticks = 0u64;
     let mut stats_bucket = 0u64;
+    // A control tick the injector postponed: when it finally fires it runs
+    // unconditionally — a delayed tick can be late, but never lost twice.
+    let mut control_delayed = false;
 
     loop {
         // Control ticks only matter while there is still work, so the loop
@@ -314,18 +342,35 @@ pub fn run_instrumented<T: Tracer + ?Sized>(
                 }
             }
             EventSlot::Control => {
-                switch.control_tick(now);
-                control_ticks += 1;
-                if tracer.enabled() {
-                    tracer.record(
-                        now.as_nanos(),
-                        &Event::ControlTick {
-                            tick: control_ticks,
-                        },
-                    );
-                }
                 let period = cfg.control_period.expect("Control slot implies a period");
-                calendar.schedule(EventSlot::Control, now + period);
+                let action = match faults {
+                    Some(f) if !control_delayed => f.control_action(now),
+                    _ => ControlAction::Run,
+                };
+                match action {
+                    ControlAction::Run => {
+                        control_delayed = false;
+                        switch.control_tick(now);
+                        control_ticks += 1;
+                        if tracer.enabled() {
+                            tracer.record(
+                                now.as_nanos(),
+                                &Event::ControlTick {
+                                    tick: control_ticks,
+                                },
+                            );
+                        }
+                        calendar.schedule(EventSlot::Control, now + period);
+                    }
+                    ControlAction::Skip => {
+                        switch.control_missed(now);
+                        calendar.schedule(EventSlot::Control, now + period);
+                    }
+                    ControlAction::Delay(d) => {
+                        control_delayed = true;
+                        calendar.schedule(EventSlot::Control, now + d);
+                    }
+                }
             }
             EventSlot::Arrival => {
                 let pkt = pending
@@ -370,7 +415,14 @@ pub fn run_instrumented<T: Tracer + ?Sized>(
         // next transmission.
         if in_flight.is_none() {
             if let Some(pkt) = switch.dequeue(now) {
-                calendar.schedule(EventSlot::Tx, now + cfg.link.tx_time(pkt.size));
+                let mut tx = cfg.link.tx_time(pkt.size);
+                if let Some(f) = faults {
+                    let scale = f.link_scale(now);
+                    if scale < 1.0 {
+                        tx = SimDuration::from_nanos((tx.as_nanos() as f64 / scale).ceil() as u64);
+                    }
+                }
+                calendar.schedule(EventSlot::Tx, now + tx);
                 in_flight = Some(pkt);
             }
         }

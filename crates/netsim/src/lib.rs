@@ -25,6 +25,7 @@
 #![deny(missing_docs)]
 
 pub mod engine;
+pub mod fault;
 pub mod latency;
 pub mod packet;
 pub mod queue;
@@ -36,7 +37,11 @@ pub mod time;
 pub mod trace;
 pub mod units;
 
-pub use engine::{run, run_instrumented, EngineConfig, RunResult};
+pub use engine::{run, run_instrumented, run_with_faults, EngineConfig, RunResult};
+pub use fault::{
+    ControlAction, FaultConfig, FaultInjector, FaultRecord, FaultSchedule, FaultStats,
+    FaultedSource, NoopFaultInjector, PktFate,
+};
 pub use latency::DelayHistogram;
 pub use packet::{ClassId, DropReason, Dropped, FiveTuple, Packet};
 pub use queue::{FifoQueue, PifoQueue, PriorityBank, QueueDiscipline, RedConfig, RedQueue};

@@ -28,6 +28,14 @@ pub trait Switch {
     /// agent, ACC-Turbo's cluster polling and priority updates, Jaqen's
     /// sketch reads.
     fn control_tick(&mut self, _now: SimTime) {}
+
+    /// Invoked instead of [`control_tick`](Self::control_tick) when a
+    /// fault schedule suppresses the tick (see `fault::FaultInjector`).
+    /// Defaults to doing nothing: the previously deployed control state
+    /// simply stays in force. Defenses with a graceful-degradation policy
+    /// (DESIGN.md §9) use this hook to age their control view and decide
+    /// on fallbacks.
+    fn control_missed(&mut self, _now: SimTime) {}
 }
 
 /// A switch that is just a single queue discipline — the FIFO and plain-RED

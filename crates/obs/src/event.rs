@@ -119,6 +119,24 @@ pub enum Event<'a> {
         /// Wall-clock nanoseconds the job took.
         elapsed_ns: u64,
     },
+    /// A fault schedule injected a fault
+    /// (`{"kind":"...","value":v}`; kinds: `ctrl_drop`, `ctrl_delay`,
+    /// `stale_snapshot`, `pkt_drop`, `pkt_reorder`, `link_flap`).
+    FaultInjected {
+        /// Fault kind tag.
+        kind: &'static str,
+        /// Kind-specific magnitude (delay/jitter/window ns, or 0).
+        value: f64,
+    },
+    /// The controller's graceful-degradation policy acted on a missed or
+    /// stale control tick (`{"action":"...","missed":n}`; actions:
+    /// `keep_last_good`, `fallback_fifo`, `fallback_strict`, `recover`).
+    Degrade {
+        /// The degradation decision taken.
+        action: &'static str,
+        /// Consecutive control ticks missed when the decision was made.
+        missed: u64,
+    },
 }
 
 /// The buffered (owning) form of [`Event`].
@@ -218,6 +236,20 @@ pub enum OwnedEvent {
         /// Wall-clock nanoseconds the job took.
         elapsed_ns: u64,
     },
+    /// See [`Event::FaultInjected`].
+    FaultInjected {
+        /// Fault kind tag.
+        kind: String,
+        /// Kind-specific magnitude.
+        value: f64,
+    },
+    /// See [`Event::Degrade`].
+    Degrade {
+        /// The degradation decision taken.
+        action: String,
+        /// Consecutive control ticks missed at decision time.
+        missed: u64,
+    },
 }
 
 impl Event<'_> {
@@ -236,6 +268,8 @@ impl Event<'_> {
             Event::StatsTick { .. } => "stats_tick",
             Event::Custom { .. } => "custom",
             Event::JobSpan { .. } => "job_span",
+            Event::FaultInjected { .. } => "fault",
+            Event::Degrade { .. } => "degrade",
         }
     }
 
@@ -308,6 +342,14 @@ impl Event<'_> {
                 worker,
                 elapsed_ns,
             },
+            Event::FaultInjected { kind, value } => OwnedEvent::FaultInjected {
+                kind: kind.to_string(),
+                value,
+            },
+            Event::Degrade { action, missed } => OwnedEvent::Degrade {
+                action: action.to_string(),
+                missed,
+            },
         }
     }
 }
@@ -333,6 +375,8 @@ impl OwnedEvent {
             OwnedEvent::StatsTick { .. } => "stats_tick",
             OwnedEvent::Custom { .. } => "custom",
             OwnedEvent::JobSpan { .. } => "job_span",
+            OwnedEvent::FaultInjected { .. } => "fault",
+            OwnedEvent::Degrade { .. } => "degrade",
         }
     }
 
@@ -437,6 +481,17 @@ impl OwnedEvent {
                     "\",\"seed\":{seed},\"worker\":{worker},\"elapsed_ns\":{elapsed_ns}"
                 );
             }
+            OwnedEvent::FaultInjected { kind, value } => {
+                out.push_str(",\"kind\":\"");
+                escape_json(kind, out);
+                out.push_str("\",\"value\":");
+                crate::json_f64(*value, out);
+            }
+            OwnedEvent::Degrade { action, missed } => {
+                out.push_str(",\"action\":\"");
+                escape_json(action, out);
+                let _ = write!(out, "\",\"missed\":{missed}");
+            }
         }
         out.push_str("}\n");
     }
@@ -514,6 +569,12 @@ impl OwnedEvent {
                 "{t:>12.6}s  JOB       {job} (seed {seed}) on worker {worker}: {:.3}s",
                 *elapsed_ns as f64 / 1e9
             ),
+            OwnedEvent::FaultInjected { kind, value } => {
+                format!("{t:>12.6}s  FAULT     {kind} (value {value})")
+            }
+            OwnedEvent::Degrade { action, missed } => {
+                format!("{t:>12.6}s  DEGRADE   {action} ({missed} ticks missed)")
+            }
         }
     }
 
@@ -607,6 +668,14 @@ impl OwnedEvent {
                 worker: num("worker")? as usize,
                 elapsed_ns: num("elapsed_ns")?,
             },
+            "fault" => OwnedEvent::FaultInjected {
+                kind: string("kind")?,
+                value: raw_field(body, "value")?.parse().ok()?,
+            },
+            "degrade" => OwnedEvent::Degrade {
+                action: string("action")?,
+                missed: num("missed")?,
+            },
             _ => return None,
         };
         Some((ts, ev))
@@ -690,6 +759,14 @@ mod tests {
                 seed: 2022,
                 worker: 3,
                 elapsed_ns: 1_234_567,
+            },
+            Event::FaultInjected {
+                kind: "ctrl_delay",
+                value: 2_500_000.0,
+            },
+            Event::Degrade {
+                action: "fallback_fifo",
+                missed: 4,
             },
         ];
         for (i, ev) in events.iter().enumerate() {

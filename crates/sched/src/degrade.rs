@@ -1,0 +1,264 @@
+//! Graceful degradation under control-plane faults (DESIGN.md §9).
+//!
+//! The paper's mitigation loop assumes the control plane polls the data
+//! plane every period; the fault plane (`accturbo_netsim::fault`) breaks
+//! that assumption by suppressing, delaying, or staling ticks. The
+//! [`DegradationPolicy`] here decides what the defense does instead of
+//! failing: keep the last-good cluster → queue mapping while the control
+//! view is fresh enough, and fall back to a scheduler that needs no
+//! control plane at all once it is not.
+
+/// The control-plane-free scheduler a defense falls back to once its
+/// cluster view is older than the staleness bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FallbackMode {
+    /// Collapse to a single FIFO: every cluster maps to queue 0. No
+    /// prioritization, but no decisions made on stale evidence either.
+    Fifo,
+    /// Keep strict priority with a static identity mapping
+    /// (cluster `c` → queue `c % num_queues`): arbitrary but stable, so
+    /// no aggregate is starved by a frozen malicious-looking score.
+    StrictPriority,
+}
+
+impl FallbackMode {
+    /// The tag used in `degrade` obs events and figure output.
+    pub fn name(self) -> &'static str {
+        match self {
+            FallbackMode::Fifo => "fifo",
+            FallbackMode::StrictPriority => "strict_priority",
+        }
+    }
+}
+
+/// Bounded-staleness policy knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct DegradationConfig {
+    /// Maximum age of the last good control tick before the policy gives
+    /// up on the frozen mapping and falls back.
+    pub max_staleness_ns: u64,
+    /// What to fall back to once the bound is exceeded.
+    pub fallback: FallbackMode,
+}
+
+impl Default for DegradationConfig {
+    /// One second of staleness tolerance, then FIFO — conservative enough
+    /// that a single missed tick never changes scheduling behaviour.
+    fn default() -> Self {
+        DegradationConfig {
+            max_staleness_ns: 1_000_000_000,
+            fallback: FallbackMode::Fifo,
+        }
+    }
+}
+
+/// What the defense should do at a degraded control-plane event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradeAction {
+    /// The last-good mapping is still within the staleness bound: keep it
+    /// deployed unchanged.
+    KeepLastGood,
+    /// The bound is exceeded: deploy the fallback scheduler.
+    Fallback(FallbackMode),
+}
+
+impl DegradeAction {
+    /// The tag used in `degrade` obs events.
+    pub fn name(self) -> &'static str {
+        match self {
+            DegradeAction::KeepLastGood => "keep_last_good",
+            DegradeAction::Fallback(m) => m.name(),
+        }
+    }
+}
+
+/// Tracks control-view freshness and decides between keeping the
+/// last-good mapping and falling back (bounded staleness).
+///
+/// The policy is pure bookkeeping over integer nanoseconds — it owns no
+/// scheduler state itself. The defense reports every good, missed, and
+/// stale tick; the returned [`DegradeAction`] tells it what to deploy.
+#[derive(Debug, Clone, Copy)]
+pub struct DegradationPolicy {
+    cfg: DegradationConfig,
+    /// Time of the last control tick that ran on fresh statistics, or
+    /// `None` before the first one.
+    last_good_ns: Option<u64>,
+    /// Ticks missed or stale since the last good one.
+    consecutive_missed: u64,
+    /// Lifetime counters for figures and tests.
+    total_missed: u64,
+    total_stale: u64,
+    fallbacks: u64,
+}
+
+impl DegradationPolicy {
+    /// A policy with the given staleness bound and fallback.
+    pub fn new(cfg: DegradationConfig) -> Self {
+        DegradationPolicy {
+            cfg,
+            last_good_ns: None,
+            consecutive_missed: 0,
+            total_missed: 0,
+            total_stale: 0,
+            fallbacks: 0,
+        }
+    }
+
+    /// The configured knobs.
+    pub fn config(&self) -> DegradationConfig {
+        self.cfg
+    }
+
+    /// A control tick ran on fresh statistics at `now_ns`: the view is
+    /// good again and any fallback is lifted.
+    pub fn on_good_tick(&mut self, now_ns: u64) {
+        self.last_good_ns = Some(now_ns);
+        self.consecutive_missed = 0;
+    }
+
+    /// A control tick was suppressed at `now_ns`. Returns what to deploy.
+    pub fn on_missed_tick(&mut self, now_ns: u64) -> DegradeAction {
+        self.total_missed += 1;
+        self.note_bad(now_ns)
+    }
+
+    /// A control tick ran but saw a stale snapshot at `now_ns`. The
+    /// mapping it would derive is built on old evidence, so it counts
+    /// against the staleness bound exactly like a missed tick.
+    pub fn on_stale_tick(&mut self, now_ns: u64) -> DegradeAction {
+        self.total_stale += 1;
+        self.note_bad(now_ns)
+    }
+
+    fn note_bad(&mut self, now_ns: u64) -> DegradeAction {
+        self.consecutive_missed += 1;
+        let stale = match self.last_good_ns {
+            // Never had a good tick: age is measured from time zero.
+            None => now_ns,
+            Some(good) => now_ns.saturating_sub(good),
+        };
+        if stale > self.cfg.max_staleness_ns {
+            self.fallbacks += 1;
+            DegradeAction::Fallback(self.cfg.fallback)
+        } else {
+            DegradeAction::KeepLastGood
+        }
+    }
+
+    /// Ticks missed or stale since the last good tick.
+    pub fn consecutive_missed(&self) -> u64 {
+        self.consecutive_missed
+    }
+
+    /// Lifetime count of suppressed ticks reported.
+    pub fn total_missed(&self) -> u64 {
+        self.total_missed
+    }
+
+    /// Lifetime count of stale ticks reported.
+    pub fn total_stale(&self) -> u64 {
+        self.total_stale
+    }
+
+    /// Lifetime count of decisions that fell back.
+    pub fn fallbacks(&self) -> u64 {
+        self.fallbacks
+    }
+}
+
+impl Default for DegradationPolicy {
+    fn default() -> Self {
+        DegradationPolicy::new(DegradationConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS: u64 = 1_000_000;
+
+    #[test]
+    fn fresh_view_keeps_the_last_good_mapping() {
+        let mut p = DegradationPolicy::new(DegradationConfig {
+            max_staleness_ns: 500 * MS,
+            fallback: FallbackMode::Fifo,
+        });
+        p.on_good_tick(100 * MS);
+        assert_eq!(p.on_missed_tick(200 * MS), DegradeAction::KeepLastGood);
+        assert_eq!(p.on_missed_tick(400 * MS), DegradeAction::KeepLastGood);
+        assert_eq!(p.consecutive_missed(), 2);
+        assert_eq!(p.fallbacks(), 0);
+    }
+
+    #[test]
+    fn exceeding_the_bound_falls_back() {
+        let mut p = DegradationPolicy::new(DegradationConfig {
+            max_staleness_ns: 500 * MS,
+            fallback: FallbackMode::StrictPriority,
+        });
+        p.on_good_tick(100 * MS);
+        assert_eq!(
+            p.on_missed_tick(700 * MS),
+            DegradeAction::Fallback(FallbackMode::StrictPriority)
+        );
+        assert_eq!(p.fallbacks(), 1);
+    }
+
+    #[test]
+    fn a_good_tick_lifts_the_fallback() {
+        let mut p = DegradationPolicy::new(DegradationConfig {
+            max_staleness_ns: 100 * MS,
+            fallback: FallbackMode::Fifo,
+        });
+        p.on_good_tick(0);
+        assert_eq!(
+            p.on_missed_tick(500 * MS),
+            DegradeAction::Fallback(FallbackMode::Fifo)
+        );
+        p.on_good_tick(600 * MS);
+        assert_eq!(p.consecutive_missed(), 0);
+        assert_eq!(p.on_missed_tick(650 * MS), DegradeAction::KeepLastGood);
+    }
+
+    #[test]
+    fn stale_ticks_count_like_missed_ticks() {
+        let mut p = DegradationPolicy::new(DegradationConfig {
+            max_staleness_ns: 100 * MS,
+            fallback: FallbackMode::Fifo,
+        });
+        p.on_good_tick(0);
+        assert_eq!(p.on_stale_tick(50 * MS), DegradeAction::KeepLastGood);
+        assert_eq!(
+            p.on_stale_tick(200 * MS),
+            DegradeAction::Fallback(FallbackMode::Fifo)
+        );
+        assert_eq!(p.total_stale(), 2);
+        assert_eq!(p.total_missed(), 0);
+    }
+
+    #[test]
+    fn missing_ticks_before_any_good_one_ages_from_zero() {
+        let mut p = DegradationPolicy::new(DegradationConfig {
+            max_staleness_ns: 100 * MS,
+            fallback: FallbackMode::Fifo,
+        });
+        assert_eq!(p.on_missed_tick(50 * MS), DegradeAction::KeepLastGood);
+        assert_eq!(
+            p.on_missed_tick(150 * MS),
+            DegradeAction::Fallback(FallbackMode::Fifo)
+        );
+    }
+
+    #[test]
+    fn names_are_stable_tags() {
+        assert_eq!(FallbackMode::Fifo.name(), "fifo");
+        assert_eq!(FallbackMode::StrictPriority.name(), "strict_priority");
+        assert_eq!(DegradeAction::KeepLastGood.name(), "keep_last_good");
+        assert_eq!(
+            DegradeAction::Fallback(FallbackMode::StrictPriority).name(),
+            "strict_priority"
+        );
+    }
+}

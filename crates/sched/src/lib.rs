@@ -10,9 +10,11 @@
 #![deny(missing_docs)]
 
 pub mod controller;
+pub mod degrade;
 pub mod rank;
 pub mod sppifo;
 
 pub use controller::Controller;
+pub use degrade::{DegradationConfig, DegradationPolicy, DegradeAction, FallbackMode};
 pub use rank::RankingAlgorithm;
 pub use sppifo::SpPifo;

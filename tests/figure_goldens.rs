@@ -106,6 +106,7 @@ golden_tests!(
     adversarial,
     ablations,
     pushback,
+    robustness,
 );
 
 /// The macro list above must not fall behind the registry.
@@ -124,6 +125,7 @@ fn every_registry_entry_has_a_test() {
         "adversarial",
         "ablations",
         "pushback",
+        "robustness",
     ];
     for spec in FIGURES {
         assert!(
