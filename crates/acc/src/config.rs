@@ -61,6 +61,13 @@ impl AccConfig {
         self.red = red;
         self
     }
+
+    /// The natural control-plane tick for this configuration: rate EWMAs
+    /// must refresh every `ewma_interval`, and a monitoring window
+    /// shorter than that must still be sampled at least once per `K`.
+    pub fn control_tick(&self) -> SimDuration {
+        self.ewma_interval.min(self.k_period)
+    }
 }
 
 #[cfg(test)]

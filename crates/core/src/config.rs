@@ -57,6 +57,15 @@ impl AccTurboConfig {
         }
     }
 
+    /// Overrides the cluster count, keeping one priority queue per
+    /// cluster (the deployable mapping both profiles use).
+    pub fn with_clusters(mut self, n: usize) -> Self {
+        assert!(n > 0, "cluster count must be positive");
+        self.clustering.num_clusters = n;
+        self.num_queues = n;
+        self
+    }
+
     /// Overrides the ranking algorithm.
     pub fn with_ranking(mut self, ranking: RankingAlgorithm) -> Self {
         self.ranking = ranking;

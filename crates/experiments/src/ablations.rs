@@ -8,124 +8,83 @@
 //! * the control-plane period (the paper's reaction-time knob);
 //! * nominal-set storage: exact sets vs. hardware bloom filters.
 
-use crate::common::{simulate, Scale, LINK_10G_SCALED};
+use crate::common::Scale;
 use crate::fig6;
 use crate::result::FigureResult;
+use crate::spec::{AccTurboSpec, DefenseSpec, FeatureProfile, ScenarioSpec, WorkloadSpec};
 use crate::Figure;
-use accturbo_clustering::{FeatureSet, InitMode, NominalMode, RepMode};
-use accturbo_core::{AccTurboConfig, AccTurboSwitch, RankedAccTurboSwitch};
+use accturbo_clustering::{InitMode, RepMode};
 use accturbo_netsim::SimDuration;
 use accturbo_telemetry::{f, Table};
 use std::fmt::Write as _;
 
-const LINK: u64 = LINK_10G_SCALED;
 /// The canonical workload seed — ablations run on Fig. 6's workload, so
 /// they share its seed.
 pub const DEFAULT_SEED: u64 = fig6::DEFAULT_SEED;
 
+/// The baseline every ablation perturbs: Fig. 6's hardware profile.
+fn base() -> AccTurboSpec {
+    AccTurboSpec::hardware(FeatureProfile::HwFig6)
+}
+
+/// Runs the Fig. 6 workload through `defense` at `period_ms` and returns
+/// the benign loss during pulses.
+fn pulse_loss(defense: DefenseSpec, period_ms: u64, secs: u64, seed: u64) -> f64 {
+    let res = ScenarioSpec::new(WorkloadSpec::Fig6, defense)
+        .with_secs(secs)
+        .with_seed(seed)
+        .with_period(SimDuration::from_millis(period_ms))
+        .execute()
+        .result;
+    fig6::benign_loss_during_pulses(&res, secs)
+}
+
 /// Runs the Fig. 6 workload through a customized hardware-profile switch
 /// and returns the benign loss during pulses.
-fn benign_loss(
-    customize: impl FnOnce(&mut AccTurboConfig),
-    period_ms: u64,
-    secs: u64,
-    seed: u64,
-) -> f64 {
-    let mut cfg = AccTurboConfig::hardware(FeatureSet::hardware_fig6());
-    customize(&mut cfg);
-    let mut sw = AccTurboSwitch::new(cfg);
-    let mut src = fig6::source(secs, seed);
-    let res = simulate(
-        &mut src,
-        &mut sw,
-        LINK,
-        secs,
-        Some(SimDuration::from_millis(period_ms)),
-    );
-    fig6::benign_loss_during_pulses(&res, secs)
+fn benign_loss(spec: AccTurboSpec, period_ms: u64, secs: u64, seed: u64) -> f64 {
+    pulse_loss(DefenseSpec::AccTurbo(spec), period_ms, secs, seed)
 }
 
 /// Benign pulse-loss for the two initialization modes.
 pub fn init_mode_ablation(secs: u64, seed: u64) -> (f64, f64) {
-    let anchors = benign_loss(|_| {}, 50, secs, seed);
-    let from_traffic = benign_loss(
-        |cfg| {
-            cfg.clustering = cfg.clustering.clone().with_init(InitMode::FromTraffic);
-        },
-        50,
-        secs,
-        seed,
-    );
+    let anchors = benign_loss(base(), 50, secs, seed);
+    let from_traffic = benign_loss(base().with_init(InitMode::FromTraffic), 50, secs, seed);
     (anchors, from_traffic)
 }
 
 /// Benign pulse-loss for the two representative modes.
 pub fn rep_mode_ablation(secs: u64, seed: u64) -> (f64, f64) {
-    let midpoint = benign_loss(
-        |cfg| {
-            cfg.clustering = cfg.clustering.clone().with_rep(RepMode::RangeMidpoint);
-        },
-        50,
-        secs,
-        seed,
-    );
-    let last_packet = benign_loss(
-        |cfg| {
-            cfg.clustering = cfg.clustering.clone().with_rep(RepMode::LastPacket);
-        },
-        50,
-        secs,
-        seed,
-    );
+    let midpoint = benign_loss(base().with_rep(RepMode::RangeMidpoint), 50, secs, seed);
+    let last_packet = benign_loss(base().with_rep(RepMode::LastPacket), 50, secs, seed);
     (midpoint, last_packet)
 }
 
 /// Benign pulse-loss per growth budget (`None` = unlimited).
 pub fn budget_ablation(budget: Option<u64>, secs: u64, seed: u64) -> f64 {
-    benign_loss(
-        |cfg| {
-            cfg.clustering = cfg.clustering.clone().with_update_budget(budget);
-        },
-        50,
-        secs,
-        seed,
-    )
+    benign_loss(base().with_budget(budget), 50, secs, seed)
 }
 
 /// Benign pulse-loss per control-plane period.
 pub fn period_ablation(period_ms: u64, secs: u64, seed: u64) -> f64 {
-    benign_loss(|_| {}, period_ms, secs, seed)
+    benign_loss(base(), period_ms, secs, seed)
 }
 
 /// Benign pulse-loss with the per-packet SP-PIFO rank scheduler instead
 /// of the control-plane cluster→queue mapping (§5.1's other design point).
 pub fn ranked_scheduler_ablation(secs: u64, seed: u64) -> (f64, f64) {
-    let bank = benign_loss(|_| {}, 50, secs, seed);
-    let mut sw = RankedAccTurboSwitch::new(AccTurboConfig::hardware(FeatureSet::hardware_fig6()));
-    let mut src = fig6::source(secs, seed);
-    let res = simulate(
-        &mut src,
-        &mut sw,
-        LINK,
-        secs,
-        Some(SimDuration::from_millis(50)),
-    );
-    (bank, fig6::benign_loss_during_pulses(&res, secs))
+    let bank = benign_loss(base(), 50, secs, seed);
+    let ranked = pulse_loss(DefenseSpec::RankedAccTurbo(base()), 50, secs, seed);
+    (bank, ranked)
 }
 
 /// Benign pulse-loss with bloom-filter nominal sets of the given size
 /// (`None` = exact sets).
 pub fn nominal_ablation(bloom_bits: Option<u64>, secs: u64, seed: u64) -> f64 {
-    benign_loss(
-        |cfg| {
-            if let Some(bits) = bloom_bits {
-                cfg.clustering.nominal = NominalMode::Bloom { bits, hashes: 3 };
-            }
-        },
-        50,
-        secs,
-        seed,
-    )
+    let spec = match bloom_bits {
+        Some(bits) => base().with_bloom(bits),
+        None => base(),
+    };
+    benign_loss(spec, 50, secs, seed)
 }
 
 /// Regenerates the ablation report at `seed`, returning the rendered
@@ -227,13 +186,7 @@ mod tests {
         // grown range's center) the budget is load-bearing.
         let loss = |budget: Option<u64>| {
             benign_loss(
-                |cfg| {
-                    cfg.clustering = cfg
-                        .clustering
-                        .clone()
-                        .with_rep(RepMode::RangeMidpoint)
-                        .with_update_budget(budget);
-                },
+                base().with_rep(RepMode::RangeMidpoint).with_budget(budget),
                 50,
                 SECS,
                 DEFAULT_SEED,

@@ -18,219 +18,44 @@
 //! Each scenario reports benign/attack drop percentages under ACC-Turbo
 //! and FIFO, quantifying how much of the defense survives.
 
-use crate::common::{simulate, Scale, LINK_10G_SCALED};
+use crate::common::Scale;
 use crate::result::FigureResult;
+use crate::spec::{DefenseSpec, ScenarioSpec, WorkloadSpec};
 use crate::Figure;
-use accturbo_clustering::FeatureSet;
-use accturbo_core::{AccTurboConfig, AccTurboSwitch};
-use accturbo_netsim::{
-    ClassId, MergedSource, PacketSource, SimDuration, SimTime, SingleQueueSwitch,
-};
-use accturbo_prng::{Rng, SeedableRng, StdRng};
+use accturbo_netsim::{MergedSource, SimDuration};
 use accturbo_telemetry::{f, Table};
-use accturbo_traffic::{
-    AttackConfig, AttackSource, AttackVector, BackgroundConfig, BackgroundSource, CbrSource,
-    FlowTemplate, MapSource, Spread, SpreadSource,
-};
-use std::net::Ipv4Addr;
+use accturbo_traffic::workloads;
 
-const LINK: u64 = LINK_10G_SCALED;
 const SECS: u64 = 40;
 /// The canonical workload seed (the historical in-module constant).
 pub const DEFAULT_SEED: u64 = 0xADE5;
 
-/// The §9 scenarios.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Scenario {
-    /// Baseline: a plain single-flow flood (the defense's home turf).
-    PlainFlood,
-    /// §9.1: every feature randomized per packet.
-    PacketLevelEvasion,
-    /// §9.1: |C| spread-out low-rate vectors, one per cluster.
-    AggregateLevelEvasion,
-    /// §9.2: tight high-rate benign + randomized attack.
-    Swapping,
-    /// §9.2: attack replicates the benign service's signature.
-    Imitation,
-}
-
-impl Scenario {
-    /// All scenarios, report order.
-    pub const ALL: [Scenario; 5] = [
-        Scenario::PlainFlood,
-        Scenario::PacketLevelEvasion,
-        Scenario::AggregateLevelEvasion,
-        Scenario::Swapping,
-        Scenario::Imitation,
-    ];
-
-    /// Row label.
-    pub fn name(self) -> &'static str {
-        match self {
-            Scenario::PlainFlood => "Plain flood (baseline)",
-            Scenario::PacketLevelEvasion => "Packet-level evasion",
-            Scenario::AggregateLevelEvasion => "Aggregate-level evasion",
-            Scenario::Swapping => "Swapping attack",
-            Scenario::Imitation => "Imitation attack",
-        }
-    }
-}
-
-/// The benign service all §9.2 scenarios target: a tight, high-rate
-/// aggregate (one /24, one port band, fixed size).
-fn victim_service(end: SimTime, rate_bps: u64, seed: u64) -> Box<dyn PacketSource> {
-    let cbr = CbrSource::new(
-        FlowTemplate::udp(
-            Ipv4Addr::new(95, 10, 1, 1),
-            Ipv4Addr::new(203, 7, 44, 0),
-            30_000,
-            443,
-            ClassId::BENIGN,
-        )
-        .with_size(1200),
-        rate_bps,
-        SimTime::ZERO,
-        end,
-    );
-    Box::new(SpreadSource::new(
-        cbr,
-        Spread {
-            dst_low_bits: 8,
-            sport: Some((30_000, 30_200)),
-            ..Spread::default()
-        },
-        seed + 9,
-    ))
-}
+/// The §9 scenarios (now a traffic-crate building block shared with the
+/// spec grammar).
+pub use accturbo_traffic::AdversarialScenario as Scenario;
 
 /// Builds the workload for a scenario.
 pub fn workload(scenario: Scenario, secs: u64, seed: u64) -> MergedSource {
-    let end = SimTime::from_secs(secs);
-    let start = SimTime::from_secs(5);
-    let mut sources: Vec<Box<dyn PacketSource>> = vec![Box::new(BackgroundSource::new(
-        BackgroundConfig::new(5_000_000, SimTime::ZERO, end, seed),
-    ))];
-    match scenario {
-        Scenario::PlainFlood => {
-            sources.push(Box::new(AttackSource::new(
-                AttackConfig::new(
-                    AttackVector::UdpFlood,
-                    40_000_000,
-                    start,
-                    end,
-                    ClassId(1),
-                    seed + 1,
-                )
-                .with_single_flow(),
-            )));
-        }
-        Scenario::PacketLevelEvasion => {
-            // Randomize *everything*: source, destination, both ports,
-            // size, TTL — nothing left to correlate on.
-            let flood = AttackSource::new(
-                AttackConfig::new(
-                    AttackVector::UdpFlood,
-                    40_000_000,
-                    start,
-                    end,
-                    ClassId(1),
-                    seed + 1,
-                )
-                .with_source_spoofing(),
-            );
-            let mut rng = StdRng::seed_from_u64(seed + 2);
-            sources.push(Box::new(MapSource::new(flood, move |p| {
-                p.dst = Ipv4Addr::new(rng.gen(), rng.gen(), rng.gen(), rng.gen());
-                p.ttl = rng.gen();
-                p.ip_len = rng.gen();
-                p.ip_id = rng.gen();
-            })));
-        }
-        Scenario::AggregateLevelEvasion => {
-            // Ten spread-out vectors at 4 Mbps each (same 40 Mbps total),
-            // one per cluster slot of the simulation profile.
-            for (i, vector) in AttackVector::ALL.iter().enumerate() {
-                sources.push(Box::new(AttackSource::new(
-                    AttackConfig::new(
-                        *vector,
-                        4_000_000,
-                        start,
-                        end,
-                        ClassId(1 + i as u16),
-                        seed + 10 + i as u64,
-                    )
-                    .with_victim(Ipv4Addr::new(10 + 20 * i as u8, 50, 7, 9), 4000 + i as u16),
-                )));
-            }
-        }
-        Scenario::Swapping => {
-            // Benign = tight 6 Mbps service; attack = randomized 12 Mbps.
-            sources.push(victim_service(end, 6_000_000, seed));
-            let flood = AttackSource::new(
-                AttackConfig::new(
-                    AttackVector::UdpFlood,
-                    12_000_000,
-                    start,
-                    end,
-                    ClassId(1),
-                    seed + 3,
-                )
-                .with_source_spoofing(),
-            );
-            let mut rng = StdRng::seed_from_u64(seed + 4);
-            sources.push(Box::new(MapSource::new(flood, move |p| {
-                p.dst = Ipv4Addr::new(rng.gen(), rng.gen(), rng.gen(), rng.gen());
-                p.ttl = rng.gen();
-            })));
-        }
-        Scenario::Imitation => {
-            // The attack replicates the victim service's exact signature.
-            sources.push(victim_service(end, 6_000_000, seed));
-            let imitation = CbrSource::new(
-                FlowTemplate::udp(
-                    Ipv4Addr::new(95, 10, 1, 1),
-                    Ipv4Addr::new(203, 7, 44, 0),
-                    30_000,
-                    443,
-                    ClassId(1),
-                )
-                .with_size(1200),
-                40_000_000,
-                start,
-                end,
-            );
-            sources.push(Box::new(SpreadSource::new(
-                imitation,
-                Spread {
-                    dst_low_bits: 8,
-                    sport: Some((30_000, 30_200)),
-                    ..Spread::default()
-                },
-                seed + 5,
-            )));
-        }
-    }
-    MergedSource::new(sources)
+    workloads::adversarial(scenario, secs, seed)
 }
 
 /// Runs a scenario through ACC-Turbo and FIFO; returns
 /// `(accturbo benign%, accturbo attack%, fifo benign%)` drop percentages.
 pub fn run_scenario(scenario: Scenario, secs: u64, seed: u64) -> (f64, f64, f64) {
-    let mut src = workload(scenario, secs, seed);
-    let mut sw = AccTurboSwitch::new(AccTurboConfig::simulation(FeatureSet::simulation_default()));
-    let res = simulate(
-        &mut src,
-        &mut sw,
-        LINK,
-        secs,
-        Some(SimDuration::from_millis(50)),
-    );
+    let res = ScenarioSpec::new(WorkloadSpec::Adversarial(scenario), DefenseSpec::accturbo())
+        .with_secs(secs)
+        .with_seed(seed)
+        .with_period(SimDuration::from_millis(50))
+        .execute()
+        .result;
     let (at_benign, at_attack) = (res.stats.benign_drop_pct(), res.stats.attack_drop_pct());
 
-    let mut src = workload(scenario, secs, seed);
-    let mut fifo = SingleQueueSwitch::new(crate::common::baseline_fifo());
-    let res = simulate(&mut src, &mut fifo, LINK, secs, None);
-    (at_benign, at_attack, res.stats.benign_drop_pct())
+    let fifo = ScenarioSpec::new(WorkloadSpec::Adversarial(scenario), DefenseSpec::Fifo)
+        .with_secs(secs)
+        .with_seed(seed)
+        .execute()
+        .result;
+    (at_benign, at_attack, fifo.stats.benign_drop_pct())
 }
 
 /// Regenerates the §9 adversarial table at `seed`, returning the

@@ -13,11 +13,12 @@
 //! reference kernels forced on and asserts the rendered reports and
 //! golden serializations are byte-identical to the optimized path.
 
+use crate::spec::{AccTurboSpec, FeatureProfile};
 use crate::{figure_spec, Scale};
 use accturbo_bench::{Harness, Stats};
 use accturbo_clustering::online::reference::force_reference_kernels;
 use accturbo_clustering::{ClusteringConfig, FeatureSet, OnlineClusterer, WindowStats};
-use accturbo_core::{AccTurboConfig, AccTurboSwitch};
+use accturbo_core::AccTurboSwitch;
 use accturbo_netsim::engine::reference::run_reference;
 use accturbo_netsim::{
     run, Bandwidth, ClassId, EngineConfig, Packet, SimDuration, SimTime, VecSource,
@@ -120,7 +121,11 @@ fn engine_workload(n: u64) -> Vec<Packet> {
 }
 
 fn engine_switch() -> AccTurboSwitch<'static> {
-    AccTurboSwitch::new(AccTurboConfig::simulation(FeatureSet::hardware_fig6()))
+    AccTurboSpec {
+        features: FeatureProfile::HwFig6,
+        ..AccTurboSpec::simulation()
+    }
+    .build()
 }
 
 fn engine_cfg() -> EngineConfig {

@@ -11,7 +11,9 @@
 //! order, so `--jobs 8` is byte-identical to `--jobs 1`.
 
 use crate::result::aggregate_csv;
+use crate::spec::{DefenseSpec, ScenarioSpec, WorkloadSpec};
 use crate::{figure_spec, FigureSpec, Scale, FIGURES};
+use accturbo_netsim::SimDuration;
 use std::fmt::Write as _;
 use std::time::Duration;
 
@@ -48,6 +50,17 @@ pub fn usage() -> String {
          \n\
          USAGE:\n\
          \x20   xp [FIGURE...] [OPTIONS]     run the named figures (default: all)\n\
+         \x20   xp run KEY=VAL[,KEY=VAL...]  run one declarative scenario: any\n\
+         \x20                                workload x defense combination, not\n\
+         \x20                                just the paper's. Keys: workload\n\
+         \x20                                (required), defense (default fifo),\n\
+         \x20                                link (10m/2.5g/bps), secs, seed,\n\
+         \x20                                period (250ms/1s), faults\n\
+         \x20                                (KIND:VAL+KIND:VAL). Flags: --csv\n\
+         \x20                                (panel only), --quick.\n\
+         \x20                                e.g. xp run workload=fig2 defense=accturbo\n\
+         \x20                                     xp run workload=flood:carpet \\\n\
+         \x20                                            defense=accturbo:profile=hw:features=dst4\n\
          \x20   xp trace PATH                pretty-print a JSONL trace file\n\
          \x20   xp bench-export [--smoke] [--out PATH]\n\
          \x20                                measure datapath throughput (engine\n\
@@ -87,6 +100,41 @@ fn valid_names() -> String {
     format!("{}, all", names.join(", "))
 }
 
+/// Parses a `KIND:VAL`-separated fault mix (both the `--faults` flag,
+/// comma-separated, and `xp run`'s `faults=` key, `+`-separated).
+/// `ctx` prefixes every error message.
+fn parse_fault_mix(ctx: &str, raw: &str, sep: char) -> Result<Vec<(String, f64)>, String> {
+    let mut mix: Vec<(String, f64)> = Vec::new();
+    for part in raw.split(sep) {
+        let part = part.trim();
+        if part.is_empty() {
+            return Err(format!("{ctx}: empty entry in `{raw}`"));
+        }
+        let (kind, val) = part
+            .split_once(':')
+            .ok_or_else(|| format!("{ctx}: `{part}` is not KIND:VAL"))?;
+        if !crate::robustness::FAULT_KINDS.contains(&kind) {
+            return Err(format!(
+                "{ctx}: unknown fault kind `{kind}`; valid kinds: {}",
+                crate::robustness::FAULT_KINDS.join(", ")
+            ));
+        }
+        let v: f64 = val
+            .parse()
+            .map_err(|_| format!("{ctx}: `{val}` is not an intensity"))?;
+        if !v.is_finite() || !(0.0..=1.0).contains(&v) {
+            return Err(format!(
+                "{ctx}: intensity {val} for `{kind}` must be in [0, 1]"
+            ));
+        }
+        if mix.iter().any(|(k, _)| k == kind) {
+            return Err(format!("{ctx}: duplicate fault kind `{kind}`"));
+        }
+        mix.push((kind.to_string(), v));
+    }
+    Ok(mix)
+}
+
 /// Parses `xp` arguments (without the program name).
 pub fn parse(args: &[String]) -> Result<Cli, String> {
     let mut cli = Cli {
@@ -106,35 +154,7 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
                 let raw = it
                     .next()
                     .ok_or_else(|| "--faults requires a KIND:VAL,... fault mix".to_string())?;
-                let mut mix = Vec::new();
-                for part in raw.split(',') {
-                    let part = part.trim();
-                    if part.is_empty() {
-                        return Err(format!("--faults: empty entry in `{raw}`"));
-                    }
-                    let (kind, val) = part
-                        .split_once(':')
-                        .ok_or_else(|| format!("--faults: `{part}` is not KIND:VAL"))?;
-                    if !crate::robustness::FAULT_KINDS.contains(&kind) {
-                        return Err(format!(
-                            "--faults: unknown fault kind `{kind}`; valid kinds: {}",
-                            crate::robustness::FAULT_KINDS.join(", ")
-                        ));
-                    }
-                    let v: f64 = val
-                        .parse()
-                        .map_err(|_| format!("--faults: `{val}` is not an intensity"))?;
-                    if !v.is_finite() || !(0.0..=1.0).contains(&v) {
-                        return Err(format!(
-                            "--faults: intensity {val} for `{kind}` must be in [0, 1]"
-                        ));
-                    }
-                    if mix.iter().any(|(k, _): &(String, f64)| k == kind) {
-                        return Err(format!("--faults: duplicate fault kind `{kind}`"));
-                    }
-                    mix.push((kind.to_string(), v));
-                }
-                cli.faults = mix;
+                cli.faults = parse_fault_mix("--faults", raw, ',')?;
             }
             "--jobs" => {
                 let raw = it
@@ -319,6 +339,237 @@ pub fn run_figures(cli: &Cli, mut sink: impl FnMut(&str)) -> Vec<JobSpan> {
         },
     );
     spans
+}
+
+// ---------------------------------------------------------------------------
+// `xp run` — one declarative scenario
+// ---------------------------------------------------------------------------
+
+/// The parsed `xp run` invocation: a full scenario plus output shape.
+#[derive(Debug)]
+pub struct RunCmd {
+    /// The scenario to execute.
+    pub spec: ScenarioSpec,
+    /// `--csv`: emit only the per-second panel, no header or summary.
+    pub csv: bool,
+}
+
+/// Parses a bandwidth value: plain bps, or with a `k`/`m`/`g` suffix
+/// (`10m` = 10 Mbps, `2.5g` = 2.5 Gbps).
+fn parse_link(v: &str) -> Result<u64, String> {
+    let lower = v.to_ascii_lowercase();
+    let (num, mult) = if let Some(n) = lower.strip_suffix('g') {
+        (n, 1e9)
+    } else if let Some(n) = lower.strip_suffix('m') {
+        (n, 1e6)
+    } else if let Some(n) = lower.strip_suffix('k') {
+        (n, 1e3)
+    } else {
+        (lower.as_str(), 1.0)
+    };
+    let x: f64 = num
+        .parse()
+        .map_err(|_| format!("xp run: `{v}` is not a bandwidth (e.g. 10m, 2.5g, 10000000)"))?;
+    if !x.is_finite() || x <= 0.0 {
+        return Err(format!("xp run: bandwidth `{v}` must be positive"));
+    }
+    Ok((x * mult).round() as u64)
+}
+
+/// Parses a control period: `250ms`, `1s`, or bare seconds (`0.25`).
+fn parse_period(v: &str) -> Result<SimDuration, String> {
+    let (num, div) = if let Some(ms) = v.strip_suffix("ms") {
+        (ms, 1000.0)
+    } else {
+        (v.strip_suffix('s').unwrap_or(v), 1.0)
+    };
+    let x: f64 = num
+        .parse()
+        .map_err(|_| format!("xp run: `{v}` is not a period (e.g. 250ms, 1s)"))?;
+    if !x.is_finite() || x <= 0.0 {
+        return Err(format!("xp run: period `{v}` must be positive"));
+    }
+    Ok(SimDuration::from_secs_f64(x / div))
+}
+
+/// Parses `xp run` arguments: `key=value` pairs (comma- or
+/// space-separated) plus the `--csv` / `--quick` flags.
+pub fn parse_run(args: &[String]) -> Result<RunCmd, String> {
+    let mut workload: Option<WorkloadSpec> = None;
+    let mut defense = DefenseSpec::Fifo;
+    let mut csv = false;
+    let mut quick = false;
+    let mut secs: Option<u64> = None;
+    let mut seed: Option<u64> = None;
+    let mut link: Option<u64> = None;
+    let mut period: Option<SimDuration> = None;
+    let mut fault_mix: Vec<(String, f64)> = Vec::new();
+
+    for token in args
+        .iter()
+        .flat_map(|a| a.split([',', ' ']))
+        .filter(|t| !t.is_empty())
+    {
+        match token {
+            "--csv" => csv = true,
+            "--quick" | "--smoke" => quick = true,
+            flag if flag.starts_with("--") => {
+                return Err(format!("xp run: unknown option `{flag}`"));
+            }
+            pair => {
+                let (key, val) = pair
+                    .split_once('=')
+                    .ok_or_else(|| format!("xp run: expected `key=value`, got `{pair}`"))?;
+                match key {
+                    "workload" => {
+                        workload = Some(val.parse().map_err(|e| format!("xp run: workload: {e}"))?)
+                    }
+                    "defense" => {
+                        defense = val.parse().map_err(|e| format!("xp run: defense: {e}"))?
+                    }
+                    "secs" => {
+                        let n: u64 = val.parse().map_err(|_| {
+                            format!("xp run: `{val}` is not a run length in seconds")
+                        })?;
+                        if n == 0 {
+                            return Err("xp run: secs must be at least 1".to_string());
+                        }
+                        secs = Some(n);
+                    }
+                    "seed" => {
+                        seed = Some(
+                            val.parse()
+                                .map_err(|_| format!("xp run: `{val}` is not a u64 seed"))?,
+                        );
+                    }
+                    "link" => link = Some(parse_link(val)?),
+                    "period" => period = Some(parse_period(val)?),
+                    "faults" => fault_mix = parse_fault_mix("xp run: faults", val, '+')?,
+                    other => {
+                        return Err(format!(
+                            "xp run: unknown key `{other}`; valid keys: workload, defense, \
+                             link, secs, seed, period, faults"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    let workload = workload
+        .ok_or_else(|| "xp run: `workload=` is required (e.g. workload=fig2)".to_string())?;
+    let quick_secs = workload.default_secs(Scale::Quick);
+    let mut spec = ScenarioSpec::new(workload, defense);
+    if quick {
+        spec = spec.with_secs(quick_secs);
+    }
+    if let Some(s) = secs {
+        spec = spec.with_secs(s);
+    }
+    if let Some(s) = seed {
+        spec = spec.with_seed(s);
+    }
+    if let Some(l) = link {
+        spec = spec.with_link(l);
+    }
+    if let Some(p) = period {
+        spec = spec.with_period(p);
+    }
+    if !fault_mix.is_empty() {
+        let fault_seed = spec.seed;
+        spec = spec.with_faults(crate::robustness::config_from_mix(&fault_mix, fault_seed));
+    }
+    Ok(RunCmd { spec, csv })
+}
+
+/// Executes a parsed `xp run` and renders its report: the scenario
+/// echo, the workload's natural per-second panel (bandwidth shares for
+/// the Fig. 2/3 family, attack/benign throughput otherwise), and a
+/// summary whose share/droprate means match the corresponding figure's
+/// golden summary entries. `--csv` keeps only the panel.
+pub fn render_run(cmd: &RunCmd) -> String {
+    use crate::common::{share_panel, share_series, throughput_panel};
+    use accturbo_netsim::ClassId;
+    use accturbo_telemetry::f;
+
+    let spec = &cmd.spec;
+    let outcome = spec.execute();
+    let res = &outcome.result;
+    let secs = spec.secs;
+    let mut out = String::new();
+    if !cmd.csv {
+        let _ = writeln!(out, "# scenario {spec}");
+    }
+    let share_classes = spec.workload.share_classes();
+    if share_classes.is_some() {
+        share_panel(
+            &mut out,
+            "Per-second bandwidth shares",
+            res,
+            spec.link_bps,
+            secs,
+            true,
+        );
+    } else {
+        throughput_panel(&mut out, "Per-second throughput", res, secs);
+    }
+    if cmd.csv {
+        return out;
+    }
+
+    let _ = writeln!(out, "# summary");
+    let n = secs.max(1) as f64;
+    match share_classes {
+        Some(classes) => {
+            let shares = share_series(res, spec.link_bps, &classes, secs);
+            for (i, &c) in classes.iter().enumerate() {
+                let mean = shares.iter().map(|row| row[i]).sum::<f64>() / n;
+                let _ = writeln!(out, "agg{}.mean_share,{}", c.0, f(mean));
+            }
+            let droprate = (0..secs as usize)
+                .map(|t| res.stats.drop_rate(t))
+                .sum::<f64>()
+                / n;
+            let _ = writeln!(out, "mean_droprate,{}", f(droprate));
+        }
+        None => {
+            let attack = (0..secs as usize)
+                .map(|t| res.stats.attack_throughput_bps(t))
+                .sum::<f64>()
+                / n
+                / 1e6;
+            let benign = (0..secs as usize)
+                .map(|t| res.stats.throughput_bps(t, ClassId::BENIGN))
+                .sum::<f64>()
+                / n
+                / 1e6;
+            let _ = writeln!(out, "mean_attack_gbps,{}", f(attack));
+            let _ = writeln!(out, "mean_benign_gbps,{}", f(benign));
+        }
+    }
+    let _ = writeln!(out, "benign_drop_pct,{}", f(res.stats.benign_drop_pct()));
+    let _ = writeln!(out, "attack_drop_pct,{}", f(res.stats.attack_drop_pct()));
+    let _ = writeln!(out, "arrivals,{}", res.arrivals);
+    let _ = writeln!(out, "delivered,{}", res.departures);
+    let _ = writeln!(out, "dropped,{}", res.drops);
+    let _ = writeln!(out, "queued,{}", outcome.backlog_pkts);
+    let conserved = res.arrivals == res.departures + res.drops + outcome.backlog_pkts as u64;
+    let _ = writeln!(
+        out,
+        "conservation,{}",
+        if conserved { "ok" } else { "VIOLATED" }
+    );
+    if let Some(fs) = &outcome.fault_stats {
+        let _ = writeln!(out, "faults.ctrl_dropped,{}", fs.ctrl_dropped);
+        let _ = writeln!(out, "faults.ctrl_delayed,{}", fs.ctrl_delayed);
+        let _ = writeln!(out, "faults.stale_served,{}", fs.stale_served);
+        let _ = writeln!(out, "faults.pkt_dropped,{}", fs.pkt_dropped);
+        let _ = writeln!(out, "faults.pkt_reordered,{}", fs.pkt_reordered);
+        let _ = writeln!(out, "faults.flap_windows,{}", fs.flap_windows);
+        let _ = writeln!(out, "degradation.missed_ticks,{}", outcome.missed_ticks);
+        let _ = writeln!(out, "degradation.stale_ticks,{}", outcome.stale_ticks);
+        let _ = writeln!(out, "degradation.fallbacks,{}", outcome.fallbacks);
+    }
+    out
 }
 
 #[cfg(test)]
@@ -522,5 +773,126 @@ mod tests {
         assert!(out.contains("pushback (seed 2)"), "{out}");
         assert!(out.contains("pushback aggregate over 2 seeds"), "{out}");
         assert!(out.contains("field,mean,min,max"), "{out}");
+    }
+
+    // ----- `xp run` parsing -----
+
+    #[test]
+    fn run_requires_a_workload() {
+        let err = parse_run(&args(&["defense=fifo"])).unwrap_err();
+        assert!(err.contains("`workload=` is required"), "{err}");
+    }
+
+    #[test]
+    fn run_applies_workload_defaults() {
+        let cmd = parse_run(&args(&["workload=fig2", "defense=accturbo"])).unwrap();
+        assert_eq!(cmd.spec.link_bps, 10_000_000);
+        assert_eq!(cmd.spec.seed, 2022);
+        assert!(matches!(cmd.spec.defense, DefenseSpec::AccTurbo(_)));
+        assert!(!cmd.csv);
+    }
+
+    #[test]
+    fn run_parses_overrides_and_suffixes() {
+        let cmd = parse_run(&args(&[
+            "workload=flood:single,defense=red",
+            "link=2.5g",
+            "secs=12",
+            "seed=7",
+            "period=50ms",
+            "--csv",
+        ]))
+        .unwrap();
+        assert_eq!(cmd.spec.link_bps, 2_500_000_000);
+        assert_eq!(cmd.spec.secs, 12);
+        assert_eq!(cmd.spec.seed, 7);
+        assert_eq!(cmd.spec.control_period, Some(SimDuration::from_millis(50)));
+        assert!(cmd.csv);
+    }
+
+    #[test]
+    fn run_quick_rescales_then_explicit_secs_wins() {
+        let quick = parse_run(&args(&["workload=fig2", "--quick"])).unwrap();
+        assert_eq!(quick.spec.secs, 25);
+        let explicit = parse_run(&args(&["workload=fig2", "--quick", "secs=8"])).unwrap();
+        assert_eq!(explicit.spec.secs, 8);
+    }
+
+    #[test]
+    fn run_faults_seed_tracks_the_scenario_seed() {
+        let cmd = parse_run(&args(&[
+            "workload=fig2",
+            "defense=accturbo",
+            "faults=ctrl_drop:0.5+stale:0.25",
+            "seed=99",
+        ]))
+        .unwrap();
+        let fc = cmd.spec.faults.expect("faults set");
+        assert_eq!(fc.seed, 99);
+        assert_eq!(fc.ctrl_drop, 0.5);
+        assert_eq!(fc.stale_snapshot, 0.25);
+    }
+
+    #[test]
+    fn run_rejects_bad_input() {
+        for (argv, needle) in [
+            (vec!["workload=fig2", "--frob"], "unknown option `--frob`"),
+            (vec!["workload=fig2", "frob"], "expected `key=value`"),
+            (vec!["workload=fig2", "frob=1"], "unknown key `frob`"),
+            (vec!["workload=nope"], "workload"),
+            (vec!["workload=fig2", "secs=0"], "secs must be at least 1"),
+            (vec!["workload=fig2", "link=-3m"], "must be positive"),
+            (vec!["workload=fig2", "period=0ms"], "must be positive"),
+            (
+                vec!["workload=fig2", "faults=frob:0.5"],
+                "unknown fault kind `frob`",
+            ),
+        ] {
+            let err = parse_run(&args(&argv)).unwrap_err();
+            assert!(err.contains(needle), "{argv:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn run_render_emits_panel_summary_and_conservation() {
+        let cmd = parse_run(&args(&[
+            "workload=fig2",
+            "defense=accturbo",
+            "secs=6",
+            "--quick",
+        ]))
+        .unwrap();
+        let out = render_run(&cmd);
+        assert!(
+            out.starts_with("# scenario workload=fig2 defense=accturbo"),
+            "{out}"
+        );
+        assert!(
+            out.contains("t,agg1,agg2,agg3,agg4,agg5,all,droprate"),
+            "{out}"
+        );
+        assert!(out.contains("agg1.mean_share,"), "{out}");
+        assert!(out.contains("conservation,ok"), "{out}");
+        let csv = render_run(&RunCmd {
+            csv: true,
+            ..parse_run(&args(&["workload=fig2", "secs=6"])).unwrap()
+        });
+        assert!(!csv.contains("# scenario"), "{csv}");
+        assert!(!csv.contains("# summary"), "{csv}");
+    }
+
+    #[test]
+    fn run_render_reports_fault_and_degradation_counters() {
+        let cmd = parse_run(&args(&[
+            "workload=fig2",
+            "defense=accturbo",
+            "secs=6",
+            "faults=ctrl_drop:1.0",
+        ]))
+        .unwrap();
+        let out = render_run(&cmd);
+        assert!(out.contains("faults.ctrl_dropped,"), "{out}");
+        assert!(out.contains("degradation.missed_ticks,"), "{out}");
+        assert!(out.contains("conservation,ok"), "{out}");
     }
 }

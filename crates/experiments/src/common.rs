@@ -7,8 +7,8 @@
 
 use crate::result::FigureResult;
 use accturbo_netsim::{
-    run, run_instrumented, run_with_faults, Bandwidth, ClassId, EngineConfig, FaultInjector,
-    NoopFaultInjector, PacketSource, RunResult, SimDuration, SimTime, Switch,
+    run, run_instrumented, run_with_faults, ClassId, EngineConfig, FaultInjector,
+    NoopFaultInjector, PacketSource, RunResult, SimDuration, Switch,
 };
 use accturbo_obs::{MetricsHandle, NoopTracer, Tracer};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -59,13 +59,7 @@ pub fn force_noop_fault_injection(on: bool) {
 }
 
 fn engine_config(link_bps: u64, secs: u64, control_period: Option<SimDuration>) -> EngineConfig {
-    let mut cfg = EngineConfig::new(Bandwidth::from_bps(link_bps))
-        .with_stats_interval(SimDuration::from_secs(1))
-        .with_end_time(SimTime::from_secs(secs));
-    if let Some(p) = control_period {
-        cfg = cfg.with_control_period(p);
-    }
-    cfg
+    EngineConfig::experiment(link_bps, secs, control_period)
 }
 
 /// Runs `source` through `switch` with the standard experiment engine:
@@ -162,6 +156,60 @@ pub fn push_throughput_summary(r: &mut FigureResult, prefix: &str, res: &RunResu
     r.num(&format!("{prefix}.mean_benign_gbps"), benign);
 }
 
+/// Renders the Figs. 2/3 per-second bandwidth-share CSV panel: shares
+/// of aggregates 1–5 plus the total, optionally followed by the
+/// drop-rate series (Fig. 2's extra column).
+pub fn share_panel(
+    out: &mut String,
+    title: &str,
+    res: &RunResult,
+    link_bps: u64,
+    secs: u64,
+    droprate: bool,
+) {
+    use accturbo_telemetry::f;
+    use std::fmt::Write as _;
+    let classes: Vec<ClassId> = (1..=5).map(ClassId).collect();
+    let shares = share_series(res, link_bps, &classes, secs);
+    let _ = writeln!(out, "# {title}");
+    let _ = writeln!(
+        out,
+        "t,agg1,agg2,agg3,agg4,agg5,all{}",
+        if droprate { ",droprate" } else { "" }
+    );
+    for (t, row) in shares.iter().enumerate() {
+        let all: f64 = row.iter().sum();
+        let _ = write!(
+            out,
+            "{t},{},{},{},{},{},{}",
+            f(row[0]),
+            f(row[1]),
+            f(row[2]),
+            f(row[3]),
+            f(row[4]),
+            f(all),
+        );
+        if droprate {
+            let _ = write!(out, ",{}", f(res.stats.drop_rate(t)));
+        }
+        out.push('\n');
+    }
+}
+
+/// Renders the Figs. 6/7 per-second attack/benign throughput panel at
+/// the paper's axis scale (sim Mbps == paper Gbps).
+pub fn throughput_panel(out: &mut String, title: &str, res: &RunResult, secs: u64) {
+    use accturbo_telemetry::f;
+    use std::fmt::Write as _;
+    let _ = writeln!(out, "# {title}");
+    let _ = writeln!(out, "t,attack_gbps,benign_gbps");
+    for t in 0..secs as usize {
+        let attack = res.stats.attack_throughput_bps(t) / 1e6;
+        let benign = res.stats.throughput_bps(t, ClassId::BENIGN) / 1e6;
+        let _ = writeln!(out, "{t},{},{}", f(attack), f(benign));
+    }
+}
+
 /// Renders an optional delay as the reports' `"never"` convention.
 pub fn delay_text(d: Option<u64>) -> String {
     d.map(|x| x.to_string()).unwrap_or_else(|| "never".into())
@@ -188,7 +236,7 @@ pub fn share_series(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use accturbo_netsim::{ClassId, FifoQueue, Packet, SingleQueueSwitch, VecSource};
+    use accturbo_netsim::{ClassId, FifoQueue, Packet, SimTime, SingleQueueSwitch, VecSource};
 
     #[test]
     fn scale_math() {

@@ -17,13 +17,13 @@
 
 use crate::common::{simulate, Scale};
 use crate::result::FigureResult;
+use crate::spec::{AccTurboSpec, DefenseSpec, ScenarioSpec, WorkloadSpec};
 use crate::Figure;
-use accturbo_clustering::{ClusteringConfig, DistanceKind, FeatureSet, SearchKind};
-use accturbo_core::{AccTurboConfig, AccTurboSwitch, IdealPifoSwitch};
-use accturbo_netsim::{SimDuration, SingleQueueSwitch};
+use accturbo_clustering::{DistanceKind, SearchKind};
+use accturbo_netsim::SimDuration;
 use accturbo_sched::RankingAlgorithm;
 use accturbo_telemetry::{f, SchedulingScore};
-use accturbo_traffic::{AttackVector, CicDdosConfig};
+use accturbo_traffic::AttackVector;
 use std::fmt::Write as _;
 
 /// Control period for the §8 simulation experiments.
@@ -33,17 +33,21 @@ const POLL: SimDuration = SimDuration::from_millis(50);
 /// regime is the experiment, not the draw.
 pub const DEFAULT_SEED: u64 = 0xC1C;
 
-fn day(vectors: Vec<AttackVector>, scale: Scale, seed: u64) -> CicDdosConfig {
-    let mut cfg = CicDdosConfig {
-        vectors,
-        seed,
-        ..CicDdosConfig::default()
+/// The CICDDoS-style day as a declarative workload (quick runs shrink
+/// the episode/gap timing, as the figure always has).
+fn day_spec(vectors: Vec<AttackVector>, scale: Scale) -> WorkloadSpec {
+    let (episode, gap) = match scale {
+        Scale::Quick => (
+            Some(SimDuration::from_secs(2)),
+            Some(SimDuration::from_secs(1)),
+        ),
+        Scale::Full => (None, None),
     };
-    if scale == Scale::Quick {
-        cfg.episode = SimDuration::from_secs(2);
-        cfg.gap = SimDuration::from_secs(1);
+    WorkloadSpec::CicDay {
+        vectors: Some(vectors),
+        episode,
+        gap,
     }
-    cfg
 }
 
 /// Runs one vector through ACC-Turbo at `link_bps` with `ranking` and
@@ -62,13 +66,11 @@ pub fn ranking_score(
     scale: Scale,
     seed: u64,
 ) -> f64 {
-    let cfg = day(vec![vector], scale, seed);
+    let cfg = day_spec(vec![vector], scale).cic_config(seed);
     let total = cfg.total_duration();
     let mut src = cfg.into_source();
     let mut score = SchedulingScore::new();
-    let mut sw = AccTurboSwitch::new(
-        AccTurboConfig::simulation(FeatureSet::simulation_default()).with_ranking(ranking),
-    );
+    let mut sw = AccTurboSpec::simulation().with_ranking(ranking).build();
     sw.set_tap(Box::new(|pkt, _cluster, queue| {
         score.record(pkt.arrival, queue, pkt.class);
     }));
@@ -86,57 +88,13 @@ pub fn ranking_score(
 /// ("/Size") recognizes the elephant's low self-similarity — the design
 /// insight Fig. 11a supports. Returns (benign drop %, attack drop %).
 pub fn elephant_drops(ranking: RankingAlgorithm) -> (f64, f64) {
-    use accturbo_netsim::{ClassId, MergedSource, PacketSource, SimTime};
-    use accturbo_traffic::{
-        AttackConfig, AttackSource, BackgroundConfig, BackgroundSource, CbrSource, FlowTemplate,
-        Spread, SpreadSource,
-    };
-    let end = SimTime::from_secs(30);
-    let attack = AttackSource::new(
-        AttackConfig::new(
-            AttackVector::UdpFlood,
-            10_000_000,
-            SimTime::from_secs(5),
-            end,
-            ClassId(1),
-            3,
-        )
-        .with_single_flow(),
-    );
-    let background =
-        BackgroundSource::new(BackgroundConfig::new(8_000_000, SimTime::ZERO, end, 11));
-    let cdn = CbrSource::new(
-        FlowTemplate::udp(
-            std::net::Ipv4Addr::new(95, 10, 1, 1),
-            std::net::Ipv4Addr::new(203, 7, 44, 0),
-            30_000,
-            443,
-            ClassId::BENIGN,
-        )
-        .with_size(1200),
-        11_000_000,
-        SimTime::ZERO,
-        end,
-    );
-    let cdn = SpreadSource::new(
-        cdn,
-        Spread {
-            dst_low_bits: 8,
-            src_low_bits: 12,
-            sport: Some((30_000, 33_000)),
-            ..Spread::default()
-        },
-        7,
-    );
-    let mut src = MergedSource::new(vec![
-        Box::new(attack) as Box<dyn PacketSource>,
-        Box::new(background),
-        Box::new(cdn),
-    ]);
-    let mut sw = AccTurboSwitch::new(
-        AccTurboConfig::simulation(FeatureSet::simulation_default()).with_ranking(ranking),
-    );
-    let res = simulate(&mut src, &mut sw, 18_000_000, 30, Some(POLL));
+    let res = ScenarioSpec::new(
+        WorkloadSpec::Elephant,
+        DefenseSpec::AccTurbo(AccTurboSpec::simulation().with_ranking(ranking)),
+    )
+    .with_period(POLL)
+    .execute()
+    .result;
     (res.stats.benign_drop_pct(), res.stats.attack_drop_pct())
 }
 
@@ -181,50 +139,35 @@ impl Scheme {
     }
 }
 
+/// Maps a Fig. 11b scheme to its declarative defense.
+pub fn scheme_defense(scheme: Scheme) -> DefenseSpec {
+    match scheme {
+        Scheme::Fifo => DefenseSpec::Fifo,
+        Scheme::PifoIdeal => DefenseSpec::IdealPifo,
+        Scheme::AnimeFastTh => {
+            DefenseSpec::AccTurbo(AccTurboSpec::simulation().with_distance(DistanceKind::Anime))
+        }
+        Scheme::ManhattanFastTh => DefenseSpec::AccTurbo(AccTurboSpec::simulation()),
+        Scheme::ManhattanFastThSize => DefenseSpec::AccTurbo(
+            AccTurboSpec::simulation().with_ranking(RankingAlgorithm::ThroughputOverSize),
+        ),
+        Scheme::ManhattanExhTh => {
+            DefenseSpec::AccTurbo(AccTurboSpec::simulation().with_search(SearchKind::Exhaustive))
+        }
+    }
+}
+
 /// Runs the full attack day through `scheme` at `link_bps`, returning the
 /// % of benign packets dropped.
 pub fn benign_drop_pct(scheme: Scheme, link_bps: u64, scale: Scale, seed: u64) -> f64 {
-    let cfg = day(AttackVector::ALL.to_vec(), scale, seed);
-    let secs = cfg.total_duration().as_secs_f64().ceil() as u64;
-    let mut src = cfg.into_source();
-    match scheme {
-        Scheme::Fifo => {
-            let mut sw = SingleQueueSwitch::new(crate::common::baseline_fifo());
-            simulate(&mut src, &mut sw, link_bps, secs, None)
-                .stats
-                .benign_drop_pct()
-        }
-        Scheme::PifoIdeal => {
-            let mut sw = IdealPifoSwitch::new(512 * 1024);
-            simulate(&mut src, &mut sw, link_bps, secs, None)
-                .stats
-                .benign_drop_pct()
-        }
-        _ => {
-            let mut clustering = ClusteringConfig::deployable(10, FeatureSet::simulation_default());
-            let ranking = match scheme {
-                Scheme::AnimeFastTh => {
-                    clustering.distance = DistanceKind::Anime;
-                    RankingAlgorithm::Throughput
-                }
-                Scheme::ManhattanFastTh => RankingAlgorithm::Throughput,
-                Scheme::ManhattanFastThSize => RankingAlgorithm::ThroughputOverSize,
-                Scheme::ManhattanExhTh => {
-                    clustering.search = SearchKind::Exhaustive;
-                    RankingAlgorithm::Throughput
-                }
-                _ => unreachable!("handled above"),
-            };
-            let mut sw = AccTurboSwitch::new(
-                AccTurboConfig::simulation(FeatureSet::simulation_default())
-                    .with_clustering(clustering)
-                    .with_ranking(ranking),
-            );
-            simulate(&mut src, &mut sw, link_bps, secs, Some(POLL))
-                .stats
-                .benign_drop_pct()
-        }
+    let defense = scheme_defense(scheme);
+    let mut spec = ScenarioSpec::new(day_spec(AttackVector::ALL.to_vec(), scale), defense)
+        .with_link(link_bps)
+        .with_seed(seed);
+    if matches!(spec.defense, DefenseSpec::AccTurbo(_)) {
+        spec = spec.with_period(POLL);
     }
+    spec.execute().result.stats.benign_drop_pct()
 }
 
 /// The Fig. 11b bottleneck capacities, scaled (paper: 0.05–0.001 Gbps).

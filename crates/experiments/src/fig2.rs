@@ -12,16 +12,11 @@
 //! Each panel prints a CSV of per-second link-bandwidth shares for the
 //! five aggregates plus the total, and the drop-rate series.
 
-use crate::common::{
-    delay_text, push_share_summary, share_series, simulate, Scale, LINK_10G_SCALED,
-};
+use crate::common::{delay_text, push_share_summary, share_panel, Scale, LINK_10G_SCALED};
 use crate::result::FigureResult;
+use crate::spec::{DefenseSpec, ScenarioSpec, WorkloadSpec};
 use crate::Figure;
-use accturbo_acc::{AccConfig, AccSwitch};
-use accturbo_clustering::FeatureSet;
-use accturbo_core::{AccTurboConfig, AccTurboSwitch};
-use accturbo_netsim::{Bandwidth, ClassId, RunResult, SimDuration, SingleQueueSwitch};
-use accturbo_telemetry::f;
+use accturbo_netsim::{ClassId, RunResult, SimDuration};
 use accturbo_traffic::scenarios;
 use std::fmt::Write as _;
 
@@ -29,34 +24,26 @@ const LINK: u64 = LINK_10G_SCALED;
 /// The canonical workload seed (the historical in-module constant).
 pub const DEFAULT_SEED: u64 = 2022;
 
+/// Runs the Fig. 2 workload against `defense` (the module's scenario
+/// template: 10 Mbps scaled bottleneck, natural control period).
+fn run(defense: DefenseSpec, secs: u64, seed: u64) -> RunResult {
+    ScenarioSpec::new(WorkloadSpec::Fig2, defense)
+        .with_secs(secs)
+        .with_seed(seed)
+        .execute()
+        .result
+}
+
 fn fifo_run(secs: u64, seed: u64) -> RunResult {
-    let mut src = scenarios::fig2_source(LINK, seed);
-    let mut sw = SingleQueueSwitch::new(crate::common::baseline_fifo());
-    simulate(&mut src, &mut sw, LINK, secs, None)
+    run(DefenseSpec::Fifo, secs, seed)
 }
 
 fn acc_run(k: SimDuration, secs: u64, seed: u64) -> RunResult {
-    let mut src = scenarios::fig2_source(LINK, seed);
-    let mut sw = AccSwitch::new(AccConfig::default().with_k(k), Bandwidth::from_bps(LINK));
-    simulate(
-        &mut src,
-        &mut sw,
-        LINK,
-        secs,
-        Some(SimDuration::from_millis(100)),
-    )
+    run(DefenseSpec::Acc { k }, secs, seed)
 }
 
 fn accturbo_run(secs: u64, seed: u64) -> RunResult {
-    let mut src = scenarios::fig2_source(LINK, seed);
-    let mut sw = AccTurboSwitch::new(AccTurboConfig::simulation(FeatureSet::simulation_default()));
-    simulate(
-        &mut src,
-        &mut sw,
-        LINK,
-        secs,
-        Some(SimDuration::from_millis(250)),
-    )
+    run(DefenseSpec::accturbo(), secs, seed)
 }
 
 /// The Fig. 2d ACC-Turbo run with full observability: every engine and
@@ -78,7 +65,7 @@ pub fn accturbo_run_instrumented(
     let tracer = shared(RingTracer::new(2_000_000));
     let metrics: accturbo_obs::MetricsHandle = Rc::new(RefCell::new(Registry::new()));
     let mut src = scenarios::fig2_source(LINK, DEFAULT_SEED);
-    let mut sw = AccTurboSwitch::new(AccTurboConfig::simulation(FeatureSet::simulation_default()));
+    let mut sw = crate::spec::AccTurboSpec::simulation().build();
     sw.set_tracer(Box::new(Rc::clone(&tracer)));
     sw.set_metrics(Rc::clone(&metrics));
     sw.set_timing(true);
@@ -121,24 +108,7 @@ pub fn accturbo_run_instrumented(
 }
 
 fn panel(out: &mut String, title: &str, res: &RunResult, secs: u64) {
-    let classes: Vec<ClassId> = (1..=5).map(ClassId).collect();
-    let shares = share_series(res, LINK, &classes, secs);
-    let _ = writeln!(out, "# {title}");
-    let _ = writeln!(out, "t,agg1,agg2,agg3,agg4,agg5,all,droprate");
-    for (t, row) in shares.iter().enumerate() {
-        let all: f64 = row.iter().sum();
-        let _ = writeln!(
-            out,
-            "{t},{},{},{},{},{},{},{}",
-            f(row[0]),
-            f(row[1]),
-            f(row[2]),
-            f(row[3]),
-            f(row[4]),
-            f(all),
-            f(res.stats.drop_rate(t)),
-        );
-    }
+    share_panel(out, title, res, LINK, secs, true);
 }
 
 /// The time (seconds from the attack start at t = 13 s) until every benign

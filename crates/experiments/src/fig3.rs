@@ -13,13 +13,11 @@
 //! Expected shape (paper): ACC misses at least the early pulses for any
 //! K, bottoming out near 20% benign drops; ACC-Turbo defends all pulses.
 
-use crate::common::{push_share_summary, share_series, simulate, Scale, LINK_10G_SCALED};
+use crate::common::{push_share_summary, share_panel, Scale, LINK_10G_SCALED};
 use crate::result::FigureResult;
+use crate::spec::{DefenseSpec, ScenarioSpec, WorkloadSpec};
 use crate::Figure;
-use accturbo_acc::{AccConfig, AccSwitch};
-use accturbo_clustering::FeatureSet;
-use accturbo_core::{AccTurboConfig, AccTurboSwitch};
-use accturbo_netsim::{Bandwidth, ClassId, RunResult, SimDuration, SingleQueueSwitch};
+use accturbo_netsim::{ClassId, RunResult, SimDuration};
 use accturbo_telemetry::f;
 use accturbo_traffic::scenarios;
 use std::fmt::Write as _;
@@ -34,52 +32,32 @@ pub fn benign_pct(res: &RunResult) -> f64 {
     res.stats.drop_pct_of(&classes)
 }
 
+/// Runs the Fig. 3 workload against `defense` at its natural period.
+fn run(defense: DefenseSpec, secs: u64, seed: u64) -> RunResult {
+    ScenarioSpec::new(WorkloadSpec::Fig3, defense)
+        .with_secs(secs)
+        .with_seed(seed)
+        .execute()
+        .result
+}
+
 /// Runs the Fig. 3 workload through FIFO.
 pub fn fifo_run(secs: u64, seed: u64) -> RunResult {
-    let mut src = scenarios::fig3_source(LINK, seed);
-    let mut sw = SingleQueueSwitch::new(crate::common::baseline_fifo());
-    simulate(&mut src, &mut sw, LINK, secs, None)
+    run(DefenseSpec::Fifo, secs, seed)
 }
 
 /// Runs the Fig. 3 workload through classic ACC with monitoring window `k`.
 pub fn acc_run(k: SimDuration, secs: u64, seed: u64) -> RunResult {
-    let mut src = scenarios::fig3_source(LINK, seed);
-    let mut sw = AccSwitch::new(AccConfig::default().with_k(k), Bandwidth::from_bps(LINK));
-    let tick = SimDuration::from_millis(100).min(k);
-    simulate(&mut src, &mut sw, LINK, secs, Some(tick))
+    run(DefenseSpec::Acc { k }, secs, seed)
 }
 
 /// Runs the Fig. 3 workload through ACC-Turbo.
 pub fn accturbo_run(secs: u64, seed: u64) -> RunResult {
-    let mut src = scenarios::fig3_source(LINK, seed);
-    let mut sw = AccTurboSwitch::new(AccTurboConfig::simulation(FeatureSet::simulation_default()));
-    simulate(
-        &mut src,
-        &mut sw,
-        LINK,
-        secs,
-        Some(SimDuration::from_millis(250)),
-    )
+    run(DefenseSpec::accturbo(), secs, seed)
 }
 
 fn panel(out: &mut String, title: &str, res: &RunResult, secs: u64) {
-    let classes: Vec<ClassId> = (1..=5).map(ClassId).collect();
-    let shares = share_series(res, LINK, &classes, secs);
-    let _ = writeln!(out, "# {title}");
-    let _ = writeln!(out, "t,agg1,agg2,agg3,agg4,agg5,all");
-    for (t, row) in shares.iter().enumerate() {
-        let all: f64 = row.iter().sum();
-        let _ = writeln!(
-            out,
-            "{t},{},{},{},{},{},{}",
-            f(row[0]),
-            f(row[1]),
-            f(row[2]),
-            f(row[3]),
-            f(row[4]),
-            f(all),
-        );
-    }
+    share_panel(out, title, res, LINK, secs, false);
 }
 
 /// Regenerates Fig. 3 at `seed`, returning the rendered report and its

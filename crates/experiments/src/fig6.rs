@@ -12,84 +12,51 @@
 //! ≈61%; under ACC-Turbo the background recovers fully within ≈1 s of
 //! each pulse.
 
-use crate::common::{push_throughput_summary, simulate, Scale, LINK_10G_SCALED};
+use crate::common::{push_throughput_summary, throughput_panel, Scale};
 use crate::result::FigureResult;
+use crate::spec::{AccTurboSpec, DefenseSpec, FeatureProfile, ScenarioSpec, WorkloadSpec};
 use crate::Figure;
-use accturbo_clustering::FeatureSet;
-use accturbo_core::{AccTurboConfig, AccTurboSwitch};
-use accturbo_netsim::{
-    ClassId, MergedSource, PacketSource, RunResult, SimDuration, SimTime, SingleQueueSwitch,
-};
+use accturbo_netsim::{ClassId, MergedSource, RunResult};
 use accturbo_telemetry::f;
-use accturbo_traffic::{BackgroundConfig, BackgroundSource, PulseWave};
+use accturbo_traffic::workloads;
 use std::fmt::Write as _;
-use std::net::Ipv4Addr;
 
-const LINK: u64 = LINK_10G_SCALED;
-/// Scaled background rate (the paper's CAIDA replay carried a bit under
-/// the bottleneck's capacity).
-const BACKGROUND_BPS: u64 = 7_000_000;
-/// Scaled pulse rate (the paper's pulses peak at ≈40.8 Gbps).
-const PULSE_BPS: u64 = 40_000_000;
 /// The canonical workload seed (the historical in-module constant).
 pub const DEFAULT_SEED: u64 = 0xF16;
 
 /// Builds the Fig. 6 workload: background + 4 pulses (10 s on / 10 s off)
 /// starting at t = 10 s.
 pub fn source(secs: u64, seed: u64) -> MergedSource {
-    let end = SimTime::from_secs(secs);
-    let background: Box<dyn PacketSource> = Box::new(BackgroundSource::new(BackgroundConfig::new(
-        BACKGROUND_BPS,
-        SimTime::ZERO,
-        end,
-        seed,
-    )));
-    let wave: Box<dyn PacketSource> = Box::new(
-        PulseWave::fig6(
-            4,
-            SimTime::from_secs(10),
-            SimDuration::from_secs(10),
-            SimDuration::from_secs(10),
-            PULSE_BPS,
-            Ipv4Addr::new(198, 18, 5, 0),
-            seed + 1,
-        )
-        .into_source(),
-    );
-    MergedSource::new(vec![background, wave])
+    workloads::fig6_pulses(secs, seed)
+}
+
+/// Runs the workload against `defense` on the scaled 10 G bottleneck.
+fn run(defense: DefenseSpec, secs: u64, seed: u64) -> RunResult {
+    ScenarioSpec::new(WorkloadSpec::Fig6, defense)
+        .with_secs(secs)
+        .with_seed(seed)
+        .execute()
+        .result
 }
 
 /// Runs the workload through FIFO.
 pub fn fifo_run(secs: u64, seed: u64) -> RunResult {
-    let mut src = source(secs, seed);
-    let mut sw = SingleQueueSwitch::new(crate::common::baseline_fifo());
-    simulate(&mut src, &mut sw, LINK, secs, None)
+    run(DefenseSpec::Fifo, secs, seed)
 }
 
-/// Runs the workload through the hardware-profile ACC-Turbo.
+/// Runs the workload through the hardware-profile ACC-Turbo (the §7.1
+/// feature set; the controller polls "at its maximum speed" — the
+/// hardware profile's natural 50 ms).
 pub fn accturbo_run(secs: u64, seed: u64) -> RunResult {
-    let mut src = source(secs, seed);
-    let mut sw = AccTurboSwitch::new(AccTurboConfig::hardware(FeatureSet::hardware_fig6()));
-    simulate(
-        &mut src,
-        &mut sw,
-        LINK,
+    run(
+        DefenseSpec::AccTurbo(AccTurboSpec::hardware(FeatureProfile::HwFig6)),
         secs,
-        // The paper's controller updates priorities "at the controller's
-        // maximum speed" (milliseconds); 50 ms here.
-        Some(SimDuration::from_millis(50)),
+        seed,
     )
 }
 
 fn panel(out: &mut String, title: &str, res: &RunResult, secs: u64) {
-    let _ = writeln!(out, "# {title}");
-    let _ = writeln!(out, "t,attack_gbps,benign_gbps");
-    for t in 0..secs as usize {
-        // Report at the paper's axis scale (sim Mbps == paper Gbps).
-        let attack = res.stats.attack_throughput_bps(t) / 1e6;
-        let benign = res.stats.throughput_bps(t, ClassId::BENIGN) / 1e6;
-        let _ = writeln!(out, "{t},{},{}", f(attack), f(benign));
-    }
+    throughput_panel(out, title, res, secs);
 }
 
 /// Fraction of offered benign traffic *lost* during the pulse-active

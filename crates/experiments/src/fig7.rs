@@ -14,131 +14,72 @@
 //! Expected shape: ACC-Turbo reacts ≈10–11× faster than Jaqen's best and
 //! worst cases respectively.
 
-use crate::common::{push_throughput_summary, simulate, Scale, LINK_10G_SCALED};
+use crate::common::{push_throughput_summary, throughput_panel, Scale, LINK_10G_SCALED};
 use crate::result::FigureResult;
+use crate::spec::{
+    AccTurboSpec, DefenseSpec, FeatureProfile, JaqenSpec, ScenarioSpec, WorkloadSpec,
+};
 use crate::Figure;
-use accturbo_clustering::FeatureSet;
-use accturbo_core::{AccTurboConfig, AccTurboSwitch};
-use accturbo_jaqen::{JaqenConfig, JaqenSwitch, Signature};
-use accturbo_netsim::{
-    ClassId, Dropped, FifoQueue, MergedSource, Packet, PacketSource, QueueDiscipline, RunResult,
-    SimDuration, SimTime, SingleQueueSwitch, Switch,
-};
+use accturbo_jaqen::Signature;
+use accturbo_netsim::{ClassId, MergedSource, RunResult, SimDuration, SimTime};
 use accturbo_telemetry::{benign_recovery_time, f};
-use accturbo_traffic::{
-    AttackConfig, AttackSource, AttackVector, BackgroundConfig, BackgroundSource,
-};
+use accturbo_traffic::workloads;
 use std::fmt::Write as _;
 
+/// The program-swap outage model (now a netsim building block).
+pub use accturbo_netsim::ProgramSwapSwitch;
+
 const LINK: u64 = LINK_10G_SCALED;
-const BACKGROUND_BPS: u64 = 7_000_000;
-const ATTACK_BPS: u64 = 60_000_000;
 /// The canonical workload seed (the historical in-module constant).
 pub const DEFAULT_SEED: u64 = 0x716;
 /// Attack start (seconds).
-pub const ATTACK_START_S: u64 = 20;
+pub const ATTACK_START_S: u64 = workloads::REACTION_ATTACK_START_S;
 
 /// Builds the workload: background for the whole run, single-flow UDP
 /// flood from t = 20 s to t = end − 20 s.
 pub fn source(secs: u64, seed: u64) -> MergedSource {
-    let end = SimTime::from_secs(secs);
-    let background: Box<dyn PacketSource> = Box::new(BackgroundSource::new(BackgroundConfig::new(
-        BACKGROUND_BPS,
-        SimTime::ZERO,
-        end,
-        seed,
-    )));
-    let attack_end = SimTime::from_secs(secs.saturating_sub(20).max(ATTACK_START_S + 1));
-    let attack: Box<dyn PacketSource> = Box::new(AttackSource::new(
-        AttackConfig::new(
-            AttackVector::UdpFlood,
-            ATTACK_BPS,
-            SimTime::from_secs(ATTACK_START_S),
-            attack_end,
-            ClassId(1),
-            seed + 1,
-        )
-        .with_single_flow(),
-    ));
-    MergedSource::new(vec![background, attack])
+    workloads::reaction_flood(secs, seed)
 }
 
-/// A FIFO switch that models a P4 program swap: all traffic is lost
-/// during the downtime window (the paper measured ≈11.5 s, §7.2.2).
-pub struct ProgramSwapSwitch {
-    queue: FifoQueue,
-    downtime_start: SimTime,
-    downtime_end: SimTime,
-}
-
-impl ProgramSwapSwitch {
-    /// Creates the switch with the given downtime window.
-    pub fn new(downtime_start: SimTime, downtime: SimDuration) -> Self {
-        ProgramSwapSwitch {
-            queue: FifoQueue::new(512 * 1024),
-            downtime_start,
-            downtime_end: downtime_start + downtime,
-        }
-    }
-}
-
-impl Switch for ProgramSwapSwitch {
-    fn ingress(&mut self, pkt: Packet, now: SimTime, drops: &mut Vec<Dropped>) {
-        if now >= self.downtime_start && now < self.downtime_end {
-            drops.push(Dropped {
-                packet: pkt,
-                reason: accturbo_netsim::DropReason::Filter,
-            });
-            return;
-        }
-        self.queue.enqueue(pkt, now, drops);
-    }
-
-    fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
-        self.queue.dequeue(now)
-    }
-
-    fn backlog_pkts(&self) -> usize {
-        self.queue.len_pkts()
-    }
+/// Runs the reaction-flood workload against `defense`.
+fn run(defense: DefenseSpec, secs: u64, seed: u64) -> ScenarioSpec {
+    ScenarioSpec::new(WorkloadSpec::Fig7, defense)
+        .with_secs(secs)
+        .with_seed(seed)
 }
 
 /// Runs the workload through FIFO.
 pub fn fifo_run(secs: u64, seed: u64) -> RunResult {
-    let mut src = source(secs, seed);
-    let mut sw = SingleQueueSwitch::new(crate::common::baseline_fifo());
-    simulate(&mut src, &mut sw, LINK, secs, None)
+    run(DefenseSpec::Fifo, secs, seed).execute().result
 }
 
 /// Runs the workload through ACC-Turbo with the paper's unoptimized 1 s
 /// controller.
 pub fn accturbo_run(secs: u64, seed: u64) -> RunResult {
-    let mut src = source(secs, seed);
-    let mut sw = AccTurboSwitch::new(AccTurboConfig::hardware(FeatureSet::hardware_dst_bytes()));
-    simulate(
-        &mut src,
-        &mut sw,
-        LINK,
+    run(
+        DefenseSpec::AccTurbo(AccTurboSpec::hardware(FeatureProfile::HwDstBytes)),
         secs,
-        Some(SimDuration::from_secs(1)),
+        seed,
     )
+    .with_period(SimDuration::from_secs(1))
+    .execute()
+    .result
 }
 
 /// Runs benign-only traffic through the program-swap model (the paper's
 /// Fig. 7c swaps between two trivial programs with no attack).
 pub fn swap_run(secs: u64, seed: u64) -> RunResult {
-    let end = SimTime::from_secs(secs);
-    let mut src = MergedSource::new(vec![Box::new(BackgroundSource::new(BackgroundConfig::new(
-        BACKGROUND_BPS,
-        SimTime::ZERO,
-        end,
-        seed,
-    ))) as Box<dyn PacketSource>]);
-    let mut sw = ProgramSwapSwitch::new(
-        SimTime::from_secs(secs * 3 / 5),
-        SimDuration::from_millis(11_500),
-    );
-    simulate(&mut src, &mut sw, LINK, secs, None)
+    ScenarioSpec::new(
+        WorkloadSpec::Background,
+        DefenseSpec::ProgramSwap {
+            start: SimTime::from_secs(secs * 3 / 5),
+            downtime: SimDuration::from_millis(11_500),
+        },
+    )
+    .with_secs(secs)
+    .with_seed(seed)
+    .execute()
+    .result
 }
 
 /// Runs the workload through the best-case Jaqen model: mitigation
@@ -146,28 +87,14 @@ pub fn swap_run(secs: u64, seed: u64) -> RunResult {
 /// dominated by needing the threshold in two consecutive windows plus the
 /// controller round (≈10 s in the paper).
 pub fn jaqen_run(secs: u64, seed: u64) -> RunResult {
-    let mut src = source(secs, seed);
-    let cfg = JaqenConfig::best_case(Signature::FiveTuple, 2_000)
+    let spec = JaqenSpec::new(Signature::FiveTuple, 2_000)
         .with_window(SimDuration::from_secs(4))
         .with_deploy_delay(SimDuration::from_millis(1_500));
-    let mut sw = JaqenSwitch::new(cfg);
-    simulate(
-        &mut src,
-        &mut sw,
-        LINK,
-        secs,
-        Some(SimDuration::from_millis(100)),
-    )
+    run(DefenseSpec::Jaqen(spec), secs, seed).execute().result
 }
 
 fn panel(out: &mut String, title: &str, res: &RunResult, secs: u64) {
-    let _ = writeln!(out, "# {title}");
-    let _ = writeln!(out, "t,attack_gbps,benign_gbps");
-    for t in 0..secs as usize {
-        let attack = res.stats.attack_throughput_bps(t) / 1e6;
-        let benign = res.stats.throughput_bps(t, ClassId::BENIGN) / 1e6;
-        let _ = writeln!(out, "{t},{},{}", f(attack), f(benign));
-    }
+    throughput_panel(out, title, res, secs);
 }
 
 /// Reaction time per the paper's definition (§7.2.2): the time from the

@@ -18,16 +18,16 @@
 //! (DESIGN.md §4); the paper's 10^4–10^7 packet thresholds correspond to
 //! 10–10^4 here.
 
-use crate::common::{simulate, Scale, LINK_10G_SCALED};
+use crate::common::Scale;
 use crate::result::FigureResult;
+use crate::spec::{DefenseSpec, JaqenSpec, ScenarioSpec, WorkloadSpec};
 use crate::table3::{cell, Defense, Variation};
 use crate::Figure;
-use accturbo_jaqen::{JaqenConfig, JaqenSwitch, Signature};
+use accturbo_jaqen::Signature;
 use accturbo_netsim::SimDuration;
 use accturbo_telemetry::f;
 use std::fmt::Write as _;
 
-const LINK: u64 = LINK_10G_SCALED;
 /// The canonical workload seed — Fig. 8 sweeps run on Table 3's
 /// single-flow workload, so they share its seed.
 pub const DEFAULT_SEED: u64 = crate::table3::DEFAULT_SEED;
@@ -35,16 +35,15 @@ pub const DEFAULT_SEED: u64 = crate::table3::DEFAULT_SEED;
 /// Runs Jaqen(5-tuple) with `threshold` and `window` on the single-flow
 /// workload, returning the benign-drop percentage.
 pub fn jaqen_pct(threshold: u64, window: SimDuration, secs: u64, seed: u64) -> f64 {
-    let mut src = crate::table3::single_flow_workload(secs, seed);
-    let cfg = JaqenConfig::best_case(Signature::FiveTuple, threshold).with_window(window);
-    let mut sw = JaqenSwitch::new(cfg);
-    simulate(
-        &mut src,
-        &mut sw,
-        LINK,
-        secs,
-        Some(SimDuration::from_millis(100)),
+    let spec = JaqenSpec::new(Signature::FiveTuple, threshold).with_window(window);
+    ScenarioSpec::new(
+        WorkloadSpec::Flood(Variation::SingleFlow),
+        DefenseSpec::Jaqen(spec),
     )
+    .with_secs(secs)
+    .with_seed(seed)
+    .execute()
+    .result
     .stats
     .benign_drop_pct()
 }

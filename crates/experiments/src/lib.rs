@@ -31,6 +31,7 @@ pub mod fig9;
 pub mod pushback;
 pub mod result;
 pub mod robustness;
+pub mod spec;
 pub mod table3;
 
 pub use common::Scale;

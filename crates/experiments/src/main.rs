@@ -3,6 +3,7 @@
 //! ```text
 //! xp [FIGURE...] [--quick] [--jobs N] [--seeds A,B,C]
 //!    [--trace PATH] [--metrics PATH]
+//! xp run KEY=VAL[,KEY=VAL...] [--csv] [--quick]   # one ad-hoc scenario
 //! xp trace PATH        # pretty-print a JSONL trace
 //! xp bench-export [--smoke] [--out PATH]   # datapath throughput JSON
 //! xp --help
@@ -93,6 +94,18 @@ fn main() -> ExitCode {
             }
             Err(e) => {
                 eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if args.first().map(String::as_str) == Some("run") {
+        return match cli::parse_run(&args[1..]) {
+            Ok(cmd) => {
+                print!("{}", cli::render_run(&cmd));
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}\n\n{}", cli::usage());
                 ExitCode::FAILURE
             }
         };

@@ -12,59 +12,21 @@ use crate::common::Scale;
 use crate::result::FigureResult;
 use crate::Figure;
 use accturbo_acc::{run_pushback, PushbackConfig};
-use accturbo_netsim::{Bandwidth, ClassId, MergedSource, PacketSource, RedConfig, SimTime};
+use accturbo_netsim::{Bandwidth, ClassId, PacketSource, RedConfig, SimTime};
 use accturbo_telemetry::{f, Table};
-use accturbo_traffic::{AttackConfig, AttackSource, AttackVector, CbrSource, FlowTemplate};
-use std::net::Ipv4Addr;
+use accturbo_traffic::workloads;
 
 /// Ground-truth classes of the scenario.
-pub const SHARED_BENIGN: ClassId = ClassId(1);
+pub const SHARED_BENIGN: ClassId = workloads::PUSHBACK_SHARED_BENIGN;
 /// Benign class on the attack-free upstream.
-pub const CLEAN_BENIGN: ClassId = ClassId(2);
+pub const CLEAN_BENIGN: ClassId = workloads::PUSHBACK_CLEAN_BENIGN;
 /// The attack class.
-pub const ATTACK: ClassId = ClassId(5);
+pub const ATTACK: ClassId = workloads::PUSHBACK_ATTACK;
 /// The canonical workload seed (the historical in-module attack seed).
 pub const DEFAULT_SEED: u64 = 0xACC;
 
 fn sources(secs: u64, seed: u64) -> Vec<Box<dyn PacketSource>> {
-    let end = SimTime::from_secs(secs);
-    let shared_benign = CbrSource::new(
-        FlowTemplate::udp(
-            Ipv4Addr::new(10, 0, 0, 1),
-            Ipv4Addr::new(60, 1, 1, 1),
-            5000,
-            80,
-            SHARED_BENIGN,
-        ),
-        4_000_000,
-        SimTime::ZERO,
-        end,
-    );
-    let attack = AttackSource::new(AttackConfig::new(
-        AttackVector::UdpFlood,
-        40_000_000,
-        SimTime::from_secs(3),
-        end,
-        ATTACK,
-        seed,
-    ));
-    let upstream0: Box<dyn PacketSource> = Box::new(MergedSource::new(vec![
-        Box::new(shared_benign),
-        Box::new(attack),
-    ]));
-    let clean_benign: Box<dyn PacketSource> = Box::new(CbrSource::new(
-        FlowTemplate::udp(
-            Ipv4Addr::new(10, 0, 1, 1),
-            Ipv4Addr::new(61, 1, 1, 1),
-            5001,
-            80,
-            CLEAN_BENIGN,
-        ),
-        4_000_000,
-        SimTime::ZERO,
-        end,
-    ));
-    vec![upstream0, clean_benign]
+    workloads::pushback_upstreams(secs, seed)
 }
 
 fn config(enabled: bool) -> PushbackConfig {

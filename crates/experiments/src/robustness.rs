@@ -16,20 +16,15 @@
 //! bounded-staleness policy falls back instead of panicking, and the
 //! whole sweep is a deterministic function of the seed.
 
-use crate::common::{simulate, simulate_with_faults, Scale, LINK_10G_SCALED};
+use crate::common::Scale;
 use crate::result::FigureResult;
+use crate::spec::{DefenseSpec, ScenarioSpec, WorkloadSpec};
 use crate::Figure;
-use accturbo_clustering::FeatureSet;
-use accturbo_core::{AccTurboConfig, AccTurboSwitch};
-use accturbo_netsim::{
-    ClassId, FaultConfig, FaultInjector, FaultSchedule, FaultStats, FaultedSource, RunResult,
-    SimDuration,
-};
+use accturbo_netsim::{ClassId, FaultConfig, FaultStats, RunResult, SimDuration};
 use accturbo_telemetry::f;
 use accturbo_traffic::scenarios;
 use std::fmt::Write as _;
 
-const LINK: u64 = LINK_10G_SCALED;
 /// The canonical workload/fault seed.
 pub const DEFAULT_SEED: u64 = 0xFA17;
 
@@ -74,33 +69,20 @@ struct Cell {
 /// Runs the Fig. 2 workload against ACC-Turbo at `period`, faulted by
 /// `fc` (or fault-free when `None` — the per-period baseline).
 fn run_cell(fc: Option<FaultConfig>, period: SimDuration, secs: u64, seed: u64) -> Cell {
-    let mut sw = AccTurboSwitch::new(AccTurboConfig::simulation(FeatureSet::simulation_default()));
-    match fc {
-        None => {
-            let mut src = scenarios::fig2_source(LINK, seed);
-            let res = simulate(&mut src, &mut sw, LINK, secs, Some(period));
-            Cell {
-                res,
-                faults: FaultStats::default(),
-                missed_ticks: 0,
-                stale_ticks: 0,
-                fallbacks: 0,
-            }
-        }
-        Some(fc) => {
-            let inj = FaultInjector::new(FaultSchedule::new(fc));
-            sw.set_faults(inj.clone());
-            let mut src = FaultedSource::new(scenarios::fig2_source(LINK, seed), inj.clone());
-            let res = simulate_with_faults(&mut src, &mut sw, LINK, secs, Some(period), &inj);
-            let d = sw.degradation();
-            Cell {
-                res,
-                faults: inj.stats(),
-                missed_ticks: d.total_missed(),
-                stale_ticks: d.total_stale(),
-                fallbacks: d.fallbacks(),
-            }
-        }
+    let mut spec = ScenarioSpec::new(WorkloadSpec::Fig2, DefenseSpec::accturbo())
+        .with_secs(secs)
+        .with_seed(seed)
+        .with_period(period);
+    if let Some(fc) = fc {
+        spec = spec.with_faults(fc);
+    }
+    let outcome = spec.execute();
+    Cell {
+        res: outcome.result,
+        faults: outcome.fault_stats.unwrap_or_default(),
+        missed_ticks: outcome.missed_ticks,
+        stale_ticks: outcome.stale_ticks,
+        fallbacks: outcome.fallbacks,
     }
 }
 

@@ -1,0 +1,1366 @@
+//! The declarative scenario layer (DESIGN.md §10).
+//!
+//! Every experiment in this crate is the same sentence: *run workload W
+//! against defense D on link L for S seconds at seed R (optionally under
+//! faults F)*. This module makes that sentence a value:
+//!
+//! * [`WorkloadSpec`] — names a traffic generator from
+//!   `accturbo_traffic` together with its parameters.
+//! * [`DefenseSpec`] — names a switch under test and knows how to build
+//!   it ([`DefenseSpec::build`]) and what control-plane period it
+//!   naturally wants ([`DefenseSpec::control_period`]).
+//! * [`ScenarioSpec`] — the full sentence, with one [`execute`]
+//!   entry point routing through the same engine paths
+//!   (`common::simulate` / `simulate_with_faults`) the figures have
+//!   always used, so spec-driven runs are byte-identical to the
+//!   hand-rolled ones they replaced.
+//!
+//! Both spec types round-trip through a colon-separated textual grammar
+//! (`accturbo:profile=hw:clusters=8`, `flood:carpet`, …) — the `xp run`
+//! subcommand's surface. `parse(display(x)) == x` for every spec, and
+//! `Display` emits only non-default knobs so canonical strings stay
+//! short.
+//!
+//! [`execute`]: ScenarioSpec::execute
+
+use crate::common::{simulate, simulate_with_faults, Scale, LINK_10G_SCALED};
+use accturbo_acc::{AccConfig, AccSwitch};
+use accturbo_clustering::{DistanceKind, FeatureSet, InitMode, NominalMode, RepMode, SearchKind};
+use accturbo_core::{AccTurboConfig, AccTurboSwitch, IdealPifoSwitch, RankedAccTurboSwitch};
+use accturbo_jaqen::{JaqenConfig, JaqenSwitch, Signature};
+use accturbo_netsim::{
+    Bandwidth, ClassId, FaultConfig, FaultInjector, FaultSchedule, FaultStats, FaultedSource,
+    PacketSource, ProgramSwapSwitch, RedConfig, RedQueue, RunResult, SimDuration, SimTime,
+    SingleQueueSwitch, Switch,
+};
+use accturbo_sched::RankingAlgorithm;
+use accturbo_traffic::workloads::{self, AdversarialScenario, FloodVariation};
+use accturbo_traffic::{scenarios, AttackVector, CicDdosConfig};
+use std::fmt;
+use std::str::FromStr;
+
+/// Renders a duration as seconds — integer when whole, decimal
+/// otherwise — the value format of the spec grammar.
+fn fmt_secs(d: SimDuration) -> String {
+    let s = d.as_secs_f64();
+    if s == s.trunc() {
+        format!("{}", s as u64)
+    } else {
+        format!("{s}")
+    }
+}
+
+pub(crate) fn parse_secs(v: &str) -> Result<SimDuration, String> {
+    let s: f64 = v
+        .parse()
+        .map_err(|_| format!("expected a duration in seconds, got `{v}`"))?;
+    if !s.is_finite() || s <= 0.0 {
+        return Err(format!("duration must be positive, got `{v}`"));
+    }
+    Ok(SimDuration::from_secs_f64(s))
+}
+
+/// A spec string split into its head token and `key=val` options.
+type SpecParts<'a> = (&'a str, Vec<(&'a str, &'a str)>);
+
+/// Splits `spec` into its head token and `key=val` options.
+fn split_spec(spec: &str) -> Result<SpecParts<'_>, String> {
+    let mut parts = spec.split(':');
+    let head = parts.next().unwrap_or_default();
+    let opts = parts
+        .map(|p| {
+            p.split_once('=')
+                .ok_or_else(|| format!("expected `key=value`, got `{p}`"))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok((head, opts))
+}
+
+// ---------------------------------------------------------------------------
+// Defenses
+// ---------------------------------------------------------------------------
+
+/// Which base profile an [`AccTurboSpec`] starts from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Profile {
+    /// [`AccTurboConfig::hardware`] — the Tofino-1 §6/§7 profile.
+    Hardware,
+    /// [`AccTurboConfig::simulation`] — the §8 simulation profile.
+    Simulation,
+}
+
+/// Named feature sets the grammar can select.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeatureProfile {
+    /// [`FeatureSet::simulation_default`] (`sim`).
+    Simulation,
+    /// [`FeatureSet::hardware_fig6`] (`fig6`).
+    HwFig6,
+    /// [`FeatureSet::hardware_dst_bytes`] (`dst4`).
+    HwDstBytes,
+}
+
+impl FeatureProfile {
+    /// The concrete feature set.
+    pub fn feature_set(self) -> FeatureSet {
+        match self {
+            FeatureProfile::Simulation => FeatureSet::simulation_default(),
+            FeatureProfile::HwFig6 => FeatureSet::hardware_fig6(),
+            FeatureProfile::HwDstBytes => FeatureSet::hardware_dst_bytes(),
+        }
+    }
+
+    /// Grammar token.
+    pub fn name(self) -> &'static str {
+        match self {
+            FeatureProfile::Simulation => "sim",
+            FeatureProfile::HwFig6 => "fig6",
+            FeatureProfile::HwDstBytes => "dst4",
+        }
+    }
+
+    /// Inverse of [`FeatureProfile::name`].
+    pub fn parse(s: &str) -> Option<FeatureProfile> {
+        match s {
+            "sim" => Some(FeatureProfile::Simulation),
+            "fig6" => Some(FeatureProfile::HwFig6),
+            "dst4" => Some(FeatureProfile::HwDstBytes),
+            _ => None,
+        }
+    }
+}
+
+/// A declarative ACC-Turbo configuration: a base profile plus the §8.1
+/// design-space knobs the ablation experiments sweep. `None` means "keep
+/// the profile's value", so [`AccTurboSpec::config`] reproduces exactly
+/// the configurations the figure modules used to assemble by hand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccTurboSpec {
+    /// Base profile (hardware/simulation).
+    pub profile: Profile,
+    /// Feature set fed to the base profile.
+    pub features: FeatureProfile,
+    /// Override: cluster (and queue) count.
+    pub clusters: Option<usize>,
+    /// Override: distance function.
+    pub distance: Option<DistanceKind>,
+    /// Override: search strategy.
+    pub search: Option<SearchKind>,
+    /// Override: reset representative.
+    pub rep: Option<RepMode>,
+    /// Override: slot initialization.
+    pub init: Option<InitMode>,
+    /// Override: per-window cluster-update budget (`Some(None)` =
+    /// explicitly unlimited).
+    pub budget: Option<Option<u64>>,
+    /// Override: Bloom-filter nominal sets with this many bits
+    /// (3 hashes, the ablation's shape). `None` keeps exact sets.
+    pub bloom_bits: Option<u64>,
+    /// Override: ranking algorithm.
+    pub ranking: Option<RankingAlgorithm>,
+}
+
+impl AccTurboSpec {
+    /// The §8 simulation baseline: 10 clusters over the full feature set.
+    pub fn simulation() -> Self {
+        AccTurboSpec {
+            profile: Profile::Simulation,
+            features: FeatureProfile::Simulation,
+            clusters: None,
+            distance: None,
+            search: None,
+            rep: None,
+            init: None,
+            budget: None,
+            bloom_bits: None,
+            ranking: None,
+        }
+    }
+
+    /// The Tofino-1 hardware baseline over `features` (≤ 4 features).
+    pub fn hardware(features: FeatureProfile) -> Self {
+        AccTurboSpec {
+            profile: Profile::Hardware,
+            features,
+            ..AccTurboSpec::simulation()
+        }
+    }
+
+    /// Overrides the ranking algorithm.
+    pub fn with_ranking(mut self, ranking: RankingAlgorithm) -> Self {
+        self.ranking = Some(ranking);
+        self
+    }
+
+    /// Overrides the distance function.
+    pub fn with_distance(mut self, distance: DistanceKind) -> Self {
+        self.distance = Some(distance);
+        self
+    }
+
+    /// Overrides the search strategy.
+    pub fn with_search(mut self, search: SearchKind) -> Self {
+        self.search = Some(search);
+        self
+    }
+
+    /// Overrides the reset representative.
+    pub fn with_rep(mut self, rep: RepMode) -> Self {
+        self.rep = Some(rep);
+        self
+    }
+
+    /// Overrides slot initialization.
+    pub fn with_init(mut self, init: InitMode) -> Self {
+        self.init = Some(init);
+        self
+    }
+
+    /// Overrides the update budget (`None` = explicitly unlimited).
+    pub fn with_budget(mut self, budget: Option<u64>) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Switches nominal sets to Bloom filters of `bits` bits (3 hashes).
+    pub fn with_bloom(mut self, bits: u64) -> Self {
+        self.bloom_bits = Some(bits);
+        self
+    }
+
+    /// Overrides the cluster count.
+    pub fn with_clusters(mut self, n: usize) -> Self {
+        self.clusters = Some(n);
+        self
+    }
+
+    /// Materializes the [`AccTurboConfig`], applying overrides on top of
+    /// the base profile.
+    pub fn config(&self) -> AccTurboConfig {
+        let mut cfg = match self.profile {
+            Profile::Hardware => AccTurboConfig::hardware(self.features.feature_set()),
+            Profile::Simulation => AccTurboConfig::simulation(self.features.feature_set()),
+        };
+        if let Some(n) = self.clusters {
+            cfg = cfg.with_clusters(n);
+        }
+        if let Some(d) = self.distance {
+            cfg.clustering.distance = d;
+        }
+        if let Some(s) = self.search {
+            cfg.clustering.search = s;
+        }
+        if let Some(rep) = self.rep {
+            cfg.clustering = cfg.clustering.clone().with_rep(rep);
+        }
+        if let Some(init) = self.init {
+            cfg.clustering = cfg.clustering.clone().with_init(init);
+        }
+        if let Some(budget) = self.budget {
+            cfg.clustering = cfg.clustering.clone().with_update_budget(budget);
+        }
+        if let Some(bits) = self.bloom_bits {
+            cfg.clustering.nominal = NominalMode::Bloom { bits, hashes: 3 };
+        }
+        if let Some(rank) = self.ranking {
+            cfg = cfg.with_ranking(rank);
+        }
+        cfg
+    }
+
+    /// Builds a fresh (untapped) switch from this spec.
+    pub fn build<'a>(&self) -> AccTurboSwitch<'a> {
+        AccTurboSwitch::new(self.config())
+    }
+
+    /// The profile's natural control-plane period: the prototype polls
+    /// hardware at 50 ms; the §8 simulations poll at 250 ms.
+    pub fn control_period(&self) -> SimDuration {
+        match self.profile {
+            Profile::Hardware => SimDuration::from_millis(50),
+            Profile::Simulation => SimDuration::from_millis(250),
+        }
+    }
+
+    fn fmt_knobs(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        let default_features = match self.profile {
+            Profile::Simulation => FeatureProfile::Simulation,
+            Profile::Hardware => FeatureProfile::HwFig6,
+        };
+        if self.profile == Profile::Hardware {
+            let _ = write!(out, ":profile=hw");
+        }
+        if self.features != default_features {
+            let _ = write!(out, ":features={}", self.features.name());
+        }
+        if let Some(n) = self.clusters {
+            let _ = write!(out, ":clusters={n}");
+        }
+        if let Some(d) = self.distance {
+            let name = match d {
+                DistanceKind::Manhattan => "manhattan",
+                DistanceKind::Anime => "anime",
+                DistanceKind::Euclidean => "euclidean",
+            };
+            let _ = write!(out, ":distance={name}");
+        }
+        if let Some(s) = self.search {
+            let name = match s {
+                SearchKind::Fast => "fast",
+                SearchKind::Exhaustive => "exhaustive",
+            };
+            let _ = write!(out, ":search={name}");
+        }
+        if let Some(rep) = self.rep {
+            let name = match rep {
+                RepMode::LastPacket => "last",
+                RepMode::RangeMidpoint => "midpoint",
+            };
+            let _ = write!(out, ":rep={name}");
+        }
+        if let Some(init) = self.init {
+            let name = match init {
+                InitMode::Anchors => "anchors",
+                InitMode::FromTraffic => "traffic",
+            };
+            let _ = write!(out, ":init={name}");
+        }
+        if let Some(budget) = self.budget {
+            match budget {
+                Some(n) => {
+                    let _ = write!(out, ":budget={n}");
+                }
+                None => {
+                    let _ = write!(out, ":budget=unlimited");
+                }
+            }
+        }
+        if let Some(bits) = self.bloom_bits {
+            let _ = write!(out, ":nominal=bloom{bits}");
+        }
+        if let Some(rank) = self.ranking {
+            let name = match rank {
+                RankingAlgorithm::Throughput => "th",
+                RankingAlgorithm::NumPackets => "np",
+                RankingAlgorithm::ThroughputOverSize => "thsize",
+                RankingAlgorithm::NumPacketsOverSize => "npsize",
+            };
+            let _ = write!(out, ":ranking={name}");
+        }
+    }
+
+    fn parse_opts(opts: &[(&str, &str)]) -> Result<AccTurboSpec, String> {
+        let mut profile: Option<Profile> = None;
+        let mut features: Option<FeatureProfile> = None;
+        let mut spec = AccTurboSpec::simulation();
+        for &(key, val) in opts {
+            match key {
+                "profile" => {
+                    profile = Some(match val {
+                        "sim" => Profile::Simulation,
+                        "hw" => Profile::Hardware,
+                        _ => return Err(format!("unknown profile `{val}` (sim|hw)")),
+                    });
+                }
+                "features" => {
+                    features = Some(
+                        FeatureProfile::parse(val)
+                            .ok_or_else(|| format!("unknown features `{val}` (sim|fig6|dst4)"))?,
+                    );
+                }
+                "clusters" => {
+                    let n: usize = val
+                        .parse()
+                        .map_err(|_| format!("bad cluster count `{val}`"))?;
+                    if n == 0 {
+                        return Err("cluster count must be positive".into());
+                    }
+                    spec.clusters = Some(n);
+                }
+                "distance" => {
+                    spec.distance = Some(match val {
+                        "manhattan" => DistanceKind::Manhattan,
+                        "anime" => DistanceKind::Anime,
+                        "euclidean" => DistanceKind::Euclidean,
+                        _ => {
+                            return Err(format!(
+                                "unknown distance `{val}` (manhattan|anime|euclidean)"
+                            ))
+                        }
+                    });
+                }
+                "search" => {
+                    spec.search = Some(match val {
+                        "fast" => SearchKind::Fast,
+                        "exhaustive" => SearchKind::Exhaustive,
+                        _ => return Err(format!("unknown search `{val}` (fast|exhaustive)")),
+                    });
+                }
+                "rep" => {
+                    spec.rep = Some(match val {
+                        "last" => RepMode::LastPacket,
+                        "midpoint" => RepMode::RangeMidpoint,
+                        _ => return Err(format!("unknown rep `{val}` (last|midpoint)")),
+                    });
+                }
+                "init" => {
+                    spec.init = Some(match val {
+                        "anchors" => InitMode::Anchors,
+                        "traffic" => InitMode::FromTraffic,
+                        _ => return Err(format!("unknown init `{val}` (anchors|traffic)")),
+                    });
+                }
+                "budget" => {
+                    spec.budget = Some(if val == "unlimited" {
+                        None
+                    } else {
+                        Some(
+                            val.parse()
+                                .map_err(|_| format!("bad update budget `{val}`"))?,
+                        )
+                    });
+                }
+                "nominal" => {
+                    if val == "exact" {
+                        spec.bloom_bits = None;
+                    } else if let Some(bits) = val.strip_prefix("bloom") {
+                        spec.bloom_bits = Some(
+                            bits.parse()
+                                .map_err(|_| format!("bad bloom size `{val}`"))?,
+                        );
+                    } else {
+                        return Err(format!("unknown nominal mode `{val}` (exact|bloomN)"));
+                    }
+                }
+                "ranking" => {
+                    spec.ranking = Some(match val {
+                        "th" => RankingAlgorithm::Throughput,
+                        "np" => RankingAlgorithm::NumPackets,
+                        "thsize" => RankingAlgorithm::ThroughputOverSize,
+                        "npsize" => RankingAlgorithm::NumPacketsOverSize,
+                        _ => return Err(format!("unknown ranking `{val}` (th|np|thsize|npsize)")),
+                    });
+                }
+                other => return Err(format!("unknown accturbo option `{other}`")),
+            }
+        }
+        spec.profile = profile.unwrap_or(Profile::Simulation);
+        spec.features = features.unwrap_or(match spec.profile {
+            Profile::Simulation => FeatureProfile::Simulation,
+            Profile::Hardware => FeatureProfile::HwFig6,
+        });
+        if spec.profile == Profile::Hardware && spec.features == FeatureProfile::Simulation {
+            return Err(
+                "profile=hw supports at most 4 features; pick features=fig6 or features=dst4"
+                    .into(),
+            );
+        }
+        Ok(spec)
+    }
+}
+
+/// A declarative Jaqen configuration: signature and threshold plus the
+/// optional knobs Fig. 7/8 sweep. `None` keeps
+/// [`JaqenConfig::best_case`]'s value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JaqenSpec {
+    /// Sketch signature.
+    pub signature: Signature,
+    /// Per-window packet-count threshold.
+    pub threshold: u64,
+    /// Override: detection window.
+    pub window: Option<SimDuration>,
+    /// Override: detection-to-mitigation deploy delay.
+    pub deploy_delay: Option<SimDuration>,
+}
+
+/// Table 3's Jaqen threshold — the grammar's default.
+pub const JAQEN_DEFAULT_THRESHOLD: u64 = 1_500;
+
+impl JaqenSpec {
+    /// Best-case Jaqen over `signature` at `threshold`.
+    pub fn new(signature: Signature, threshold: u64) -> Self {
+        JaqenSpec {
+            signature,
+            threshold,
+            window: None,
+            deploy_delay: None,
+        }
+    }
+
+    /// Overrides the detection window.
+    pub fn with_window(mut self, window: SimDuration) -> Self {
+        self.window = Some(window);
+        self
+    }
+
+    /// Overrides the deploy delay.
+    pub fn with_deploy_delay(mut self, delay: SimDuration) -> Self {
+        self.deploy_delay = Some(delay);
+        self
+    }
+
+    /// Materializes the [`JaqenConfig`].
+    pub fn config(&self) -> JaqenConfig {
+        let mut cfg = JaqenConfig::best_case(self.signature, self.threshold);
+        if let Some(w) = self.window {
+            cfg = cfg.with_window(w);
+        }
+        if let Some(d) = self.deploy_delay {
+            cfg = cfg.with_deploy_delay(d);
+        }
+        cfg
+    }
+}
+
+/// A defense under test: everything a scenario needs to know to put a
+/// switch in front of the bottleneck link.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DefenseSpec {
+    /// Undefended drop-tail FIFO ([`crate::common::baseline_fifo`]).
+    Fifo,
+    /// A single RED queue (default parameters).
+    Red,
+    /// Classic ACC with monitoring window `k` (Table 4 defaults
+    /// otherwise).
+    Acc {
+        /// The `K` monitoring window.
+        k: SimDuration,
+    },
+    /// ACC-Turbo (the paper's system).
+    AccTurbo(AccTurboSpec),
+    /// ACC-Turbo with the SP-PIFO ranked scheduler ablation.
+    RankedAccTurbo(AccTurboSpec),
+    /// Jaqen (sketch-based detect-and-block baseline).
+    Jaqen(JaqenSpec),
+    /// The ground-truth PIFO-ideal upper bound.
+    IdealPifo,
+    /// Fig. 7c's reprogramming outage: a FIFO that blackholes during
+    /// `[start, start + downtime)`.
+    ProgramSwap {
+        /// When the switch goes down.
+        start: SimTime,
+        /// How long reprogramming takes.
+        downtime: SimDuration,
+    },
+}
+
+impl DefenseSpec {
+    /// The default ACC-Turbo defense (simulation profile).
+    pub fn accturbo() -> Self {
+        DefenseSpec::AccTurbo(AccTurboSpec::simulation())
+    }
+
+    /// The control-plane polling period this defense naturally wants —
+    /// `None` for pure data-plane defenses.
+    pub fn control_period(&self) -> Option<SimDuration> {
+        match self {
+            DefenseSpec::Fifo
+            | DefenseSpec::Red
+            | DefenseSpec::IdealPifo
+            | DefenseSpec::ProgramSwap { .. } => None,
+            DefenseSpec::Acc { k } => Some(AccConfig::default().with_k(*k).control_tick()),
+            DefenseSpec::Jaqen(_) => Some(SimDuration::from_millis(100)),
+            DefenseSpec::AccTurbo(s) | DefenseSpec::RankedAccTurbo(s) => Some(s.control_period()),
+        }
+    }
+
+    /// Builds the switch for a bottleneck of `link_bps`.
+    pub fn build(&self, link_bps: u64) -> Box<dyn Switch> {
+        match self {
+            DefenseSpec::Fifo => Box::new(SingleQueueSwitch::new(crate::common::baseline_fifo())),
+            DefenseSpec::Red => {
+                Box::new(SingleQueueSwitch::new(RedQueue::new(RedConfig::default())))
+            }
+            DefenseSpec::Acc { k } => Box::new(AccSwitch::new(
+                AccConfig::default().with_k(*k),
+                Bandwidth::from_bps(link_bps),
+            )),
+            DefenseSpec::AccTurbo(s) => Box::new(s.build()),
+            DefenseSpec::RankedAccTurbo(s) => Box::new(RankedAccTurboSwitch::new(s.config())),
+            DefenseSpec::Jaqen(j) => Box::new(JaqenSwitch::new(j.config())),
+            DefenseSpec::IdealPifo => Box::new(IdealPifoSwitch::new(512 * 1024)),
+            DefenseSpec::ProgramSwap { start, downtime } => {
+                Box::new(ProgramSwapSwitch::new(*start, *downtime))
+            }
+        }
+    }
+}
+
+impl fmt::Display for DefenseSpec {
+    fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DefenseSpec::Fifo => write!(out, "fifo"),
+            DefenseSpec::Red => write!(out, "red"),
+            DefenseSpec::IdealPifo => write!(out, "ideal-pifo"),
+            DefenseSpec::Acc { k } => {
+                if *k == SimDuration::from_secs(2) {
+                    write!(out, "acc")
+                } else {
+                    write!(out, "acc:k={}", fmt_secs(*k))
+                }
+            }
+            DefenseSpec::AccTurbo(s) | DefenseSpec::RankedAccTurbo(s) => {
+                let head = if matches!(self, DefenseSpec::AccTurbo(_)) {
+                    "accturbo"
+                } else {
+                    "ranked-accturbo"
+                };
+                let mut knobs = String::new();
+                s.fmt_knobs(&mut knobs);
+                write!(out, "{head}{knobs}")
+            }
+            DefenseSpec::Jaqen(j) => {
+                write!(out, "jaqen")?;
+                if j.signature != Signature::FiveTuple {
+                    write!(out, ":sig={}", j.signature.name())?;
+                }
+                if j.threshold != JAQEN_DEFAULT_THRESHOLD {
+                    write!(out, ":th={}", j.threshold)?;
+                }
+                if let Some(w) = j.window {
+                    write!(out, ":window={}", fmt_secs(w))?;
+                }
+                if let Some(d) = j.deploy_delay {
+                    write!(out, ":deploy={}", fmt_secs(d))?;
+                }
+                Ok(())
+            }
+            DefenseSpec::ProgramSwap { start, downtime } => {
+                write!(out, "swap")?;
+                if *start != SimTime::from_secs(60) {
+                    write!(
+                        out,
+                        ":at={}",
+                        fmt_secs(start.saturating_since(SimTime::ZERO))
+                    )?;
+                }
+                if *downtime != SimDuration::from_millis(11_500) {
+                    write!(out, ":down={}", fmt_secs(*downtime))?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl FromStr for DefenseSpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        let (head, opts) = split_spec(s)?;
+        let no_opts = |opts: &[(&str, &str)], name: &str| -> Result<(), String> {
+            if opts.is_empty() {
+                Ok(())
+            } else {
+                Err(format!("`{name}` takes no options"))
+            }
+        };
+        match head {
+            "fifo" => {
+                no_opts(&opts, "fifo")?;
+                Ok(DefenseSpec::Fifo)
+            }
+            "red" => {
+                no_opts(&opts, "red")?;
+                Ok(DefenseSpec::Red)
+            }
+            "ideal-pifo" => {
+                no_opts(&opts, "ideal-pifo")?;
+                Ok(DefenseSpec::IdealPifo)
+            }
+            "acc" => {
+                let mut k = SimDuration::from_secs(2);
+                for (key, val) in opts {
+                    match key {
+                        "k" => k = parse_secs(val)?,
+                        other => return Err(format!("unknown acc option `{other}`")),
+                    }
+                }
+                Ok(DefenseSpec::Acc { k })
+            }
+            "accturbo" => Ok(DefenseSpec::AccTurbo(AccTurboSpec::parse_opts(&opts)?)),
+            "ranked-accturbo" => Ok(DefenseSpec::RankedAccTurbo(AccTurboSpec::parse_opts(
+                &opts,
+            )?)),
+            "jaqen" => {
+                let mut spec = JaqenSpec::new(Signature::FiveTuple, JAQEN_DEFAULT_THRESHOLD);
+                for (key, val) in opts {
+                    match key {
+                        "sig" => {
+                            spec.signature = Signature::parse(val).ok_or_else(|| {
+                                format!("unknown signature `{val}` (5tuple|srcip)")
+                            })?;
+                        }
+                        "th" => {
+                            spec.threshold =
+                                val.parse().map_err(|_| format!("bad threshold `{val}`"))?;
+                        }
+                        "window" => spec.window = Some(parse_secs(val)?),
+                        "deploy" => spec.deploy_delay = Some(parse_secs(val)?),
+                        other => return Err(format!("unknown jaqen option `{other}`")),
+                    }
+                }
+                Ok(DefenseSpec::Jaqen(spec))
+            }
+            "swap" => {
+                let mut start = SimTime::from_secs(60);
+                let mut downtime = SimDuration::from_millis(11_500);
+                for (key, val) in opts {
+                    match key {
+                        "at" => {
+                            start = SimTime::from_secs_f64(
+                                val.parse::<f64>()
+                                    .map_err(|_| format!("bad start time `{val}`"))?,
+                            );
+                        }
+                        "down" => downtime = parse_secs(val)?,
+                        other => return Err(format!("unknown swap option `{other}`")),
+                    }
+                }
+                Ok(DefenseSpec::ProgramSwap { start, downtime })
+            }
+            other => Err(format!(
+                "unknown defense `{other}` \
+                 (fifo|red|acc|accturbo|ranked-accturbo|jaqen|ideal-pifo|swap)"
+            )),
+        }
+    }
+}
+
+/// Every defense head the grammar accepts, with its canonical default
+/// spec — the CI matrix's row set.
+pub fn all_defenses() -> Vec<DefenseSpec> {
+    vec![
+        DefenseSpec::Fifo,
+        DefenseSpec::Red,
+        DefenseSpec::Acc {
+            k: SimDuration::from_secs(2),
+        },
+        DefenseSpec::accturbo(),
+        DefenseSpec::AccTurbo(AccTurboSpec::hardware(FeatureProfile::HwFig6)),
+        DefenseSpec::RankedAccTurbo(AccTurboSpec::simulation()),
+        DefenseSpec::Jaqen(JaqenSpec::new(
+            Signature::FiveTuple,
+            JAQEN_DEFAULT_THRESHOLD,
+        )),
+        DefenseSpec::IdealPifo,
+        DefenseSpec::ProgramSwap {
+            start: SimTime::from_secs(60),
+            downtime: SimDuration::from_millis(11_500),
+        },
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// Workloads
+// ---------------------------------------------------------------------------
+
+/// A named traffic generator plus its parameters. Each variant maps to
+/// one `accturbo-traffic` builder and carries the scenario defaults
+/// (link, duration, seed) the corresponding figure uses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadSpec {
+    /// The Fig. 2 ramping-attack scenario (4 CBR aggregates + ramp).
+    Fig2,
+    /// The Fig. 3 distributed-aggregate variant.
+    Fig3,
+    /// Fig. 6's pulse-wave attack over background traffic.
+    Fig6,
+    /// Fig. 7's reaction-time flood (attack from t = 20 s).
+    Fig7,
+    /// Background traffic only (the program-swap control).
+    Background,
+    /// Table 3's flood variations.
+    Flood(FloodVariation),
+    /// The §9 adversarial scenarios.
+    Adversarial(AdversarialScenario),
+    /// Fig. 11c's elephant-flow workload.
+    Elephant,
+    /// A CICDDoS2019-style day of pulsed episodes (Figs. 9–11).
+    CicDay {
+        /// Vectors in episode order (`None` = the default 10).
+        vectors: Option<Vec<AttackVector>>,
+        /// Override: episode length.
+        episode: Option<SimDuration>,
+        /// Override: inter-episode gap.
+        gap: Option<SimDuration>,
+    },
+}
+
+impl WorkloadSpec {
+    /// The CICDDoS config this spec describes (panics unless
+    /// [`WorkloadSpec::CicDay`] — callers that need episode timing, like
+    /// Fig. 11, use this).
+    pub fn cic_config(&self, seed: u64) -> CicDdosConfig {
+        let WorkloadSpec::CicDay {
+            vectors,
+            episode,
+            gap,
+        } = self
+        else {
+            panic!("cic_config is only defined for cicday workloads");
+        };
+        let mut cfg = CicDdosConfig {
+            seed,
+            ..CicDdosConfig::default()
+        };
+        if let Some(v) = vectors {
+            cfg.vectors = v.clone();
+        }
+        if let Some(e) = episode {
+            cfg.episode = *e;
+        }
+        if let Some(g) = gap {
+            cfg.gap = *g;
+        }
+        cfg
+    }
+
+    /// Builds the packet source. `link_bps` parameterizes the Fig. 2/3
+    /// demand matrix; `secs` bounds generators that take an end time
+    /// (Fig. 2/3 run to their scripted [`scenarios::RUN_SECS`] and rely
+    /// on the engine's end-time cutoff, exactly as the figures do).
+    pub fn build(&self, link_bps: u64, secs: u64, seed: u64) -> Box<dyn PacketSource> {
+        match self {
+            WorkloadSpec::Fig2 => Box::new(scenarios::fig2_source(link_bps, seed)),
+            WorkloadSpec::Fig3 => Box::new(scenarios::fig3_source(link_bps, seed)),
+            WorkloadSpec::Fig6 => Box::new(workloads::fig6_pulses(secs, seed)),
+            WorkloadSpec::Fig7 => Box::new(workloads::reaction_flood(secs, seed)),
+            WorkloadSpec::Background => Box::new(workloads::background_only(secs, seed)),
+            WorkloadSpec::Flood(v) => Box::new(workloads::flood(*v, secs, seed)),
+            WorkloadSpec::Adversarial(s) => Box::new(workloads::adversarial(*s, secs, seed)),
+            WorkloadSpec::Elephant => Box::new(workloads::elephant(secs)),
+            WorkloadSpec::CicDay { .. } => Box::new(self.cic_config(seed).into_source()),
+        }
+    }
+
+    /// The bottleneck bandwidth the workload's figure runs at.
+    pub fn default_link_bps(&self) -> u64 {
+        match self {
+            WorkloadSpec::Elephant => 18_000_000,
+            _ => LINK_10G_SCALED,
+        }
+    }
+
+    /// The run length the workload's figure uses at `scale`.
+    pub fn default_secs(&self, scale: Scale) -> u64 {
+        match self {
+            WorkloadSpec::Fig2 | WorkloadSpec::Fig3 => scale.secs(scenarios::RUN_SECS, 2),
+            WorkloadSpec::Fig6 | WorkloadSpec::Fig7 | WorkloadSpec::Background => {
+                scale.secs(100, 4)
+            }
+            WorkloadSpec::Flood(_) => scale.secs(100, 5),
+            WorkloadSpec::Adversarial(_) => scale.secs(40, 4),
+            WorkloadSpec::Elephant => 30,
+            WorkloadSpec::CicDay { .. } => {
+                self.cic_config(0).total_duration().as_secs_f64().ceil() as u64
+            }
+        }
+    }
+
+    /// The canonical seed of the workload's figure.
+    pub fn default_seed(&self) -> u64 {
+        match self {
+            WorkloadSpec::Fig2 => 2022,
+            WorkloadSpec::Fig3 => 33,
+            WorkloadSpec::Fig6 => 0xF16,
+            WorkloadSpec::Fig7 | WorkloadSpec::Background => 0x716,
+            WorkloadSpec::Flood(_) => 0x7AB,
+            WorkloadSpec::Adversarial(_) => 0xADE5,
+            WorkloadSpec::Elephant => 0,
+            WorkloadSpec::CicDay { .. } => 0xC1C,
+        }
+    }
+
+    /// The aggregate classes a per-second share panel should plot, when
+    /// the workload has the Fig. 2/3 five-aggregate structure.
+    pub fn share_classes(&self) -> Option<Vec<ClassId>> {
+        match self {
+            WorkloadSpec::Fig2 | WorkloadSpec::Fig3 => Some((1..=5).map(ClassId).collect()),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for WorkloadSpec {
+    fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadSpec::Fig2 => write!(out, "fig2"),
+            WorkloadSpec::Fig3 => write!(out, "fig3"),
+            WorkloadSpec::Fig6 => write!(out, "fig6"),
+            WorkloadSpec::Fig7 => write!(out, "fig7"),
+            WorkloadSpec::Background => write!(out, "background"),
+            WorkloadSpec::Elephant => write!(out, "elephant"),
+            WorkloadSpec::Flood(v) => match v {
+                FloodVariation::SingleFlow => write!(out, "flood"),
+                FloodVariation::NoAttack => write!(out, "flood:none"),
+                FloodVariation::CarpetBombing => write!(out, "flood:carpet"),
+                FloodVariation::SourceSpoofing => write!(out, "flood:spoof"),
+            },
+            WorkloadSpec::Adversarial(s) => {
+                let name = match s {
+                    AdversarialScenario::PlainFlood => "plain",
+                    AdversarialScenario::PacketLevelEvasion => "evade-pkt",
+                    AdversarialScenario::AggregateLevelEvasion => "evade-agg",
+                    AdversarialScenario::Swapping => "swap",
+                    AdversarialScenario::Imitation => "imitate",
+                };
+                write!(out, "adversarial:{name}")
+            }
+            WorkloadSpec::CicDay {
+                vectors,
+                episode,
+                gap,
+            } => {
+                write!(out, "cicday")?;
+                if let Some(v) = vectors {
+                    let names: Vec<&str> = v.iter().map(|x| x.name()).collect();
+                    write!(out, ":vectors={}", names.join("+"))?;
+                }
+                if let Some(e) = episode {
+                    write!(out, ":episode={}", fmt_secs(*e))?;
+                }
+                if let Some(g) = gap {
+                    write!(out, ":gap={}", fmt_secs(*g))?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl FromStr for WorkloadSpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        // `flood:<variation>` and `adversarial:<scenario>` take a bare
+        // token, not key=val — handle them before the generic split.
+        if let Some(rest) = s.strip_prefix("flood") {
+            let v = match rest {
+                "" | ":single" => FloodVariation::SingleFlow,
+                ":none" => FloodVariation::NoAttack,
+                ":carpet" => FloodVariation::CarpetBombing,
+                ":spoof" => FloodVariation::SourceSpoofing,
+                _ => {
+                    return Err(format!(
+                        "unknown flood variation `{rest}` (none|single|carpet|spoof)"
+                    ))
+                }
+            };
+            return Ok(WorkloadSpec::Flood(v));
+        }
+        if let Some(rest) = s.strip_prefix("adversarial") {
+            let sc = match rest {
+                ":plain" => AdversarialScenario::PlainFlood,
+                ":evade-pkt" => AdversarialScenario::PacketLevelEvasion,
+                ":evade-agg" => AdversarialScenario::AggregateLevelEvasion,
+                ":swap" => AdversarialScenario::Swapping,
+                ":imitate" => AdversarialScenario::Imitation,
+                _ => {
+                    return Err(format!(
+                        "unknown adversarial scenario `{rest}` \
+                         (plain|evade-pkt|evade-agg|swap|imitate)"
+                    ))
+                }
+            };
+            return Ok(WorkloadSpec::Adversarial(sc));
+        }
+        let (head, opts) = split_spec(s)?;
+        match head {
+            "fig2" | "fig3" | "fig6" | "fig7" | "background" | "elephant" => {
+                if !opts.is_empty() {
+                    return Err(format!("`{head}` takes no options"));
+                }
+                Ok(match head {
+                    "fig2" => WorkloadSpec::Fig2,
+                    "fig3" => WorkloadSpec::Fig3,
+                    "fig6" => WorkloadSpec::Fig6,
+                    "fig7" => WorkloadSpec::Fig7,
+                    "background" => WorkloadSpec::Background,
+                    _ => WorkloadSpec::Elephant,
+                })
+            }
+            "cicday" => {
+                let mut vectors = None;
+                let mut episode = None;
+                let mut gap = None;
+                for (key, val) in opts {
+                    match key {
+                        "vectors" => {
+                            let parsed = val
+                                .split('+')
+                                .map(|name| {
+                                    AttackVector::by_name(name)
+                                        .ok_or_else(|| format!("unknown attack vector `{name}`"))
+                                })
+                                .collect::<Result<Vec<_>, _>>()?;
+                            if parsed.is_empty() {
+                                return Err("vectors list must be non-empty".into());
+                            }
+                            vectors = Some(parsed);
+                        }
+                        "episode" => episode = Some(parse_secs(val)?),
+                        "gap" => gap = Some(parse_secs(val)?),
+                        other => return Err(format!("unknown cicday option `{other}`")),
+                    }
+                }
+                Ok(WorkloadSpec::CicDay {
+                    vectors,
+                    episode,
+                    gap,
+                })
+            }
+            other => Err(format!(
+                "unknown workload `{other}` \
+                 (fig2|fig3|fig6|fig7|background|flood|adversarial|elephant|cicday)"
+            )),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scenarios
+// ---------------------------------------------------------------------------
+
+/// The full experiment sentence: workload × defense × engine parameters,
+/// with one [`execute`](ScenarioSpec::execute) entry point.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// What traffic hits the switch.
+    pub workload: WorkloadSpec,
+    /// What defends the link.
+    pub defense: DefenseSpec,
+    /// Bottleneck bandwidth, bits per second.
+    pub link_bps: u64,
+    /// Run length, seconds (1-second stats buckets).
+    pub secs: u64,
+    /// Control-plane period override; `None` uses the defense's natural
+    /// period ([`DefenseSpec::control_period`]).
+    pub control_period: Option<SimDuration>,
+    /// Workload (and fault) seed.
+    pub seed: u64,
+    /// Substrate fault plane (`None` = fault-free).
+    pub faults: Option<FaultConfig>,
+}
+
+/// What [`ScenarioSpec::execute`] returns: the engine's result plus the
+/// end-of-run switch backlog (for conservation checks) and — on faulted
+/// runs — the injection and degradation counters.
+#[derive(Debug)]
+pub struct ScenarioOutcome {
+    /// The engine's run result.
+    pub result: RunResult,
+    /// Packets still queued in the switch at end-of-run.
+    pub backlog_pkts: usize,
+    /// Injection counters (faulted runs only).
+    pub fault_stats: Option<FaultStats>,
+    /// Control ticks suppressed by the fault plane (ACC-Turbo only).
+    pub missed_ticks: u64,
+    /// Control ticks served stale statistics (ACC-Turbo only).
+    pub stale_ticks: u64,
+    /// Bounded-staleness fallback decisions (ACC-Turbo only).
+    pub fallbacks: u64,
+}
+
+impl ScenarioSpec {
+    /// A scenario at the workload's full-scale defaults.
+    pub fn new(workload: WorkloadSpec, defense: DefenseSpec) -> Self {
+        let link_bps = workload.default_link_bps();
+        let secs = workload.default_secs(Scale::Full);
+        let seed = workload.default_seed();
+        ScenarioSpec {
+            workload,
+            defense,
+            link_bps,
+            secs,
+            control_period: None,
+            seed,
+            faults: None,
+        }
+    }
+
+    /// Overrides the run length.
+    pub fn with_secs(mut self, secs: u64) -> Self {
+        self.secs = secs;
+        self
+    }
+
+    /// Overrides the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the bottleneck bandwidth.
+    pub fn with_link(mut self, link_bps: u64) -> Self {
+        self.link_bps = link_bps;
+        self
+    }
+
+    /// Overrides the control-plane period.
+    pub fn with_period(mut self, period: SimDuration) -> Self {
+        self.control_period = Some(period);
+        self
+    }
+
+    /// Attaches a fault plane.
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// The control period this scenario will run with.
+    pub fn effective_period(&self) -> Option<SimDuration> {
+        self.control_period
+            .or_else(|| self.defense.control_period())
+    }
+
+    /// Runs the scenario through the standard engine paths.
+    pub fn execute(&self) -> ScenarioOutcome {
+        let period = self.effective_period();
+        match &self.faults {
+            None => {
+                let mut sw = self.defense.build(self.link_bps);
+                let mut src = self.workload.build(self.link_bps, self.secs, self.seed);
+                let result = simulate(&mut *src, &mut *sw, self.link_bps, self.secs, period);
+                ScenarioOutcome {
+                    backlog_pkts: sw.backlog_pkts(),
+                    result,
+                    fault_stats: None,
+                    missed_ticks: 0,
+                    stale_ticks: 0,
+                    fallbacks: 0,
+                }
+            }
+            Some(fc) => {
+                let inj = FaultInjector::new(FaultSchedule::new(fc.clone()));
+                // ACC-Turbo exposes graceful-degradation hooks the boxed
+                // `Switch` trait cannot carry — wire them concretely.
+                if let DefenseSpec::AccTurbo(spec) = &self.defense {
+                    let mut sw = spec.build();
+                    sw.set_faults(inj.clone());
+                    let mut src = FaultedSource::new(
+                        self.workload.build(self.link_bps, self.secs, self.seed),
+                        inj.clone(),
+                    );
+                    let result = simulate_with_faults(
+                        &mut src,
+                        &mut sw,
+                        self.link_bps,
+                        self.secs,
+                        period,
+                        &inj,
+                    );
+                    let (missed, stale, fallbacks) = {
+                        let d = sw.degradation();
+                        (d.total_missed(), d.total_stale(), d.fallbacks())
+                    };
+                    ScenarioOutcome {
+                        backlog_pkts: sw.backlog_pkts(),
+                        result,
+                        fault_stats: Some(inj.stats()),
+                        missed_ticks: missed,
+                        stale_ticks: stale,
+                        fallbacks,
+                    }
+                } else {
+                    let mut sw = self.defense.build(self.link_bps);
+                    let mut src = FaultedSource::new(
+                        self.workload.build(self.link_bps, self.secs, self.seed),
+                        inj.clone(),
+                    );
+                    let result = simulate_with_faults(
+                        &mut src,
+                        &mut *sw,
+                        self.link_bps,
+                        self.secs,
+                        period,
+                        &inj,
+                    );
+                    ScenarioOutcome {
+                        backlog_pkts: sw.backlog_pkts(),
+                        result,
+                        fault_stats: Some(inj.stats()),
+                        missed_ticks: 0,
+                        stale_ticks: 0,
+                        fallbacks: 0,
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for ScenarioSpec {
+    fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            out,
+            "workload={} defense={} link={} secs={} seed={}",
+            self.workload, self.defense, self.link_bps, self.secs, self.seed
+        )?;
+        if let Some(p) = self.control_period {
+            write!(out, " period={}", fmt_secs(p))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every canonical string must survive parse → Display unchanged.
+    #[test]
+    fn defense_grammar_round_trips() {
+        let cases = [
+            "fifo",
+            "red",
+            "acc",
+            "acc:k=0.1",
+            "acc:k=1.5",
+            "accturbo",
+            "accturbo:profile=hw",
+            "accturbo:profile=hw:features=dst4",
+            "accturbo:clusters=8:distance=anime:search=exhaustive",
+            "accturbo:rep=midpoint:init=traffic:budget=256:nominal=bloom1024:ranking=np",
+            "accturbo:budget=unlimited",
+            "ranked-accturbo:profile=hw",
+            "jaqen",
+            "jaqen:sig=srcip:th=2000:window=4:deploy=1.5",
+            "ideal-pifo",
+            "swap",
+            "swap:at=30:down=5.5",
+        ];
+        for s in cases {
+            let spec: DefenseSpec = s.parse().unwrap_or_else(|e| panic!("{s}: {e}"));
+            assert_eq!(spec.to_string(), s, "canonical form of `{s}`");
+            let again: DefenseSpec = spec.to_string().parse().unwrap();
+            assert_eq!(again, spec);
+        }
+    }
+
+    #[test]
+    fn workload_grammar_round_trips() {
+        let cases = [
+            "fig2",
+            "fig3",
+            "fig6",
+            "fig7",
+            "background",
+            "flood",
+            "flood:none",
+            "flood:carpet",
+            "flood:spoof",
+            "adversarial:plain",
+            "adversarial:evade-agg",
+            "adversarial:imitate",
+            "elephant",
+            "cicday",
+            "cicday:vectors=MSSQL+SSDP",
+            "cicday:vectors=NTP:episode=2:gap=1",
+        ];
+        for s in cases {
+            let spec: WorkloadSpec = s.parse().unwrap_or_else(|e| panic!("{s}: {e}"));
+            assert_eq!(spec.to_string(), s, "canonical form of `{s}`");
+        }
+    }
+
+    #[test]
+    fn grammar_rejects_nonsense() {
+        assert!("wibble".parse::<DefenseSpec>().is_err());
+        assert!("fifo:k=2".parse::<DefenseSpec>().is_err());
+        assert!("accturbo:profile=hw:features=sim"
+            .parse::<DefenseSpec>()
+            .is_err());
+        assert!("accturbo:distance=cosine".parse::<DefenseSpec>().is_err());
+        assert!("jaqen:sig=6tuple".parse::<DefenseSpec>().is_err());
+        assert!("acc:k=0".parse::<DefenseSpec>().is_err());
+        assert!("flood:tsunami".parse::<WorkloadSpec>().is_err());
+        assert!("adversarial".parse::<WorkloadSpec>().is_err());
+        assert!("cicday:vectors=WIBBLE".parse::<WorkloadSpec>().is_err());
+    }
+
+    /// The natural control periods encode each figure's wiring.
+    #[test]
+    fn natural_control_periods() {
+        assert_eq!(DefenseSpec::Fifo.control_period(), None);
+        assert_eq!(DefenseSpec::IdealPifo.control_period(), None);
+        // ACC ticks at its EWMA interval, or faster when K is shorter.
+        assert_eq!(
+            DefenseSpec::Acc {
+                k: SimDuration::from_secs(2)
+            }
+            .control_period(),
+            Some(SimDuration::from_millis(100))
+        );
+        assert_eq!(
+            DefenseSpec::Acc {
+                k: SimDuration::from_millis(50)
+            }
+            .control_period(),
+            Some(SimDuration::from_millis(50))
+        );
+        assert_eq!(
+            DefenseSpec::accturbo().control_period(),
+            Some(SimDuration::from_millis(250))
+        );
+        assert_eq!(
+            DefenseSpec::AccTurbo(AccTurboSpec::hardware(FeatureProfile::HwFig6)).control_period(),
+            Some(SimDuration::from_millis(50))
+        );
+        assert_eq!(
+            DefenseSpec::Jaqen(JaqenSpec::new(Signature::FiveTuple, 1_500)).control_period(),
+            Some(SimDuration::from_millis(100))
+        );
+    }
+
+    /// `accturbo:profile=hw` must mean hardware_fig6, and overrides must
+    /// land in the materialized config.
+    #[test]
+    fn accturbo_spec_materializes_overrides() {
+        let spec: DefenseSpec = "accturbo:profile=hw:clusters=8:ranking=np".parse().unwrap();
+        let DefenseSpec::AccTurbo(s) = &spec else {
+            panic!("not accturbo")
+        };
+        let cfg = s.config();
+        assert_eq!(cfg.clustering.num_clusters, 8);
+        assert_eq!(cfg.num_queues, 8);
+        assert_eq!(cfg.ranking, RankingAlgorithm::NumPackets);
+        assert_eq!(cfg.clustering.features.len(), 4);
+    }
+
+    /// The workload defaults match the figures they came from.
+    #[test]
+    fn workload_defaults_match_figures() {
+        assert_eq!(WorkloadSpec::Fig2.default_seed(), 2022);
+        assert_eq!(WorkloadSpec::Fig2.default_secs(Scale::Full), 50);
+        assert_eq!(WorkloadSpec::Fig2.default_secs(Scale::Quick), 25);
+        assert_eq!(WorkloadSpec::Elephant.default_link_bps(), 18_000_000);
+        assert_eq!(
+            WorkloadSpec::Flood(FloodVariation::SingleFlow).default_seed(),
+            0x7AB
+        );
+        assert!(WorkloadSpec::Fig2.share_classes().is_some());
+        assert!(WorkloadSpec::Fig6.share_classes().is_none());
+    }
+
+    /// A spec-driven run conserves packets and actually moves traffic.
+    #[test]
+    fn execute_smoke_and_conservation() {
+        let out = ScenarioSpec::new(
+            WorkloadSpec::Flood(FloodVariation::SingleFlow),
+            DefenseSpec::accturbo(),
+        )
+        .with_secs(10)
+        .execute();
+        assert!(out.result.arrivals > 0);
+        assert_eq!(
+            out.result.arrivals,
+            out.result.departures + out.result.drops + out.backlog_pkts as u64,
+            "packet conservation"
+        );
+        assert!(out.fault_stats.is_none());
+    }
+}

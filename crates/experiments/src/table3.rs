@@ -13,58 +13,24 @@
 //! never best but is robust across all variations (≈15–20%); FIFO loses
 //! ≈90% whenever an attack runs.
 
-use crate::common::{simulate, Scale, LINK_10G_SCALED};
+use crate::common::Scale;
 use crate::result::FigureResult;
+use crate::spec::{
+    AccTurboSpec, DefenseSpec, FeatureProfile, JaqenSpec, ScenarioSpec, WorkloadSpec,
+    JAQEN_DEFAULT_THRESHOLD,
+};
 use crate::Figure;
-use accturbo_clustering::FeatureSet;
-use accturbo_core::{AccTurboConfig, AccTurboSwitch};
-use accturbo_jaqen::{JaqenConfig, JaqenSwitch, Signature};
-use accturbo_netsim::{
-    ClassId, MergedSource, PacketSource, SimDuration, SimTime, SingleQueueSwitch,
-};
+use accturbo_jaqen::Signature;
+use accturbo_netsim::MergedSource;
 use accturbo_telemetry::{f, Table};
-use accturbo_traffic::{
-    AttackConfig, AttackSource, AttackVector, BackgroundConfig, BackgroundSource,
-};
+use accturbo_traffic::workloads;
 
-const LINK: u64 = LINK_10G_SCALED;
-const BACKGROUND_BPS: u64 = 7_000_000;
-const ATTACK_BPS: u64 = 60_000_000;
 /// The canonical workload seed (the historical in-module constant).
 pub const DEFAULT_SEED: u64 = 0x7AB;
 
-/// The attack variations of Table 3's rows.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Variation {
-    /// Background only.
-    NoAttack,
-    /// Single-flow UDP flood (all packets share the 5-tuple).
-    SingleFlow,
-    /// Carpet bombing: random destination within the victim /24.
-    CarpetBombing,
-    /// Full source spoofing.
-    SourceSpoofing,
-}
-
-impl Variation {
-    /// All rows, in the paper's order.
-    pub const ALL: [Variation; 4] = [
-        Variation::NoAttack,
-        Variation::SingleFlow,
-        Variation::CarpetBombing,
-        Variation::SourceSpoofing,
-    ];
-
-    /// Row label.
-    pub fn name(self) -> &'static str {
-        match self {
-            Variation::NoAttack => "No Attack",
-            Variation::SingleFlow => "Single Flow",
-            Variation::CarpetBombing => "Carpet Bombing",
-            Variation::SourceSpoofing => "Source Spoofing",
-        }
-    }
-}
+/// The attack variations of Table 3's rows (now a traffic-crate
+/// building block shared with the spec grammar).
+pub use accturbo_traffic::FloodVariation as Variation;
 
 /// The defenses of Table 3's columns.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -99,84 +65,40 @@ impl Defense {
     }
 }
 
-/// Jaqen's detection threshold, in packets per window. Calibrated (as the
-/// paper does) so the single-flow attack is detected while typical benign
-/// flows stay below it — but close enough to the benign tail that a few
-/// heavy benign flows false-positive even with no attack, reproducing the
-/// paper's 2.5–3.7% "No Attack" drops.
-const JAQEN_THRESHOLD: u64 = 1_500;
-
 /// The single-flow workload shared with Fig. 8's sweeps.
 pub fn single_flow_workload(secs: u64, seed: u64) -> MergedSource {
-    workload(Variation::SingleFlow, secs, seed)
+    workloads::flood(Variation::SingleFlow, secs, seed)
 }
 
-fn workload(variation: Variation, secs: u64, seed: u64) -> MergedSource {
-    let end = SimTime::from_secs(secs);
-    let mut sources: Vec<Box<dyn PacketSource>> = vec![Box::new(BackgroundSource::new(
-        BackgroundConfig::new(BACKGROUND_BPS, SimTime::ZERO, end, seed),
-    ))];
-    if variation != Variation::NoAttack {
-        let mut cfg = AttackConfig::new(
-            AttackVector::UdpFlood,
-            ATTACK_BPS,
-            SimTime::from_secs(5),
-            end,
-            ClassId(1),
-            seed + 1,
-        )
-        .with_single_flow();
-        cfg = match variation {
-            Variation::CarpetBombing => cfg.with_carpet_bombing(),
-            Variation::SourceSpoofing => cfg.with_source_spoofing(),
-            _ => cfg,
-        };
-        sources.push(Box::new(AttackSource::new(cfg)));
+/// Maps a Table 3 column to its declarative defense (Jaqen runs
+/// calibrated at the [`JAQEN_DEFAULT_THRESHOLD`] that reproduces the
+/// paper's 2.5–3.7% "No Attack" drops; ACC-Turbo runs the hardware
+/// profile over the four destination-address bytes).
+pub fn defense_spec(defense: Defense) -> DefenseSpec {
+    match defense {
+        Defense::Fifo => DefenseSpec::Fifo,
+        Defense::JaqenFiveTuple => DefenseSpec::Jaqen(JaqenSpec::new(
+            Signature::FiveTuple,
+            JAQEN_DEFAULT_THRESHOLD,
+        )),
+        Defense::JaqenSrcIp => {
+            DefenseSpec::Jaqen(JaqenSpec::new(Signature::SrcIp, JAQEN_DEFAULT_THRESHOLD))
+        }
+        Defense::AccTurbo => {
+            DefenseSpec::AccTurbo(AccTurboSpec::hardware(FeatureProfile::HwDstBytes))
+        }
     }
-    MergedSource::new(sources)
 }
 
 /// Runs one cell of the table, returning the benign-drop percentage.
 pub fn cell(defense: Defense, variation: Variation, secs: u64, seed: u64) -> f64 {
-    let mut src = workload(variation, secs, seed);
-    match defense {
-        Defense::Fifo => {
-            let mut sw = SingleQueueSwitch::new(crate::common::baseline_fifo());
-            simulate(&mut src, &mut sw, LINK, secs, None)
-                .stats
-                .benign_drop_pct()
-        }
-        Defense::JaqenFiveTuple | Defense::JaqenSrcIp => {
-            let signature = if defense == Defense::JaqenFiveTuple {
-                Signature::FiveTuple
-            } else {
-                Signature::SrcIp
-            };
-            let mut sw = JaqenSwitch::new(JaqenConfig::best_case(signature, JAQEN_THRESHOLD));
-            simulate(
-                &mut src,
-                &mut sw,
-                LINK,
-                secs,
-                Some(SimDuration::from_millis(100)),
-            )
-            .stats
-            .benign_drop_pct()
-        }
-        Defense::AccTurbo => {
-            let mut sw =
-                AccTurboSwitch::new(AccTurboConfig::hardware(FeatureSet::hardware_dst_bytes()));
-            simulate(
-                &mut src,
-                &mut sw,
-                LINK,
-                secs,
-                Some(SimDuration::from_millis(50)),
-            )
-            .stats
-            .benign_drop_pct()
-        }
-    }
+    ScenarioSpec::new(WorkloadSpec::Flood(variation), defense_spec(defense))
+        .with_secs(secs)
+        .with_seed(seed)
+        .execute()
+        .result
+        .stats
+        .benign_drop_pct()
 }
 
 /// Regenerates Table 3 at `seed`, returning the rendered report and its

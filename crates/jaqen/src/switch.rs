@@ -32,6 +32,24 @@ pub enum Signature {
 }
 
 impl Signature {
+    /// Grammar name of the signature (the `xp run defense=jaqen:sig=…`
+    /// vocabulary).
+    pub fn name(self) -> &'static str {
+        match self {
+            Signature::FiveTuple => "5tuple",
+            Signature::SrcIp => "srcip",
+        }
+    }
+
+    /// Resolves a signature from its grammar name.
+    pub fn parse(s: &str) -> Option<Signature> {
+        match s {
+            "5tuple" => Some(Signature::FiveTuple),
+            "srcip" => Some(Signature::SrcIp),
+            _ => None,
+        }
+    }
+
     /// Extracts the keyed value from a packet as a hashable `u64`.
     pub fn key(self, pkt: &Packet) -> u64 {
         match self {

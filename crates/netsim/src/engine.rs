@@ -169,6 +169,19 @@ impl EngineConfig {
         self.end_time = Some(end);
         self
     }
+
+    /// The standard experiment engine configuration: 1-second stats
+    /// buckets, hard stop at `secs`, optional control plane — the shape
+    /// every figure/scenario run uses.
+    pub fn experiment(link_bps: u64, secs: u64, control_period: Option<SimDuration>) -> Self {
+        let mut cfg = EngineConfig::new(Bandwidth::from_bps(link_bps))
+            .with_stats_interval(SimDuration::from_secs(1))
+            .with_end_time(SimTime::from_secs(secs));
+        if let Some(p) = control_period {
+            cfg = cfg.with_control_period(p);
+        }
+        cfg
+    }
 }
 
 /// Result of a simulation run.

@@ -48,7 +48,7 @@ pub use queue::{FifoQueue, PifoQueue, PriorityBank, QueueDiscipline, RedConfig, 
 pub use rate::{EwmaRate, TokenBucket};
 pub use source::{IterSource, MergedSource, PacketSource, VecSource};
 pub use stats::{Counts, StatsCollector};
-pub use switch::{SingleQueueSwitch, Switch};
+pub use switch::{ProgramSwapSwitch, SingleQueueSwitch, Switch};
 pub use time::{SimDuration, SimTime};
 pub use trace::{pcap_source, read_csv, read_pcap, write_csv, write_pcap, TraceStats};
 pub use units::Bandwidth;

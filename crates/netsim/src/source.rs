@@ -18,6 +18,12 @@ pub trait PacketSource {
     fn next_packet(&mut self) -> Option<Packet>;
 }
 
+impl<S: PacketSource + ?Sized> PacketSource for Box<S> {
+    fn next_packet(&mut self) -> Option<Packet> {
+        (**self).next_packet()
+    }
+}
+
 /// A source backed by a pre-built, time-sorted vector of packets.
 #[derive(Debug, Clone)]
 pub struct VecSource {

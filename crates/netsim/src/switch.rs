@@ -7,9 +7,9 @@
 //! and `control_tick` (the control-plane loop); the engine treats them all
 //! identically.
 
-use crate::packet::{Dropped, Packet};
-use crate::queue::QueueDiscipline;
-use crate::time::SimTime;
+use crate::packet::{DropReason, Dropped, Packet};
+use crate::queue::{FifoQueue, QueueDiscipline};
+use crate::time::{SimDuration, SimTime};
 
 /// A switch with one output port.
 pub trait Switch {
@@ -71,10 +71,51 @@ impl<Q: QueueDiscipline> Switch for SingleQueueSwitch<Q> {
     }
 }
 
+/// A FIFO switch that models a P4 program swap: all traffic is lost
+/// during the downtime window (the paper measured ≈11.5 s on a Tofino,
+/// §7.2.2 — what Jaqen pays when the needed mitigation module is not
+/// loaded).
+pub struct ProgramSwapSwitch {
+    queue: FifoQueue,
+    downtime_start: SimTime,
+    downtime_end: SimTime,
+}
+
+impl ProgramSwapSwitch {
+    /// Creates the switch with the given downtime window.
+    pub fn new(downtime_start: SimTime, downtime: SimDuration) -> Self {
+        ProgramSwapSwitch {
+            queue: FifoQueue::new(512 * 1024),
+            downtime_start,
+            downtime_end: downtime_start + downtime,
+        }
+    }
+}
+
+impl Switch for ProgramSwapSwitch {
+    fn ingress(&mut self, pkt: Packet, now: SimTime, drops: &mut Vec<Dropped>) {
+        if now >= self.downtime_start && now < self.downtime_end {
+            drops.push(Dropped {
+                packet: pkt,
+                reason: DropReason::Filter,
+            });
+            return;
+        }
+        self.queue.enqueue(pkt, now, drops);
+    }
+
+    fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
+        self.queue.dequeue(now)
+    }
+
+    fn backlog_pkts(&self) -> usize {
+        self.queue.len_pkts()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::queue::FifoQueue;
 
     #[test]
     fn single_queue_switch_passes_through() {

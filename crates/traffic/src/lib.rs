@@ -17,6 +17,7 @@ pub mod modifiers;
 pub mod pulse;
 pub mod scenarios;
 pub mod vectors;
+pub mod workloads;
 
 pub use background::{BackgroundConfig, BackgroundSource};
 pub use cbr::{CbrSource, FlowTemplate, RampSource, RateStep};
@@ -24,3 +25,4 @@ pub use cicddos::{CicDdosConfig, Episode};
 pub use modifiers::{MapSource, Spread, SpreadSource};
 pub use pulse::{PulseSpec, PulseWave};
 pub use vectors::{AttackConfig, AttackSource, AttackVector};
+pub use workloads::{AdversarialScenario, FloodVariation};

@@ -104,6 +104,15 @@ impl AttackVector {
         }
     }
 
+    /// Resolves a vector from its display name, case-insensitively (the
+    /// `xp run workload=cicday:vectors=…` grammar).
+    pub fn by_name(name: &str) -> Option<AttackVector> {
+        AttackVector::EXTENDED
+            .iter()
+            .copied()
+            .find(|v| v.name().eq_ignore_ascii_case(name))
+    }
+
     /// True for reflection/amplification vectors (Fig. 9a's split).
     pub fn is_reflection(self) -> bool {
         !matches!(

@@ -1,0 +1,485 @@
+//! Composable experiment workloads (the `WorkloadSpec` generators).
+//!
+//! Every workload the evaluation harness runs — beyond the classic ACC
+//! scenarios of [`crate::scenarios`] — lives here as a plain builder
+//! returning a [`PacketSource`], so the experiments crate composes
+//! scenarios declaratively instead of re-encoding rates and seeds per
+//! figure module. Seed arithmetic is part of each workload's identity:
+//! sub-sources derive their streams from fixed offsets of the workload
+//! seed, so a workload at a given `(secs, seed)` is byte-stable across
+//! refactors.
+
+use crate::{
+    AttackConfig, AttackSource, AttackVector, BackgroundConfig, BackgroundSource, CbrSource,
+    FlowTemplate, MapSource, PulseWave, Spread, SpreadSource,
+};
+use accturbo_netsim::{ClassId, MergedSource, PacketSource, SimDuration, SimTime};
+use accturbo_prng::{Rng, SeedableRng, StdRng};
+use std::net::Ipv4Addr;
+
+/// Scaled CAIDA-like background rate shared by the §7 workloads (the
+/// paper's replay carried a bit under the bottleneck's capacity).
+pub const EXPERIMENT_BACKGROUND_BPS: u64 = 7_000_000;
+/// Scaled single-flow flood rate of the Table 3 / Fig. 7 attacks.
+pub const FLOOD_ATTACK_BPS: u64 = 60_000_000;
+/// Scaled Fig. 6 pulse peak (the paper's pulses peak at ≈40.8 Gbps).
+pub const FIG6_PULSE_BPS: u64 = 40_000_000;
+/// Attack start of the Fig. 7 reaction-time flood (seconds).
+pub const REACTION_ATTACK_START_S: u64 = 20;
+
+/// The attack variations of Table 3's rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FloodVariation {
+    /// Background only.
+    NoAttack,
+    /// Single-flow UDP flood (all packets share the 5-tuple).
+    SingleFlow,
+    /// Carpet bombing: random destination within the victim /24.
+    CarpetBombing,
+    /// Full source spoofing.
+    SourceSpoofing,
+}
+
+impl FloodVariation {
+    /// All rows, in the paper's order.
+    pub const ALL: [FloodVariation; 4] = [
+        FloodVariation::NoAttack,
+        FloodVariation::SingleFlow,
+        FloodVariation::CarpetBombing,
+        FloodVariation::SourceSpoofing,
+    ];
+
+    /// Row label.
+    pub fn name(self) -> &'static str {
+        match self {
+            FloodVariation::NoAttack => "No Attack",
+            FloodVariation::SingleFlow => "Single Flow",
+            FloodVariation::CarpetBombing => "Carpet Bombing",
+            FloodVariation::SourceSpoofing => "Source Spoofing",
+        }
+    }
+}
+
+/// The Table 3 workload: CAIDA-like background plus (unless
+/// [`FloodVariation::NoAttack`]) a 60 Mbps UDP flood from t = 5 s,
+/// varied per the row.
+pub fn flood(variation: FloodVariation, secs: u64, seed: u64) -> MergedSource {
+    let end = SimTime::from_secs(secs);
+    let mut sources: Vec<Box<dyn PacketSource>> = vec![Box::new(BackgroundSource::new(
+        BackgroundConfig::new(EXPERIMENT_BACKGROUND_BPS, SimTime::ZERO, end, seed),
+    ))];
+    if variation != FloodVariation::NoAttack {
+        let mut cfg = AttackConfig::new(
+            AttackVector::UdpFlood,
+            FLOOD_ATTACK_BPS,
+            SimTime::from_secs(5),
+            end,
+            ClassId(1),
+            seed + 1,
+        )
+        .with_single_flow();
+        cfg = match variation {
+            FloodVariation::CarpetBombing => cfg.with_carpet_bombing(),
+            FloodVariation::SourceSpoofing => cfg.with_source_spoofing(),
+            _ => cfg,
+        };
+        sources.push(Box::new(AttackSource::new(cfg)));
+    }
+    MergedSource::new(sources)
+}
+
+/// The Fig. 6 workload: background + 4 pulses (10 s on / 10 s off)
+/// starting at t = 10 s, each targeting a different IP of a common /24.
+pub fn fig6_pulses(secs: u64, seed: u64) -> MergedSource {
+    let end = SimTime::from_secs(secs);
+    let background: Box<dyn PacketSource> = Box::new(BackgroundSource::new(BackgroundConfig::new(
+        EXPERIMENT_BACKGROUND_BPS,
+        SimTime::ZERO,
+        end,
+        seed,
+    )));
+    let wave: Box<dyn PacketSource> = Box::new(
+        PulseWave::fig6(
+            4,
+            SimTime::from_secs(10),
+            SimDuration::from_secs(10),
+            SimDuration::from_secs(10),
+            FIG6_PULSE_BPS,
+            Ipv4Addr::new(198, 18, 5, 0),
+            seed + 1,
+        )
+        .into_source(),
+    );
+    MergedSource::new(vec![background, wave])
+}
+
+/// The Fig. 7 reaction-time workload: background for the whole run,
+/// single-flow UDP flood from t = 20 s to t = end − 20 s.
+pub fn reaction_flood(secs: u64, seed: u64) -> MergedSource {
+    let end = SimTime::from_secs(secs);
+    let background: Box<dyn PacketSource> = Box::new(BackgroundSource::new(BackgroundConfig::new(
+        EXPERIMENT_BACKGROUND_BPS,
+        SimTime::ZERO,
+        end,
+        seed,
+    )));
+    let attack_end = SimTime::from_secs(secs.saturating_sub(20).max(REACTION_ATTACK_START_S + 1));
+    let attack: Box<dyn PacketSource> = Box::new(AttackSource::new(
+        AttackConfig::new(
+            AttackVector::UdpFlood,
+            FLOOD_ATTACK_BPS,
+            SimTime::from_secs(REACTION_ATTACK_START_S),
+            attack_end,
+            ClassId(1),
+            seed + 1,
+        )
+        .with_single_flow(),
+    ));
+    MergedSource::new(vec![background, attack])
+}
+
+/// Background traffic only (the Fig. 7c program-swap panel's workload).
+pub fn background_only(secs: u64, seed: u64) -> MergedSource {
+    let end = SimTime::from_secs(secs);
+    MergedSource::new(vec![Box::new(BackgroundSource::new(BackgroundConfig::new(
+        EXPERIMENT_BACKGROUND_BPS,
+        SimTime::ZERO,
+        end,
+        seed,
+    ))) as Box<dyn PacketSource>])
+}
+
+/// The §9 adversarial scenarios.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdversarialScenario {
+    /// Baseline: a plain single-flow flood (the defense's home turf).
+    PlainFlood,
+    /// §9.1: every feature randomized per packet.
+    PacketLevelEvasion,
+    /// §9.1: |C| spread-out low-rate vectors, one per cluster.
+    AggregateLevelEvasion,
+    /// §9.2: tight high-rate benign + randomized attack.
+    Swapping,
+    /// §9.2: attack replicates the benign service's signature.
+    Imitation,
+}
+
+impl AdversarialScenario {
+    /// All scenarios, report order.
+    pub const ALL: [AdversarialScenario; 5] = [
+        AdversarialScenario::PlainFlood,
+        AdversarialScenario::PacketLevelEvasion,
+        AdversarialScenario::AggregateLevelEvasion,
+        AdversarialScenario::Swapping,
+        AdversarialScenario::Imitation,
+    ];
+
+    /// Row label.
+    pub fn name(self) -> &'static str {
+        match self {
+            AdversarialScenario::PlainFlood => "Plain flood (baseline)",
+            AdversarialScenario::PacketLevelEvasion => "Packet-level evasion",
+            AdversarialScenario::AggregateLevelEvasion => "Aggregate-level evasion",
+            AdversarialScenario::Swapping => "Swapping attack",
+            AdversarialScenario::Imitation => "Imitation attack",
+        }
+    }
+}
+
+/// The benign service all §9.2 scenarios target: a tight, high-rate
+/// aggregate (one /24, one port band, fixed size).
+fn victim_service(end: SimTime, rate_bps: u64, seed: u64) -> Box<dyn PacketSource> {
+    let cbr = CbrSource::new(
+        FlowTemplate::udp(
+            Ipv4Addr::new(95, 10, 1, 1),
+            Ipv4Addr::new(203, 7, 44, 0),
+            30_000,
+            443,
+            ClassId::BENIGN,
+        )
+        .with_size(1200),
+        rate_bps,
+        SimTime::ZERO,
+        end,
+    );
+    Box::new(SpreadSource::new(
+        cbr,
+        Spread {
+            dst_low_bits: 8,
+            sport: Some((30_000, 30_200)),
+            ..Spread::default()
+        },
+        seed + 9,
+    ))
+}
+
+/// Builds the workload for a §9 adversarial scenario.
+pub fn adversarial(scenario: AdversarialScenario, secs: u64, seed: u64) -> MergedSource {
+    let end = SimTime::from_secs(secs);
+    let start = SimTime::from_secs(5);
+    let mut sources: Vec<Box<dyn PacketSource>> = vec![Box::new(BackgroundSource::new(
+        BackgroundConfig::new(5_000_000, SimTime::ZERO, end, seed),
+    ))];
+    match scenario {
+        AdversarialScenario::PlainFlood => {
+            sources.push(Box::new(AttackSource::new(
+                AttackConfig::new(
+                    AttackVector::UdpFlood,
+                    40_000_000,
+                    start,
+                    end,
+                    ClassId(1),
+                    seed + 1,
+                )
+                .with_single_flow(),
+            )));
+        }
+        AdversarialScenario::PacketLevelEvasion => {
+            // Randomize *everything*: source, destination, both ports,
+            // size, TTL — nothing left to correlate on.
+            let flood = AttackSource::new(
+                AttackConfig::new(
+                    AttackVector::UdpFlood,
+                    40_000_000,
+                    start,
+                    end,
+                    ClassId(1),
+                    seed + 1,
+                )
+                .with_source_spoofing(),
+            );
+            let mut rng = StdRng::seed_from_u64(seed + 2);
+            sources.push(Box::new(MapSource::new(flood, move |p| {
+                p.dst = Ipv4Addr::new(rng.gen(), rng.gen(), rng.gen(), rng.gen());
+                p.ttl = rng.gen();
+                p.ip_len = rng.gen();
+                p.ip_id = rng.gen();
+            })));
+        }
+        AdversarialScenario::AggregateLevelEvasion => {
+            // Ten spread-out vectors at 4 Mbps each (same 40 Mbps total),
+            // one per cluster slot of the simulation profile.
+            for (i, vector) in AttackVector::ALL.iter().enumerate() {
+                sources.push(Box::new(AttackSource::new(
+                    AttackConfig::new(
+                        *vector,
+                        4_000_000,
+                        start,
+                        end,
+                        ClassId(1 + i as u16),
+                        seed + 10 + i as u64,
+                    )
+                    .with_victim(Ipv4Addr::new(10 + 20 * i as u8, 50, 7, 9), 4000 + i as u16),
+                )));
+            }
+        }
+        AdversarialScenario::Swapping => {
+            // Benign = tight 6 Mbps service; attack = randomized 12 Mbps.
+            sources.push(victim_service(end, 6_000_000, seed));
+            let flood = AttackSource::new(
+                AttackConfig::new(
+                    AttackVector::UdpFlood,
+                    12_000_000,
+                    start,
+                    end,
+                    ClassId(1),
+                    seed + 3,
+                )
+                .with_source_spoofing(),
+            );
+            let mut rng = StdRng::seed_from_u64(seed + 4);
+            sources.push(Box::new(MapSource::new(flood, move |p| {
+                p.dst = Ipv4Addr::new(rng.gen(), rng.gen(), rng.gen(), rng.gen());
+                p.ttl = rng.gen();
+            })));
+        }
+        AdversarialScenario::Imitation => {
+            // The attack replicates the victim service's exact signature.
+            sources.push(victim_service(end, 6_000_000, seed));
+            let imitation = CbrSource::new(
+                FlowTemplate::udp(
+                    Ipv4Addr::new(95, 10, 1, 1),
+                    Ipv4Addr::new(203, 7, 44, 0),
+                    30_000,
+                    443,
+                    ClassId(1),
+                )
+                .with_size(1200),
+                40_000_000,
+                start,
+                end,
+            );
+            sources.push(Box::new(SpreadSource::new(
+                imitation,
+                Spread {
+                    dst_low_bits: 8,
+                    sport: Some((30_000, 30_200)),
+                    ..Spread::default()
+                },
+                seed + 5,
+            )));
+        }
+    }
+    MergedSource::new(sources)
+}
+
+/// The Fig. 11a-supplement "elephant" workload: a *tight* volumetric
+/// flood (10 Mbps single flow from t = 5 s) next to a *legitimate
+/// high-bandwidth service* (an 11 Mbps spread "CDN" aggregate) plus
+/// background. The regime where the ranking algorithm decides the
+/// outcome.
+///
+/// This workload keeps its own calibrated seeds — its regime is the
+/// experiment, not the draw — so it takes no seed parameter.
+pub fn elephant(secs: u64) -> MergedSource {
+    let end = SimTime::from_secs(secs);
+    let attack = AttackSource::new(
+        AttackConfig::new(
+            AttackVector::UdpFlood,
+            10_000_000,
+            SimTime::from_secs(5),
+            end,
+            ClassId(1),
+            3,
+        )
+        .with_single_flow(),
+    );
+    let background =
+        BackgroundSource::new(BackgroundConfig::new(8_000_000, SimTime::ZERO, end, 11));
+    let cdn = CbrSource::new(
+        FlowTemplate::udp(
+            Ipv4Addr::new(95, 10, 1, 1),
+            Ipv4Addr::new(203, 7, 44, 0),
+            30_000,
+            443,
+            ClassId::BENIGN,
+        )
+        .with_size(1200),
+        11_000_000,
+        SimTime::ZERO,
+        end,
+    );
+    let cdn = SpreadSource::new(
+        cdn,
+        Spread {
+            dst_low_bits: 8,
+            src_low_bits: 12,
+            sport: Some((30_000, 33_000)),
+            ..Spread::default()
+        },
+        7,
+    );
+    MergedSource::new(vec![
+        Box::new(attack) as Box<dyn PacketSource>,
+        Box::new(background),
+        Box::new(cdn),
+    ])
+}
+
+/// Ground-truth class of the pushback scenario's benign service sharing
+/// the attacked upstream.
+pub const PUSHBACK_SHARED_BENIGN: ClassId = ClassId(1);
+/// Benign class on the attack-free upstream.
+pub const PUSHBACK_CLEAN_BENIGN: ClassId = ClassId(2);
+/// The pushback scenario's attack class.
+pub const PUSHBACK_ATTACK: ClassId = ClassId(5);
+
+/// The pushback topology's per-upstream sources: upstream 0 carries a
+/// 4 Mbps benign CBR service plus a 40 Mbps UDP flood from t = 3 s;
+/// upstream 1 carries a clean 4 Mbps benign CBR service.
+pub fn pushback_upstreams(secs: u64, seed: u64) -> Vec<Box<dyn PacketSource>> {
+    let end = SimTime::from_secs(secs);
+    let shared_benign = CbrSource::new(
+        FlowTemplate::udp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(60, 1, 1, 1),
+            5000,
+            80,
+            PUSHBACK_SHARED_BENIGN,
+        ),
+        4_000_000,
+        SimTime::ZERO,
+        end,
+    );
+    let attack = AttackSource::new(AttackConfig::new(
+        AttackVector::UdpFlood,
+        40_000_000,
+        SimTime::from_secs(3),
+        end,
+        PUSHBACK_ATTACK,
+        seed,
+    ));
+    let upstream0: Box<dyn PacketSource> = Box::new(MergedSource::new(vec![
+        Box::new(shared_benign),
+        Box::new(attack),
+    ]));
+    let clean_benign: Box<dyn PacketSource> = Box::new(CbrSource::new(
+        FlowTemplate::udp(
+            Ipv4Addr::new(10, 0, 1, 1),
+            Ipv4Addr::new(61, 1, 1, 1),
+            5001,
+            80,
+            PUSHBACK_CLEAN_BENIGN,
+        ),
+        4_000_000,
+        SimTime::ZERO,
+        end,
+    ));
+    vec![upstream0, clean_benign]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count(mut src: MergedSource) -> usize {
+        let mut n = 0;
+        while src.next_packet().is_some() {
+            n += 1;
+        }
+        n
+    }
+
+    #[test]
+    fn every_workload_yields_traffic() {
+        assert!(count(flood(FloodVariation::SingleFlow, 8, 1)) > 0);
+        assert!(count(fig6_pulses(12, 1)) > 0);
+        assert!(count(reaction_flood(25, 1)) > 0);
+        assert!(count(background_only(5, 1)) > 0);
+        assert!(count(elephant(8)) > 0);
+        for s in AdversarialScenario::ALL {
+            assert!(count(adversarial(s, 8, 1)) > 0, "{}", s.name());
+        }
+        assert_eq!(pushback_upstreams(5, 1).len(), 2);
+    }
+
+    #[test]
+    fn no_attack_variation_is_background_only() {
+        let with = count(flood(FloodVariation::NoAttack, 8, 7));
+        let bare: usize = {
+            let mut src = BackgroundSource::new(BackgroundConfig::new(
+                EXPERIMENT_BACKGROUND_BPS,
+                SimTime::ZERO,
+                SimTime::from_secs(8),
+                7,
+            ));
+            let mut n = 0;
+            while src.next_packet().is_some() {
+                n += 1;
+            }
+            n
+        };
+        assert_eq!(with, bare);
+    }
+
+    #[test]
+    fn workloads_are_deterministic_per_seed() {
+        let a = count(adversarial(AdversarialScenario::Swapping, 10, 42));
+        let b = count(adversarial(AdversarialScenario::Swapping, 10, 42));
+        assert_eq!(a, b);
+        let c = count(adversarial(AdversarialScenario::Swapping, 10, 43));
+        // Different seeds move packet draws; counts may collide but the
+        // streams must not be forced equal — just sanity-check both run.
+        assert!(c > 0);
+    }
+}
