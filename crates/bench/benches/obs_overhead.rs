@@ -4,19 +4,23 @@
 //! compile out of the hot path. This bench runs the Fig. 2 ACC-Turbo
 //! workload three ways on identical inputs:
 //!
-//! * `plain`  — `run` (the pre-observability datapath),
-//! * `noop`   — `run_instrumented` with `NoopTracer` and no metrics,
-//! * `active` — `run_instrumented` with a live `RingTracer`, a metrics
+//! * `plain`    — `run` (the pre-observability datapath),
+//! * `noop`     — `run_instrumented` with `NoopTracer` and no metrics,
+//! * `streamed` — `run_streamed` with telemetry disabled (`None`), the
+//!   path every figure run now takes,
+//! * `active`   — `run_instrumented` with a live `RingTracer`, a metrics
 //!   registry on both engine and switch, and stage timing enabled.
 //!
-//! The budget is **noop ≤ plain + 2%** (median over samples). The active
-//! row is informational: it is the price of full tracing, not a budget.
+//! The budgets are **noop ≤ plain + 2%** and **streamed-disabled ≤
+//! plain + 2%** (medians over samples). The active row is
+//! informational: it is the price of full tracing, not a budget.
 
 use accturbo_bench::{black_box, fmt_ns, overhead_pct, Harness};
 use accturbo_clustering::FeatureSet;
 use accturbo_core::{AccTurboConfig, AccTurboSwitch};
 use accturbo_netsim::{
-    run, run_instrumented, Bandwidth, EngineConfig, MergedSource, SimDuration, SimTime,
+    run, run_instrumented, run_streamed, Bandwidth, EngineConfig, MergedSource, SimDuration,
+    SimTime,
 };
 use accturbo_obs::{shared, NoopTracer, Registry, RingTracer};
 use accturbo_traffic::scenarios;
@@ -69,6 +73,23 @@ fn main() {
         },
     );
 
+    let streamed = h.run_batched(
+        "obs_overhead/streamed_disabled",
+        None,
+        fresh,
+        |(mut src, mut sw)| {
+            black_box(run_streamed(
+                &mut src,
+                &mut sw,
+                &cfg(),
+                &mut NoopTracer,
+                None,
+                None,
+                None,
+            ));
+        },
+    );
+
     let _active = h.run_batched(
         "obs_overhead/active_tracing",
         None,
@@ -93,24 +114,34 @@ fn main() {
         },
     );
 
-    if let (Some(plain), Some(noop)) = (plain, noop) {
-        let pct = overhead_pct(&plain, &noop);
-        let verdict = if pct <= 2.0 { "PASS" } else { "FAIL" };
-        println!(
-            "\nnoop-instrumented vs plain: {:+.2}% (budget +2.00%) ... {}",
-            pct, verdict
-        );
-        println!(
-            "  plain median {}, noop median {}",
-            fmt_ns(plain.median_ns()),
-            fmt_ns(noop.median_ns())
-        );
-        if h.smoke() {
-            println!("  (smoke mode: single iteration, percentage is noise)");
-        } else if pct > 2.0 {
-            // A loaded machine can push any single run past the budget;
-            // a nonzero exit makes the regression visible to CI wrappers.
-            std::process::exit(1);
+    let mut failed = false;
+    if let Some(plain) = &plain {
+        for (label, row) in [
+            ("noop-instrumented", &noop),
+            ("streamed-disabled", &streamed),
+        ] {
+            let Some(row) = row else { continue };
+            let pct = overhead_pct(plain, row);
+            let verdict = if pct <= 2.0 { "PASS" } else { "FAIL" };
+            println!(
+                "\n{label} vs plain: {:+.2}% (budget +2.00%) ... {}",
+                pct, verdict
+            );
+            println!(
+                "  plain median {}, {label} median {}",
+                fmt_ns(plain.median_ns()),
+                fmt_ns(row.median_ns())
+            );
+            if h.smoke() {
+                println!("  (smoke mode: single iteration, percentage is noise)");
+            } else if pct > 2.0 {
+                failed = true;
+            }
         }
+    }
+    // A loaded machine can push any single run past the budget; a
+    // nonzero exit makes the regression visible to CI wrappers.
+    if failed {
+        std::process::exit(1);
     }
 }

@@ -39,6 +39,11 @@ struct SwitchMetrics {
     /// One `queue_depth_q{i}` gauge per queue, registered upfront so the
     /// control tick never formats metric names on the hot path.
     queue_depth: Vec<GaugeId>,
+    /// Degradation-policy counters exported as gauges at each control
+    /// tick, so the streaming aggregator sees per-period deltas.
+    degrade_missed: GaugeId,
+    degrade_stale: GaugeId,
+    degrade_fallbacks: GaugeId,
     /// `(arrivals, drops, drop_ratio)` per packet class, keyed by class
     /// id. Registered once per class; ticks only update by id.
     per_class: std::collections::HashMap<u16, (CounterId, CounterId, GaugeId)>,
@@ -46,7 +51,7 @@ struct SwitchMetrics {
 
 impl SwitchMetrics {
     fn new(handle: MetricsHandle, num_queues: usize) -> Self {
-        let (enqueues, drops, cluster_distance, control_us, queue_depth) = {
+        let (enqueues, drops, cluster_distance, control_us, queue_depth, degrade_ids) = {
             let mut r = handle.borrow_mut();
             (
                 r.counter("switch_enqueues"),
@@ -66,6 +71,11 @@ impl SwitchMetrics {
                 (0..num_queues)
                     .map(|q| r.gauge(&format!("queue_depth_q{q}")))
                     .collect(),
+                (
+                    r.gauge("control_missed_total"),
+                    r.gauge("control_stale_total"),
+                    r.gauge("control_fallbacks_total"),
+                ),
             )
         };
         SwitchMetrics {
@@ -75,6 +85,9 @@ impl SwitchMetrics {
             cluster_distance,
             control_us,
             queue_depth,
+            degrade_missed: degrade_ids.0,
+            degrade_stale: degrade_ids.1,
+            degrade_fallbacks: degrade_ids.2,
             per_class: std::collections::HashMap::new(),
         }
     }
@@ -425,11 +438,15 @@ impl Switch for AccTurboSwitch<'_> {
                 self.clock.add(self.control_stage, elapsed);
             }
             if let Some(m) = &mut self.metrics {
+                let d = self.degradation.counters();
                 let mut r = m.handle.borrow_mut();
                 r.observe(m.control_us, elapsed.as_secs_f64() * 1e6);
                 for (q, &id) in m.queue_depth.iter().enumerate() {
                     r.set(id, self.bank.len_pkts_at(q) as f64);
                 }
+                r.set(m.degrade_missed, d.total_missed as f64);
+                r.set(m.degrade_stale, d.total_stale as f64);
+                r.set(m.degrade_fallbacks, d.fallbacks as f64);
                 for &(pkts_id, drops_id, ratio_id) in m.per_class.values() {
                     let pkts = r.counter_value(pkts_id);
                     if pkts > 0 {

@@ -258,7 +258,17 @@ pub fn check_golden_identity() -> Result<(), String> {
 }
 
 /// Serializes the export: schema tag, mode, identity verdict, rows.
+/// String fields go through the shared [`accturbo_obs::escape_json`] so
+/// a bench name can never corrupt the document.
 pub fn to_json(smoke: bool, rows: &[BenchRow]) -> String {
+    use accturbo_obs::escape_json;
+    let quoted = |v: &str| {
+        let mut q = String::with_capacity(v.len() + 2);
+        q.push('"');
+        escape_json(v, &mut q);
+        q.push('"');
+        q
+    };
     let mut s = String::from("{\n");
     let _ = writeln!(s, "  \"schema\": \"accturbo-bench-datapath-v1\",");
     let _ = writeln!(s, "  \"smoke\": {smoke},");
@@ -267,7 +277,7 @@ pub fn to_json(smoke: bool, rows: &[BenchRow]) -> String {
         "  \"golden_identity\": {{ \"figures\": [{}], \"identical\": true }},",
         IDENTITY_FIGURES
             .iter()
-            .map(|f| format!("\"{f}\""))
+            .map(|f| quoted(f))
             .collect::<Vec<_>>()
             .join(", ")
     );
@@ -275,8 +285,11 @@ pub fn to_json(smoke: bool, rows: &[BenchRow]) -> String {
     for (i, r) in rows.iter().enumerate() {
         let _ = write!(
             s,
-            "    {{ \"name\": \"{}\", \"elements\": {}, \"median_ns_per_iter\": {:.1}, \"pkts_per_sec\": {:.1}",
-            r.name, r.elements, r.median_ns, r.pkts_per_sec
+            "    {{ \"name\": {}, \"elements\": {}, \"median_ns_per_iter\": {:.1}, \"pkts_per_sec\": {:.1}",
+            quoted(r.name),
+            r.elements,
+            r.median_ns,
+            r.pkts_per_sec
         );
         if let (Some(rp), Some(sp)) = (r.reference_pkts_per_sec, r.speedup) {
             let _ = write!(

@@ -14,6 +14,9 @@ use crate::result::aggregate_csv;
 use crate::spec::{DefenseSpec, ScenarioSpec, WorkloadSpec};
 use crate::{figure_spec, FigureSpec, Scale, FIGURES};
 use accturbo_netsim::SimDuration;
+use accturbo_obs::{
+    shared_recorder, DatasetSink, FlightRecorder, FlowSampler, JsonlSink, Telemetry,
+};
 use std::fmt::Write as _;
 use std::time::Duration;
 
@@ -40,6 +43,15 @@ pub struct Cli {
     /// run to the robustness scenario under exactly this mix (baseline +
     /// faulted cell) instead of the generic figure fan-out.
     pub faults: Vec<(String, f64)>,
+    /// `--sink PATH`: stream the Fig. 2 ACC-Turbo scenario's per-period
+    /// telemetry (period lines + metric aggregates) to a JSONL file.
+    pub sink: Option<String>,
+    /// `--dataset PATH`: export that run's reservoir-sampled flow
+    /// records as a labeled dataset (CSV or JSONL by extension).
+    pub dataset: Option<String>,
+    /// `--flight-recorder PATH`: arm a flight recorder on the same run
+    /// and write any dumped incident windows (JSONL) to PATH.
+    pub flight_recorder: Option<String>,
 }
 
 /// The usage text (`xp --help`).
@@ -90,6 +102,19 @@ pub fn usage() -> String {
          \x20                                trace (plus this run's job spans) to PATH\n\
          \x20   --metrics PATH               write the same run's per-interval\n\
          \x20                                metrics snapshots (JSONL) to PATH\n\
+         \x20   --sink PATH                  stream the same scenario's per-period\n\
+         \x20                                telemetry (period lines + counter\n\
+         \x20                                deltas/gauges/histogram merges) to a\n\
+         \x20                                JSONL file with bounded memory\n\
+         \x20                                (also an `xp run` flag)\n\
+         \x20   --dataset PATH               export reservoir-sampled per-flow\n\
+         \x20                                records from that run as a labeled\n\
+         \x20                                dataset; .csv or .jsonl by extension\n\
+         \x20                                (also an `xp run` flag)\n\
+         \x20   --flight-recorder PATH       arm a flight recorder: dump a JSONL\n\
+         \x20                                window of events around faults,\n\
+         \x20                                degradation, or pulse onsets to PATH\n\
+         \x20                                (also an `xp run` flag)\n\
          \x20   --help                       this text",
         names.join(", ")
     )
@@ -145,6 +170,9 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
         trace: None,
         metrics: None,
         faults: Vec::new(),
+        sink: None,
+        dataset: None,
+        flight_recorder: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -199,6 +227,27 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
                 cli.metrics = Some(
                     it.next()
                         .ok_or_else(|| "--metrics requires a PATH argument".to_string())?
+                        .clone(),
+                );
+            }
+            "--sink" => {
+                cli.sink = Some(
+                    it.next()
+                        .ok_or_else(|| "--sink requires a PATH argument".to_string())?
+                        .clone(),
+                );
+            }
+            "--dataset" => {
+                cli.dataset = Some(
+                    it.next()
+                        .ok_or_else(|| "--dataset requires a PATH argument".to_string())?
+                        .clone(),
+                );
+            }
+            "--flight-recorder" => {
+                cli.flight_recorder = Some(
+                    it.next()
+                        .ok_or_else(|| "--flight-recorder requires a PATH argument".to_string())?
                         .clone(),
                 );
             }
@@ -352,6 +401,20 @@ pub struct RunCmd {
     pub spec: ScenarioSpec,
     /// `--csv`: emit only the per-second panel, no header or summary.
     pub csv: bool,
+    /// `--sink PATH`: stream per-period telemetry to a JSONL file.
+    pub sink: Option<String>,
+    /// `--dataset PATH`: export sampled flow records as a labeled
+    /// dataset (CSV or JSONL by extension).
+    pub dataset: Option<String>,
+    /// `--flight-recorder PATH`: dump incident windows (JSONL) to PATH.
+    pub flight_recorder: Option<String>,
+}
+
+impl RunCmd {
+    /// Whether any streaming-telemetry output was requested.
+    pub fn wants_telemetry(&self) -> bool {
+        self.sink.is_some() || self.dataset.is_some() || self.flight_recorder.is_some()
+    }
 }
 
 /// Parses a bandwidth value: plain bps, or with a `k`/`m`/`g` suffix
@@ -393,7 +456,8 @@ fn parse_period(v: &str) -> Result<SimDuration, String> {
 }
 
 /// Parses `xp run` arguments: `key=value` pairs (comma- or
-/// space-separated) plus the `--csv` / `--quick` flags.
+/// space-separated) plus the `--csv` / `--quick` flags and the
+/// path-valued `--sink` / `--dataset` / `--flight-recorder` flags.
 pub fn parse_run(args: &[String]) -> Result<RunCmd, String> {
     let mut workload: Option<WorkloadSpec> = None;
     let mut defense = DefenseSpec::Fifo;
@@ -404,8 +468,36 @@ pub fn parse_run(args: &[String]) -> Result<RunCmd, String> {
     let mut link: Option<u64> = None;
     let mut period: Option<SimDuration> = None;
     let mut fault_mix: Vec<(String, f64)> = Vec::new();
+    let mut sink: Option<String> = None;
+    let mut dataset: Option<String> = None;
+    let mut flight_recorder: Option<String> = None;
 
-    for token in args
+    // Path-valued flags take their value from the *next whole argument*
+    // and must be peeled off before the key=value tokenizer splits
+    // everything on commas and spaces (paths may contain either).
+    let mut rest: Vec<&String> = Vec::with_capacity(args.len());
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        if matches!(flag, "--sink" | "--dataset" | "--flight-recorder") {
+            let val = args
+                .get(i + 1)
+                .filter(|v| !v.starts_with("--"))
+                .ok_or_else(|| format!("xp run: {flag} requires a PATH argument"))?
+                .clone();
+            match flag {
+                "--sink" => sink = Some(val),
+                "--dataset" => dataset = Some(val),
+                _ => flight_recorder = Some(val),
+            }
+            i += 2;
+        } else {
+            rest.push(&args[i]);
+            i += 1;
+        }
+    }
+
+    for token in rest
         .iter()
         .flat_map(|a| a.split([',', ' ']))
         .filter(|t| !t.is_empty())
@@ -478,21 +570,75 @@ pub fn parse_run(args: &[String]) -> Result<RunCmd, String> {
         let fault_seed = spec.seed;
         spec = spec.with_faults(crate::robustness::config_from_mix(&fault_mix, fault_seed));
     }
-    Ok(RunCmd { spec, csv })
+    Ok(RunCmd {
+        spec,
+        csv,
+        sink,
+        dataset,
+        flight_recorder,
+    })
+}
+
+/// Default capacities for CLI-constructed telemetry: the reservoir keeps
+/// this many flows, the flight recorder this many events with this much
+/// post-trigger aftermath. Fixed (not flags) so two runs of the same
+/// scenario always sample identically.
+const SAMPLER_FLOWS: usize = 4096;
+const RECORDER_EVENTS: usize = 512;
+const RECORDER_POST: usize = 64;
+
+/// Builds the [`Telemetry`] bundle for the given output paths, or `None`
+/// when no path was requested. The sampler is seeded from the scenario
+/// seed so dataset exports are reproducible.
+pub fn build_telemetry(
+    sink: Option<&str>,
+    dataset: Option<&str>,
+    flight_recorder: Option<&str>,
+    seed: u64,
+) -> Result<Option<Telemetry>, String> {
+    if sink.is_none() && dataset.is_none() && flight_recorder.is_none() {
+        return Ok(None);
+    }
+    let mut t = Telemetry::new();
+    if let Some(path) = sink {
+        let s = JsonlSink::create(path).map_err(|e| format!("--sink {path}: {e}"))?;
+        t = t.with_sink(Box::new(s));
+    }
+    if let Some(path) = dataset {
+        let d = DatasetSink::create(path).map_err(|e| format!("--dataset {path}: {e}"))?;
+        t = t
+            .with_flow_sampler(FlowSampler::new(SAMPLER_FLOWS, seed))
+            .with_dataset(d);
+    }
+    if let Some(path) = flight_recorder {
+        let s = JsonlSink::create(path).map_err(|e| format!("--flight-recorder {path}: {e}"))?;
+        let rec = FlightRecorder::new(RECORDER_EVENTS, RECORDER_POST, Box::new(s));
+        t = t.with_recorder(shared_recorder(rec));
+    }
+    Ok(Some(t))
 }
 
 /// Executes a parsed `xp run` and renders its report: the scenario
 /// echo, the workload's natural per-second panel (bandwidth shares for
 /// the Fig. 2/3 family, attack/benign throughput otherwise), and a
 /// summary whose share/droprate means match the corresponding figure's
-/// golden summary entries. `--csv` keeps only the panel.
-pub fn render_run(cmd: &RunCmd) -> String {
+/// golden summary entries. `--csv` keeps only the panel. When any
+/// `--sink` / `--dataset` / `--flight-recorder` path was given, the run
+/// goes through the streaming engine and the summary gains a
+/// `telemetry.*` section.
+pub fn render_run(cmd: &RunCmd) -> Result<String, String> {
     use crate::common::{share_panel, share_series, throughput_panel};
     use accturbo_netsim::ClassId;
     use accturbo_telemetry::f;
 
     let spec = &cmd.spec;
-    let outcome = spec.execute();
+    let mut telemetry = build_telemetry(
+        cmd.sink.as_deref(),
+        cmd.dataset.as_deref(),
+        cmd.flight_recorder.as_deref(),
+        spec.seed,
+    )?;
+    let outcome = spec.execute_streamed(telemetry.as_mut());
     let res = &outcome.result;
     let secs = spec.secs;
     let mut out = String::new();
@@ -513,7 +659,7 @@ pub fn render_run(cmd: &RunCmd) -> String {
         throughput_panel(&mut out, "Per-second throughput", res, secs);
     }
     if cmd.csv {
-        return out;
+        return Ok(out);
     }
 
     let _ = writeln!(out, "# summary");
@@ -569,7 +715,23 @@ pub fn render_run(cmd: &RunCmd) -> String {
         let _ = writeln!(out, "degradation.stale_ticks,{}", outcome.stale_ticks);
         let _ = writeln!(out, "degradation.fallbacks,{}", outcome.fallbacks);
     }
-    out
+    if let Some(tel) = &telemetry {
+        let _ = writeln!(out, "telemetry.periods,{}", tel.periods());
+        if cmd.sink.is_some() {
+            let _ = writeln!(out, "telemetry.sink_lines,{}", tel.sink_lines());
+        }
+        if cmd.dataset.is_some() {
+            let _ = writeln!(out, "telemetry.flows_seen,{}", tel.flows_seen());
+            let _ = writeln!(out, "telemetry.dataset_rows,{}", tel.dataset_rows());
+        }
+        if cmd.flight_recorder.is_some() {
+            let _ = writeln!(out, "telemetry.flight_windows,{}", tel.recorder_windows());
+        }
+        if tel.pulse_onsets() > 0 {
+            let _ = writeln!(out, "telemetry.pulse_onsets,{}", tel.pulse_onsets());
+        }
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -854,6 +1016,32 @@ mod tests {
     }
 
     #[test]
+    fn run_parses_telemetry_path_flags() {
+        let cmd = parse_run(&args(&[
+            "workload=fig2",
+            "defense=accturbo",
+            "--sink",
+            "out dir/t.jsonl",
+            "--dataset",
+            "flows,v1.csv",
+            "--flight-recorder",
+            "fr.jsonl",
+        ]))
+        .unwrap();
+        assert_eq!(cmd.sink.as_deref(), Some("out dir/t.jsonl"));
+        assert_eq!(cmd.dataset.as_deref(), Some("flows,v1.csv"));
+        assert_eq!(cmd.flight_recorder.as_deref(), Some("fr.jsonl"));
+        assert!(cmd.wants_telemetry());
+
+        let err = parse_run(&args(&["workload=fig2", "--sink"])).unwrap_err();
+        assert!(err.contains("--sink"), "{err}");
+        let err = parse_run(&args(&["workload=fig2", "--dataset", "--csv"])).unwrap_err();
+        assert!(err.contains("--dataset"), "{err}");
+        let plain = parse_run(&args(&["workload=fig2"])).unwrap();
+        assert!(!plain.wants_telemetry());
+    }
+
+    #[test]
     fn run_render_emits_panel_summary_and_conservation() {
         let cmd = parse_run(&args(&[
             "workload=fig2",
@@ -862,7 +1050,7 @@ mod tests {
             "--quick",
         ]))
         .unwrap();
-        let out = render_run(&cmd);
+        let out = render_run(&cmd).unwrap();
         assert!(
             out.starts_with("# scenario workload=fig2 defense=accturbo"),
             "{out}"
@@ -876,7 +1064,8 @@ mod tests {
         let csv = render_run(&RunCmd {
             csv: true,
             ..parse_run(&args(&["workload=fig2", "secs=6"])).unwrap()
-        });
+        })
+        .unwrap();
         assert!(!csv.contains("# scenario"), "{csv}");
         assert!(!csv.contains("# summary"), "{csv}");
     }
@@ -890,7 +1079,7 @@ mod tests {
             "faults=ctrl_drop:1.0",
         ]))
         .unwrap();
-        let out = render_run(&cmd);
+        let out = render_run(&cmd).unwrap();
         assert!(out.contains("faults.ctrl_dropped,"), "{out}");
         assert!(out.contains("degradation.missed_ticks,"), "{out}");
         assert!(out.contains("conservation,ok"), "{out}");

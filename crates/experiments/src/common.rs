@@ -7,10 +7,10 @@
 
 use crate::result::FigureResult;
 use accturbo_netsim::{
-    run, run_instrumented, run_with_faults, ClassId, EngineConfig, FaultInjector,
+    run, run_instrumented, run_streamed, run_with_faults, ClassId, EngineConfig, FaultInjector,
     NoopFaultInjector, PacketSource, RunResult, SimDuration, Switch,
 };
-use accturbo_obs::{MetricsHandle, NoopTracer, Tracer};
+use accturbo_obs::{MetricsHandle, NoopTracer, Telemetry, Tracer};
 use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Experiment fidelity: `Full` regenerates the paper's figures; `Quick`
@@ -111,6 +111,28 @@ pub fn simulate_instrumented<T: Tracer + ?Sized>(
 ) -> RunResult {
     let cfg = engine_config(link_bps, secs, control_period);
     run_instrumented(source, switch, &cfg, tracer, metrics)
+}
+
+/// [`simulate`] with the full streaming-telemetry plumbing: optional
+/// fault plane, engine tracer (share a flight-recorder handle with the
+/// switch to get one interleaved incident timeline), engine metrics,
+/// and the [`Telemetry`] bundle driven at every stats boundary. With
+/// `telemetry == None` this is byte-identical to the corresponding
+/// non-streamed path.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_streamed<T: Tracer + ?Sized>(
+    source: &mut dyn PacketSource,
+    switch: &mut dyn Switch,
+    link_bps: u64,
+    secs: u64,
+    control_period: Option<SimDuration>,
+    tracer: &mut T,
+    metrics: Option<&MetricsHandle>,
+    faults: Option<&FaultInjector>,
+    telemetry: Option<&mut Telemetry>,
+) -> RunResult {
+    let cfg = engine_config(link_bps, secs, control_period);
+    run_streamed(source, switch, &cfg, tracer, metrics, faults, telemetry)
 }
 
 /// Pushes the structural summary of a bandwidth-share panel into a

@@ -33,6 +33,7 @@ pub mod result;
 pub mod robustness;
 pub mod spec;
 pub mod table3;
+pub mod trace;
 
 pub use common::Scale;
 pub use result::FigureResult;

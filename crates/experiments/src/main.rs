@@ -14,30 +14,27 @@
 //! observability exports together.
 
 use accturbo_experiments::cli::{self, Cli, JobSpan};
-use accturbo_obs::{Event, OwnedEvent, Tracer as _};
+use accturbo_obs::{Event, Tracer as _};
 use std::process::ExitCode;
 
 /// `xp trace PATH`: pretty-print a JSONL trace written by `--trace`.
+/// Forward-compatible: unknown event kinds come out raw with a warning
+/// rather than being silently dropped (`accturbo_experiments::trace`).
 fn dump_trace(path: &str) -> Result<(), String> {
-    use std::io::Write as _;
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     let stdout = std::io::stdout();
     let mut out = std::io::BufWriter::new(stdout.lock());
-    let mut skipped = 0usize;
-    for line in text.lines().filter(|l| !l.trim().is_empty()) {
-        match OwnedEvent::parse_jsonl_line(line) {
-            Some((ts, ev)) => {
-                // A closed pipe (`xp trace … | head`) is a normal exit.
-                if writeln!(out, "{}", ev.pretty(ts)).is_err() {
-                    return Ok(());
-                }
-            }
-            None => skipped += 1,
-        }
-    }
-    let _ = out.flush();
-    if skipped > 0 {
-        eprintln!("({skipped} unparseable lines skipped)");
+    // A closed pipe (`xp trace … | head`) is a normal exit.
+    let stats = match accturbo_experiments::trace::dump_to(&text, &mut out) {
+        Ok(stats) => stats,
+        Err(_) => return Ok(()),
+    };
+    if stats.unknown > 0 {
+        eprintln!(
+            "warning: {} line(s) with unknown event kinds rendered raw \
+             (trace written by a newer xp?)",
+            stats.unknown
+        );
     }
     Ok(())
 }
@@ -79,6 +76,49 @@ fn export_observability(cli: &Cli, spans: &[JobSpan]) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs the Fig. 2 ACC-Turbo scenario through the streaming engine and
+/// writes whichever of `--sink` / `--dataset` / `--flight-recorder` was
+/// requested alongside a figure run. Mirrors [`export_observability`]
+/// but with bounded-memory streaming outputs instead of accumulating
+/// in-process buffers.
+fn export_streaming(cli: &Cli) -> Result<(), String> {
+    eprintln!("running the streamed Fig. 2 ACC-Turbo scenario ...");
+    let mut argv: Vec<String> = vec!["workload=fig2".into(), "defense=accturbo".into()];
+    if cli.scale == accturbo_experiments::Scale::Quick {
+        argv.push("--quick".into());
+    }
+    let spec = cli::parse_run(&argv)?.spec;
+    let mut tel = cli::build_telemetry(
+        cli.sink.as_deref(),
+        cli.dataset.as_deref(),
+        cli.flight_recorder.as_deref(),
+        spec.seed,
+    )?
+    .expect("export_streaming is only called when a telemetry flag is set");
+    let _ = spec.execute_streamed(Some(&mut tel));
+    if let Some(path) = &cli.sink {
+        eprintln!(
+            "wrote {} telemetry lines ({} periods) to {path}",
+            tel.sink_lines(),
+            tel.periods()
+        );
+    }
+    if let Some(path) = &cli.dataset {
+        eprintln!(
+            "wrote {} labeled flow records ({} flows seen) to {path}",
+            tel.dataset_rows(),
+            tel.flows_seen()
+        );
+    }
+    if let Some(path) = &cli.flight_recorder {
+        eprintln!(
+            "wrote {} flight window(s) to {path}",
+            tel.recorder_windows()
+        );
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
@@ -99,9 +139,9 @@ fn main() -> ExitCode {
         };
     }
     if args.first().map(String::as_str) == Some("run") {
-        return match cli::parse_run(&args[1..]) {
-            Ok(cmd) => {
-                print!("{}", cli::render_run(&cmd));
+        return match cli::parse_run(&args[1..]).and_then(|cmd| cli::render_run(&cmd)) {
+            Ok(report) => {
+                print!("{report}");
                 ExitCode::SUCCESS
             }
             Err(e) => {
@@ -138,6 +178,12 @@ fn main() -> ExitCode {
 
     if cli.trace.is_some() || cli.metrics.is_some() {
         if let Err(e) = export_observability(&cli, &spans) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if cli.sink.is_some() || cli.dataset.is_some() || cli.flight_recorder.is_some() {
+        if let Err(e) = export_streaming(&cli) {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }

@@ -23,7 +23,7 @@
 //!
 //! [`execute`]: ScenarioSpec::execute
 
-use crate::common::{simulate, simulate_with_faults, Scale, LINK_10G_SCALED};
+use crate::common::{simulate, simulate_streamed, simulate_with_faults, Scale, LINK_10G_SCALED};
 use accturbo_acc::{AccConfig, AccSwitch};
 use accturbo_clustering::{DistanceKind, FeatureSet, InitMode, NominalMode, RepMode, SearchKind};
 use accturbo_core::{AccTurboConfig, AccTurboSwitch, IdealPifoSwitch, RankedAccTurboSwitch};
@@ -33,10 +33,13 @@ use accturbo_netsim::{
     PacketSource, ProgramSwapSwitch, RedConfig, RedQueue, RunResult, SimDuration, SimTime,
     SingleQueueSwitch, Switch,
 };
+use accturbo_obs::{MetricsHandle, NoopTracer, Registry, Telemetry, Tracer};
 use accturbo_sched::RankingAlgorithm;
 use accturbo_traffic::workloads::{self, AdversarialScenario, FloodVariation};
 use accturbo_traffic::{scenarios, AttackVector, CicDdosConfig};
+use std::cell::RefCell;
 use std::fmt;
+use std::rc::Rc;
 use std::str::FromStr;
 
 /// Renders a duration as seconds — integer when whole, decimal
@@ -1188,6 +1191,100 @@ impl ScenarioSpec {
                         fallbacks: 0,
                     }
                 }
+            }
+        }
+    }
+
+    /// [`ScenarioSpec::execute`] with a streaming-telemetry bundle.
+    ///
+    /// With `telemetry == None` this delegates to [`execute`]
+    /// (byte-identical, keeping the goldens honest). When streaming, the
+    /// engine gets a fresh metrics registry so the aggregation stage has
+    /// per-period counters/gauges/histograms to delta; an ACC-Turbo
+    /// defense additionally shares that registry (control-loop timing,
+    /// queue depths, degradation gauges) and — when the bundle carries a
+    /// flight recorder — installs the recorder as its tracer so switch
+    /// and engine events land in one incident timeline.
+    ///
+    /// [`execute`]: ScenarioSpec::execute
+    pub fn execute_streamed(&self, telemetry: Option<&mut Telemetry>) -> ScenarioOutcome {
+        let Some(tel) = telemetry else {
+            return self.execute();
+        };
+        let period = self.effective_period();
+        let metrics: MetricsHandle = Rc::new(RefCell::new(Registry::new()));
+        let recorder = tel.recorder_handle();
+        let mut engine_tracer: Box<dyn Tracer> = match &recorder {
+            Some(rec) => Box::new(rec.clone()),
+            None => Box::new(NoopTracer),
+        };
+        let inj = self
+            .faults
+            .as_ref()
+            .map(|fc| FaultInjector::new(FaultSchedule::new(fc.clone())));
+        if let DefenseSpec::AccTurbo(spec) = &self.defense {
+            let mut sw = spec.build();
+            sw.set_metrics(Rc::clone(&metrics));
+            if let Some(rec) = &recorder {
+                sw.set_tracer(Box::new(rec.clone()));
+            }
+            if let Some(inj) = &inj {
+                sw.set_faults(inj.clone());
+            }
+            let mut src: Box<dyn PacketSource> = {
+                let inner = self.workload.build(self.link_bps, self.secs, self.seed);
+                match &inj {
+                    Some(inj) => Box::new(FaultedSource::new(inner, inj.clone())),
+                    None => inner,
+                }
+            };
+            let result = simulate_streamed(
+                &mut *src,
+                &mut sw,
+                self.link_bps,
+                self.secs,
+                period,
+                &mut *engine_tracer,
+                Some(&metrics),
+                inj.as_ref(),
+                Some(tel),
+            );
+            let d = sw.degradation().counters();
+            ScenarioOutcome {
+                backlog_pkts: sw.backlog_pkts(),
+                result,
+                fault_stats: inj.map(|i| i.stats()),
+                missed_ticks: d.total_missed,
+                stale_ticks: d.total_stale,
+                fallbacks: d.fallbacks,
+            }
+        } else {
+            let mut sw = self.defense.build(self.link_bps);
+            let mut src: Box<dyn PacketSource> = {
+                let inner = self.workload.build(self.link_bps, self.secs, self.seed);
+                match &inj {
+                    Some(inj) => Box::new(FaultedSource::new(inner, inj.clone())),
+                    None => inner,
+                }
+            };
+            let result = simulate_streamed(
+                &mut *src,
+                &mut *sw,
+                self.link_bps,
+                self.secs,
+                period,
+                &mut *engine_tracer,
+                Some(&metrics),
+                inj.as_ref(),
+                Some(tel),
+            );
+            ScenarioOutcome {
+                backlog_pkts: sw.backlog_pkts(),
+                result,
+                fault_stats: inj.map(|i| i.stats()),
+                missed_ticks: 0,
+                stale_ticks: 0,
+                fallbacks: 0,
             }
         }
     }

@@ -25,7 +25,7 @@ use crate::stats::StatsCollector;
 use crate::switch::Switch;
 use crate::time::{SimDuration, SimTime};
 use crate::units::Bandwidth;
-use accturbo_obs::{Event, MetricsHandle, NoopTracer, Tracer};
+use accturbo_obs::{Event, FlowKey, MetricsHandle, NoopTracer, Telemetry, Tracer};
 
 /// The three event kinds the engine schedules, in tie-break priority
 /// order: at equal timestamps a transmission completion is processed
@@ -257,6 +257,46 @@ pub fn run_with_faults<T: Tracer + ?Sized>(
     metrics: Option<&MetricsHandle>,
     faults: Option<&FaultInjector>,
 ) -> RunResult {
+    run_streamed(source, switch, cfg, tracer, metrics, faults, None)
+}
+
+/// The flow identity the streaming sampler keys on, taken from a packet.
+#[inline]
+fn flow_key(p: &Packet) -> FlowKey {
+    FlowKey {
+        src: u32::from(p.src),
+        dst: u32::from(p.dst),
+        sport: p.sport,
+        dport: p.dport,
+        proto: p.proto,
+    }
+}
+
+/// [`run_with_faults`] with an optional streaming-telemetry bundle
+/// (DESIGN.md §11).
+///
+/// When `telemetry` is given, the engine replaces the registry's
+/// accumulate-and-dump snapshots with streaming: at every stats-interval
+/// boundary (and once at the end) it calls [`Telemetry::on_period`] with
+/// the live registry, which emits per-period counter deltas / gauge
+/// last-values / histogram merges to the bundle's sink, feeds the
+/// reservoir flow sampler from arrivals/drops, runs the pulse-onset
+/// heuristic, and — via [`Telemetry::finish`] — exports the labeled
+/// dataset. `Registry::snapshot` is never called on this path, so
+/// telemetry memory stays bounded by the sink/ring/reservoir capacities
+/// for arbitrarily long runs.
+///
+/// With `telemetry == None` every hook is a not-taken branch on
+/// unchanged state: the run is byte-identical to [`run_with_faults`].
+pub fn run_streamed<T: Tracer + ?Sized>(
+    source: &mut dyn PacketSource,
+    switch: &mut dyn Switch,
+    cfg: &EngineConfig,
+    tracer: &mut T,
+    metrics: Option<&MetricsHandle>,
+    faults: Option<&FaultInjector>,
+    mut telemetry: Option<&mut Telemetry>,
+) -> RunResult {
     let mut stats = StatsCollector::new(cfg.stats_interval);
     let mut delays = DelayHistogram::new();
     let mut drops_buf: Vec<Dropped> = Vec::new();
@@ -329,7 +369,12 @@ pub fn run_with_faults<T: Tracer + ?Sized>(
             if let (Some(m), Some(ids)) = (metrics, &ids) {
                 let mut r = m.borrow_mut();
                 r.set(ids.3, switch.backlog_pkts() as f64);
-                r.snapshot(boundary_ns);
+                match telemetry.as_mut() {
+                    Some(t) => t.on_period(boundary_ns, switch.backlog_pkts(), Some(&r)),
+                    None => r.snapshot(boundary_ns),
+                }
+            } else if let Some(t) = telemetry.as_mut() {
+                t.on_period(boundary_ns, switch.backlog_pkts(), None);
             }
         }
 
@@ -352,6 +397,9 @@ pub fn run_with_faults<T: Tracer + ?Sized>(
                 }
                 if let (Some(m), Some(ids)) = (metrics, &ids) {
                     m.borrow_mut().inc(ids.1, 1);
+                }
+                if let Some(t) = telemetry.as_mut() {
+                    t.on_depart(pkt.size);
                 }
             }
             EventSlot::Control => {
@@ -392,10 +440,16 @@ pub fn run_with_faults<T: Tracer + ?Sized>(
                 calendar.cancel(EventSlot::Arrival);
                 stats.on_arrival(&pkt);
                 arrivals += 1;
+                if let Some(t) = telemetry.as_mut() {
+                    t.on_arrival(now.as_nanos(), flow_key(&pkt), pkt.class.0, pkt.size);
+                }
                 drops_buf.clear();
                 switch.ingress(pkt, now, &mut drops_buf);
                 for d in &drops_buf {
                     stats.on_drop(d, now);
+                    if let Some(t) = telemetry.as_mut() {
+                        t.on_drop(&flow_key(&d.packet));
+                    }
                     if tracer.enabled() {
                         tracer.record(
                             now.as_nanos(),
@@ -441,11 +495,17 @@ pub fn run_with_faults<T: Tracer + ?Sized>(
         }
     }
 
-    // Final snapshot so short runs still export at least one.
+    // Final snapshot (or streamed final period) so short runs still
+    // export at least one.
     if let (Some(m), Some(ids)) = (metrics, &ids) {
         let mut r = m.borrow_mut();
         r.set(ids.3, switch.backlog_pkts() as f64);
-        r.snapshot(now.as_nanos());
+        match telemetry.as_mut() {
+            Some(t) => t.finish(now.as_nanos(), switch.backlog_pkts(), Some(&r)),
+            None => r.snapshot(now.as_nanos()),
+        }
+    } else if let Some(t) = telemetry.as_mut() {
+        t.finish(now.as_nanos(), switch.backlog_pkts(), None);
     }
 
     RunResult {

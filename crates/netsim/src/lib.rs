@@ -37,7 +37,7 @@ pub mod time;
 pub mod trace;
 pub mod units;
 
-pub use engine::{run, run_instrumented, run_with_faults, EngineConfig, RunResult};
+pub use engine::{run, run_instrumented, run_streamed, run_with_faults, EngineConfig, RunResult};
 pub use fault::{
     ControlAction, FaultConfig, FaultInjector, FaultRecord, FaultSchedule, FaultStats,
     FaultedSource, NoopFaultInjector, PktFate,

@@ -8,7 +8,7 @@
 //! `{"ts":<ns>,"ev":"<kind>", ...variant fields...}` — documented per
 //! variant below and in DESIGN.md §"Observability".
 
-use crate::escape_json;
+use crate::json::{dotted, escape_json, raw_field};
 use std::fmt::Write as _;
 
 /// A borrowed trace event, cheap to construct on the hot path.
@@ -354,11 +354,6 @@ impl Event<'_> {
     }
 }
 
-fn dotted(prefix: u32) -> String {
-    let b = prefix.to_be_bytes();
-    format!("{}.{}.{}.{}", b[0], b[1], b[2], b[3])
-}
-
 impl OwnedEvent {
     /// The event's kind tag, as written in the JSONL `"ev"` field.
     pub fn kind(&self) -> &'static str {
@@ -680,30 +675,6 @@ impl OwnedEvent {
         };
         Some((ts, ev))
     }
-}
-
-/// The raw text of `"key":<value>` in a flat one-line JSON object body
-/// (outer braces stripped), stopping at the next top-level comma.
-fn raw_field<'s>(body: &'s str, key: &str) -> Option<&'s str> {
-    let pat = format!("\"{key}\":");
-    let start = body.find(&pat)? + pat.len();
-    let rest = &body[start..];
-    let (mut depth, mut in_str, mut esc) = (0usize, false, false);
-    for (i, ch) in rest.char_indices() {
-        if esc {
-            esc = false;
-            continue;
-        }
-        match ch {
-            '\\' if in_str => esc = true,
-            '"' => in_str = !in_str,
-            '[' if !in_str => depth += 1,
-            ']' if !in_str => depth = depth.saturating_sub(1),
-            ',' if !in_str && depth == 0 => return Some(&rest[..i]),
-            _ => {}
-        }
-    }
-    Some(rest)
 }
 
 #[cfg(test)]

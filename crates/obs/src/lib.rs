@@ -22,45 +22,40 @@
 //! * [`span`] — wall-clock self-profiling of pipeline stages
 //!   (classify/rank/enqueue) using `std::time::Instant`.
 //!
+//! Plus the streaming layer for runs too long to buffer:
+//!
+//! * [`sink`] — where telemetry *goes* (JSONL file, bounded ring,
+//!   fan-out tee, CSV/JSONL dataset exporter), flushed per period.
+//! * [`stream`] — the per-period aggregation stage ([`Aggregator`]) and
+//!   the per-run bundle ([`Telemetry`]) the engine drives.
+//! * [`sample`] — deterministic reservoir sampling of per-flow records
+//!   ([`FlowSampler`]), exported as labeled datasets.
+//! * [`flight`] — the [`FlightRecorder`]: a silent ring that dumps a
+//!   window of events around faults, degradation, or pulse onsets.
+//! * [`json`] — the shared JSON escaping/formatting helpers every
+//!   producer in the workspace uses.
+//!
 //! Timestamps are raw `u64` simulated nanoseconds rather than `SimTime`
 //! so this crate stays below `netsim` in the dependency graph.
 
 #![deny(missing_docs)]
 
 pub mod event;
+pub mod flight;
+pub mod json;
 pub mod metrics;
+pub mod sample;
+pub mod sink;
 pub mod span;
+pub mod stream;
 pub mod tracer;
 
 pub use event::{Event, OwnedEvent};
+pub use flight::{shared_recorder, FlightRecorder, SharedFlightRecorder};
+pub use json::{escape_json, json_f64, raw_field};
 pub use metrics::{CounterId, GaugeId, Histogram, HistogramId, MetricsHandle, Registry};
+pub use sample::{FlowKey, FlowRecord, FlowSampler};
+pub use sink::{DatasetFormat, DatasetSink, JsonlSink, RingSink, Sink, TeeSink};
 pub use span::{StageClock, StageId};
+pub use stream::{Aggregator, Telemetry};
 pub use tracer::{shared, NoopTracer, RingTracer, SharedTracer, Tracer};
-
-/// Escapes a string for inclusion in a JSON string literal.
-pub(crate) fn escape_json(s: &str, out: &mut String) {
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
-}
-
-/// Formats an `f64` as JSON (finite → shortest form; non-finite → null,
-/// since JSON has no Infinity/NaN literals).
-pub(crate) fn json_f64(x: f64, out: &mut String) {
-    use std::fmt::Write as _;
-    if x.is_finite() {
-        let _ = write!(out, "{x}");
-    } else {
-        out.push_str("null");
-    }
-}

@@ -210,6 +210,33 @@ impl Registry {
         self.snapshot_count
     }
 
+    /// Iterates `(name, value)` over all registered counters, in
+    /// registration order. Used by the streaming aggregation stage.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counter_names
+            .iter()
+            .map(String::as_str)
+            .zip(self.counters.iter().copied())
+    }
+
+    /// Iterates `(name, value)` over all registered gauges, in
+    /// registration order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauge_names
+            .iter()
+            .map(String::as_str)
+            .zip(self.gauges.iter().copied())
+    }
+
+    /// Iterates `(name, histogram)` over all registered histograms, in
+    /// registration order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histogram_names
+            .iter()
+            .map(String::as_str)
+            .zip(self.histograms.iter())
+    }
+
     /// Appends one JSONL line per registered metric at time `ts_ns`.
     /// Counters and histograms are cumulative; gauges are instantaneous.
     pub fn snapshot(&mut self, ts_ns: u64) {

@@ -1,0 +1,301 @@
+//! Deterministic reservoir sampling of per-flow records.
+//!
+//! An internet-day run sees far more flows than fit in memory; the
+//! sampler keeps a uniform sample of `capacity` *flows* (Algorithm R
+//! over distinct five-tuples) and accumulates packet/byte/drop counts
+//! only for sampled flows, so telemetry memory is O(capacity) no matter
+//! how many packets pass. The RNG is an inlined SplitMix64 seeded from
+//! the run seed — this crate is the dependency root and cannot use
+//! `accturbo-prng` — so the same seed always yields the byte-identical
+//! sample, which the dataset-export tests lock down.
+
+use crate::json::dotted;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// A flow identity: the classic five-tuple, addresses as big-endian
+/// `u32` so the sampler stays below `netsim` in the dependency graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowKey {
+    /// Source address.
+    pub src: u32,
+    /// Destination address.
+    pub dst: u32,
+    /// Source port.
+    pub sport: u16,
+    /// Destination port.
+    pub dport: u16,
+    /// IP protocol number.
+    pub proto: u8,
+}
+
+/// Accumulated statistics for one sampled flow, exported as one labeled
+/// dataset row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowRecord {
+    /// The flow's five-tuple.
+    pub key: FlowKey,
+    /// Ground-truth traffic class (0 = benign).
+    pub class: u16,
+    /// Packets offered by this flow (accepted or dropped).
+    pub pkts: u64,
+    /// Bytes offered by this flow.
+    pub bytes: u64,
+    /// Packets of this flow dropped by the switch.
+    pub drops: u64,
+    /// Simulated time of the flow's first packet, nanoseconds.
+    pub first_ts_ns: u64,
+    /// Simulated time of the flow's most recent packet, nanoseconds.
+    pub last_ts_ns: u64,
+}
+
+impl FlowRecord {
+    /// The CSV header matching [`FlowRecord::write_csv`].
+    pub const CSV_HEADER: &'static str =
+        "src,dst,sport,dport,proto,class,label,pkts,bytes,drops,first_ns,last_ns";
+
+    /// The ground-truth label: class 0 is benign, all others attack.
+    pub fn label(&self) -> &'static str {
+        if self.class == 0 {
+            "benign"
+        } else {
+            "attack"
+        }
+    }
+
+    /// Appends the record as one CSV row (no trailing newline).
+    pub fn write_csv(&self, out: &mut String) {
+        let _ = write!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{},{},{}",
+            dotted(self.key.src),
+            dotted(self.key.dst),
+            self.key.sport,
+            self.key.dport,
+            self.key.proto,
+            self.class,
+            self.label(),
+            self.pkts,
+            self.bytes,
+            self.drops,
+            self.first_ts_ns,
+            self.last_ts_ns,
+        );
+    }
+
+    /// Appends the record as one JSON object (no trailing newline).
+    pub fn write_jsonl(&self, out: &mut String) {
+        let _ = write!(
+            out,
+            "{{\"src\":\"{}\",\"dst\":\"{}\",\"sport\":{},\"dport\":{},\"proto\":{},\"class\":{},\"label\":\"{}\",\"pkts\":{},\"bytes\":{},\"drops\":{},\"first_ns\":{},\"last_ns\":{}}}",
+            dotted(self.key.src),
+            dotted(self.key.dst),
+            self.key.sport,
+            self.key.dport,
+            self.key.proto,
+            self.class,
+            self.label(),
+            self.pkts,
+            self.bytes,
+            self.drops,
+            self.first_ts_ns,
+            self.last_ts_ns,
+        );
+    }
+}
+
+/// SplitMix64: tiny, statistically solid, and fully determined by its
+/// seed. Inlined here because `accturbo-obs` sits below `accturbo-prng`.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A uniform reservoir (Algorithm R) over distinct flows with bounded
+/// per-flow accumulation. See the module docs for the memory argument.
+#[derive(Debug, Clone)]
+pub struct FlowSampler {
+    capacity: usize,
+    rng: u64,
+    records: Vec<FlowRecord>,
+    index: HashMap<FlowKey, usize>,
+    flows_seen: u64,
+}
+
+impl FlowSampler {
+    /// Creates a sampler keeping at most `capacity` flows, deterministic
+    /// in `seed`.
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        assert!(capacity > 0, "sampler capacity must be positive");
+        FlowSampler {
+            capacity,
+            rng: seed ^ 0x9E37_79B9_7F4A_7C15,
+            records: Vec::with_capacity(capacity.min(4096)),
+            index: HashMap::with_capacity(capacity.min(4096)),
+            flows_seen: 0,
+        }
+    }
+
+    /// Offers one packet. Tracked flows accumulate; new flows enter the
+    /// reservoir while it has room, then replace a uniformly chosen slot
+    /// with probability `capacity / flows_seen` (Algorithm R).
+    pub fn offer(&mut self, ts_ns: u64, key: FlowKey, class: u16, size: u32) {
+        if let Some(&i) = self.index.get(&key) {
+            let rec = &mut self.records[i];
+            rec.pkts += 1;
+            rec.bytes += u64::from(size);
+            rec.last_ts_ns = ts_ns;
+            return;
+        }
+        self.flows_seen += 1;
+        let rec = FlowRecord {
+            key,
+            class,
+            pkts: 1,
+            bytes: u64::from(size),
+            drops: 0,
+            first_ts_ns: ts_ns,
+            last_ts_ns: ts_ns,
+        };
+        if self.records.len() < self.capacity {
+            self.index.insert(key, self.records.len());
+            self.records.push(rec);
+            return;
+        }
+        // Algorithm R: replace slot j ∈ [0, flows_seen) if j < capacity.
+        let j = (splitmix64(&mut self.rng) % self.flows_seen) as usize;
+        if j < self.capacity {
+            self.index.remove(&self.records[j].key);
+            self.index.insert(key, j);
+            self.records[j] = rec;
+        }
+    }
+
+    /// Records a drop for `key` if it is currently sampled.
+    pub fn on_drop(&mut self, key: &FlowKey) {
+        if let Some(&i) = self.index.get(key) {
+            self.records[i].drops += 1;
+        }
+    }
+
+    /// Flows currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no flow has been sampled yet.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The configured reservoir capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Distinct flows ever offered (sampled or not).
+    pub fn flows_seen(&self) -> u64 {
+        self.flows_seen
+    }
+
+    /// The sampled records, in reservoir-slot order (deterministic for a
+    /// given seed and offer sequence — slot order, never map order).
+    pub fn records(&self) -> &[FlowRecord] {
+        &self.records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: u32) -> FlowKey {
+        FlowKey {
+            src: 0x0A00_0000 | n,
+            dst: 0xC612_0001,
+            sport: 1000 + (n % 100) as u16,
+            dport: 443,
+            proto: 17,
+        }
+    }
+
+    fn offer_many(s: &mut FlowSampler, flows: u32, pkts_per_flow: u32) {
+        for p in 0..pkts_per_flow {
+            for n in 0..flows {
+                s.offer(u64::from(p * flows + n) * 1000, key(n), (n % 2) as u16, 100);
+            }
+        }
+    }
+
+    #[test]
+    fn accumulates_per_flow_under_capacity() {
+        let mut s = FlowSampler::new(16, 7);
+        offer_many(&mut s, 4, 3);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.flows_seen(), 4);
+        let rec = &s.records()[1];
+        assert_eq!(rec.pkts, 3);
+        assert_eq!(rec.bytes, 300);
+        assert!(rec.first_ts_ns < rec.last_ts_ns);
+    }
+
+    #[test]
+    fn memory_is_bounded_by_capacity() {
+        let mut s = FlowSampler::new(8, 1);
+        offer_many(&mut s, 10_000, 1);
+        assert_eq!(s.len(), 8);
+        assert_eq!(s.index.len(), 8);
+        assert_eq!(s.flows_seen(), 10_000);
+    }
+
+    #[test]
+    fn same_seed_same_offers_is_byte_identical() {
+        let render = |seed: u64| {
+            let mut s = FlowSampler::new(32, seed);
+            offer_many(&mut s, 500, 2);
+            let mut out = String::new();
+            for r in s.records() {
+                r.write_csv(&mut out);
+                out.push('\n');
+            }
+            out
+        };
+        assert_eq!(render(42), render(42));
+        assert_ne!(render(42), render(43), "different seeds should differ");
+    }
+
+    #[test]
+    fn drops_only_count_for_sampled_flows() {
+        let mut s = FlowSampler::new(4, 9);
+        offer_many(&mut s, 2, 1);
+        s.on_drop(&key(0));
+        s.on_drop(&key(99)); // never offered
+        assert_eq!(s.records()[0].drops, 1);
+    }
+
+    #[test]
+    fn labels_follow_class() {
+        let mut s = FlowSampler::new(4, 0);
+        s.offer(0, key(0), 0, 64);
+        s.offer(0, key(1), 3, 64);
+        assert_eq!(s.records()[0].label(), "benign");
+        assert_eq!(s.records()[1].label(), "attack");
+    }
+
+    #[test]
+    fn csv_row_matches_header_arity() {
+        let mut s = FlowSampler::new(1, 0);
+        s.offer(5, key(1), 1, 640);
+        let mut row = String::new();
+        s.records()[0].write_csv(&mut row);
+        assert_eq!(
+            row.split(',').count(),
+            FlowRecord::CSV_HEADER.split(',').count()
+        );
+        assert!(row.contains("attack"));
+    }
+}

@@ -165,6 +165,30 @@ impl DegradationPolicy {
     pub fn fallbacks(&self) -> u64 {
         self.fallbacks
     }
+
+    /// All lifetime counters at once — the shape the streaming telemetry
+    /// layer exports as per-period gauges.
+    pub fn counters(&self) -> DegradationCounters {
+        DegradationCounters {
+            consecutive_missed: self.consecutive_missed,
+            total_missed: self.total_missed,
+            total_stale: self.total_stale,
+            fallbacks: self.fallbacks,
+        }
+    }
+}
+
+/// A plain snapshot of a [`DegradationPolicy`]'s lifetime counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DegradationCounters {
+    /// Ticks missed or stale since the last good tick.
+    pub consecutive_missed: u64,
+    /// Lifetime count of suppressed ticks reported.
+    pub total_missed: u64,
+    /// Lifetime count of stale ticks reported.
+    pub total_stale: u64,
+    /// Lifetime count of decisions that fell back.
+    pub fallbacks: u64,
 }
 
 impl Default for DegradationPolicy {

@@ -15,6 +15,8 @@ pub mod rank;
 pub mod sppifo;
 
 pub use controller::Controller;
-pub use degrade::{DegradationConfig, DegradationPolicy, DegradeAction, FallbackMode};
+pub use degrade::{
+    DegradationConfig, DegradationCounters, DegradationPolicy, DegradeAction, FallbackMode,
+};
 pub use rank::RankingAlgorithm;
 pub use sppifo::SpPifo;

@@ -13,10 +13,10 @@
 use accturbo::clustering::FeatureSet;
 use accturbo::core::{AccTurboConfig, AccTurboSwitch};
 use accturbo::netsim::{
-    run, run_instrumented, Bandwidth, ClassId, EngineConfig, MergedSource, PacketSource,
-    SimDuration, SimTime,
+    run, run_streamed, Bandwidth, ClassId, EngineConfig, MergedSource, PacketSource, SimDuration,
+    SimTime,
 };
-use accturbo::obs::{MetricsHandle, NoopTracer, Registry};
+use accturbo::obs::{raw_field, MetricsHandle, NoopTracer, Registry, Sink, Telemetry};
 use accturbo::sched::RankingAlgorithm;
 use accturbo::traffic::{
     AttackConfig, AttackSource, AttackVector, BackgroundConfig, BackgroundSource, CbrSource,
@@ -122,74 +122,77 @@ fn run_once(pin: Option<usize>) -> (f64, f64) {
     (res.stats.benign_drop_pct(), res.stats.attack_drop_pct())
 }
 
-/// Renders the registry's per-interval snapshots as a console table:
-/// one row per control period, cumulative counters shown as deltas so
-/// the operator sees rates, not totals. The snapshot JSONL is flat
-/// (`{"ts":..,"metric":"..","type":"..","value":..}`), so a couple of
-/// substring extractions suffice — no JSON parser needed.
-fn print_live_metrics(registry: &Registry, period: SimDuration) {
-    fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
-        let pat = format!("\"{key}\":");
-        let start = line.find(&pat)? + pat.len();
-        let rest = &line[start..];
-        let end = rest.find([',', '}']).unwrap_or(rest.len());
-        Some(rest[..end].trim_matches('"'))
+/// A [`Sink`] that renders the streaming telemetry feed as a console
+/// table, one row per control period, as the run progresses. The
+/// `Telemetry` layer already emits per-period deltas, so no
+/// previous-total bookkeeping is needed: `period` lines carry arrivals
+/// / drops / backlog, and the `switch_enqueues` counter delta rides in
+/// on its `agg` line. Fields are pulled with the shared
+/// [`accturbo::obs::raw_field`] flat-JSON extractor.
+struct ConsoleSink {
+    ts_ns: u64,
+    arrived: u64,
+    dropped: u64,
+    enqueued: u64,
+    backlog: u64,
+    have_row: bool,
+}
+
+impl ConsoleSink {
+    fn new() -> Self {
+        ConsoleSink {
+            ts_ns: 0,
+            arrived: 0,
+            dropped: 0,
+            enqueued: 0,
+            backlog: 0,
+            have_row: false,
+        }
+    }
+}
+
+impl Sink for ConsoleSink {
+    fn emit(&mut self, line: &str) {
+        let num = |key: &str| raw_field(line, key).and_then(|v| v.parse::<u64>().ok());
+        match raw_field(line, "ev").map(|v| v.trim_matches('"')) {
+            Some("period") => {
+                self.ts_ns = num("ts").unwrap_or(0);
+                self.arrived = num("arrivals").unwrap_or(0);
+                self.dropped = num("drops").unwrap_or(0);
+                self.backlog = num("backlog").unwrap_or(0);
+                self.have_row = true;
+            }
+            Some("agg") if raw_field(line, "metric") == Some("\"switch_enqueues\"") => {
+                self.enqueued = num("delta").unwrap_or(0);
+            }
+            _ => {}
+        }
     }
 
-    println!(
-        "\nlive metrics (one row per {} ms control period; pkt counts are per-period):",
-        period.as_secs_f64() * 1e3
-    );
-    println!(
-        "{:>6}  {:>8}  {:>8}  {:>8}  {:>8}",
-        "t(s)", "arrived", "dropped", "enqueued", "backlog"
-    );
-    let (mut ts_prev, mut row) = (None::<u64>, [0.0f64; 4]);
-    let (mut prev, mut have_row) = ([0.0f64; 3], false);
-    let flush = |ts: u64, row: &[f64; 4], prev: &mut [f64; 3]| {
+    // `Telemetry` flushes once per control period, after the period's
+    // lines — exactly one complete console row per flush.
+    fn flush(&mut self) {
+        if !self.have_row {
+            return;
+        }
         println!(
             "{:>6.2}  {:>8}  {:>8}  {:>8}  {:>8}",
-            ts as f64 / 1e9,
-            (row[0] - prev[0]) as u64,
-            (row[1] - prev[1]) as u64,
-            (row[2] - prev[2]) as u64,
-            row[3] as u64,
+            self.ts_ns as f64 / 1e9,
+            self.arrived,
+            self.dropped,
+            self.enqueued,
+            self.backlog,
         );
-        *prev = [row[0], row[1], row[2]];
-    };
-    for line in registry.to_jsonl().lines() {
-        let (Some(ts), Some(metric), Some(value)) = (
-            field(line, "ts"),
-            field(line, "metric"),
-            field(line, "value"),
-        ) else {
-            continue;
-        };
-        let ts: u64 = ts.parse().unwrap_or(0);
-        if ts_prev.is_some_and(|p| p != ts) {
-            flush(ts_prev.unwrap(), &row, &mut prev);
-            have_row = false;
-        }
-        ts_prev = Some(ts);
-        let v: f64 = value.parse().unwrap_or(0.0);
-        match metric {
-            "engine_arrivals" => row[0] = v,
-            "engine_drops" => row[1] = v,
-            "switch_enqueues" => row[2] = v,
-            "backlog_pkts" => row[3] = v,
-            _ => continue,
-        }
-        have_row = true;
-    }
-    if let (Some(ts), true) = (ts_prev, have_row) {
-        flush(ts, &row, &mut prev);
+        self.have_row = false;
     }
 }
 
 fn main() {
     // Console: watch the mapping evolve during the attack's onset, with
-    // a live metrics row per control period (snapshot interval aligned
-    // to the control period so each row covers exactly one remap).
+    // a live metrics row per control period (stats interval aligned to
+    // the control period so each row covers exactly one remap). Rows
+    // stream out of the engine as the simulation runs — nothing is
+    // accumulated and replayed afterwards.
     let period = SimDuration::from_millis(250);
     let mut source = workload();
     let mut sw = switch();
@@ -199,12 +202,28 @@ fn main() {
         .with_stats_interval(period)
         .with_control_period(period)
         .with_end_time(SimTime::from_secs(8));
-    run_instrumented(&mut source, &mut sw, &cfg, &mut NoopTracer, Some(&metrics));
+    println!(
+        "live metrics (one row per {} ms control period; pkt counts are per-period):",
+        period.as_secs_f64() * 1e3
+    );
+    println!(
+        "{:>6}  {:>8}  {:>8}  {:>8}  {:>8}",
+        "t(s)", "arrived", "dropped", "enqueued", "backlog"
+    );
+    let mut tel = Telemetry::new().with_sink(Box::new(ConsoleSink::new()));
+    run_streamed(
+        &mut source,
+        &mut sw,
+        &cfg,
+        &mut NoopTracer,
+        Some(&metrics),
+        None,
+        Some(&mut tel),
+    );
     println!(
         "cluster -> queue mapping after 8 s: {:?} (queue 0 = best)",
         sw.mapping()
     );
-    print_live_metrics(&metrics.borrow(), period);
 
     let backup_cluster = find_backup_cluster();
     println!("backup /{BACKUP_NET:?}/24 traffic lives in cluster {backup_cluster}");

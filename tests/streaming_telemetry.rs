@@ -1,0 +1,228 @@
+//! Lockdown for the streaming telemetry layer (DESIGN.md §11):
+//!
+//! * bounded memory — an internet-day-shaped run keeps the sink ring and
+//!   flow reservoir at their capacities no matter how many packets flow,
+//! * non-perturbation — threading a live `Telemetry` through a scenario
+//!   changes nothing about the simulation itself,
+//! * determinism — same seed ⇒ byte-identical dataset export,
+//! * flight recorder — a faulted run dumps an incident window, a clean
+//!   run dumps nothing,
+//! * fan-out — `TeeSink` delivers every line to every sink in order,
+//!   including when fed from the parallel runner's in-order stream.
+
+use accturbo_experiments::cli::{build_telemetry, parse_run};
+use accturbo_obs::{
+    shared_recorder, DatasetSink, FlightRecorder, FlowSampler, RingSink, Sink, TeeSink, Telemetry,
+};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn args(list: &[&str]) -> Vec<String> {
+    list.iter().map(|s| s.to_string()).collect()
+}
+
+fn tmp_path(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("accturbo_stream_{}_{name}", std::process::id()))
+}
+
+/// A sink whose lines stay inspectable after the sink itself has been
+/// boxed and moved into a recorder or telemetry bundle.
+#[derive(Clone, Default)]
+struct ProbeSink(Rc<RefCell<Vec<String>>>);
+
+impl Sink for ProbeSink {
+    fn emit(&mut self, line: &str) {
+        self.0.borrow_mut().push(line.to_string());
+    }
+    fn flush(&mut self) {}
+}
+
+/// The acceptance scenario: a quick-scale CICDDoS day replay with both
+/// a JSONL sink and a dataset exporter attached stays within the
+/// configured capacities even though millions of packets (and far more
+/// flows than the reservoir holds) pass through.
+#[test]
+fn cicday_quick_run_keeps_telemetry_memory_bounded() {
+    const RING: usize = 64;
+    const FLOWS: usize = 256;
+    let cmd = parse_run(&args(&[
+        "workload=cicday",
+        "defense=accturbo",
+        "--quick",
+        "secs=30",
+    ]))
+    .unwrap();
+    let probe = ProbeSink::default();
+    let mut ring = TeeSink::new();
+    ring.push(Box::new(RingSink::new(RING)));
+    let dataset_path = tmp_path("bounded.csv");
+    let mut tel = Telemetry::new()
+        .with_sink(Box::new(probe.clone()))
+        .with_flow_sampler(FlowSampler::new(FLOWS, cmd.spec.seed))
+        .with_dataset(DatasetSink::create(&dataset_path).unwrap());
+    let outcome = cmd.spec.execute_streamed(Some(&mut tel));
+
+    assert!(outcome.result.arrivals > 100_000, "workload too small");
+    assert!(
+        tel.flows_seen() > FLOWS as u64 * 10,
+        "need many more flows than reservoir slots, saw {}",
+        tel.flows_seen()
+    );
+    assert!(
+        tel.flows_sampled() <= FLOWS,
+        "reservoir exceeded capacity: {}",
+        tel.flows_sampled()
+    );
+    assert_eq!(tel.dataset_rows() as usize, tel.flows_sampled());
+    // One period per simulated second plus the final end-of-run flush.
+    assert!(
+        tel.periods() == 30 || tel.periods() == 31,
+        "periods: {}",
+        tel.periods()
+    );
+    // The sink was flushed every period, not accumulated: a bounded ring
+    // fed the same stream would have evicted most of it.
+    let mut bounded = RingSink::new(RING);
+    for line in probe.0.borrow().iter() {
+        bounded.emit(line);
+    }
+    assert_eq!(bounded.len(), RING);
+    assert_eq!(bounded.total_emitted(), tel.sink_lines());
+    assert!(tel.sink_lines() > RING as u64);
+    std::fs::remove_file(&dataset_path).ok();
+}
+
+/// Attaching a full telemetry bundle must not perturb the simulation:
+/// the streamed outcome matches the plain `execute()` packet for packet.
+#[test]
+fn telemetry_does_not_perturb_the_scenario() {
+    let cmd = parse_run(&args(&[
+        "workload=fig2",
+        "defense=accturbo",
+        "secs=6",
+        "--quick",
+    ]))
+    .unwrap();
+    let plain = cmd.spec.execute();
+    let mut tel = Telemetry::new().with_sink(Box::new(RingSink::new(1024)));
+    let streamed = cmd.spec.execute_streamed(Some(&mut tel));
+    assert_eq!(plain.result.arrivals, streamed.result.arrivals);
+    assert_eq!(plain.result.departures, streamed.result.departures);
+    assert_eq!(plain.result.drops, streamed.result.drops);
+    assert_eq!(plain.backlog_pkts, streamed.backlog_pkts);
+    assert!(tel.periods() > 0 && tel.sink_lines() > 0);
+}
+
+/// Same seed ⇒ byte-identical dataset export, twice over.
+#[test]
+fn dataset_export_is_deterministic_per_seed() {
+    let run = |path: &std::path::Path| {
+        let cmd = parse_run(&args(&[
+            "workload=fig2",
+            "defense=accturbo",
+            "secs=6",
+            "--quick",
+        ]))
+        .unwrap();
+        let mut tel = build_telemetry(None, Some(path.to_str().unwrap()), None, cmd.spec.seed)
+            .unwrap()
+            .unwrap();
+        cmd.spec.execute_streamed(Some(&mut tel));
+        std::fs::read(path).unwrap()
+    };
+    let a_path = tmp_path("det_a.csv");
+    let b_path = tmp_path("det_b.csv");
+    let a = run(&a_path);
+    let b = run(&b_path);
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "same seed must produce a byte-identical dataset");
+    std::fs::remove_file(&a_path).ok();
+    std::fs::remove_file(&b_path).ok();
+}
+
+/// A fault-injected run trips the flight recorder and dumps a non-empty
+/// incident window; the identical clean run dumps nothing. The
+/// pulse-onset heuristic is floored out of reach on both sides so the
+/// only difference between the runs is the fault plane.
+#[test]
+fn flight_recorder_fires_on_faults_and_stays_silent_when_clean() {
+    let run = |faulted: bool| {
+        let mut argv = vec![
+            "workload=flood".to_string(),
+            "defense=accturbo".to_string(),
+            "secs=10".to_string(),
+        ];
+        if faulted {
+            argv.push("faults=ctrl_drop:1.0".to_string());
+        }
+        let cmd = parse_run(&argv).unwrap();
+        let probe = ProbeSink::default();
+        let rec = FlightRecorder::new(256, 32, Box::new(probe.clone()));
+        let mut tel = Telemetry::new()
+            .with_recorder(shared_recorder(rec))
+            .with_pulse_onset(4.0, u64::MAX);
+        cmd.spec.execute_streamed(Some(&mut tel));
+        let lines = probe.0.borrow().clone();
+        (tel.recorder_windows(), lines)
+    };
+
+    let (clean_windows, clean_lines) = run(false);
+    assert_eq!(clean_windows, 0, "clean run must not trigger the recorder");
+    assert!(clean_lines.is_empty(), "clean run dumped: {clean_lines:?}");
+
+    let (fault_windows, fault_lines) = run(true);
+    assert!(fault_windows >= 1, "faulted run must dump a window");
+    assert!(
+        fault_lines[0].contains("\"ev\":\"flight_window\""),
+        "window header first: {}",
+        fault_lines[0]
+    );
+    assert!(
+        fault_lines.len() > 1,
+        "window must contain the buffered events, got {fault_lines:?}"
+    );
+}
+
+/// `TeeSink` fan-out keeps ordering when fed from the parallel runner:
+/// jobs finish in arbitrary order across workers, `run_streaming`
+/// re-sequences them, and every fanned-out sink sees the exact same
+/// line sequence.
+#[test]
+fn tee_fanout_preserves_order_under_the_parallel_runner() {
+    let first = ProbeSink::default();
+    let second = ProbeSink::default();
+    let mut tee = TeeSink::new();
+    tee.push(Box::new(first.clone()));
+    tee.push(Box::new(second.clone()));
+
+    const JOBS: usize = 16;
+    accturbo_runner::run_streaming(
+        4,
+        JOBS,
+        |index| {
+            // Later jobs are cheaper, so completion order inverts
+            // delivery order on any multi-worker schedule.
+            let spins = (JOBS - index) * 50_000;
+            let mut acc = 0u64;
+            for i in 0..spins {
+                acc = acc.wrapping_add(i as u64);
+            }
+            std::hint::black_box(acc);
+            (0..3)
+                .map(|l| format!("{{\"job\":{index},\"line\":{l}}}"))
+                .collect::<Vec<_>>()
+        },
+        |result| {
+            for line in &result.output {
+                tee.emit(line);
+            }
+            tee.flush();
+        },
+    );
+
+    let expected: Vec<String> = (0..JOBS)
+        .flat_map(|j| (0..3).map(move |l| format!("{{\"job\":{j},\"line\":{l}}}")))
+        .collect();
+    assert_eq!(*first.0.borrow(), expected);
+    assert_eq!(*second.0.borrow(), expected);
+}
