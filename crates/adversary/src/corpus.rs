@@ -1,0 +1,212 @@
+//! The replayable worst-case corpus: a plain-text, diff-friendly record
+//! of the attacks a search found and the damage each inflicted.
+//!
+//! Format (`# accturbo adversarial corpus v1`):
+//!
+//! ```text
+//! # accturbo adversarial corpus v1
+//! defense accturbo
+//! link 100000000
+//! secs 8
+//! seed 2989
+//! budget 48
+//! entry damage 0.42 benign_drop_pct 42.0 attack_drop_pct 58.0 benign_mbps 4.1 workload pulse:duty=0.9
+//! ```
+//!
+//! Header lines pin the scenario parameters every entry replays under;
+//! each `entry` line carries the metrics and the one-line `pulse:`
+//! workload spec. Floats are written with `{:?}` (shortest
+//! round-trippable form), so parsing a corpus back yields bit-identical
+//! values — the property the replay goldens rely on.
+
+use crate::search::DamageMetrics;
+
+/// One committed attack: its replayable workload spec plus the damage
+/// it inflicted when found.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusEntry {
+    /// The one-line `WorkloadSpec` grammar string (no spaces).
+    pub workload: String,
+    /// The damage measured at search time (the replay golden).
+    pub metrics: DamageMetrics,
+}
+
+/// A defense's worst-case corpus: the scenario frame (defense, link,
+/// secs, seed, budget) plus the frontier entries found under it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Corpus {
+    /// The `DefenseSpec` grammar string the attacks were found against.
+    pub defense: String,
+    /// Bottleneck bandwidth of every replay, bits per second.
+    pub link_bps: u64,
+    /// Run length of every replay, seconds.
+    pub secs: u64,
+    /// Workload seed of every replay (also the search seed).
+    pub seed: u64,
+    /// The search budget that produced this corpus.
+    pub budget: usize,
+    /// Frontier attacks, best first.
+    pub entries: Vec<CorpusEntry>,
+}
+
+impl Corpus {
+    /// Serializes to the v1 text format (byte-deterministic).
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("# accturbo adversarial corpus v1\n");
+        out.push_str(&format!("defense {}\n", self.defense));
+        out.push_str(&format!("link {}\n", self.link_bps));
+        out.push_str(&format!("secs {}\n", self.secs));
+        out.push_str(&format!("seed {}\n", self.seed));
+        out.push_str(&format!("budget {}\n", self.budget));
+        for e in &self.entries {
+            let m = &e.metrics;
+            out.push_str(&format!(
+                "entry damage {:?} benign_drop_pct {:?} attack_drop_pct {:?} \
+                 benign_mbps {:?} workload {}\n",
+                m.damage, m.benign_drop_pct, m.attack_drop_pct, m.benign_mbps, e.workload
+            ));
+        }
+        out
+    }
+
+    /// Parses the v1 text format, validating the header and every entry.
+    pub fn parse(text: &str) -> Result<Corpus, String> {
+        let mut defense = None;
+        let mut link_bps = None;
+        let mut secs = None;
+        let mut seed = None;
+        let mut budget = None;
+        let mut entries = Vec::new();
+        for (ln, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let at = |e: &str| format!("corpus line {}: {e}", ln + 1);
+            let (key, rest) = line
+                .split_once(' ')
+                .ok_or_else(|| at("expected `key value`"))?;
+            match key {
+                "defense" => defense = Some(rest.to_string()),
+                "link" => {
+                    link_bps = Some(rest.parse().map_err(|_| at("bad link"))?);
+                }
+                "secs" => secs = Some(rest.parse().map_err(|_| at("bad secs"))?),
+                "seed" => seed = Some(rest.parse().map_err(|_| at("bad seed"))?),
+                "budget" => budget = Some(rest.parse().map_err(|_| at("bad budget"))?),
+                "entry" => entries.push(parse_entry(rest).map_err(|e| at(&e))?),
+                other => return Err(at(&format!("unknown key `{other}`"))),
+            }
+        }
+        Ok(Corpus {
+            defense: defense.ok_or("corpus missing `defense` header")?,
+            link_bps: link_bps.ok_or("corpus missing `link` header")?,
+            secs: secs.ok_or("corpus missing `secs` header")?,
+            seed: seed.ok_or("corpus missing `seed` header")?,
+            budget: budget.ok_or("corpus missing `budget` header")?,
+            entries,
+        })
+    }
+}
+
+/// Parses the tail of an `entry` line: alternating field names and
+/// values, ending with `workload <spec>`.
+fn parse_entry(rest: &str) -> Result<CorpusEntry, String> {
+    let mut tokens = rest.split_whitespace();
+    let mut field = |name: &str| -> Result<String, String> {
+        match tokens.next() {
+            Some(t) if t == name => tokens
+                .next()
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing value for `{name}`")),
+            got => Err(format!("expected `{name}`, got {got:?}")),
+        }
+    };
+    let num = |name: &str, v: String| -> Result<f64, String> {
+        v.parse().map_err(|_| format!("bad {name} `{v}`"))
+    };
+    let damage = num("damage", field("damage")?)?;
+    let benign_drop_pct = num("benign_drop_pct", field("benign_drop_pct")?)?;
+    let attack_drop_pct = num("attack_drop_pct", field("attack_drop_pct")?)?;
+    let benign_mbps = num("benign_mbps", field("benign_mbps")?)?;
+    let workload = field("workload")?;
+    if tokens.next().is_some() {
+        return Err("trailing tokens after workload".into());
+    }
+    Ok(CorpusEntry {
+        workload,
+        metrics: DamageMetrics {
+            damage,
+            benign_drop_pct,
+            attack_drop_pct,
+            benign_mbps,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Corpus {
+        Corpus {
+            defense: "accturbo:profile=hw".into(),
+            link_bps: 100_000_000,
+            secs: 8,
+            seed: 0xA77,
+            budget: 48,
+            entries: vec![
+                CorpusEntry {
+                    workload: "pulse:duty=0.9:amp=80m".into(),
+                    metrics: DamageMetrics {
+                        damage: 0.421875,
+                        benign_drop_pct: 42.187_5,
+                        attack_drop_pct: 61.3,
+                        benign_mbps: 4.052_734_375,
+                    },
+                },
+                CorpusEntry {
+                    workload: "pulse:period=0.3:vectors=SYN".into(),
+                    metrics: DamageMetrics {
+                        damage: 0.1 + 0.2, // deliberately non-terminating binary
+                        benign_drop_pct: 30.000_000_000_000_004,
+                        attack_drop_pct: 70.0,
+                        benign_mbps: 4.9,
+                    },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn text_round_trips_bit_exactly() {
+        let c = sample();
+        let text = c.to_text();
+        let back = Corpus::parse(&text).unwrap();
+        assert_eq!(back, c);
+        assert_eq!(back.to_text(), text, "serialization is a fixed point");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(Corpus::parse("defense x\n").is_err(), "missing headers");
+        assert!(
+            Corpus::parse("defense x\nlink 1\nsecs 1\nseed 0\nbudget 2\nentry damage oops\n")
+                .is_err()
+        );
+        assert!(
+            Corpus::parse("wibble 3\n").is_err(),
+            "unknown keys are errors"
+        );
+        let mut text = sample().to_text();
+        text.push_str("entry damage 0.1 benign_drop_pct 1 attack_drop_pct 2\n");
+        assert!(Corpus::parse(&text).is_err(), "truncated entry");
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let mut text = String::from("# hello\n\n");
+        text.push_str(&sample().to_text());
+        assert_eq!(Corpus::parse(&text).unwrap(), sample());
+    }
+}

@@ -1,0 +1,80 @@
+//! The quantized attack encoding the optimizer walks over.
+
+use accturbo_netsim::SimDuration;
+use accturbo_traffic::{AttackVector, PulseAttackConfig};
+
+/// One point of the search space: a pulse-wave attack with every knob
+/// quantized to integers (milliseconds, percent, megabits) so genomes
+/// compare exactly, hash stably, and survive text round-trips without
+/// float drift. [`AttackGenome::to_config`] maps a genome onto the
+/// workload generator's [`PulseAttackConfig`]; the experiments layer
+/// wraps that in the `pulse:` grammar to obtain a replayable spec line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttackGenome {
+    /// Full pulse cycle, milliseconds.
+    pub period_ms: u64,
+    /// On fraction of the cycle, percent (1..=100).
+    pub duty_pct: u32,
+    /// Peak burst amplitude, megabits per second.
+    pub amp_mbps: u32,
+    /// Vector mix, cycled per pulse (distinct, order significant).
+    pub vectors: Vec<AttackVector>,
+    /// Feature-spreading level (0..=3, see `PulseAttackConfig::spread`).
+    pub spread: u8,
+    /// Per-pulse linear ramp-up, milliseconds (0 = square pulses).
+    pub ramp_ms: u64,
+}
+
+impl AttackGenome {
+    /// The workload-generator config this genome denotes.
+    pub fn to_config(&self) -> PulseAttackConfig {
+        PulseAttackConfig {
+            period: SimDuration::from_millis(self.period_ms),
+            duty: self.duty_pct as f64 / 100.0,
+            amp_bps: self.amp_mbps as u64 * 1_000_000,
+            vectors: self.vectors.clone(),
+            spread: self.spread,
+            ramp: SimDuration::from_millis(self.ramp_ms),
+        }
+    }
+
+    /// A canonical dedup key: two genomes denote the same attack iff
+    /// their keys match.
+    pub fn key(&self) -> String {
+        let names: Vec<&str> = self.vectors.iter().map(|v| v.name()).collect();
+        format!(
+            "p{}:d{}:a{}:v{}:s{}:r{}",
+            self.period_ms,
+            self.duty_pct,
+            self.amp_mbps,
+            names.join("+"),
+            self.spread,
+            self.ramp_ms
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn to_config_maps_units() {
+        let g = AttackGenome {
+            period_ms: 1500,
+            duty_pct: 35,
+            amp_mbps: 60,
+            vectors: vec![AttackVector::SynFlood, AttackVector::Ntp],
+            spread: 2,
+            ramp_ms: 300,
+        };
+        let cfg = g.to_config();
+        assert_eq!(cfg.period, SimDuration::from_millis(1500));
+        assert_eq!(cfg.duty, 0.35);
+        assert_eq!(cfg.amp_bps, 60_000_000);
+        assert_eq!(cfg.vectors, g.vectors);
+        assert_eq!(cfg.spread, 2);
+        assert_eq!(cfg.ramp, SimDuration::from_millis(300));
+        assert_eq!(g.key(), "p1500:d35:a60:vSYN+NTP:s2:r300");
+    }
+}

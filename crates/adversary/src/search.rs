@@ -1,0 +1,273 @@
+//! The two-phase optimizer: seeded random exploration, then batched
+//! simulated-annealing refinement.
+
+use crate::genome::AttackGenome;
+use crate::space::SearchSpace;
+use accturbo_prng::{Rng, SeedableRng, StdRng};
+
+/// What one evaluation of an attack reports back: how much the attack
+/// hurt legitimate traffic under the defense being probed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DamageMetrics {
+    /// The objective the search maximizes, in `[0, 1]` by convention
+    /// (the experiments layer uses the benign drop fraction).
+    pub damage: f64,
+    /// Benign packets dropped, percent.
+    pub benign_drop_pct: f64,
+    /// Attack packets dropped, percent (context: a good defense drops
+    /// much attack and little benign).
+    pub attack_drop_pct: f64,
+    /// Benign goodput across the run, megabits per second.
+    pub benign_mbps: f64,
+}
+
+/// A genome together with the damage it inflicted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evaluated {
+    /// The attack.
+    pub genome: AttackGenome,
+    /// Its measured damage.
+    pub metrics: DamageMetrics,
+}
+
+/// Search hyper-parameters. Everything that shapes the trajectory is
+/// here, so `(SearchSpace, SearchConfig, evaluator)` fully determines
+/// the outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchConfig {
+    /// Total number of scenario evaluations.
+    pub budget: usize,
+    /// PRNG seed for sampling, mutation, and acceptance draws.
+    pub seed: u64,
+    /// Worker threads for batch evaluation (results are index-ordered,
+    /// so this never changes the outcome — only the wall clock).
+    pub jobs: usize,
+    /// Fraction of the budget spent on uniform random exploration
+    /// before annealing starts.
+    pub explore_frac: f64,
+    /// Proposals evaluated per annealing round (the parallelism grain).
+    pub batch: usize,
+    /// Frontier size: how many distinct top attacks survive into the
+    /// corpus.
+    pub corpus_size: usize,
+    /// Initial annealing temperature (damage units).
+    pub init_temp: f64,
+    /// Multiplicative cooling applied after every annealing round.
+    pub cooling: f64,
+}
+
+impl SearchConfig {
+    /// Defaults tuned for the repo's quick scenarios: half the budget
+    /// explores, batches of 4 anneal with a 0.4 → ×0.85/round schedule.
+    pub fn new(budget: usize, seed: u64) -> Self {
+        SearchConfig {
+            budget,
+            seed,
+            jobs: 1,
+            explore_frac: 0.5,
+            batch: 4,
+            corpus_size: 10,
+            init_temp: 0.4,
+            cooling: 0.85,
+        }
+    }
+
+    /// Overrides the worker-thread count.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Overrides the frontier size.
+    pub fn with_corpus_size(mut self, n: usize) -> Self {
+        self.corpus_size = n;
+        self
+    }
+}
+
+/// What [`search`] returns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchOutcome {
+    /// Every evaluated candidate, in evaluation order (exploration
+    /// batch first, then each annealing round's proposals).
+    pub evaluated: Vec<Evaluated>,
+    /// The top distinct attacks by damage, best first, at most
+    /// `corpus_size` long.
+    pub frontier: Vec<Evaluated>,
+    /// Best damage seen so far, recorded after the exploration phase
+    /// and after every annealing round (monotone non-decreasing).
+    pub best_trajectory: Vec<f64>,
+}
+
+impl SearchOutcome {
+    /// The single worst attack found (the frontier's head).
+    pub fn best(&self) -> &Evaluated {
+        &self.frontier[0]
+    }
+}
+
+/// Index of the highest-damage entry (first wins ties, so the reduction
+/// is order-deterministic).
+fn argmax(evals: &[Evaluated]) -> usize {
+    let mut best = 0;
+    for (i, e) in evals.iter().enumerate().skip(1) {
+        if e.metrics
+            .damage
+            .total_cmp(&evals[best].metrics.damage)
+            .is_gt()
+        {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Evaluates `genomes` on the runner pool; results come back in genome
+/// order regardless of thread count.
+fn batch_eval<E>(jobs: usize, genomes: &[AttackGenome], eval: &E) -> Vec<Evaluated>
+where
+    E: Fn(&AttackGenome) -> DamageMetrics + Sync,
+{
+    accturbo_runner::run(jobs, genomes.len(), |i| eval(&genomes[i]))
+        .into_iter()
+        .map(|r| Evaluated {
+            genome: genomes[r.index].clone(),
+            metrics: r.output,
+        })
+        .collect()
+}
+
+/// Runs the adversarial search: `budget · explore_frac` uniform random
+/// candidates, then simulated-annealing rounds of `batch` mutations of
+/// the incumbent until the budget is spent. Deterministic by
+/// construction — every PRNG draw happens on the calling thread in a
+/// fixed order, and candidate batches are generated *before* they are
+/// evaluated, so the trajectory is independent of `jobs` and of
+/// evaluation latency.
+pub fn search<E>(space: &SearchSpace, cfg: &SearchConfig, eval: E) -> SearchOutcome
+where
+    E: Fn(&AttackGenome) -> DamageMetrics + Sync,
+{
+    assert!(cfg.budget >= 2, "search budget must be at least 2");
+    assert!(cfg.corpus_size >= 1, "corpus size must be at least 1");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let explore_n = ((cfg.budget as f64 * cfg.explore_frac).round() as usize).clamp(1, cfg.budget);
+
+    let explore: Vec<AttackGenome> = (0..explore_n).map(|_| space.sample(&mut rng)).collect();
+    let mut evaluated = batch_eval(cfg.jobs, &explore, &eval);
+    let mut current = evaluated[argmax(&evaluated)].clone();
+    let mut best = current.clone();
+    let mut best_trajectory = vec![best.metrics.damage];
+
+    let mut temp = cfg.init_temp;
+    while evaluated.len() < cfg.budget {
+        let k = cfg.batch.min(cfg.budget - evaluated.len());
+        let proposals: Vec<AttackGenome> = (0..k)
+            .map(|_| space.mutate(&current.genome, &mut rng, temp))
+            .collect();
+        let round = batch_eval(cfg.jobs, &proposals, &eval);
+        let candidate = round[argmax(&round)].clone();
+        evaluated.extend(round);
+
+        let delta = candidate.metrics.damage - current.metrics.damage;
+        if delta >= 0.0 {
+            current = candidate;
+        } else {
+            // Metropolis acceptance: occasionally step downhill while
+            // hot, so the walk can leave local maxima. The draw happens
+            // unconditionally on the main thread (fixed PRNG order).
+            let p = (delta / temp.max(1e-9)).exp().clamp(0.0, 1.0);
+            if rng.gen_bool(p) {
+                current = candidate;
+            }
+        }
+        if current
+            .metrics
+            .damage
+            .total_cmp(&best.metrics.damage)
+            .is_gt()
+        {
+            best = current.clone();
+        }
+        best_trajectory.push(best.metrics.damage);
+        temp *= cfg.cooling;
+    }
+
+    // Frontier: the distinct top attacks. Stable sort + first-seen
+    // dedup keeps the reduction order-deterministic.
+    let mut ranked = evaluated.clone();
+    ranked.sort_by(|a, b| b.metrics.damage.total_cmp(&a.metrics.damage));
+    let mut seen = std::collections::BTreeSet::new();
+    let frontier: Vec<Evaluated> = ranked
+        .into_iter()
+        .filter(|e| seen.insert(e.genome.key()))
+        .take(cfg.corpus_size)
+        .collect();
+
+    SearchOutcome {
+        evaluated,
+        frontier,
+        best_trajectory,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A cheap analytic damage landscape: rewards long duty, high
+    /// amplitude, some spreading, and short periods — no simulation.
+    fn synthetic(g: &AttackGenome) -> DamageMetrics {
+        let duty = g.duty_pct as f64 / 100.0;
+        let amp = g.amp_mbps as f64 / 80.0;
+        let period = 1.0 - g.period_ms as f64 / 5000.0;
+        let spread = g.spread as f64 / 3.0;
+        let damage = 0.4 * duty + 0.3 * amp + 0.2 * period + 0.1 * spread;
+        DamageMetrics {
+            damage,
+            benign_drop_pct: damage * 100.0,
+            attack_drop_pct: 100.0 - damage * 100.0,
+            benign_mbps: (1.0 - damage) * 7.0,
+        }
+    }
+
+    #[test]
+    fn spends_exactly_the_budget_and_improves() {
+        let space = SearchSpace::default();
+        let cfg = SearchConfig::new(40, 1);
+        let out = search(&space, &cfg, synthetic);
+        assert_eq!(out.evaluated.len(), 40);
+        let t = &out.best_trajectory;
+        assert!(t.windows(2).all(|w| w[1] >= w[0]), "monotone best");
+        assert!(out.best().metrics.damage >= t[0], "refinement helps");
+    }
+
+    #[test]
+    fn frontier_is_sorted_distinct_and_bounded() {
+        let space = SearchSpace::default();
+        let cfg = SearchConfig::new(60, 2).with_corpus_size(5);
+        let out = search(&space, &cfg, synthetic);
+        assert!(out.frontier.len() <= 5);
+        assert!(out
+            .frontier
+            .windows(2)
+            .all(|w| w[0].metrics.damage >= w[1].metrics.damage));
+        let keys: std::collections::BTreeSet<_> =
+            out.frontier.iter().map(|e| e.genome.key()).collect();
+        assert_eq!(keys.len(), out.frontier.len(), "frontier dedup");
+    }
+
+    #[test]
+    fn downhill_moves_are_possible_but_bounded() {
+        // With a hot schedule the walk must still terminate and keep
+        // its best-so-far monotone (the trajectory tracks `best`, not
+        // `current`).
+        let space = SearchSpace::default();
+        let mut cfg = SearchConfig::new(30, 3);
+        cfg.init_temp = 10.0;
+        cfg.cooling = 1.0;
+        let out = search(&space, &cfg, synthetic);
+        assert_eq!(out.evaluated.len(), 30);
+        assert!(out.best_trajectory.windows(2).all(|w| w[1] >= w[0]));
+    }
+}

@@ -1,0 +1,188 @@
+//! The bounded, quantized search space and its sampling/mutation moves.
+
+use crate::genome::AttackGenome;
+use accturbo_prng::{Rng, StdRng};
+use accturbo_traffic::AttackVector;
+
+/// An inclusive quantized range: values are `lo + k·step` for
+/// `k = 0 ..= (hi − lo) / step`.
+type SteppedRange = (u64, u64, u64);
+
+/// The bounds the optimizer explores. Every knob is a stepped integer
+/// range, so the space is finite and every sampled genome lands exactly
+/// on a grammar-representable value (milliseconds, percent, megabits).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchSpace {
+    /// Pulse period bounds, milliseconds.
+    pub period_ms: SteppedRange,
+    /// Duty-cycle bounds, percent.
+    pub duty_pct: SteppedRange,
+    /// Burst-amplitude bounds, megabits per second.
+    pub amp_mbps: SteppedRange,
+    /// Vectors a genome may mix (order fixes sampling determinism).
+    pub vector_pool: Vec<AttackVector>,
+    /// Largest vector mix a genome may carry.
+    pub max_vectors: usize,
+    /// Largest feature-spreading level.
+    pub max_spread: u8,
+    /// Ramp-up bounds, milliseconds (0 = square pulses allowed).
+    pub ramp_ms: SteppedRange,
+}
+
+impl Default for SearchSpace {
+    /// The full pulse-wave attack space at the repo's scaled rates:
+    /// sub-second to multi-second pulses, 5–100% duty, bursts up to 8×
+    /// the bottleneck, any mix of up to 3 classic vectors, all four
+    /// spreading levels, ramps up to one second.
+    fn default() -> Self {
+        SearchSpace {
+            period_ms: (100, 5000, 100),
+            duty_pct: (5, 100, 5),
+            amp_mbps: (10, 80, 10),
+            vector_pool: AttackVector::ALL.to_vec(),
+            max_vectors: 3,
+            max_spread: 3,
+            ramp_ms: (0, 1000, 100),
+        }
+    }
+}
+
+/// Draws a uniform value from a stepped range.
+fn pick(rng: &mut StdRng, (lo, hi, step): SteppedRange) -> u64 {
+    lo + step * rng.gen_range(0..=(hi - lo) / step)
+}
+
+/// Jitters `cur` by up to `±width` steps (temperature-scaled), clamped
+/// to the range. Always moves within the grid.
+fn jitter(rng: &mut StdRng, cur: u64, (lo, hi, step): SteppedRange, temp: f64) -> u64 {
+    let span = (hi - lo) / step;
+    let width = ((span as f64 * 0.5 * temp).round() as u64).clamp(1, span.max(1));
+    let delta = rng.gen_range(0..=2 * width) as i64 - width as i64;
+    let idx = ((cur.clamp(lo, hi) - lo) / step) as i64 + delta;
+    lo + step * idx.clamp(0, span as i64) as u64
+}
+
+impl SearchSpace {
+    /// Draws a uniform random genome. Knob order is fixed (period, duty,
+    /// amp, vectors, spread, ramp) — part of the search's determinism
+    /// contract.
+    pub fn sample(&self, rng: &mut StdRng) -> AttackGenome {
+        let period_ms = pick(rng, self.period_ms);
+        let duty_pct = pick(rng, self.duty_pct) as u32;
+        let amp_mbps = pick(rng, self.amp_mbps) as u32;
+        let n = rng.gen_range(1..=self.max_vectors.min(self.vector_pool.len()));
+        let mut pool = self.vector_pool.clone();
+        let mut vectors = Vec::with_capacity(n);
+        for _ in 0..n {
+            vectors.push(pool.remove(rng.gen_range(0..pool.len())));
+        }
+        let spread = rng.gen_range(0..=self.max_spread as u32) as u8;
+        let ramp_ms = pick(rng, self.ramp_ms);
+        AttackGenome {
+            period_ms,
+            duty_pct,
+            amp_mbps,
+            vectors,
+            spread,
+            ramp_ms,
+        }
+    }
+
+    /// Proposes a neighbour of `g`: one knob is perturbed, with the
+    /// perturbation width shrinking as `temp` cools. Numeric knobs move
+    /// on their grid; the vector mix gains, loses, or swaps one vector.
+    pub fn mutate(&self, g: &AttackGenome, rng: &mut StdRng, temp: f64) -> AttackGenome {
+        let mut out = g.clone();
+        match rng.gen_range(0..6u32) {
+            0 => out.period_ms = jitter(rng, out.period_ms, self.period_ms, temp),
+            1 => out.duty_pct = jitter(rng, out.duty_pct as u64, self.duty_pct, temp) as u32,
+            2 => out.amp_mbps = jitter(rng, out.amp_mbps as u64, self.amp_mbps, temp) as u32,
+            3 => self.mutate_vectors(&mut out.vectors, rng),
+            4 => out.spread = rng.gen_range(0..=self.max_spread as u32) as u8,
+            _ => out.ramp_ms = jitter(rng, out.ramp_ms, self.ramp_ms, temp),
+        }
+        out
+    }
+
+    /// One vector-mix move: add an unused pool vector, drop one, or swap
+    /// one for an unused one — whichever the draw picks and the mix's
+    /// size permits.
+    fn mutate_vectors(&self, vectors: &mut Vec<AttackVector>, rng: &mut StdRng) {
+        let unused: Vec<AttackVector> = self
+            .vector_pool
+            .iter()
+            .copied()
+            .filter(|v| !vectors.contains(v))
+            .collect();
+        let can_grow = vectors.len() < self.max_vectors && !unused.is_empty();
+        let can_shrink = vectors.len() > 1;
+        match rng.gen_range(0..3u32) {
+            0 if can_grow => vectors.push(unused[rng.gen_range(0..unused.len())]),
+            1 if can_shrink => {
+                let at = rng.gen_range(0..vectors.len());
+                vectors.remove(at);
+            }
+            _ if !unused.is_empty() => {
+                let at = rng.gen_range(0..vectors.len());
+                vectors[at] = unused[rng.gen_range(0..unused.len())];
+            }
+            _ => {}
+        }
+    }
+
+    /// True when every knob of `g` lies on this space's grid.
+    pub fn contains(&self, g: &AttackGenome) -> bool {
+        let on = |v: u64, (lo, hi, step): SteppedRange| v >= lo && v <= hi && (v - lo).is_multiple_of(step);
+        on(g.period_ms, self.period_ms)
+            && on(g.duty_pct as u64, self.duty_pct)
+            && on(g.amp_mbps as u64, self.amp_mbps)
+            && !g.vectors.is_empty()
+            && g.vectors.len() <= self.max_vectors
+            && g.vectors.iter().all(|v| self.vector_pool.contains(v))
+            && g.spread <= self.max_spread
+            && on(g.ramp_ms, self.ramp_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accturbo_prng::SeedableRng;
+
+    #[test]
+    fn samples_stay_on_the_grid() {
+        let space = SearchSpace::default();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..500 {
+            let g = space.sample(&mut rng);
+            assert!(space.contains(&g), "off-grid sample: {g:?}");
+            let distinct: std::collections::BTreeSet<_> =
+                g.vectors.iter().map(|v| v.name()).collect();
+            assert_eq!(distinct.len(), g.vectors.len(), "duplicate vectors");
+        }
+    }
+
+    #[test]
+    fn mutations_stay_on_the_grid() {
+        let space = SearchSpace::default();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut g = space.sample(&mut rng);
+        for round in 0..500 {
+            g = space.mutate(&g, &mut rng, 0.4 * 0.85f64.powi(round / 10));
+            assert!(space.contains(&g), "off-grid mutation: {g:?}");
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let space = SearchSpace::default();
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..50 {
+            assert_eq!(space.sample(&mut a), space.sample(&mut b));
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        let diverged = (0..50).any(|_| space.sample(&mut a) != space.sample(&mut c));
+        assert!(diverged, "different seeds should explore differently");
+    }
+}

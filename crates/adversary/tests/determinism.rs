@@ -1,0 +1,87 @@
+//! The search's determinism contract, checked against a cheap synthetic
+//! damage landscape (no simulation): same seed + budget ⇒ identical
+//! outcome and identical corpus bytes; the jobs count never changes the
+//! result, only the wall clock.
+
+use accturbo_adversary::{search, AttackGenome, Corpus, CorpusEntry, DamageMetrics};
+use accturbo_adversary::{SearchConfig, SearchSpace};
+
+/// A deterministic analytic landscape with mild multi-modality (the
+/// trig term), so annealing has something to climb.
+fn synthetic(g: &AttackGenome) -> DamageMetrics {
+    let duty = g.duty_pct as f64 / 100.0;
+    let amp = g.amp_mbps as f64 / 80.0;
+    let wave = (g.period_ms as f64 / 500.0).sin().abs();
+    let damage = 0.5 * duty + 0.3 * amp + 0.2 * wave;
+    DamageMetrics {
+        damage,
+        benign_drop_pct: damage * 100.0,
+        attack_drop_pct: 100.0 - damage * 50.0,
+        benign_mbps: (1.0 - damage) * 7.0,
+    }
+}
+
+fn corpus_for(jobs: usize, seed: u64) -> (Corpus, Vec<f64>) {
+    let space = SearchSpace::default();
+    let cfg = SearchConfig::new(48, seed).with_jobs(jobs);
+    let out = search(&space, &cfg, synthetic);
+    assert_eq!(out.evaluated.len(), cfg.budget, "budget fully spent");
+    let corpus = Corpus {
+        defense: "synthetic".into(),
+        link_bps: 100_000_000,
+        secs: 8,
+        seed,
+        budget: cfg.budget,
+        entries: out
+            .frontier
+            .iter()
+            .map(|e| CorpusEntry {
+                workload: e.genome.key(),
+                metrics: e.metrics,
+            })
+            .collect(),
+    };
+    (corpus, out.best_trajectory)
+}
+
+#[test]
+fn same_seed_and_budget_give_identical_corpus_bytes() {
+    let (a, ta) = corpus_for(1, 7);
+    let (b, tb) = corpus_for(1, 7);
+    assert_eq!(a.to_text(), b.to_text());
+    assert_eq!(ta, tb);
+}
+
+#[test]
+fn serial_and_parallel_search_are_byte_identical() {
+    let (serial, ts) = corpus_for(1, 42);
+    for jobs in [2, 4, 8] {
+        let (parallel, tp) = corpus_for(jobs, 42);
+        assert_eq!(
+            serial.to_text(),
+            parallel.to_text(),
+            "jobs={jobs} changed the corpus"
+        );
+        assert_eq!(ts, tp, "jobs={jobs} changed the trajectory");
+    }
+}
+
+#[test]
+fn different_seeds_explore_differently() {
+    let (a, _) = corpus_for(1, 1);
+    let (b, _) = corpus_for(1, 2);
+    assert_ne!(
+        a.entries.first().map(|e| &e.workload),
+        b.entries.first().map(|e| &e.workload),
+        "distinct seeds should find distinct frontiers on this landscape"
+    );
+}
+
+#[test]
+fn corpus_text_replays_to_the_same_value() {
+    let (c, _) = corpus_for(4, 9);
+    let back = Corpus::parse(&c.to_text()).unwrap();
+    assert_eq!(back, c);
+    assert!(c.entries.len() <= 10);
+    assert!(!c.entries.is_empty());
+}

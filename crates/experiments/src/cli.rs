@@ -73,6 +73,20 @@ pub fn usage() -> String {
          \x20                                e.g. xp run workload=fig2 defense=accturbo\n\
          \x20                                     xp run workload=flood:carpet \\\n\
          \x20                                            defense=accturbo:profile=hw:features=dst4\n\
+         \x20   xp search defense=SPEC [KEY=VAL...]\n\
+         \x20                                adversarial worst-case search: anneal\n\
+         \x20                                over the pulse-attack knobs (period,\n\
+         \x20                                duty, amplitude, vector mix, spread,\n\
+         \x20                                ramp) for the attack that drops the\n\
+         \x20                                most benign traffic under SPEC. Keys:\n\
+         \x20                                defense (required), secs, link. Flags:\n\
+         \x20                                --budget N (default 32), --seed N,\n\
+         \x20                                --top N (frontier size, default 10),\n\
+         \x20                                --jobs N (never changes the result),\n\
+         \x20                                --out PATH (write the replayable\n\
+         \x20                                corpus file), --quick (corpus frame).\n\
+         \x20                                e.g. xp search defense=accturbo \\\n\
+         \x20                                        --budget 48 --out acc.corpus\n\
          \x20   xp trace PATH                pretty-print a JSONL trace file\n\
          \x20   xp bench-export [--smoke] [--out PATH]\n\
          \x20                                measure datapath throughput (engine\n\
@@ -420,23 +434,7 @@ impl RunCmd {
 /// Parses a bandwidth value: plain bps, or with a `k`/`m`/`g` suffix
 /// (`10m` = 10 Mbps, `2.5g` = 2.5 Gbps).
 fn parse_link(v: &str) -> Result<u64, String> {
-    let lower = v.to_ascii_lowercase();
-    let (num, mult) = if let Some(n) = lower.strip_suffix('g') {
-        (n, 1e9)
-    } else if let Some(n) = lower.strip_suffix('m') {
-        (n, 1e6)
-    } else if let Some(n) = lower.strip_suffix('k') {
-        (n, 1e3)
-    } else {
-        (lower.as_str(), 1.0)
-    };
-    let x: f64 = num
-        .parse()
-        .map_err(|_| format!("xp run: `{v}` is not a bandwidth (e.g. 10m, 2.5g, 10000000)"))?;
-    if !x.is_finite() || x <= 0.0 {
-        return Err(format!("xp run: bandwidth `{v}` must be positive"));
-    }
-    Ok((x * mult).round() as u64)
+    crate::spec::parse_bandwidth(v).map_err(|e| format!("xp run: {e}"))
 }
 
 /// Parses a control period: `250ms`, `1s`, or bare seconds (`0.25`).
@@ -497,6 +495,7 @@ pub fn parse_run(args: &[String]) -> Result<RunCmd, String> {
         }
     }
 
+    let mut seen_keys: Vec<String> = Vec::new();
     for token in rest
         .iter()
         .flat_map(|a| a.split([',', ' ']))
@@ -512,6 +511,13 @@ pub fn parse_run(args: &[String]) -> Result<RunCmd, String> {
                 let (key, val) = pair
                     .split_once('=')
                     .ok_or_else(|| format!("xp run: expected `key=value`, got `{pair}`"))?;
+                // A repeated key is almost always a typo'd scenario, and
+                // silently letting the last mention win would run the
+                // wrong experiment — reject instead.
+                if seen_keys.iter().any(|k| k == key) {
+                    return Err(format!("xp run: duplicate key `{key}`"));
+                }
+                seen_keys.push(key.to_string());
                 match key {
                     "workload" => {
                         workload = Some(val.parse().map_err(|e| format!("xp run: workload: {e}"))?)
@@ -729,6 +735,259 @@ pub fn render_run(cmd: &RunCmd) -> Result<String, String> {
         }
         if tel.pulse_onsets() > 0 {
             let _ = writeln!(out, "telemetry.pulse_onsets,{}", tel.pulse_onsets());
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// `xp search` — adversarial worst-case search
+// ---------------------------------------------------------------------------
+
+/// The parsed `xp search` invocation: one defense, a search budget, and
+/// where the found corpus goes.
+#[derive(Debug)]
+pub struct SearchCmd {
+    /// The defense to attack.
+    pub defense: DefenseSpec,
+    /// Scenario evaluations to spend (`--budget N`).
+    pub budget: usize,
+    /// Search seed (`--seed N`).
+    pub seed: u64,
+    /// Worker threads for candidate evaluation (`--jobs N`; never
+    /// changes the result, only the wall clock).
+    pub jobs: usize,
+    /// Frontier size: distinct top attacks kept (`--top N`).
+    pub top: usize,
+    /// Scenario length override (`secs=N`).
+    pub secs: Option<u64>,
+    /// Bottleneck override (`link=10m`).
+    pub link_bps: Option<u64>,
+    /// `--out PATH`: write the corpus file here instead of inlining it
+    /// in the report.
+    pub out: Option<String>,
+    /// `--quick`: search in the short (corpus/CI) scenario frame.
+    pub quick: bool,
+}
+
+/// Default `xp search` budget: enough for the annealing phase to engage
+/// without making an interactive invocation minutes long.
+const SEARCH_DEFAULT_BUDGET: usize = 32;
+/// Budget ceiling — a typo'd `--budget 5000000` should fail fast, not
+/// simulate for a week.
+const SEARCH_MAX_BUDGET: usize = 100_000;
+
+/// Parses `xp search` arguments: `defense=SPEC` (plus optional `secs=` /
+/// `link=` overrides) and the `--budget` / `--seed` / `--jobs` / `--top`
+/// / `--out PATH` / `--quick` flags.
+pub fn parse_search(args: &[String]) -> Result<SearchCmd, String> {
+    let mut defense: Option<DefenseSpec> = None;
+    let mut budget = SEARCH_DEFAULT_BUDGET;
+    let mut seed = crate::worstcase::DEFAULT_SEED;
+    let mut jobs = accturbo_runner::default_threads();
+    let mut top = 10;
+    let mut secs: Option<u64> = None;
+    let mut link_bps: Option<u64> = None;
+    let mut out: Option<String> = None;
+    let mut quick = false;
+
+    // `--out` takes a whole-argument PATH (it may contain commas or
+    // spaces); peel it off before tokenizing, exactly as `xp run` does
+    // for its path flags.
+    let mut rest: Vec<&String> = Vec::with_capacity(args.len());
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--out" {
+            let val = args
+                .get(i + 1)
+                .filter(|v| !v.starts_with("--"))
+                .ok_or_else(|| "xp search: --out requires a PATH argument".to_string())?
+                .clone();
+            out = Some(val);
+            i += 2;
+        } else {
+            rest.push(&args[i]);
+            i += 1;
+        }
+    }
+
+    let tokens: Vec<&str> = rest
+        .iter()
+        .flat_map(|a| a.split([',', ' ']))
+        .filter(|t| !t.is_empty())
+        .collect();
+    let mut seen_keys: Vec<String> = Vec::new();
+    let mut t = 0;
+    while t < tokens.len() {
+        let token = tokens[t];
+        t += 1;
+        let mut value_of = |flag: &str| -> Result<&str, String> {
+            let v = tokens
+                .get(t)
+                .filter(|v| !v.starts_with("--"))
+                .ok_or_else(|| format!("xp search: {flag} requires a value"))?;
+            t += 1;
+            Ok(v)
+        };
+        match token {
+            "--quick" | "--smoke" => quick = true,
+            "--budget" => {
+                let raw = value_of("--budget")?;
+                let n: usize = raw
+                    .parse()
+                    .map_err(|_| format!("xp search: `{raw}` is not a budget"))?;
+                if !(2..=SEARCH_MAX_BUDGET).contains(&n) {
+                    return Err(format!(
+                        "xp search: budget must be in 2..={SEARCH_MAX_BUDGET}, got {n}"
+                    ));
+                }
+                budget = n;
+            }
+            "--seed" => {
+                let raw = value_of("--seed")?;
+                seed = raw
+                    .parse()
+                    .map_err(|_| format!("xp search: `{raw}` is not a u64 seed"))?;
+            }
+            "--jobs" => {
+                let raw = value_of("--jobs")?;
+                let n: usize = raw
+                    .parse()
+                    .map_err(|_| format!("xp search: `{raw}` is not a thread count"))?;
+                if n == 0 {
+                    return Err("xp search: --jobs must be at least 1".to_string());
+                }
+                jobs = n;
+            }
+            "--top" => {
+                let raw = value_of("--top")?;
+                let n: usize = raw
+                    .parse()
+                    .map_err(|_| format!("xp search: `{raw}` is not a frontier size"))?;
+                if n == 0 {
+                    return Err("xp search: --top must be at least 1".to_string());
+                }
+                top = n;
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("xp search: unknown option `{flag}`"));
+            }
+            pair => {
+                let (key, val) = pair
+                    .split_once('=')
+                    .ok_or_else(|| format!("xp search: expected `key=value`, got `{pair}`"))?;
+                if seen_keys.iter().any(|k| k == key) {
+                    return Err(format!("xp search: duplicate key `{key}`"));
+                }
+                seen_keys.push(key.to_string());
+                match key {
+                    "defense" => {
+                        defense = Some(
+                            val.parse()
+                                .map_err(|e| format!("xp search: defense: {e}"))?,
+                        )
+                    }
+                    "secs" => {
+                        let n: u64 = val.parse().map_err(|_| {
+                            format!("xp search: `{val}` is not a run length in seconds")
+                        })?;
+                        if n == 0 {
+                            return Err("xp search: secs must be at least 1".to_string());
+                        }
+                        secs = Some(n);
+                    }
+                    "link" => {
+                        link_bps = Some(
+                            crate::spec::parse_bandwidth(val)
+                                .map_err(|e| format!("xp search: {e}"))?,
+                        )
+                    }
+                    other => {
+                        return Err(format!(
+                            "xp search: unknown key `{other}`; valid keys: defense, secs, link"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    let defense = defense
+        .ok_or_else(|| "xp search: `defense=` is required (e.g. defense=accturbo)".to_string())?;
+    Ok(SearchCmd {
+        defense,
+        budget,
+        seed,
+        jobs,
+        top,
+        secs,
+        link_bps,
+        out,
+        quick,
+    })
+}
+
+/// Executes a parsed `xp search` and renders its report: the search
+/// frame, the best-damage trajectory, the frontier CSV, a ready-to-paste
+/// `xp run` replay line for the worst attack, and the corpus itself
+/// (written to `--out`, or inlined). The report depends only on the
+/// parsed command, never on `--jobs`.
+pub fn render_search(cmd: &SearchCmd) -> Result<String, String> {
+    use accturbo_telemetry::f;
+
+    let scale = if cmd.quick { Scale::Quick } else { Scale::Full };
+    let mut frame = crate::worstcase::SearchFrame::at(scale, cmd.seed);
+    if let Some(s) = cmd.secs {
+        frame.secs = s;
+    }
+    if let Some(l) = cmd.link_bps {
+        frame.link_bps = l;
+    }
+    let (outcome, corpus) =
+        crate::worstcase::run_search(&cmd.defense, frame, cmd.budget, cmd.jobs, cmd.top);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# search defense={} budget={} seed={} secs={} link={} top={}",
+        corpus.defense, cmd.budget, cmd.seed, frame.secs, frame.link_bps, cmd.top
+    );
+    let trajectory: Vec<String> = outcome.best_trajectory.iter().map(|d| f(*d)).collect();
+    let _ = writeln!(out, "# best damage per round (explore, then annealing)");
+    let _ = writeln!(out, "trajectory,{}", trajectory.join(","));
+    let _ = writeln!(
+        out,
+        "rank,damage,benign_drop_pct,attack_drop_pct,benign_mbps,workload"
+    );
+    for (i, e) in corpus.entries.iter().enumerate() {
+        let m = &e.metrics;
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{}",
+            i + 1,
+            f(m.damage),
+            f(m.benign_drop_pct),
+            f(m.attack_drop_pct),
+            f(m.benign_mbps),
+            e.workload
+        );
+    }
+    let best = &corpus.entries[0];
+    let _ = writeln!(
+        out,
+        "# replay the worst case:\n\
+         #   xp run workload={} defense={} link={} secs={} seed={}",
+        best.workload, corpus.defense, frame.link_bps, frame.secs, frame.seed
+    );
+    match &cmd.out {
+        Some(path) => {
+            std::fs::write(path, corpus.to_text())
+                .map_err(|e| format!("xp search: --out {path}: {e}"))?;
+            let _ = writeln!(out, "corpus,{path}");
+            let _ = writeln!(out, "corpus_entries,{}", corpus.entries.len());
+        }
+        None => {
+            let _ = writeln!(out, "# corpus (re-run with --out PATH to write a file)");
+            out.push_str(&corpus.to_text());
         }
     }
     Ok(out)
@@ -1083,5 +1342,155 @@ mod tests {
         assert!(out.contains("faults.ctrl_dropped,"), "{out}");
         assert!(out.contains("degradation.missed_ticks,"), "{out}");
         assert!(out.contains("conservation,ok"), "{out}");
+    }
+
+    #[test]
+    fn run_rejects_duplicate_keys() {
+        for argv in [
+            vec!["workload=fig2", "workload=fig3"],
+            vec!["workload=fig2", "defense=fifo", "defense=red"],
+            vec!["workload=fig2", "secs=5,secs=6"],
+        ] {
+            let err = parse_run(&args(&argv)).unwrap_err();
+            assert!(err.contains("duplicate key"), "{argv:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn search_parses_defaults() {
+        let cmd = parse_search(&args(&["defense=accturbo"])).unwrap();
+        assert!(matches!(cmd.defense, DefenseSpec::AccTurbo(_)));
+        assert_eq!(cmd.budget, 32);
+        assert_eq!(cmd.seed, crate::worstcase::DEFAULT_SEED);
+        assert_eq!(cmd.top, 10);
+        assert_eq!(cmd.secs, None);
+        assert_eq!(cmd.link_bps, None);
+        assert_eq!(cmd.out, None);
+        assert!(!cmd.quick);
+    }
+
+    #[test]
+    fn search_parses_flags_and_overrides() {
+        let cmd = parse_search(&args(&[
+            "defense=jaqen,secs=12",
+            "link=20m",
+            "--budget",
+            "8",
+            "--seed",
+            "5",
+            "--jobs",
+            "3",
+            "--top",
+            "4",
+            "--quick",
+            "--out",
+            "out dir/jaqen.corpus",
+        ]))
+        .unwrap();
+        assert!(matches!(cmd.defense, DefenseSpec::Jaqen(_)));
+        assert_eq!(cmd.budget, 8);
+        assert_eq!(cmd.seed, 5);
+        assert_eq!(cmd.jobs, 3);
+        assert_eq!(cmd.top, 4);
+        assert_eq!(cmd.secs, Some(12));
+        assert_eq!(cmd.link_bps, Some(20_000_000));
+        assert_eq!(cmd.out.as_deref(), Some("out dir/jaqen.corpus"));
+        assert!(cmd.quick);
+    }
+
+    #[test]
+    fn search_rejects_bad_input() {
+        for (argv, needle) in [
+            (vec!["--budget", "8"], "`defense=` is required"),
+            (vec!["defense=nope"], "defense"),
+            (vec!["defense=fifo", "--frob"], "unknown option `--frob`"),
+            (vec!["defense=fifo", "frob"], "expected `key=value`"),
+            (vec!["defense=fifo", "frob=1"], "unknown key `frob`"),
+            (
+                vec!["defense=fifo", "defense=red"],
+                "duplicate key `defense`",
+            ),
+            (vec!["defense=fifo", "secs=0"], "secs must be at least 1"),
+            (vec!["defense=fifo", "secs=abc"], "not a run length"),
+            (vec!["defense=fifo", "link=0"], "must be positive"),
+            (
+                vec!["defense=fifo", "--budget", "1"],
+                "budget must be in 2..=",
+            ),
+            (
+                vec!["defense=fifo", "--budget", "999999"],
+                "budget must be in 2..=",
+            ),
+            (vec!["defense=fifo", "--budget", "x"], "is not a budget"),
+            (
+                vec!["defense=fifo", "--budget"],
+                "--budget requires a value",
+            ),
+            (
+                vec!["defense=fifo", "--budget", "--quick"],
+                "--budget requires a value",
+            ),
+            (vec!["defense=fifo", "--seed", "-1"], "is not a u64 seed"),
+            (
+                vec!["defense=fifo", "--jobs", "0"],
+                "--jobs must be at least 1",
+            ),
+            (
+                vec!["defense=fifo", "--top", "0"],
+                "--top must be at least 1",
+            ),
+            (vec!["defense=fifo", "--out"], "--out requires a PATH"),
+        ] {
+            let err = parse_search(&args(&argv)).unwrap_err();
+            assert!(err.contains(needle), "{argv:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn search_render_reports_frontier_and_replay_line() {
+        let cmd = parse_search(&args(&[
+            "defense=fifo",
+            "secs=4",
+            "--budget",
+            "3",
+            "--top",
+            "2",
+            "--seed",
+            "13",
+            "--jobs",
+            "2",
+            "--quick",
+        ]))
+        .unwrap();
+        let out = render_search(&cmd).unwrap();
+        assert!(
+            out.starts_with("# search defense=fifo budget=3 seed=13"),
+            "{out}"
+        );
+        assert!(out.contains("trajectory,"), "{out}");
+        assert!(
+            out.contains("rank,damage,benign_drop_pct,attack_drop_pct,benign_mbps,workload"),
+            "{out}"
+        );
+        assert!(out.contains("#   xp run workload=pulse"), "{out}");
+        // No --out: the corpus is inlined.
+        assert!(out.contains("# accturbo adversarial corpus v1"), "{out}");
+
+        // --out diverts the corpus to a file whose bytes parse back.
+        let path =
+            std::env::temp_dir().join(format!("xp-search-cli-test-{}.corpus", std::process::id()));
+        let cmd = SearchCmd {
+            out: Some(path.to_string_lossy().into_owned()),
+            ..cmd
+        };
+        let out = render_search(&cmd).unwrap();
+        assert!(out.contains("corpus_entries,"), "{out}");
+        assert!(!out.contains("# accturbo adversarial corpus v1"), "{out}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let corpus = accturbo_adversary::Corpus::parse(&text).unwrap();
+        assert_eq!(corpus.defense, "fifo");
+        assert_eq!(corpus.secs, 4);
+        assert_eq!(corpus.budget, 3);
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -34,6 +34,7 @@ pub mod robustness;
 pub mod spec;
 pub mod table3;
 pub mod trace;
+pub mod worstcase;
 
 pub use common::Scale;
 pub use result::FigureResult;
@@ -146,6 +147,11 @@ pub const FIGURES: &[FigureSpec] = &[
         name: "robustness",
         default_seed: robustness::DEFAULT_SEED,
         run: robustness::figure,
+    },
+    FigureSpec {
+        name: "worstcase",
+        default_seed: worstcase::DEFAULT_SEED,
+        run: worstcase::figure,
     },
 ];
 

@@ -4,6 +4,8 @@
 //! xp [FIGURE...] [--quick] [--jobs N] [--seeds A,B,C]
 //!    [--trace PATH] [--metrics PATH]
 //! xp run KEY=VAL[,KEY=VAL...] [--csv] [--quick]   # one ad-hoc scenario
+//! xp search defense=SPEC [--budget N] [--seed N] [--top N]
+//!    [--jobs N] [--out PATH] [--quick]   # adversarial worst-case search
 //! xp trace PATH        # pretty-print a JSONL trace
 //! xp bench-export [--smoke] [--out PATH]   # datapath throughput JSON
 //! xp --help
@@ -140,6 +142,18 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("run") {
         return match cli::parse_run(&args[1..]).and_then(|cmd| cli::render_run(&cmd)) {
+            Ok(report) => {
+                print!("{report}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}\n\n{}", cli::usage());
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if args.first().map(String::as_str) == Some("search") {
+        return match cli::parse_search(&args[1..]).and_then(|cmd| cli::render_search(&cmd)) {
             Ok(report) => {
                 print!("{report}");
                 ExitCode::SUCCESS

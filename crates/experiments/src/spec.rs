@@ -35,7 +35,7 @@ use accturbo_netsim::{
 };
 use accturbo_obs::{MetricsHandle, NoopTracer, Registry, Telemetry, Tracer};
 use accturbo_sched::RankingAlgorithm;
-use accturbo_traffic::workloads::{self, AdversarialScenario, FloodVariation};
+use accturbo_traffic::workloads::{self, AdversarialScenario, FloodVariation, PulseAttackConfig};
 use accturbo_traffic::{scenarios, AttackVector, CicDdosConfig};
 use std::cell::RefCell;
 use std::fmt;
@@ -61,6 +61,66 @@ pub(crate) fn parse_secs(v: &str) -> Result<SimDuration, String> {
         return Err(format!("duration must be positive, got `{v}`"));
     }
     Ok(SimDuration::from_secs_f64(s))
+}
+
+/// Parses a duration that may be zero (ramp shapes: `0` = square pulse).
+fn parse_secs_or_zero(v: &str) -> Result<SimDuration, String> {
+    let s: f64 = v
+        .parse()
+        .map_err(|_| format!("expected a duration in seconds, got `{v}`"))?;
+    if !s.is_finite() || s < 0.0 {
+        return Err(format!("duration must be non-negative, got `{v}`"));
+    }
+    Ok(SimDuration::from_secs_f64(s))
+}
+
+/// Renders bits-per-second in the grammar's bandwidth notation: `2g`,
+/// `40m`, `750k` when evenly divisible, raw bps otherwise.
+pub(crate) fn fmt_bandwidth(bps: u64) -> String {
+    if bps.is_multiple_of(1_000_000_000) {
+        format!("{}g", bps / 1_000_000_000)
+    } else if bps.is_multiple_of(1_000_000) {
+        format!("{}m", bps / 1_000_000)
+    } else if bps.is_multiple_of(1_000) {
+        format!("{}k", bps / 1_000)
+    } else {
+        format!("{bps}")
+    }
+}
+
+/// Parses the grammar's bandwidth notation (`10m`, `2.5g`, raw bps).
+pub(crate) fn parse_bandwidth(v: &str) -> Result<u64, String> {
+    let lower = v.to_ascii_lowercase();
+    let (num, mult) = if let Some(n) = lower.strip_suffix('g') {
+        (n, 1e9)
+    } else if let Some(n) = lower.strip_suffix('m') {
+        (n, 1e6)
+    } else if let Some(n) = lower.strip_suffix('k') {
+        (n, 1e3)
+    } else {
+        (lower.as_str(), 1.0)
+    };
+    let x: f64 = num
+        .parse()
+        .map_err(|_| format!("`{v}` is not a bandwidth (e.g. 10m, 2.5g, 10000000)"))?;
+    if !x.is_finite() || x <= 0.0 {
+        return Err(format!("bandwidth `{v}` must be positive"));
+    }
+    Ok((x * mult).round() as u64)
+}
+
+/// Parses a `+`-separated attack-vector mix (`udp+syn+ntp`).
+fn parse_vector_mix(val: &str) -> Result<Vec<AttackVector>, String> {
+    let parsed = val
+        .split('+')
+        .map(|name| {
+            AttackVector::by_name(name).ok_or_else(|| format!("unknown attack vector `{name}`"))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    if parsed.is_empty() {
+        return Err("vectors list must be non-empty".into());
+    }
+    Ok(parsed)
 }
 
 /// A spec string split into its head token and `key=val` options.
@@ -781,6 +841,11 @@ pub enum WorkloadSpec {
     Adversarial(AdversarialScenario),
     /// Fig. 11c's elephant-flow workload.
     Elephant,
+    /// The parameterized pulse-wave attack the adversarial search
+    /// explores: every knob (`period`, `duty`, `amp`, `vectors`,
+    /// `spread`, `ramp`) is a grammar option, so any point of the
+    /// search space is a one-line replayable spec.
+    Pulse(PulseAttackConfig),
     /// A CICDDoS2019-style day of pulsed episodes (Figs. 9–11).
     CicDay {
         /// Vectors in episode order (`None` = the default 10).
@@ -835,6 +900,7 @@ impl WorkloadSpec {
             WorkloadSpec::Flood(v) => Box::new(workloads::flood(*v, secs, seed)),
             WorkloadSpec::Adversarial(s) => Box::new(workloads::adversarial(*s, secs, seed)),
             WorkloadSpec::Elephant => Box::new(workloads::elephant(secs)),
+            WorkloadSpec::Pulse(cfg) => Box::new(workloads::pulse_attack(cfg, secs, seed)),
             WorkloadSpec::CicDay { .. } => Box::new(self.cic_config(seed).into_source()),
         }
     }
@@ -856,6 +922,7 @@ impl WorkloadSpec {
             }
             WorkloadSpec::Flood(_) => scale.secs(100, 5),
             WorkloadSpec::Adversarial(_) => scale.secs(40, 4),
+            WorkloadSpec::Pulse(_) => scale.secs(30, 10),
             WorkloadSpec::Elephant => 30,
             WorkloadSpec::CicDay { .. } => {
                 self.cic_config(0).total_duration().as_secs_f64().ceil() as u64
@@ -872,6 +939,7 @@ impl WorkloadSpec {
             WorkloadSpec::Fig7 | WorkloadSpec::Background => 0x716,
             WorkloadSpec::Flood(_) => 0x7AB,
             WorkloadSpec::Adversarial(_) => 0xADE5,
+            WorkloadSpec::Pulse(_) => 0xA77,
             WorkloadSpec::Elephant => 0,
             WorkloadSpec::CicDay { .. } => 0xC1C,
         }
@@ -911,6 +979,30 @@ impl fmt::Display for WorkloadSpec {
                     AdversarialScenario::Imitation => "imitate",
                 };
                 write!(out, "adversarial:{name}")
+            }
+            WorkloadSpec::Pulse(cfg) => {
+                let d = PulseAttackConfig::default();
+                write!(out, "pulse")?;
+                if cfg.period != d.period {
+                    write!(out, ":period={}", fmt_secs(cfg.period))?;
+                }
+                if cfg.duty != d.duty {
+                    write!(out, ":duty={}", cfg.duty)?;
+                }
+                if cfg.amp_bps != d.amp_bps {
+                    write!(out, ":amp={}", fmt_bandwidth(cfg.amp_bps))?;
+                }
+                if cfg.vectors != d.vectors {
+                    let names: Vec<&str> = cfg.vectors.iter().map(|x| x.name()).collect();
+                    write!(out, ":vectors={}", names.join("+"))?;
+                }
+                if cfg.spread != d.spread {
+                    write!(out, ":spread={}", cfg.spread)?;
+                }
+                if cfg.ramp != d.ramp {
+                    write!(out, ":ramp={}", fmt_secs(cfg.ramp))?;
+                }
+                Ok(())
             }
             WorkloadSpec::CicDay {
                 vectors,
@@ -985,25 +1077,49 @@ impl FromStr for WorkloadSpec {
                     _ => WorkloadSpec::Elephant,
                 })
             }
+            "pulse" => {
+                let mut cfg = PulseAttackConfig::default();
+                for (key, val) in opts {
+                    match key {
+                        "period" => cfg.period = parse_secs(val)?,
+                        "duty" => {
+                            let d: f64 = val.parse().map_err(|_| format!("bad duty `{val}`"))?;
+                            if !d.is_finite() || d <= 0.0 || d > 1.0 {
+                                return Err(format!("duty `{val}` must be in (0, 1]"));
+                            }
+                            cfg.duty = d;
+                        }
+                        "amp" => cfg.amp_bps = parse_bandwidth(val)?,
+                        "vectors" => {
+                            let mix = parse_vector_mix(val)?;
+                            if mix.len() > 8 {
+                                return Err(format!(
+                                    "vector mix of {} is too long (≤8)",
+                                    mix.len()
+                                ));
+                            }
+                            cfg.vectors = mix;
+                        }
+                        "spread" => {
+                            let s: u8 = val.parse().map_err(|_| format!("bad spread `{val}`"))?;
+                            if s > 3 {
+                                return Err(format!("spread `{val}` must be 0..=3"));
+                            }
+                            cfg.spread = s;
+                        }
+                        "ramp" => cfg.ramp = parse_secs_or_zero(val)?,
+                        other => return Err(format!("unknown pulse option `{other}`")),
+                    }
+                }
+                Ok(WorkloadSpec::Pulse(cfg))
+            }
             "cicday" => {
                 let mut vectors = None;
                 let mut episode = None;
                 let mut gap = None;
                 for (key, val) in opts {
                     match key {
-                        "vectors" => {
-                            let parsed = val
-                                .split('+')
-                                .map(|name| {
-                                    AttackVector::by_name(name)
-                                        .ok_or_else(|| format!("unknown attack vector `{name}`"))
-                                })
-                                .collect::<Result<Vec<_>, _>>()?;
-                            if parsed.is_empty() {
-                                return Err("vectors list must be non-empty".into());
-                            }
-                            vectors = Some(parsed);
-                        }
+                        "vectors" => vectors = Some(parse_vector_mix(val)?),
                         "episode" => episode = Some(parse_secs(val)?),
                         "gap" => gap = Some(parse_secs(val)?),
                         other => return Err(format!("unknown cicday option `{other}`")),
@@ -1017,7 +1133,7 @@ impl FromStr for WorkloadSpec {
             }
             other => Err(format!(
                 "unknown workload `{other}` \
-                 (fig2|fig3|fig6|fig7|background|flood|adversarial|elephant|cicday)"
+                 (fig2|fig3|fig6|fig7|background|flood|adversarial|pulse|elephant|cicday)"
             )),
         }
     }
@@ -1029,7 +1145,7 @@ impl FromStr for WorkloadSpec {
 
 /// The full experiment sentence: workload × defense × engine parameters,
 /// with one [`execute`](ScenarioSpec::execute) entry point.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioSpec {
     /// What traffic hits the switch.
     pub workload: WorkloadSpec,
@@ -1357,6 +1473,11 @@ mod tests {
             "cicday",
             "cicday:vectors=MSSQL+SSDP",
             "cicday:vectors=NTP:episode=2:gap=1",
+            "pulse",
+            "pulse:period=0.5",
+            "pulse:duty=0.25:amp=60m",
+            "pulse:period=1.5:duty=0.05:amp=80m:vectors=SYN+NTP:spread=3:ramp=0.4",
+            "pulse:vectors=UDP+UDPLag:spread=0",
         ];
         for s in cases {
             let spec: WorkloadSpec = s.parse().unwrap_or_else(|e| panic!("{s}: {e}"));
@@ -1377,6 +1498,14 @@ mod tests {
         assert!("flood:tsunami".parse::<WorkloadSpec>().is_err());
         assert!("adversarial".parse::<WorkloadSpec>().is_err());
         assert!("cicday:vectors=WIBBLE".parse::<WorkloadSpec>().is_err());
+        assert!("pulse:duty=0".parse::<WorkloadSpec>().is_err());
+        assert!("pulse:duty=1.5".parse::<WorkloadSpec>().is_err());
+        assert!("pulse:spread=4".parse::<WorkloadSpec>().is_err());
+        assert!("pulse:period=0".parse::<WorkloadSpec>().is_err());
+        assert!("pulse:ramp=-1".parse::<WorkloadSpec>().is_err());
+        assert!("pulse:vectors=".parse::<WorkloadSpec>().is_err());
+        assert!("pulse:amp=0".parse::<WorkloadSpec>().is_err());
+        assert!("pulse:wibble=1".parse::<WorkloadSpec>().is_err());
     }
 
     /// The natural control periods encode each figure's wiring.

@@ -36,7 +36,7 @@ const STREAM_STALE: u64 = 0x44;
 
 /// Intensities and shapes of every fault class. All probabilities are per
 /// decision point and must lie in `[0, 1]`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FaultConfig {
     /// Seed for every per-concern decision stream.
     pub seed: u64,

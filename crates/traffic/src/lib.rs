@@ -25,4 +25,4 @@ pub use cicddos::{CicDdosConfig, Episode};
 pub use modifiers::{MapSource, Spread, SpreadSource};
 pub use pulse::{PulseSpec, PulseWave};
 pub use vectors::{AttackConfig, AttackSource, AttackVector};
-pub use workloads::{AdversarialScenario, FloodVariation};
+pub use workloads::{AdversarialScenario, FloodVariation, PulseAttackConfig};

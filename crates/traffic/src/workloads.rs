@@ -376,6 +376,150 @@ pub fn elephant(secs: u64) -> MergedSource {
     ])
 }
 
+/// Attack start of the parameterized pulse workload (seconds). Early —
+/// the adversarial search runs short scenarios, and every second before
+/// the first pulse is budget the optimizer cannot use.
+pub const PULSE_ATTACK_START_S: u64 = 2;
+/// Number of discrete rate steps approximating a pulse's linear ramp-up
+/// (SNIPPETS #2: `R(t) = R_peak · (t − t0) / T_ramp`).
+const PULSE_RAMP_STEPS: u64 = 4;
+
+/// The parameterized pulse-wave attack the adversarial search explores:
+/// every knob the optimizer can turn, as plain data. The workload this
+/// config builds ([`pulse_attack`]) is background traffic plus a pulse
+/// train from t = [`PULSE_ATTACK_START_S`]; pulse `i` fires at
+/// `start + i · period`, stays on for `duty · period`, cycles through
+/// `vectors`, and (when `ramp > 0`) climbs linearly to `amp_bps` over
+/// the first `ramp` of its on-window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PulseAttackConfig {
+    /// Full pulse cycle (on + off).
+    pub period: SimDuration,
+    /// On fraction of the cycle, in `(0, 1]` (`1` = continuous flood).
+    pub duty: f64,
+    /// Peak burst amplitude, bits per second.
+    pub amp_bps: u64,
+    /// Vector mix: pulse `i` uses `vectors[i % len]` and ground-truth
+    /// class `1 + (i % len)`.
+    pub vectors: Vec<AttackVector>,
+    /// Feature-spreading level: 0 = single flow, 1 = the vector's
+    /// natural signature, 2 = carpet bombing, 3 = carpet bombing plus
+    /// full source spoofing.
+    pub spread: u8,
+    /// Per-pulse linear ramp-up time (clamped to the on-window;
+    /// zero = square pulses).
+    pub ramp: SimDuration,
+}
+
+impl Default for PulseAttackConfig {
+    /// Fig. 6-flavoured defaults: 2 s square pulses at 50% duty peaking
+    /// at the Fig. 6 amplitude, one natural-signature UDP flood.
+    fn default() -> Self {
+        PulseAttackConfig {
+            period: SimDuration::from_secs(2),
+            duty: 0.5,
+            amp_bps: FIG6_PULSE_BPS,
+            vectors: vec![AttackVector::UdpFlood],
+            spread: 1,
+            ramp: SimDuration::ZERO,
+        }
+    }
+}
+
+/// Builds one attack segment of a pulse at the config's spread level.
+fn pulse_segment(
+    cfg: &PulseAttackConfig,
+    vector: AttackVector,
+    rate_bps: u64,
+    start: SimTime,
+    end: SimTime,
+    class: ClassId,
+    seed: u64,
+) -> AttackSource {
+    let mut a = AttackConfig::new(vector, rate_bps.max(1), start, end, class, seed);
+    match cfg.spread {
+        0 => a = a.with_single_flow(),
+        1 => {}
+        2 => a = a.with_carpet_bombing(),
+        _ => a = a.with_carpet_bombing().with_source_spoofing(),
+    }
+    AttackSource::new(a)
+}
+
+/// The parameterized pulse-wave workload: background at
+/// [`EXPERIMENT_BACKGROUND_BPS`] plus the pulse train `cfg` describes.
+/// Ramps are discretized into [`PULSE_RAMP_STEPS`] equal-duration rate
+/// steps at the midpoint rate of each linear segment. Seed discipline:
+/// the background derives from `seed`, pulse `i`'s segment `j` from
+/// `seed + 1 + 8·i + j` — byte-stable for a given `(cfg, secs, seed)`.
+pub fn pulse_attack(cfg: &PulseAttackConfig, secs: u64, seed: u64) -> MergedSource {
+    assert!(
+        cfg.duty > 0.0 && cfg.duty <= 1.0,
+        "pulse duty must be in (0, 1]"
+    );
+    assert!(
+        !cfg.vectors.is_empty(),
+        "pulse vector mix must be non-empty"
+    );
+    assert!(!cfg.period.is_zero(), "pulse period must be positive");
+    let end = SimTime::from_secs(secs);
+    let mut sources: Vec<Box<dyn PacketSource>> = vec![Box::new(BackgroundSource::new(
+        BackgroundConfig::new(EXPERIMENT_BACKGROUND_BPS, SimTime::ZERO, end, seed),
+    ))];
+    let start = SimTime::from_secs(PULSE_ATTACK_START_S);
+    let on = SimDuration::from_secs_f64(cfg.period.as_secs_f64() * cfg.duty);
+    let mut i: u64 = 0;
+    loop {
+        let t0 = match start.checked_add(cfg.period * i) {
+            Some(t) if t < end => t,
+            _ => break,
+        };
+        let vector = cfg.vectors[(i as usize) % cfg.vectors.len()];
+        let class = ClassId(1 + (i % cfg.vectors.len() as u64) as u16);
+        let seed_base = seed.wrapping_add(1 + 8 * i);
+        let ramp = cfg.ramp.min(on);
+        let mut cursor = t0;
+        if !ramp.is_zero() {
+            let step = SimDuration::from_nanos(ramp.as_nanos() / PULSE_RAMP_STEPS);
+            if !step.is_zero() {
+                for j in 0..PULSE_RAMP_STEPS {
+                    let seg_end = cursor.checked_add(step).unwrap_or(end).min(end);
+                    if seg_end <= cursor {
+                        break;
+                    }
+                    // Midpoint rate of the j-th linear ramp segment.
+                    let frac = (2 * j + 1) as f64 / (2 * PULSE_RAMP_STEPS) as f64;
+                    let rate = (cfg.amp_bps as f64 * frac).round() as u64;
+                    sources.push(Box::new(pulse_segment(
+                        cfg,
+                        vector,
+                        rate,
+                        cursor,
+                        seg_end,
+                        class,
+                        seed_base.wrapping_add(j),
+                    )));
+                    cursor = seg_end;
+                }
+            }
+        }
+        let pulse_end = t0.checked_add(on).unwrap_or(end).min(end);
+        if pulse_end > cursor {
+            sources.push(Box::new(pulse_segment(
+                cfg,
+                vector,
+                cfg.amp_bps,
+                cursor,
+                pulse_end,
+                class,
+                seed_base.wrapping_add(PULSE_RAMP_STEPS),
+            )));
+        }
+        i += 1;
+    }
+    MergedSource::new(sources)
+}
+
 /// Ground-truth class of the pushback scenario's benign service sharing
 /// the attacked upstream.
 pub const PUSHBACK_SHARED_BENIGN: ClassId = ClassId(1);
@@ -470,6 +614,55 @@ mod tests {
             n
         };
         assert_eq!(with, bare);
+    }
+
+    #[test]
+    fn pulse_attack_yields_traffic_and_is_deterministic() {
+        let cfg = PulseAttackConfig::default();
+        let a = count(pulse_attack(&cfg, 8, 9));
+        let b = count(pulse_attack(&cfg, 8, 9));
+        assert!(a > 0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pulse_attack_on_time_scales_with_duty() {
+        let lo = PulseAttackConfig {
+            duty: 0.25,
+            ..PulseAttackConfig::default()
+        };
+        let hi = PulseAttackConfig {
+            duty: 1.0,
+            ..PulseAttackConfig::default()
+        };
+        assert!(count(pulse_attack(&hi, 10, 3)) > count(pulse_attack(&lo, 10, 3)));
+    }
+
+    #[test]
+    fn pulse_attack_cycles_vector_mix_classes() {
+        let cfg = PulseAttackConfig {
+            vectors: vec![AttackVector::UdpFlood, AttackVector::SynFlood],
+            ..PulseAttackConfig::default()
+        };
+        let mut src = pulse_attack(&cfg, 10, 5);
+        let mut classes = std::collections::BTreeSet::new();
+        while let Some(p) = src.next_packet() {
+            classes.insert(p.class);
+        }
+        assert!(classes.contains(&ClassId(1)), "first vector's pulses");
+        assert!(classes.contains(&ClassId(2)), "second vector's pulses");
+    }
+
+    #[test]
+    fn pulse_attack_ramp_and_spread_levels_build() {
+        for spread in 0..=3u8 {
+            let cfg = PulseAttackConfig {
+                spread,
+                ramp: SimDuration::from_millis(400),
+                ..PulseAttackConfig::default()
+            };
+            assert!(count(pulse_attack(&cfg, 8, 11)) > 0, "spread={spread}");
+        }
     }
 
     #[test]

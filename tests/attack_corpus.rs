@@ -1,0 +1,186 @@
+//! Worst-case attack regression corpus: every committed corpus entry
+//! under `tests/corpus/` replays through the declarative scenario layer
+//! and must reproduce its recorded damage metrics **bit-exactly**.
+//!
+//! Each `<defense>.corpus` file was produced by `xp search` and freezes
+//! that defense's worst-case frontier: the attacks the adversarial
+//! optimizer found most damaging. Replaying them is a sharper regression
+//! net than the average-case goldens — a datapath change that only moves
+//! behaviour under extreme pulse shapes shows up here first, as a
+//! per-entry, per-field diff naming the exact attack that drifted.
+//!
+//! To bless intentional changes (the attacks stay, their metrics are
+//! re-measured):
+//!
+//! ```text
+//! UPDATE_GOLDENS=1 cargo test --release --test attack_corpus
+//! ```
+
+use accturbo_adversary::{Corpus, DamageMetrics};
+use accturbo_experiments::spec::{DefenseSpec, WorkloadSpec};
+use accturbo_experiments::worstcase::{self, FRONTIER_DEFENSES};
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("corpus")
+}
+
+fn blessing() -> bool {
+    std::env::var_os("UPDATE_GOLDENS").is_some_and(|v| !v.is_empty() && v != "0")
+}
+
+fn load(name: &str) -> Corpus {
+    let path = corpus_dir().join(format!("{name}.corpus"));
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "no corpus for `{name}` ({}: {e});\n\
+             generate it with `xp search defense={name} --budget 48 --top 10 \
+             --quick --out tests/corpus/{name}.corpus`",
+            path.display()
+        )
+    });
+    Corpus::parse(&text).unwrap_or_else(|e| panic!("corrupt corpus {}: {e}", path.display()))
+}
+
+/// Replays every entry of `name`'s corpus (in parallel — replay order
+/// cannot matter, each entry is an independent simulation) and fails
+/// with one line per drifted field. Under `UPDATE_GOLDENS=1` the file is
+/// rewritten with the fresh metrics instead, keeping the attacks.
+fn check(name: &str) {
+    let corpus = load(name);
+    let defense: DefenseSpec = corpus
+        .defense
+        .parse()
+        .unwrap_or_else(|e| panic!("{name}.corpus: bad defense header: {e}"));
+
+    let fresh: Vec<DamageMetrics> = accturbo_runner::run(
+        accturbo_runner::default_threads(),
+        corpus.entries.len(),
+        |i| {
+            let workload: WorkloadSpec = corpus.entries[i].workload.parse().unwrap_or_else(|e| {
+                panic!(
+                    "{name}.corpus entry {i}: `{}` no longer parses: {e}",
+                    corpus.entries[i].workload
+                )
+            });
+            worstcase::evaluate_workload(
+                &defense,
+                &workload,
+                corpus.link_bps,
+                corpus.secs,
+                corpus.seed,
+            )
+        },
+    )
+    .into_iter()
+    .map(|r| r.output)
+    .collect();
+
+    if blessing() {
+        let mut blessed = corpus.clone();
+        for (entry, m) in blessed.entries.iter_mut().zip(&fresh) {
+            entry.metrics = *m;
+        }
+        let path = corpus_dir().join(format!("{name}.corpus"));
+        std::fs::write(&path, blessed.to_text())
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+
+    let mut diffs: Vec<String> = Vec::new();
+    for (i, (entry, fresh)) in corpus.entries.iter().zip(&fresh).enumerate() {
+        let golden = &entry.metrics;
+        for (field, want, got) in [
+            ("damage", golden.damage, fresh.damage),
+            (
+                "benign_drop_pct",
+                golden.benign_drop_pct,
+                fresh.benign_drop_pct,
+            ),
+            (
+                "attack_drop_pct",
+                golden.attack_drop_pct,
+                fresh.attack_drop_pct,
+            ),
+            ("benign_mbps", golden.benign_mbps, fresh.benign_mbps),
+        ] {
+            if want.to_bits() != got.to_bits() {
+                diffs.push(format!(
+                    "entry {i} ({}): {field} recorded {want:?}, replayed {got:?}",
+                    entry.workload
+                ));
+            }
+        }
+    }
+    assert!(
+        diffs.is_empty(),
+        "corpus drift in `{name}` ({} field{}):\n  {}\n\
+         if this change is intended, re-bless with \
+         `UPDATE_GOLDENS=1 cargo test --release --test attack_corpus`",
+        diffs.len(),
+        if diffs.len() == 1 { "" } else { "s" },
+        diffs.join("\n  ")
+    );
+}
+
+macro_rules! corpus_tests {
+    ($($name:ident),* $(,)?) => {
+        $(
+            #[test]
+            fn $name() {
+                check(stringify!($name));
+            }
+        )*
+    };
+}
+
+corpus_tests!(fifo, red, acc, accturbo, jaqen);
+
+/// The committed corpus set tracks the frontier defense list exactly,
+/// every file is internally consistent (matching defense header, the
+/// canonical frame) and carries a meaningful frontier (≥ 10 attacks,
+/// sorted by damage, no duplicate attacks).
+#[test]
+fn corpus_set_matches_the_frontier_defenses() {
+    let mut on_disk: Vec<String> = std::fs::read_dir(corpus_dir())
+        .expect("tests/corpus must exist")
+        .filter_map(|e| {
+            let name = e.ok()?.file_name().into_string().ok()?;
+            name.strip_suffix(".corpus").map(str::to_string)
+        })
+        .collect();
+    on_disk.sort();
+    let mut expected: Vec<String> = FRONTIER_DEFENSES.iter().map(|s| s.to_string()).collect();
+    expected.sort();
+    assert_eq!(
+        on_disk, expected,
+        "tests/corpus/*.corpus must match worstcase::FRONTIER_DEFENSES exactly"
+    );
+
+    for name in FRONTIER_DEFENSES {
+        let corpus = load(name);
+        assert_eq!(&corpus.defense, name, "{name}.corpus: defense header");
+        assert!(
+            corpus.entries.len() >= 10,
+            "{name}.corpus: only {} entries (need ≥ 10)",
+            corpus.entries.len()
+        );
+        assert_eq!(corpus.seed, worstcase::DEFAULT_SEED, "{name}.corpus: seed");
+        let damages: Vec<f64> = corpus.entries.iter().map(|e| e.metrics.damage).collect();
+        assert!(
+            damages.windows(2).all(|w| w[0] >= w[1]),
+            "{name}.corpus: frontier not sorted by damage"
+        );
+        let mut workloads: Vec<&str> = corpus.entries.iter().map(|e| e.workload.as_str()).collect();
+        workloads.sort_unstable();
+        workloads.dedup();
+        assert_eq!(
+            workloads.len(),
+            corpus.entries.len(),
+            "{name}.corpus: duplicate attacks in the frontier"
+        );
+    }
+}

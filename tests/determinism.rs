@@ -71,6 +71,43 @@ fn cli_stream_is_byte_identical_across_job_counts() {
     }
 }
 
+/// The adversarial search, end-to-end through the `xp search` CLI path
+/// (real simulations, not the adversary crate's synthetic landscape):
+/// same seed + budget twice is byte-identical, and the jobs count never
+/// leaks into the report or the corpus bytes.
+#[test]
+fn search_cli_is_reproducible_and_jobs_invariant() {
+    let render = |jobs: &str| {
+        let args: Vec<String> = [
+            "defense=fifo",
+            "secs=4",
+            "--quick",
+            "--budget",
+            "5",
+            "--top",
+            "3",
+            "--seed",
+            "21",
+            "--jobs",
+            jobs,
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let cmd = cli::parse_search(&args).expect("valid search args");
+        cli::render_search(&cmd).expect("search runs")
+    };
+    let serial = render("1");
+    let again = render("1");
+    let parallel = render("4");
+    assert_eq!(serial, again, "same seed twice must be byte-identical");
+    assert_eq!(serial, parallel, "search output must not depend on --jobs");
+    assert!(
+        serial.contains("# accturbo adversarial corpus v1"),
+        "{serial}"
+    );
+}
+
 /// Seeded multi-run output (per-seed blocks + aggregate) is also
 /// jobs-invariant, and two identically-seeded invocations agree.
 #[test]

@@ -107,6 +107,7 @@ golden_tests!(
     ablations,
     pushback,
     robustness,
+    worstcase,
 );
 
 /// The macro list above must not fall behind the registry.
@@ -126,6 +127,7 @@ fn every_registry_entry_has_a_test() {
         "ablations",
         "pushback",
         "robustness",
+        "worstcase",
     ];
     for spec in FIGURES {
         assert!(
