@@ -16,7 +16,7 @@ use crate::prefix::{infer_aggregates, InferredAggregate};
 use crate::ratelimit::{excess_rate, water_fill};
 use crate::sessions::{SessionConfig, SessionTable};
 use accturbo_netsim::{
-    Bandwidth, DropReason, Dropped, Packet, QueueDiscipline, RedQueue, SimTime, Switch,
+    AggLimit, Bandwidth, DropReason, Dropped, Packet, QueueDiscipline, RedQueue, SimTime, Switch,
 };
 use std::collections::VecDeque;
 
@@ -334,6 +334,20 @@ impl Switch for AccSwitch {
         }
         // Session lifecycle.
         self.sessions.revisit(now);
+    }
+
+    fn pushback_limits(&mut self, _now: SimTime, out: &mut Vec<AggLimit>) {
+        // Every active rate-limiting session is also a pushback request:
+        // the topology engine propagates these upstream hop by hop
+        // (Mahajan §5), while the local session keeps policing as the
+        // last line of defense.
+        for s in self.sessions.sessions() {
+            out.push(AggLimit {
+                addr: s.prefix.addr,
+                len: s.prefix.len,
+                bps: s.limit.as_bps(),
+            });
+        }
     }
 }
 

@@ -132,7 +132,9 @@ impl SearchSpace {
 
     /// True when every knob of `g` lies on this space's grid.
     pub fn contains(&self, g: &AttackGenome) -> bool {
-        let on = |v: u64, (lo, hi, step): SteppedRange| v >= lo && v <= hi && (v - lo).is_multiple_of(step);
+        let on = |v: u64, (lo, hi, step): SteppedRange| {
+            v >= lo && v <= hi && (v - lo).is_multiple_of(step)
+        };
         on(g.period_ms, self.period_ms)
             && on(g.duty_pct as u64, self.duty_pct)
             && on(g.amp_mbps as u64, self.amp_mbps)

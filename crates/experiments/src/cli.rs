@@ -11,7 +11,7 @@
 //! order, so `--jobs 8` is byte-identical to `--jobs 1`.
 
 use crate::result::aggregate_csv;
-use crate::spec::{DefenseSpec, ScenarioSpec, WorkloadSpec};
+use crate::spec::{DefenseSpec, ScenarioSpec, TopologySpec, WorkloadSpec};
 use crate::{figure_spec, FigureSpec, Scale, FIGURES};
 use accturbo_netsim::SimDuration;
 use accturbo_obs::{
@@ -67,12 +67,18 @@ pub fn usage() -> String {
          \x20                                just the paper's. Keys: workload\n\
          \x20                                (required), defense (default fifo),\n\
          \x20                                link (10m/2.5g/bps), secs, seed,\n\
-         \x20                                period (250ms/1s), faults\n\
-         \x20                                (KIND:VAL+KIND:VAL). Flags: --csv\n\
+         \x20                                period (250ms/1s), topology\n\
+         \x20                                (line:N/star:N/fattree:K/isp-edge\n\
+         \x20                                with :delay= :uplink= :attackers=\n\
+         \x20                                :edges=same :pushback=on :refresh=),\n\
+         \x20                                faults (KIND:VAL+KIND:VAL; single\n\
+         \x20                                switch only). Flags: --csv\n\
          \x20                                (panel only), --quick.\n\
          \x20                                e.g. xp run workload=fig2 defense=accturbo\n\
          \x20                                     xp run workload=flood:carpet \\\n\
          \x20                                            defense=accturbo:profile=hw:features=dst4\n\
+         \x20                                     xp run workload=flood defense=acc \\\n\
+         \x20                                            topology=star:4:attackers=0+1:pushback=on\n\
          \x20   xp search defense=SPEC [KEY=VAL...]\n\
          \x20                                adversarial worst-case search: anneal\n\
          \x20                                over the pulse-attack knobs (period,\n\
@@ -465,6 +471,7 @@ pub fn parse_run(args: &[String]) -> Result<RunCmd, String> {
     let mut seed: Option<u64> = None;
     let mut link: Option<u64> = None;
     let mut period: Option<SimDuration> = None;
+    let mut topology: Option<TopologySpec> = None;
     let mut fault_mix: Vec<(String, f64)> = Vec::new();
     let mut sink: Option<String> = None;
     let mut dataset: Option<String> = None;
@@ -542,11 +549,14 @@ pub fn parse_run(args: &[String]) -> Result<RunCmd, String> {
                     }
                     "link" => link = Some(parse_link(val)?),
                     "period" => period = Some(parse_period(val)?),
+                    "topology" => {
+                        topology = Some(val.parse().map_err(|e| format!("xp run: topology: {e}"))?)
+                    }
                     "faults" => fault_mix = parse_fault_mix("xp run: faults", val, '+')?,
                     other => {
                         return Err(format!(
                             "xp run: unknown key `{other}`; valid keys: workload, defense, \
-                             link, secs, seed, period, faults"
+                             link, secs, seed, period, topology, faults"
                         ));
                     }
                 }
@@ -555,10 +565,28 @@ pub fn parse_run(args: &[String]) -> Result<RunCmd, String> {
     }
     let workload = workload
         .ok_or_else(|| "xp run: `workload=` is required (e.g. workload=fig2)".to_string())?;
+    if topology.is_some() && !fault_mix.is_empty() {
+        return Err("xp run: the fault plane models a single defended switch; \
+                    combine either faults= or topology=, not both"
+            .to_string());
+    }
+    if topology.is_some() && (sink.is_some() || dataset.is_some() || flight_recorder.is_some()) {
+        return Err("xp run: streaming telemetry is not topology-aware; \
+                    drop --sink/--dataset/--flight-recorder or topology="
+            .to_string());
+    }
     let quick_secs = workload.default_secs(Scale::Quick);
     let mut spec = ScenarioSpec::new(workload, defense);
     if quick {
         spec = spec.with_secs(quick_secs);
+    }
+    // A topology stretches the path (propagation RTT, pushback
+    // convergence); inheriting the single-switch figure default would
+    // silently cut the interesting tail off deep topologies. Pad the
+    // default — an explicit secs= below still wins.
+    if let Some(t) = &topology {
+        let padded = spec.secs + t.extra_secs();
+        spec = spec.with_secs(padded);
     }
     if let Some(s) = secs {
         spec = spec.with_secs(s);
@@ -571,6 +599,9 @@ pub fn parse_run(args: &[String]) -> Result<RunCmd, String> {
     }
     if let Some(p) = period {
         spec = spec.with_period(p);
+    }
+    if let Some(t) = topology {
+        spec = spec.with_topology(t);
     }
     if !fault_mix.is_empty() {
         let fault_seed = spec.seed;
@@ -644,7 +675,35 @@ pub fn render_run(cmd: &RunCmd) -> Result<String, String> {
         cmd.flight_recorder.as_deref(),
         spec.seed,
     )?;
-    let outcome = spec.execute_streamed(telemetry.as_mut());
+    // Topology runs keep the per-node picture for the summary; the
+    // single-switch path is untouched.
+    let mut topo_detail: Option<(u64, u64, Option<f64>)> = None;
+    let outcome = match &spec.topology {
+        Some(tspec) => {
+            let t = spec.execute_topology();
+            let leaves = tspec.build(spec.link_bps).leaves().to_vec();
+            let converge = t
+                .node_first_limit
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| leaves.contains(i))
+                .filter_map(|(_, at)| *at)
+                .map(|at| at.as_secs_f64())
+                .fold(None, |acc: Option<f64>, s| {
+                    Some(acc.map_or(s, |a| a.max(s)))
+                });
+            topo_detail = Some((t.hops, t.pushback_installs, converge));
+            crate::spec::ScenarioOutcome {
+                backlog_pkts: t.backlog_pkts,
+                result: t.result,
+                fault_stats: None,
+                missed_ticks: 0,
+                stale_ticks: 0,
+                fallbacks: 0,
+            }
+        }
+        None => spec.execute_streamed(telemetry.as_mut()),
+    };
     let res = &outcome.result;
     let secs = spec.secs;
     let mut out = String::new();
@@ -710,6 +769,17 @@ pub fn render_run(cmd: &RunCmd) -> Result<String, String> {
         "conservation,{}",
         if conserved { "ok" } else { "VIOLATED" }
     );
+    if let Some((hops, installs, converge)) = topo_detail {
+        let _ = writeln!(out, "topology.hops,{hops}");
+        if spec.topology.as_ref().is_some_and(|t| t.pushback) {
+            let _ = writeln!(out, "pushback.installs,{installs}");
+            let _ = writeln!(
+                out,
+                "pushback.converge_s,{}",
+                converge.map_or_else(|| "-1".to_string(), f)
+            );
+        }
+    }
     if let Some(fs) = &outcome.fault_stats {
         let _ = writeln!(out, "faults.ctrl_dropped,{}", fs.ctrl_dropped);
         let _ = writeln!(out, "faults.ctrl_delayed,{}", fs.ctrl_delayed);
@@ -1237,6 +1307,93 @@ mod tests {
         assert_eq!(quick.spec.secs, 25);
         let explicit = parse_run(&args(&["workload=fig2", "--quick", "secs=8"])).unwrap();
         assert_eq!(explicit.spec.secs, 8);
+    }
+
+    /// `topology=` must make the default run length topology-aware (the
+    /// added path RTT / pushback convergence would otherwise be silently
+    /// cut off), while an explicit `secs=` still wins and `line:1` adds
+    /// nothing.
+    #[test]
+    fn run_topology_defaults_are_topology_aware() {
+        let base = parse_run(&args(&["workload=fig2"])).unwrap();
+        let line1 = parse_run(&args(&["workload=fig2", "topology=line:1"])).unwrap();
+        assert_eq!(
+            line1.spec.secs, base.spec.secs,
+            "line:1 must not pad the default"
+        );
+
+        // 4 extra hops at 0.5 s each: +2·4·0.5 = 4 s of RTT, plus
+        // 5 levels × 1 s of pushback refresh.
+        let deep = parse_run(&args(&[
+            "workload=fig2",
+            "topology=line:5:delay=0.5:pushback=on:refresh=1",
+        ]))
+        .unwrap();
+        assert_eq!(deep.spec.secs, base.spec.secs + 9);
+
+        let explicit = parse_run(&args(&[
+            "workload=fig2",
+            "topology=line:5:delay=0.5:pushback=on:refresh=1",
+            "secs=7",
+        ]))
+        .unwrap();
+        assert_eq!(explicit.spec.secs, 7, "explicit secs= always wins");
+
+        let quick = parse_run(&args(&[
+            "workload=fig2",
+            "--quick",
+            "topology=line:5:delay=0.5:pushback=on:refresh=1",
+        ]))
+        .unwrap();
+        assert_eq!(quick.spec.secs, 25 + 9, "padding applies on top of --quick");
+    }
+
+    #[test]
+    fn run_topology_rejects_unsupported_combinations() {
+        let err = parse_run(&args(&[
+            "workload=fig2",
+            "topology=star:4",
+            "faults=ctrl_drop:0.5",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("not both"), "{err}");
+
+        let err = parse_run(&args(&[
+            "workload=fig2",
+            "topology=star:4",
+            "--sink",
+            "/tmp/x.jsonl",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("telemetry is not topology-aware"), "{err}");
+
+        let err = parse_run(&args(&["workload=fig2", "topology=ring:4"])).unwrap_err();
+        assert!(err.contains("unknown topology"), "{err}");
+
+        let err = parse_run(&args(&["workload=fig2", "topology=star:4:attackers=9"])).unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn run_render_reports_topology_summary() {
+        let cmd = parse_run(&args(&[
+            "workload=flood",
+            "defense=acc",
+            "topology=star:4:attackers=0:pushback=on",
+            "secs=12",
+            "link=10m",
+        ]))
+        .unwrap();
+        let out = render_run(&cmd).unwrap();
+        assert!(out.contains("# scenario"), "{out}");
+        assert!(
+            out.contains("topology=star:4:attackers=0:pushback=on"),
+            "header must round-trip the topology: {out}"
+        );
+        assert!(out.contains("conservation,ok"), "{out}");
+        assert!(out.contains("topology.hops,"), "{out}");
+        assert!(out.contains("pushback.installs,"), "{out}");
+        assert!(out.contains("pushback.converge_s,"), "{out}");
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub mod result;
 pub mod robustness;
 pub mod spec;
 pub mod table3;
+pub mod topology;
 pub mod trace;
 pub mod worstcase;
 
@@ -152,6 +153,11 @@ pub const FIGURES: &[FigureSpec] = &[
         name: "worstcase",
         default_seed: worstcase::DEFAULT_SEED,
         run: worstcase::figure,
+    },
+    FigureSpec {
+        name: "topology",
+        default_seed: topology::DEFAULT_SEED,
+        run: topology::figure,
     },
 ];
 

@@ -23,20 +23,23 @@
 //!
 //! [`execute`]: ScenarioSpec::execute
 
-use crate::common::{simulate, simulate_streamed, simulate_with_faults, Scale, LINK_10G_SCALED};
+use crate::common::{
+    baseline_fifo, simulate, simulate_streamed, simulate_with_faults, Scale, LINK_10G_SCALED,
+};
 use accturbo_acc::{AccConfig, AccSwitch};
 use accturbo_clustering::{DistanceKind, FeatureSet, InitMode, NominalMode, RepMode, SearchKind};
 use accturbo_core::{AccTurboConfig, AccTurboSwitch, IdealPifoSwitch, RankedAccTurboSwitch};
 use accturbo_jaqen::{JaqenConfig, JaqenSwitch, Signature};
 use accturbo_netsim::{
-    Bandwidth, ClassId, FaultConfig, FaultInjector, FaultSchedule, FaultStats, FaultedSource,
-    PacketSource, ProgramSwapSwitch, RedConfig, RedQueue, RunResult, SimDuration, SimTime,
-    SingleQueueSwitch, Switch,
+    run_topology, Bandwidth, ClassId, FaultConfig, FaultInjector, FaultSchedule, FaultStats,
+    FaultedSource, LinkSpec, PacketSource, ProgramSwapSwitch, PushbackPlan, RedConfig, RedQueue,
+    RunResult, SimDuration, SimTime, SingleQueueSwitch, Switch, Topology, TopologyConfig,
+    TopologyRunResult,
 };
 use accturbo_obs::{MetricsHandle, NoopTracer, Registry, Telemetry, Tracer};
 use accturbo_sched::RankingAlgorithm;
 use accturbo_traffic::workloads::{self, AdversarialScenario, FloodVariation, PulseAttackConfig};
-use accturbo_traffic::{scenarios, AttackVector, CicDdosConfig};
+use accturbo_traffic::{scenarios, AttackVector, CicDdosConfig, LeafPlacement};
 use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
@@ -1140,6 +1143,267 @@ impl FromStr for WorkloadSpec {
 }
 
 // ---------------------------------------------------------------------------
+// Topologies
+// ---------------------------------------------------------------------------
+
+/// The topology vocabulary: which tree of switches fronts the bottleneck.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologyShape {
+    /// `line:N` — a chain of `N` switches (1–32); `line:1` is the
+    /// single-switch model.
+    Line(u32),
+    /// `star:N` — `N` edge switches (1–64) feeding one core.
+    Star(u32),
+    /// `fattree:K` — `K²` edges, `K` aggregations (2–6), one core.
+    FatTree(u32),
+    /// `isp-edge` — the fixed asymmetric 4-edge / 2-regional / 1-core
+    /// shape.
+    IspEdge,
+}
+
+/// What defends the non-bottleneck switches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EdgeDefense {
+    /// Plain tail-drop FIFOs upstream (the default): only the bottleneck
+    /// runs the scenario's defense.
+    #[default]
+    Fifo,
+    /// `edges=same` — every switch runs the scenario's defense.
+    Same,
+}
+
+/// The `topology=` half of a scenario sentence: shape plus link and
+/// pushback knobs. `Display` emits only non-default knobs and
+/// `parse(display(x)) == x`, like every other spec grammar.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopologySpec {
+    /// The tree shape.
+    pub shape: TopologyShape,
+    /// Per-link propagation delay; `None` = the 50 µs default.
+    pub delay: Option<SimDuration>,
+    /// Uplink (non-bottleneck link) bandwidth; `None` = 1.2× the
+    /// scenario's bottleneck so the core, not the edges, congests.
+    pub uplink_bps: Option<u64>,
+    /// Leaf ordinals hosting the attack sources (strictly ascending);
+    /// `None` = attackers spread over all leaves.
+    pub attackers: Option<Vec<usize>>,
+    /// What runs on the non-bottleneck switches.
+    pub edges: EdgeDefense,
+    /// Whether the bottleneck's aggregate limits propagate upstream
+    /// hop by hop.
+    pub pushback: bool,
+    /// Pushback refresh period at the root; `None` = the 500 ms default.
+    pub refresh: Option<SimDuration>,
+}
+
+impl TopologySpec {
+    /// A topology at the shape's defaults.
+    pub fn new(shape: TopologyShape) -> Self {
+        TopologySpec {
+            shape,
+            delay: None,
+            uplink_bps: None,
+            attackers: None,
+            edges: EdgeDefense::Fifo,
+            pushback: false,
+            refresh: None,
+        }
+    }
+
+    /// Number of ingress leaves.
+    pub fn leaf_count(&self) -> usize {
+        match self.shape {
+            TopologyShape::Line(_) => 1,
+            TopologyShape::Star(n) => n as usize,
+            TopologyShape::FatTree(k) => (k * k) as usize,
+            TopologyShape::IspEdge => 4,
+        }
+    }
+
+    /// Switch count on the longest leaf → root path.
+    pub fn depth(&self) -> usize {
+        match self.shape {
+            TopologyShape::Line(n) => n as usize,
+            TopologyShape::Star(_) => 2,
+            TopologyShape::FatTree(_) | TopologyShape::IspEdge => 3,
+        }
+    }
+
+    /// The effective per-link propagation delay.
+    pub fn delay(&self) -> SimDuration {
+        self.delay.unwrap_or(SimDuration::from_micros(50))
+    }
+
+    /// The effective uplink bandwidth for a scenario at `link_bps`.
+    pub fn uplink(&self, link_bps: u64) -> u64 {
+        self.uplink_bps.unwrap_or(link_bps * 12 / 10)
+    }
+
+    /// The effective pushback refresh period.
+    pub fn refresh(&self) -> SimDuration {
+        self.refresh.unwrap_or(SimDuration::from_millis(500))
+    }
+
+    /// Extra run-length the topology wants on top of a single-switch
+    /// default: the added path RTT (propagation both ways across the
+    /// extra hops) plus, with pushback on, one refresh per level for
+    /// limits to reach the leaves. Whole seconds, rounded up; zero for
+    /// `line:1`.
+    pub fn extra_secs(&self) -> u64 {
+        let depth = self.depth() as f64;
+        let mut extra = 2.0 * (depth - 1.0) * self.delay().as_secs_f64();
+        if self.pushback {
+            extra += depth * self.refresh().as_secs_f64();
+        }
+        extra.ceil() as u64
+    }
+
+    /// Materializes the [`Topology`] for a scenario at `link_bps`.
+    pub fn build(&self, link_bps: u64) -> Topology {
+        let uplink = LinkSpec::new(Bandwidth::from_bps(self.uplink(link_bps)), self.delay());
+        let bottleneck = LinkSpec::new(Bandwidth::from_bps(link_bps), SimDuration::ZERO);
+        match self.shape {
+            TopologyShape::Line(n) => Topology::line(n as usize, uplink, bottleneck),
+            TopologyShape::Star(n) => Topology::star(n as usize, uplink, bottleneck),
+            TopologyShape::FatTree(k) => Topology::fattree(k as usize, uplink, bottleneck),
+            TopologyShape::IspEdge => Topology::isp_edge(uplink, bottleneck),
+        }
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        match self.shape {
+            TopologyShape::Line(n) if !(1..=32).contains(&n) => {
+                return Err(format!("line arity must be 1..=32, got {n}"));
+            }
+            TopologyShape::Star(n) if !(1..=64).contains(&n) => {
+                return Err(format!("star arity must be 1..=64, got {n}"));
+            }
+            TopologyShape::FatTree(k) if !(2..=6).contains(&k) => {
+                return Err(format!("fattree arity must be 2..=6, got {k}"));
+            }
+            _ => {}
+        }
+        if let Some(att) = &self.attackers {
+            if att.is_empty() {
+                return Err("attackers list must be non-empty".into());
+            }
+            let leaves = self.leaf_count();
+            if !att.windows(2).all(|w| w[0] < w[1]) {
+                return Err(format!("attackers must be strictly ascending: {att:?}"));
+            }
+            if let Some(&worst) = att.last() {
+                if worst >= leaves {
+                    return Err(format!(
+                        "attacker leaf {worst} out of range (the shape has {leaves} leaves)"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for TopologySpec {
+    fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.shape {
+            TopologyShape::Line(n) => write!(out, "line:{n}")?,
+            TopologyShape::Star(n) => write!(out, "star:{n}")?,
+            TopologyShape::FatTree(k) => write!(out, "fattree:{k}")?,
+            TopologyShape::IspEdge => write!(out, "isp-edge")?,
+        }
+        if let Some(d) = self.delay {
+            write!(out, ":delay={}", fmt_secs(d))?;
+        }
+        if let Some(b) = self.uplink_bps {
+            write!(out, ":uplink={}", fmt_bandwidth(b))?;
+        }
+        if let Some(att) = &self.attackers {
+            let list: Vec<String> = att.iter().map(|a| a.to_string()).collect();
+            write!(out, ":attackers={}", list.join("+"))?;
+        }
+        if self.edges == EdgeDefense::Same {
+            write!(out, ":edges=same")?;
+        }
+        if self.pushback {
+            write!(out, ":pushback=on")?;
+        }
+        if let Some(r) = self.refresh {
+            write!(out, ":refresh={}", fmt_secs(r))?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for TopologySpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        // Hand-rolled: the arity segment (`line:4`) is a bare token, so
+        // this grammar cannot go through `split_spec`.
+        let mut parts = s.split(':');
+        let head = parts.next().unwrap_or_default();
+        let mut spec = match head {
+            "isp-edge" => TopologySpec::new(TopologyShape::IspEdge),
+            "line" | "star" | "fattree" => {
+                let arity = parts
+                    .next()
+                    .ok_or_else(|| format!("`{head}` needs an arity, e.g. `{head}:4`"))?;
+                let n: u32 = arity
+                    .parse()
+                    .map_err(|_| format!("`{arity}` is not a {head} arity"))?;
+                TopologySpec::new(match head {
+                    "line" => TopologyShape::Line(n),
+                    "star" => TopologyShape::Star(n),
+                    _ => TopologyShape::FatTree(n),
+                })
+            }
+            other => {
+                return Err(format!(
+                    "unknown topology `{other}` (expected line:N, star:N, fattree:K or isp-edge)"
+                ));
+            }
+        };
+        for part in parts {
+            let (key, val) = part
+                .split_once('=')
+                .ok_or_else(|| format!("expected `key=value`, got `{part}`"))?;
+            match key {
+                "delay" => spec.delay = Some(parse_secs(val)?),
+                "uplink" => spec.uplink_bps = Some(parse_bandwidth(val)?),
+                "attackers" => {
+                    let att = val
+                        .split('+')
+                        .map(|a| {
+                            a.parse::<usize>()
+                                .map_err(|_| format!("`{a}` is not a leaf ordinal"))
+                        })
+                        .collect::<Result<Vec<_>, _>>()?;
+                    spec.attackers = Some(att);
+                }
+                "edges" => {
+                    spec.edges = match val {
+                        "same" => EdgeDefense::Same,
+                        "fifo" => EdgeDefense::Fifo,
+                        other => return Err(format!("unknown edges mode `{other}`")),
+                    }
+                }
+                "pushback" => {
+                    spec.pushback = match val {
+                        "on" => true,
+                        "off" => false,
+                        other => return Err(format!("pushback must be on/off, got `{other}`")),
+                    }
+                }
+                "refresh" => spec.refresh = Some(parse_secs(val)?),
+                other => return Err(format!("unknown topology option `{other}`")),
+            }
+        }
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Scenarios
 // ---------------------------------------------------------------------------
 
@@ -1162,6 +1426,8 @@ pub struct ScenarioSpec {
     pub seed: u64,
     /// Substrate fault plane (`None` = fault-free).
     pub faults: Option<FaultConfig>,
+    /// Multi-switch topology (`None` = the classic single switch).
+    pub topology: Option<TopologySpec>,
 }
 
 /// What [`ScenarioSpec::execute`] returns: the engine's result plus the
@@ -1197,6 +1463,7 @@ impl ScenarioSpec {
             control_period: None,
             seed,
             faults: None,
+            topology: None,
         }
     }
 
@@ -1230,14 +1497,72 @@ impl ScenarioSpec {
         self
     }
 
+    /// Runs the scenario on a multi-switch topology.
+    pub fn with_topology(mut self, topology: TopologySpec) -> Self {
+        self.topology = Some(topology);
+        self
+    }
+
     /// The control period this scenario will run with.
     pub fn effective_period(&self) -> Option<SimDuration> {
         self.control_period
             .or_else(|| self.defense.control_period())
     }
 
+    /// Runs the scenario on its topology and returns the full per-node
+    /// picture. Panics without a topology or with a fault plane attached
+    /// (the fault plane models a single defended switch).
+    pub fn execute_topology(&self) -> TopologyRunResult {
+        let tspec = self
+            .topology
+            .as_ref()
+            .expect("execute_topology needs a topology");
+        assert!(
+            self.faults.is_none(),
+            "the fault plane is not topology-aware; drop faults= or topology="
+        );
+        let topo = tspec.build(self.link_bps);
+        let uplink = tspec.uplink(self.link_bps);
+        let mut switches: Vec<Box<dyn Switch>> = (0..topo.num_nodes())
+            .map(|i| {
+                if i == topo.root() {
+                    self.defense.build(self.link_bps)
+                } else {
+                    match tspec.edges {
+                        EdgeDefense::Fifo => Box::new(SingleQueueSwitch::new(baseline_fifo())),
+                        EdgeDefense::Same => self.defense.build(uplink),
+                    }
+                }
+            })
+            .collect();
+        let mut src = self.workload.build(self.link_bps, self.secs, self.seed);
+        let placement = LeafPlacement::new(topo.leaves().len(), tspec.attackers.as_deref());
+        let mut cfg = TopologyConfig::experiment(self.secs, self.effective_period());
+        if tspec.pushback {
+            cfg = cfg.with_pushback(PushbackPlan::new(tspec.refresh()));
+        }
+        run_topology(
+            &topo,
+            &mut switches,
+            &mut *src,
+            &mut |p| placement.place(p),
+            &cfg,
+        )
+    }
+
     /// Runs the scenario through the standard engine paths.
     pub fn execute(&self) -> ScenarioOutcome {
+        if self.topology.is_some() {
+            let t = self.execute_topology();
+            return ScenarioOutcome {
+                backlog_pkts: t.backlog_pkts,
+                result: t.result,
+                fault_stats: None,
+                missed_ticks: 0,
+                stale_ticks: 0,
+                fallbacks: 0,
+            };
+        }
         let period = self.effective_period();
         match &self.faults {
             None => {
@@ -1327,6 +1652,12 @@ impl ScenarioSpec {
         let Some(tel) = telemetry else {
             return self.execute();
         };
+        // The streaming bundle wires a single switch's metrics/tracer;
+        // the CLI rejects telemetry + topology before reaching here.
+        assert!(
+            self.topology.is_none(),
+            "streaming telemetry is not topology-aware; drop the telemetry flags or topology="
+        );
         let period = self.effective_period();
         let metrics: MetricsHandle = Rc::new(RefCell::new(Registry::new()));
         let recorder = tel.recorder_handle();
@@ -1415,6 +1746,9 @@ impl fmt::Display for ScenarioSpec {
         )?;
         if let Some(p) = self.control_period {
             write!(out, " period={}", fmt_secs(p))?;
+        }
+        if let Some(t) = &self.topology {
+            write!(out, " topology={t}")?;
         }
         Ok(())
     }
@@ -1506,6 +1840,82 @@ mod tests {
         assert!("pulse:vectors=".parse::<WorkloadSpec>().is_err());
         assert!("pulse:amp=0".parse::<WorkloadSpec>().is_err());
         assert!("pulse:wibble=1".parse::<WorkloadSpec>().is_err());
+    }
+
+    /// Every canonical topology string must survive parse → Display
+    /// unchanged.
+    #[test]
+    fn topology_grammar_round_trips() {
+        let cases = [
+            "line:1",
+            "line:4",
+            "star:4",
+            "star:4:attackers=0+2",
+            "fattree:2",
+            "isp-edge",
+            "line:3:delay=0.002:pushback=on:refresh=0.25",
+            "star:8:uplink=12m:edges=same",
+            "isp-edge:attackers=1+2+3:pushback=on",
+        ];
+        for s in cases {
+            let spec: TopologySpec = s.parse().unwrap_or_else(|e| panic!("`{s}`: {e}"));
+            assert_eq!(spec.to_string(), s, "canonical form changed");
+            let again: TopologySpec = spec.to_string().parse().unwrap();
+            assert_eq!(again, spec);
+        }
+    }
+
+    #[test]
+    fn topology_grammar_rejects_nonsense() {
+        assert!("ring:4".parse::<TopologySpec>().is_err());
+        assert!("line".parse::<TopologySpec>().is_err());
+        assert!("line:0".parse::<TopologySpec>().is_err());
+        assert!("line:33".parse::<TopologySpec>().is_err());
+        assert!("star:65".parse::<TopologySpec>().is_err());
+        assert!("fattree:1".parse::<TopologySpec>().is_err());
+        assert!("fattree:7".parse::<TopologySpec>().is_err());
+        assert!("isp-edge:4".parse::<TopologySpec>().is_err());
+        assert!("line:x".parse::<TopologySpec>().is_err());
+        assert!("star:4:attackers=".parse::<TopologySpec>().is_err());
+        assert!("star:4:attackers=2+1".parse::<TopologySpec>().is_err());
+        assert!("star:4:attackers=1+1".parse::<TopologySpec>().is_err());
+        assert!("star:4:attackers=4".parse::<TopologySpec>().is_err());
+        assert!("star:4:edges=none".parse::<TopologySpec>().is_err());
+        assert!("star:4:pushback=maybe".parse::<TopologySpec>().is_err());
+        assert!("star:4:refresh=0".parse::<TopologySpec>().is_err());
+        assert!("star:4:delay=-1".parse::<TopologySpec>().is_err());
+        assert!("star:4:wibble=1".parse::<TopologySpec>().is_err());
+    }
+
+    #[test]
+    fn topology_shape_arithmetic_matches_the_structures() {
+        for s in ["line:5", "star:6", "fattree:3", "isp-edge"] {
+            let spec: TopologySpec = s.parse().unwrap();
+            let topo = spec.build(10_000_000);
+            assert_eq!(spec.leaf_count(), topo.leaves().len(), "{s}");
+            assert_eq!(spec.depth(), topo.depth(), "{s}");
+        }
+        let line1: TopologySpec = "line:1".parse().unwrap();
+        assert_eq!(line1.extra_secs(), 0, "line:1 must not pad the run");
+        let deep: TopologySpec = "line:4:delay=0.2:pushback=on".parse().unwrap();
+        assert!(deep.extra_secs() >= 3, "deep paths must pad the run");
+    }
+
+    #[test]
+    fn topology_execute_smoke_and_conservation() {
+        let out = ScenarioSpec::new(
+            WorkloadSpec::Flood(FloodVariation::SingleFlow),
+            DefenseSpec::accturbo(),
+        )
+        .with_secs(10)
+        .with_topology("star:4:attackers=0".parse().unwrap())
+        .execute();
+        assert!(out.result.arrivals > 0);
+        assert_eq!(
+            out.result.arrivals,
+            out.result.departures + out.result.drops + out.backlog_pkts as u64,
+            "packet conservation across the topology"
+        );
     }
 
     /// The natural control periods encode each figure's wiring.

@@ -4,10 +4,13 @@
 //! the ACC-Turbo reproduction runs (standing in for the NetBench simulator
 //! and the Tofino testbed of the paper; see DESIGN.md §1).
 //!
-//! The model is a single output-queued switch in front of a bottleneck
-//! link, matching the paper's system model (§3.1): the defense runs on the
-//! switch that gives access to the critical link, whose input capacity
-//! exceeds the output bandwidth.
+//! The core model is a single output-queued switch in front of a
+//! bottleneck link, matching the paper's system model (§3.1): the defense
+//! runs on the switch that gives access to the critical link, whose input
+//! capacity exceeds the output bandwidth. The [`topology`] layer composes
+//! that same switch abstraction into small trees (line, star, fat-tree,
+//! ISP edge) with per-link serialization + propagation delay and
+//! hop-by-hop pushback, without touching the single-switch fast path.
 //!
 //! Building blocks:
 //!
@@ -34,6 +37,7 @@ pub mod source;
 pub mod stats;
 pub mod switch;
 pub mod time;
+pub mod topology;
 pub mod trace;
 pub mod units;
 
@@ -50,5 +54,9 @@ pub use source::{IterSource, MergedSource, PacketSource, VecSource};
 pub use stats::{Counts, StatsCollector};
 pub use switch::{ProgramSwapSwitch, SingleQueueSwitch, Switch};
 pub use time::{SimDuration, SimTime};
+pub use topology::{
+    run_topology, run_topology_traced, AggLimit, LinkSpec, PushbackPlan, Topology, TopologyConfig,
+    TopologyRunResult,
+};
 pub use trace::{pcap_source, read_csv, read_pcap, write_csv, write_pcap, TraceStats};
 pub use units::Bandwidth;

@@ -36,6 +36,13 @@ pub trait Switch {
     /// (DESIGN.md §9) use this hook to age their control view and decide
     /// on fallbacks.
     fn control_missed(&mut self, _now: SimTime) {}
+
+    /// The aggregate rate limits this switch wants pushed to its
+    /// upstreams, appended to `out`. Only the topology engine calls this
+    /// (at each pushback refresh, on the bottleneck node); the default is
+    /// empty, so defenses without a pushback story cost nothing. The
+    /// out-parameter keeps the single-switch fast path alloc-free.
+    fn pushback_limits(&mut self, _now: SimTime, _out: &mut Vec<crate::topology::AggLimit>) {}
 }
 
 /// A switch that is just a single queue discipline — the FIFO and plain-RED

@@ -93,6 +93,16 @@ pub enum Event<'a> {
         /// The allocated rate, bits per second.
         bps: u64,
     },
+    /// A packet crossed an inter-switch link in a multi-node topology
+    /// (`{"node":n,"class":k,"size":b}`; `node` is the receiving switch).
+    Hop {
+        /// The switch the packet was delivered to.
+        node: usize,
+        /// Ground-truth traffic class.
+        class: u16,
+        /// Packet size in bytes.
+        size: u32,
+    },
     /// The engine crossed a stats-interval boundary (`{"bucket":n}`).
     StatsTick {
         /// Index of the bucket that just began.
@@ -213,6 +223,15 @@ pub enum OwnedEvent {
         /// Allocated rate, bits per second.
         bps: u64,
     },
+    /// See [`Event::Hop`].
+    Hop {
+        /// The switch the packet was delivered to.
+        node: usize,
+        /// Ground-truth traffic class.
+        class: u16,
+        /// Packet size in bytes.
+        size: u32,
+    },
     /// See [`Event::StatsTick`].
     StatsTick {
         /// Index of the bucket that just began.
@@ -265,6 +284,7 @@ impl Event<'_> {
             Event::PriorityRemap { .. } => "priority_remap",
             Event::ControlTick { .. } => "control_tick",
             Event::PushbackLimit { .. } => "pushback_limit",
+            Event::Hop { .. } => "hop",
             Event::StatsTick { .. } => "stats_tick",
             Event::Custom { .. } => "custom",
             Event::JobSpan { .. } => "job_span",
@@ -326,6 +346,7 @@ impl Event<'_> {
                 prefix_len,
                 bps,
             },
+            Event::Hop { node, class, size } => OwnedEvent::Hop { node, class, size },
             Event::StatsTick { bucket } => OwnedEvent::StatsTick { bucket },
             Event::Custom { name, value } => OwnedEvent::Custom {
                 name: name.to_string(),
@@ -367,6 +388,7 @@ impl OwnedEvent {
             OwnedEvent::PriorityRemap { .. } => "priority_remap",
             OwnedEvent::ControlTick { .. } => "control_tick",
             OwnedEvent::PushbackLimit { .. } => "pushback_limit",
+            OwnedEvent::Hop { .. } => "hop",
             OwnedEvent::StatsTick { .. } => "stats_tick",
             OwnedEvent::Custom { .. } => "custom",
             OwnedEvent::JobSpan { .. } => "job_span",
@@ -453,6 +475,9 @@ impl OwnedEvent {
                     ",\"upstream\":{upstream},\"prefix\":\"{}/{prefix_len}\",\"bps\":{bps}",
                     dotted(*prefix)
                 );
+            }
+            OwnedEvent::Hop { node, class, size } => {
+                let _ = write!(out, ",\"node\":{node},\"class\":{class},\"size\":{size}");
             }
             OwnedEvent::StatsTick { bucket } => {
                 let _ = write!(out, ",\"bucket\":{bucket}");
@@ -549,6 +574,9 @@ impl OwnedEvent {
                 "{t:>12.6}s  PUSHBACK  upstream {upstream}: {}/{prefix_len} limited to {bps} bps",
                 dotted(*prefix)
             ),
+            OwnedEvent::Hop { node, class, size } => {
+                format!("{t:>12.6}s  HOP       -> node {node} class {class} size {size}")
+            }
             OwnedEvent::StatsTick { bucket } => {
                 format!("{t:>12.6}s  STATS     bucket {bucket}")
             }
@@ -650,6 +678,11 @@ impl OwnedEvent {
                     bps: num("bps")?,
                 }
             }
+            "hop" => OwnedEvent::Hop {
+                node: num("node")? as usize,
+                class: num("class")? as u16,
+                size: num("size")? as u32,
+            },
             "stats_tick" => OwnedEvent::StatsTick {
                 bucket: num("bucket")?,
             },
@@ -719,6 +752,11 @@ mod tests {
                 prefix: 0xC612_0000,
                 prefix_len: 24,
                 bps: 1_000_000,
+            },
+            Event::Hop {
+                node: 2,
+                class: 1,
+                size: 1500,
             },
             Event::StatsTick { bucket: 5 },
             Event::Custom {
@@ -822,6 +860,13 @@ mod tests {
             Event::ControlTick { tick: 1 }.to_owned().kind(),
             "control_tick"
         );
+        let hop = Event::Hop {
+            node: 3,
+            class: 1,
+            size: 64,
+        };
+        assert_eq!(hop.kind(), "hop");
+        assert_eq!(hop.to_owned().kind(), "hop");
     }
 
     #[test]

@@ -14,6 +14,7 @@ pub mod background;
 pub mod cbr;
 pub mod cicddos;
 pub mod modifiers;
+pub mod placement;
 pub mod pulse;
 pub mod scenarios;
 pub mod vectors;
@@ -23,6 +24,7 @@ pub use background::{BackgroundConfig, BackgroundSource};
 pub use cbr::{CbrSource, FlowTemplate, RampSource, RateStep};
 pub use cicddos::{CicDdosConfig, Episode};
 pub use modifiers::{MapSource, Spread, SpreadSource};
+pub use placement::LeafPlacement;
 pub use pulse::{PulseSpec, PulseWave};
 pub use vectors::{AttackConfig, AttackSource, AttackVector};
 pub use workloads::{AdversarialScenario, FloodVariation, PulseAttackConfig};

@@ -108,6 +108,7 @@ golden_tests!(
     pushback,
     robustness,
     worstcase,
+    topology,
 );
 
 /// The macro list above must not fall behind the registry.
@@ -128,6 +129,7 @@ fn every_registry_entry_has_a_test() {
         "pushback",
         "robustness",
         "worstcase",
+        "topology",
     ];
     for spec in FIGURES {
         assert!(

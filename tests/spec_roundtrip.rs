@@ -13,7 +13,8 @@
 
 use accturbo_experiments::cli;
 use accturbo_experiments::spec::{
-    AccTurboSpec, DefenseSpec, FeatureProfile, JaqenSpec, Profile, ScenarioSpec, WorkloadSpec,
+    AccTurboSpec, DefenseSpec, EdgeDefense, FeatureProfile, JaqenSpec, Profile, ScenarioSpec,
+    TopologyShape, TopologySpec, WorkloadSpec,
 };
 use accturbo_netsim::{SimDuration, SimTime};
 use accturbo_prng::{Rng, SeedableRng, StdRng};
@@ -194,6 +195,39 @@ fn random_workload(rng: &mut StdRng) -> WorkloadSpec {
     }
 }
 
+fn random_topology(rng: &mut StdRng) -> TopologySpec {
+    let shape = match rng.gen_range(0..4u32) {
+        0 => TopologyShape::Line(rng.gen_range(1..=32)),
+        1 => TopologyShape::Star(rng.gen_range(1..=64)),
+        2 => TopologyShape::FatTree(rng.gen_range(2..=6)),
+        _ => TopologyShape::IspEdge,
+    };
+    let mut spec = TopologySpec::new(shape);
+    if rng.gen_bool(0.4) {
+        spec.delay = Some(ms(rng, 1, 500));
+    }
+    if rng.gen_bool(0.4) {
+        spec.uplink_bps = Some(rng.gen_range(1..=1000u64) * 1_000_000);
+    }
+    if rng.gen_bool(0.4) {
+        // A strictly-ascending non-empty subset of the shape's leaves.
+        let leaves = spec.leaf_count();
+        let picks = rng.gen_range(1..=leaves.min(6));
+        let mut att: Vec<usize> = (0..picks).map(|_| rng.gen_range(0..leaves)).collect();
+        att.sort_unstable();
+        att.dedup();
+        spec.attackers = Some(att);
+    }
+    if rng.gen_bool(0.3) {
+        spec.edges = EdgeDefense::Same;
+    }
+    spec.pushback = rng.gen_bool(0.4);
+    if rng.gen_bool(0.3) {
+        spec.refresh = Some(ms(rng, 50, 2000));
+    }
+    spec
+}
+
 #[test]
 fn defense_specs_round_trip_through_the_grammar() {
     let mut rng = StdRng::seed_from_u64(0xD3F_0001);
@@ -234,10 +268,32 @@ fn workload_specs_round_trip_through_the_grammar() {
     }
 }
 
+#[test]
+fn topology_specs_round_trip_through_the_grammar() {
+    let mut rng = StdRng::seed_from_u64(0x7090_0004);
+    for i in 0..INSTANCES {
+        let spec = random_topology(&mut rng);
+        let text = spec.to_string();
+        let back: TopologySpec = text
+            .parse()
+            .unwrap_or_else(|e| panic!("instance {i}: `{text}` does not parse back: {e}"));
+        assert_eq!(
+            back, spec,
+            "instance {i}: `{text}` changed across the round-trip"
+        );
+        assert!(
+            !text.contains(' '),
+            "instance {i}: `{text}` contains a space"
+        );
+    }
+}
+
 /// A full scenario renders as the `xp run` KEY=VAL sentence; feeding that
 /// sentence back through the real CLI parser must reconstruct the same
 /// scenario. (This is the property that makes every report header and
-/// corpus replay line copy-pasteable.)
+/// corpus replay line copy-pasteable.) Topology-bearing sentences stay
+/// exact because `Display` always emits an explicit `secs=`, which
+/// overrides `parse_run`'s topology-aware padding.
 #[test]
 fn scenario_specs_round_trip_through_the_xp_run_sentence() {
     let mut rng = StdRng::seed_from_u64(0x5CE_0003);
@@ -248,6 +304,9 @@ fn scenario_specs_round_trip_through_the_xp_run_sentence() {
             .with_link(rng.gen_range(1..=10_000u64) * 1_000_000);
         if rng.gen_bool(0.3) {
             spec = spec.with_period(ms(&mut rng, 10, 2000));
+        }
+        if rng.gen_bool(0.4) {
+            spec = spec.with_topology(random_topology(&mut rng));
         }
         let sentence = spec.to_string();
         let argv: Vec<String> = sentence.split(' ').map(str::to_string).collect();

@@ -1,0 +1,153 @@
+//! Property tests for the multi-switch topology layer:
+//!
+//! * every topology shape × every defense conserves packets end to end
+//!   (no packet is created or lost crossing a link), with per-node drop
+//!   accounting summing to the end-to-end total;
+//! * a `line:1` topology is **byte-identical** to the single-switch
+//!   `ScenarioSpec::execute()` for the fig2 and fig6 workloads — the
+//!   differential that proves the topology layer composes the existing
+//!   engine rather than re-implementing it;
+//! * the `topology` registry figure is deterministic at a fixed seed and
+//!   invariant under the worker count (`--jobs`).
+
+use accturbo_experiments::cli::{self, Cli};
+use accturbo_experiments::spec::{self, ScenarioSpec, TopologySpec, WorkloadSpec};
+use accturbo_experiments::{topology, Scale};
+
+const SHAPES: &[&str] = &["line:2", "star:3", "fattree:2", "isp-edge"];
+
+/// Every shape × every defense the factory can build: the flood enters
+/// at the leaves, crosses links, and every packet is accounted for at
+/// exactly one place (departed, dropped at some node, or still queued).
+#[test]
+fn every_shape_and_defense_conserves_packets() {
+    let flood: WorkloadSpec = "flood".parse().unwrap();
+    for shape in SHAPES {
+        for defense in spec::all_defenses() {
+            let name = format!("{shape} × {defense}");
+            let t = ScenarioSpec::new(flood.clone(), defense)
+                .with_secs(10)
+                .with_topology(shape.parse().unwrap())
+                .execute_topology();
+            let res = &t.result;
+            assert!(res.arrivals > 0, "{name}: no packets arrived");
+            assert_eq!(
+                res.arrivals,
+                res.departures + res.drops + t.backlog_pkts as u64,
+                "{name}: packet conservation violated \
+                 (arrivals {} != departures {} + drops {} + backlog {})",
+                res.arrivals,
+                res.departures,
+                res.drops,
+                t.backlog_pkts,
+            );
+            assert_eq!(
+                res.drops,
+                t.node_drops.iter().sum::<u64>(),
+                "{name}: per-node drops must sum to the end-to-end total"
+            );
+            assert!(t.hops > 0, "{name}: no link was ever crossed");
+        }
+    }
+}
+
+/// The pushback variant of the matrix: limits flowing upstream must
+/// never break conservation (policer drops are still drops).
+#[test]
+fn pushback_never_breaks_conservation() {
+    let flood: WorkloadSpec = "flood".parse().unwrap();
+    for shape in ["line:3:pushback=on", "star:3:pushback=on:refresh=0.25"] {
+        let t = ScenarioSpec::new(flood.clone(), "acc".parse().unwrap())
+            .with_secs(12)
+            .with_topology(shape.parse().unwrap())
+            .execute_topology();
+        assert_eq!(
+            t.result.arrivals,
+            t.result.departures + t.result.drops + t.backlog_pkts as u64,
+            "{shape}: conservation violated"
+        );
+    }
+}
+
+/// `line:1` is the single-switch model: the entire `RunResult` (stats
+/// buckets, delay histograms, final time, counters) must match the
+/// classic `ScenarioSpec::execute()` byte for byte, workload and
+/// control plane included.
+#[test]
+fn line1_is_byte_identical_to_the_single_switch_engine() {
+    for (workload, defense) in [("fig2", "accturbo"), ("fig6", "acc"), ("fig2", "fifo")] {
+        let base = ScenarioSpec::new(workload.parse().unwrap(), defense.parse().unwrap());
+        let secs = base.workload.default_secs(Scale::Quick);
+        let base = base.with_secs(secs);
+
+        let single = base.clone().execute();
+        let multi = base
+            .clone()
+            .with_topology("line:1".parse::<TopologySpec>().unwrap())
+            .execute_topology();
+
+        assert_eq!(
+            format!("{:?}", single.result),
+            format!("{:?}", multi.result),
+            "{workload} × {defense}: line:1 diverged from the single-switch engine"
+        );
+        assert_eq!(
+            single.backlog_pkts, multi.backlog_pkts,
+            "{workload} × {defense}: backlog diverged"
+        );
+        assert_eq!(multi.hops, 0, "a one-node topology crosses no links");
+        assert_eq!(multi.node_drops.len(), 1);
+    }
+}
+
+/// The `execute()` wrapper must agree with `execute_topology()` so both
+/// CLI paths (summary rendering vs. figure internals) see one truth.
+#[test]
+fn execute_and_execute_topology_agree() {
+    let spec = ScenarioSpec::new("flood".parse().unwrap(), "red".parse().unwrap())
+        .with_secs(10)
+        .with_topology("star:4:attackers=0+1".parse().unwrap());
+    let a = spec.execute();
+    let b = spec.execute_topology();
+    assert_eq!(format!("{:?}", a.result), format!("{:?}", b.result));
+    assert_eq!(a.backlog_pkts, b.backlog_pkts);
+}
+
+/// Same seed, same figure, twice: identical rendered report and result.
+#[test]
+fn topology_figure_is_seed_deterministic() {
+    let a = topology::figure(Scale::Quick, topology::DEFAULT_SEED);
+    let b = topology::figure(Scale::Quick, topology::DEFAULT_SEED);
+    assert_eq!(a.rendered, b.rendered);
+    assert_eq!(a.result, b.result);
+    assert_eq!(a.result.figure, "topology");
+}
+
+fn cli_for(targets: &[&str], jobs: usize) -> Cli {
+    let mut args: Vec<String> = targets.iter().map(|s| s.to_string()).collect();
+    args.push("--quick".into());
+    let mut cli = cli::parse(&args).expect("valid targets");
+    cli.jobs = jobs;
+    cli
+}
+
+fn rendered_stream(cli: &Cli) -> String {
+    let mut out = String::new();
+    cli::run_figures(cli, |block| out.push_str(block));
+    out
+}
+
+/// The new figure through the real `xp` fan-out: the assembled byte
+/// stream is identical for any `--jobs` value.
+#[test]
+fn topology_figure_is_jobs_invariant_through_the_cli() {
+    let targets = ["topology", "fig7", "pushback"];
+    let serial = rendered_stream(&cli_for(&targets, 1));
+    let parallel = rendered_stream(&cli_for(&targets, 4));
+    assert!(!serial.is_empty());
+    assert_eq!(serial, parallel, "stdout must not depend on --jobs");
+    assert!(
+        serial.contains("==================== topology ===================="),
+        "missing the topology block"
+    );
+}
