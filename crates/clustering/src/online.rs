@@ -14,7 +14,7 @@
 //! Euclidean on center-based clusters — the design space of §4.2.
 
 use crate::cluster::{CenterCluster, Dim, NominalMode, RangeCluster};
-use crate::feature::FeatureSet;
+use crate::feature::{FeatureKind, FeatureSet};
 use accturbo_netsim::Packet;
 use accturbo_obs::{Event, Tracer};
 
@@ -82,6 +82,34 @@ fn scan_anime(clusters: &[Option<Repr>], values: &[u32]) -> Option<(usize, f64)>
         }
     }
     best
+}
+
+/// Struct-of-arrays mirror of every range cluster's ordinal extents:
+/// flat `num_clusters × width` min/max columns the Manhattan scan walks
+/// linearly instead of chasing each cluster's `Vec<Dim>`. Nominal
+/// dimensions hold the sentinel `[0, u32::MAX]` (a zero gap for every
+/// value), so the ordinal pass needs no per-dimension kind dispatch;
+/// their set membership is resolved in a second, bound-gated pass.
+/// Maintained incrementally at every geometry mutation (seed, admit,
+/// merge, reset) — the same writes the mutation itself performs, so the
+/// mirror costs O(width) where the mutation already pays O(width).
+#[derive(Debug, Clone, Default)]
+struct RangeSoa {
+    width: usize,
+    mins: Vec<u32>,
+    maxs: Vec<u32>,
+    occupied: Vec<bool>,
+}
+
+impl RangeSoa {
+    fn new(num_clusters: usize, width: usize) -> Self {
+        RangeSoa {
+            width,
+            mins: vec![0; num_clusters * width],
+            maxs: vec![u32::MAX; num_clusters * width],
+            occupied: vec![false; num_clusters],
+        }
+    }
 }
 
 fn merge_cost_manhattan(a: &RangeCluster, b: &RangeCluster) -> f64 {
@@ -299,6 +327,12 @@ pub struct OnlineClusterer {
     stat_ranges: Vec<Vec<(u32, u32)>>,
     /// Scratch for re-seed points at resets (reused across resets).
     point_scratch: Vec<u32>,
+    /// Struct-of-arrays mirror of the range clusters' ordinal extents —
+    /// the column store the default Manhattan scan reads.
+    soa: RangeSoa,
+    /// Feature positions holding nominal (set-based) dimensions, in
+    /// order — the second pass of the SoA scan.
+    nominal_dims: Vec<usize>,
     /// Nearest-cluster scan kernel, resolved from `cfg.distance` once at
     /// construction (never consulted in Euclidean mode, which is
     /// center-based and has its own kernel).
@@ -338,6 +372,16 @@ impl OnlineClusterer {
         let use_reference = reference::reference_kernels_forced();
         #[cfg(not(feature = "reference"))]
         let use_reference = false;
+        let width = cfg.features.len();
+        let soa = RangeSoa::new(n, width);
+        let nominal_dims: Vec<usize> = cfg
+            .features
+            .specs()
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.kind == FeatureKind::Nominal)
+            .map(|(f, _)| f)
+            .collect();
         let mut oc = OnlineClusterer {
             cfg,
             clusters: vec![None; n],
@@ -349,12 +393,42 @@ impl OnlineClusterer {
             budget: vec![0; n],
             stat_ranges: vec![Vec::new(); n],
             point_scratch: Vec::new(),
+            soa,
+            nominal_dims,
             range_scan,
             range_merge_cost,
             use_reference,
         };
         oc.init_clusters();
         oc
+    }
+
+    /// Rewrites the SoA mirror row of slot `i` from its cluster's
+    /// current dimensions (empty and center slots mark the row vacant).
+    fn soa_sync_row(&mut self, i: usize) {
+        let w = self.soa.width;
+        match &self.clusters[i] {
+            Some(Repr::Range(c)) => {
+                self.soa.occupied[i] = true;
+                for (k, dim) in c.dims().iter().enumerate() {
+                    let (lo, hi) = match dim {
+                        Dim::Range { min, max } => (*min, *max),
+                        // Zero ordinal gap for every value: set membership
+                        // is resolved in the scan's second pass.
+                        Dim::Set(_) => (0, u32::MAX),
+                    };
+                    self.soa.mins[i * w + k] = lo;
+                    self.soa.maxs[i * w + k] = hi;
+                }
+            }
+            _ => self.soa.occupied[i] = false,
+        }
+    }
+
+    fn soa_sync_all(&mut self) {
+        for i in 0..self.clusters.len() {
+            self.soa_sync_row(i);
+        }
     }
 
     /// The anchor coordinate of slot `k` on feature `f`: the diagonal
@@ -457,6 +531,7 @@ impl OnlineClusterer {
         self.stat_ranges.iter_mut().for_each(|r| r.clear());
         let budget = self.cfg.update_budget.unwrap_or(u64::MAX);
         self.budget.iter_mut().for_each(|b| *b = budget);
+        self.soa_sync_all();
     }
 
     /// The configuration.
@@ -594,11 +669,87 @@ impl OnlineClusterer {
         unreachable!("reference kernels require the `reference` cargo feature")
     }
 
+    /// The struct-of-arrays Manhattan scan: a branch-free vectorizable
+    /// pass over the flat ordinal min/max columns, then — only for
+    /// clusters whose ordinal gap is still below the running best — the
+    /// nominal set lookups. Winner and tie-break are exactly those of
+    /// [`scan_aos`](Self::scan_aos): a full row distance at or above the
+    /// running bound is rejected precisely like a bounded partial sum
+    /// would be (the `manhattan_bounded` argument), and the first index
+    /// attaining the minimum wins via the strict `d < bound` comparison.
+    pub fn scan_soa(&self, values: &[u32]) -> Option<(usize, f64)> {
+        debug_assert_eq!(self.cfg.distance, DistanceKind::Manhattan);
+        let w = self.soa.width;
+        if w == 0 {
+            return None;
+        }
+        let mut best: Option<(usize, u64)> = None;
+        let mut bound = u64::MAX;
+        // `chunks_exact` + `zip` keep the inner pass free of bounds
+        // checks; together with the saturating-gap form the column scan
+        // compiles to straight-line arithmetic per dimension.
+        let rows = self
+            .soa
+            .mins
+            .chunks_exact(w)
+            .zip(self.soa.maxs.chunks_exact(w))
+            .zip(&self.soa.occupied);
+        for (i, ((mins, maxs), &occupied)) in rows.enumerate() {
+            if !occupied {
+                continue;
+            }
+            // Branch-free full-row sum: a row whose partial sum would hit
+            // the running bound loses the strict `d < bound` comparison
+            // just the same with its full distance, so skipping the
+            // per-dimension exit changes nothing about the winner — and
+            // the straight-line form vectorizes, which a data-dependent
+            // break never can.
+            let mut d = 0u64;
+            for ((&mn, &mx), &v) in mins.iter().zip(maxs).zip(values) {
+                d += (mn.saturating_sub(v) + v.saturating_sub(mx)) as u64;
+            }
+            if d < bound && !self.nominal_dims.is_empty() {
+                let Some(Repr::Range(c)) = &self.clusters[i] else {
+                    unreachable!("occupied SoA row implies a range cluster")
+                };
+                let dims = c.dims();
+                for &k in &self.nominal_dims {
+                    let Dim::Set(set) = &dims[k] else {
+                        unreachable!("nominal_dims indexes set dimensions")
+                    };
+                    d += u64::from(!set.contains(values[k]));
+                    if d >= bound {
+                        break;
+                    }
+                }
+            }
+            if best.is_none() || d < bound {
+                best = Some((i, d));
+                bound = d;
+                if d == 0 {
+                    break;
+                }
+            }
+        }
+        best.map(|(i, d)| (i, d as f64))
+    }
+
+    /// The per-cluster (array-of-structs) scan the SoA kernel replaced
+    /// on the Manhattan path — kept as the benchmark baseline and
+    /// differential oracle for [`scan_soa`](Self::scan_soa). For other
+    /// distances this *is* the live kernel.
+    pub fn scan_aos(&self, values: &[u32]) -> Option<(usize, f64)> {
+        (self.range_scan)(&self.clusters, values)
+    }
+
     fn assign_range(&mut self, values: &[u32]) -> (usize, f64, AssignAction) {
-        // Distance to every occupied slot, via the kernel resolved at
-        // construction (or the original generic scan when forced).
+        // Distance to every occupied slot, via the column scan (the
+        // Manhattan default), the kernel resolved at construction, or
+        // the original generic scan when forced.
         let best = if self.use_reference {
             self.scan_range_reference(values)
+        } else if self.cfg.distance == DistanceKind::Manhattan {
+            self.scan_soa(values)
         } else {
             (self.range_scan)(&self.clusters, values)
         };
@@ -615,6 +766,7 @@ impl OnlineClusterer {
                     values,
                     &self.cfg.nominal,
                 )));
+                self.soa_sync_row(slot);
                 (slot, 0.0, AssignAction::Seeded)
             }
             Some((i, d)) => {
@@ -641,20 +793,23 @@ impl OnlineClusterer {
                                 values,
                                 &self.cfg.nominal,
                             )));
+                            self.soa_sync_row(a);
+                            self.soa_sync_row(b);
                             return (b, 0.0, AssignAction::Merged { from: b, into: a });
                         }
                     }
                 }
-                let Some(Repr::Range(c)) = self.clusters[i].as_mut() else {
-                    unreachable!("best index is occupied")
-                };
                 // The Manhattan distance *is* the cost growth admitting
                 // the packet would cause; only admit within budget.
                 let growth = d as u64;
                 let grew = self.budget[i] >= growth;
                 if grew {
                     self.budget[i] -= growth;
+                    let Some(Repr::Range(c)) = self.clusters[i].as_mut() else {
+                        unreachable!("best index is occupied")
+                    };
                     c.admit(values);
+                    self.soa_sync_row(i);
                 }
                 (i, d, AssignAction::Expanded { grew })
             }
@@ -1155,6 +1310,86 @@ mod tests {
                 }
                 for k in 0..4 {
                     assert_eq!(slow.cost(k), fast.cost(k), "{distance:?}/{init:?} slot {k}");
+                }
+            }
+        }
+    }
+
+    /// A deterministic varied packet stream exercising every feature the
+    /// profiles below extract (addresses, ports, TTL, IP length), with
+    /// enough repetition that clusters are revisited, expanded and merged.
+    fn varied_pkt(i: u32) -> Packet {
+        let x = i.wrapping_mul(2654435761); // Knuth multiplicative hash
+        Packet::new(SimTime::from_micros(u64::from(i)))
+            .with_src(Ipv4Addr::new(
+                10,
+                (x >> 8) as u8 % 4,
+                (x >> 16) as u8,
+                (x >> 24) as u8,
+            ))
+            .with_dst(Ipv4Addr::new(
+                198,
+                18,
+                (x >> 4) as u8 % 8,
+                (i * 37 % 251) as u8,
+            ))
+            .with_ports((x % 60000) as u16, [53, 80, 443, 123][(i % 4) as usize])
+            .with_proto(if i.is_multiple_of(3) { 17 } else { 6 })
+            .with_ttl((32 + x % 96) as u8)
+            .with_size(64 + i % 1400)
+    }
+
+    #[test]
+    fn soa_scan_matches_aos_scan_while_streaming() {
+        // The SoA column scan must agree with the per-cluster scan on
+        // winner index AND exact distance, at every point of a live
+        // stream, across feature profiles (ordinal-only, mixed nominal),
+        // search modes, init modes, and budgets.
+        let profiles: Vec<(FeatureSet, SearchKind, InitMode, Option<u64>)> = vec![
+            (
+                FeatureSet::hardware_fig6(),
+                SearchKind::Fast,
+                InitMode::FromTraffic,
+                None,
+            ),
+            (
+                FeatureSet::hardware_fig6(),
+                SearchKind::Exhaustive,
+                InitMode::FromTraffic,
+                None,
+            ),
+            (
+                FeatureSet::simulation_default(),
+                SearchKind::Fast,
+                InitMode::Anchors,
+                None,
+            ),
+            (
+                FeatureSet::hardware_dst_bytes(),
+                SearchKind::Fast,
+                InitMode::FromTraffic,
+                Some(500),
+            ),
+        ];
+        for (features, search, init, budget) in profiles {
+            let fs = features.clone();
+            let mut c = cfg(5, DistanceKind::Manhattan, search).with_init(init);
+            c.features = features;
+            c.update_budget = budget;
+            let mut oc = OnlineClusterer::new(c);
+            let mut values = Vec::new();
+            for i in 0..600u32 {
+                let p = varied_pkt(i);
+                fs.extract_into(&p, &mut values);
+                assert_eq!(
+                    oc.scan_soa(&values),
+                    oc.scan_aos(&values),
+                    "{search:?}/{init:?} diverged before packet {i}"
+                );
+                oc.assign(&p);
+                if i == 300 {
+                    // The mirror must survive a control-plane reset.
+                    oc.reset_clusters();
                 }
             }
         }

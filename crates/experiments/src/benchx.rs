@@ -21,7 +21,8 @@ use accturbo_clustering::{ClusteringConfig, FeatureSet, OnlineClusterer, WindowS
 use accturbo_core::AccTurboSwitch;
 use accturbo_netsim::engine::reference::run_reference;
 use accturbo_netsim::{
-    run, Bandwidth, ClassId, EngineConfig, Packet, SimDuration, SimTime, VecSource,
+    run, run_sharded, Bandwidth, ClassId, EngineConfig, MergedSource, Packet, PacketSource,
+    SimDuration, SimTime, VecSource,
 };
 use accturbo_prng::{Rng, SeedableRng, StdRng};
 use accturbo_sched::SpPifo;
@@ -31,6 +32,9 @@ use std::net::Ipv4Addr;
 /// Figures re-run under both kernel paths for the byte-identity gate.
 const IDENTITY_FIGURES: &[&str] = &["fig2", "fig6", "fig9"];
 
+/// Shard counts exported by default (`--shards` overrides).
+pub const DEFAULT_SHARDS: &[usize] = &[2, 4, 8];
+
 /// Parsed `xp bench-export` arguments.
 #[derive(Debug, PartialEq, Eq)]
 pub struct BenchArgs {
@@ -39,6 +43,9 @@ pub struct BenchArgs {
     pub smoke: bool,
     /// `--out PATH` (default `BENCH_datapath.json`).
     pub out: String,
+    /// `--shards N[,M…]`: shard counts for the `engine_step_sharded@N`
+    /// rows (default [`DEFAULT_SHARDS`]).
+    pub shards: Vec<usize>,
 }
 
 /// Parses the arguments following `xp bench-export`.
@@ -46,6 +53,7 @@ pub fn parse_args(args: &[String]) -> Result<BenchArgs, String> {
     let mut parsed = BenchArgs {
         smoke: false,
         out: "BENCH_datapath.json".to_string(),
+        shards: DEFAULT_SHARDS.to_vec(),
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -57,6 +65,20 @@ pub fn parse_args(args: &[String]) -> Result<BenchArgs, String> {
                     .ok_or_else(|| "--out requires a PATH argument".to_string())?
                     .clone();
             }
+            "--shards" => {
+                let list = it
+                    .next()
+                    .ok_or("--shards requires a count list, e.g. `--shards 2,4,8`")?;
+                parsed.shards = list
+                    .split(',')
+                    .map(|t| {
+                        t.parse::<usize>()
+                            .ok()
+                            .filter(|&n| n >= 1)
+                            .ok_or_else(|| format!("`{t}` is not a shard count"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+            }
             other => return Err(format!("unknown bench-export option `{other}`")),
         }
     }
@@ -67,8 +89,8 @@ pub fn parse_args(args: &[String]) -> Result<BenchArgs, String> {
 /// reference path exists, the reference throughput and the speedup.
 #[derive(Debug)]
 pub struct BenchRow {
-    /// Bench name (`engine_step`, `cluster_update`, `sppifo_enqueue`).
-    pub name: &'static str,
+    /// Bench name — one of the registry's names (see [`is_registered`]).
+    pub name: String,
     /// Packets processed per timed iteration.
     pub elements: u64,
     /// Median nanoseconds per iteration, optimized path.
@@ -81,7 +103,24 @@ pub struct BenchRow {
     pub speedup: Option<f64>,
 }
 
-fn row(name: &'static str, fast: &Stats, reference: Option<&Stats>) -> BenchRow {
+/// The bench registry: every row name this module can produce from live
+/// code. `engine_step_sharded@N` resolves for any shard count ≥ 1 (the
+/// count parameterizes [`bench_engine_step_sharded`]). The JSON writer
+/// refuses rows outside this set, and the repo's consistency test
+/// resolves every committed `BENCH_datapath.json` row against it — a
+/// row from a deleted (or never-landed) bench cannot survive in the
+/// archive.
+pub fn is_registered(name: &str) -> bool {
+    if let Some(n) = name.strip_prefix("engine_step_sharded@") {
+        return n.parse::<usize>().is_ok_and(|n| n >= 1);
+    }
+    matches!(
+        name,
+        "engine_step" | "cluster_scan_soa" | "cluster_update" | "sppifo_enqueue"
+    )
+}
+
+fn row(name: String, fast: &Stats, reference: Option<&Stats>) -> BenchRow {
     let elements = fast.elements.expect("throughput benches carry elements");
     let pkts = |s: &Stats| elements as f64 / (s.median_ns() * 1e-9);
     let fast_pps = pkts(fast);
@@ -128,6 +167,18 @@ fn engine_switch() -> AccTurboSwitch<'static> {
     .build()
 }
 
+/// The switch for the sharded rows: the full 12-feature simulation
+/// profile — the configuration ROADMAP item 2's "Internet-day at scale"
+/// workloads run, and the regime the datapath rebuild targets: wide
+/// per-packet feature extraction and a fully occupied cluster scan
+/// dominate the step, so the arena's batched extraction and the bounded
+/// SoA column scan carry the row. The serial `engine_step` row keeps
+/// the 4-feature hardware profile for comparability with its committed
+/// history.
+fn sharded_switch() -> AccTurboSwitch<'static> {
+    AccTurboSpec::simulation().build()
+}
+
 fn engine_cfg() -> EngineConfig {
     EngineConfig::new(Bandwidth::from_mbps(100))
         .with_stats_interval(SimDuration::from_secs(1))
@@ -164,7 +215,102 @@ fn bench_engine_step(h: &Harness, n: u64) -> BenchRow {
         )
         .expect("unfiltered");
     force_reference_kernels(false);
-    row("engine_step", &fast, Some(&reference))
+    row("engine_step".into(), &fast, Some(&reference))
+}
+
+/// Source count for the sharded engine rows: enough independent
+/// generators that the serial engine pays a realistically wide k-way
+/// merge heap (the pulse-wave experiments' shape), while the sharded
+/// datapath reassembles the same stream from per-window sorted batches.
+const SHARD_SOURCES: usize = 512;
+
+/// The engine workload split across [`SHARD_SOURCES`] generators:
+/// source `j` emits every `j`-th packet of the same arrival grid, so the
+/// merged stream is `engine_workload`-shaped but must be reassembled
+/// from 512 interleaved heads. Per-source src addresses keep the flow
+/// space diverse.
+fn sharded_workload(n: u64) -> Vec<Vec<Packet>> {
+    let per = (n as usize / SHARD_SOURCES).max(1);
+    (0..SHARD_SOURCES)
+        .map(|j| {
+            (0..per)
+                .map(|i| {
+                    let g = (i * SHARD_SOURCES + j) as u64;
+                    let t = SimTime::from_nanos(g * 4_000);
+                    if g.is_multiple_of(3) {
+                        Packet::new(t)
+                            .with_src(Ipv4Addr::new(172, 16, (j / 256) as u8, (j % 256) as u8))
+                            .with_dst(Ipv4Addr::new(198, 18, 0, 10))
+                            .with_ports(123, 4444)
+                            .with_size(1000)
+                            .with_class(ClassId(1))
+                    } else {
+                        Packet::new(t)
+                            .with_src(Ipv4Addr::new(10, (j / 256) as u8, (j % 256) as u8, 1))
+                            .with_dst(Ipv4Addr::new(20, 0, (g % 7) as u8, (g % 251) as u8))
+                            .with_ports(1024 + (g % 5000) as u16, 443)
+                            .with_size(400)
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn boxed_sources(per_source: &[Vec<Packet>]) -> Vec<Box<dyn PacketSource>> {
+    per_source
+        .iter()
+        .map(|v| Box::new(VecSource::new(v.clone())) as Box<dyn PacketSource>)
+        .collect()
+}
+
+/// Sharded-datapath throughput at `shards` generation shards: the
+/// windowed shard merge + arena-batched feature extraction + batched
+/// link ticks feeding the calendar loop, versus (reference) the
+/// pre-optimization engine — the 512-way `MergedSource` heap driving the
+/// generic per-packet-dispatch kernels. Both sides drive the
+/// [`sharded_switch`] simulation-profile pipeline over the same
+/// workload, with byte-identical output (locked down by the
+/// `tests/sharded_differential.rs` suite); the row measures what the
+/// datapath rebuild is worth end to end.
+fn bench_engine_step_sharded(h: &Harness, n: u64, shards: usize) -> BenchRow {
+    let per_source = sharded_workload(n);
+    let elements: u64 = per_source.iter().map(|v| v.len() as u64).sum();
+    let cfg = engine_cfg();
+    let fast = h
+        .run_batched(
+            &format!("engine_step_sharded@{shards}/accturbo"),
+            Some(elements),
+            || (boxed_sources(&per_source), sharded_switch()),
+            |(srcs, mut sw)| {
+                let res = run_sharded(srcs, &mut sw, &cfg, shards);
+                assert_eq!(res.arrivals, elements);
+            },
+        )
+        .expect("unfiltered");
+    force_reference_kernels(true);
+    let reference = h
+        .run_batched(
+            &format!("engine_step_sharded@{shards}/accturbo (reference)"),
+            Some(elements),
+            || {
+                (
+                    MergedSource::new(boxed_sources(&per_source)),
+                    sharded_switch(),
+                )
+            },
+            |(mut src, mut sw)| {
+                let res = run_reference(&mut src, &mut sw, &cfg);
+                assert_eq!(res.arrivals, elements);
+            },
+        )
+        .expect("unfiltered");
+    force_reference_kernels(false);
+    row(
+        format!("engine_step_sharded@{shards}"),
+        &fast,
+        Some(&reference),
+    )
 }
 
 /// Cluster-update throughput: `assign` over the simulation profile (10
@@ -195,7 +341,60 @@ fn bench_cluster_update(h: &Harness, n: u64) -> BenchRow {
     force_reference_kernels(true);
     let reference = run_once("cluster_update/assign (reference)");
     force_reference_kernels(false);
-    row("cluster_update", &fast, Some(&reference))
+    row("cluster_update".into(), &fast, Some(&reference))
+}
+
+/// Nearest-cluster scan throughput on a realistically grown geometry:
+/// the struct-of-arrays column scan (`scan_soa`, the live Manhattan
+/// kernel) versus the per-cluster array-of-structs scan it replaced
+/// (`scan_aos`, kept as the differential oracle). The clusterer is
+/// first fed the whole workload so the ten clusters have the stretched,
+/// overlapping shapes a scan meets mid-run, then each path re-scans
+/// every extracted feature vector. Runs the 12-feature simulation
+/// profile — the width the sharded engine rows drive the kernel at,
+/// and the regime where the flat column layout pays (a 4-feature row
+/// leaves nothing for the vectorized pass to chew on).
+fn bench_cluster_scan_soa(h: &Harness, n: u64) -> BenchRow {
+    let packets = engine_workload(n);
+    let features = FeatureSet::simulation_default();
+    let cfg = ClusteringConfig::deployable(10, features.clone());
+    let mut clusterer = OnlineClusterer::new(cfg);
+    for pkt in &packets {
+        clusterer.assign(pkt);
+    }
+    let vectors: Vec<Vec<u32>> = packets
+        .iter()
+        .map(|p| {
+            let mut v = Vec::new();
+            features.extract_into(p, &mut v);
+            v
+        })
+        .collect();
+    let fast = h
+        .run_batched(
+            "cluster_scan_soa/scan",
+            Some(n),
+            || (),
+            |()| {
+                for v in &vectors {
+                    accturbo_bench::black_box(clusterer.scan_soa(v));
+                }
+            },
+        )
+        .expect("unfiltered");
+    let reference = h
+        .run_batched(
+            "cluster_scan_soa/scan (aos)",
+            Some(n),
+            || (),
+            |()| {
+                for v in &vectors {
+                    accturbo_bench::black_box(clusterer.scan_aos(v));
+                }
+            },
+        )
+        .expect("unfiltered");
+    row("cluster_scan_soa".into(), &fast, Some(&reference))
 }
 
 /// SP-PIFO ranked-enqueue throughput (drained interleaved, so the bench
@@ -230,7 +429,7 @@ fn bench_sppifo_enqueue(h: &Harness, n: u64) -> BenchRow {
             },
         )
         .expect("unfiltered");
-    row("sppifo_enqueue", &fast, None)
+    row("sppifo_enqueue".into(), &fast, None)
 }
 
 /// Runs `IDENTITY_FIGURES` at quick scale under both kernel paths and
@@ -257,11 +456,29 @@ pub fn check_golden_identity() -> Result<(), String> {
     Ok(())
 }
 
-/// Serializes the export: schema tag, mode, identity verdict, rows.
-/// String fields go through the shared [`accturbo_obs::escape_json`] so
-/// a bench name can never corrupt the document.
-pub fn to_json(smoke: bool, rows: &[BenchRow]) -> String {
+/// The host's core count, recorded in the export so trajectory rows are
+/// comparable across machines (a sharded speedup on one core is pure
+/// algorithm; on many cores it could hide thread parallelism).
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Serializes the export: schema tag, mode, host core count, identity
+/// verdict, rows. Refuses any row whose name does not resolve against
+/// the bench registry — the archive must never carry a number no
+/// in-tree bench can reproduce. String fields go through the shared
+/// [`accturbo_obs::escape_json`] so a bench name can never corrupt the
+/// document.
+pub fn to_json(smoke: bool, cores: usize, rows: &[BenchRow]) -> Result<String, String> {
     use accturbo_obs::escape_json;
+    for r in rows {
+        if !is_registered(&r.name) {
+            return Err(format!(
+                "refusing to export `{}`: no registered live bench produces this row",
+                r.name
+            ));
+        }
+    }
     let quoted = |v: &str| {
         let mut q = String::with_capacity(v.len() + 2);
         q.push('"');
@@ -272,6 +489,7 @@ pub fn to_json(smoke: bool, rows: &[BenchRow]) -> String {
     let mut s = String::from("{\n");
     let _ = writeln!(s, "  \"schema\": \"accturbo-bench-datapath-v1\",");
     let _ = writeln!(s, "  \"smoke\": {smoke},");
+    let _ = writeln!(s, "  \"host_cores\": {cores},");
     let _ = writeln!(
         s,
         "  \"golden_identity\": {{ \"figures\": [{}], \"identical\": true }},",
@@ -286,7 +504,7 @@ pub fn to_json(smoke: bool, rows: &[BenchRow]) -> String {
         let _ = write!(
             s,
             "    {{ \"name\": {}, \"elements\": {}, \"median_ns_per_iter\": {:.1}, \"pkts_per_sec\": {:.1}",
-            quoted(r.name),
+            quoted(&r.name),
             r.elements,
             r.median_ns,
             r.pkts_per_sec
@@ -301,28 +519,33 @@ pub fn to_json(smoke: bool, rows: &[BenchRow]) -> String {
     }
     let _ = writeln!(s, "  ]");
     s.push_str("}\n");
-    s
+    Ok(s)
 }
 
-/// Runs the three datapath benches on `h` with `n` packets each,
-/// returning the export rows (shared with the `fastpath` bench binary).
-pub fn run_rows(h: &Harness, n: u64) -> Vec<BenchRow> {
-    vec![
-        bench_engine_step(h, n),
-        bench_cluster_update(h, n),
-        bench_sppifo_enqueue(h, n),
-    ]
+/// Runs the datapath benches on `h` with `n` packets each — the serial
+/// engine step, one sharded engine step per count in `shards`, the
+/// cluster kernels, and the SP-PIFO enqueue — returning the export rows
+/// (shared with the `fastpath` bench binary).
+pub fn run_rows(h: &Harness, n: u64, shards: &[usize]) -> Vec<BenchRow> {
+    let mut rows = vec![bench_engine_step(h, n)];
+    for &s in shards {
+        rows.push(bench_engine_step_sharded(h, n, s));
+    }
+    rows.push(bench_cluster_scan_soa(h, n));
+    rows.push(bench_cluster_update(h, n));
+    rows.push(bench_sppifo_enqueue(h, n));
+    rows
 }
 
-/// The `xp bench-export` entry point: identity gate, three benches,
+/// The `xp bench-export` entry point: identity gate, datapath benches,
 /// JSON export. Returns the path written to.
 pub fn run_export(args: &BenchArgs) -> Result<String, String> {
     eprintln!("checking optimized/reference figure identity (quick scale) ...");
     check_golden_identity()?;
     let h = Harness::new(args.smoke, Vec::new());
     let n: u64 = if args.smoke { 4_000 } else { 20_000 };
-    let rows = run_rows(&h, n);
-    let json = to_json(args.smoke, &rows);
+    let rows = run_rows(&h, n, &args.shards);
+    let json = to_json(args.smoke, host_cores(), &rows)?;
     std::fs::write(&args.out, &json).map_err(|e| format!("cannot write `{}`: {e}", args.out))?;
     for r in &rows {
         if let Some(s) = r.speedup {
@@ -340,14 +563,27 @@ mod tests {
         list.iter().map(|s| s.to_string()).collect()
     }
 
+    fn sample_row(name: &str) -> BenchRow {
+        BenchRow {
+            name: name.to_string(),
+            elements: 100,
+            median_ns: 50.0,
+            pkts_per_sec: 2e9,
+            reference_pkts_per_sec: Some(1e9),
+            speedup: Some(2.0),
+        }
+    }
+
     #[test]
     fn parse_defaults_and_flags() {
         let d = parse_args(&[]).unwrap();
         assert!(!d.smoke);
         assert_eq!(d.out, "BENCH_datapath.json");
-        let p = parse_args(&args(&["--smoke", "--out", "x.json"])).unwrap();
+        assert_eq!(d.shards, DEFAULT_SHARDS);
+        let p = parse_args(&args(&["--smoke", "--out", "x.json", "--shards", "2,16"])).unwrap();
         assert!(p.smoke);
         assert_eq!(p.out, "x.json");
+        assert_eq!(p.shards, vec![2, 16]);
     }
 
     #[test]
@@ -358,34 +594,63 @@ mod tests {
         assert!(parse_args(&args(&["--frob"]))
             .unwrap_err()
             .contains("--frob"));
+        assert!(parse_args(&args(&["--shards", "0"]))
+            .unwrap_err()
+            .contains("shard count"));
+        assert!(parse_args(&args(&["--shards", "2,x"]))
+            .unwrap_err()
+            .contains("shard count"));
     }
 
     #[test]
     fn json_shape_with_and_without_reference() {
         let rows = vec![
+            sample_row("engine_step"),
             BenchRow {
-                name: "engine_step",
-                elements: 100,
-                median_ns: 50.0,
-                pkts_per_sec: 2e9,
-                reference_pkts_per_sec: Some(1e9),
-                speedup: Some(2.0),
-            },
-            BenchRow {
-                name: "sppifo_enqueue",
-                elements: 100,
-                median_ns: 50.0,
-                pkts_per_sec: 2e9,
                 reference_pkts_per_sec: None,
                 speedup: None,
+                ..sample_row("sppifo_enqueue")
             },
         ];
-        let json = to_json(true, &rows);
+        let json = to_json(true, 4, &rows).unwrap();
         assert!(json.contains("\"schema\": \"accturbo-bench-datapath-v1\""));
         assert!(json.contains("\"smoke\": true"));
+        assert!(json.contains("\"host_cores\": 4"));
         assert!(json.contains("\"speedup\": 2.000"));
         assert!(json.contains("\"identical\": true"));
         let refs = json.matches("reference_pkts_per_sec").count();
         assert_eq!(refs, 1, "only the engine row carries a reference");
+    }
+
+    #[test]
+    fn registry_resolves_every_producible_row_and_nothing_else() {
+        for name in [
+            "engine_step",
+            "engine_step_sharded@1",
+            "engine_step_sharded@8",
+            "engine_step_sharded@64",
+            "cluster_scan_soa",
+            "cluster_update",
+            "sppifo_enqueue",
+        ] {
+            assert!(is_registered(name), "{name} must resolve");
+        }
+        for name in [
+            "engine_step_sharded@0",
+            "engine_step_sharded@",
+            "engine_step_sharded@two",
+            "cluster_scan",
+            "made_up_bench",
+        ] {
+            assert!(!is_registered(name), "{name} must not resolve");
+        }
+    }
+
+    #[test]
+    fn export_refuses_unregistered_rows() {
+        let rows = vec![sample_row("engine_step"), sample_row("made_up_bench")];
+        let err = to_json(false, 1, &rows).unwrap_err();
+        assert!(err.contains("made_up_bench"), "{err}");
+        assert!(err.contains("no registered live bench"), "{err}");
     }
 }

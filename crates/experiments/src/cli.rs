@@ -472,6 +472,7 @@ pub fn parse_run(args: &[String]) -> Result<RunCmd, String> {
     let mut link: Option<u64> = None;
     let mut period: Option<SimDuration> = None;
     let mut topology: Option<TopologySpec> = None;
+    let mut shards: Option<usize> = None;
     let mut fault_mix: Vec<(String, f64)> = Vec::new();
     let mut sink: Option<String> = None;
     let mut dataset: Option<String> = None;
@@ -552,11 +553,20 @@ pub fn parse_run(args: &[String]) -> Result<RunCmd, String> {
                     "topology" => {
                         topology = Some(val.parse().map_err(|e| format!("xp run: topology: {e}"))?)
                     }
+                    "shards" => {
+                        let n: usize = val
+                            .parse()
+                            .map_err(|_| format!("xp run: `{val}` is not a shard count"))?;
+                        if n == 0 {
+                            return Err("xp run: shards must be at least 1".to_string());
+                        }
+                        shards = Some(n);
+                    }
                     "faults" => fault_mix = parse_fault_mix("xp run: faults", val, '+')?,
                     other => {
                         return Err(format!(
                             "xp run: unknown key `{other}`; valid keys: workload, defense, \
-                             link, secs, seed, period, topology, faults"
+                             link, secs, seed, period, topology, shards, faults"
                         ));
                     }
                 }
@@ -570,10 +580,37 @@ pub fn parse_run(args: &[String]) -> Result<RunCmd, String> {
                     combine either faults= or topology=, not both"
             .to_string());
     }
-    if topology.is_some() && (sink.is_some() || dataset.is_some() || flight_recorder.is_some()) {
-        return Err("xp run: streaming telemetry is not topology-aware; \
-                    drop --sink/--dataset/--flight-recorder or topology="
-            .to_string());
+    let wants_telemetry = sink.is_some() || dataset.is_some() || flight_recorder.is_some();
+    // `topology=line:1` (at default options) is byte-identical to the
+    // single-switch engine — tests/topology_matrix.rs locks that down —
+    // so it may carry streaming telemetry; every deeper shape is
+    // genuinely multi-switch and cannot.
+    if wants_telemetry && topology.as_ref().is_some_and(|t| !t.is_single_switch()) {
+        return Err(
+            "xp run: streaming telemetry supports only the single-switch \
+                    `topology=line:1`; drop --sink/--dataset/--flight-recorder or topology="
+                .to_string(),
+        );
+    }
+    let shard_count = shards.unwrap_or(1);
+    if shard_count > 1 {
+        if topology.is_some() {
+            return Err(
+                "xp run: the sharded datapath runs the single defended switch; \
+                        drop shards= or topology="
+                    .to_string(),
+            );
+        }
+        if !fault_mix.is_empty() {
+            return Err("xp run: the sharded datapath has no fault plane; \
+                        drop shards= or faults="
+                .to_string());
+        }
+        if wants_telemetry {
+            return Err("xp run: streaming telemetry runs the serial engine; \
+                        drop --sink/--dataset/--flight-recorder or shards="
+                .to_string());
+        }
     }
     let quick_secs = workload.default_secs(Scale::Quick);
     let mut spec = ScenarioSpec::new(workload, defense);
@@ -602,6 +639,9 @@ pub fn parse_run(args: &[String]) -> Result<RunCmd, String> {
     }
     if let Some(t) = topology {
         spec = spec.with_topology(t);
+    }
+    if shard_count > 1 {
+        spec = spec.with_shards(shard_count);
     }
     if !fault_mix.is_empty() {
         let fault_seed = spec.seed;
@@ -679,6 +719,14 @@ pub fn render_run(cmd: &RunCmd) -> Result<String, String> {
     // single-switch path is untouched.
     let mut topo_detail: Option<(u64, u64, Option<f64>)> = None;
     let outcome = match &spec.topology {
+        // `topology=line:1` with telemetry: byte-identical to the
+        // single-switch engine (tests/topology_matrix.rs), so run it on
+        // the streamed single-switch path the telemetry bundle needs.
+        Some(t) if telemetry.is_some() && t.is_single_switch() => {
+            let mut flat = spec.clone();
+            flat.topology = None;
+            flat.execute_streamed(telemetry.as_mut())
+        }
         Some(tspec) => {
             let t = spec.execute_topology();
             let leaves = tspec.build(spec.link_bps).leaves().to_vec();
@@ -1365,13 +1413,70 @@ mod tests {
             "/tmp/x.jsonl",
         ]))
         .unwrap_err();
-        assert!(err.contains("telemetry is not topology-aware"), "{err}");
+        assert!(
+            err.contains("only the single-switch `topology=line:1`"),
+            "{err}"
+        );
+
+        // line:1 with all-default options is the single-switch engine, so
+        // telemetry is allowed (tests/topology_matrix.rs proves byte-identity) —
+        // but any non-default knob disqualifies it.
+        let ok = parse_run(&args(&[
+            "workload=fig2",
+            "topology=line:1",
+            "--sink",
+            "/tmp/x.jsonl",
+        ]));
+        assert!(ok.is_ok(), "{ok:?}");
+        let err = parse_run(&args(&[
+            "workload=fig2",
+            "topology=line:1:pushback=on",
+            "--sink",
+            "/tmp/x.jsonl",
+        ]))
+        .unwrap_err();
+        assert!(
+            err.contains("only the single-switch `topology=line:1`"),
+            "{err}"
+        );
 
         let err = parse_run(&args(&["workload=fig2", "topology=ring:4"])).unwrap_err();
         assert!(err.contains("unknown topology"), "{err}");
 
         let err = parse_run(&args(&["workload=fig2", "topology=star:4:attackers=9"])).unwrap_err();
         assert!(err.contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn run_parses_and_polices_shards() {
+        let cmd = parse_run(&args(&["workload=fig2", "shards=8"])).unwrap();
+        assert_eq!(cmd.spec.shards, 8);
+
+        let cmd = parse_run(&args(&["workload=fig2", "shards=1"])).unwrap();
+        assert_eq!(cmd.spec.shards, 1, "shards=1 is the serial engine");
+
+        let err = parse_run(&args(&["workload=fig2", "shards=0"])).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+
+        let err = parse_run(&args(&["workload=fig2", "shards=2", "topology=line:2"])).unwrap_err();
+        assert!(err.contains("drop shards= or topology="), "{err}");
+
+        let err = parse_run(&args(&[
+            "workload=fig2",
+            "shards=2",
+            "faults=ctrl_drop:0.5",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("drop shards= or faults="), "{err}");
+
+        let err = parse_run(&args(&[
+            "workload=fig2",
+            "shards=2",
+            "--sink",
+            "/tmp/x.jsonl",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("or shards="), "{err}");
     }
 
     #[test]

@@ -8,7 +8,7 @@
 use crate::result::FigureResult;
 use accturbo_netsim::{
     run, run_instrumented, run_streamed, run_with_faults, ClassId, EngineConfig, FaultInjector,
-    NoopFaultInjector, PacketSource, RunResult, SimDuration, Switch,
+    NoopFaultInjector, PacketSource, RunResult, ShardedEngine, SimDuration, Switch,
 };
 use accturbo_obs::{MetricsHandle, NoopTracer, Telemetry, Tracer};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -77,6 +77,28 @@ pub fn simulate(
         return run_with_faults(source, switch, &cfg, &mut NoopTracer, None, Some(&noop));
     }
     run(source, switch, &cfg)
+}
+
+/// [`simulate`] on the sharded datapath: the stream is partitioned by
+/// flow hash across `shards` windowed generations (feature extraction
+/// batched per shard into the packet arena) and consumed by the same
+/// serial event loop — byte-identical to [`simulate`] for every shard
+/// count, including `1` (see `accturbo_netsim::shard`). The sharded
+/// path carries no fault plane, so the fault-noop lockdown toggle does
+/// not apply here.
+pub fn simulate_sharded(
+    mut source: Box<dyn PacketSource>,
+    switch: &mut dyn Switch,
+    link_bps: u64,
+    secs: u64,
+    control_period: Option<SimDuration>,
+    shards: usize,
+) -> RunResult {
+    let cfg = engine_config(link_bps, secs, control_period);
+    if shards <= 1 {
+        return run(&mut *source, switch, &cfg);
+    }
+    ShardedEngine::new(shards).run_stream(source, switch, &cfg)
 }
 
 /// [`simulate`] with a fault plane: the engine consults `faults` for

@@ -24,7 +24,8 @@
 //! [`execute`]: ScenarioSpec::execute
 
 use crate::common::{
-    baseline_fifo, simulate, simulate_streamed, simulate_with_faults, Scale, LINK_10G_SCALED,
+    baseline_fifo, simulate, simulate_sharded, simulate_streamed, simulate_with_faults, Scale,
+    LINK_10G_SCALED,
 };
 use accturbo_acc::{AccConfig, AccSwitch};
 use accturbo_clustering::{DistanceKind, FeatureSet, InitMode, NominalMode, RepMode, SearchKind};
@@ -1210,6 +1211,16 @@ impl TopologySpec {
         }
     }
 
+    /// True when this topology is the trivial one-node line at default
+    /// options — semantically (and, per `tests/topology_matrix.rs`,
+    /// byte-for-byte) the classic single-switch engine. Only this case
+    /// may route through single-switch-only paths such as streaming
+    /// telemetry; any non-default knob (delay, uplink, pushback, …)
+    /// disqualifies it.
+    pub fn is_single_switch(&self) -> bool {
+        self == &TopologySpec::new(TopologyShape::Line(1))
+    }
+
     /// Number of ingress leaves.
     pub fn leaf_count(&self) -> usize {
         match self.shape {
@@ -1428,6 +1439,11 @@ pub struct ScenarioSpec {
     pub faults: Option<FaultConfig>,
     /// Multi-switch topology (`None` = the classic single switch).
     pub topology: Option<TopologySpec>,
+    /// Datapath shard count (`1` = the classic serial engine). Higher
+    /// counts route through the sharded engine — byte-identical output
+    /// by construction. Only the plain single-switch path shards;
+    /// combining `shards>1` with faults or a topology is rejected.
+    pub shards: usize,
 }
 
 /// What [`ScenarioSpec::execute`] returns: the engine's result plus the
@@ -1464,6 +1480,7 @@ impl ScenarioSpec {
             seed,
             faults: None,
             topology: None,
+            shards: 1,
         }
     }
 
@@ -1503,6 +1520,12 @@ impl ScenarioSpec {
         self
     }
 
+    /// Runs the datapath with `shards` generation shards (`1` = serial).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
     /// The control period this scenario will run with.
     pub fn effective_period(&self) -> Option<SimDuration> {
         self.control_period
@@ -1520,6 +1543,10 @@ impl ScenarioSpec {
         assert!(
             self.faults.is_none(),
             "the fault plane is not topology-aware; drop faults= or topology="
+        );
+        assert!(
+            self.shards == 1,
+            "the sharded datapath runs the single defended switch; drop shards= or topology="
         );
         let topo = tspec.build(self.link_bps);
         let uplink = tspec.uplink(self.link_bps);
@@ -1564,11 +1591,20 @@ impl ScenarioSpec {
             };
         }
         let period = self.effective_period();
+        assert!(
+            self.shards == 1 || self.faults.is_none(),
+            "the sharded datapath has no fault plane; drop shards= or faults="
+        );
         match &self.faults {
             None => {
                 let mut sw = self.defense.build(self.link_bps);
-                let mut src = self.workload.build(self.link_bps, self.secs, self.seed);
-                let result = simulate(&mut *src, &mut *sw, self.link_bps, self.secs, period);
+                let src = self.workload.build(self.link_bps, self.secs, self.seed);
+                let result = if self.shards > 1 {
+                    simulate_sharded(src, &mut *sw, self.link_bps, self.secs, period, self.shards)
+                } else {
+                    let mut src = src;
+                    simulate(&mut *src, &mut *sw, self.link_bps, self.secs, period)
+                };
                 ScenarioOutcome {
                     backlog_pkts: sw.backlog_pkts(),
                     result,
@@ -1657,6 +1693,10 @@ impl ScenarioSpec {
         assert!(
             self.topology.is_none(),
             "streaming telemetry is not topology-aware; drop the telemetry flags or topology="
+        );
+        assert!(
+            self.shards == 1,
+            "streaming telemetry runs the serial engine; drop the telemetry flags or shards="
         );
         let period = self.effective_period();
         let metrics: MetricsHandle = Rc::new(RefCell::new(Registry::new()));
@@ -1749,6 +1789,9 @@ impl fmt::Display for ScenarioSpec {
         }
         if let Some(t) = &self.topology {
             write!(out, " topology={t}")?;
+        }
+        if self.shards != 1 {
+            write!(out, " shards={}", self.shards)?;
         }
         Ok(())
     }

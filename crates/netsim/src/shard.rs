@@ -1,0 +1,773 @@
+//! The sharded deterministic datapath (DESIGN.md §14).
+//!
+//! Scaling the packet rate cannot come from running the event loop on
+//! more cores — the loop's outputs are a serial total order that every
+//! golden and corpus differential depends on. What *can* leave the serial
+//! loop is everything upstream of it: workload generation, the k-way
+//! time-ordered merge, and per-packet feature extraction. This module
+//! moves exactly that work into shards:
+//!
+//! * Sources (or flows, for a pre-merged stream) are partitioned across
+//!   `N` shards by FNV-1a hash.
+//! * Each shard independently materializes one **time window** (one
+//!   control period) of its packets into a struct-of-arrays
+//!   [`PacketArena`] — pulling its sources, ordering its slice of the
+//!   window, and precomputing the switch's classification features into
+//!   the arena's feature column.
+//! * At the window boundary the shard batches are merged with a
+//!   deterministic `(arrival, source-index)` tie-break — byte-identical
+//!   to [`MergedSource`]'s packet-at-a-time heap for every shard count,
+//!   including `N = 1`.
+//!
+//! The serial consumer ([`run_sharded`]) is the same three-slot calendar
+//! loop as [`engine::run`], but arrivals come from the pre-built window
+//! batches and enter the switch through
+//! [`Switch::ingress_featured`] with their precomputed feature row.
+//! Shards share nothing and windows are sealed before consumption, so a
+//! thread pool can map shards to workers without changing a single output
+//! byte; on a single-core host the shards simply run inline, which is
+//! also why the per-packet channel design of the first sharding prototype
+//! (see DESIGN.md §14) lost to serial and this one does not.
+//!
+//! [`MergedSource`]: crate::source::MergedSource
+//! [`engine::run`]: crate::engine::run
+
+use crate::arena::PacketArena;
+use crate::engine::{EngineConfig, EventCalendar, EventSlot, RunResult};
+use crate::latency::DelayHistogram;
+use crate::packet::{Dropped, Packet};
+use crate::source::PacketSource;
+use crate::stats::StatsCollector;
+use crate::switch::{FeatureExtractor, Switch};
+use crate::time::{SimDuration, SimTime};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over a byte slice — the shard-partitioning hash.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// The shard a source index maps to.
+pub fn source_shard(idx: usize, shards: usize) -> usize {
+    (fnv1a64(&(idx as u64).to_le_bytes()) % shards as u64) as usize
+}
+
+/// The shard a packet's flow five-tuple maps to.
+pub fn flow_shard(p: &Packet, shards: usize) -> usize {
+    let s = p.src.octets();
+    let d = p.dst.octets();
+    let sp = p.sport.to_be_bytes();
+    let dp = p.dport.to_be_bytes();
+    let bytes = [
+        s[0], s[1], s[2], s[3], d[0], d[1], d[2], d[3], sp[0], sp[1], dp[0], dp[1], p.proto,
+    ];
+    (fnv1a64(&bytes) % shards as u64) as usize
+}
+
+/// One upstream source owned by a shard, with its buffered head packet.
+struct Feed {
+    /// Global source index — the merge tie-break, identical to the index
+    /// [`MergedSource`](crate::source::MergedSource) would use.
+    idx: u32,
+    src: Box<dyn PacketSource>,
+    head: Option<Packet>,
+}
+
+/// One shard's window state: its sources, its slice of the current
+/// window (arena rows in pull order, a sorted emission permutation over
+/// them), and a cursor.
+struct ShardBuf {
+    members: Vec<Feed>,
+    arena: PacketArena,
+    /// Merge key per emission position, ascending:
+    /// `(arrival_ns << 32) | src_idx` for source mode, the global pull
+    /// ordinal for stream mode.
+    keys: Vec<u128>,
+    /// Arena row per emission position — packets land in the arena in
+    /// pull order and are never moved; this permutation is the sorted
+    /// window order.
+    rows: Vec<u32>,
+    cursor: usize,
+    /// Window sort scratch: `(arrival_ns, src_idx, arena_row)` — the row
+    /// is globally increasing in pull order, so the unstable sort is a
+    /// total, deterministic order.
+    order: Vec<(u64, u32, u32)>,
+}
+
+impl ShardBuf {
+    fn new(feature_width: usize) -> Self {
+        ShardBuf {
+            members: Vec::new(),
+            arena: PacketArena::new(feature_width),
+            keys: Vec::new(),
+            rows: Vec::new(),
+            cursor: 0,
+            order: Vec::new(),
+        }
+    }
+
+    fn reset_window(&mut self) {
+        self.arena.clear();
+        self.keys.clear();
+        self.rows.clear();
+        self.cursor = 0;
+        self.order.clear();
+    }
+
+    /// Materializes this shard's slice of the window `[.., end_ns)`:
+    /// pulls every member source up to the boundary, orders the slice by
+    /// `(arrival, source-index)` — stable within a source via the pull
+    /// position — and fills the arena columns (features included).
+    fn fill_from_members(&mut self, end_ns: u64, extractor: Option<&FeatureExtractor>) {
+        self.reset_window();
+        for feed in &mut self.members {
+            loop {
+                let within = feed
+                    .head
+                    .as_ref()
+                    .is_some_and(|p| p.arrival.as_nanos() < end_ns);
+                if !within {
+                    break;
+                }
+                let pkt = feed.head.take().expect("checked above");
+                let next = feed.src.next_packet();
+                if let Some(n) = &next {
+                    debug_assert!(
+                        n.arrival >= pkt.arrival,
+                        "source {} emitted a packet out of order ({} < {})",
+                        feed.idx,
+                        n.arrival,
+                        pkt.arrival,
+                    );
+                }
+                feed.head = next;
+                let row = self.arena.len() as u32;
+                self.order.push((pkt.arrival.as_nanos(), feed.idx, row));
+                self.arena.push(pkt, extractor);
+            }
+        }
+        // The arena-row tie-break makes the key total, so the unstable
+        // sort is deterministic and equals a stable `(arrival, idx)`
+        // sort in per-source pull order.
+        self.order.sort_unstable();
+        for &(t_ns, idx, row) in &self.order {
+            self.keys.push((u128::from(t_ns) << 32) | u128::from(idx));
+            self.rows.push(row);
+        }
+    }
+
+    fn head_key(&self) -> Option<u128> {
+        self.keys.get(self.cursor).copied()
+    }
+}
+
+/// A packet emitted by a [`ShardedFeed`], with the arena coordinates of
+/// its precomputed feature row.
+struct FedPacket {
+    pkt: Packet,
+    shard: u32,
+    row: u32,
+}
+
+/// The windowed shard generator + deterministic merge.
+struct ShardedFeed {
+    shards: Vec<ShardBuf>,
+    window_ns: u64,
+    extractor: Option<FeatureExtractor>,
+    /// Source mode assigns merge-order sequence numbers exactly like
+    /// `MergedSource`; stream mode preserves the inner stream's.
+    assign_seq: bool,
+    next_seq: u64,
+    /// Stream mode: the pre-merged input and its buffered head.
+    stream: Option<Box<dyn PacketSource>>,
+    stream_head: Option<Packet>,
+    stream_ordinal: u64,
+}
+
+impl ShardedFeed {
+    /// Partitions `sources` across `shards` by FNV-1a of the global
+    /// source index.
+    fn from_sources(
+        sources: Vec<Box<dyn PacketSource>>,
+        shards: usize,
+        window: SimDuration,
+        extractor: Option<FeatureExtractor>,
+    ) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        let width = extractor.as_ref().map_or(0, |e| e.width());
+        let mut bufs: Vec<ShardBuf> = (0..shards).map(|_| ShardBuf::new(width)).collect();
+        for (idx, mut src) in sources.into_iter().enumerate() {
+            let head = src.next_packet();
+            bufs[source_shard(idx, shards)].members.push(Feed {
+                idx: idx as u32,
+                src,
+                head,
+            });
+        }
+        ShardedFeed {
+            shards: bufs,
+            window_ns: window.as_nanos().max(1),
+            extractor,
+            assign_seq: true,
+            next_seq: 0,
+            stream: None,
+            stream_head: None,
+            stream_ordinal: 0,
+        }
+    }
+
+    /// Partitions an already-merged stream across `shards` by FNV-1a of
+    /// each packet's flow five-tuple. The merge restores the stream's own
+    /// order (by pull ordinal), so the output is the input stream —
+    /// with every packet's feature row precomputed in its shard's arena.
+    fn from_stream(
+        mut source: Box<dyn PacketSource>,
+        shards: usize,
+        window: SimDuration,
+        extractor: Option<FeatureExtractor>,
+    ) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        let width = extractor.as_ref().map_or(0, |e| e.width());
+        let bufs: Vec<ShardBuf> = (0..shards).map(|_| ShardBuf::new(width)).collect();
+        let head = source.next_packet();
+        ShardedFeed {
+            shards: bufs,
+            window_ns: window.as_nanos().max(1),
+            extractor,
+            assign_seq: false,
+            next_seq: 0,
+            stream: Some(source),
+            stream_head: head,
+            stream_ordinal: 0,
+        }
+    }
+
+    /// Seals the next non-empty window into the shard arenas. Returns
+    /// `false` when every source is exhausted. The window grid is
+    /// anchored at `t = 0` with empty windows skipped, so the boundaries
+    /// are a pure function of the traffic — not of the shard count.
+    fn fill_window(&mut self) -> bool {
+        let min_ns = match &self.stream {
+            Some(_) => self.stream_head.as_ref().map(|p| p.arrival.as_nanos()),
+            None => self
+                .shards
+                .iter()
+                .flat_map(|s| s.members.iter())
+                .filter_map(|f| f.head.as_ref().map(|p| p.arrival.as_nanos()))
+                .min(),
+        };
+        let Some(min_ns) = min_ns else {
+            return false;
+        };
+        let end_ns = (min_ns / self.window_ns)
+            .saturating_add(1)
+            .saturating_mul(self.window_ns);
+        if let Some(src) = &mut self.stream {
+            let n = self.shards.len();
+            for s in &mut self.shards {
+                s.reset_window();
+            }
+            loop {
+                let within = self
+                    .stream_head
+                    .as_ref()
+                    .is_some_and(|p| p.arrival.as_nanos() < end_ns);
+                if !within {
+                    break;
+                }
+                let pkt = self.stream_head.take().expect("checked above");
+                self.stream_head = src.next_packet();
+                let buf = &mut self.shards[flow_shard(&pkt, n)];
+                buf.keys.push(u128::from(self.stream_ordinal));
+                buf.rows.push(buf.arena.len() as u32);
+                self.stream_ordinal += 1;
+                buf.arena.push(pkt, self.extractor.as_ref());
+            }
+        } else {
+            let extractor = self.extractor.clone();
+            for s in &mut self.shards {
+                s.fill_from_members(end_ns, extractor.as_ref());
+            }
+        }
+        true
+    }
+
+    /// The next packet in the deterministic merge order: the lowest merge
+    /// key across the shard batch heads (keys are unique — a source, and
+    /// an ordinal, lives in exactly one shard).
+    fn next(&mut self) -> Option<FedPacket> {
+        loop {
+            let mut best: Option<(u128, usize)> = None;
+            for (s, buf) in self.shards.iter().enumerate() {
+                if let Some(k) = buf.head_key() {
+                    if best.is_none_or(|(bk, _)| k < bk) {
+                        best = Some((k, s));
+                    }
+                }
+            }
+            match best {
+                Some((_, s)) => {
+                    let buf = &mut self.shards[s];
+                    let row = buf.rows[buf.cursor];
+                    buf.cursor += 1;
+                    let mut pkt = buf.arena.packet(row as usize).clone();
+                    if self.assign_seq {
+                        pkt.seq = self.next_seq;
+                        self.next_seq += 1;
+                    }
+                    return Some(FedPacket {
+                        pkt,
+                        shard: s as u32,
+                        row,
+                    });
+                }
+                None => {
+                    if !self.fill_window() {
+                        return None;
+                    }
+                }
+            }
+        }
+    }
+
+    fn features_row(&self, shard: u32, row: u32) -> &[u32] {
+        self.shards[shard as usize].arena.features_row(row as usize)
+    }
+}
+
+/// [`MergedSource`](crate::source::MergedSource) rebuilt on the windowed
+/// shard machinery: merges `sources` into one time-ordered, sequence-
+/// numbered stream, byte-identical to `MergedSource` for every shard
+/// count. Implements [`PacketSource`], so it composes with the fault
+/// plane, streaming telemetry, and every engine entry point.
+pub struct ShardedSource {
+    feed: ShardedFeed,
+}
+
+impl ShardedSource {
+    /// Builds the sharded merge over `sources` with the given window.
+    pub fn new(sources: Vec<Box<dyn PacketSource>>, shards: usize, window: SimDuration) -> Self {
+        ShardedSource {
+            feed: ShardedFeed::from_sources(sources, shards, window, None),
+        }
+    }
+}
+
+impl PacketSource for ShardedSource {
+    fn next_packet(&mut self) -> Option<Packet> {
+        self.feed.next().map(|f| f.pkt)
+    }
+}
+
+/// The sharded datapath's serial consumer: the same event loop as
+/// [`run`](crate::engine::run), fed by windowed shard batches.
+#[derive(Debug, Clone)]
+pub struct ShardedEngine {
+    shards: usize,
+}
+
+impl ShardedEngine {
+    /// An engine with `shards` generation shards (`1` is valid and is the
+    /// plain batched datapath).
+    pub fn new(shards: usize) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        ShardedEngine { shards }
+    }
+
+    /// The generation window: one control period, falling back to the
+    /// stats interval when the scenario runs no control plane.
+    fn window(cfg: &EngineConfig) -> SimDuration {
+        cfg.control_period.unwrap_or(cfg.stats_interval)
+    }
+
+    /// Runs `sources` (merged shard-side, `MergedSource`-identically)
+    /// through `switch`. Result-identical to
+    /// `run(&mut MergedSource::new(sources), switch, cfg)`.
+    pub fn run(
+        &self,
+        sources: Vec<Box<dyn PacketSource>>,
+        switch: &mut dyn Switch,
+        cfg: &EngineConfig,
+    ) -> RunResult {
+        let feed = ShardedFeed::from_sources(
+            sources,
+            self.shards,
+            Self::window(cfg),
+            switch.feature_extractor(),
+        );
+        run_feed(feed, switch, cfg)
+    }
+
+    /// Runs a pre-merged `source` through `switch`, partitioning by flow
+    /// hash. Result-identical to `run(&mut source, switch, cfg)`.
+    pub fn run_stream(
+        &self,
+        source: Box<dyn PacketSource>,
+        switch: &mut dyn Switch,
+        cfg: &EngineConfig,
+    ) -> RunResult {
+        let feed = ShardedFeed::from_stream(
+            source,
+            self.shards,
+            Self::window(cfg),
+            switch.feature_extractor(),
+        );
+        run_feed(feed, switch, cfg)
+    }
+}
+
+/// [`ShardedEngine::run`] as a free function, mirroring
+/// [`run`](crate::engine::run)'s shape.
+pub fn run_sharded(
+    sources: Vec<Box<dyn PacketSource>>,
+    switch: &mut dyn Switch,
+    cfg: &EngineConfig,
+    shards: usize,
+) -> RunResult {
+    ShardedEngine::new(shards).run(sources, switch, cfg)
+}
+
+/// The truncating pull mirroring the serial engine's `next_arrival`: the
+/// first packet at or past the end time is consumed and discarded, and
+/// the feed is never pulled again.
+fn next_fed(feed: &mut ShardedFeed, end: Option<SimTime>, done: &mut bool) -> Option<FedPacket> {
+    if *done {
+        return None;
+    }
+    let fed = feed.next()?;
+    match end {
+        Some(end) if fed.pkt.arrival >= end => {
+            *done = true;
+            None
+        }
+        _ => Some(fed),
+    }
+}
+
+/// The serial consumer loop — [`run`](crate::engine::run) with arrivals
+/// taken from sealed window batches and delivered through
+/// [`Switch::ingress_featured`] with their precomputed feature rows.
+/// Stays event-for-event identical: same three-slot calendar, same
+/// tie-breaks, same work-gated control plane, same end-time truncation.
+fn run_feed(mut feed: ShardedFeed, switch: &mut dyn Switch, cfg: &EngineConfig) -> RunResult {
+    let mut stats = StatsCollector::new(cfg.stats_interval);
+    let mut delays = DelayHistogram::new();
+    let mut drops_buf: Vec<Dropped> = Vec::new();
+
+    let mut calendar = EventCalendar::new();
+    let mut src_done = false;
+    let mut pending: Option<FedPacket> = next_fed(&mut feed, cfg.end_time, &mut src_done);
+    if let Some(p) = &pending {
+        calendar.schedule(EventSlot::Arrival, p.pkt.arrival);
+    }
+    let mut in_flight: Option<Packet> = None;
+    if let Some(period) = cfg.control_period {
+        calendar.schedule(EventSlot::Control, SimTime::ZERO + period);
+    }
+
+    let mut now = SimTime::ZERO;
+    let (mut arrivals, mut departures, mut total_drops) = (0u64, 0u64, 0u64);
+    let mut stats_bucket = 0u64;
+
+    loop {
+        let has_work = calendar.is_scheduled(EventSlot::Tx)
+            || calendar.is_scheduled(EventSlot::Arrival)
+            || switch.backlog_pkts() > 0;
+        let next = if has_work {
+            calendar.earliest()
+        } else {
+            calendar.earliest_without_control()
+        };
+        let Some((slot, t)) = next else {
+            break;
+        };
+        debug_assert!(t >= now, "event time went backwards");
+        now = t;
+
+        let bucket = now.bucket(cfg.stats_interval);
+        if bucket != stats_bucket {
+            stats_bucket = bucket;
+        }
+
+        match slot {
+            EventSlot::Tx => {
+                let pkt = in_flight.take().expect("Tx slot implies in-flight");
+                calendar.cancel(EventSlot::Tx);
+                stats.on_depart(&pkt, now);
+                delays.record(pkt.class, now.saturating_since(pkt.arrival));
+                departures += 1;
+            }
+            EventSlot::Control => {
+                let period = cfg.control_period.expect("Control slot implies a period");
+                switch.control_tick(now);
+                calendar.schedule(EventSlot::Control, now + period);
+            }
+            EventSlot::Arrival => {
+                let fed = pending
+                    .take()
+                    .expect("Arrival slot implies a pending packet");
+                calendar.cancel(EventSlot::Arrival);
+                stats.on_arrival(&fed.pkt);
+                arrivals += 1;
+                drops_buf.clear();
+                let row = feed.features_row(fed.shard, fed.row);
+                switch.ingress_featured(fed.pkt, row, now, &mut drops_buf);
+                for d in &drops_buf {
+                    stats.on_drop(d, now);
+                }
+                total_drops += drops_buf.len() as u64;
+                pending = next_fed(&mut feed, cfg.end_time, &mut src_done);
+                // Batched link tick: while the link is busy and the next
+                // arrival strictly precedes every scheduled event (ties
+                // go to Tx and Control, matching the calendar's slot
+                // priority), arrivals ingress back-to-back without the
+                // per-packet schedule/earliest/cancel round-trip. The
+                // operation sequence — and therefore every output byte —
+                // is exactly what the calendar would have produced.
+                while in_flight.is_some() {
+                    let Some(p) = &pending else { break };
+                    let t = p.pkt.arrival;
+                    let tx = calendar
+                        .scheduled_at(EventSlot::Tx)
+                        .expect("busy link implies a scheduled Tx");
+                    if t >= tx {
+                        break;
+                    }
+                    if calendar
+                        .scheduled_at(EventSlot::Control)
+                        .is_some_and(|c| t >= c)
+                    {
+                        break;
+                    }
+                    let fed = pending.take().expect("checked above");
+                    debug_assert!(t >= now, "arrival time went backwards");
+                    now = t;
+                    stats.on_arrival(&fed.pkt);
+                    arrivals += 1;
+                    drops_buf.clear();
+                    let row = feed.features_row(fed.shard, fed.row);
+                    switch.ingress_featured(fed.pkt, row, now, &mut drops_buf);
+                    for d in &drops_buf {
+                        stats.on_drop(d, now);
+                    }
+                    total_drops += drops_buf.len() as u64;
+                    pending = next_fed(&mut feed, cfg.end_time, &mut src_done);
+                }
+                if let Some(p) = &pending {
+                    calendar.schedule(EventSlot::Arrival, p.pkt.arrival);
+                }
+            }
+        }
+
+        if in_flight.is_none() {
+            if let Some(pkt) = switch.dequeue(now) {
+                let tx = cfg.link.tx_time(pkt.size);
+                calendar.schedule(EventSlot::Tx, now + tx);
+                in_flight = Some(pkt);
+            }
+        }
+    }
+
+    RunResult {
+        stats,
+        delays,
+        final_time: now,
+        arrivals,
+        departures,
+        drops: total_drops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run;
+    use crate::queue::FifoQueue;
+    use crate::source::{MergedSource, VecSource};
+    use crate::switch::SingleQueueSwitch;
+    use crate::units::Bandwidth;
+    use std::net::Ipv4Addr;
+
+    /// A few CBR-ish sources with deliberate timestamp ties across
+    /// sources and within one source.
+    fn sources(k: usize) -> Vec<Box<dyn PacketSource>> {
+        (0..k)
+            .map(|s| {
+                let pkts: Vec<Packet> = (0..40u64)
+                    .map(|i| {
+                        // Collide timestamps across sources (same grid) and
+                        // duplicate every 8th timestamp within the source
+                        // (each 8th packet reuses its predecessor's slot).
+                        let grid = i - u64::from(i.is_multiple_of(8) && i > 0);
+                        let t = SimTime::from_micros(grid * 100);
+                        Packet::new(t)
+                            .with_size(200 + (s as u32 % 5) * 100)
+                            .with_src(Ipv4Addr::new(10, 0, (s / 256) as u8, (s % 256) as u8))
+                            .with_dst(Ipv4Addr::new(20, 0, 0, 1))
+                            .with_ports(1024 + s as u16, 443)
+                            .with_proto(17)
+                    })
+                    .collect();
+                Box::new(VecSource::new(pkts)) as Box<dyn PacketSource>
+            })
+            .collect()
+    }
+
+    fn drain(src: &mut dyn PacketSource) -> Vec<Packet> {
+        std::iter::from_fn(|| src.next_packet()).collect()
+    }
+
+    #[test]
+    fn sharded_source_is_byte_identical_to_merged_source() {
+        for shards in [1, 2, 3, 8] {
+            let mut serial = MergedSource::new(sources(7));
+            let mut sharded = ShardedSource::new(sources(7), shards, SimDuration::from_millis(1));
+            assert_eq!(
+                drain(&mut serial),
+                drain(&mut sharded),
+                "shards={shards} must reproduce the serial merge exactly"
+            );
+        }
+    }
+
+    #[test]
+    fn window_boundaries_do_not_reorder() {
+        // A window much smaller than the inter-packet gap forces many
+        // empty windows and boundary-straddling batches.
+        let mut serial = MergedSource::new(sources(3));
+        let mut sharded = ShardedSource::new(sources(3), 2, SimDuration::from_nanos(77));
+        assert_eq!(drain(&mut serial), drain(&mut sharded));
+    }
+
+    #[test]
+    fn empty_sharded_source_is_empty() {
+        let mut s = ShardedSource::new(Vec::new(), 4, SimDuration::from_millis(1));
+        assert!(s.next_packet().is_none());
+    }
+
+    fn cfg() -> EngineConfig {
+        EngineConfig::new(Bandwidth::from_mbps(10))
+            .with_control_period(SimDuration::from_millis(1))
+            .with_end_time(SimTime::from_millis(3))
+    }
+
+    fn result_fingerprint(r: &RunResult) -> (u64, u64, u64, SimTime) {
+        (r.arrivals, r.departures, r.drops, r.final_time)
+    }
+
+    #[test]
+    fn run_sharded_matches_serial_run() {
+        let mut serial_src = MergedSource::new(sources(7));
+        let mut serial_sw = SingleQueueSwitch::new(FifoQueue::new(8_000));
+        let serial = run(&mut serial_src, &mut serial_sw, &cfg());
+        for shards in [1, 2, 8] {
+            let mut sw = SingleQueueSwitch::new(FifoQueue::new(8_000));
+            let res = run_sharded(sources(7), &mut sw, &cfg(), shards);
+            assert_eq!(
+                result_fingerprint(&serial),
+                result_fingerprint(&res),
+                "shards={shards}"
+            );
+        }
+    }
+
+    #[test]
+    fn run_stream_matches_serial_run() {
+        let mut serial_src = MergedSource::new(sources(5));
+        let mut serial_sw = SingleQueueSwitch::new(FifoQueue::new(8_000));
+        let serial = run(&mut serial_src, &mut serial_sw, &cfg());
+        for shards in [1, 2, 8] {
+            let mut sw = SingleQueueSwitch::new(FifoQueue::new(8_000));
+            let src = Box::new(MergedSource::new(sources(5)));
+            let res = ShardedEngine::new(shards).run_stream(src, &mut sw, &cfg());
+            assert_eq!(
+                result_fingerprint(&serial),
+                result_fingerprint(&res),
+                "shards={shards}"
+            );
+        }
+    }
+
+    /// A switch that records the exact ingress stream (seq, arrival, and
+    /// the feature row it was handed) — the strongest identity probe.
+    struct Recording {
+        inner: SingleQueueSwitch<FifoQueue>,
+        seen: Vec<(u64, SimTime, Vec<u32>)>,
+    }
+
+    impl Switch for Recording {
+        fn ingress(&mut self, pkt: Packet, now: SimTime, drops: &mut Vec<Dropped>) {
+            self.seen.push((pkt.seq, pkt.arrival, vec![pkt.size]));
+            self.inner.ingress(pkt, now, drops);
+        }
+        fn ingress_featured(
+            &mut self,
+            pkt: Packet,
+            features: &[u32],
+            now: SimTime,
+            drops: &mut Vec<Dropped>,
+        ) {
+            assert_eq!(features, [pkt.size], "precomputed row must match");
+            self.ingress(pkt, now, drops);
+        }
+        fn feature_extractor(&self) -> Option<FeatureExtractor> {
+            Some(FeatureExtractor::new(
+                1,
+                std::sync::Arc::new(|p: &Packet, out: &mut Vec<u32>| {
+                    out.clear();
+                    out.push(p.size);
+                }),
+            ))
+        }
+        fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
+            self.inner.dequeue(now)
+        }
+        fn backlog_pkts(&self) -> usize {
+            self.inner.backlog_pkts()
+        }
+    }
+
+    #[test]
+    fn featured_ingress_stream_is_identical_to_serial() {
+        let mut serial_sw = Recording {
+            inner: SingleQueueSwitch::new(FifoQueue::new(8_000)),
+            seen: Vec::new(),
+        };
+        let mut serial_src = MergedSource::new(sources(6));
+        run(&mut serial_src, &mut serial_sw, &cfg());
+        for shards in [1, 2, 8] {
+            let mut sw = Recording {
+                inner: SingleQueueSwitch::new(FifoQueue::new(8_000)),
+                seen: Vec::new(),
+            };
+            run_sharded(sources(6), &mut sw, &cfg(), shards);
+            assert_eq!(serial_sw.seen, sw.seen, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn fnv_partition_is_stable() {
+        // The partition function is part of the determinism contract:
+        // pin a few values so an accidental hash change cannot hide.
+        assert_eq!(fnv1a64(b""), FNV_OFFSET);
+        let a = source_shard(0, 8);
+        let b = source_shard(1, 8);
+        for _ in 0..3 {
+            assert_eq!(source_shard(0, 8), a);
+            assert_eq!(source_shard(1, 8), b);
+        }
+        let p = Packet::new(SimTime::ZERO)
+            .with_src(Ipv4Addr::new(10, 0, 0, 1))
+            .with_dst(Ipv4Addr::new(20, 0, 0, 2))
+            .with_ports(1234, 443)
+            .with_proto(6);
+        assert_eq!(flow_shard(&p, 8), flow_shard(&p.clone(), 8));
+    }
+}

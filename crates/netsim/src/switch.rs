@@ -10,12 +10,86 @@
 use crate::packet::{DropReason, Dropped, Packet};
 use crate::queue::{FifoQueue, QueueDiscipline};
 use crate::time::{SimDuration, SimTime};
+use std::sync::Arc;
+
+/// The boxed extraction closure a [`FeatureExtractor`] wraps: fills the
+/// output vector with one packet's feature values.
+pub type ExtractFn = Arc<dyn Fn(&Packet, &mut Vec<u32>) + Send + Sync>;
+
+/// A pure per-packet feature extractor a switch can expose (see
+/// [`Switch::feature_extractor`]) so the sharded engine can precompute the
+/// classification features of a whole arrival window into the packet
+/// arena's feature column — per shard, off the serial event loop.
+///
+/// The closure must be a pure function of the packet: calling it twice on
+/// the same packet yields the same values, and extraction order carries no
+/// state. That is what makes precomputation byte-identical to extracting
+/// at ingress time.
+#[derive(Clone)]
+pub struct FeatureExtractor {
+    width: usize,
+    extract: ExtractFn,
+}
+
+impl FeatureExtractor {
+    /// Wraps a pure extractor producing exactly `width` values per packet.
+    /// The closure must clear `out` and fill it with `width` values (the
+    /// convention of the clustering crate's `FeatureSet::extract_into`).
+    pub fn new(width: usize, extract: ExtractFn) -> Self {
+        FeatureExtractor { width, extract }
+    }
+
+    /// Number of feature values produced per packet.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Clears `out` and fills it with the packet's `width` feature values.
+    pub fn extract_into(&self, pkt: &Packet, out: &mut Vec<u32>) {
+        (self.extract)(pkt, out);
+        debug_assert_eq!(out.len(), self.width, "extractor arity mismatch");
+    }
+}
+
+impl std::fmt::Debug for FeatureExtractor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FeatureExtractor")
+            .field("width", &self.width)
+            .finish_non_exhaustive()
+    }
+}
 
 /// A switch with one output port.
 pub trait Switch {
     /// Processes an arriving packet: classify, police, and enqueue. Any
     /// resulting drops are pushed into `drops`.
     fn ingress(&mut self, pkt: Packet, now: SimTime, drops: &mut Vec<Dropped>);
+
+    /// [`ingress`](Self::ingress) with the classification features already
+    /// extracted (by this switch's own [`feature_extractor`]). Must be
+    /// observably identical to plain `ingress`; the default simply ignores
+    /// the precomputed values and delegates, so switches without a
+    /// feature-based fast path are correct for free.
+    ///
+    /// [`feature_extractor`]: Self::feature_extractor
+    fn ingress_featured(
+        &mut self,
+        pkt: Packet,
+        _features: &[u32],
+        now: SimTime,
+        drops: &mut Vec<Dropped>,
+    ) {
+        self.ingress(pkt, now, drops);
+    }
+
+    /// The pure feature extractor of this switch's classification stage,
+    /// if it has one. When `Some`, the sharded engine precomputes feature
+    /// columns per shard and delivers packets via
+    /// [`ingress_featured`](Self::ingress_featured); when `None` (the
+    /// default) it falls back to plain [`ingress`](Self::ingress).
+    fn feature_extractor(&self) -> Option<FeatureExtractor> {
+        None
+    }
 
     /// Hands the next packet to the output link, if any.
     fn dequeue(&mut self, now: SimTime) -> Option<Packet>;

@@ -1,0 +1,61 @@
+//! Consistency lockdown between the committed `BENCH_datapath.json`
+//! artifact and the live bench registry: every row name in the artifact
+//! must resolve to a bench `xp bench-export` can actually run today.
+//!
+//! This is the other half of the export-side guard (`benchx::to_json`
+//! refuses to emit unregistered rows): the export refuses to *create*
+//! phantom rows, this test refuses to *keep* them. Together they make it
+//! impossible for the committed artifact to advertise a number no code
+//! in the tree produces — the failure mode behind the old sharded
+//! strawman rows, whose prototype never landed.
+
+use accturbo_experiments::benchx;
+use std::path::PathBuf;
+
+/// Extracts every `"name": "<...>"` value from the artifact. The file
+/// is written by `benchx::to_json` with one row object per line, so a
+/// line-oriented scan is exact — no JSON parser dependency needed.
+fn committed_row_names() -> Vec<String> {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("BENCH_datapath.json");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let mut names = Vec::new();
+    for line in text.lines() {
+        let Some(rest) = line.trim_start().strip_prefix("{ \"name\": \"") else {
+            continue;
+        };
+        let name = rest
+            .split('"')
+            .next()
+            .expect("split always yields a first element");
+        names.push(name.to_string());
+    }
+    names
+}
+
+#[test]
+fn every_committed_bench_row_resolves_against_the_registry() {
+    let names = committed_row_names();
+    assert!(
+        !names.is_empty(),
+        "BENCH_datapath.json has no bench rows — the scan or the artifact is broken"
+    );
+    for name in &names {
+        assert!(
+            benchx::is_registered(name),
+            "BENCH_datapath.json row `{name}` has no registered live bench; \
+             regenerate the artifact with `xp bench-export` or register the bench"
+        );
+    }
+}
+
+#[test]
+fn artifact_records_the_host_core_count() {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("BENCH_datapath.json");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    assert!(
+        text.contains("\"host_cores\":"),
+        "BENCH_datapath.json must record the host core count the numbers were taken on"
+    );
+}

@@ -307,6 +307,10 @@ fn scenario_specs_round_trip_through_the_xp_run_sentence() {
         }
         if rng.gen_bool(0.4) {
             spec = spec.with_topology(random_topology(&mut rng));
+        } else if rng.gen_bool(0.3) {
+            // shards= and topology= are mutually exclusive in the CLI, so
+            // the sharded knob only rides on single-switch sentences.
+            spec = spec.with_shards(rng.gen_range(2..=16));
         }
         let sentence = spec.to_string();
         let argv: Vec<String> = sentence.split(' ').map(str::to_string).collect();
